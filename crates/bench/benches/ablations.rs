@@ -1,0 +1,83 @@
+//! Criterion bench: ablations of Conductor's design choices (DESIGN.md §6):
+//! time-step granularity, the semi-continuous phase barrier, and the
+//! plan-following scheduler.
+
+use conductor_cloud::Catalog;
+use conductor_core::{Goal, ModelConfig, ModelInstance, Planner, ResourcePool};
+use conductor_lp::SolveOptions;
+use conductor_mapreduce::engine::{DeploymentOptions, Engine};
+use conductor_mapreduce::scheduler::{LocalityScheduler, PlanFollowingScheduler};
+use conductor_mapreduce::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Ablation: planning-interval granularity (1 h vs 30 min) — finer intervals
+/// give tighter plans but larger models.
+fn bench_timestep_granularity(c: &mut Criterion) {
+    let spec = Workload::KMeans32Gb.spec();
+    let mut group = c.benchmark_group("ablation_timestep");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for (label, interval) in [("1h", 1.0f64), ("30min", 0.5)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &interval, |b, &dt| {
+            let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
+                .with_compute_only(&["m1.large"]);
+            let mut planner = Planner::new(pool).with_solve_options(SolveOptions {
+                time_limit: Duration::from_secs(30),
+                ..Default::default()
+            });
+            planner.interval_hours = dt;
+            b.iter(|| planner.plan(&spec, Goal::MinimizeCost { deadline_hours: 6.0 }).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the semi-continuous Map→Reduce barrier vs a model without a
+/// reduce phase at all (what a naive "map-only" cost model would solve).
+fn bench_barrier(c: &mut Criterion) {
+    let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
+        .with_compute_only(&["m1.large"]);
+    let mut group = c.benchmark_group("ablation_barrier");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for (label, with_reduce) in [("with_barrier", true), ("map_only", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &with_reduce, |b, &wr| {
+            let mut spec = Workload::KMeans32Gb.spec();
+            if !wr {
+                spec.map_output_ratio = 0.0;
+                spec.reduce_output_ratio = 0.0;
+            }
+            let config = ModelConfig::default();
+            b.iter(|| {
+                let model = ModelInstance::build(&pool, &spec, &config).unwrap();
+                model.problem.solve().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: plan-following vs locality scheduler under the same (fixed)
+/// deployment — the execution-time cost of Hadoop's flexible scheduling.
+fn bench_scheduler(c: &mut Criterion) {
+    let catalog = Catalog::aws_july_2011();
+    let engine = Engine::new(catalog);
+    let spec = Workload::KMeans32Gb.spec();
+    let uplink = conductor_cloud::catalog::mbps_to_gb_per_hour(16.0);
+    let opts = DeploymentOptions {
+        deadline_hours: Some(6.0),
+        ..DeploymentOptions::new("ablation", uplink).with_nodes("m1.large", 16, 0.0)
+    };
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.sample_size(10);
+    group.bench_function("plan_following", |b| {
+        let sched = PlanFollowingScheduler::cloud_only_defaults();
+        b.iter(|| engine.run(&spec, &opts, &sched).unwrap());
+    });
+    group.bench_function("locality", |b| {
+        b.iter(|| engine.run(&spec, &opts, &LocalityScheduler).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timestep_granularity, bench_barrier, bench_scheduler);
+criterion_main!(benches);

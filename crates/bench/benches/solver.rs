@@ -1,0 +1,48 @@
+//! Criterion bench: LP/MILP solve time for Conductor models of growing size
+//! (the statistical counterpart of Figure 16).
+
+use conductor_core::{Goal, ModelConfig, ModelInstance, Planner, ResourcePool};
+use conductor_cloud::Catalog;
+use conductor_lp::SolveOptions;
+use conductor_mapreduce::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_model_build(c: &mut Criterion) {
+    let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
+        .with_compute_only(&["m1.large"]);
+    let spec = Workload::KMeans32Gb.spec();
+    let mut group = c.benchmark_group("model_build");
+    for horizon in [6usize, 12, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, &h| {
+            let config = ModelConfig { horizon_intervals: h, ..Default::default() };
+            b.iter(|| ModelInstance::build(&pool, &spec, &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_solve(c: &mut Criterion) {
+    let spec = Workload::KMeans32Gb.spec();
+    let mut group = c.benchmark_group("plan_solve");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for deadline in [6.0f64, 8.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{deadline}h")),
+            &deadline,
+            |b, &d| {
+                let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
+                    .with_compute_only(&["m1.large"]);
+                let planner = Planner::new(pool).with_solve_options(SolveOptions {
+                    time_limit: Duration::from_secs(30),
+                    ..Default::default()
+                });
+                b.iter(|| planner.plan(&spec, Goal::MinimizeCost { deadline_hours: d }).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_build, bench_plan_solve);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench: Conductor's storage abstraction layer vs a direct write
+//! path (the micro-benchmark behind Figure 15), measured on real in-memory
+//! backends: chunked writes/reads through the namenode and client.
+
+use conductor_storage::{BlockKey, FileSystemShim, InMemoryBackend, KeyValueStore, StorageClient};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn client_with_backends() -> StorageClient {
+    let mut c = StorageClient::new();
+    c.add_backend(InMemoryBackend::local_disk(1), true);
+    c.add_backend(InMemoryBackend::local_disk(2), false);
+    c.add_backend(InMemoryBackend::local_disk(3), false);
+    c.add_backend(InMemoryBackend::object_store(10), false);
+    c
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_write");
+    for size_kb in [64usize, 1024] {
+        let data = vec![7u8; size_kb * 1024];
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        // Conductor's full path: namenode placement + 3-way replication.
+        group.bench_with_input(
+            BenchmarkId::new("conductor_layer", size_kb),
+            &data,
+            |b, data| {
+                let mut client = client_with_backends();
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    client.write(BlockKey::chunk("bench", i), data.clone()).unwrap()
+                });
+            },
+        );
+        // Direct single-backend write (the HDFS-like baseline).
+        group.bench_with_input(BenchmarkId::new("direct_backend", size_kb), &data, |b, data| {
+            let mut backend = InMemoryBackend::local_disk(1);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                backend.put(BlockKey::chunk("bench", i), data.clone()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_file_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_file_roundtrip");
+    let data = vec![3u8; 4 * 1024 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("write_read_4mb_file", |b| {
+        let mut fs = FileSystemShim::with_chunk_size(client_with_backends(), 256 * 1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let name = format!("file-{i}");
+            fs.write_file(&name, &data).unwrap();
+            fs.read_file(&name).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_path, bench_file_roundtrip);
+criterion_main!(benches);

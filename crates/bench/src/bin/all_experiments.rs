@@ -1,0 +1,23 @@
+//! Runs every experiment and prints all tables as markdown (the data behind
+//! EXPERIMENTS.md). Run with:
+//! `cargo run --release -p conductor-bench --bin all_experiments`
+
+use conductor_bench::experiments as e;
+
+fn main() {
+    println!("{}", e::fig01_ecu_divergence().to_markdown());
+    println!("{}", e::fig05_cloud_cost().to_markdown());
+    println!("{}", e::fig06_cloud_runtime().to_markdown());
+    println!("{}", e::fig07_node_sweep().to_markdown());
+    println!("{}", e::fig08_storage_mix().to_markdown());
+    println!("{}", e::fig09_storage_mix_scaled().to_markdown());
+    println!("{}", e::fig10_hybrid().to_markdown());
+    println!("{}", e::fig11_hybrid_sweep().to_markdown());
+    let (alloc, progress) = e::fig12_adaptation();
+    println!("{}", alloc.to_markdown());
+    println!("{}", progress.to_markdown());
+    println!("{}", e::fig13_spot_traces().to_markdown());
+    println!("{}", e::fig14_spot_savings().to_markdown());
+    println!("{}", e::fig15_storage_throughput().to_markdown());
+    println!("{}", e::fig16_solve_time().to_markdown());
+}

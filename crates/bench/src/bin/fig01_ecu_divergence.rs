@@ -1,0 +1,6 @@
+//! Regenerates fig01_ecu_divergence of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig01_ecu_divergence`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig01_ecu_divergence());
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig05_cloud_cost of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig05_cloud_cost`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig05_cloud_cost());
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig06_cloud_runtime of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig06_cloud_runtime`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig06_cloud_runtime());
+}

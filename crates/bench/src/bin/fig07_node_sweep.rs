@@ -1,0 +1,6 @@
+//! Regenerates fig07_node_sweep of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig07_node_sweep`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig07_node_sweep());
+}

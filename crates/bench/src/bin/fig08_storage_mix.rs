@@ -1,0 +1,6 @@
+//! Regenerates fig08_storage_mix of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig08_storage_mix`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig08_storage_mix());
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig09_storage_mix_scaled of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig09_storage_mix_scaled`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig09_storage_mix_scaled());
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig10_hybrid of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig10_hybrid`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig10_hybrid());
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig11_hybrid_sweep of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig11_hybrid_sweep`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig11_hybrid_sweep());
+}

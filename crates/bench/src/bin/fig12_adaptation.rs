@@ -1,0 +1,8 @@
+//! Regenerates Figure 12 (adaptation to mispredicted performance). Run with:
+//! `cargo run --release -p conductor-bench --bin fig12_adaptation`
+
+fn main() {
+    let (allocation, progress) = conductor_bench::experiments::fig12_adaptation();
+    println!("{allocation}");
+    println!("{progress}");
+}

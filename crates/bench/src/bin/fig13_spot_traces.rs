@@ -1,0 +1,6 @@
+//! Regenerates fig13_spot_traces of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig13_spot_traces`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig13_spot_traces());
+}

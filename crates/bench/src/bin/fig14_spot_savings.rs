@@ -1,0 +1,6 @@
+//! Regenerates fig14_spot_savings of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig14_spot_savings`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig14_spot_savings());
+}

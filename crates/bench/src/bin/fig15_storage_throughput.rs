@@ -1,0 +1,6 @@
+//! Regenerates fig15_storage_throughput of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig15_storage_throughput`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig15_storage_throughput());
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig16_solve_time of the paper. Run with:
+//! `cargo run --release -p conductor-bench --bin fig16_solve_time`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fig16_solve_time());
+}

@@ -1,0 +1,14 @@
+//! # conductor-bench
+//!
+//! The experiment harness of the Conductor reproduction: one function per
+//! table/figure of the paper's evaluation (§6), each returning a printable
+//! [`table::Table`] with the same rows/series the paper reports. The
+//! `figNN_*` binaries in `src/bin/` are thin wrappers that run one experiment
+//! and print its table; the Criterion benches in `benches/` measure the
+//! planner/solver and storage-layer overheads (Figures 15 and 16) with
+//! statistical rigor.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

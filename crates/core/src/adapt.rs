@@ -1,0 +1,337 @@
+//! Runtime adaptation (§5.4): detect deviations from the model, re-plan from
+//! the current state, and splice the updated plan into the deployment.
+//!
+//! The paper's Figure 12 experiment seeds the model with a wrong per-node
+//! throughput (1.44 GB/h predicted vs 0.44 GB/h actual). After the first
+//! interval the progress monitor notices the shortfall, Conductor rebuilds
+//! the model with the *observed* throughput and the work actually remaining,
+//! re-solves, and the updated plan allocates many more nodes so the deadline
+//! is still met. [`AdaptiveController`] reproduces that loop on the simulated
+//! cluster.
+
+use crate::error::ConductorError;
+use crate::goal::Goal;
+use crate::model::{InitialState, ModelConfig};
+use crate::plan::ExecutionPlan;
+use crate::planner::Planner;
+use crate::resources::ResourcePool;
+use conductor_cloud::Catalog;
+use conductor_mapreduce::cluster::NodeAllocation;
+use conductor_mapreduce::engine::{Engine, ExecutionReport};
+use conductor_mapreduce::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// The result of an adaptive run: both plans plus the execution that followed
+/// the spliced schedule (the data behind Figure 12a and 12b).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptationReport {
+    /// The plan computed before execution started (based on the predicted
+    /// throughput).
+    pub initial_plan: ExecutionPlan,
+    /// The plan computed at the re-planning point from the observed state.
+    pub updated_plan: ExecutionPlan,
+    /// Hour at which the deviation was detected and the plan recomputed.
+    pub replanned_at_hours: f64,
+    /// Execution report of the full run under the spliced schedule.
+    pub execution: ExecutionReport,
+    /// Execution report of a run that keeps following the initial plan
+    /// (the "would have missed the deadline" counterfactual).
+    pub without_adaptation: ExecutionReport,
+    /// Node-allocation schedule actually deployed (initial plan up to the
+    /// re-planning point, updated plan afterwards).
+    pub spliced_schedule: Vec<NodeAllocation>,
+}
+
+impl AdaptationReport {
+    /// `true` when adaptation rescued the deadline that the un-adapted run
+    /// missed.
+    pub fn adaptation_rescued_deadline(&self) -> bool {
+        self.execution.met_deadline == Some(true)
+            && self.without_adaptation.met_deadline == Some(false)
+    }
+}
+
+/// Drives the plan → monitor → re-plan loop.
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    catalog: Catalog,
+    pool: ResourcePool,
+    solve_options: conductor_lp::SolveOptions,
+}
+
+impl AdaptiveController {
+    /// Creates an adaptive controller over a catalog and the resource pool
+    /// the planner should use.
+    pub fn new(catalog: Catalog, pool: ResourcePool) -> Self {
+        Self {
+            catalog,
+            pool,
+            solve_options: conductor_lp::SolveOptions {
+                relative_gap: 0.02,
+                max_nodes: 2_000,
+                time_limit: std::time::Duration::from_secs(60),
+                ..conductor_lp::SolveOptions::default()
+            },
+        }
+    }
+
+    /// Replaces the solver options used for both planning passes.
+    pub fn with_solve_options(mut self, options: conductor_lp::SolveOptions) -> Self {
+        self.solve_options = options;
+        self
+    }
+
+    /// Reproduces the §6.4 experiment: plan with `predicted_gbph` per node,
+    /// execute against nodes that actually deliver `actual_gbph`, detect the
+    /// shortfall after `replan_after_hours`, re-plan with the corrected
+    /// throughput and the observed remaining work, and finish under the
+    /// spliced schedule.
+    pub fn run_with_misprediction(
+        &self,
+        spec: &JobSpec,
+        goal: Goal,
+        predicted_gbph: f64,
+        actual_gbph: f64,
+        replan_after_hours: f64,
+    ) -> Result<AdaptationReport, ConductorError> {
+        let deadline = goal.deadline_hours();
+
+        // ---- 1. Plan with the (wrong) predicted throughput.
+        let optimistic_pool = self.pool_with_throughput(predicted_gbph);
+        let optimistic_planner =
+            Planner::new(optimistic_pool).with_solve_options(self.solve_options.clone());
+        let (initial_plan, _) = optimistic_planner.plan(spec, goal)?;
+
+        // ---- 2. Execute the initial plan against the real (slower) cluster;
+        // this is also the "no adaptation" counterfactual.
+        let actual_catalog = self.catalog_with_throughput(actual_gbph);
+        let actual_engine = Engine::new(actual_catalog);
+        let initial_options = initial_plan.to_deployment_options(
+            "initial-plan",
+            self.pool.uplink_gbph,
+            deadline,
+            &ExecutionPlan::default_location_map(),
+        );
+        let scheduler = conductor_mapreduce::scheduler::LocalityScheduler;
+        let without_adaptation = actual_engine.run(spec, &initial_options, &scheduler)?;
+
+        // ---- 3. Monitor: state of the world at the re-planning point under
+        // the initial plan, with the *actual* throughput.
+        let observed = self.observe_progress(
+            spec,
+            &initial_plan,
+            actual_gbph,
+            replan_after_hours,
+        );
+
+        // ---- 4. Re-plan from the observed state with the corrected
+        // throughput and the time remaining until the deadline.
+        let realistic_pool = self.pool_with_throughput(actual_gbph);
+        let realistic_planner =
+            Planner::new(realistic_pool).with_solve_options(self.solve_options.clone());
+        let remaining_goal = match goal {
+            Goal::MinimizeCost { deadline_hours } => Goal::MinimizeCost {
+                deadline_hours: (deadline_hours - replan_after_hours).max(1.0),
+            },
+            Goal::MinimizeTime { budget_usd, max_hours } => Goal::MinimizeTime {
+                budget_usd,
+                max_hours: (max_hours - replan_after_hours).max(1.0),
+            },
+        };
+        let config = ModelConfig { initial: observed, ..ModelConfig::default() };
+        let (updated_plan, _) = realistic_planner.plan_with_config(spec, remaining_goal, &config)?;
+
+        // ---- 5. Splice: initial plan's schedule for the elapsed interval,
+        // updated plan afterwards, and run the whole job under it.
+        let spliced_schedule =
+            splice_schedules(&initial_plan, &updated_plan, replan_after_hours);
+        let mut spliced_options = initial_options.clone();
+        spliced_options.name = "adapted-plan".into();
+        spliced_options.node_schedule = spliced_schedule.clone();
+        let execution = actual_engine.run(spec, &spliced_options, &scheduler)?;
+
+        Ok(AdaptationReport {
+            initial_plan,
+            updated_plan,
+            replanned_at_hours: replan_after_hours,
+            execution,
+            without_adaptation,
+            spliced_schedule,
+        })
+    }
+
+    /// Progress the monitor would have observed after `hours` of following
+    /// `plan` on nodes that actually deliver `actual_gbph`.
+    fn observe_progress(
+        &self,
+        spec: &JobSpec,
+        plan: &ExecutionPlan,
+        actual_gbph: f64,
+        hours: f64,
+    ) -> InitialState {
+        let mut state = InitialState::default();
+        // Data uploaded so far: whatever the uplink could push, regardless of
+        // the plan's optimism.
+        let uploaded = (self.pool.uplink_gbph * hours).min(spec.input_gb);
+        let mix = plan.storage_mix();
+        for (storage, fraction) in mix {
+            state.stored_gb.insert(storage, uploaded * fraction);
+        }
+        if state.stored_gb.is_empty() {
+            state.stored_gb.insert("EC2-disk".to_string(), uploaded);
+        }
+        // Map progress: limited by both the allocated nodes' *actual*
+        // throughput and the data that was available.
+        let mut processed: f64 = 0.0;
+        for (t, interval) in plan.intervals.iter().enumerate() {
+            let t_end = (t as f64 + 1.0) * plan.interval_hours;
+            if t_end > hours + 1e-9 {
+                break;
+            }
+            let nodes: usize = interval.nodes.values().sum();
+            processed += nodes as f64 * actual_gbph * plan.interval_hours;
+        }
+        state.map_done_gb = processed.min(uploaded).min(spec.input_gb);
+        state
+    }
+
+    fn pool_with_throughput(&self, gbph: f64) -> ResourcePool {
+        let mut pool = self.pool.clone();
+        for c in &mut pool.compute {
+            c.capacity_gbph = gbph;
+        }
+        pool
+    }
+
+    fn catalog_with_throughput(&self, gbph: f64) -> Catalog {
+        let mut catalog = self.catalog.clone();
+        for i in &mut catalog.instances {
+            i.measured_throughput_gbph = gbph;
+        }
+        catalog
+    }
+}
+
+/// Keeps `initial`'s node schedule up to `switch_hours`, then follows
+/// `updated` (whose interval 0 corresponds to `switch_hours`).
+fn splice_schedules(
+    initial: &ExecutionPlan,
+    updated: &ExecutionPlan,
+    switch_hours: f64,
+) -> Vec<NodeAllocation> {
+    let mut schedule: Vec<NodeAllocation> = initial
+        .node_schedule()
+        .into_iter()
+        .filter(|a| a.from_hour < switch_hours - 1e-9)
+        .collect();
+    for mut step in updated.node_schedule() {
+        step.from_hour += switch_hours;
+        schedule.push(step);
+    }
+    schedule.sort_by(|a, b| a.from_hour.partial_cmp(&b.from_hour).unwrap());
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conductor_lp::SolveOptions;
+    use conductor_mapreduce::Workload;
+    use std::time::Duration;
+
+    fn controller() -> AdaptiveController {
+        let catalog = Catalog::aws_july_2011();
+        let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+        AdaptiveController::new(catalog, pool).with_solve_options(SolveOptions {
+            relative_gap: 0.02,
+            max_nodes: 2_000,
+            time_limit: Duration::from_secs(30),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn figure_12_misprediction_is_rescued_by_replanning() {
+        // Predicted 1.44 GB/h, actual 0.44 GB/h, re-plan after one hour,
+        // 7-hour deadline (the paper's Figure 12 spans ~7 hours).
+        let report = controller()
+            .run_with_misprediction(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost { deadline_hours: 7.0 },
+                1.44,
+                0.44,
+                1.0,
+            )
+            .unwrap();
+        // The optimistic plan allocates only a handful of nodes...
+        let initial_peak = report.initial_plan.peak_nodes("m1.large");
+        assert!(initial_peak <= 8, "initial peak {initial_peak}");
+        // ...the updated plan allocates substantially more...
+        let updated_peak = report.updated_plan.peak_nodes("m1.large");
+        assert!(updated_peak >= initial_peak * 2, "updated peak {updated_peak}");
+        // ...and adaptation rescues the deadline the un-adapted run misses.
+        assert_eq!(report.without_adaptation.met_deadline, Some(false));
+        assert_eq!(report.execution.met_deadline, Some(true));
+        assert!(report.adaptation_rescued_deadline());
+        // All tasks finish in the adapted run.
+        assert_eq!(
+            report.execution.task_timeline.last().unwrap().1,
+            report.execution.total_tasks
+        );
+    }
+
+    #[test]
+    fn splicing_keeps_early_steps_and_shifts_later_ones() {
+        let initial = ExecutionPlan {
+            interval_hours: 1.0,
+            intervals: vec![],
+            expected_cost: 0.0,
+            expected_completion_hours: 0.0,
+            proven_optimal: true,
+        };
+        let mut a = initial.clone();
+        a.intervals = vec![
+            crate::plan::IntervalPlan {
+                nodes: [("m1.large".to_string(), 3)].into_iter().collect(),
+                ..Default::default()
+            },
+            crate::plan::IntervalPlan {
+                nodes: [("m1.large".to_string(), 5)].into_iter().collect(),
+                ..Default::default()
+            },
+        ];
+        let mut b = initial.clone();
+        b.intervals = vec![crate::plan::IntervalPlan {
+            nodes: [("m1.large".to_string(), 16)].into_iter().collect(),
+            ..Default::default()
+        }];
+        let spliced = splice_schedules(&a, &b, 1.0);
+        // Keeps the 3-node step at hour 0, drops the 5-node step at hour 1,
+        // and the updated 16-node step lands at hour 1.
+        assert!(spliced.iter().any(|s| s.from_hour == 0.0 && s.nodes == 3));
+        assert!(spliced.iter().any(|s| s.from_hour == 1.0 && s.nodes == 16));
+        assert!(!spliced.iter().any(|s| s.nodes == 5));
+    }
+
+    #[test]
+    fn observed_progress_reflects_actual_throughput() {
+        let ctl = controller();
+        let spec = Workload::KMeans32Gb.spec();
+        let plan = ExecutionPlan {
+            interval_hours: 1.0,
+            intervals: vec![crate::plan::IntervalPlan {
+                nodes: [("m1.large".to_string(), 3)].into_iter().collect(),
+                upload_gb: [("EC2-disk".to_string(), 6.7)].into_iter().collect(),
+                ..Default::default()
+            }],
+            expected_cost: 1.0,
+            expected_completion_hours: 1.0,
+            proven_optimal: true,
+        };
+        let state = ctl.observe_progress(&spec, &plan, 0.44, 1.0);
+        // 3 nodes at the real 0.44 GB/h processed ~1.3 GB, not 3 * 1.44.
+        assert!(state.map_done_gb < 1.5, "map done {}", state.map_done_gb);
+        let stored: f64 = state.stored_gb.values().sum();
+        assert!(stored > 6.0 && stored < 7.5, "stored {stored}");
+    }
+}

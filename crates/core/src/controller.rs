@@ -1,0 +1,212 @@
+//! The job controller (§5.2): plan → deploy → execute → account.
+//!
+//! The controller wires the pieces together: it asks the [`crate::Planner`]
+//! for an execution plan, converts the plan into engine deployment options
+//! and a plan-following scheduler configuration, runs the job on the
+//! simulated Hadoop cluster, and reports the measured cost and completion
+//! time next to the plan's expectations.
+
+use crate::error::ConductorError;
+use crate::goal::Goal;
+use crate::plan::ExecutionPlan;
+use crate::planner::{Planner, PlanningReport};
+use conductor_cloud::Catalog;
+use conductor_mapreduce::engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport};
+use conductor_mapreduce::scheduler::PlanFollowingScheduler;
+use conductor_mapreduce::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of planning and deploying one job with Conductor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentOutcome {
+    /// The plan that was deployed.
+    pub plan: ExecutionPlan,
+    /// Planning effort statistics.
+    pub planning: PlanningReport,
+    /// The measured execution (timings, cost breakdown, timelines).
+    pub execution: ExecutionReport,
+}
+
+impl DeploymentOutcome {
+    /// Difference between measured and planned cost (positive = the run cost
+    /// more than the plan expected).
+    pub fn cost_error(&self) -> f64 {
+        self.execution.total_cost - self.plan.expected_cost
+    }
+
+    /// Difference between measured and planned completion time in hours.
+    pub fn completion_error_hours(&self) -> f64 {
+        self.execution.completion_hours - self.plan.expected_completion_hours
+    }
+}
+
+/// Orchestrates planning and deployment of MapReduce jobs (Figure 2).
+#[derive(Debug, Clone)]
+pub struct JobController {
+    planner: Planner,
+    engine: Engine,
+    uplink_gbph: f64,
+}
+
+impl JobController {
+    /// Creates a controller for the given catalog. `planner` must have been
+    /// built over (a restriction of) the same catalog.
+    pub fn new(catalog: Catalog, planner: Planner) -> Self {
+        let uplink_gbph = catalog.uplink_gb_per_hour();
+        Self { planner, engine: Engine::new(catalog), uplink_gbph }
+    }
+
+    /// The planner in use.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The execution engine in use.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Plans and deploys `spec` under `goal`, returning plan, planning report
+    /// and measured execution.
+    pub fn run(&self, spec: &JobSpec, goal: Goal) -> Result<DeploymentOutcome, ConductorError> {
+        let (plan, planning) = self.planner.plan(spec, goal)?;
+        let execution = self.deploy(spec, &plan, goal.deadline_hours())?;
+        Ok(DeploymentOutcome { plan, planning, execution })
+    }
+
+    /// Deploys an existing plan (used by the adaptation loop after re-planning
+    /// and by ablation experiments that perturb plans).
+    pub fn deploy(
+        &self,
+        spec: &JobSpec,
+        plan: &ExecutionPlan,
+        deadline_hours: Option<f64>,
+    ) -> Result<ExecutionReport, ConductorError> {
+        let options = self.deployment_options(plan, deadline_hours);
+        let scheduler = self.scheduler_for(plan);
+        Ok(self.engine.run(spec, &options, &scheduler)?)
+    }
+
+    /// Builds engine deployment options from a plan.
+    pub fn deployment_options(
+        &self,
+        plan: &ExecutionPlan,
+        deadline_hours: Option<f64>,
+    ) -> DeploymentOptions {
+        plan.to_deployment_options(
+            "conductor",
+            self.uplink_gbph,
+            deadline_hours,
+            &ExecutionPlan::default_location_map(),
+        )
+    }
+
+    /// Builds the plan-following scheduler configuration implied by a plan:
+    /// each compute resource used by the plan may read from the storage
+    /// locations the plan stores data on (§5.3).
+    pub fn scheduler_for(&self, plan: &ExecutionPlan) -> PlanFollowingScheduler {
+        let mut scheduler = PlanFollowingScheduler::new();
+        let location_map = ExecutionPlan::default_location_map();
+        let storages: Vec<DataLocation> = plan
+            .storage_mix()
+            .keys()
+            .filter_map(|name| location_map.get(name).copied())
+            .collect();
+        let computes: std::collections::BTreeSet<String> =
+            plan.intervals.iter().flat_map(|p| p.nodes.keys().cloned()).collect();
+        for compute in computes {
+            let is_local = self
+                .planner
+                .pool()
+                .compute_resource(&compute)
+                .map(|c| c.is_local)
+                .unwrap_or(false);
+            // Every compute resource may read its own disks...
+            scheduler.allow(
+                compute.clone(),
+                if is_local { DataLocation::LocalDisk } else { DataLocation::InstanceDisk },
+            );
+            if is_local {
+                // ...local nodes additionally read the on-site input directly.
+                scheduler.allow(compute.clone(), DataLocation::ClientSite);
+            }
+            // ...and the storage services the plan uses.
+            for loc in &storages {
+                scheduler.allow(compute.clone(), *loc);
+            }
+        }
+        scheduler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourcePool;
+    use conductor_lp::SolveOptions;
+    use conductor_mapreduce::Workload;
+    use std::time::Duration;
+
+    fn controller() -> JobController {
+        let catalog = Catalog::aws_july_2011();
+        let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+        let planner = Planner::new(pool).with_solve_options(SolveOptions {
+            relative_gap: 0.02,
+            max_nodes: 2_000,
+            time_limit: Duration::from_secs(30),
+            ..Default::default()
+        });
+        JobController::new(catalog, planner)
+    }
+
+    #[test]
+    fn end_to_end_cloud_only_run_meets_deadline_and_cost_scale() {
+        let outcome = controller()
+            .run(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 6.0 })
+            .unwrap();
+        assert_eq!(outcome.execution.met_deadline, Some(true));
+        // Measured cost should be in the same ballpark as planned cost
+        // (the engine adds scheduling slack and round-up billing effects the
+        // fluid model ignores).
+        assert!(
+            outcome.execution.total_cost < outcome.plan.expected_cost * 2.0 + 10.0,
+            "measured {} vs planned {}",
+            outcome.execution.total_cost,
+            outcome.plan.expected_cost
+        );
+        assert!(outcome.execution.total_cost > 15.0);
+        // Every task completed.
+        assert_eq!(
+            outcome.execution.task_timeline.last().unwrap().1,
+            outcome.execution.total_tasks
+        );
+    }
+
+    #[test]
+    fn scheduler_permissions_follow_the_plan() {
+        let ctl = controller();
+        let (plan, _) = ctl
+            .planner()
+            .plan(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 6.0 })
+            .unwrap();
+        let scheduler = ctl.scheduler_for(&plan);
+        // The plan uses m1.large nodes reading from their instance disks.
+        let allowed = scheduler.allowed_for("m1.large");
+        assert!(allowed.contains(&DataLocation::InstanceDisk));
+        // No permissions for instance types the plan does not use.
+        assert!(scheduler.allowed_for("c1.xlarge").is_empty());
+    }
+
+    #[test]
+    fn deployment_options_carry_schedule_and_deadline() {
+        let ctl = controller();
+        let (plan, _) = ctl
+            .planner()
+            .plan(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 6.0 })
+            .unwrap();
+        let opts = ctl.deployment_options(&plan, Some(6.0));
+        assert_eq!(opts.deadline_hours, Some(6.0));
+        assert!(!opts.node_schedule.is_empty());
+        assert!(!opts.upload_plan.is_empty());
+    }
+}

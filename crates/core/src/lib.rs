@@ -1,0 +1,43 @@
+//! # conductor-core
+//!
+//! The Conductor system itself: automatic selection of cloud services for
+//! MapReduce computations, plan deployment, and runtime adaptation — the
+//! primary contribution of *"Orchestrating the Deployment of Computations in
+//! the Cloud with Conductor"* (NSDI 2012).
+//!
+//! The flow mirrors Figure 2 of the paper:
+//!
+//! 1. [`resources`] — the resource abstraction layer turns heterogeneous
+//!    service offerings (catalog entries or published service descriptions)
+//!    into uniform compute and storage resources (§4.2, §4.6, §5.1).
+//! 2. [`model`] — the dynamic-linear-program generator encodes the MapReduce
+//!    job, the resources, their prices (including spot-price expectations)
+//!    and the user's goal as a [`conductor_lp::Problem`] (§4.3–§4.7).
+//! 3. [`planner`] — dispatches the model to the solver and extracts an
+//!    [`plan::ExecutionPlan`] (§4.8).
+//! 4. [`controller`] — the job controller deploys the plan on the MapReduce
+//!    engine through the plan-following scheduler and meters cost (§5.2).
+//! 5. [`adapt`] — monitors progress, detects deviations (mispredicted
+//!    throughput, §5.4) and re-plans from the current state (Figure 12).
+//! 6. [`spot`] — bid predictors and the spot-market deployment simulation of
+//!    §6.5 (Figure 14).
+
+pub mod adapt;
+pub mod controller;
+pub mod error;
+pub mod goal;
+pub mod model;
+pub mod plan;
+pub mod planner;
+pub mod resources;
+pub mod spot;
+
+pub use adapt::{AdaptationReport, AdaptiveController};
+pub use controller::{DeploymentOutcome, JobController};
+pub use error::ConductorError;
+pub use goal::Goal;
+pub use model::{InitialState, ModelConfig, ModelInstance};
+pub use plan::{ExecutionPlan, IntervalPlan};
+pub use planner::{Planner, PlanningReport};
+pub use resources::{ComputeResource, ResourcePool, StorageResource};
+pub use spot::{BidPredictor, SpotDeploymentSimulator, SpotScenarioResult};

@@ -1,0 +1,759 @@
+//! The dynamic-linear-program model generator (§4 of the paper).
+//!
+//! The execution of a MapReduce job is discretized into `T` intervals (one
+//! hour each by default, matching EC2's billing granularity). For every
+//! interval the model contains the actions that can be performed in it —
+//! upload data to a storage service, keep data resident, migrate it, process
+//! it on rented nodes, run the reduce phase, download the result — and the
+//! constraints that tie them together: flow preservation (eqs. 1–2), compute
+//! capacity (eq. 3), the "only uploaded data can be processed" prefix
+//! constraint (eq. 4), the semi-continuous Map→Reduce barrier (§4.3), storage
+//! capacity including the instance-disk/compute coupling (§4.6), the customer
+//! uplink, and optional budget or storage-mix constraints. The objective is
+//! the total monetary cost (eq. 5), or its spot-price expectation variant
+//! (eq. 6) when a forecast is supplied (§4.7).
+
+use crate::error::ConductorError;
+use crate::resources::ResourcePool;
+use conductor_lp::{ConstraintOp, LinExpr, Problem, Sense, VarId};
+use conductor_mapreduce::JobSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Work that has already happened before this model's horizon starts.
+/// Used by the adaptation loop (§5.4) to re-plan from the current state; a
+/// fresh job uses [`InitialState::default`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InitialState {
+    /// Data already resident per storage resource (GB).
+    pub stored_gb: BTreeMap<String, f64>,
+    /// Input data already processed by the map phase (GB).
+    pub map_done_gb: f64,
+    /// Intermediate data already processed by the reduce phase (GB).
+    pub reduce_done_gb: f64,
+    /// Output already downloaded (GB).
+    pub downloaded_gb: f64,
+}
+
+/// Configuration of one model build.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Length of one planning interval in hours (1.0 in the paper).
+    pub interval_hours: f64,
+    /// Number of intervals `T` (the upper bound on completion, §4.3).
+    pub horizon_intervals: usize,
+    /// Whether to include inter-storage migration variables (§4.5).
+    pub enable_migration: bool,
+    /// Expected price per node-hour per compute resource per interval
+    /// (spot-market expectations, eq. 6). Resources without an entry use
+    /// their on-demand price.
+    pub price_forecast: BTreeMap<String, Vec<f64>>,
+    /// Force a fixed fraction of the input onto one storage resource
+    /// (used by the Figure 8/9 storage-mix sweeps).
+    pub fixed_storage_fraction: Option<(String, f64)>,
+    /// Total-cost budget constraint in USD (used by minimize-time goals).
+    pub budget_usd: Option<f64>,
+    /// State carried over from an execution already in progress.
+    pub initial: InitialState,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            interval_hours: 1.0,
+            horizon_intervals: 6,
+            enable_migration: false,
+            price_forecast: BTreeMap::new(),
+            fixed_storage_fraction: None,
+            budget_usd: None,
+            initial: InitialState::default(),
+        }
+    }
+}
+
+/// Handles to the decision variables of a built model, so the planner can
+/// read the solution back out.
+#[derive(Debug, Clone, Default)]
+pub struct ModelVars {
+    /// `upload[storage][t]`: GB uploaded into a storage resource in interval `t`.
+    pub upload: BTreeMap<(String, usize), VarId>,
+    /// `store[storage][t]`: GB resident on a storage resource at the end of `t`.
+    pub store: BTreeMap<(String, usize), VarId>,
+    /// `nodes[compute][t]`: instances rented in interval `t` (integer).
+    pub nodes: BTreeMap<(String, usize), VarId>,
+    /// `proc_map[compute][t]`: GB of input processed by the map phase.
+    pub proc_map: BTreeMap<(String, usize), VarId>,
+    /// `proc_reduce[compute][t]`: GB of intermediate data reduced.
+    pub proc_reduce: BTreeMap<(String, usize), VarId>,
+    /// `migrate[from][to][t]`: GB migrated between storage resources.
+    pub migrate: BTreeMap<(String, String, usize), VarId>,
+    /// `barrier[t]`: the semi-continuous Map→Reduce hand-off variable.
+    pub barrier: Vec<VarId>,
+    /// `download[t]`: GB of output downloaded to the customer in interval `t`.
+    pub download: Vec<VarId>,
+}
+
+/// A fully built model: the LP problem plus the variable handles and the
+/// context needed to interpret a solution.
+#[derive(Debug, Clone)]
+pub struct ModelInstance {
+    /// The mixed-integer linear program.
+    pub problem: Problem,
+    /// Variable handles.
+    pub vars: ModelVars,
+    /// The configuration the model was built with.
+    pub config: ModelConfig,
+    /// Remaining input data the plan must upload/process (GB).
+    pub remaining_input_gb: f64,
+    /// Remaining intermediate data the plan must reduce (GB).
+    pub remaining_shuffle_gb: f64,
+    /// Remaining output data the plan must download (GB).
+    pub remaining_output_gb: f64,
+}
+
+impl ModelInstance {
+    /// Builds the dynamic LP for `spec` over `pool` under `config`.
+    pub fn build(
+        pool: &ResourcePool,
+        spec: &JobSpec,
+        config: &ModelConfig,
+    ) -> Result<ModelInstance, ConductorError> {
+        pool.validate().map_err(ConductorError::InvalidInput)?;
+        if config.horizon_intervals == 0 {
+            return Err(ConductorError::InvalidInput("horizon must be at least one interval".into()));
+        }
+        if config.interval_hours <= 0.0 {
+            return Err(ConductorError::InvalidInput("interval length must be positive".into()));
+        }
+
+        let t_count = config.horizon_intervals;
+        let dt = config.interval_hours;
+        let init = &config.initial;
+
+        let already_stored: f64 = init.stored_gb.values().sum();
+        let remaining_input = (spec.input_gb - already_stored - 0.0).max(0.0);
+        let remaining_map = (spec.input_gb - init.map_done_gb).max(0.0);
+        let remaining_shuffle = (spec.shuffle_gb() - init.reduce_done_gb).max(0.0);
+        let remaining_output = (spec.output_gb() - init.downloaded_gb).max(0.0);
+
+        let mut p = Problem::new(format!("conductor-{}", spec.name), Sense::Minimize);
+        let mut vars = ModelVars::default();
+        let mut objective = LinExpr::new();
+
+        // ---- Variables.
+        for s in &pool.storage {
+            for t in 0..t_count {
+                let u = p.add_var(format!("upload[{}][{t}]", s.name), 0.0, f64::INFINITY);
+                vars.upload.insert((s.name.clone(), t), u);
+                let st = p.add_var(format!("store[{}][{t}]", s.name), 0.0, f64::INFINITY);
+                vars.store.insert((s.name.clone(), t), st);
+                // Residency cost (eq. 5's storage term) and per-GB request costs.
+                objective.add_term(st, s.cost_per_gb_hour * dt);
+                // A negligible preference for uploading early breaks ties
+                // between otherwise-equivalent schedules (faster solves,
+                // more natural plans) without affecting real costs.
+                objective.add_term(u, s.put_cost_per_gb + s.get_cost_per_gb + 1e-6 * (t + 1) as f64);
+                // Wide-area transfer into the cloud (zero for local storage).
+                if !s.is_local {
+                    objective.add_term(u, pool.transfer_in_per_gb);
+                }
+            }
+        }
+        for c in &pool.compute {
+            let cap_nodes = c.max_nodes.map(|m| m as f64).unwrap_or(f64::INFINITY);
+            for t in 0..t_count {
+                let n = p.add_int_var(format!("nodes[{}][{t}]", c.name), 0.0, cap_nodes);
+                vars.nodes.insert((c.name.clone(), t), n);
+                let price = config
+                    .price_forecast
+                    .get(&c.name)
+                    .and_then(|f| f.get(t))
+                    .copied()
+                    .unwrap_or(c.hourly_price);
+                // The 1e-4·t term is a symmetry breaker: renting in interval 3
+                // vs interval 4 costs the same in reality, and without a
+                // preference the branch & bound search wanders across a huge
+                // plateau of equivalent plans.
+                objective.add_term(n, price * dt + 1e-4 * (t + 1) as f64);
+                let pm = p.add_var(format!("procM[{}][{t}]", c.name), 0.0, f64::INFINITY);
+                let pr = p.add_var(format!("procR[{}][{t}]", c.name), 0.0, f64::INFINITY);
+                vars.proc_map.insert((c.name.clone(), t), pm);
+                vars.proc_reduce.insert((c.name.clone(), t), pr);
+            }
+        }
+        if config.enable_migration {
+            for from in &pool.storage {
+                for to in &pool.storage {
+                    if from.name == to.name {
+                        continue;
+                    }
+                    for t in 0..t_count {
+                        let m = p.add_var(
+                            format!("migrate[{}->{}][{t}]", from.name, to.name),
+                            0.0,
+                            f64::INFINITY,
+                        );
+                        vars.migrate.insert((from.name.clone(), to.name.clone(), t), m);
+                        // Migration is billed like a fresh write at the destination.
+                        objective.add_term(m, to.put_cost_per_gb);
+                    }
+                }
+            }
+        }
+        let needs_barrier = remaining_shuffle > 0.0 && init.map_done_gb < spec.input_gb;
+        if needs_barrier {
+            for t in 0..t_count {
+                let b = p.add_semicontinuous_var(
+                    format!("barrier[{t}]"),
+                    remaining_shuffle,
+                    remaining_shuffle,
+                );
+                vars.barrier.push(b);
+            }
+        }
+        for t in 0..t_count {
+            let d = p.add_var(format!("download[{t}]"), 0.0, f64::INFINITY);
+            objective.add_term(d, pool.transfer_out_per_gb);
+            vars.download.push(d);
+        }
+
+        // ---- Constraints.
+        // Total upload moves exactly the not-yet-stored input into storage.
+        p.add_constraint(
+            "upload-total",
+            pool.storage
+                .iter()
+                .flat_map(|s| (0..t_count).map(|t| (vars.upload[&(s.name.clone(), t)], 1.0)))
+                .collect::<Vec<_>>(),
+            ConstraintOp::Eq,
+            remaining_input,
+        );
+
+        // Customer uplink limits per-interval uploads to cloud storage.
+        for t in 0..t_count {
+            let terms: Vec<(VarId, f64)> = pool
+                .storage
+                .iter()
+                .filter(|s| !s.is_local)
+                .map(|s| (vars.upload[&(s.name.clone(), t)], 1.0))
+                .collect();
+            if !terms.is_empty() {
+                p.add_constraint(
+                    format!("uplink[{t}]"),
+                    terms,
+                    ConstraintOp::Le,
+                    pool.uplink_gbph * dt,
+                );
+            }
+        }
+
+        // Storage balance (eq. 2) plus migration flows (§4.5).
+        for s in &pool.storage {
+            for t in 0..t_count {
+                let mut expr = LinExpr::from(vars.store[&(s.name.clone(), t)]);
+                expr.add_term(vars.upload[&(s.name.clone(), t)], -1.0);
+                if t > 0 {
+                    expr.add_term(vars.store[&(s.name.clone(), t - 1)], -1.0);
+                }
+                if config.enable_migration {
+                    for other in &pool.storage {
+                        if other.name == s.name {
+                            continue;
+                        }
+                        // Outgoing migration leaves this interval...
+                        expr.add_term(vars.migrate[&(s.name.clone(), other.name.clone(), t)], 1.0);
+                        // ...incoming migration arrives one interval later.
+                        if t > 0 {
+                            expr.add_term(
+                                vars.migrate[&(other.name.clone(), s.name.clone(), t - 1)],
+                                -1.0,
+                            );
+                        }
+                    }
+                }
+                let initial_here =
+                    if t == 0 { init.stored_gb.get(&s.name).copied().unwrap_or(0.0) } else { 0.0 };
+                p.add_constraint_expr(
+                    format!("store-balance[{}][{t}]", s.name),
+                    expr,
+                    ConstraintOp::Eq,
+                    initial_here,
+                );
+            }
+        }
+
+        // Storage capacity, including the instance-disk coupling of §4.6:
+        // data on instance disks can only exist while instances are rented.
+        for s in &pool.storage {
+            for t in 0..t_count {
+                let store_var = vars.store[&(s.name.clone(), t)];
+                if s.instance_disk {
+                    let mut expr = LinExpr::from(store_var);
+                    for c in pool.compute.iter().filter(|c| !c.is_local) {
+                        expr.add_term(vars.nodes[&(c.name.clone(), t)], -c.disk_gb);
+                    }
+                    p.add_constraint_expr(
+                        format!("disk-capacity[{}][{t}]", s.name),
+                        expr,
+                        ConstraintOp::Le,
+                        0.0,
+                    );
+                } else if let Some(cap) = s.capacity_gb {
+                    p.add_constraint(
+                        format!("capacity[{}][{t}]", s.name),
+                        [(store_var, 1.0)],
+                        ConstraintOp::Le,
+                        cap,
+                    );
+                }
+            }
+        }
+
+        // Compute capacity (eq. 3): map + reduce share the rented nodes.
+        for c in &pool.compute {
+            for t in 0..t_count {
+                p.add_constraint(
+                    format!("compute-capacity[{}][{t}]", c.name),
+                    [
+                        (vars.proc_map[&(c.name.clone(), t)], 1.0),
+                        (vars.proc_reduce[&(c.name.clone(), t)], 1.0),
+                        (vars.nodes[&(c.name.clone(), t)], -c.capacity_gbph * dt),
+                    ],
+                    ConstraintOp::Le,
+                    0.0,
+                );
+            }
+        }
+
+        // Prefix constraint (eq. 4): cumulative processing ≤ data stored in the cloud.
+        for t in 0..t_count {
+            let mut expr = LinExpr::new();
+            for c in &pool.compute {
+                for t2 in 0..=t {
+                    expr.add_term(vars.proc_map[&(c.name.clone(), t2)], 1.0);
+                }
+            }
+            for s in &pool.storage {
+                expr.add_term(vars.store[&(s.name.clone(), t)], -1.0);
+            }
+            p.add_constraint_expr(
+                format!("processed-needs-data[{t}]"),
+                expr,
+                ConstraintOp::Le,
+                0.0,
+            );
+        }
+
+        // The map phase must process all remaining input within the horizon.
+        p.add_constraint(
+            "map-total",
+            pool.compute
+                .iter()
+                .flat_map(|c| (0..t_count).map(|t| (vars.proc_map[&(c.name.clone(), t)], 1.0)))
+                .collect::<Vec<_>>(),
+            ConstraintOp::Eq,
+            remaining_map,
+        );
+
+        // Map→Reduce barrier (§4.3): the full intermediate output flows to the
+        // reduce phase in a single interval, and only once the map phase has
+        // produced all of it.
+        if needs_barrier {
+            let frac = remaining_shuffle / spec.input_gb.max(1e-9);
+            for t in 0..t_count {
+                let mut expr = LinExpr::from(vars.barrier[t]);
+                for c in &pool.compute {
+                    for t2 in 0..=t {
+                        expr.add_term(vars.proc_map[&(c.name.clone(), t2)], -frac);
+                    }
+                }
+                p.add_constraint_expr(
+                    format!("barrier-needs-map[{t}]"),
+                    expr,
+                    ConstraintOp::Le,
+                    frac * init.map_done_gb,
+                );
+            }
+            p.add_constraint(
+                "barrier-total",
+                vars.barrier.iter().map(|&b| (b, 1.0)).collect::<Vec<_>>(),
+                ConstraintOp::Eq,
+                remaining_shuffle,
+            );
+            // Reduce work in the prefix ending at t is limited by barriers
+            // that fired strictly before t.
+            for t in 0..t_count {
+                let mut expr = LinExpr::new();
+                for c in &pool.compute {
+                    for t2 in 0..=t {
+                        expr.add_term(vars.proc_reduce[&(c.name.clone(), t2)], 1.0);
+                    }
+                }
+                for t2 in 0..t {
+                    expr.add_term(vars.barrier[t2], -1.0);
+                }
+                p.add_constraint_expr(
+                    format!("reduce-after-barrier[{t}]"),
+                    expr,
+                    ConstraintOp::Le,
+                    0.0,
+                );
+            }
+        }
+
+        // The reduce phase must finish all remaining intermediate data.
+        p.add_constraint(
+            "reduce-total",
+            pool.compute
+                .iter()
+                .flat_map(|c| (0..t_count).map(|t| (vars.proc_reduce[&(c.name.clone(), t)], 1.0)))
+                .collect::<Vec<_>>(),
+            ConstraintOp::Eq,
+            remaining_shuffle,
+        );
+
+        // Result download: bounded by the uplink, only data the reduce phase
+        // has produced can leave, and everything must be home by T.
+        let output_per_reduce = if remaining_shuffle > 0.0 {
+            remaining_output / remaining_shuffle
+        } else {
+            0.0
+        };
+        for t in 0..t_count {
+            p.add_constraint(
+                format!("downlink[{t}]"),
+                [(vars.download[t], 1.0)],
+                ConstraintOp::Le,
+                pool.uplink_gbph * dt,
+            );
+            let mut expr = LinExpr::new();
+            for t2 in 0..=t {
+                expr.add_term(vars.download[t2], 1.0);
+            }
+            if remaining_shuffle > 0.0 {
+                for c in &pool.compute {
+                    for t2 in 0..=t {
+                        expr.add_term(vars.proc_reduce[&(c.name.clone(), t2)], -output_per_reduce);
+                    }
+                }
+            }
+            p.add_constraint_expr(
+                format!("download-needs-output[{t}]"),
+                expr,
+                ConstraintOp::Le,
+                0.0,
+            );
+        }
+        p.add_constraint(
+            "download-total",
+            vars.download.iter().map(|&d| (d, 1.0)).collect::<Vec<_>>(),
+            ConstraintOp::Eq,
+            remaining_output,
+        );
+
+        // Optional: pin the storage mix (Figure 8/9 sweeps).
+        if let Some((storage_name, fraction)) = &config.fixed_storage_fraction {
+            if pool.storage_resource(storage_name).is_none() {
+                return Err(ConductorError::InvalidInput(format!(
+                    "fixed storage fraction references unknown storage `{storage_name}`"
+                )));
+            }
+            p.add_constraint(
+                "fixed-storage-mix",
+                (0..t_count)
+                    .map(|t| (vars.upload[&(storage_name.clone(), t)], 1.0))
+                    .collect::<Vec<_>>(),
+                ConstraintOp::Eq,
+                fraction.clamp(0.0, 1.0) * remaining_input,
+            );
+        }
+
+        // Optional: budget cap (minimize-time goals bisect over T with this).
+        if let Some(budget) = config.budget_usd {
+            p.add_constraint_expr("budget", objective.clone(), ConstraintOp::Le, budget);
+        }
+
+        p.set_objective_expr(objective);
+
+        Ok(ModelInstance {
+            problem: p,
+            vars,
+            config: config.clone(),
+            remaining_input_gb: remaining_input,
+            remaining_shuffle_gb: remaining_shuffle,
+            remaining_output_gb: remaining_output,
+        })
+    }
+
+    /// Number of decision variables in the generated LP.
+    pub fn num_vars(&self) -> usize {
+        self.problem.num_vars()
+    }
+
+    /// Number of constraints in the generated LP.
+    pub fn num_constraints(&self) -> usize {
+        self.problem.num_constraints()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conductor_cloud::Catalog;
+    use conductor_mapreduce::Workload;
+
+    fn pool() -> ResourcePool {
+        ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
+            .with_compute_only(&["m1.large"])
+    }
+
+    fn spec() -> JobSpec {
+        Workload::KMeans32Gb.spec()
+    }
+
+    #[test]
+    fn model_size_scales_with_horizon() {
+        let small = ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { horizon_intervals: 4, ..Default::default() },
+        )
+        .unwrap();
+        let large = ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { horizon_intervals: 12, ..Default::default() },
+        )
+        .unwrap();
+        assert!(large.num_vars() > 2 * small.num_vars());
+        assert!(large.num_constraints() > 2 * small.num_constraints());
+    }
+
+    #[test]
+    fn migration_variables_are_optional() {
+        let without = ModelInstance::build(&pool(), &spec(), &ModelConfig::default()).unwrap();
+        let with = ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { enable_migration: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(with.num_vars() > without.num_vars());
+        assert!(without.vars.migrate.is_empty());
+        assert!(!with.vars.migrate.is_empty());
+    }
+
+    #[test]
+    fn six_hour_model_is_solvable_and_covers_the_work() {
+        let m = ModelInstance::build(&pool(), &spec(), &ModelConfig::default()).unwrap();
+        let sol = m.problem.solve().unwrap();
+        // All input uploaded.
+        let uploaded: f64 = m.vars.upload.values().map(|&v| sol.value(v)).sum();
+        assert!((uploaded - 32.0).abs() < 1e-4, "uploaded {uploaded}");
+        // All input processed.
+        let processed: f64 = m.vars.proc_map.values().map(|&v| sol.value(v)).sum();
+        assert!((processed - 32.0).abs() < 1e-4);
+        // Node-hours are at least the work divided by per-node capacity.
+        let node_hours: f64 = m.vars.nodes.values().map(|&v| sol.value(v)).sum();
+        assert!(node_hours >= 32.0 / 0.44 - 1e-6, "node-hours {node_hours}");
+        // Cost is in the plausible range of Figure 5 (tens of dollars).
+        assert!(sol.objective() > 20.0 && sol.objective() < 45.0, "cost {}", sol.objective());
+    }
+
+    #[test]
+    fn infeasible_deadline_is_reported() {
+        // 32 GB cannot even be uploaded in 2 hours at 16 Mbit/s.
+        let m = ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { horizon_intervals: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert!(m.problem.solve().is_err());
+    }
+
+    #[test]
+    fn prefix_constraint_prevents_processing_before_upload() {
+        let m = ModelInstance::build(&pool(), &spec(), &ModelConfig::default()).unwrap();
+        let sol = m.problem.solve().unwrap();
+        // In every prefix, processed ≤ uploaded.
+        for t in 0..6 {
+            let processed: f64 = m
+                .vars
+                .proc_map
+                .iter()
+                .filter(|((_, t2), _)| *t2 <= t)
+                .map(|(_, &v)| sol.value(v))
+                .sum();
+            let stored: f64 = m
+                .vars
+                .store
+                .iter()
+                .filter(|((_, t2), _)| *t2 == t)
+                .map(|(_, &v)| sol.value(v))
+                .sum();
+            assert!(processed <= stored + 1e-4, "t={t}: processed {processed} > stored {stored}");
+        }
+    }
+
+    #[test]
+    fn reduce_happens_after_map_completes() {
+        let m = ModelInstance::build(&pool(), &spec(), &ModelConfig::default()).unwrap();
+        let sol = m.problem.solve().unwrap();
+        // Find the interval where the barrier fires.
+        let barrier_t = m
+            .vars
+            .barrier
+            .iter()
+            .position(|&b| sol.value(b) > 1e-6)
+            .expect("barrier must fire somewhere");
+        // No reduce work strictly before or during the barrier interval.
+        let early_reduce: f64 = m
+            .vars
+            .proc_reduce
+            .iter()
+            .filter(|((_, t), _)| *t <= barrier_t)
+            .map(|(_, &v)| sol.value(v))
+            .sum();
+        assert!(early_reduce < 1e-6, "reduce ran before the barrier: {early_reduce}");
+        // By the barrier interval the map phase has processed everything.
+        let map_by_then: f64 = m
+            .vars
+            .proc_map
+            .iter()
+            .filter(|((_, t), _)| *t <= barrier_t)
+            .map(|(_, &v)| sol.value(v))
+            .sum();
+        assert!((map_by_then - 32.0).abs() < 1e-3, "map by barrier: {map_by_then}");
+    }
+
+    #[test]
+    fn local_cluster_is_used_before_paid_nodes_when_it_suffices() {
+        // With a relaxed 24h horizon and a 5-node free local cluster that can
+        // finish on time, the cheapest plan uses only local nodes.
+        let pool = ResourcePool::from_catalog(&Catalog::aws_with_local_cluster(5), 1.0)
+            .with_compute_only(&["m1.large", "local"]);
+        let m = ModelInstance::build(
+            &pool,
+            &spec(),
+            &ModelConfig { horizon_intervals: 24, ..Default::default() },
+        )
+        .unwrap();
+        let sol = m.problem.solve().unwrap();
+        let paid_node_hours: f64 = m
+            .vars
+            .nodes
+            .iter()
+            .filter(|((c, _), _)| c == "m1.large")
+            .map(|(_, &v)| sol.value(v))
+            .sum();
+        let local_node_hours: f64 = m
+            .vars
+            .nodes
+            .iter()
+            .filter(|((c, _), _)| c == "local")
+            .map(|(_, &v)| sol.value(v))
+            .sum();
+        assert!(local_node_hours > 0.0);
+        assert!(
+            paid_node_hours * 0.34 < 2.0,
+            "plan spends {paid_node_hours} paid node-hours despite free capacity"
+        );
+    }
+
+    #[test]
+    fn fixed_storage_fraction_is_respected() {
+        let m = ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig {
+                fixed_storage_fraction: Some(("S3".into(), 0.25)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sol = m.problem.solve().unwrap();
+        let to_s3: f64 = m
+            .vars
+            .upload
+            .iter()
+            .filter(|((s, _), _)| s == "S3")
+            .map(|(_, &v)| sol.value(v))
+            .sum();
+        assert!((to_s3 - 8.0).abs() < 1e-3, "S3 got {to_s3} GB");
+        // Referencing an unknown storage is an input error.
+        assert!(matches!(
+            ModelInstance::build(
+                &pool(),
+                &spec(),
+                &ModelConfig {
+                    fixed_storage_fraction: Some(("glacier".into(), 0.5)),
+                    ..Default::default()
+                },
+            ),
+            Err(ConductorError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn budget_constraint_can_make_the_model_infeasible() {
+        let m = ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { budget_usd: Some(1.0), ..Default::default() },
+        )
+        .unwrap();
+        assert!(m.problem.solve().is_err());
+    }
+
+    #[test]
+    fn initial_state_shrinks_the_remaining_work() {
+        let mut initial = InitialState::default();
+        initial.stored_gb.insert("EC2-disk".into(), 20.0);
+        initial.map_done_gb = 10.0;
+        let m = ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { initial, ..Default::default() },
+        )
+        .unwrap();
+        assert!((m.remaining_input_gb - 12.0).abs() < 1e-9);
+        let sol = m.problem.solve().unwrap();
+        let processed: f64 = m.vars.proc_map.values().map(|&v| sol.value(v)).sum();
+        assert!((processed - 22.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spot_forecast_changes_the_objective_price(){
+        // A forecast of half the on-demand price should roughly halve the
+        // compute share of the cost.
+        let regular = ModelInstance::build(&pool(), &spec(), &ModelConfig::default()).unwrap();
+        let regular_cost = regular.problem.solve().unwrap().objective();
+        let mut forecast = BTreeMap::new();
+        forecast.insert("m1.large".to_string(), vec![0.17; 6]);
+        let spot = ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { price_forecast: forecast, ..Default::default() },
+        )
+        .unwrap();
+        let spot_cost = spot.problem.solve().unwrap().objective();
+        assert!(spot_cost < 0.62 * regular_cost, "spot {spot_cost} vs regular {regular_cost}");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { horizon_intervals: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(ModelInstance::build(
+            &pool(),
+            &spec(),
+            &ModelConfig { interval_hours: 0.0, ..Default::default() }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,539 @@
+//! Branch & bound over integer and semi-continuous variables.
+//!
+//! Each node tightens per-variable bound vectors and re-solves the LP
+//! relaxation via [`crate::simplex::solve_relaxation`]. The search is
+//! best-bound-first with a most-fractional branching rule, a rounding
+//! heuristic at every node to obtain incumbents early, and the stopping
+//! criteria the paper configures on CPLEX: a relative optimality gap and a
+//! wall-clock limit after which the best feasible solution found so far is
+//! returned (§4.8).
+
+use crate::error::LpError;
+use crate::problem::{Problem, Sense, SolveOptions, VarKind};
+use crate::simplex::{solve_relaxation, SimplexResult};
+use crate::solution::{Solution, SolveStats, SolveStatus};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Solves `problem` (LP or MIP) under `options`.
+pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpError> {
+    let start = Instant::now();
+    let lower: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
+    let upper: Vec<f64> = problem.variables().iter().map(|v| v.upper).collect();
+
+    if !problem.is_mip() {
+        let r = solve_relaxation(problem, &lower, &upper, options.max_simplex_iterations)?;
+        let stats = SolveStats {
+            simplex_iterations: r.iterations,
+            nodes_explored: 1,
+            solve_time: start.elapsed(),
+            relative_gap: 0.0,
+        };
+        return Ok(Solution::new(SolveStatus::Optimal, r.objective, r.values, stats));
+    }
+
+    BranchAndBound::new(problem, options, start).run(lower, upper)
+}
+
+/// A pending search node: bound overrides plus the parent relaxation bound.
+struct Node {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Relaxation objective of the parent, in *minimization* orientation
+    /// (used for best-bound ordering and pruning).
+    bound: f64,
+    depth: usize,
+}
+
+/// Max-heap entry ordered so the node with the smallest minimization bound
+/// (i.e. the most promising) pops first.
+struct HeapEntry {
+    node: Node,
+    order: f64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller bound = higher priority.
+        other.order.partial_cmp(&self.order).unwrap_or(Ordering::Equal)
+    }
+}
+
+struct BranchAndBound<'a> {
+    problem: &'a Problem,
+    options: &'a SolveOptions,
+    start: Instant,
+    sense_factor: f64,
+    incumbent: Option<(f64, Vec<f64>)>,
+    best_bound: f64,
+    nodes_explored: usize,
+    simplex_iterations: usize,
+}
+
+impl<'a> BranchAndBound<'a> {
+    fn new(problem: &'a Problem, options: &'a SolveOptions, start: Instant) -> Self {
+        let sense_factor = match problem.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        Self {
+            problem,
+            options,
+            start,
+            sense_factor,
+            incumbent: None,
+            best_bound: f64::NEG_INFINITY,
+            nodes_explored: 0,
+            simplex_iterations: 0,
+        }
+    }
+
+    /// Objective in minimization orientation.
+    fn min_obj(&self, objective: f64) -> f64 {
+        objective * self.sense_factor
+    }
+
+    fn run(mut self, root_lower: Vec<f64>, root_upper: Vec<f64>) -> Result<Solution, LpError> {
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        heap.push(HeapEntry {
+            order: f64::NEG_INFINITY,
+            node: Node { lower: root_lower, upper: root_upper, bound: f64::NEG_INFINITY, depth: 0 },
+        });
+
+        let mut root_infeasible = true;
+        let mut saw_unbounded = false;
+
+        while let Some(HeapEntry { node, .. }) = heap.pop() {
+            if self.nodes_explored >= self.options.max_nodes
+                || self.start.elapsed() >= self.options.time_limit
+            {
+                break;
+            }
+            // Prune against the incumbent (in minimization orientation).
+            if let Some((inc_obj, _)) = &self.incumbent {
+                let inc_min = self.min_obj(*inc_obj);
+                if node.bound >= inc_min - self.gap_slack(inc_min) {
+                    continue;
+                }
+            }
+
+            let relax = match solve_relaxation(
+                self.problem,
+                &node.lower,
+                &node.upper,
+                self.options.max_simplex_iterations,
+            ) {
+                Ok(r) => r,
+                Err(LpError::Infeasible) => continue,
+                Err(LpError::Unbounded) => {
+                    // An unbounded relaxation at the root means the MIP is
+                    // unbounded or needs branching to become bounded; treat it
+                    // as an error only if we never find anything better.
+                    saw_unbounded = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            root_infeasible = false;
+            self.nodes_explored += 1;
+            self.simplex_iterations += relax.iterations;
+
+            let relax_min = self.min_obj(relax.objective);
+            if node.depth == 0 {
+                self.best_bound = relax_min;
+            }
+
+            // Prune by bound.
+            if let Some((inc_obj, _)) = &self.incumbent {
+                let inc_min = self.min_obj(*inc_obj);
+                if relax_min >= inc_min - self.gap_slack(inc_min) {
+                    continue;
+                }
+            }
+
+            match self.most_violated(&relax) {
+                None => {
+                    // Integral (and semi-continuous feasible): candidate incumbent.
+                    self.offer_incumbent(relax.objective, relax.values);
+                }
+                Some(branch_var) => {
+                    // Cheap rounding heuristics give early incumbents and keep
+                    // the tree small (most of our models are near-integral).
+                    self.try_rounding_heuristic(&relax, &node);
+                    self.branch(&node, branch_var, &relax, relax_min, &mut heap);
+                }
+            }
+
+            // Gap check.
+            if let Some((inc_obj, _)) = &self.incumbent {
+                let inc_min = self.min_obj(*inc_obj);
+                let bound = heap
+                    .iter()
+                    .map(|e| e.node.bound)
+                    .fold(f64::INFINITY, f64::min)
+                    .min(inc_min);
+                let gap = relative_gap(inc_min, bound);
+                if gap <= self.options.relative_gap {
+                    break;
+                }
+            }
+        }
+
+        let sense_factor = self.sense_factor;
+        match self.incumbent {
+            Some((obj, values)) => {
+                let remaining_bound = heap
+                    .iter()
+                    .map(|e| e.node.bound)
+                    .fold(f64::INFINITY, f64::min);
+                let inc_min = obj * sense_factor;
+                let gap = relative_gap(inc_min, remaining_bound.min(inc_min));
+                let status = if gap <= self.options.relative_gap {
+                    SolveStatus::Optimal
+                } else {
+                    SolveStatus::Feasible
+                };
+                let stats = SolveStats {
+                    simplex_iterations: self.simplex_iterations,
+                    nodes_explored: self.nodes_explored,
+                    solve_time: self.start.elapsed(),
+                    relative_gap: gap,
+                };
+                Ok(Solution::new(status, obj, values, stats))
+            }
+            None => {
+                if saw_unbounded {
+                    Err(LpError::Unbounded)
+                } else if root_infeasible {
+                    Err(LpError::Infeasible)
+                } else {
+                    Err(LpError::NoIncumbent)
+                }
+            }
+        }
+    }
+
+    /// Absolute slack implied by the relative gap around an incumbent value.
+    fn gap_slack(&self, inc_min: f64) -> f64 {
+        self.options.relative_gap * inc_min.abs().max(1e-9)
+    }
+
+    /// Returns the index of the integrality/semi-continuity-violating variable
+    /// whose fractional part is largest, or `None` if the relaxation is feasible
+    /// for the MIP.
+    fn most_violated(&self, relax: &SimplexResult) -> Option<usize> {
+        let tol = self.options.integrality_tol;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, var) in self.problem.variables().iter().enumerate() {
+            let x = relax.values[i];
+            let violation = match var.kind {
+                VarKind::Continuous => 0.0,
+                VarKind::Integer => {
+                    let frac = (x - x.round()).abs();
+                    if frac > tol {
+                        // Distance from the nearest half-integer point, i.e.
+                        // "how fractional" the value is.
+                        0.5 - (x.fract().abs() - 0.5).abs()
+                    } else {
+                        0.0
+                    }
+                }
+                VarKind::SemiContinuous { threshold } => {
+                    if x > tol && x < threshold - tol {
+                        // Violates the "0 or >= threshold" disjunction. These
+                        // variables are branched with priority: once every
+                        // semi-continuous disjunction is settled the remaining
+                        // integer variables round to feasible incumbents
+                        // easily, which keeps the search tree small.
+                        1e3 + (x.min(threshold - x)) / threshold.max(1e-9)
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if violation > 0.0 && best.map_or(true, |(_, b)| violation > b) {
+                best = Some((i, violation));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn branch(
+        &mut self,
+        node: &Node,
+        var: usize,
+        relax: &SimplexResult,
+        relax_min: f64,
+        heap: &mut BinaryHeap<HeapEntry>,
+    ) {
+        let x = relax.values[var];
+        let kind = self.problem.variables()[var].kind;
+        let (left, right): ((f64, f64), (f64, f64)) = match kind {
+            VarKind::Integer => {
+                let fl = x.floor();
+                ((node.lower[var], fl), (fl + 1.0, node.upper[var]))
+            }
+            VarKind::SemiContinuous { threshold } => {
+                // Either exactly zero, or at least the threshold.
+                ((0.0, 0.0), (threshold, node.upper[var]))
+            }
+            VarKind::Continuous => unreachable!("continuous variables are never branched on"),
+        };
+        for (lo, hi) in [left, right] {
+            if lo > hi + 1e-12 {
+                continue;
+            }
+            let mut lower = node.lower.clone();
+            let mut upper = node.upper.clone();
+            lower[var] = lo;
+            upper[var] = hi;
+            heap.push(HeapEntry {
+                order: relax_min,
+                node: Node { lower, upper, bound: relax_min, depth: node.depth + 1 },
+            });
+        }
+    }
+
+    /// Rounds the relaxation to a MIP-feasible point and offers it as an
+    /// incumbent if it satisfies all constraints. Two roundings are tried:
+    /// nearest-integer and ceiling (rounding resource counts *up* is usually
+    /// the safe direction in Conductor's capacity-style constraints).
+    fn try_rounding_heuristic(&mut self, relax: &SimplexResult, node: &Node) {
+        for ceiling in [false, true] {
+            let mut values = relax.values.clone();
+            for (i, var) in self.problem.variables().iter().enumerate() {
+                match var.kind {
+                    VarKind::Continuous => {}
+                    VarKind::Integer => {
+                        let rounded = if ceiling {
+                            (values[i] - 1e-9).ceil()
+                        } else {
+                            values[i].round()
+                        };
+                        values[i] = rounded.clamp(node.lower[i], node.upper[i]);
+                    }
+                    VarKind::SemiContinuous { threshold } => {
+                        if values[i] < threshold / 2.0 && !ceiling {
+                            values[i] = 0.0;
+                        } else if values[i] > 1e-9 && values[i] < threshold {
+                            values[i] = threshold.min(node.upper[i]);
+                        }
+                    }
+                }
+            }
+            if self.is_feasible(&values) {
+                let obj = self.problem.objective().evaluate(&values);
+                self.offer_incumbent(obj, values);
+            }
+        }
+    }
+
+    /// Checks all constraints, bounds and integrality of a candidate point.
+    fn is_feasible(&self, values: &[f64]) -> bool {
+        let tol = 1e-6;
+        for (i, var) in self.problem.variables().iter().enumerate() {
+            let x = values[i];
+            if x < var.lower - tol || x > var.upper + tol {
+                return false;
+            }
+            match var.kind {
+                VarKind::Continuous => {}
+                VarKind::Integer => {
+                    if (x - x.round()).abs() > self.options.integrality_tol {
+                        return false;
+                    }
+                }
+                VarKind::SemiContinuous { threshold } => {
+                    if x > tol && x < threshold - tol {
+                        return false;
+                    }
+                }
+            }
+        }
+        for c in self.problem.constraints() {
+            let lhs = c.expr.evaluate(values);
+            let ok = match c.op {
+                crate::problem::ConstraintOp::Le => lhs <= c.rhs + tol * (1.0 + c.rhs.abs()),
+                crate::problem::ConstraintOp::Ge => lhs >= c.rhs - tol * (1.0 + c.rhs.abs()),
+                crate::problem::ConstraintOp::Eq => {
+                    (lhs - c.rhs).abs() <= tol * (1.0 + c.rhs.abs())
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn offer_incumbent(&mut self, objective: f64, values: Vec<f64>) {
+        let better = match &self.incumbent {
+            None => true,
+            Some((best, _)) => self.min_obj(objective) < self.min_obj(*best) - 1e-12,
+        };
+        if better {
+            self.incumbent = Some((objective, values));
+        }
+    }
+}
+
+fn relative_gap(incumbent_min: f64, bound_min: f64) -> f64 {
+    if !bound_min.is_finite() {
+        return 0.0;
+    }
+    (incumbent_min - bound_min).max(0.0) / incumbent_min.abs().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, Problem, Sense};
+
+    #[test]
+    fn pure_lp_dispatch() {
+        let mut p = Problem::new("lp", Sense::Maximize);
+        let x = p.add_var("x", 0.0, 4.0);
+        p.set_objective([(x, 1.0)]);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status(), SolveStatus::Optimal);
+        assert!((sol.objective() - 4.0).abs() < 1e-6);
+        assert_eq!(sol.stats().nodes_explored, 1);
+    }
+
+    #[test]
+    fn knapsack_integer() {
+        // max 8a + 11b + 6c + 4d s.t. 5a + 7b + 4c + 3d <= 14, vars in {0,1}
+        // Optimal: a=0,b=1,c=1,d=1 -> 21.
+        let mut p = Problem::new("knapsack", Sense::Maximize);
+        let a = p.add_int_var("a", 0.0, 1.0);
+        let b = p.add_int_var("b", 0.0, 1.0);
+        let c = p.add_int_var("c", 0.0, 1.0);
+        let d = p.add_int_var("d", 0.0, 1.0);
+        p.set_objective([(a, 8.0), (b, 11.0), (c, 6.0), (d, 4.0)]);
+        p.add_constraint("cap", [(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)], ConstraintOp::Le, 14.0);
+        let opts = SolveOptions { relative_gap: 0.0, ..Default::default() };
+        let sol = p.solve_with(&opts).unwrap();
+        assert!((sol.objective() - 21.0).abs() < 1e-6, "objective {}", sol.objective());
+        assert!(sol.value(a) < 0.5);
+        assert!(sol.value(b) > 0.5);
+    }
+
+    #[test]
+    fn integer_rounding_not_lp_rounding() {
+        // Classic example where rounding the LP optimum is wrong:
+        // max y s.t. -x + y <= 0.5, x + y <= 3.5, x,y integer >= 0.
+        // LP optimum y=2.0 at x=1.5; integer optimum y = 2 at x = 1.5 invalid,
+        // best integer is y=1 or 2? x=1,y=1.5 no... enumerate: feasible integer
+        // points need y <= x + 0.5 and y <= 3.5 - x -> best y = 1 (x=1) or y=1 (x=2).
+        let mut p = Problem::new("gomory", Sense::Maximize);
+        let x = p.add_int_var("x", 0.0, 10.0);
+        let y = p.add_int_var("y", 0.0, 10.0);
+        p.set_objective([(y, 1.0)]);
+        p.add_constraint("c1", [(x, -1.0), (y, 1.0)], ConstraintOp::Le, 0.5);
+        p.add_constraint("c2", [(x, 1.0), (y, 1.0)], ConstraintOp::Le, 3.5);
+        let opts = SolveOptions { relative_gap: 0.0, ..Default::default() };
+        let sol = p.solve_with(&opts).unwrap();
+        assert!((sol.objective() - 1.0).abs() < 1e-6, "objective {}", sol.objective());
+        let xv = sol.value(x);
+        let yv = sol.value(y);
+        assert!((yv - yv.round()).abs() < 1e-6);
+        assert!((xv - xv.round()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn semicontinuous_zero_or_threshold() {
+        // min x s.t. x >= 0, x semi-continuous with threshold 5, and x + y >= 3,
+        // y <= 2. The constraint forces x >= 1, but semi-continuity pushes it to 5.
+        let mut p = Problem::new("semi", Sense::Minimize);
+        let x = p.add_semicontinuous_var("x", 5.0, 100.0);
+        let y = p.add_var("y", 0.0, 2.0);
+        p.set_objective([(x, 1.0), (y, 0.1)]);
+        p.add_constraint("need", [(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
+        let sol = p.solve().unwrap();
+        let xv = sol.value(x);
+        assert!(xv <= 1e-6 || xv >= 5.0 - 1e-6, "semi-continuous violated: {xv}");
+        // Cheapest MIP-feasible point is x = 5 (y alone cannot reach 3).
+        assert!((xv - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn semicontinuous_prefers_zero_when_possible() {
+        // Same structure but y can cover the demand alone, so x should be 0.
+        let mut p = Problem::new("semi0", Sense::Minimize);
+        let x = p.add_semicontinuous_var("x", 5.0, 100.0);
+        let y = p.add_var("y", 0.0, 10.0);
+        p.set_objective([(x, 1.0), (y, 0.1)]);
+        p.add_constraint("need", [(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
+        let sol = p.solve().unwrap();
+        assert!(sol.value(x).abs() < 1e-6);
+        assert!((sol.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut p = Problem::new("inf", Sense::Minimize);
+        let x = p.add_int_var("x", 0.0, 10.0);
+        p.set_objective([(x, 1.0)]);
+        p.add_constraint("a", [(x, 2.0)], ConstraintOp::Eq, 3.0); // x = 1.5 impossible
+        // The LP relaxation is feasible (x=1.5) but no integer point exists.
+        let err = p.solve().unwrap_err();
+        assert!(matches!(err, LpError::NoIncumbent | LpError::Infeasible), "{err:?}");
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // min 3n + 0.5s  s.t. 10n + s >= 25, s <= 4, n integer.
+        // n=3 (cost 9, s=0 fine since 30 >= 25) vs n=2,s=5 (violates s<=4). Optimal n=3.
+        let mut p = Problem::new("mix", Sense::Minimize);
+        let n = p.add_int_var("n", 0.0, 100.0);
+        let s = p.add_var("s", 0.0, 4.0);
+        p.set_objective([(n, 3.0), (s, 0.5)]);
+        p.add_constraint("demand", [(n, 10.0), (s, 1.0)], ConstraintOp::Ge, 25.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.value(n) - 3.0).abs() < 1e-6);
+        assert!((sol.objective() - 9.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gap_tolerance_allows_early_stop() {
+        // With a huge gap tolerance the solver may stop at the first incumbent,
+        // but it must still return a feasible solution.
+        let mut p = Problem::new("gap", Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| p.add_int_var(format!("x{i}"), 0.0, 1.0)).collect();
+        p.set_objective(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64)));
+        p.add_constraint(
+            "cap",
+            vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64)),
+            ConstraintOp::Le,
+            6.0,
+        );
+        let opts = SolveOptions { relative_gap: 0.5, ..Default::default() };
+        let sol = p.solve_with(&opts).unwrap();
+        // Feasibility of the returned point.
+        let used: f64 = vars.iter().enumerate().map(|(i, &v)| sol.value(v) * (1.0 + (i % 3) as f64)).sum();
+        assert!(used <= 6.0 + 1e-6);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut p = Problem::new("stats", Sense::Maximize);
+        let x = p.add_int_var("x", 0.0, 7.0);
+        p.set_objective([(x, 1.0)]);
+        p.add_constraint("c", [(x, 2.0)], ConstraintOp::Le, 9.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.value(x) - 4.0).abs() < 1e-6);
+        assert!(sol.stats().nodes_explored >= 1);
+    }
+}

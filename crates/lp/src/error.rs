@@ -1,0 +1,70 @@
+//! Error type for model construction and solving.
+
+use std::fmt;
+
+/// Errors returned by [`crate::Problem`] construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded in the direction of optimization.
+    Unbounded,
+    /// A variable handle from a different problem (or out of range) was used.
+    UnknownVariable { index: usize },
+    /// A bound pair is inconsistent (`lower > upper`) or not finite where required.
+    InvalidBounds { name: String, lower: f64, upper: f64 },
+    /// A coefficient or right-hand side was NaN or infinite.
+    NonFiniteCoefficient { context: String },
+    /// The simplex iteration limit was exhausted before reaching optimality.
+    IterationLimit { iterations: usize },
+    /// Branch & bound stopped (node/time limit) without finding any incumbent.
+    NoIncumbent,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::UnknownVariable { index } => {
+                write!(f, "unknown variable handle (index {index})")
+            }
+            LpError::InvalidBounds { name, lower, upper } => {
+                write!(f, "invalid bounds for variable `{name}`: [{lower}, {upper}]")
+            }
+            LpError::NonFiniteCoefficient { context } => {
+                write!(f, "non-finite coefficient in {context}")
+            }
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} iterations")
+            }
+            LpError::NoIncumbent => {
+                write!(f, "branch & bound terminated without an integer-feasible solution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LpError::InvalidBounds { name: "x".into(), lower: 3.0, upper: 1.0 };
+        let msg = e.to_string();
+        assert!(msg.contains('x'));
+        assert!(msg.contains('3'));
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::NoIncumbent.to_string().contains("branch"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LpError::Infeasible);
+    }
+}

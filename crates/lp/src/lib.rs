@@ -1,0 +1,44 @@
+//! # conductor-lp
+//!
+//! A self-contained linear / mixed-integer programming solver used as the
+//! optimization substrate of the Conductor reproduction. The original paper
+//! dispatches its dynamic linear programs to CPLEX; this crate provides the
+//! subset of functionality Conductor's models actually need:
+//!
+//! * continuous variables with lower/upper bounds,
+//! * **integer** variables (node counts),
+//! * **semi-continuous** variables (the Map→Reduce phase barrier of §4.3),
+//! * linear constraints (`<=`, `>=`, `=`),
+//! * linear objectives (minimize or maximize),
+//! * a two-phase dense tableau simplex for LP relaxations, and
+//! * branch & bound with a relative gap tolerance, node limit and wall-clock
+//!   time limit (mirroring the paper's "bound the solving time to three
+//!   minutes and use the best solution computed so far", §4.8).
+//!
+//! The API is deliberately small and builder-style:
+//!
+//! ```
+//! use conductor_lp::{Problem, Sense, ConstraintOp};
+//!
+//! let mut p = Problem::new("diet", Sense::Minimize);
+//! let x = p.add_var("x", 0.0, f64::INFINITY);
+//! let y = p.add_var("y", 0.0, f64::INFINITY);
+//! p.set_objective([(x, 2.0), (y, 3.0)]);
+//! p.add_constraint("protein", [(x, 1.0), (y, 2.0)], ConstraintOp::Ge, 4.0);
+//! p.add_constraint("budget", [(x, 1.0), (y, 1.0)], ConstraintOp::Le, 10.0);
+//! let sol = p.solve().unwrap();
+//! assert!((sol.objective() - 6.0).abs() < 1e-6);
+//! assert!((sol.value(y) - 2.0).abs() < 1e-6);
+//! ```
+
+pub mod branch_bound;
+pub mod error;
+pub mod expr;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use error::LpError;
+pub use expr::{LinExpr, VarId};
+pub use problem::{ConstraintOp, Problem, Sense, SolveOptions, VarKind};
+pub use solution::{Solution, SolveStats, SolveStatus};

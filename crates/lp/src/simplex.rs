@@ -1,0 +1,716 @@
+//! Two-phase dense tableau simplex for LP relaxations.
+//!
+//! The solver works on a *standard form* rewrite of the user problem:
+//! every variable is shifted/split so that it is non-negative, finite upper
+//! bounds become extra rows, and each row receives a slack, surplus and/or
+//! artificial column. Phase 1 minimizes the sum of artificials to find a
+//! feasible basis; Phase 2 optimizes the user objective.
+//!
+//! Branch & bound calls [`solve_relaxation`] with per-variable bound
+//! overrides, so branching never mutates the user's [`Problem`].
+
+use crate::error::LpError;
+use crate::problem::{ConstraintOp, Problem, Sense};
+
+/// Numerical tolerances of the solver.
+const PIVOT_TOL: f64 = 1e-9;
+const COST_TOL: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+
+/// Result of solving one LP relaxation.
+#[derive(Debug, Clone)]
+pub struct SimplexResult {
+    /// Values of the *original* problem variables, indexed by `VarId::index`.
+    pub values: Vec<f64>,
+    /// Objective value in the original sense (including the objective's constant term).
+    pub objective: f64,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+/// How an original variable was mapped into standard form.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lower + x_std[col]`
+    Shifted { col: usize, lower: f64 },
+    /// `x = upper - x_std[col]` (used when only the upper bound is finite)
+    Mirrored { col: usize, upper: f64 },
+    /// `x = x_std[pos] - x_std[neg]` (free variable)
+    Split { pos: usize, neg: usize },
+    /// `x = value` (fixed variable, `lower == upper`)
+    Fixed { value: f64 },
+}
+
+struct StandardForm {
+    /// Dense row-major constraint matrix, `rows x cols`.
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides, all non-negative.
+    b: Vec<f64>,
+    /// Phase-2 objective coefficients per column (minimization).
+    c: Vec<f64>,
+    /// Column index at which artificial variables start.
+    artificial_start: usize,
+    cols: usize,
+    var_map: Vec<VarMap>,
+    /// Constant added to the (minimization) objective by shifts and the
+    /// objective's own constant term.
+    obj_constant: f64,
+    /// `+1` when the original problem minimizes, `-1` when it maximizes.
+    sense_factor: f64,
+    /// Initial basic column per row (the slack for `<=` rows, the artificial
+    /// otherwise), giving phase 1 a head start.
+    basis_hint: Vec<usize>,
+}
+
+/// Solves the continuous relaxation of `problem` using the supplied bound
+/// overrides (`lower[i]`, `upper[i]` replace the declared bounds of variable
+/// `i`; semi-continuous variables are treated as continuous within those
+/// bounds).
+pub fn solve_relaxation(
+    problem: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    max_iterations: usize,
+) -> Result<SimplexResult, LpError> {
+    // Fast consistency check on the overrides (branching can make them cross).
+    for (i, v) in problem.variables().iter().enumerate() {
+        let _ = v;
+        if lower[i] > upper[i] + FEAS_TOL {
+            return Err(LpError::Infeasible);
+        }
+    }
+
+    let sf = build_standard_form(problem, lower, upper)?;
+    let mut tableau = Tableau::new(&sf);
+    let iterations = tableau.solve(max_iterations)?;
+    let std_values = tableau.extract_values();
+
+    // Map standard-form values back onto the original variables.
+    let n = problem.num_vars();
+    let mut values = vec![0.0; n];
+    for (i, map) in sf.var_map.iter().enumerate() {
+        values[i] = match *map {
+            VarMap::Shifted { col, lower } => lower + std_values[col],
+            VarMap::Mirrored { col, upper } => upper - std_values[col],
+            VarMap::Split { pos, neg } => std_values[pos] - std_values[neg],
+            VarMap::Fixed { value } => value,
+        };
+    }
+
+    // Objective in the original sense.
+    let min_obj = tableau.objective_value() + sf.obj_constant;
+    let objective = min_obj * sf.sense_factor;
+
+    Ok(SimplexResult { values, objective, iterations })
+}
+
+fn build_standard_form(
+    problem: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+) -> Result<StandardForm, LpError> {
+    let sense_factor = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let n = problem.num_vars();
+    let mut var_map = Vec::with_capacity(n);
+    let mut next_col = 0usize;
+    // Extra `x' <= span` rows for doubly-bounded variables.
+    let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+
+    for i in 0..n {
+        let (lo, hi) = (lower[i], upper[i]);
+        let map = if lo.is_finite() && hi.is_finite() && (hi - lo).abs() <= 1e-12 {
+            VarMap::Fixed { value: lo }
+        } else if lo.is_finite() {
+            let col = next_col;
+            next_col += 1;
+            if hi.is_finite() {
+                ub_rows.push((col, hi - lo));
+            }
+            VarMap::Shifted { col, lower: lo }
+        } else if hi.is_finite() {
+            let col = next_col;
+            next_col += 1;
+            VarMap::Mirrored { col, upper: hi }
+        } else {
+            let pos = next_col;
+            let neg = next_col + 1;
+            next_col += 2;
+            VarMap::Split { pos, neg }
+        };
+        var_map.push(map);
+    }
+
+    let num_struct = next_col;
+
+    // Assemble rows: user constraints first, then upper-bound rows.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(problem.num_constraints() + ub_rows.len());
+
+    for c in problem.constraints() {
+        let mut rhs = c.rhs - c.expr.constant();
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.expr.len());
+        for (var, coef) in c.expr.terms() {
+            match var_map[var.index()] {
+                VarMap::Shifted { col, lower } => {
+                    rhs -= coef * lower;
+                    push_coeff(&mut coeffs, col, coef);
+                }
+                VarMap::Mirrored { col, upper } => {
+                    rhs -= coef * upper;
+                    push_coeff(&mut coeffs, col, -coef);
+                }
+                VarMap::Split { pos, neg } => {
+                    push_coeff(&mut coeffs, pos, coef);
+                    push_coeff(&mut coeffs, neg, -coef);
+                }
+                VarMap::Fixed { value } => {
+                    rhs -= coef * value;
+                }
+            }
+        }
+        rows.push(Row { coeffs, op: c.op, rhs });
+    }
+    for &(col, span) in &ub_rows {
+        rows.push(Row { coeffs: vec![(col, 1.0)], op: ConstraintOp::Le, rhs: span });
+    }
+
+    // Objective (minimization form).
+    let mut c_struct = vec![0.0; num_struct];
+    let mut obj_constant = problem.objective().constant() * sense_factor;
+    for (var, coef) in problem.objective().terms() {
+        let coef = coef * sense_factor;
+        match var_map[var.index()] {
+            VarMap::Shifted { col, lower } => {
+                obj_constant += coef * lower;
+                c_struct[col] += coef;
+            }
+            VarMap::Mirrored { col, upper } => {
+                obj_constant += coef * upper;
+                c_struct[col] -= coef;
+            }
+            VarMap::Split { pos, neg } => {
+                c_struct[pos] += coef;
+                c_struct[neg] -= coef;
+            }
+            VarMap::Fixed { value } => {
+                obj_constant += coef * value;
+            }
+        }
+    }
+
+    // After normalizing RHS signs, `Le` rows get a slack that can serve as the
+    // initial basic variable; only `Ge`/`Eq` rows need an artificial column.
+    let m = rows.len();
+    let mut num_slack = 0usize;
+    let mut num_artificial = 0usize;
+    let mut effective_ops = Vec::with_capacity(m);
+    for r in &rows {
+        let flip = r.rhs < 0.0;
+        let effective_op = match (r.op, flip) {
+            (ConstraintOp::Le, false) | (ConstraintOp::Ge, true) => ConstraintOp::Le,
+            (ConstraintOp::Ge, false) | (ConstraintOp::Le, true) => ConstraintOp::Ge,
+            (ConstraintOp::Eq, _) => ConstraintOp::Eq,
+        };
+        match effective_op {
+            ConstraintOp::Le => num_slack += 1,
+            ConstraintOp::Ge => {
+                num_slack += 1;
+                num_artificial += 1;
+            }
+            ConstraintOp::Eq => num_artificial += 1,
+        }
+        effective_ops.push((flip, effective_op));
+    }
+    let artificial_start = num_struct + num_slack;
+    let cols = artificial_start + num_artificial;
+
+    let mut a = vec![vec![0.0; cols]; m];
+    let mut b = vec![0.0; m];
+    let mut c = vec![0.0; cols];
+    c[..num_struct].copy_from_slice(&c_struct);
+    let mut basis_hint = vec![0usize; m];
+
+    let mut slack_cursor = num_struct;
+    let mut artificial_cursor = artificial_start;
+    for (ri, row) in rows.iter().enumerate() {
+        let (flip, effective_op) = effective_ops[ri];
+        b[ri] = if flip { -row.rhs } else { row.rhs };
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(col, coef) in &row.coeffs {
+            a[ri][col] += sign * coef;
+        }
+        match effective_op {
+            ConstraintOp::Le => {
+                a[ri][slack_cursor] = 1.0;
+                // The slack is a valid starting basic variable: no artificial needed.
+                basis_hint[ri] = slack_cursor;
+                slack_cursor += 1;
+            }
+            ConstraintOp::Ge => {
+                a[ri][slack_cursor] = -1.0;
+                slack_cursor += 1;
+                a[ri][artificial_cursor] = 1.0;
+                basis_hint[ri] = artificial_cursor;
+                artificial_cursor += 1;
+            }
+            ConstraintOp::Eq => {
+                a[ri][artificial_cursor] = 1.0;
+                basis_hint[ri] = artificial_cursor;
+                artificial_cursor += 1;
+            }
+        }
+    }
+
+    Ok(StandardForm { a, b, c, artificial_start, cols, var_map, obj_constant, sense_factor, basis_hint })
+}
+
+fn push_coeff(coeffs: &mut Vec<(usize, f64)>, col: usize, coef: f64) {
+    if let Some(entry) = coeffs.iter_mut().find(|(c, _)| *c == col) {
+        entry.1 += coef;
+    } else {
+        coeffs.push((col, coef));
+    }
+}
+
+/// Dense tableau with an explicit basis and an incrementally-maintained
+/// reduced-cost row.
+struct Tableau<'a> {
+    sf: &'a StandardForm,
+    /// `rows x (cols + 1)`; the last column is the current RHS.
+    t: Vec<Vec<f64>>,
+    /// Basic column for each row.
+    basis: Vec<usize>,
+    /// `is_basic[j]` mirrors membership of `j` in `basis`.
+    is_basic: Vec<bool>,
+    /// Reduced costs for the current phase's cost vector (`cols` entries).
+    cost_row: Vec<f64>,
+    /// Current phase-2 objective value (minimization, without constants).
+    obj: f64,
+}
+
+impl<'a> Tableau<'a> {
+    fn new(sf: &'a StandardForm) -> Tableau<'a> {
+        let m = sf.a.len();
+        let cols = sf.cols;
+        let mut t = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut is_basic = vec![false; cols];
+        for (ri, row) in sf.a.iter().enumerate() {
+            let mut tr = Vec::with_capacity(cols + 1);
+            tr.extend_from_slice(row);
+            tr.push(sf.b[ri]);
+            t.push(tr);
+            basis.push(sf.basis_hint[ri]);
+            is_basic[sf.basis_hint[ri]] = true;
+        }
+        Tableau { sf, t, basis, is_basic, cost_row: vec![0.0; cols], obj: 0.0 }
+    }
+
+    /// Rebuilds the reduced-cost row `d_j = c_j - c_B^T * column_j` for a new
+    /// cost vector (done once per phase; pivots keep it up to date after that).
+    fn reset_cost_row(&mut self, cost: &[f64]) {
+        let cols = self.sf.cols;
+        self.cost_row.copy_from_slice(&cost[..cols]);
+        for (i, row) in self.t.iter().enumerate() {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                for j in 0..cols {
+                    self.cost_row[j] -= cb * row[j];
+                }
+            }
+        }
+    }
+
+    /// Runs phase 1 and phase 2; returns total iteration count.
+    fn solve(&mut self, max_iterations: usize) -> Result<usize, LpError> {
+        let m = self.t.len();
+        if m == 0 {
+            // No constraints: the optimum is every variable at its lower bound
+            // (all standard-form columns at zero) unless some column could
+            // still improve the objective, in which case the LP is unbounded.
+            if self.sf.c.iter().any(|&c| c < -COST_TOL) {
+                return Err(LpError::Unbounded);
+            }
+            return Ok(0);
+        }
+        let cols = self.sf.cols;
+
+        // ---- Phase 1: minimize the sum of artificial variables.
+        let mut phase1_cost = vec![0.0; cols];
+        for j in self.sf.artificial_start..cols {
+            phase1_cost[j] = 1.0;
+        }
+        let it1 = self.optimize(&phase1_cost, max_iterations, true)?;
+        let phase1_obj = self.objective_for(&phase1_cost);
+        if phase1_obj > FEAS_TOL * (1.0 + self.sf.b.iter().fold(0.0f64, |a, &x| a.max(x.abs()))) {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial variables still basic (at zero) out of the basis.
+        self.expel_artificials();
+
+        // ---- Phase 2: minimize the user objective.
+        let cost = self.sf.c.clone();
+        let it2 = self.optimize(&cost, max_iterations.saturating_sub(it1), false)?;
+        self.obj = self.objective_for(&cost);
+        Ok(it1 + it2)
+    }
+
+    /// Primal simplex iterations for the given cost vector.
+    ///
+    /// `allow_artificials` controls whether artificial columns may enter the
+    /// basis (phase 1 only).
+    fn optimize(
+        &mut self,
+        cost: &[f64],
+        max_iterations: usize,
+        allow_artificials: bool,
+    ) -> Result<usize, LpError> {
+        let m = self.t.len();
+        let cols = self.sf.cols;
+        let enterable_end = if allow_artificials { cols } else { self.sf.artificial_start };
+        // Switch to Bland's rule after this many iterations to guarantee termination.
+        let bland_threshold = 4 * (m + cols);
+
+        self.reset_cost_row(cost);
+
+        let mut iterations = 0usize;
+        loop {
+            if iterations >= max_iterations {
+                return Err(LpError::IterationLimit { iterations });
+            }
+            // Entering column: most negative reduced cost (Dantzig) or first
+            // negative (Bland, anti-cycling).
+            let mut entering: Option<usize> = None;
+            let mut best = -COST_TOL;
+            let use_bland = iterations >= bland_threshold;
+            for j in 0..enterable_end {
+                if self.is_basic[j] {
+                    continue;
+                }
+                let d = self.cost_row[j];
+                if use_bland {
+                    if d < -COST_TOL {
+                        entering = Some(j);
+                        break;
+                    }
+                } else if d < best {
+                    best = d;
+                    entering = Some(j);
+                }
+            }
+            let Some(enter) = entering else {
+                return Ok(iterations);
+            };
+
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (i, row) in self.t.iter().enumerate() {
+                let a = row[enter];
+                if a > PIVOT_TOL {
+                    let ratio = row[cols] / a;
+                    if ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Err(LpError::Unbounded);
+            };
+
+            self.pivot(leave, enter);
+            iterations += 1;
+        }
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`; also updates the reduced-cost row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let cols = self.sf.cols;
+        let pivot = self.t[row][col];
+        debug_assert!(pivot.abs() > PIVOT_TOL);
+        let inv = 1.0 / pivot;
+        for v in self.t[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.t[row].clone();
+        for (i, r) in self.t.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() > 0.0 {
+                for j in 0..=cols {
+                    r[j] -= factor * pivot_row[j];
+                }
+                // Clean tiny numerical noise on the pivot column.
+                r[col] = 0.0;
+            }
+        }
+        let d = self.cost_row[col];
+        if d != 0.0 {
+            for j in 0..cols {
+                self.cost_row[j] -= d * pivot_row[j];
+            }
+            self.cost_row[col] = 0.0;
+        }
+        self.is_basic[self.basis[row]] = false;
+        self.is_basic[col] = true;
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivot basic artificials (value ≈ 0) out of the basis,
+    /// or leave them if their row is entirely zero (redundant constraint).
+    fn expel_artificials(&mut self) {
+        let m = self.t.len();
+        for i in 0..m {
+            if self.basis[i] < self.sf.artificial_start {
+                continue;
+            }
+            // Find any non-artificial column with a usable pivot in this row.
+            let target = (0..self.sf.artificial_start)
+                .find(|&j| self.t[i][j].abs() > 1e-7 && !self.is_basic[j]);
+            if let Some(j) = target {
+                self.pivot(i, j);
+            }
+        }
+    }
+
+    fn objective_for(&self, cost: &[f64]) -> f64 {
+        let cols = self.sf.cols;
+        self.t
+            .iter()
+            .enumerate()
+            .map(|(i, row)| cost[self.basis[i]] * row[cols])
+            .sum()
+    }
+
+    fn objective_value(&self) -> f64 {
+        self.obj
+    }
+
+    /// Values of all standard-form columns (non-basic columns are zero).
+    fn extract_values(&self) -> Vec<f64> {
+        let cols = self.sf.cols;
+        let mut values = vec![0.0; cols];
+        for (i, &bj) in self.basis.iter().enumerate() {
+            values[bj] = self.t[i][cols].max(0.0);
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{ConstraintOp, Problem, Sense};
+
+    fn solve(p: &Problem) -> SimplexResult {
+        let lower: Vec<f64> = p.variables().iter().map(|v| v.lower).collect();
+        let upper: Vec<f64> = p.variables().iter().map(|v| v.upper).collect();
+        solve_relaxation(p, &lower, &upper, 100_000).unwrap()
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min 2x + 3y  s.t. x + 2y >= 4, x + y <= 10, x,y >= 0  -> x=0, y=2, obj=6
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        let y = p.add_var("y", 0.0, f64::INFINITY);
+        p.set_objective([(x, 2.0), (y, 3.0)]);
+        p.add_constraint("c1", [(x, 1.0), (y, 2.0)], ConstraintOp::Ge, 4.0);
+        p.add_constraint("c2", [(x, 1.0), (y, 1.0)], ConstraintOp::Le, 10.0);
+        let r = solve(&p);
+        assert!((r.objective - 6.0).abs() < 1e-6, "objective {}", r.objective);
+        assert!((r.values[y.index()] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> obj 36 at (2, 6)
+        let mut p = Problem::new("t", Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        let y = p.add_var("y", 0.0, f64::INFINITY);
+        p.set_objective([(x, 3.0), (y, 5.0)]);
+        p.add_constraint("c1", [(x, 1.0)], ConstraintOp::Le, 4.0);
+        p.add_constraint("c2", [(y, 2.0)], ConstraintOp::Le, 12.0);
+        p.add_constraint("c3", [(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        let r = solve(&p);
+        assert!((r.objective - 36.0).abs() < 1e-6);
+        assert!((r.values[x.index()] - 2.0).abs() < 1e-6);
+        assert!((r.values[y.index()] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_problem() {
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        p.set_objective([(x, 1.0)]);
+        p.add_constraint("c1", [(x, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint("c2", [(x, 1.0)], ConstraintOp::Ge, 2.0);
+        let lower = vec![0.0];
+        let upper = vec![f64::INFINITY];
+        assert!(matches!(
+            solve_relaxation(&p, &lower, &upper, 10_000),
+            Err(LpError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn unbounded_problem() {
+        let mut p = Problem::new("t", Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        p.set_objective([(x, 1.0)]);
+        let lower = vec![0.0];
+        let upper = vec![f64::INFINITY];
+        assert!(matches!(
+            solve_relaxation(&p, &lower, &upper, 10_000),
+            Err(LpError::Unbounded)
+        ));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 5, x - y = 1 -> x=3, y=2
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        let y = p.add_var("y", 0.0, f64::INFINITY);
+        p.set_objective([(x, 1.0), (y, 1.0)]);
+        p.add_constraint("sum", [(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 5.0);
+        p.add_constraint("diff", [(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0);
+        let r = solve(&p);
+        assert!((r.values[x.index()] - 3.0).abs() < 1e-6);
+        assert!((r.values[y.index()] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variable_upper_bounds_are_respected() {
+        // max x + y with x <= 2 (bound), y <= 3 (bound), x + y <= 4
+        let mut p = Problem::new("t", Sense::Maximize);
+        let x = p.add_var("x", 0.0, 2.0);
+        let y = p.add_var("y", 0.0, 3.0);
+        p.set_objective([(x, 1.0), (y, 1.0)]);
+        p.add_constraint("cap", [(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        let r = solve(&p);
+        assert!((r.objective - 4.0).abs() < 1e-6);
+        assert!(r.values[x.index()] <= 2.0 + 1e-9);
+        assert!(r.values[y.index()] <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shift_correctly() {
+        // min x + y with x >= 2, y >= 3, x + y >= 7 -> obj 7
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", 2.0, f64::INFINITY);
+        let y = p.add_var("y", 3.0, f64::INFINITY);
+        p.set_objective([(x, 1.0), (y, 1.0)]);
+        p.add_constraint("c", [(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 7.0);
+        let r = solve(&p);
+        assert!((r.objective - 7.0).abs() < 1e-6);
+        assert!(r.values[x.index()] >= 2.0 - 1e-9);
+        assert!(r.values[y.index()] >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn free_variables_can_go_negative() {
+        // min x s.t. x >= -5 expressed via a constraint on a free variable.
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY);
+        p.set_objective([(x, 1.0)]);
+        p.add_constraint("lb", [(x, 1.0)], ConstraintOp::Ge, -5.0);
+        let r = solve(&p);
+        assert!((r.objective + 5.0).abs() < 1e-6);
+        assert!((r.values[x.index()] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mirrored_variable_only_upper_bound() {
+        // max x with x <= 9 and no lower bound, but constraint x >= 1.
+        let mut p = Problem::new("t", Sense::Maximize);
+        let x = p.add_var("x", f64::NEG_INFINITY, 9.0);
+        p.set_objective([(x, 1.0)]);
+        p.add_constraint("lb", [(x, 1.0)], ConstraintOp::Ge, 1.0);
+        let r = solve(&p);
+        assert!((r.objective - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variable_is_substituted() {
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", 4.0, 4.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY);
+        p.set_objective([(x, 1.0), (y, 1.0)]);
+        p.add_constraint("c", [(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0);
+        let r = solve(&p);
+        assert!((r.values[x.index()] - 4.0).abs() < 1e-9);
+        assert!((r.values[y.index()] - 6.0).abs() < 1e-6);
+        assert!((r.objective - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_in_constraint_expr_moves_to_rhs() {
+        // (x + 1) <= 3  =>  x <= 2
+        let mut p = Problem::new("t", Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        p.set_objective([(x, 1.0)]);
+        let mut e = LinExpr::from(x);
+        e.add_constant(1.0);
+        p.add_constraint_expr("c", e, ConstraintOp::Le, 3.0);
+        let r = solve(&p);
+        assert!((r.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_constant_is_reported() {
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        let mut obj = LinExpr::from(x);
+        obj.add_constant(100.0);
+        p.set_objective_expr(obj);
+        p.add_constraint("c", [(x, 1.0)], ConstraintOp::Ge, 1.0);
+        let r = solve(&p);
+        assert!((r.objective - 101.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate LP; Bland fallback must prevent cycling.
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x1 = p.add_var("x1", 0.0, f64::INFINITY);
+        let x2 = p.add_var("x2", 0.0, f64::INFINITY);
+        let x3 = p.add_var("x3", 0.0, f64::INFINITY);
+        let x4 = p.add_var("x4", 0.0, f64::INFINITY);
+        p.set_objective([(x1, -0.75), (x2, 150.0), (x3, -0.02), (x4, 6.0)]);
+        p.add_constraint("c1", [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint("c2", [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint("c3", [(x3, 1.0)], ConstraintOp::Le, 1.0);
+        let r = solve(&p);
+        assert!((r.objective + 0.05).abs() < 1e-6, "objective {}", r.objective);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // x + y = 2 stated twice; still solvable.
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        let y = p.add_var("y", 0.0, f64::INFINITY);
+        p.set_objective([(x, 1.0), (y, 2.0)]);
+        p.add_constraint("c1", [(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
+        p.add_constraint("c2", [(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
+        let r = solve(&p);
+        assert!((r.objective - 2.0).abs() < 1e-6);
+        assert!((r.values[x.index()] - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Solve results: status, variable values, statistics.
+
+use crate::expr::VarId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Quality of a returned solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// Proven optimal (within the configured relative gap for MIPs).
+    Optimal,
+    /// A feasible solution was found but optimality was not proven before a
+    /// node/time limit was hit — the paper's "best solution computed so far"
+    /// behaviour (§4.8).
+    Feasible,
+}
+
+/// Counters describing the work performed by the solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Total simplex iterations across all LP relaxations.
+    pub simplex_iterations: usize,
+    /// Branch & bound nodes explored (1 for a pure LP).
+    pub nodes_explored: usize,
+    /// Wall-clock time spent solving.
+    pub solve_time: Duration,
+    /// Final relative MIP gap (0 for pure LPs / proven-optimal MIPs).
+    pub relative_gap: f64,
+}
+
+/// The result of a successful solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    status: SolveStatus,
+    objective: f64,
+    values: Vec<f64>,
+    stats: SolveStats,
+}
+
+impl Solution {
+    pub(crate) fn new(
+        status: SolveStatus,
+        objective: f64,
+        values: Vec<f64>,
+        stats: SolveStats,
+    ) -> Self {
+        Self { status, objective, values, stats }
+    }
+
+    /// Solution quality.
+    pub fn status(&self) -> SolveStatus {
+        self.status
+    }
+
+    /// Objective value in the problem's original sense.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of a variable. Panics if the handle does not belong to the
+    /// problem this solution was produced from.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Dense vector of values indexed by `VarId::index`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Solver work counters.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let sol = Solution::new(
+            SolveStatus::Optimal,
+            42.0,
+            vec![1.0, 2.0, 3.0],
+            SolveStats { simplex_iterations: 7, nodes_explored: 1, ..Default::default() },
+        );
+        assert_eq!(sol.status(), SolveStatus::Optimal);
+        assert_eq!(sol.objective(), 42.0);
+        assert_eq!(sol.value(VarId(1)), 2.0);
+        assert_eq!(sol.values().len(), 3);
+        assert_eq!(sol.stats().simplex_iterations, 7);
+    }
+}

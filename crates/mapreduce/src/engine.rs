@@ -1,0 +1,840 @@
+//! The discrete-event MapReduce execution engine.
+//!
+//! [`Engine::run`] simulates one job deployment end to end: input upload over
+//! the customer uplink, map tasks scheduled onto a (possibly time-varying)
+//! set of nodes, the shuffle/reduce phase, and the final result download. It
+//! meters every chargeable operation through a
+//! [`conductor_cloud::BillingAccount`] and records the task-completion and
+//! node-allocation timelines plotted in Figure 12.
+
+use crate::cluster::{nodes_at, Cluster, NodeAllocation, NodeId};
+use crate::scheduler::Scheduler;
+use crate::task::{build_tasks, TaskKind, TaskState};
+use crate::workload::JobSpec;
+use conductor_cloud::{BillingAccount, Catalog, CostBreakdown, TransferDirection};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where a piece of data currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataLocation {
+    /// The customer's own site (input source / output destination).
+    ClientSite,
+    /// An S3-style object store.
+    S3,
+    /// The virtual disk of a cloud instance.
+    InstanceDisk,
+    /// A disk in the customer's local cluster.
+    LocalDisk,
+}
+
+/// Options describing one deployment strategy (the knobs that differ between
+/// "Conductor", "Hadoop upload first", "Hadoop direct" and "Hadoop S3" in
+/// §6.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentOptions {
+    /// Label used in reports.
+    pub name: String,
+    /// Customer uplink bandwidth in GB/h.
+    pub uplink_gbph: f64,
+    /// Node allocation schedule (per instance type, step function over time).
+    pub node_schedule: Vec<NodeAllocation>,
+    /// Where the input is uploaded before/while processing: a list of
+    /// `(location, fraction_of_input)` entries. Fractions that do not sum to
+    /// one leave the remainder at the client site (to be read remotely).
+    pub upload_plan: Vec<(DataLocation, f64)>,
+    /// `true` when processing must wait for the entire upload to finish
+    /// ("Hadoop upload first" and "Hadoop S3"); `false` enables streamed
+    /// processing.
+    pub upload_before_processing: bool,
+    /// Multiplier on node throughput when the input is read from S3 instead
+    /// of a local disk (S3 read path overhead).
+    pub s3_throughput_factor: f64,
+    /// Job deadline in hours, if any (reported, not enforced).
+    pub deadline_hours: Option<f64>,
+    /// Object size used when translating uploads into PUT/GET requests (MB).
+    pub object_size_mb: f64,
+    /// Safety cap on simulated hours; the run fails if the job has not
+    /// finished by then.
+    pub max_hours: f64,
+}
+
+impl DeploymentOptions {
+    /// Reasonable defaults for a cloud-only deployment: 16 Mbit/s uplink,
+    /// streamed processing, data on instance disks.
+    pub fn new(name: impl Into<String>, uplink_gbph: f64) -> Self {
+        Self {
+            name: name.into(),
+            uplink_gbph,
+            node_schedule: Vec::new(),
+            upload_plan: vec![(DataLocation::InstanceDisk, 1.0)],
+            upload_before_processing: false,
+            s3_throughput_factor: 0.7,
+            deadline_hours: None,
+            object_size_mb: 64.0,
+            max_hours: 200.0,
+        }
+    }
+
+    /// Adds a node-allocation step.
+    pub fn with_nodes(mut self, instance_type: &str, nodes: usize, from_hour: f64) -> Self {
+        self.node_schedule.push(NodeAllocation {
+            from_hour,
+            instance_type: instance_type.into(),
+            nodes,
+        });
+        self
+    }
+}
+
+/// Per-phase timing of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Hours until the last uploaded split became available in the cloud
+    /// (zero when everything is read remotely).
+    pub upload_hours: f64,
+    /// Hour at which the last map task completed.
+    pub map_done_at: f64,
+    /// Hour at which the last reduce task completed.
+    pub reduce_done_at: f64,
+    /// Hours spent downloading the final output.
+    pub download_hours: f64,
+}
+
+/// The result of simulating one deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Deployment label.
+    pub name: String,
+    /// End-to-end completion time in hours (including the result download).
+    pub completion_hours: f64,
+    /// Per-phase timing.
+    pub phases: PhaseBreakdown,
+    /// Total monetary cost in USD.
+    pub total_cost: f64,
+    /// Per-category cost breakdown (Figure 5).
+    pub cost_breakdown: CostBreakdown,
+    /// Whether the deadline was met (`None` when no deadline was set).
+    pub met_deadline: Option<bool>,
+    /// `(hour, cumulative completed tasks)` samples (Figure 12b).
+    pub task_timeline: Vec<(f64, usize)>,
+    /// `(hour, allocated nodes)` samples (Figure 12a).
+    pub allocation_timeline: Vec<(f64, usize)>,
+    /// Total number of tasks in the job.
+    pub total_tasks: usize,
+    /// GB shipped from the customer into the cloud.
+    pub wan_in_gb: f64,
+    /// GB shipped from the cloud back to the customer.
+    pub wan_out_gb: f64,
+}
+
+/// Errors the engine can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The job did not finish within `max_hours` simulated hours (typically a
+    /// schedule with no nodes).
+    DidNotFinish {
+        /// Hours simulated before giving up.
+        simulated_hours: f64,
+        /// Tasks completed at that point.
+        completed_tasks: usize,
+    },
+    /// The deployment options are inconsistent.
+    InvalidOptions(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DidNotFinish { simulated_hours, completed_tasks } => write!(
+                f,
+                "job did not finish within {simulated_hours} simulated hours ({completed_tasks} tasks done)"
+            ),
+            EngineError::InvalidOptions(msg) => write!(f, "invalid deployment options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The simulation engine. Holds the catalog so multiple runs can share it.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    catalog: Catalog,
+}
+
+/// A split of the input data with its upload destination and availability time.
+#[derive(Debug, Clone, Copy)]
+struct Split {
+    location: DataLocation,
+    available_at: f64,
+    gb: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    task_idx: usize,
+    node: NodeId,
+    finish_at: f64,
+    /// WAN gigabytes consumed by this task (remote reads from the client site).
+    wan_gb: f64,
+    /// GET requests against S3 issued by this task.
+    s3_gets: u64,
+    /// `true` when the task ran on a rented cloud node (its share of the
+    /// output will have to be downloaded over the WAN).
+    on_cloud_node: bool,
+}
+
+impl Engine {
+    /// Creates an engine over a service catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        Self { catalog }
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Simulates one deployment of `spec` under `options`, with `scheduler`
+    /// deciding task placement.
+    pub fn run(
+        &self,
+        spec: &JobSpec,
+        options: &DeploymentOptions,
+        scheduler: &dyn Scheduler,
+    ) -> Result<ExecutionReport, EngineError> {
+        self.validate(options)?;
+
+        let mut billing = BillingAccount::new(self.catalog.transfer);
+        let mut cluster = Cluster::new();
+        let mut sessions: BTreeMap<NodeId, u64> = BTreeMap::new();
+
+        // ---- Build tasks and the split upload timetable.
+        let mut tasks = build_tasks(spec.map_tasks(), spec.input_gb, spec.reduce_tasks, spec.shuffle_gb());
+        let splits = self.plan_splits(spec, options);
+        // Only data headed for *cloud* storage crosses the customer uplink;
+        // splits assigned to the local cluster's disks move over the LAN.
+        let crosses_wan = |loc: DataLocation| matches!(loc, DataLocation::S3 | DataLocation::InstanceDisk);
+        let upload_done_at = splits
+            .iter()
+            .filter(|s| crosses_wan(s.location))
+            .map(|s| s.available_at)
+            .fold(0.0, f64::max);
+        let uploaded_gb: f64 =
+            splits.iter().filter(|s| crosses_wan(s.location)).map(|s| s.gb).sum();
+        let s3_gb: f64 =
+            splits.iter().filter(|s| s.location == DataLocation::S3).map(|s| s.gb).sum();
+
+        // Input transferred into the cloud during the upload phase is billed
+        // immediately (it crosses the WAN exactly once).
+        if uploaded_gb > 0.0 {
+            billing.record_transfer(uploaded_gb, TransferDirection::In);
+        }
+
+        let mut running: Vec<Running> = Vec::new();
+        let mut task_timeline: Vec<(f64, usize)> = Vec::new();
+        let mut completed = 0usize;
+        let mut map_remaining = spec.map_tasks();
+        let mut wan_in_extra = 0.0f64;
+        let mut total_s3_gets: u64 = 0;
+        let mut cloud_processed_gb = 0.0f64;
+        let mut now = 0.0f64;
+        let mut phases = PhaseBreakdown { upload_hours: upload_done_at, ..Default::default() };
+
+        // Event horizon candidates: schedule steps and split availabilities.
+        let mut schedule_points: Vec<f64> =
+            options.node_schedule.iter().map(|a| a.from_hour).collect();
+        schedule_points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        schedule_points.dedup();
+
+        loop {
+            // 1. Reconcile cluster membership with the schedule at `now`.
+            self.reconcile_cluster(
+                options,
+                now,
+                &mut cluster,
+                &mut sessions,
+                &mut billing,
+                &running,
+            );
+
+            // 2. Dispatch runnable tasks onto idle nodes.
+            let upload_gate_open = !options.upload_before_processing || now >= upload_done_at - 1e-9;
+            let busy: Vec<NodeId> = running.iter().map(|r| r.node).collect();
+            let idle_nodes: Vec<NodeId> = cluster
+                .nodes()
+                .iter()
+                .map(|n| n.id)
+                .filter(|id| !busy.contains(id))
+                .collect();
+
+            for node_id in idle_nodes {
+                let node = cluster.node(node_id).expect("idle node still in cluster").clone();
+                // Find the best dispatchable task for this node.
+                let mut best: Option<(usize, DataLocation, i32)> = None;
+                for (idx, task) in tasks.iter().enumerate() {
+                    if !matches!(task.state, TaskState::WaitingForData | TaskState::Runnable) {
+                        continue;
+                    }
+                    let location = match task.kind {
+                        TaskKind::Map => {
+                            if !upload_gate_open {
+                                continue;
+                            }
+                            let split = &splits[idx.min(splits.len().saturating_sub(1))];
+                            if split.location == DataLocation::ClientSite {
+                                DataLocation::ClientSite
+                            } else if now + 1e-9 >= split.available_at {
+                                split.location
+                            } else {
+                                continue; // not yet uploaded
+                            }
+                        }
+                        TaskKind::Reduce => {
+                            if map_remaining > 0 {
+                                continue; // barrier: reduce starts after all maps
+                            }
+                            if node.is_local {
+                                DataLocation::LocalDisk
+                            } else {
+                                DataLocation::InstanceDisk
+                            }
+                        }
+                    };
+                    if !scheduler.may_run(task, location, &node) {
+                        continue;
+                    }
+                    let pref = scheduler.preference(location, &node);
+                    if best.map_or(true, |(_, _, b)| pref > b) {
+                        best = Some((idx, location, pref));
+                    }
+                }
+                if let Some((idx, location, _)) = best {
+                    let rate = self.effective_rate(&node, location, options, cluster.len());
+                    if rate <= 0.0 {
+                        continue;
+                    }
+                    let data_gb = tasks[idx].data_gb;
+                    let duration = data_gb / rate;
+                    // A remote read crosses the WAN only when a *cloud* node
+                    // pulls data from the customer site.
+                    let wan_gb = if location == DataLocation::ClientSite && !node.is_local {
+                        data_gb
+                    } else {
+                        0.0
+                    };
+                    let s3_gets = if location == DataLocation::S3 {
+                        (data_gb * 1024.0 / options.object_size_mb).ceil() as u64
+                    } else {
+                        0
+                    };
+                    tasks[idx].state = TaskState::Running { node: node_id, finish_at: now + duration };
+                    running.push(Running {
+                        task_idx: idx,
+                        node: node_id,
+                        finish_at: now + duration,
+                        wan_gb,
+                        s3_gets,
+                        on_cloud_node: !node.is_local,
+                    });
+                }
+            }
+
+            // 3. Determine the next event.
+            let next_finish = running.iter().map(|r| r.finish_at).fold(f64::INFINITY, f64::min);
+            let next_schedule = schedule_points
+                .iter()
+                .copied()
+                .filter(|&t| t > now + 1e-9)
+                .fold(f64::INFINITY, f64::min);
+            let next_split = splits
+                .iter()
+                .filter(|s| s.location != DataLocation::ClientSite && s.available_at > now + 1e-9)
+                .map(|s| s.available_at)
+                .fold(f64::INFINITY, f64::min);
+            let next_event = next_finish.min(next_schedule).min(next_split);
+
+            if completed == tasks.len() {
+                break;
+            }
+            if !next_event.is_finite() {
+                // Nothing is running and nothing will change: the job is stuck.
+                return Err(EngineError::DidNotFinish {
+                    simulated_hours: now,
+                    completed_tasks: completed,
+                });
+            }
+            if next_event > options.max_hours {
+                return Err(EngineError::DidNotFinish {
+                    simulated_hours: options.max_hours,
+                    completed_tasks: completed,
+                });
+            }
+            now = next_event;
+
+            // 4. Retire tasks finishing at `now`.
+            let mut still_running = Vec::with_capacity(running.len());
+            for r in running.drain(..) {
+                if r.finish_at <= now + 1e-9 {
+                    let idx = r.task_idx;
+                    tasks[idx].state = TaskState::Completed { at: r.finish_at };
+                    completed += 1;
+                    if tasks[idx].kind == TaskKind::Map {
+                        map_remaining -= 1;
+                        if map_remaining == 0 {
+                            phases.map_done_at = r.finish_at;
+                        }
+                    } else if completed == tasks.len() {
+                        phases.reduce_done_at = r.finish_at;
+                    }
+                    wan_in_extra += r.wan_gb;
+                    total_s3_gets += r.s3_gets;
+                    if r.on_cloud_node && tasks[idx].kind == TaskKind::Map {
+                        cloud_processed_gb += tasks[idx].data_gb;
+                    }
+                    task_timeline.push((r.finish_at, completed));
+                } else {
+                    still_running.push(r);
+                }
+            }
+            running = still_running;
+        }
+
+        // ---- Post-processing: result download, storage billing, teardown.
+        let processing_done = now;
+        // Only the share of the output produced in the cloud has to cross the
+        // WAN back to the customer.
+        let cloud_fraction = if spec.input_gb > 0.0 {
+            (cloud_processed_gb / spec.input_gb).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let download_gb = spec.output_gb() * cloud_fraction;
+        phases.download_hours =
+            if options.uplink_gbph > 0.0 { download_gb / options.uplink_gbph } else { 0.0 };
+        let completion = processing_done + phases.download_hours;
+
+        // WAN charges for remote reads and the result download.
+        if wan_in_extra > 0.0 {
+            billing.record_transfer(wan_in_extra, TransferDirection::In);
+        }
+        billing.record_transfer(download_gb, TransferDirection::Out);
+
+        // S3 residency: data sits on S3 from (roughly) the middle of its
+        // upload window until the job completes, plus the PUT/GET requests.
+        if s3_gb > 0.0 {
+            if let Some(s3) = self.catalog.storage("S3") {
+                let residency = (completion - upload_done_at / 2.0).max(0.0);
+                let puts = (s3_gb * 1024.0 / options.object_size_mb).ceil() as u64;
+                billing.record_storage(s3, s3_gb, residency, puts, total_s3_gets);
+            }
+        }
+        // Instance-disk and local-disk storage is free but recorded so the
+        // cost breakdown carries the category.
+        let disk_gb: f64 = splits
+            .iter()
+            .filter(|s| {
+                matches!(s.location, DataLocation::InstanceDisk | DataLocation::LocalDisk)
+            })
+            .map(|s| s.gb)
+            .sum();
+        if disk_gb > 0.0 {
+            if let Some(disk) = self.catalog.storage("EC2-disk") {
+                billing.record_storage(disk, disk_gb, completion, 0, 0);
+            }
+        }
+
+        // Stop renting everything at the completion time.
+        for (_, session) in sessions {
+            billing.stop_instance(session, completion);
+        }
+
+        let met_deadline = options.deadline_hours.map(|d| completion <= d + 1e-9);
+        Ok(ExecutionReport {
+            name: options.name.clone(),
+            completion_hours: completion,
+            phases,
+            total_cost: billing.total_cost(),
+            cost_breakdown: billing.breakdown().clone(),
+            met_deadline,
+            task_timeline,
+            allocation_timeline: cluster.allocation_timeline().to_vec(),
+            total_tasks: tasks.len(),
+            wan_in_gb: billing.uploaded_gb,
+            wan_out_gb: billing.downloaded_gb,
+        })
+    }
+
+    fn validate(&self, options: &DeploymentOptions) -> Result<(), EngineError> {
+        if options.uplink_gbph <= 0.0 {
+            return Err(EngineError::InvalidOptions("uplink bandwidth must be positive".into()));
+        }
+        let frac: f64 = options.upload_plan.iter().map(|(_, f)| *f).sum();
+        if !(0.0..=1.0 + 1e-9).contains(&frac) {
+            return Err(EngineError::InvalidOptions(format!(
+                "upload fractions must sum to at most 1 (got {frac})"
+            )));
+        }
+        if options.upload_plan.iter().any(|(loc, _)| *loc == DataLocation::ClientSite) {
+            return Err(EngineError::InvalidOptions(
+                "the client site is the upload source, not a destination".into(),
+            ));
+        }
+        for alloc in &options.node_schedule {
+            if self.catalog.instance(&alloc.instance_type).is_none() {
+                return Err(EngineError::InvalidOptions(format!(
+                    "unknown instance type `{}` in node schedule",
+                    alloc.instance_type
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Assigns each map split an upload destination and availability time.
+    ///
+    /// Splits are uploaded back to back over the uplink in the order of the
+    /// upload plan (e.g. "first roughly half to S3, then the rest to EC2
+    /// disks", as in the Figure 8 scenario); splits not covered by the plan
+    /// stay at the client site and are available immediately (for remote
+    /// reads).
+    fn plan_splits(&self, spec: &JobSpec, options: &DeploymentOptions) -> Vec<Split> {
+        let n = spec.map_tasks();
+        let split_gb = if n > 0 { spec.input_gb / n as f64 } else { 0.0 };
+        let mut splits = Vec::with_capacity(n);
+        let mut assigned = 0usize;
+        let mut elapsed = 0.0f64;
+        for (location, fraction) in &options.upload_plan {
+            let count = ((fraction * n as f64).round() as usize).min(n - assigned);
+            for _ in 0..count {
+                let available_at = if *location == DataLocation::LocalDisk {
+                    // Local-cluster disks are fed over the LAN, not the uplink.
+                    0.0
+                } else {
+                    elapsed += split_gb / options.uplink_gbph;
+                    elapsed
+                };
+                splits.push(Split { location: *location, available_at, gb: split_gb });
+            }
+            assigned += count;
+        }
+        for _ in assigned..n {
+            splits.push(Split { location: DataLocation::ClientSite, available_at: 0.0, gb: split_gb });
+        }
+        splits
+    }
+
+    /// Effective processing rate of `node` for input at `location`, in GB/h.
+    fn effective_rate(
+        &self,
+        node: &crate::cluster::SimNode,
+        location: DataLocation,
+        options: &DeploymentOptions,
+        cluster_size: usize,
+    ) -> f64 {
+        match location {
+            DataLocation::InstanceDisk | DataLocation::LocalDisk => node.throughput_gbph,
+            DataLocation::S3 => node.throughput_gbph * options.s3_throughput_factor,
+            DataLocation::ClientSite => {
+                // Remote readers share the customer uplink.
+                let share = options.uplink_gbph / cluster_size.max(1) as f64;
+                node.throughput_gbph.min(share)
+            }
+        }
+    }
+
+    /// Adds/removes nodes so the cluster matches the schedule at time `now`,
+    /// opening and closing billing sessions accordingly. Busy nodes are never
+    /// removed; the reconciliation is retried at the next event.
+    fn reconcile_cluster(
+        &self,
+        options: &DeploymentOptions,
+        now: f64,
+        cluster: &mut Cluster,
+        sessions: &mut BTreeMap<NodeId, u64>,
+        billing: &mut BillingAccount,
+        running: &[Running],
+    ) {
+        let types: Vec<String> = options
+            .node_schedule
+            .iter()
+            .map(|a| a.instance_type.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for itype_name in types {
+            let Some(itype) = self.catalog.instance(&itype_name) else { continue };
+            let desired = nodes_at(&options.node_schedule, &itype_name, now);
+            let desired = match itype.max_instances {
+                Some(cap) => desired.min(cap),
+                None => desired,
+            };
+            let current = cluster.count_of(&itype_name);
+            if desired > current {
+                let ids = cluster.add_nodes(itype, desired - current, now);
+                for id in ids {
+                    sessions.insert(id, billing.start_instance(itype, now));
+                }
+            } else if desired < current {
+                // Remove idle nodes only (busy nodes finish their task first;
+                // the reconciliation is retried at the next event), newest
+                // first so long-lived nodes keep their data.
+                let busy: Vec<NodeId> = running.iter().map(|r| r.node).collect();
+                let idle_ids: Vec<NodeId> = cluster
+                    .nodes()
+                    .iter()
+                    .rev()
+                    .filter(|n| n.instance_type == itype_name && !busy.contains(&n.id))
+                    .map(|n| n.id)
+                    .take(current - desired)
+                    .collect();
+                let removed = cluster.remove_specific(&idle_ids, now);
+                for rid in removed {
+                    if let Some(session) = sessions.remove(&rid) {
+                        billing.stop_instance(session, now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{LocalityScheduler, PlanFollowingScheduler};
+    use crate::workload::Workload;
+    use conductor_cloud::CostCategory;
+
+    fn engine() -> Engine {
+        Engine::new(Catalog::aws_with_local_cluster(5))
+    }
+
+    fn uplink_16mbit() -> f64 {
+        conductor_cloud::catalog::mbps_to_gb_per_hour(16.0)
+    }
+
+    /// The Conductor cloud-only deployment of §6.2: 16 m1.large nodes storing
+    /// data on their own disks, streamed processing.
+    fn conductor_options() -> DeploymentOptions {
+        DeploymentOptions {
+            deadline_hours: Some(6.0),
+            ..DeploymentOptions::new("conductor", uplink_16mbit()).with_nodes("m1.large", 16, 0.0)
+        }
+    }
+
+    #[test]
+    fn conductor_style_run_meets_six_hour_deadline() {
+        let spec = Workload::KMeans32Gb.spec();
+        let report = engine()
+            .run(&spec, &conductor_options(), &PlanFollowingScheduler::cloud_only_defaults())
+            .unwrap();
+        assert_eq!(report.met_deadline, Some(true), "completion {}", report.completion_hours);
+        assert!(report.completion_hours > 4.0, "unrealistically fast: {}", report.completion_hours);
+        assert_eq!(report.total_tasks, 528);
+        assert_eq!(report.task_timeline.last().unwrap().1, 528);
+    }
+
+    #[test]
+    fn upload_first_is_slower_than_streamed() {
+        let spec = Workload::KMeans32Gb.spec();
+        let eng = engine();
+        let streamed = eng
+            .run(&spec, &conductor_options(), &PlanFollowingScheduler::cloud_only_defaults())
+            .unwrap();
+        // Upload to a single node first, then 100 nodes process.
+        let upload_hours = 32.0 / uplink_16mbit();
+        let upload_first = DeploymentOptions {
+            upload_before_processing: true,
+            deadline_hours: Some(6.0),
+            ..DeploymentOptions::new("hadoop-upload-first", uplink_16mbit())
+                .with_nodes("m1.large", 1, 0.0)
+                .with_nodes("m1.large", 100, upload_hours)
+        };
+        let uf = eng.run(&spec, &upload_first, &LocalityScheduler).unwrap();
+        assert!(uf.completion_hours > streamed.completion_hours);
+    }
+
+    #[test]
+    fn hadoop_s3_costs_roughly_double_the_others() {
+        // §6.2: the Hadoop-S3 option finishes processing in just over an hour
+        // but pays two full hours for each of 100 instances, roughly doubling
+        // the cost of the other options.
+        let spec = Workload::KMeans32Gb.spec();
+        let eng = engine();
+        let upload_hours = 32.0 / uplink_16mbit();
+        let s3_opts = DeploymentOptions {
+            upload_plan: vec![(DataLocation::S3, 1.0)],
+            upload_before_processing: true,
+            deadline_hours: Some(6.0),
+            ..DeploymentOptions::new("hadoop-s3", uplink_16mbit())
+                .with_nodes("m1.large", 100, upload_hours)
+        };
+        let s3_report = eng.run(&spec, &s3_opts, &LocalityScheduler).unwrap();
+        let conductor = eng
+            .run(&spec, &conductor_options(), &PlanFollowingScheduler::cloud_only_defaults())
+            .unwrap();
+        assert!(
+            s3_report.total_cost > 1.6 * conductor.total_cost,
+            "s3 {} vs conductor {}",
+            s3_report.total_cost,
+            conductor.total_cost
+        );
+        // Processing itself (after upload) took between 1 and 2 hours.
+        let processing = s3_report.phases.map_done_at - upload_hours;
+        assert!(processing > 1.0 && processing < 2.0, "processing {processing}");
+    }
+
+    #[test]
+    fn fewer_nodes_miss_the_deadline_more_nodes_cost_more() {
+        // Figure 7: 11 nodes miss the 6h deadline, 21 nodes cost more than 16.
+        let spec = Workload::KMeans32Gb.spec();
+        let eng = engine();
+        let sched = PlanFollowingScheduler::cloud_only_defaults();
+        let run = |nodes: usize| {
+            let opts = DeploymentOptions {
+                deadline_hours: Some(6.0),
+                ..DeploymentOptions::new(format!("{nodes}-nodes"), uplink_16mbit())
+                    .with_nodes("m1.large", nodes, 0.0)
+            };
+            eng.run(&spec, &opts, &sched).unwrap()
+        };
+        let r11 = run(11);
+        let r16 = run(16);
+        let r21 = run(21);
+        assert_eq!(r11.met_deadline, Some(false));
+        assert_eq!(r16.met_deadline, Some(true));
+        assert_eq!(r21.met_deadline, Some(true));
+        assert!(r21.total_cost > r16.total_cost);
+    }
+
+    #[test]
+    fn plan_following_scheduler_refuses_unplanned_remote_reads() {
+        // All data stays at the client site but the plan only allows disk/S3
+        // reads: with no other data source the job can never finish.
+        let spec = Workload::KMeans32Gb.spec();
+        let opts = DeploymentOptions {
+            upload_plan: vec![],
+            ..DeploymentOptions::new("stuck", uplink_16mbit()).with_nodes("m1.large", 4, 0.0)
+        };
+        let err = engine()
+            .run(&spec, &opts, &PlanFollowingScheduler::cloud_only_defaults())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DidNotFinish { .. }));
+        // The locality scheduler happily reads remotely and finishes.
+        let ok = engine().run(&spec, &opts, &LocalityScheduler).unwrap();
+        assert!(ok.completion_hours.is_finite());
+    }
+
+    #[test]
+    fn local_cluster_runs_are_free() {
+        let spec = Workload::KMeans32Gb.spec();
+        let opts = DeploymentOptions {
+            upload_plan: vec![],
+            max_hours: 400.0,
+            ..DeploymentOptions::new("local-only", uplink_16mbit()).with_nodes("local", 5, 0.0)
+        };
+        let report = engine().run(&spec, &opts, &LocalityScheduler).unwrap();
+        assert_eq!(report.cost_breakdown.get(CostCategory::Computation), 0.0);
+        // Only the result download is charged.
+        assert!(report.total_cost < 1.0, "cost {}", report.total_cost);
+        // 5 nodes at 0.44 GB/h cannot meet a 6h deadline for 32 GB.
+        assert!(report.completion_hours > 6.0);
+    }
+
+    #[test]
+    fn local_cluster_cap_is_enforced() {
+        // Asking for 50 "local" nodes only yields the 5 that exist.
+        let spec = Workload::KMeans32Gb.spec();
+        let opts = DeploymentOptions {
+            upload_plan: vec![],
+            max_hours: 400.0,
+            ..DeploymentOptions::new("local-capped", uplink_16mbit()).with_nodes("local", 50, 0.0)
+        };
+        let report = engine().run(&spec, &opts, &LocalityScheduler).unwrap();
+        assert!(report.allocation_timeline.iter().all(|&(_, n)| n <= 5));
+    }
+
+    #[test]
+    fn schedule_increase_mid_job_is_reflected_in_timeline() {
+        // Figure 12: start with 3 nodes, go to 16 after one hour, 18 after two.
+        let spec = Workload::KMeans32Gb.spec();
+        let opts = DeploymentOptions {
+            deadline_hours: Some(6.0),
+            ..DeploymentOptions::new("adaptive", uplink_16mbit())
+                .with_nodes("m1.large", 3, 0.0)
+                .with_nodes("m1.large", 16, 1.0)
+                .with_nodes("m1.large", 18, 2.0)
+        };
+        let report = engine()
+            .run(&spec, &opts, &PlanFollowingScheduler::cloud_only_defaults())
+            .unwrap();
+        let max_nodes = report.allocation_timeline.iter().map(|&(_, n)| n).max().unwrap();
+        assert_eq!(max_nodes, 18);
+        let early_nodes = report
+            .allocation_timeline
+            .iter()
+            .filter(|&&(t, _)| t < 0.5)
+            .map(|&(_, n)| n)
+            .max()
+            .unwrap();
+        assert_eq!(early_nodes, 3);
+    }
+
+    #[test]
+    fn cost_breakdown_covers_transfer_compute_and_storage() {
+        let spec = Workload::KMeans32Gb.spec();
+        let upload_hours = 32.0 / uplink_16mbit();
+        let opts = DeploymentOptions {
+            upload_plan: vec![(DataLocation::S3, 1.0)],
+            upload_before_processing: true,
+            ..DeploymentOptions::new("s3", uplink_16mbit()).with_nodes("m1.large", 16, upload_hours)
+        };
+        let report = engine().run(&spec, &opts, &LocalityScheduler).unwrap();
+        assert!(report.cost_breakdown.get(CostCategory::NetworkTransfer) > 0.0);
+        assert!(report.cost_breakdown.get(CostCategory::Computation) > 0.0);
+        assert!(report.cost_breakdown.get(CostCategory::StorageS3) > 0.0);
+        assert!((report.total_cost - report.cost_breakdown.total()).abs() < 1e-9);
+        assert!((report.wan_in_gb - 32.0).abs() < 1e-6);
+        assert!(report.wan_out_gb > 0.0);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let spec = Workload::KMeans32Gb.spec();
+        let eng = engine();
+        let bad_uplink = DeploymentOptions::new("bad", 0.0);
+        assert!(matches!(
+            eng.run(&spec, &bad_uplink, &LocalityScheduler),
+            Err(EngineError::InvalidOptions(_))
+        ));
+        let mut bad_frac = DeploymentOptions::new("bad", 1.0);
+        bad_frac.upload_plan = vec![(DataLocation::S3, 0.8), (DataLocation::InstanceDisk, 0.8)];
+        assert!(matches!(
+            eng.run(&spec, &bad_frac, &LocalityScheduler),
+            Err(EngineError::InvalidOptions(_))
+        ));
+        let bad_type = DeploymentOptions::new("bad", 1.0).with_nodes("m9.mega", 1, 0.0);
+        assert!(matches!(
+            eng.run(&spec, &bad_type, &LocalityScheduler),
+            Err(EngineError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn task_timeline_is_monotonic() {
+        let spec = Workload::KMeans32Gb.spec();
+        let report = engine()
+            .run(&spec, &conductor_options(), &PlanFollowingScheduler::cloud_only_defaults())
+            .unwrap();
+        let mut prev_t = 0.0;
+        let mut prev_c = 0;
+        for &(t, c) in &report.task_timeline {
+            assert!(t >= prev_t - 1e-9);
+            assert!(c >= prev_c);
+            prev_t = t;
+            prev_c = c;
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # conductor-mapreduce
+//!
+//! A discrete-event MapReduce execution engine, standing in for the Hadoop
+//! 0.20.2 deployment the paper extends (§5.3). It simulates, at task
+//! granularity, the execution of a MapReduce job over a set of compute nodes
+//! whose number can change over time (as Conductor's plans dictate), with
+//! input data arriving over a bandwidth-limited customer uplink and living on
+//! one of several storage locations.
+//!
+//! The engine reproduces the behaviours the evaluation depends on:
+//!
+//! * an upload phase (optionally overlapped with processing, "streamed
+//!   processing" in Figure 6),
+//! * map tasks that become runnable when their input split is available at a
+//!   location the scheduler accepts, and run at a rate determined by where
+//!   the data lives (node-local disk, S3, or remote client-side HDFS over the
+//!   uplink),
+//! * a shuffle + reduce phase and final result download,
+//! * two schedulers: Hadoop's locality-preferring default and Conductor's
+//!   plan-following location-aware scheduler (§5.3),
+//! * per-task completion timelines (Figure 12) and node-allocation timelines,
+//! * billing integration through [`conductor_cloud::BillingAccount`].
+
+pub mod cluster;
+pub mod engine;
+pub mod hdfs;
+pub mod scheduler;
+pub mod task;
+pub mod workload;
+
+pub use cluster::{Cluster, NodeAllocation, NodeId, SimNode};
+pub use engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport, PhaseBreakdown};
+pub use hdfs::HdfsModel;
+pub use scheduler::{LocalityScheduler, PlanFollowingScheduler, Scheduler, SchedulerKind};
+pub use task::{Task, TaskId, TaskKind, TaskState};
+pub use workload::{JobSpec, Workload};

@@ -1,0 +1,220 @@
+//! Storage backend implementations.
+//!
+//! Each backend is specific to the storage service it wraps and "maps the
+//! semantics of each service to the target key-value store semantics" (§5.1).
+//! The paper's prototype has a Berkeley-DB-backed local-disk daemon and an S3
+//! backend; here both are modelled by [`InMemoryBackend`] instances that
+//! differ in their declared capacity, throughput and network distance
+//! (ping time), which is what the client uses to pick the closest replica.
+
+use crate::error::StorageError;
+use crate::kv::{BlockKey, KeyValueStore};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a backend registered with the namenode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BackendId(pub u64);
+
+/// The class of service a backend wraps, mirroring
+/// [`conductor_cloud::StorageKind`] but kept separate so this crate stays
+/// usable without a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// A storage daemon on a node's local disk (Berkeley DB in the paper).
+    LocalDisk,
+    /// An S3-style object store accessed through its client API.
+    ObjectStore,
+    /// A disk in the customer's own cluster.
+    CustomerDisk,
+}
+
+/// Static properties of a backend, used by the client for replica selection
+/// and by the Figure 15 throughput model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackendProfile {
+    /// What kind of service this backend wraps.
+    pub kind: BackendKind,
+    /// Capacity in bytes (`u64::MAX` for effectively unlimited services).
+    pub capacity_bytes: u64,
+    /// Sustained throughput in MB/s for bulk transfers.
+    pub throughput_mbps: f64,
+    /// Round-trip time from the computation nodes in milliseconds — the
+    /// "ping time" the client uses to pick the closest location.
+    pub ping_ms: f64,
+}
+
+impl BackendProfile {
+    /// Profile of a node-local disk daemon.
+    pub fn local_disk() -> Self {
+        Self { kind: BackendKind::LocalDisk, capacity_bytes: 850 * GB, throughput_mbps: 20.0, ping_ms: 0.2 }
+    }
+
+    /// Profile of an S3-style object store.
+    pub fn object_store() -> Self {
+        Self { kind: BackendKind::ObjectStore, capacity_bytes: u64::MAX, throughput_mbps: 14.0, ping_ms: 8.0 }
+    }
+
+    /// Profile of a disk in the customer's own cluster, reached over the WAN
+    /// from cloud nodes.
+    pub fn customer_disk() -> Self {
+        Self { kind: BackendKind::CustomerDisk, capacity_bytes: 250 * GB, throughput_mbps: 2.0, ping_ms: 60.0 }
+    }
+}
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+/// The interface the namenode and client need beyond raw key-value access.
+pub trait StorageBackend: KeyValueStore {
+    /// Static properties of this backend.
+    fn profile(&self) -> BackendProfile;
+
+    /// Identifier assigned at registration time.
+    fn id(&self) -> BackendId;
+}
+
+/// An in-memory backend implementation used for every service in the
+/// simulation. Capacity limits are enforced so placement and failure paths
+/// behave like the real daemons.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InMemoryBackend {
+    id: BackendId,
+    profile: BackendProfile,
+    blocks: BTreeMap<BlockKey, Vec<u8>>,
+    used: u64,
+}
+
+impl InMemoryBackend {
+    /// Creates a backend with the given id and profile.
+    pub fn new(id: BackendId, profile: BackendProfile) -> Self {
+        Self { id, profile, blocks: BTreeMap::new(), used: 0 }
+    }
+
+    /// Convenience constructor for a node-local disk daemon.
+    pub fn local_disk(id: u64) -> Self {
+        Self::new(BackendId(id), BackendProfile::local_disk())
+    }
+
+    /// Convenience constructor for an S3-style object store.
+    pub fn object_store(id: u64) -> Self {
+        Self::new(BackendId(id), BackendProfile::object_store())
+    }
+
+    /// Convenience constructor for a customer-site disk.
+    pub fn customer_disk(id: u64) -> Self {
+        Self::new(BackendId(id), BackendProfile::customer_disk())
+    }
+
+    /// Iterates the keys currently stored (used by migration).
+    pub fn keys(&self) -> impl Iterator<Item = &BlockKey> {
+        self.blocks.keys()
+    }
+}
+
+impl KeyValueStore for InMemoryBackend {
+    fn put(&mut self, key: BlockKey, value: Vec<u8>) -> Result<usize, StorageError> {
+        let new_bytes = value.len() as u64;
+        let replaced = self.blocks.get(&key).map(|v| v.len() as u64).unwrap_or(0);
+        let projected = self.used - replaced + new_bytes;
+        if projected > self.profile.capacity_bytes {
+            return Err(StorageError::CapacityExceeded {
+                backend: self.id.0,
+                capacity_bytes: self.profile.capacity_bytes,
+            });
+        }
+        self.used = projected;
+        let written = value.len();
+        self.blocks.insert(key, value);
+        Ok(written)
+    }
+
+    fn get(&self, key: &BlockKey) -> Option<Vec<u8>> {
+        self.blocks.get(key).cloned()
+    }
+
+    fn delete(&mut self, key: &BlockKey) -> bool {
+        if let Some(v) = self.blocks.remove(key) {
+            self.used -= v.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+}
+
+impl StorageBackend for InMemoryBackend {
+    fn profile(&self) -> BackendProfile {
+        self.profile
+    }
+
+    fn id(&self) -> BackendId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut b = InMemoryBackend::local_disk(1);
+        let key = BlockKey::chunk("f", 0);
+        assert_eq!(b.put(key.clone(), vec![1, 2, 3]).unwrap(), 3);
+        assert_eq!(b.get(&key), Some(vec![1, 2, 3]));
+        assert!(b.contains(&key));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.used_bytes(), 3);
+        assert!(b.delete(&key));
+        assert!(!b.delete(&key));
+        assert!(b.is_empty());
+        assert_eq!(b.used_bytes(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_and_adjusts_usage() {
+        let mut b = InMemoryBackend::local_disk(1);
+        let key = BlockKey::from("k");
+        b.put(key.clone(), vec![0; 100]).unwrap();
+        b.put(key.clone(), vec![0; 10]).unwrap();
+        assert_eq!(b.used_bytes(), 10);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let profile = BackendProfile {
+            kind: BackendKind::LocalDisk,
+            capacity_bytes: 8,
+            throughput_mbps: 20.0,
+            ping_ms: 0.1,
+        };
+        let mut b = InMemoryBackend::new(BackendId(7), profile);
+        b.put(BlockKey::from("a"), vec![0; 6]).unwrap();
+        let err = b.put(BlockKey::from("b"), vec![0; 6]).unwrap_err();
+        assert_eq!(err, StorageError::CapacityExceeded { backend: 7, capacity_bytes: 8 });
+        // Replacing the existing block within capacity still works.
+        b.put(BlockKey::from("a"), vec![0; 8]).unwrap();
+        assert_eq!(b.used_bytes(), 8);
+    }
+
+    #[test]
+    fn profiles_reflect_service_classes() {
+        assert!(BackendProfile::local_disk().ping_ms < BackendProfile::object_store().ping_ms);
+        assert!(
+            BackendProfile::object_store().ping_ms < BackendProfile::customer_disk().ping_ms
+        );
+        assert_eq!(BackendProfile::object_store().capacity_bytes, u64::MAX);
+        let b = InMemoryBackend::object_store(3);
+        assert_eq!(b.id(), BackendId(3));
+        assert_eq!(b.profile().kind, BackendKind::ObjectStore);
+    }
+}

@@ -1,0 +1,234 @@
+//! File chunking and the Hadoop file-system driver shim (§5.3).
+//!
+//! "In our implementation, we split files into smaller chunks that are stored
+//! as key-value pairs in Conductor's storage system. Additionally, for each
+//! file we store inodes that list the chunks that constitute the file
+//! content." [`FileSystemShim`] is that driver: it translates file-level
+//! open/read/write calls into the key-value operations of
+//! [`crate::StorageClient`], and exposes the location information the
+//! location-aware scheduler needs.
+
+use crate::backend::BackendId;
+use crate::client::StorageClient;
+use crate::error::StorageError;
+use crate::kv::BlockKey;
+use serde::{Deserialize, Serialize};
+
+/// The inode of a chunked file: its name, total size and chunk count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inode {
+    /// File path/name.
+    pub name: String,
+    /// Total file size in bytes.
+    pub size_bytes: u64,
+    /// Number of chunks the file was split into.
+    pub chunks: usize,
+    /// Chunk size used when writing (bytes).
+    pub chunk_size: usize,
+}
+
+impl Inode {
+    /// The key under which this inode itself is stored.
+    pub fn key(name: &str) -> BlockKey {
+        BlockKey(format!("inode:{name}"))
+    }
+
+    /// The key of chunk `i` of this file.
+    pub fn chunk_key(&self, i: usize) -> BlockKey {
+        BlockKey::chunk(&self.name, i)
+    }
+}
+
+/// A fully materialized chunked file (inode + chunk keys), handy for tests
+/// and for the scheduler's location queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkedFile {
+    /// The file's inode.
+    pub inode: Inode,
+}
+
+impl ChunkedFile {
+    /// Keys of all chunks in order.
+    pub fn chunk_keys(&self) -> Vec<BlockKey> {
+        (0..self.inode.chunks).map(|i| self.inode.chunk_key(i)).collect()
+    }
+}
+
+/// The file-system driver: file-level operations over the key-value store.
+#[derive(Debug, Clone, Default)]
+pub struct FileSystemShim {
+    client: StorageClient,
+    /// Chunk size in bytes (Hadoop-style 64 MB by default; tests use smaller).
+    chunk_size: usize,
+}
+
+impl FileSystemShim {
+    /// Creates a shim over a storage client with the default 64 MB chunk size.
+    pub fn new(client: StorageClient) -> Self {
+        Self { client, chunk_size: 64 * 1024 * 1024 }
+    }
+
+    /// Creates a shim with an explicit chunk size (bytes).
+    pub fn with_chunk_size(client: StorageClient, chunk_size: usize) -> Self {
+        Self { client, chunk_size: chunk_size.max(1) }
+    }
+
+    /// The underlying storage client.
+    pub fn client(&self) -> &StorageClient {
+        &self.client
+    }
+
+    /// Mutable access to the underlying storage client.
+    pub fn client_mut(&mut self) -> &mut StorageClient {
+        &mut self.client
+    }
+
+    /// Writes a whole file, splitting it into chunks and recording the inode.
+    pub fn write_file(&mut self, name: &str, data: &[u8]) -> Result<Inode, StorageError> {
+        let chunks = if data.is_empty() { 0 } else { data.len().div_ceil(self.chunk_size) };
+        let inode =
+            Inode { name: name.to_string(), size_bytes: data.len() as u64, chunks, chunk_size: self.chunk_size };
+        for (i, chunk) in data.chunks(self.chunk_size).enumerate() {
+            self.client.write(inode.chunk_key(i), chunk.to_vec())?;
+        }
+        let encoded = serde_json::to_vec(&inode).expect("inode serialization cannot fail");
+        self.client.write(Inode::key(name), encoded)?;
+        Ok(inode)
+    }
+
+    /// Reads a whole file back by walking its inode.
+    pub fn read_file(&mut self, name: &str) -> Result<Vec<u8>, StorageError> {
+        let inode = self.stat(name)?;
+        let mut data = Vec::with_capacity(inode.size_bytes as usize);
+        for i in 0..inode.chunks {
+            let chunk = self
+                .client
+                .read(&inode.chunk_key(i))
+                .map_err(|_| StorageError::MissingChunk { file: name.to_string(), chunk: i })?;
+            data.extend_from_slice(&chunk);
+        }
+        Ok(data)
+    }
+
+    /// Reads a file's inode.
+    pub fn stat(&mut self, name: &str) -> Result<Inode, StorageError> {
+        let raw = self.client.read(&Inode::key(name))?;
+        serde_json::from_slice(&raw)
+            .map_err(|_| StorageError::UnknownBlock { key: format!("inode:{name}") })
+    }
+
+    /// Deletes a file (inode and all chunks). Returns the number of chunk
+    /// replicas removed.
+    pub fn delete_file(&mut self, name: &str) -> Result<usize, StorageError> {
+        let inode = self.stat(name)?;
+        let mut removed = 0;
+        for i in 0..inode.chunks {
+            removed += self.client.delete(&inode.chunk_key(i));
+        }
+        self.client.delete(&Inode::key(name));
+        Ok(removed)
+    }
+
+    /// Lists the backends holding each chunk of a file — the per-block
+    /// location information Conductor's location-aware scheduler queries
+    /// before marking a task runnable (§5.3).
+    pub fn chunk_locations(&mut self, name: &str) -> Result<Vec<Vec<BackendId>>, StorageError> {
+        let inode = self.stat(name)?;
+        let mut out = Vec::with_capacity(inode.chunks);
+        for i in 0..inode.chunks {
+            let locs = self
+                .client
+                .namenode()
+                .locations(&inode.chunk_key(i))
+                .map(|ls| ls.iter().map(|l| l.backend).collect())
+                .unwrap_or_default();
+            out.push(locs);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InMemoryBackend;
+
+    fn shim(chunk_size: usize) -> FileSystemShim {
+        let mut c = StorageClient::new();
+        c.add_backend(InMemoryBackend::local_disk(1), true);
+        c.add_backend(InMemoryBackend::local_disk(2), false);
+        c.add_backend(InMemoryBackend::object_store(10), false);
+        FileSystemShim::with_chunk_size(c, chunk_size)
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut fs = shim(16);
+        let data: Vec<u8> = (0..100u8).collect();
+        let inode = fs.write_file("input/part-0", &data).unwrap();
+        assert_eq!(inode.chunks, 7); // ceil(100/16)
+        assert_eq!(inode.size_bytes, 100);
+        let back = fs.read_file("input/part-0").unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_files_are_valid() {
+        let mut fs = shim(16);
+        let inode = fs.write_file("empty", &[]).unwrap();
+        assert_eq!(inode.chunks, 0);
+        assert_eq!(fs.read_file("empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn stat_reports_the_inode() {
+        let mut fs = shim(8);
+        fs.write_file("f", &[0u8; 20]).unwrap();
+        let inode = fs.stat("f").unwrap();
+        assert_eq!(inode.chunks, 3);
+        assert_eq!(inode.chunk_size, 8);
+        assert!(fs.stat("missing").is_err());
+    }
+
+    #[test]
+    fn delete_removes_chunks_and_inode() {
+        let mut fs = shim(8);
+        fs.write_file("f", &[1u8; 24]).unwrap();
+        let removed = fs.delete_file("f").unwrap();
+        assert!(removed >= 3);
+        assert!(fs.stat("f").is_err());
+        assert!(fs.read_file("f").is_err());
+    }
+
+    #[test]
+    fn chunk_locations_expose_placement_for_the_scheduler() {
+        let mut fs = shim(8);
+        fs.write_file("f", &[2u8; 16]).unwrap();
+        let locs = fs.chunk_locations("f").unwrap();
+        assert_eq!(locs.len(), 2);
+        for chunk_locs in locs {
+            // Default replication is 3 and we registered 3 backends.
+            assert_eq!(chunk_locs.len(), 3);
+            assert!(chunk_locs.contains(&BackendId(1)));
+        }
+    }
+
+    #[test]
+    fn missing_chunk_is_reported_precisely() {
+        let mut fs = shim(8);
+        let inode = fs.write_file("f", &[3u8; 32]).unwrap();
+        // Remove every replica of chunk 2 behind the shim's back.
+        fs.client_mut().delete(&inode.chunk_key(2));
+        let err = fs.read_file("f").unwrap_err();
+        assert_eq!(err, StorageError::MissingChunk { file: "f".into(), chunk: 2 });
+    }
+
+    #[test]
+    fn chunked_file_lists_keys_in_order() {
+        let inode = Inode { name: "x".into(), size_bytes: 30, chunks: 3, chunk_size: 10 };
+        let f = ChunkedFile { inode };
+        let keys = f.chunk_keys();
+        assert_eq!(keys[0].as_str(), "x:0");
+        assert_eq!(keys[2].as_str(), "x:2");
+    }
+}

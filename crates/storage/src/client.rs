@@ -1,0 +1,355 @@
+//! The storage client: the uniform interface applications (and the Hadoop
+//! file-system driver) use to read and write data regardless of where it is
+//! stored (§5.1).
+//!
+//! Reads first try the co-located backend directly (the fast path: "directing
+//! requests to the local storage daemon directly, which can either succeed
+//! and proceed in a very fast manner, or fail and fall back to the normal
+//! read operation, in which case we additionally install a cached copy of the
+//! data on the local node"). Writes go to the local backend first and the
+//! namenode then replicates to the planned locations.
+
+use crate::backend::{BackendId, InMemoryBackend, StorageBackend};
+use crate::error::StorageError;
+use crate::kv::{BlockKey, KeyValueStore};
+use crate::namenode::{Namenode, ReplicationPolicy};
+use std::collections::BTreeMap;
+
+/// A client session bound to a set of backends and a namenode.
+///
+/// In the real system backends are remote daemons; in this reproduction they
+/// are owned in-process, which keeps the control flow identical (placement
+/// via the namenode, per-backend puts/gets, fallback on miss) without a
+/// network layer.
+#[derive(Debug, Clone, Default)]
+pub struct StorageClient {
+    namenode: Namenode,
+    backends: BTreeMap<BackendId, InMemoryBackend>,
+    /// The backend co-located with this client (its node's local disk).
+    local: Option<BackendId>,
+    /// Statistics: reads served by the local fast path.
+    pub local_hits: u64,
+    /// Statistics: reads that had to consult the namenode.
+    pub namenode_reads: u64,
+}
+
+impl StorageClient {
+    /// Creates a client with an empty backend set and default replication.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a client with an explicit replication policy.
+    pub fn with_policy(policy: ReplicationPolicy) -> Self {
+        Self { namenode: Namenode::with_policy(policy), ..Self::default() }
+    }
+
+    /// Adds a backend; the first backend added with `local = true` becomes
+    /// the co-located fast-path target.
+    pub fn add_backend(&mut self, backend: InMemoryBackend, local: bool) -> BackendId {
+        let id = backend.id();
+        self.namenode.register_backend(id, backend.profile());
+        self.backends.insert(id, backend);
+        if local && self.local.is_none() {
+            self.local = Some(id);
+        }
+        id
+    }
+
+    /// Removes a backend (node departure). Replicas stored there are lost.
+    pub fn remove_backend(&mut self, id: BackendId) {
+        self.backends.remove(&id);
+        self.namenode.unregister_backend(id);
+        if self.local == Some(id) {
+            self.local = None;
+        }
+    }
+
+    /// Read access to the namenode (for inspection and plan-driven hints).
+    pub fn namenode(&self) -> &Namenode {
+        &self.namenode
+    }
+
+    /// Mutable access to the namenode (to set priority hints).
+    pub fn namenode_mut(&mut self) -> &mut Namenode {
+        &mut self.namenode
+    }
+
+    /// Writes a block: placement is chosen by the namenode (local backend
+    /// first), every chosen backend receives a replica, and the namenode's
+    /// location records are updated.
+    pub fn write(&mut self, key: BlockKey, value: Vec<u8>) -> Result<Vec<BackendId>, StorageError> {
+        let placement = self.namenode.choose_placement(value.len() as u64, self.local)?;
+        let mut written = Vec::with_capacity(placement.len());
+        let mut last_err = None;
+        for backend_id in placement {
+            let Some(backend) = self.backends.get_mut(&backend_id) else {
+                last_err = Some(StorageError::UnknownBackend { backend: backend_id.0 });
+                continue;
+            };
+            match backend.put(key.clone(), value.clone()) {
+                Ok(_) => {
+                    self.namenode.add_replica(key.clone(), backend_id);
+                    written.push(backend_id);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if written.is_empty() {
+            Err(last_err.unwrap_or(StorageError::NoEligibleBackend))
+        } else {
+            Ok(written)
+        }
+    }
+
+    /// Reads a block through the fast path (local backend), falling back to
+    /// the namenode's location records ordered by ping time. On a fallback
+    /// read the block is cached on the local backend, as the paper describes.
+    pub fn read(&mut self, key: &BlockKey) -> Result<Vec<u8>, StorageError> {
+        // Fast path: co-located daemon.
+        if let Some(local_id) = self.local {
+            if let Some(local) = self.backends.get(&local_id) {
+                if let Some(v) = local.get(key) {
+                    self.local_hits += 1;
+                    return Ok(v);
+                }
+            }
+        }
+        // Normal path: ask the namenode, try replicas closest first.
+        self.namenode_reads += 1;
+        let mut locations: Vec<BackendId> =
+            self.namenode.locations(key)?.iter().map(|l| l.backend).collect();
+        locations.sort_by(|a, b| {
+            let pa = self.backends.get(a).map(|x| x.profile().ping_ms).unwrap_or(f64::MAX);
+            let pb = self.backends.get(b).map(|x| x.profile().ping_ms).unwrap_or(f64::MAX);
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for backend_id in locations {
+            if let Some(backend) = self.backends.get(&backend_id) {
+                if let Some(v) = backend.get(key) {
+                    // Install a cached copy locally for future reads.
+                    if let Some(local_id) = self.local {
+                        if local_id != backend_id {
+                            if let Some(local) = self.backends.get_mut(&local_id) {
+                                if local.put(key.clone(), v.clone()).is_ok() {
+                                    self.namenode.add_replica(key.clone(), local_id);
+                                }
+                            }
+                        }
+                    }
+                    return Ok(v);
+                }
+            }
+        }
+        Err(StorageError::NoReplicaAvailable { key: key.as_str().to_string() })
+    }
+
+    /// Deletes all replicas of a block. Returns the number of replicas removed.
+    pub fn delete(&mut self, key: &BlockKey) -> usize {
+        let locations: Vec<BackendId> = match self.namenode.locations(key) {
+            Ok(locs) => locs.iter().map(|l| l.backend).collect(),
+            Err(_) => return 0,
+        };
+        let mut removed = 0;
+        for backend_id in locations {
+            if let Some(backend) = self.backends.get_mut(&backend_id) {
+                if backend.delete(key) {
+                    removed += 1;
+                }
+            }
+            self.namenode.remove_replica(key, backend_id);
+        }
+        removed
+    }
+
+    /// Migrates a block so that a replica exists on `to` (plan-driven data
+    /// migration, §4.5/§5.2). The source replicas are kept unless `evict_src`
+    /// is set, in which case only the new location retains the data.
+    pub fn migrate(
+        &mut self,
+        key: &BlockKey,
+        to: BackendId,
+        evict_src: bool,
+    ) -> Result<(), StorageError> {
+        let data = self.read_raw(key)?;
+        let sources: Vec<BackendId> =
+            self.namenode.locations(key)?.iter().map(|l| l.backend).collect();
+        let dest =
+            self.backends.get_mut(&to).ok_or(StorageError::UnknownBackend { backend: to.0 })?;
+        dest.put(key.clone(), data)?;
+        self.namenode.add_replica(key.clone(), to);
+        if evict_src {
+            for src in sources {
+                if src == to {
+                    continue;
+                }
+                if let Some(backend) = self.backends.get_mut(&src) {
+                    backend.delete(key);
+                }
+                self.namenode.remove_replica(key, src);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads without the caching side effect (used internally by migration).
+    fn read_raw(&self, key: &BlockKey) -> Result<Vec<u8>, StorageError> {
+        for loc in self.namenode.locations(key)? {
+            if let Some(backend) = self.backends.get(&loc.backend) {
+                if let Some(v) = backend.get(key) {
+                    return Ok(v);
+                }
+            }
+        }
+        Err(StorageError::NoReplicaAvailable { key: key.as_str().to_string() })
+    }
+
+    /// Total bytes stored across all backends (counting replicas).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.backends.values().map(|b| b.used_bytes()).sum()
+    }
+
+    /// Number of replicas of `key` currently readable.
+    pub fn replica_count(&self, key: &BlockKey) -> usize {
+        match self.namenode.locations(key) {
+            Ok(locs) => locs
+                .iter()
+                .filter(|l| self.backends.get(&l.backend).is_some_and(|b| b.contains(key)))
+                .count(),
+            Err(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node setup like the paper's Figure 15 measurement: three local
+    /// disks plus S3, replication factor 3.
+    fn client() -> (StorageClient, Vec<BackendId>) {
+        let mut c = StorageClient::new();
+        let ids = vec![
+            c.add_backend(InMemoryBackend::local_disk(1), true),
+            c.add_backend(InMemoryBackend::local_disk(2), false),
+            c.add_backend(InMemoryBackend::local_disk(3), false),
+            c.add_backend(InMemoryBackend::object_store(10), false),
+        ];
+        (c, ids)
+    }
+
+    #[test]
+    fn write_replicates_to_policy_count() {
+        let (mut c, _) = client();
+        let key = BlockKey::chunk("input", 0);
+        let written = c.write(key.clone(), vec![7; 1024]).unwrap();
+        assert_eq!(written.len(), 3);
+        assert_eq!(c.replica_count(&key), 3);
+        // The local backend holds the first replica (write fast path).
+        assert_eq!(written[0], BackendId(1));
+    }
+
+    #[test]
+    fn read_prefers_local_fast_path() {
+        let (mut c, _) = client();
+        let key = BlockKey::chunk("input", 1);
+        c.write(key.clone(), vec![1, 2, 3]).unwrap();
+        let v = c.read(&key).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(c.local_hits, 1);
+        assert_eq!(c.namenode_reads, 0);
+    }
+
+    #[test]
+    fn fallback_read_caches_locally() {
+        let (mut c, ids) = client();
+        let key = BlockKey::chunk("input", 2);
+        c.write(key.clone(), vec![9; 64]).unwrap();
+        // Drop the local replica to force the fallback path.
+        let local = ids[0];
+        c.backends.get_mut(&local).unwrap().delete(&key);
+        c.namenode.remove_replica(&key, local);
+        let v = c.read(&key).unwrap();
+        assert_eq!(v.len(), 64);
+        assert_eq!(c.namenode_reads, 1);
+        // The fallback installed a cached copy locally, so the next read hits
+        // the fast path again.
+        c.read(&key).unwrap();
+        assert_eq!(c.local_hits, 1);
+    }
+
+    #[test]
+    fn missing_blocks_error_cleanly() {
+        let (mut c, _) = client();
+        let err = c.read(&BlockKey::from("nope")).unwrap_err();
+        assert!(matches!(err, StorageError::UnknownBlock { .. }));
+        assert_eq!(c.delete(&BlockKey::from("nope")), 0);
+    }
+
+    #[test]
+    fn delete_removes_all_replicas() {
+        let (mut c, _) = client();
+        let key = BlockKey::chunk("input", 3);
+        c.write(key.clone(), vec![5; 128]).unwrap();
+        assert_eq!(c.delete(&key), 3);
+        assert_eq!(c.replica_count(&key), 0);
+        assert!(c.read(&key).is_err());
+    }
+
+    #[test]
+    fn migration_moves_data_between_backends() {
+        let (mut c, ids) = client();
+        let key = BlockKey::chunk("input", 4);
+        c.write(key.clone(), vec![4; 256]).unwrap();
+        let s3 = ids[3];
+        // Move the block to S3 exclusively (the plan decided S3 is where it
+        // should live from now on).
+        c.migrate(&key, s3, true).unwrap();
+        assert_eq!(c.replica_count(&key), 1);
+        let locs = c.namenode().locations(&key).unwrap();
+        assert_eq!(locs.len(), 1);
+        assert_eq!(locs[0].backend, s3);
+        // Data is still readable (through the namenode path).
+        assert_eq!(c.read(&key).unwrap(), vec![4; 256]);
+    }
+
+    #[test]
+    fn migration_without_eviction_adds_a_replica() {
+        let (mut c, ids) = client();
+        let key = BlockKey::chunk("input", 5);
+        c.write(key.clone(), vec![1; 32]).unwrap();
+        // Local + 2 others = 3; migrating to S3 without eviction gives 4.
+        c.migrate(&key, ids[3], false).unwrap();
+        assert_eq!(c.replica_count(&key), 4);
+    }
+
+    #[test]
+    fn node_departure_loses_replicas_but_not_data() {
+        let (mut c, ids) = client();
+        let key = BlockKey::chunk("input", 6);
+        c.write(key.clone(), vec![8; 512]).unwrap();
+        c.remove_backend(ids[0]);
+        c.remove_backend(ids[1]);
+        // One replica remains somewhere; reads still succeed.
+        assert!(c.replica_count(&key) >= 1);
+        assert_eq!(c.read(&key).unwrap(), vec![8; 512]);
+    }
+
+    #[test]
+    fn stored_bytes_count_replicas() {
+        let (mut c, _) = client();
+        c.write(BlockKey::chunk("f", 0), vec![0; 100]).unwrap();
+        assert_eq!(c.total_stored_bytes(), 300);
+    }
+
+    #[test]
+    fn custom_replication_policy_is_respected() {
+        let mut c = StorageClient::with_policy(ReplicationPolicy { replicas: 1 });
+        c.add_backend(InMemoryBackend::local_disk(1), true);
+        c.add_backend(InMemoryBackend::local_disk(2), false);
+        let key = BlockKey::from("solo");
+        let written = c.write(key.clone(), vec![0; 8]).unwrap();
+        assert_eq!(written.len(), 1);
+        assert_eq!(c.replica_count(&key), 1);
+    }
+}

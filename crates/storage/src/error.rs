@@ -1,0 +1,60 @@
+//! Errors surfaced by the storage abstraction layer.
+
+use std::fmt;
+
+/// Errors returned by backends, the namenode and the storage client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested block is not known to the namenode.
+    UnknownBlock { key: String },
+    /// The block is known but none of its replicas could be read.
+    NoReplicaAvailable { key: String },
+    /// A backend referenced by a location record does not exist (e.g. the
+    /// node left the cluster).
+    UnknownBackend { backend: u64 },
+    /// A backend rejected a write because it is out of capacity.
+    CapacityExceeded { backend: u64, capacity_bytes: u64 },
+    /// The file's inode references a chunk that has gone missing.
+    MissingChunk { file: String, chunk: usize },
+    /// The namenode has no backend that satisfies the requested placement.
+    NoEligibleBackend,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownBlock { key } => write!(f, "unknown block `{key}`"),
+            StorageError::NoReplicaAvailable { key } => {
+                write!(f, "no replica of block `{key}` is readable")
+            }
+            StorageError::UnknownBackend { backend } => {
+                write!(f, "location record references unknown backend {backend}")
+            }
+            StorageError::CapacityExceeded { backend, capacity_bytes } => {
+                write!(f, "backend {backend} is full (capacity {capacity_bytes} bytes)")
+            }
+            StorageError::MissingChunk { file, chunk } => {
+                write!(f, "file `{file}` is missing chunk {chunk}")
+            }
+            StorageError::NoEligibleBackend => {
+                write!(f, "no backend satisfies the requested placement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_identify_the_failing_object() {
+        assert!(StorageError::UnknownBlock { key: "b7".into() }.to_string().contains("b7"));
+        assert!(StorageError::UnknownBackend { backend: 12 }.to_string().contains("12"));
+        assert!(StorageError::MissingChunk { file: "f".into(), chunk: 3 }
+            .to_string()
+            .contains("chunk 3"));
+    }
+}

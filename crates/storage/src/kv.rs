@@ -1,0 +1,92 @@
+//! The uniform key-value interface all storage backends implement.
+//!
+//! The paper's storage daemons expose "a protocol with put, get and delete
+//! queries" (§5.1); [`KeyValueStore`] is that protocol. Keys identify file
+//! blocks, values are opaque byte vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// The key of one stored block.
+///
+/// Blocks are usually chunks of a larger file (`file:index`), but any string
+/// key is accepted — the interface is deliberately generic so higher-level
+/// abstractions (file systems, tables) can be layered on top, as the paper
+/// notes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockKey(pub String);
+
+impl BlockKey {
+    /// Builds the conventional key for chunk `index` of file `file`.
+    pub fn chunk(file: &str, index: usize) -> Self {
+        BlockKey(format!("{file}:{index}"))
+    }
+
+    /// The raw key string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for BlockKey {
+    fn from(s: &str) -> Self {
+        BlockKey(s.to_string())
+    }
+}
+
+impl From<String> for BlockKey {
+    fn from(s: String) -> Self {
+        BlockKey(s)
+    }
+}
+
+/// The put/get/delete protocol spoken by every storage backend.
+pub trait KeyValueStore {
+    /// Stores `value` under `key`, replacing any previous value. Returns the
+    /// number of bytes written.
+    fn put(&mut self, key: BlockKey, value: Vec<u8>) -> Result<usize, crate::StorageError>;
+
+    /// Retrieves the value stored under `key`, if any.
+    fn get(&self, key: &BlockKey) -> Option<Vec<u8>>;
+
+    /// Deletes the value stored under `key`; returns `true` if it existed.
+    fn delete(&mut self, key: &BlockKey) -> bool;
+
+    /// `true` if a value is stored under `key`.
+    fn contains(&self, key: &BlockKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of stored blocks.
+    fn len(&self) -> usize;
+
+    /// `true` when the store holds no blocks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes currently stored.
+    fn used_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_keys_have_stable_format() {
+        let k = BlockKey::chunk("input/part-0001", 7);
+        assert_eq!(k.as_str(), "input/part-0001:7");
+        assert_eq!(BlockKey::from("x"), BlockKey("x".to_string()));
+        assert_eq!(BlockKey::from(String::from("y")).as_str(), "y");
+    }
+
+    #[test]
+    fn keys_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(BlockKey::chunk("f", 1));
+        s.insert(BlockKey::chunk("f", 0));
+        s.insert(BlockKey::chunk("f", 1));
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! # conductor-storage
+//!
+//! Conductor's storage abstraction layer (§5.1 of the paper): a distributed
+//! key-value storage service that lets the same application transparently use
+//! several storage backends (node-local disks, an S3-style object store, the
+//! customer's own machines) while a central **namenode** tracks where every
+//! block lives and drives replication and migration according to the
+//! execution plan.
+//!
+//! The pieces map one-to-one onto the paper's design:
+//!
+//! * [`KeyValueStore`] — the uniform put/get/delete interface every backend
+//!   implements (the paper's storage daemons speak exactly this protocol);
+//! * [`backend`] — the backend implementations (local-disk daemon, S3-style
+//!   object store) with throughput parameters used by the Figure 15
+//!   comparison;
+//! * [`Namenode`] — the directory service mapping block ids to location
+//!   records, managing replication and plan-driven migration;
+//! * [`StorageClient`] — the client that resolves block locations, reads from
+//!   the closest replica, and implements the co-located read/write fast path;
+//! * [`chunk`] — the file-chunking layer (files become chunk key-value pairs
+//!   plus an inode), which is what the Hadoop file-system driver shim uses;
+//! * [`throughput`] — the analytical throughput model of the abstraction
+//!   layer used to regenerate Figure 15.
+
+pub mod backend;
+pub mod chunk;
+pub mod client;
+pub mod error;
+pub mod kv;
+pub mod namenode;
+pub mod throughput;
+
+pub use backend::{BackendId, InMemoryBackend, StorageBackend};
+pub use chunk::{ChunkedFile, FileSystemShim, Inode};
+pub use client::StorageClient;
+pub use error::StorageError;
+pub use kv::{BlockKey, KeyValueStore};
+pub use namenode::{BlockLocation, Namenode, ReplicationPolicy};
+pub use throughput::ConductorStorageModel;

@@ -1,0 +1,264 @@
+//! The namenode: Conductor's storage directory service (§5.1).
+//!
+//! The namenode "provides a directory service for data, and manages upload,
+//! replication and migration of the data as per the execution plan". It
+//! keeps, for every block, a set of location records identifying the backends
+//! holding a replica, chooses placements for new blocks, and tracks which
+//! blocks the plan wants uploaded or replicated with higher priority (the
+//! hints the Hadoop FS driver passes down, §5.3).
+
+use crate::backend::{BackendId, BackendProfile};
+use crate::error::StorageError;
+use crate::kv::BlockKey;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A location record: which backend holds a replica of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockLocation {
+    /// Backend holding the replica.
+    pub backend: BackendId,
+}
+
+/// How many replicas of each block the namenode tries to maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationPolicy {
+    /// Desired replica count (the paper's prototype uses 3).
+    pub replicas: usize,
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        Self { replicas: 3 }
+    }
+}
+
+/// The metadata service.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Namenode {
+    policy: ReplicationPolicy,
+    backends: BTreeMap<BackendId, BackendProfile>,
+    locations: BTreeMap<BlockKey, Vec<BlockLocation>>,
+    /// Blocks the execution plan wants moved/replicated first.
+    priority: BTreeSet<BlockKey>,
+}
+
+impl Namenode {
+    /// Creates a namenode with the default (3-way) replication policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a namenode with an explicit replication policy.
+    pub fn with_policy(policy: ReplicationPolicy) -> Self {
+        Self { policy, ..Self::default() }
+    }
+
+    /// The active replication policy.
+    pub fn policy(&self) -> ReplicationPolicy {
+        self.policy
+    }
+
+    /// Registers a storage backend so it can receive placements.
+    pub fn register_backend(&mut self, id: BackendId, profile: BackendProfile) {
+        self.backends.insert(id, profile);
+    }
+
+    /// Unregisters a backend (e.g. the node left the cluster). Its replicas
+    /// are forgotten; blocks may become under-replicated or lost.
+    pub fn unregister_backend(&mut self, id: BackendId) {
+        self.backends.remove(&id);
+        for locs in self.locations.values_mut() {
+            locs.retain(|l| l.backend != id);
+        }
+    }
+
+    /// Registered backends and their profiles.
+    pub fn backends(&self) -> impl Iterator<Item = (BackendId, BackendProfile)> + '_ {
+        self.backends.iter().map(|(id, p)| (*id, *p))
+    }
+
+    /// Chooses up to `policy.replicas` distinct backends for a new block of
+    /// `size_bytes`, preferring the writer's co-located backend (`local`)
+    /// first — the write fast path of §5.1 — and then backends with the
+    /// lowest ping.
+    pub fn choose_placement(
+        &self,
+        size_bytes: u64,
+        local: Option<BackendId>,
+    ) -> Result<Vec<BackendId>, StorageError> {
+        let mut candidates: Vec<(BackendId, BackendProfile)> = self
+            .backends
+            .iter()
+            .filter(|(_, p)| p.capacity_bytes >= size_bytes)
+            .map(|(id, p)| (*id, *p))
+            .collect();
+        if candidates.is_empty() {
+            return Err(StorageError::NoEligibleBackend);
+        }
+        candidates.sort_by(|a, b| {
+            let a_local = Some(a.0) == local;
+            let b_local = Some(b.0) == local;
+            b_local
+                .cmp(&a_local)
+                .then(a.1.ping_ms.partial_cmp(&b.1.ping_ms).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.0.cmp(&b.0))
+        });
+        Ok(candidates.into_iter().take(self.policy.replicas.max(1)).map(|(id, _)| id).collect())
+    }
+
+    /// Records that `backend` now holds a replica of `key`.
+    pub fn add_replica(&mut self, key: BlockKey, backend: BackendId) {
+        let locs = self.locations.entry(key).or_default();
+        if !locs.iter().any(|l| l.backend == backend) {
+            locs.push(BlockLocation { backend });
+        }
+    }
+
+    /// Records that `backend` no longer holds a replica of `key`.
+    pub fn remove_replica(&mut self, key: &BlockKey, backend: BackendId) {
+        if let Some(locs) = self.locations.get_mut(key) {
+            locs.retain(|l| l.backend != backend);
+            if locs.is_empty() {
+                self.locations.remove(key);
+            }
+        }
+    }
+
+    /// The location records of a block.
+    pub fn locations(&self, key: &BlockKey) -> Result<&[BlockLocation], StorageError> {
+        self.locations
+            .get(key)
+            .map(Vec::as_slice)
+            .ok_or_else(|| StorageError::UnknownBlock { key: key.as_str().to_string() })
+    }
+
+    /// `true` when the namenode knows of at least one replica of the block.
+    pub fn knows(&self, key: &BlockKey) -> bool {
+        self.locations.contains_key(key)
+    }
+
+    /// Number of known blocks.
+    pub fn block_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Blocks that currently have fewer replicas than the policy requires.
+    pub fn under_replicated(&self) -> Vec<BlockKey> {
+        self.locations
+            .iter()
+            .filter(|(_, locs)| locs.len() < self.policy.replicas)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Marks a block as high priority for upload/replication (the hint the
+    /// Hadoop driver passes down so plan-critical data moves first).
+    pub fn set_priority(&mut self, key: BlockKey) {
+        self.priority.insert(key);
+    }
+
+    /// Clears a priority hint.
+    pub fn clear_priority(&mut self, key: &BlockKey) {
+        self.priority.remove(key);
+    }
+
+    /// `true` if the block is currently marked high priority.
+    pub fn is_priority(&self, key: &BlockKey) -> bool {
+        self.priority.contains(key)
+    }
+
+    /// Blocks whose replicas live on `backend` (used to plan migrations when
+    /// the plan asks for data to move).
+    pub fn blocks_on(&self, backend: BackendId) -> Vec<BlockKey> {
+        self.locations
+            .iter()
+            .filter(|(_, locs)| locs.iter().any(|l| l.backend == backend))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nn_with_backends() -> Namenode {
+        let mut nn = Namenode::new();
+        nn.register_backend(BackendId(1), BackendProfile::local_disk());
+        nn.register_backend(BackendId(2), BackendProfile::local_disk());
+        nn.register_backend(BackendId(3), BackendProfile::object_store());
+        nn
+    }
+
+    #[test]
+    fn placement_prefers_local_then_lowest_ping() {
+        let nn = nn_with_backends();
+        let placement = nn.choose_placement(1024, Some(BackendId(2))).unwrap();
+        assert_eq!(placement[0], BackendId(2));
+        assert_eq!(placement.len(), 3);
+        // Without a local hint the lowest-ping (local disk) backends come first.
+        let placement = nn.choose_placement(1024, None).unwrap();
+        assert_eq!(placement[0], BackendId(1));
+        assert_eq!(placement.last(), Some(&BackendId(3)));
+    }
+
+    #[test]
+    fn placement_respects_capacity_and_replica_count() {
+        let mut nn = Namenode::with_policy(ReplicationPolicy { replicas: 2 });
+        nn.register_backend(
+            BackendId(1),
+            BackendProfile { capacity_bytes: 10, ..BackendProfile::local_disk() },
+        );
+        nn.register_backend(BackendId(2), BackendProfile::object_store());
+        let placement = nn.choose_placement(1000, None).unwrap();
+        assert_eq!(placement, vec![BackendId(2)]);
+        assert!(matches!(
+            Namenode::new().choose_placement(1, None),
+            Err(StorageError::NoEligibleBackend)
+        ));
+    }
+
+    #[test]
+    fn replica_bookkeeping() {
+        let mut nn = nn_with_backends();
+        let key = BlockKey::chunk("f", 0);
+        nn.add_replica(key.clone(), BackendId(1));
+        nn.add_replica(key.clone(), BackendId(3));
+        nn.add_replica(key.clone(), BackendId(1)); // duplicate is ignored
+        assert_eq!(nn.locations(&key).unwrap().len(), 2);
+        assert!(nn.knows(&key));
+        assert_eq!(nn.block_count(), 1);
+        // 2 replicas < policy 3 -> under-replicated.
+        assert_eq!(nn.under_replicated(), vec![key.clone()]);
+        nn.remove_replica(&key, BackendId(1));
+        nn.remove_replica(&key, BackendId(3));
+        assert!(!nn.knows(&key));
+        assert!(nn.locations(&key).is_err());
+    }
+
+    #[test]
+    fn unregistering_a_backend_drops_its_replicas() {
+        let mut nn = nn_with_backends();
+        let key = BlockKey::chunk("f", 0);
+        nn.add_replica(key.clone(), BackendId(1));
+        nn.add_replica(key.clone(), BackendId(2));
+        nn.unregister_backend(BackendId(1));
+        let locs = nn.locations(&key).unwrap();
+        assert_eq!(locs.len(), 1);
+        assert_eq!(locs[0].backend, BackendId(2));
+        assert_eq!(nn.blocks_on(BackendId(2)), vec![key]);
+        assert!(nn.blocks_on(BackendId(1)).is_empty());
+    }
+
+    #[test]
+    fn priority_hints_toggle() {
+        let mut nn = nn_with_backends();
+        let key = BlockKey::chunk("f", 9);
+        assert!(!nn.is_priority(&key));
+        nn.set_priority(key.clone());
+        assert!(nn.is_priority(&key));
+        nn.clear_priority(&key);
+        assert!(!nn.is_priority(&key));
+    }
+}

@@ -1,0 +1,104 @@
+//! Analytical throughput model of Conductor's storage layer (Figure 15).
+//!
+//! The paper measures ~25% lower throughput for Conductor's storage service
+//! than for HDFS, attributing the gap to the abstraction layer (namenode
+//! lookups, key-value chunking, backend indirection) rather than to the
+//! underlying services, and deems it "an acceptable throughput overhead".
+//! [`ConductorStorageModel`] expresses that relationship so the Figure 15
+//! bench can regenerate all four bars from one parameter set.
+
+use serde::{Deserialize, Serialize};
+
+/// Throughput model for Conductor's own storage path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConductorStorageModel {
+    /// Throughput of the underlying direct path (HDFS-like pipeline), MB/s.
+    pub baseline_mbps: f64,
+    /// Fractional overhead added by the abstraction layer (0.25 in the paper).
+    pub abstraction_overhead: f64,
+    /// Per-block namenode lookup latency in milliseconds.
+    pub namenode_lookup_ms: f64,
+    /// Fraction of reads served by the co-located fast path (which skips the
+    /// namenode lookup entirely).
+    pub local_hit_rate: f64,
+}
+
+impl Default for ConductorStorageModel {
+    fn default() -> Self {
+        Self {
+            baseline_mbps: 21.0,
+            abstraction_overhead: 0.25,
+            namenode_lookup_ms: 2.0,
+            local_hit_rate: 0.8,
+        }
+    }
+}
+
+impl ConductorStorageModel {
+    /// Sustained throughput of Conductor's storage layer for blocks of
+    /// `block_mb` megabytes, in MB/s.
+    pub fn throughput_mbps(&self, block_mb: f64) -> f64 {
+        if block_mb <= 0.0 {
+            return 0.0;
+        }
+        let effective = self.baseline_mbps * (1.0 - self.abstraction_overhead);
+        // Namenode lookups only hit the slow path.
+        let lookups_per_block = 1.0 - self.local_hit_rate;
+        let lookup_s = lookups_per_block * self.namenode_lookup_ms / 1000.0;
+        let transfer_s = block_mb / effective;
+        block_mb / (transfer_s + lookup_s)
+    }
+
+    /// Time in seconds to copy `total_gb` of data in `block_mb` blocks.
+    pub fn copy_time_s(&self, total_gb: f64, block_mb: f64) -> f64 {
+        let mbps = self.throughput_mbps(block_mb);
+        if mbps <= 0.0 {
+            return f64::INFINITY;
+        }
+        total_gb * 1024.0 / mbps
+    }
+
+    /// The relative overhead versus the baseline path for a given block size
+    /// (≈ `abstraction_overhead` for large blocks).
+    pub fn relative_overhead(&self, block_mb: f64) -> f64 {
+        1.0 - self.throughput_mbps(block_mb) / self.baseline_mbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_roughly_a_quarter_for_64mb_blocks() {
+        let m = ConductorStorageModel::default();
+        let overhead = m.relative_overhead(64.0);
+        assert!(overhead > 0.2 && overhead < 0.3, "overhead {overhead}");
+        // Throughput lands in the band the paper plots (~15-16 MB/s).
+        let t = m.throughput_mbps(64.0);
+        assert!(t > 14.0 && t < 17.0, "throughput {t}");
+    }
+
+    #[test]
+    fn small_blocks_pay_more_for_namenode_lookups() {
+        let m = ConductorStorageModel::default();
+        assert!(m.throughput_mbps(1.0) < m.throughput_mbps(64.0));
+        assert!(m.relative_overhead(1.0) > m.relative_overhead(64.0));
+    }
+
+    #[test]
+    fn higher_local_hit_rate_improves_throughput() {
+        let base = ConductorStorageModel::default();
+        let all_local = ConductorStorageModel { local_hit_rate: 1.0, ..base };
+        assert!(all_local.throughput_mbps(4.0) > base.throughput_mbps(4.0));
+    }
+
+    #[test]
+    fn copy_time_for_32gb_is_about_35_minutes() {
+        // 32 GB at ~15.7 MB/s ≈ 2,100 s, the scale of the paper's measurement.
+        let m = ConductorStorageModel::default();
+        let t = m.copy_time_s(32.0, 64.0);
+        assert!(t > 1800.0 && t < 2400.0, "copy time {t}");
+        assert_eq!(m.copy_time_s(32.0, 0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,69 @@
+//! Hybrid-cloud deployment (§6.3, Figures 10 and 11).
+//!
+//! The customer owns a 5-node local cluster that is free to use but too small
+//! to meet a 4-hour deadline alone; Conductor augments it with EC2 instances.
+//!
+//! Run with: `cargo run --example hybrid_cloud -p conductor-core`
+
+use conductor_cloud::Catalog;
+use conductor_core::{Goal, JobController, Planner, ResourcePool};
+use conductor_mapreduce::Workload;
+
+fn main() {
+    let deadline = 4.0;
+    let spec = Workload::KMeans32Gb.spec();
+    // AWS services plus the customer's own 5-node cluster (free, capped).
+    let catalog = Catalog::aws_with_local_cluster(5);
+    let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large", "local"]);
+
+    let planner = Planner::new(pool);
+    let controller = JobController::new(catalog, planner);
+
+    println!("=== Hybrid deployment: 5 free local nodes + EC2, deadline {deadline} h ===");
+
+    let outcome = controller
+        .run(&spec, Goal::MinimizeCost { deadline_hours: deadline })
+        .expect("hybrid plan");
+
+    println!("plan:");
+    println!("  peak local nodes    : {}", outcome.plan.peak_nodes("local"));
+    println!("  peak m1.large nodes : {}", outcome.plan.peak_nodes("m1.large"));
+    println!("  node-hours          : {:?}", outcome.plan.node_hours());
+    println!("  storage mix         : {:?}", outcome.plan.storage_mix());
+    println!("  expected cost       : ${:.2}", outcome.plan.expected_cost);
+    println!();
+    println!("measured execution:");
+    println!("  completion          : {:.2} h", outcome.execution.completion_hours);
+    println!("  met deadline        : {:?}", outcome.execution.met_deadline);
+    println!("  total cost          : ${:.2}", outcome.execution.total_cost);
+    for (category, cost) in outcome.execution.cost_breakdown.iter() {
+        if cost > 0.005 {
+            println!("    {category:?}: ${cost:.2}");
+        }
+    }
+    println!();
+
+    // What the cost/deadline trade-off looks like if the user guesses the EC2
+    // node count instead (the Figure 11 sweep).
+    println!("manual node-count sweep (what the user would have to guess):");
+    for nodes in [11usize, 16, 21] {
+        let planner = controller.planner();
+        // Pin the number of EC2 nodes by restricting the model's horizon and
+        // reading the plan cost for a manual schedule instead: here we simply
+        // report the planned cost when the cap is forced via max_instances.
+        let mut pool = planner.pool().clone();
+        for c in &mut pool.compute {
+            if c.name == "m1.large" {
+                c.max_nodes = Some(nodes);
+            }
+        }
+        let pinned = Planner::new(pool);
+        match pinned.plan(&spec, Goal::MinimizeCost { deadline_hours: deadline }) {
+            Ok((plan, _)) => println!(
+                "  cap {nodes:>2} EC2 nodes -> planned cost ${:.2}, completion {:.1} h",
+                plan.expected_cost, plan.expected_completion_hours
+            ),
+            Err(_) => println!("  cap {nodes:>2} EC2 nodes -> deadline cannot be met"),
+        }
+    }
+}

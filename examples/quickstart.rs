@@ -1,0 +1,61 @@
+//! Quickstart: plan and deploy a MapReduce job on the cloud with Conductor.
+//!
+//! This is the smallest end-to-end use of the public API, mirroring the
+//! paper's headline scenario (§6.2): a 32 GB k-means job, a 16 Mbit/s uplink,
+//! a 6-hour deadline, and the goal "minimize monetary cost".
+//!
+//! Run with: `cargo run --example quickstart -p conductor-core`
+
+use conductor_cloud::Catalog;
+use conductor_core::{Goal, JobController, Planner, ResourcePool};
+use conductor_mapreduce::Workload;
+
+fn main() {
+    // 1. The set of cloud services the customer could use: the AWS catalog
+    //    with July-2011 prices (m1.large / m1.xlarge / c1.xlarge, S3,
+    //    instance disks) and a 16 Mbit/s uplink.
+    let catalog = Catalog::aws_july_2011();
+
+    // 2. The resource abstraction layer splits those services into uniform
+    //    compute and storage resources (1 MB storage-layer chunks).
+    let pool = ResourcePool::from_catalog(&catalog, 1.0);
+
+    // 3. The computation: the paper's 32 GB k-means workload.
+    let job = Workload::KMeans32Gb.spec();
+
+    // 4. The goal: minimize cost, finish within 6 hours.
+    let goal = Goal::MinimizeCost { deadline_hours: 6.0 };
+
+    // 5. Plan and deploy.
+    let planner = Planner::new(pool);
+    let controller = JobController::new(catalog, planner);
+    let outcome = controller.run(&job, goal).expect("planning and deployment succeed");
+
+    // 6. Report what Conductor decided and what it cost.
+    println!("=== Conductor quickstart ===");
+    println!("job: {} ({} GB input, {} tasks)", job.name, job.input_gb, job.total_tasks());
+    println!("goal: minimize cost, deadline 6 h");
+    println!();
+    println!("plan:");
+    println!("  peak m1.large nodes : {}", outcome.plan.peak_nodes("m1.large"));
+    println!("  node-hours          : {:?}", outcome.plan.node_hours());
+    println!("  storage mix         : {:?}", outcome.plan.storage_mix());
+    println!("  expected cost       : ${:.2}", outcome.plan.expected_cost);
+    println!("  expected completion : {:.1} h", outcome.plan.expected_completion_hours);
+    println!();
+    println!("measured execution:");
+    println!("  completion          : {:.2} h", outcome.execution.completion_hours);
+    println!("  met deadline        : {:?}", outcome.execution.met_deadline);
+    println!("  total cost          : ${:.2}", outcome.execution.total_cost);
+    for (category, cost) in outcome.execution.cost_breakdown.iter() {
+        println!("    {category:?}: ${cost:.2}");
+    }
+    println!();
+    println!(
+        "planning overhead: model {} vars / {} constraints, built in {:?}, solved in {:?}",
+        outcome.planning.model_vars,
+        outcome.planning.model_constraints,
+        outcome.planning.model_build_time,
+        outcome.planning.solve_time,
+    );
+}

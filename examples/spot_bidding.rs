@@ -1,0 +1,80 @@
+//! Spot-market bidding (§6.5, Figures 13 and 14).
+//!
+//! Generates the two spot-price traces the paper evaluates against (an
+//! AWS-like unpredictable trace and an electricity-market-like diurnal
+//! trace), then compares regular instances against spot deployments driven by
+//! the paper's bid predictors (-opt, -p0, -p5, -p13).
+//!
+//! Run with: `cargo run --example spot_bidding -p conductor-core`
+
+use conductor_cloud::{SpotMarket, SpotTrace, TraceKind};
+use conductor_core::{BidPredictor, SpotDeploymentSimulator};
+
+fn main() {
+    let hours = 24 * 35;
+    let starts: Vec<usize> = (0..24 * 28).step_by(5).collect();
+    // The paper's job shape: ~80 node-hours (16 nodes x 5 h) with slack to
+    // wait for cheap prices within a 12-hour window.
+    let node_hours = 80;
+    let concurrency = 16;
+    let deadline = 12;
+
+    println!("=== Spot price traces (Figure 13) ===");
+    for (label, trace) in [
+        ("electricity-like", SpotTrace::electricity_like(42, hours)),
+        ("aws-like", SpotTrace::aws_like(42, hours)),
+    ] {
+        let prices = trace.prices();
+        let mean = prices.iter().sum::<f64>() / prices.len() as f64;
+        let min = prices.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = prices.iter().copied().fold(0.0f64, f64::max);
+        println!("  {label:<18} mean ${mean:.3}/h  min ${min:.3}  max ${max:.3}");
+        // A one-day excerpt so the diurnal structure (or its absence) is visible.
+        let day: Vec<String> = trace.window(72, 24).iter().map(|p| format!("{p:.2}")).collect();
+        println!("    day 4 hourly prices: {}", day.join(" "));
+    }
+
+    println!();
+    println!("=== Spot savings by predictor (Figure 14) ===");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>14}",
+        "scenario", "avg cost $", "max cost $", "stddev", "interrupted %"
+    );
+    for (kind, prefix) in
+        [(TraceKind::AwsLike, "aws"), (TraceKind::ElectricityLike, "el")]
+    {
+        let trace = match kind {
+            TraceKind::AwsLike => SpotTrace::aws_like(42, hours),
+            TraceKind::ElectricityLike => SpotTrace::electricity_like(42, hours),
+        };
+        let market = SpotMarket::new(trace, 0.34);
+        let sim = SpotDeploymentSimulator::new(market, node_hours, concurrency, deadline);
+        let predictors = [
+            BidPredictor::Regular,
+            BidPredictor::Optimal,
+            BidPredictor::Current,
+            BidPredictor::MaxOfPastDays { days: 5 },
+            BidPredictor::MaxOfPastDays { days: 13 },
+        ];
+        for predictor in predictors {
+            let label = if predictor == BidPredictor::Regular {
+                "regular".to_string()
+            } else {
+                format!("{prefix}-{}", predictor.label())
+            };
+            let result = sim.run_scenario(&label, predictor, &starts);
+            println!(
+                "{:<12} {:>12.2} {:>12.2} {:>10.2} {:>13.0}%",
+                result.label,
+                result.average_cost,
+                result.max_cost,
+                result.std_dev,
+                result.interruption_rate * 100.0
+            );
+        }
+    }
+    println!();
+    println!("Spot allocation cuts the average job cost by roughly half versus regular");
+    println!("instances, and even the trivial p0 predictor captures most of the savings —");
+    println!("the paper's two main observations in §6.5.");
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration tests: planning, deployment and adaptation across
+//! all crates, reproducing the qualitative claims of the paper's evaluation.
+
+use conductor_cloud::{Catalog, CostCategory};
+use conductor_core::{AdaptiveController, Goal, JobController, Planner, ResourcePool};
+use conductor_lp::SolveOptions;
+use conductor_mapreduce::Workload;
+use std::time::Duration;
+
+fn fast_options() -> SolveOptions {
+    SolveOptions {
+        relative_gap: 0.02,
+        max_nodes: 2_000,
+        time_limit: Duration::from_secs(60),
+        ..Default::default()
+    }
+}
+
+fn cloud_controller() -> JobController {
+    let catalog = Catalog::aws_july_2011();
+    let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+    JobController::new(catalog, Planner::new(pool).with_solve_options(fast_options()))
+}
+
+/// §6.2: Conductor meets the 6-hour deadline on the cloud-only scenario, its
+/// measured cost is in the same range as the plan's expectation, and the cost
+/// is dominated by EC2 computation (not storage or transfer).
+#[test]
+fn cloud_only_deployment_matches_paper_shape() {
+    let outcome = cloud_controller()
+        .run(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 6.0 })
+        .unwrap();
+    assert_eq!(outcome.execution.met_deadline, Some(true));
+    assert!(outcome.plan.expected_cost > 20.0 && outcome.plan.expected_cost < 45.0);
+    let compute = outcome.execution.cost_breakdown.get(CostCategory::Computation);
+    assert!(compute > 0.5 * outcome.execution.total_cost);
+    // The plan keeps the data on EC2 instance disks, as the paper reports.
+    let mix = outcome.plan.storage_mix();
+    assert!(mix.get("EC2-disk").copied().unwrap_or(0.0) > 0.9, "{mix:?}");
+}
+
+/// §6.3 (Figure 10): in the hybrid scenario Conductor uses the free local
+/// nodes, meets the 4-hour deadline, and costs less than a cloud-only run of
+/// the same job under the same deadline.
+#[test]
+fn hybrid_deployment_uses_local_nodes_and_saves_money() {
+    let catalog = Catalog::aws_with_local_cluster(5);
+    let pool =
+        ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large", "local"]);
+    let controller =
+        JobController::new(catalog, Planner::new(pool).with_solve_options(fast_options()));
+    let spec = Workload::KMeans32Gb.spec();
+    let hybrid =
+        controller.run(&spec, Goal::MinimizeCost { deadline_hours: 4.0 }).unwrap();
+    assert_eq!(hybrid.execution.met_deadline, Some(true));
+    assert!(hybrid.plan.peak_nodes("local") > 0, "local nodes unused");
+
+    let cloud_only = {
+        let catalog = Catalog::aws_july_2011();
+        let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+        JobController::new(catalog, Planner::new(pool).with_solve_options(fast_options()))
+            .run(&spec, Goal::MinimizeCost { deadline_hours: 4.0 })
+            .unwrap()
+    };
+    assert!(
+        hybrid.plan.expected_cost < cloud_only.plan.expected_cost,
+        "hybrid {} vs cloud-only {}",
+        hybrid.plan.expected_cost,
+        cloud_only.plan.expected_cost
+    );
+}
+
+/// §6.4 (Figure 12): with a 3.3x throughput misprediction, re-planning after
+/// one hour rescues the deadline that a non-adaptive run misses.
+#[test]
+fn adaptation_rescues_mispredicted_deployment() {
+    let catalog = Catalog::aws_july_2011();
+    let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+    let controller = AdaptiveController::new(catalog, pool).with_solve_options(fast_options());
+    let report = controller
+        .run_with_misprediction(
+            &Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost { deadline_hours: 7.0 },
+            1.44,
+            0.44,
+            1.0,
+        )
+        .unwrap();
+    assert!(report.adaptation_rescued_deadline());
+    assert!(
+        report.updated_plan.peak_nodes("m1.large")
+            > report.initial_plan.peak_nodes("m1.large")
+    );
+}
+
+/// A minimize-time goal under a generous budget finishes near the uplink
+/// lower bound; tightening the budget can only lengthen the plan.
+#[test]
+fn minimize_time_budget_tradeoff() {
+    let catalog = Catalog::aws_july_2011();
+    let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+    let planner = Planner::new(pool).with_solve_options(fast_options());
+    let spec = Workload::KMeans32Gb.spec();
+    let (rich, _) = planner
+        .plan(&spec, Goal::MinimizeTime { budget_usd: 80.0, max_hours: 12.0 })
+        .unwrap();
+    let (poor, _) = planner
+        .plan(&spec, Goal::MinimizeTime { budget_usd: 30.0, max_hours: 12.0 })
+        .unwrap();
+    assert!(rich.expected_completion_hours <= poor.expected_completion_hours + 1e-9);
+    assert!(rich.expected_cost <= 80.0 + 1e-6);
+    assert!(poor.expected_cost <= 30.0 + 1e-6);
+}

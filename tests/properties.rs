@@ -1,0 +1,188 @@
+//! Property-based tests over the core data structures and invariants:
+//! the LP solver, the billing rules, the spot traces and the storage layer.
+
+use conductor_cloud::{BillingAccount, Catalog, SpotMarket, SpotTrace, TraceKind};
+use conductor_lp::{ConstraintOp, Problem, Sense};
+use conductor_storage::{BlockKey, FileSystemShim, InMemoryBackend, StorageClient};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any bounded-variable LP `max c·x  s.t. x_i <= u_i`, the optimum is
+    /// attained at the upper bounds of the profitable variables.
+    #[test]
+    fn lp_box_maximization_hits_upper_bounds(
+        coeffs in proptest::collection::vec(-5.0f64..5.0, 1..6),
+        bounds in proptest::collection::vec(0.1f64..10.0, 1..6),
+    ) {
+        let n = coeffs.len().min(bounds.len());
+        let mut p = Problem::new("box", Sense::Maximize);
+        let vars: Vec<_> =
+            (0..n).map(|i| p.add_var(format!("x{i}"), 0.0, bounds[i])).collect();
+        p.set_objective(vars.iter().zip(&coeffs).map(|(&v, &c)| (v, c)));
+        let sol = p.solve().unwrap();
+        let expected: f64 =
+            (0..n).map(|i| if coeffs[i] > 0.0 { coeffs[i] * bounds[i] } else { 0.0 }).sum();
+        prop_assert!((sol.objective() - expected).abs() < 1e-6,
+            "objective {} vs expected {expected}", sol.objective());
+    }
+
+    /// The solver never returns a solution that violates its own constraints.
+    #[test]
+    fn lp_solutions_are_feasible(
+        a in proptest::collection::vec(0.1f64..4.0, 4),
+        rhs in proptest::collection::vec(1.0f64..20.0, 2),
+        costs in proptest::collection::vec(0.1f64..5.0, 2),
+    ) {
+        let mut p = Problem::new("feas", Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        let y = p.add_var("y", 0.0, f64::INFINITY);
+        p.set_objective([(x, costs[0]), (y, costs[1])]);
+        p.add_constraint("c0", [(x, a[0]), (y, a[1])], ConstraintOp::Ge, rhs[0]);
+        p.add_constraint("c1", [(x, a[2]), (y, a[3])], ConstraintOp::Ge, rhs[1]);
+        let sol = p.solve().unwrap();
+        let (xv, yv) = (sol.value(x), sol.value(y));
+        prop_assert!(xv >= -1e-9 && yv >= -1e-9);
+        prop_assert!(a[0] * xv + a[1] * yv >= rhs[0] - 1e-6);
+        prop_assert!(a[2] * xv + a[3] * yv >= rhs[1] - 1e-6);
+    }
+
+    /// Integer solutions are integral and never better than the LP relaxation.
+    #[test]
+    fn mip_respects_integrality_and_relaxation_bound(
+        weights in proptest::collection::vec(1.0f64..10.0, 3),
+        values in proptest::collection::vec(1.0f64..10.0, 3),
+        capacity in 5.0f64..25.0,
+    ) {
+        let build = |integer: bool| {
+            let mut p = Problem::new("knap", Sense::Maximize);
+            let vars: Vec<_> = (0..3)
+                .map(|i| if integer {
+                    p.add_int_var(format!("x{i}"), 0.0, 3.0)
+                } else {
+                    p.add_var(format!("x{i}"), 0.0, 3.0)
+                })
+                .collect();
+            p.set_objective(vars.iter().zip(&values).map(|(&v, &c)| (v, c)));
+            p.add_constraint(
+                "cap",
+                vars.iter().zip(&weights).map(|(&v, &w)| (v, w)),
+                ConstraintOp::Le,
+                capacity,
+            );
+            (p, vars)
+        };
+        let (relaxed, _) = build(false);
+        let lp = relaxed.solve().unwrap().objective();
+        let (integral, vars) = build(true);
+        let sol = integral.solve().unwrap();
+        for v in vars {
+            let x = sol.value(v);
+            prop_assert!((x - x.round()).abs() < 1e-6, "non-integral {x}");
+        }
+        prop_assert!(sol.objective() <= lp + 1e-6);
+    }
+
+    /// EC2-style billing: rounded-up hours are never less than the exact
+    /// hours, never more than one extra hour per session, and always at
+    /// least one hour.
+    #[test]
+    fn billing_roundup_is_bounded(durations in proptest::collection::vec(0.01f64..9.0, 1..8)) {
+        let catalog = Catalog::aws_july_2011();
+        let large = catalog.instance("m1.large").unwrap();
+        let mut acct = BillingAccount::new(catalog.transfer);
+        let mut exact = 0.0;
+        for &d in &durations {
+            let s = acct.start_instance(large, 10.0);
+            acct.stop_instance(s, 10.0 + d);
+            exact += d;
+        }
+        let billed = acct.instance_hours("m1.large");
+        prop_assert!(billed >= exact - 1e-9);
+        prop_assert!(billed >= durations.len() as f64 * 1.0 - 1e-9);
+        prop_assert!(billed <= exact + durations.len() as f64 + 1e-9);
+    }
+
+    /// Spot traces stay within their documented bands for any seed/length.
+    #[test]
+    fn spot_traces_stay_in_band(seed in 0u64..5000, hours in 24usize..24*20) {
+        let aws = SpotTrace::aws_like(seed, hours);
+        prop_assert_eq!(aws.len(), hours);
+        for &p in aws.prices() {
+            prop_assert!((0.15..=0.45).contains(&p));
+        }
+        let el = SpotTrace::electricity_like(seed, hours);
+        for &p in el.prices() {
+            prop_assert!(p >= 0.0 && p < 0.34);
+        }
+    }
+
+    /// Running a spot instance never charges more than bid × hours, and an
+    /// uninterrupted run completes exactly the requested hours.
+    #[test]
+    fn spot_run_cost_is_bounded_by_bid(
+        seed in 0u64..1000,
+        start in 0usize..200,
+        hours in 1usize..20,
+        bid in 0.15f64..0.45,
+    ) {
+        let market = SpotMarket::new(SpotTrace::aws_like(seed, 400), 0.34);
+        let outcome = market.run_instance(start, hours, bid);
+        prop_assert!(outcome.cost <= bid * outcome.hours_run as f64 + 1e-9);
+        prop_assert!(outcome.hours_run <= hours);
+        if !outcome.out_bid {
+            prop_assert_eq!(outcome.hours_run, hours);
+        }
+    }
+
+    /// Files written through the storage shim always read back identically,
+    /// regardless of content or chunk size (round-trip invariant).
+    #[test]
+    fn storage_files_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        chunk in 1usize..512,
+    ) {
+        let mut client = StorageClient::new();
+        client.add_backend(InMemoryBackend::local_disk(1), true);
+        client.add_backend(InMemoryBackend::local_disk(2), false);
+        client.add_backend(InMemoryBackend::object_store(3), false);
+        let mut fs = FileSystemShim::with_chunk_size(client, chunk);
+        fs.write_file("prop/file", &data).unwrap();
+        let back = fs.read_file("prop/file").unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Every block written through the client keeps at least one readable
+    /// replica after any single backend is removed (3-way replication over
+    /// three or more backends).
+    #[test]
+    fn storage_survives_single_backend_loss(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        victim in 0usize..3,
+    ) {
+        let mut client = StorageClient::new();
+        let ids = [
+            client.add_backend(InMemoryBackend::local_disk(1), true),
+            client.add_backend(InMemoryBackend::local_disk(2), false),
+            client.add_backend(InMemoryBackend::local_disk(3), false),
+        ];
+        let key = BlockKey::chunk("prop", 0);
+        client.write(key.clone(), payload.clone()).unwrap();
+        client.remove_backend(ids[victim]);
+        prop_assert_eq!(client.read(&key).unwrap(), payload);
+    }
+}
+
+/// Non-proptest sanity check that the trace generators are deterministic
+/// (needed for reproducible figures).
+#[test]
+fn trace_generation_is_deterministic() {
+    for kind in [TraceKind::AwsLike, TraceKind::ElectricityLike] {
+        let make = || match kind {
+            TraceKind::AwsLike => SpotTrace::aws_like(99, 240),
+            TraceKind::ElectricityLike => SpotTrace::electricity_like(99, 240),
+        };
+        assert_eq!(make(), make());
+    }
+}
