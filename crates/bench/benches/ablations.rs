@@ -16,7 +16,9 @@ use std::time::Duration;
 fn bench_timestep_granularity(c: &mut Criterion) {
     let spec = Workload::KMeans32Gb.spec();
     let mut group = c.benchmark_group("ablation_timestep");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     for (label, interval) in [("1h", 1.0f64), ("30min", 0.5)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &interval, |b, &dt| {
             let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
@@ -26,7 +28,16 @@ fn bench_timestep_granularity(c: &mut Criterion) {
                 ..Default::default()
             });
             planner.interval_hours = dt;
-            b.iter(|| planner.plan(&spec, Goal::MinimizeCost { deadline_hours: 6.0 }).unwrap());
+            b.iter(|| {
+                planner
+                    .plan(
+                        &spec,
+                        Goal::MinimizeCost {
+                            deadline_hours: 6.0,
+                        },
+                    )
+                    .unwrap()
+            });
         });
     }
     group.finish();
@@ -35,23 +46,29 @@ fn bench_timestep_granularity(c: &mut Criterion) {
 /// Ablation: the semi-continuous Map→Reduce barrier vs a model without a
 /// reduce phase at all (what a naive "map-only" cost model would solve).
 fn bench_barrier(c: &mut Criterion) {
-    let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
-        .with_compute_only(&["m1.large"]);
+    let pool =
+        ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0).with_compute_only(&["m1.large"]);
     let mut group = c.benchmark_group("ablation_barrier");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     for (label, with_reduce) in [("with_barrier", true), ("map_only", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &with_reduce, |b, &wr| {
-            let mut spec = Workload::KMeans32Gb.spec();
-            if !wr {
-                spec.map_output_ratio = 0.0;
-                spec.reduce_output_ratio = 0.0;
-            }
-            let config = ModelConfig::default();
-            b.iter(|| {
-                let model = ModelInstance::build(&pool, &spec, &config).unwrap();
-                model.problem.solve().unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &with_reduce,
+            |b, &wr| {
+                let mut spec = Workload::KMeans32Gb.spec();
+                if !wr {
+                    spec.map_output_ratio = 0.0;
+                    spec.reduce_output_ratio = 0.0;
+                }
+                let config = ModelConfig::default();
+                b.iter(|| {
+                    let model = ModelInstance::build(&pool, &spec, &config).unwrap();
+                    model.problem.solve().unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -79,5 +96,10 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_timestep_granularity, bench_barrier, bench_scheduler);
+criterion_group!(
+    benches,
+    bench_timestep_granularity,
+    bench_barrier,
+    bench_scheduler
+);
 criterion_main!(benches);

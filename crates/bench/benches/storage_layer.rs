@@ -28,19 +28,27 @@ fn bench_write_path(c: &mut Criterion) {
                 let mut i = 0usize;
                 b.iter(|| {
                     i += 1;
-                    client.write(BlockKey::chunk("bench", i), data.clone()).unwrap()
+                    client
+                        .write(BlockKey::chunk("bench", i), data.clone())
+                        .unwrap()
                 });
             },
         );
         // Direct single-backend write (the HDFS-like baseline).
-        group.bench_with_input(BenchmarkId::new("direct_backend", size_kb), &data, |b, data| {
-            let mut backend = InMemoryBackend::local_disk(1);
-            let mut i = 0usize;
-            b.iter(|| {
-                i += 1;
-                backend.put(BlockKey::chunk("bench", i), data.clone()).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("direct_backend", size_kb),
+            &data,
+            |b, data| {
+                let mut backend = InMemoryBackend::local_disk(1);
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    backend
+                        .put(BlockKey::chunk("bench", i), data.clone())
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -4,11 +4,31 @@ use conductor_lp::SolveOptions;
 use conductor_mapreduce::Workload;
 use std::time::{Duration, Instant};
 fn main() {
-    let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0).with_compute_only(&["m1.large"]);
-    let planner = Planner::new(pool).with_solve_options(SolveOptions{ time_limit: Duration::from_secs(120), ..Default::default()});
+    let pool =
+        ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0).with_compute_only(&["m1.large"]);
+    let planner = Planner::new(pool).with_solve_options(SolveOptions {
+        time_limit: Duration::from_secs(120),
+        ..Default::default()
+    });
     let t = Instant::now();
-    let (plan, report) = planner.plan(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost{deadline_hours: 6.0}).unwrap();
-    println!("wall {:?} solve {:?} nodes {} iters {} vars {} cons {} cost {:.2} peak {} optimal {}",
-        t.elapsed(), report.solve_time, report.nodes_explored, report.simplex_iterations,
-        report.model_vars, report.model_constraints, plan.expected_cost, plan.peak_nodes("m1.large"), plan.proven_optimal);
+    let (plan, report) = planner
+        .plan(
+            &Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 6.0,
+            },
+        )
+        .unwrap();
+    println!(
+        "wall {:?} solve {:?} nodes {} iters {} vars {} cons {} cost {:.2} peak {} optimal {}",
+        t.elapsed(),
+        report.solve_time,
+        report.nodes_explored,
+        report.simplex_iterations,
+        report.model_vars,
+        report.model_constraints,
+        plan.expected_cost,
+        plan.peak_nodes("m1.large"),
+        plan.proven_optimal
+    );
 }

@@ -2,5 +2,8 @@
 //! `cargo run --release -p conductor-bench --bin fig09_storage_mix_scaled`
 
 fn main() {
-    println!("{}", conductor_bench::experiments::fig09_storage_mix_scaled());
+    println!(
+        "{}",
+        conductor_bench::experiments::fig09_storage_mix_scaled()
+    );
 }

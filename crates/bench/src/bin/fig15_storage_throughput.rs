@@ -2,5 +2,8 @@
 //! `cargo run --release -p conductor-bench --bin fig15_storage_throughput`
 
 fn main() {
-    println!("{}", conductor_bench::experiments::fig15_storage_throughput());
+    println!(
+        "{}",
+        conductor_bench::experiments::fig15_storage_throughput()
+    );
 }

@@ -44,14 +44,25 @@ pub fn fig01_ecu_divergence() -> Table {
     let reference = catalog.instance("m1.large").unwrap();
     let mut t = Table::new(
         "Figure 1: specified vs measured performance per instance type",
-        &["instance", "ECU", "projected GB/h", "measured GB/h", "divergence GB/h"],
+        &[
+            "instance",
+            "ECU",
+            "projected GB/h",
+            "measured GB/h",
+            "divergence GB/h",
+        ],
     );
     for name in ["m1.large", "m1.xlarge", "c1.xlarge"] {
         let i = catalog.instance(name).unwrap();
         let projected = i.projected_throughput_gbph(reference);
         t.push(
             name,
-            vec![i.ecu, projected, i.measured_throughput_gbph, projected - i.measured_throughput_gbph],
+            vec![
+                i.ecu,
+                projected,
+                i.measured_throughput_gbph,
+                projected - i.measured_throughput_gbph,
+            ],
         );
     }
     t
@@ -76,9 +87,17 @@ pub fn cloud_only_reports() -> Vec<ExecutionReport> {
     let planner = Planner::new(pool).with_solve_options(solver_options());
     let controller = JobController::new(catalog.clone(), planner);
     let outcome = controller
-        .run(&spec, Goal::MinimizeCost { deadline_hours: deadline })
+        .run(
+            &spec,
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+        )
         .expect("conductor cloud-only plan");
-    reports.push(ExecutionReport { name: "conductor".into(), ..outcome.execution });
+    reports.push(ExecutionReport {
+        name: "conductor".into(),
+        ..outcome.execution
+    });
 
     // Hadoop upload first.
     let upload_first = DeploymentOptions {
@@ -88,7 +107,11 @@ pub fn cloud_only_reports() -> Vec<ExecutionReport> {
             .with_nodes("m1.large", 1, 0.0)
             .with_nodes("m1.large", 100, upload_hours)
     };
-    reports.push(engine.run(&spec, &upload_first, &LocalityScheduler).expect("upload first"));
+    reports.push(
+        engine
+            .run(&spec, &upload_first, &LocalityScheduler)
+            .expect("upload first"),
+    );
 
     // Hadoop direct.
     let direct = DeploymentOptions {
@@ -96,7 +119,11 @@ pub fn cloud_only_reports() -> Vec<ExecutionReport> {
         deadline_hours: Some(deadline),
         ..DeploymentOptions::new("hadoop-direct", uplink).with_nodes("m1.large", 16, 0.0)
     };
-    reports.push(engine.run(&spec, &direct, &LocalityScheduler).expect("direct"));
+    reports.push(
+        engine
+            .run(&spec, &direct, &LocalityScheduler)
+            .expect("direct"),
+    );
 
     // Hadoop S3.
     let s3 = DeploymentOptions {
@@ -115,7 +142,13 @@ pub fn cloud_only_reports() -> Vec<ExecutionReport> {
 pub fn fig05_cloud_cost() -> Table {
     let mut t = Table::new(
         "Figure 5: monetary cost for cloud-only deployment options (USD)",
-        &["option", "network transfer", "computation/EC2", "storage/S3", "total"],
+        &[
+            "option",
+            "network transfer",
+            "computation/EC2",
+            "storage/S3",
+            "total",
+        ],
     );
     for report in cloud_only_reports() {
         t.push(
@@ -135,7 +168,13 @@ pub fn fig05_cloud_cost() -> Table {
 pub fn fig06_cloud_runtime() -> Table {
     let mut t = Table::new(
         "Figure 6: job completion time for cloud-only deployment options (seconds)",
-        &["option", "upload s", "process s", "total s", "met 6h deadline"],
+        &[
+            "option",
+            "upload s",
+            "process s",
+            "total s",
+            "met 6h deadline",
+        ],
     );
     for report in cloud_only_reports() {
         let upload_s = report.phases.upload_hours * 3600.0;
@@ -146,7 +185,11 @@ pub fn fig06_cloud_runtime() -> Table {
                 upload_s,
                 process_s,
                 report.completion_hours * 3600.0,
-                if report.met_deadline == Some(true) { 1.0 } else { 0.0 },
+                if report.met_deadline == Some(true) {
+                    1.0
+                } else {
+                    0.0
+                },
             ],
         );
     }
@@ -170,13 +213,19 @@ pub fn fig07_node_sweep() -> Table {
             ..DeploymentOptions::new(format!("{nodes}-nodes"), uplink)
                 .with_nodes("m1.large", nodes, 0.0)
         };
-        let report = engine.run(&spec, &opts, &LocalityScheduler).expect("node sweep run");
+        let report = engine
+            .run(&spec, &opts, &LocalityScheduler)
+            .expect("node sweep run");
         t.push(
             format!("{nodes} nodes"),
             vec![
                 report.total_cost,
                 report.completion_hours * 3600.0,
-                if report.met_deadline == Some(true) { 1.0 } else { 0.0 },
+                if report.met_deadline == Some(true) {
+                    1.0
+                } else {
+                    0.0
+                },
             ],
         );
     }
@@ -191,7 +240,10 @@ pub fn fig07_node_sweep() -> Table {
 /// stored on EC2 disks (the rest goes to S3). 8 Mbit/s uplink, fast-scan
 /// workload (6.2 GB/h per node).
 pub fn fig08_storage_mix() -> Table {
-    let catalog = Catalog { uplink_mbps: 8.0, ..Catalog::aws_july_2011() };
+    let catalog = Catalog {
+        uplink_mbps: 8.0,
+        ..Catalog::aws_july_2011()
+    };
     let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
     let planner = Planner::new(pool).with_solve_options(solver_options());
     let spec = Workload::KMeansFastScan32Gb.spec();
@@ -213,7 +265,10 @@ pub fn fig08_storage_mix() -> Table {
 /// Figure 9: the same sweep computed analytically for larger inputs
 /// (64/128/256 GB) with S3 storage priced ten times higher.
 pub fn fig09_storage_mix_scaled() -> Table {
-    let mut catalog = Catalog { uplink_mbps: 8.0, ..Catalog::aws_july_2011() };
+    let mut catalog = Catalog {
+        uplink_mbps: 8.0,
+        ..Catalog::aws_july_2011()
+    };
     for s in &mut catalog.storages {
         if s.name == "S3" {
             s.cost_per_gb_hour *= 10.0;
@@ -231,7 +286,10 @@ pub fn fig09_storage_mix_scaled() -> Table {
         // Coarser intervals keep the model size manageable for long uploads.
         planner.interval_hours = 4.0;
         let spec = Workload::KMeansScaled { input_gb }.spec();
-        let spec = JobSpec { reference_throughput_gbph: 6.2, ..spec };
+        let spec = JobSpec {
+            reference_throughput_gbph: 6.2,
+            ..spec
+        };
         let upload_hours = spec.input_gb / mbps_to_gb_per_hour(8.0);
         let deadline = (upload_hours * 1.3).ceil().max(12.0);
         for (fi, fraction) in fractions.iter().enumerate() {
@@ -264,7 +322,12 @@ pub fn fig10_hybrid() -> Table {
     let planner = Planner::new(pool).with_solve_options(solver_options());
     let controller = JobController::new(catalog.clone(), planner);
     let outcome = controller
-        .run(&spec, Goal::MinimizeCost { deadline_hours: deadline })
+        .run(
+            &spec,
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+        )
         .expect("hybrid plan");
     let conductor_nodes = outcome.plan.peak_nodes("m1.large").max(1);
 
@@ -277,19 +340,34 @@ pub fn fig10_hybrid() -> Table {
             .with_nodes("m1.large", conductor_nodes, 0.0)
             .with_nodes("local", 5, 0.0)
     };
-    let hadoop_report = engine.run(&spec, &hadoop, &LocalityScheduler).expect("hybrid hadoop");
+    let hadoop_report = engine
+        .run(&spec, &hadoop, &LocalityScheduler)
+        .expect("hybrid hadoop");
 
     let mut t = Table::new(
         "Figure 10: hybrid deployment, Conductor vs Hadoop (same EC2 node count)",
-        &["system", "cost USD", "upload+process time s", "met 4h deadline"],
+        &[
+            "system",
+            "cost USD",
+            "upload+process time s",
+            "met 4h deadline",
+        ],
     );
     for report in [&outcome.execution, &hadoop_report] {
         t.push(
-            if report.name == "conductor" { "conductor" } else { "hadoop" },
+            if report.name == "conductor" {
+                "conductor"
+            } else {
+                "hadoop"
+            },
             vec![
                 report.total_cost,
                 report.completion_hours * 3600.0,
-                if report.met_deadline == Some(true) { 1.0 } else { 0.0 },
+                if report.met_deadline == Some(true) {
+                    1.0
+                } else {
+                    0.0
+                },
             ],
         );
     }
@@ -314,13 +392,19 @@ pub fn fig11_hybrid_sweep() -> Table {
                 .with_nodes("m1.large", nodes, 0.0)
                 .with_nodes("local", 5, 0.0)
         };
-        let report = engine.run(&spec, &opts, &LocalityScheduler).expect("hybrid sweep run");
+        let report = engine
+            .run(&spec, &opts, &LocalityScheduler)
+            .expect("hybrid sweep run");
         t.push(
             format!("{nodes} EC2 nodes"),
             vec![
                 report.total_cost,
                 report.completion_hours * 3600.0,
-                if report.met_deadline == Some(true) { 1.0 } else { 0.0 },
+                if report.met_deadline == Some(true) {
+                    1.0
+                } else {
+                    0.0
+                },
             ],
         );
     }
@@ -337,12 +421,13 @@ pub fn fig11_hybrid_sweep() -> Table {
 pub fn fig12_adaptation() -> (Table, Table) {
     let catalog = Catalog::aws_july_2011();
     let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
-    let controller =
-        AdaptiveController::new(catalog, pool).with_solve_options(solver_options());
+    let controller = AdaptiveController::new(catalog, pool).with_solve_options(solver_options());
     let report = controller
         .run_with_misprediction(
             &Workload::KMeans32Gb.spec(),
-            Goal::MinimizeCost { deadline_hours: 7.0 },
+            Goal::MinimizeCost {
+                deadline_hours: 7.0,
+            },
             1.44,
             0.44,
             1.0,
@@ -379,7 +464,12 @@ pub fn fig12_adaptation() -> (Table, Table) {
         &["hour", "with adaptation", "without adaptation"],
     );
     let sample = |timeline: &[(f64, usize)], hour: f64| -> usize {
-        timeline.iter().filter(|(t, _)| *t <= hour).map(|(_, c)| *c).max().unwrap_or(0)
+        timeline
+            .iter()
+            .filter(|(t, _)| *t <= hour)
+            .map(|(_, c)| *c)
+            .max()
+            .unwrap_or(0)
     };
     let end = report
         .without_adaptation
@@ -409,7 +499,13 @@ pub fn fig13_spot_traces() -> Table {
     let hours = 24 * 35;
     let mut t = Table::new(
         "Figure 13: spot price traces (m1.large)",
-        &["trace", "mean $/h", "min $/h", "max $/h", "diurnal correlation"],
+        &[
+            "trace",
+            "mean $/h",
+            "min $/h",
+            "max $/h",
+            "diurnal correlation",
+        ],
     );
     for (label, trace) in [
         ("electricity-like", SpotTrace::electricity_like(42, hours)),
@@ -452,7 +548,10 @@ pub fn fig14_spot_savings() -> Table {
     let regular_market = SpotMarket::new(SpotTrace::aws_like(42, hours), 0.34);
     let regular_sim = SpotDeploymentSimulator::new(regular_market, 80, 16, 12);
     let regular = regular_sim.run_scenario("regular", BidPredictor::Regular, &starts);
-    t.push("regular", vec![regular.average_cost, regular.max_cost, regular.std_dev]);
+    t.push(
+        "regular",
+        vec![regular.average_cost, regular.max_cost, regular.std_dev],
+    );
 
     for (prefix, trace) in [
         ("aws", SpotTrace::aws_like(42, hours)),
@@ -491,8 +590,14 @@ pub fn fig15_storage_throughput() -> Table {
     let rows: Vec<(&str, f64)> = vec![
         ("conductor", conductor.throughput_mbps(block)),
         ("hdfs", hdfs.write_throughput_mbps(StoragePath::Hdfs, block)),
-        ("s3-via-hadoop", hdfs.write_throughput_mbps(StoragePath::S3ViaHadoop, block)),
-        ("s3-via-s3cmd", hdfs.write_throughput_mbps(StoragePath::S3ViaS3cmd, block)),
+        (
+            "s3-via-hadoop",
+            hdfs.write_throughput_mbps(StoragePath::S3ViaHadoop, block),
+        ),
+        (
+            "s3-via-s3cmd",
+            hdfs.write_throughput_mbps(StoragePath::S3ViaS3cmd, block),
+        ),
     ];
     for (label, mbps) in rows {
         t.push(label, vec![mbps, 32.0 * 1024.0 / mbps]);
@@ -509,12 +614,21 @@ pub fn fig15_storage_throughput() -> Table {
 pub fn fig16_solve_time() -> Table {
     let mut t = Table::new(
         "Figure 16: model solve time vs input size and available resources",
-        &["input GB", "EC2 only s", "S3+EC2 s", "EC2+S3+local s", "model vars (largest)"],
+        &[
+            "input GB",
+            "EC2 only s",
+            "S3+EC2 s",
+            "EC2+S3+local s",
+            "model vars (largest)",
+        ],
     );
     let uplink = uplink_16();
     for input_gb in [32u32, 64, 128, 256] {
         let spec = Workload::KMeansScaled { input_gb }.spec();
-        let spec = JobSpec { reference_throughput_gbph: 6.2, ..spec };
+        let spec = JobSpec {
+            reference_throughput_gbph: 6.2,
+            ..spec
+        };
         let upload_hours = spec.input_gb / uplink;
         let deadline = (upload_hours * 1.3).ceil().max(6.0);
         let mut row = Vec::new();
@@ -523,7 +637,10 @@ pub fn fig16_solve_time() -> Table {
             let (catalog, computes): (Catalog, Vec<&str>) = match config {
                 "ec2-only" => (Catalog::aws_july_2011(), vec!["m1.large"]),
                 "s3+ec2" => (Catalog::aws_july_2011(), vec!["m1.large"]),
-                _ => (Catalog::aws_with_local_cluster(5), vec!["m1.large", "local"]),
+                _ => (
+                    Catalog::aws_with_local_cluster(5),
+                    vec!["m1.large", "local"],
+                ),
             };
             let mut pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&computes);
             if config == "ec2-only" {
@@ -537,7 +654,12 @@ pub fn fig16_solve_time() -> Table {
             // while preserving the "bigger input -> bigger model" relationship.
             planner.interval_hours = if input_gb > 64 { 2.0 } else { 1.0 };
             let (_, report) = planner
-                .plan(&spec, Goal::MinimizeCost { deadline_hours: deadline })
+                .plan(
+                    &spec,
+                    Goal::MinimizeCost {
+                        deadline_hours: deadline,
+                    },
+                )
                 .expect("fig16 planning");
             row.push(report.solve_time.as_secs_f64());
             largest_vars = largest_vars.max(report.model_vars);
@@ -600,7 +722,10 @@ mod tests {
         let s3cmd = t.value("s3-via-s3cmd", 0).unwrap();
         let s3hadoop = t.value("s3-via-hadoop", 0).unwrap();
         assert!(hdfs > conductor);
-        assert!(conductor > 0.7 * hdfs, "overhead should be ~25%, got {conductor} vs {hdfs}");
+        assert!(
+            conductor > 0.7 * hdfs,
+            "overhead should be ~25%, got {conductor} vs {hdfs}"
+        );
         assert!(s3cmd > s3hadoop);
     }
 }

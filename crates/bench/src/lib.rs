@@ -9,6 +9,8 @@
 //! statistical rigor.
 
 pub mod experiments;
+pub mod solver_bench;
 pub mod table;
 
+pub use solver_bench::{solver_benchmark, SolverBenchReport, SolverBenchRow};
 pub use table::Table;

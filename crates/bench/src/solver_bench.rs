@@ -1,0 +1,262 @@
+//! Before/after comparison harness for the planner's MIP solver.
+//!
+//! Runs the fig16-style planning workloads through three solver
+//! configurations — the preserved seed implementation, the flat-tableau
+//! solver with warm starts disabled, and the full warm-started solver — and
+//! reports wall-clock, solution quality and warm-start statistics. The
+//! `fig16_solve_time` binary serializes this report to `BENCH_solver.json`
+//! so the perf trajectory is tracked across PRs.
+
+use conductor_cloud::{catalog::mbps_to_gb_per_hour, Catalog};
+use conductor_core::{Goal, Planner, PlanningReport, ResourcePool};
+use conductor_lp::SolveOptions;
+use conductor_mapreduce::{JobSpec, Workload};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One workload × solver-configuration measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverBenchRow {
+    /// Workload label, e.g. `kmeans-64gb-mig` for the migration-enabled run.
+    pub workload: String,
+    /// Input size driving the model's horizon.
+    pub input_gb: u32,
+    /// Planning interval length (larger inputs use coarser intervals, as in
+    /// Figure 16).
+    pub interval_hours: f64,
+    /// Whether the model includes migration variables.
+    pub migration: bool,
+    /// End-to-end planning wall-clock (model build + solve), milliseconds.
+    pub seed_total_ms: f64,
+    pub cold_total_ms: f64,
+    pub warm_total_ms: f64,
+    /// Solver-only wall-clock, milliseconds.
+    pub seed_solve_ms: f64,
+    pub cold_solve_ms: f64,
+    pub warm_solve_ms: f64,
+    /// Plan cost (objective) per configuration — must agree within the gap.
+    pub seed_cost: f64,
+    pub cold_cost: f64,
+    pub warm_cost: f64,
+    /// Warm-configuration branch & bound statistics.
+    pub nodes: usize,
+    pub simplex_iterations: usize,
+    pub warm_start_hits: usize,
+    pub warm_start_misses: usize,
+    pub warm_start_rate: f64,
+    /// `seed_solve_ms / warm_solve_ms`.
+    pub speedup_vs_seed: f64,
+}
+
+/// The full report: rows plus aggregate summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverBenchReport {
+    /// How to regenerate this file.
+    pub generated_by: String,
+    /// The relative MIP gap all configurations solve to.
+    pub relative_gap: f64,
+    pub rows: Vec<SolverBenchRow>,
+    /// Minimum per-row speedup of the warm solver over the seed solver.
+    pub min_speedup_vs_seed: f64,
+    /// Geometric mean of the per-row speedups.
+    pub geomean_speedup_vs_seed: f64,
+    /// Warm-start hits / attempts across all rows.
+    pub overall_warm_start_rate: f64,
+}
+
+/// Solve options shared by every configuration (fig16's gap, a generous cap
+/// so none of the measured sizes are time-limited).
+fn bench_options() -> SolveOptions {
+    SolveOptions {
+        time_limit: Duration::from_secs(120),
+        ..Default::default()
+    }
+}
+
+fn planner_for(input_gb: u32, migration: bool) -> Planner {
+    let pool =
+        ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0).with_compute_only(&["m1.large"]);
+    let mut planner = Planner::new(pool).with_migration(migration);
+    // Figure 16 keeps the comparison fair across input sizes by coarsening
+    // the interval for long horizons; 64 GB also gets the coarser interval
+    // here so no configuration is time-limited.
+    planner.interval_hours = if input_gb > 32 { 2.0 } else { 1.0 };
+    planner
+}
+
+fn spec_for(input_gb: u32) -> (JobSpec, f64) {
+    let spec = Workload::KMeansScaled { input_gb }.spec();
+    let spec = JobSpec {
+        reference_throughput_gbph: 6.2,
+        ..spec
+    };
+    let upload_hours = spec.input_gb / mbps_to_gb_per_hour(16.0);
+    let deadline = (upload_hours * 1.3).ceil().max(6.0);
+    (spec, deadline)
+}
+
+fn run_one(
+    input_gb: u32,
+    migration: bool,
+    options: SolveOptions,
+) -> (f64, f64, f64, PlanningReport) {
+    let planner = planner_for(input_gb, migration).with_solve_options(options);
+    let (spec, deadline) = spec_for(input_gb);
+    let t0 = Instant::now();
+    let (plan, report) = planner
+        .plan(
+            &spec,
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+        )
+        .expect("solver bench planning");
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (
+        total_ms,
+        report.solve_time.as_secs_f64() * 1e3,
+        plan.expected_cost,
+        report,
+    )
+}
+
+/// Repetitions per configuration; the minimum is reported (standard practice
+/// for wall-clock microbenchmarks — the minimum is the least noisy estimator
+/// of the true cost).
+const REPS: usize = 5;
+
+fn run_best(
+    input_gb: u32,
+    migration: bool,
+    options: SolveOptions,
+) -> (f64, f64, f64, PlanningReport) {
+    (0..REPS)
+        .map(|_| run_one(input_gb, migration, options.clone()))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one repetition")
+}
+
+/// Measures one workload under all three configurations.
+pub fn bench_workload(input_gb: u32, migration: bool) -> SolverBenchRow {
+    let seed_opts = SolveOptions {
+        seed_baseline: true,
+        ..bench_options()
+    };
+    let cold_opts = SolveOptions {
+        warm_start: false,
+        ..bench_options()
+    };
+    let warm_opts = bench_options();
+
+    let (seed_total, seed_solve, seed_cost, _) = run_best(input_gb, migration, seed_opts);
+    let (cold_total, cold_solve, cold_cost, _) = run_best(input_gb, migration, cold_opts);
+    let (warm_total, warm_solve, warm_cost, report) = run_best(input_gb, migration, warm_opts);
+
+    SolverBenchRow {
+        workload: format!("kmeans-{input_gb}gb{}", if migration { "-mig" } else { "" }),
+        input_gb,
+        interval_hours: if input_gb > 32 { 2.0 } else { 1.0 },
+        migration,
+        seed_total_ms: seed_total,
+        cold_total_ms: cold_total,
+        warm_total_ms: warm_total,
+        seed_solve_ms: seed_solve,
+        cold_solve_ms: cold_solve,
+        warm_solve_ms: warm_solve,
+        seed_cost,
+        cold_cost,
+        warm_cost,
+        nodes: report.nodes_explored,
+        simplex_iterations: report.simplex_iterations,
+        warm_start_hits: report.warm_start_hits,
+        warm_start_misses: report.warm_start_misses,
+        warm_start_rate: report.warm_start_rate(),
+        speedup_vs_seed: seed_solve / warm_solve.max(1e-9),
+    }
+}
+
+/// Runs the whole comparison matrix (fig16 sizes plus a migration-enabled
+/// model) and aggregates the summary.
+pub fn solver_benchmark() -> SolverBenchReport {
+    let matrix: &[(u32, bool)] = &[(32, false), (128, false), (256, false), (128, true)];
+    let rows: Vec<SolverBenchRow> = matrix
+        .iter()
+        .map(|&(gb, mig)| bench_workload(gb, mig))
+        .collect();
+
+    let min_speedup = rows
+        .iter()
+        .map(|r| r.speedup_vs_seed)
+        .fold(f64::INFINITY, f64::min);
+    let geomean =
+        (rows.iter().map(|r| r.speedup_vs_seed.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let hits: usize = rows.iter().map(|r| r.warm_start_hits).sum();
+    let misses: usize = rows.iter().map(|r| r.warm_start_misses).sum();
+    let overall_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+
+    SolverBenchReport {
+        generated_by: "cargo run --release -p conductor-bench --bin fig16_solve_time".to_string(),
+        relative_gap: bench_options().relative_gap,
+        rows,
+        min_speedup_vs_seed: min_speedup,
+        geomean_speedup_vs_seed: geomean,
+        overall_warm_start_rate: overall_rate,
+    }
+}
+
+/// Renders the report as a human-readable table (printed next to the JSON).
+pub fn render_report(report: &SolverBenchReport) -> String {
+    let mut out = String::from(
+        "workload          seed ms    cold ms    warm ms  speedup  warm-rate  cost (seed/warm)\n",
+    );
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{:<16} {:>8.1} {:>10.1} {:>10.1} {:>7.2}x {:>9.0}% {:>8.2}/{:.2}\n",
+            r.workload,
+            r.seed_solve_ms,
+            r.cold_solve_ms,
+            r.warm_solve_ms,
+            r.speedup_vs_seed,
+            r.warm_start_rate * 100.0,
+            r.seed_cost,
+            r.warm_cost,
+        ));
+    }
+    out.push_str(&format!(
+        "min speedup {:.2}x, geomean {:.2}x, overall warm-start rate {:.0}%\n",
+        report.min_speedup_vs_seed,
+        report.geomean_speedup_vs_seed,
+        report.overall_warm_start_rate * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smallest workload: all three configurations must agree on cost
+    /// within the configured gap, and warm starts must actually fire.
+    #[test]
+    fn configurations_agree_and_warm_starts_fire() {
+        let row = bench_workload(32, false);
+        let tol = bench_options().relative_gap * row.seed_cost.abs() + 1e-6;
+        assert!(
+            (row.seed_cost - row.warm_cost).abs() <= 2.0 * tol,
+            "seed {} vs warm {}",
+            row.seed_cost,
+            row.warm_cost
+        );
+        assert!(
+            (row.cold_cost - row.warm_cost).abs() <= 2.0 * tol,
+            "cold {} vs warm {}",
+            row.cold_cost,
+            row.warm_cost
+        );
+        assert!(row.warm_start_hits > 0, "no warm-start hits: {row:?}");
+    }
+}

@@ -31,7 +31,11 @@ impl Table {
 
     /// Looks up a value by row label and column index.
     pub fn value(&self, row: &str, col: usize) -> Option<f64> {
-        self.rows.iter().find(|(r, _)| r == row).and_then(|(_, v)| v.get(col)).copied()
+        self.rows
+            .iter()
+            .find(|(r, _)| r == row)
+            .and_then(|(_, v)| v.get(col))
+            .copied()
     }
 
     /// Renders the table as GitHub-flavoured markdown.

@@ -101,7 +101,10 @@ pub struct BillingAccount {
 impl BillingAccount {
     /// Creates an account using the given transfer pricing.
     pub fn new(transfer: TransferPricing) -> Self {
-        Self { transfer: Some(transfer), ..Default::default() }
+        Self {
+            transfer: Some(transfer),
+            ..Default::default()
+        }
     }
 
     /// Starts renting one instance of `itype` at simulation time `now`
@@ -142,8 +145,16 @@ impl BillingAccount {
         };
         let elapsed = (now - s.started_at).max(0.0);
         let billed_hours = elapsed.ceil().max(1.0);
-        let cost = if s.is_local { 0.0 } else { billed_hours * s.effective_hourly_price };
-        let category = if s.is_local { CostCategory::Local } else { CostCategory::Computation };
+        let cost = if s.is_local {
+            0.0
+        } else {
+            billed_hours * s.effective_hourly_price
+        };
+        let category = if s.is_local {
+            CostCategory::Local
+        } else {
+            CostCategory::Computation
+        };
         self.breakdown.add(category, cost);
         *self.instance_hours.entry(s.instance_name).or_insert(0.0) += billed_hours;
         cost
@@ -211,7 +222,10 @@ impl BillingAccount {
 
     /// Billed instance-hours per instance type.
     pub fn instance_hours(&self, instance_name: &str) -> f64 {
-        self.instance_hours.get(instance_name).copied().unwrap_or(0.0)
+        self.instance_hours
+            .get(instance_name)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Closes every open rental session at time `now` and returns the total
@@ -264,7 +278,9 @@ mod tests {
         for s in sessions {
             acct.stop_instance(s, 1.1);
         }
-        assert!((acct.breakdown().get(CostCategory::Computation) - 100.0 * 2.0 * 0.34).abs() < 1e-6);
+        assert!(
+            (acct.breakdown().get(CostCategory::Computation) - 100.0 * 2.0 * 0.34).abs() < 1e-6
+        );
     }
 
     #[test]

@@ -133,7 +133,11 @@ pub struct TransferPricing {
 impl TransferPricing {
     /// AWS US-East pricing as of July 2011.
     pub fn aws_july_2011() -> Self {
-        Self { in_per_gb: 0.10, out_per_gb: 0.12, intra_cloud_per_gb: 0.0 }
+        Self {
+            in_per_gb: 0.10,
+            out_per_gb: 0.12,
+            intra_cloud_per_gb: 0.0,
+        }
     }
 }
 

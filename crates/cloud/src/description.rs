@@ -107,7 +107,11 @@ impl ServiceDescription {
             name: self.name.clone(),
             ecu: 0.0,
             memory_gb: 0.0,
-            disk_gb: if self.storage_capacity < 0 { 0.0 } else { self.storage_capacity as f64 },
+            disk_gb: if self.storage_capacity < 0 {
+                0.0
+            } else {
+                self.storage_capacity as f64
+            },
             hourly_price: self.hourly_price,
             measured_throughput_gbph: self.capacity_gbph,
             max_instances: if self.max_instances < 0 {

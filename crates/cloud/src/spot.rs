@@ -55,11 +55,18 @@ impl SpotTrace {
             let noise: f64 = rng.gen_range(-0.02..0.02);
             level += 0.3 * (0.17 - level) + noise;
             // Occasional spikes (~3% of hours) unrelated to time of day.
-            let spike = if rng.gen_bool(0.03) { rng.gen_range(0.05..0.28) } else { 0.0 };
+            let spike = if rng.gen_bool(0.03) {
+                rng.gen_range(0.05..0.28)
+            } else {
+                0.0
+            };
             let p = (level + spike).clamp(0.15, 0.45);
             prices.push(p);
         }
-        Self { kind: TraceKind::AwsLike, prices }
+        Self {
+            kind: TraceKind::AwsLike,
+            prices,
+        }
     }
 
     /// Generates an electricity-market-like trace of `hours` hourly prices:
@@ -78,7 +85,10 @@ impl SpotTrace {
             let p = (diurnal + noise + weekly).clamp(0.05, 0.335);
             prices.push(p);
         }
-        Self { kind: TraceKind::ElectricityLike, prices }
+        Self {
+            kind: TraceKind::ElectricityLike,
+            prices,
+        }
     }
 
     /// Which generator (or source) produced this trace.
@@ -125,7 +135,9 @@ impl SpotTrace {
         self.prices[start..t.min(self.prices.len())]
             .iter()
             .copied()
-            .fold(None, |acc: Option<f64>, p| Some(acc.map_or(p, |a| a.max(p))))
+            .fold(None, |acc: Option<f64>, p| {
+                Some(acc.map_or(p, |a| a.max(p)))
+            })
     }
 }
 
@@ -155,7 +167,10 @@ pub struct SpotMarket {
 impl SpotMarket {
     /// Creates a market over the given trace.
     pub fn new(trace: SpotTrace, on_demand_price: f64) -> Self {
-        Self { trace, on_demand_price }
+        Self {
+            trace,
+            on_demand_price,
+        }
     }
 
     /// The underlying price trace.
@@ -187,12 +202,20 @@ impl SpotMarket {
             let t = start + h;
             let price = self.trace.price_at(t);
             if price > bid {
-                return SpotInstanceOutcome { hours_run, cost, out_bid: true };
+                return SpotInstanceOutcome {
+                    hours_run,
+                    cost,
+                    out_bid: true,
+                };
             }
             cost += price;
             hours_run += 1;
         }
-        SpotInstanceOutcome { hours_run, cost, out_bid: false }
+        SpotInstanceOutcome {
+            hours_run,
+            cost,
+            out_bid: false,
+        }
     }
 
     /// Cost of running the same instance on-demand for `hours` whole hours.
@@ -253,8 +276,16 @@ mod tests {
         }
         let el = SpotTrace::electricity_like(3, 24 * 30);
         let aws = SpotTrace::aws_like(3, 24 * 30);
-        assert!(diurnal_correlation(&el) > 0.5, "electricity corr {}", diurnal_correlation(&el));
-        assert!(diurnal_correlation(&aws) < 0.2, "aws corr {}", diurnal_correlation(&aws));
+        assert!(
+            diurnal_correlation(&el) > 0.5,
+            "electricity corr {}",
+            diurnal_correlation(&el)
+        );
+        assert!(
+            diurnal_correlation(&aws) < 0.2,
+            "aws corr {}",
+            diurnal_correlation(&aws)
+        );
     }
 
     #[test]

@@ -57,6 +57,20 @@ pub struct AdaptiveController {
     catalog: Catalog,
     pool: ResourcePool,
     solve_options: conductor_lp::SolveOptions,
+    /// Safety margin subtracted from the remaining deadline when re-planning.
+    ///
+    /// The model is deliberately optimistic (fluid upload/processing, no task
+    /// granularity), so a re-plan that exactly fills the remaining time
+    /// finishes its node ramp-down too early and leaves the real engine a
+    /// long single-node tail. Planning one interval short absorbs that
+    /// optimism; it mirrors how the paper's controller keeps monitoring after
+    /// each re-plan instead of trusting a single projection (§5.4).
+    replan_margin_hours: f64,
+    /// Fractional inflation applied to the *remaining* work the monitor
+    /// reports at re-plan time (0.15 = plan for 15 % more work). Covers the
+    /// node-hours the task-granular engine loses to data starvation and
+    /// interval-boundary stragglers, which the fluid model cannot see.
+    monitor_conservatism: f64,
 }
 
 impl AdaptiveController {
@@ -72,12 +86,22 @@ impl AdaptiveController {
                 time_limit: std::time::Duration::from_secs(60),
                 ..conductor_lp::SolveOptions::default()
             },
+            replan_margin_hours: 1.0,
+            monitor_conservatism: 0.15,
         }
     }
 
     /// Replaces the solver options used for both planning passes.
     pub fn with_solve_options(mut self, options: conductor_lp::SolveOptions) -> Self {
         self.solve_options = options;
+        self
+    }
+
+    /// Overrides the re-planning safety margin (see
+    /// [`AdaptiveController::replan_margin_hours`]'s field docs). Zero means
+    /// trusting the model's projection exactly.
+    pub fn with_replan_margin_hours(mut self, hours: f64) -> Self {
+        self.replan_margin_hours = hours.max(0.0);
         self
     }
 
@@ -117,34 +141,36 @@ impl AdaptiveController {
 
         // ---- 3. Monitor: state of the world at the re-planning point under
         // the initial plan, with the *actual* throughput.
-        let observed = self.observe_progress(
-            spec,
-            &initial_plan,
-            actual_gbph,
-            replan_after_hours,
-        );
+        let observed = self.observe_progress(spec, &initial_plan, actual_gbph, replan_after_hours);
 
         // ---- 4. Re-plan from the observed state with the corrected
         // throughput and the time remaining until the deadline.
         let realistic_pool = self.pool_with_throughput(actual_gbph);
         let realistic_planner =
             Planner::new(realistic_pool).with_solve_options(self.solve_options.clone());
+        let margin = self.replan_margin_hours;
         let remaining_goal = match goal {
             Goal::MinimizeCost { deadline_hours } => Goal::MinimizeCost {
-                deadline_hours: (deadline_hours - replan_after_hours).max(1.0),
+                deadline_hours: (deadline_hours - replan_after_hours - margin).max(1.0),
             },
-            Goal::MinimizeTime { budget_usd, max_hours } => Goal::MinimizeTime {
+            Goal::MinimizeTime {
                 budget_usd,
-                max_hours: (max_hours - replan_after_hours).max(1.0),
+                max_hours,
+            } => Goal::MinimizeTime {
+                budget_usd,
+                max_hours: (max_hours - replan_after_hours - margin).max(1.0),
             },
         };
-        let config = ModelConfig { initial: observed, ..ModelConfig::default() };
-        let (updated_plan, _) = realistic_planner.plan_with_config(spec, remaining_goal, &config)?;
+        let config = ModelConfig {
+            initial: observed,
+            ..ModelConfig::default()
+        };
+        let (updated_plan, _) =
+            realistic_planner.plan_with_config(spec, remaining_goal, &config)?;
 
         // ---- 5. Splice: initial plan's schedule for the elapsed interval,
         // updated plan afterwards, and run the whole job under it.
-        let spliced_schedule =
-            splice_schedules(&initial_plan, &updated_plan, replan_after_hours);
+        let spliced_schedule = splice_schedules(&initial_plan, &updated_plan, replan_after_hours);
         let mut spliced_options = initial_options.clone();
         spliced_options.name = "adapted-plan".into();
         spliced_options.node_schedule = spliced_schedule.clone();
@@ -192,6 +218,11 @@ impl AdaptiveController {
             processed += nodes as f64 * actual_gbph * plan.interval_hours;
         }
         state.map_done_gb = processed.min(uploaded).min(spec.input_gb);
+        // Conservative monitor: plan for slightly more remaining work than
+        // the fluid progress model reports (see `monitor_conservatism`).
+        let remaining = (spec.input_gb - state.map_done_gb).max(0.0);
+        state.map_done_gb =
+            (spec.input_gb - remaining * (1.0 + self.monitor_conservatism)).max(0.0);
         state
     }
 
@@ -257,7 +288,9 @@ mod tests {
         let report = controller()
             .run_with_misprediction(
                 &Workload::KMeans32Gb.spec(),
-                Goal::MinimizeCost { deadline_hours: 7.0 },
+                Goal::MinimizeCost {
+                    deadline_hours: 7.0,
+                },
                 1.44,
                 0.44,
                 1.0,
@@ -268,7 +301,10 @@ mod tests {
         assert!(initial_peak <= 8, "initial peak {initial_peak}");
         // ...the updated plan allocates substantially more...
         let updated_peak = report.updated_plan.peak_nodes("m1.large");
-        assert!(updated_peak >= initial_peak * 2, "updated peak {updated_peak}");
+        assert!(
+            updated_peak >= initial_peak * 2,
+            "updated peak {updated_peak}"
+        );
         // ...and adaptation rescues the deadline the un-adapted run misses.
         assert_eq!(report.without_adaptation.met_deadline, Some(false));
         assert_eq!(report.execution.met_deadline, Some(true));

@@ -53,7 +53,11 @@ impl JobController {
     /// built over (a restriction of) the same catalog.
     pub fn new(catalog: Catalog, planner: Planner) -> Self {
         let uplink_gbph = catalog.uplink_gb_per_hour();
-        Self { planner, engine: Engine::new(catalog), uplink_gbph }
+        Self {
+            planner,
+            engine: Engine::new(catalog),
+            uplink_gbph,
+        }
     }
 
     /// The planner in use.
@@ -71,7 +75,11 @@ impl JobController {
     pub fn run(&self, spec: &JobSpec, goal: Goal) -> Result<DeploymentOutcome, ConductorError> {
         let (plan, planning) = self.planner.plan(spec, goal)?;
         let execution = self.deploy(spec, &plan, goal.deadline_hours())?;
-        Ok(DeploymentOutcome { plan, planning, execution })
+        Ok(DeploymentOutcome {
+            plan,
+            planning,
+            execution,
+        })
     }
 
     /// Deploys an existing plan (used by the adaptation loop after re-planning
@@ -112,8 +120,11 @@ impl JobController {
             .keys()
             .filter_map(|name| location_map.get(name).copied())
             .collect();
-        let computes: std::collections::BTreeSet<String> =
-            plan.intervals.iter().flat_map(|p| p.nodes.keys().cloned()).collect();
+        let computes: std::collections::BTreeSet<String> = plan
+            .intervals
+            .iter()
+            .flat_map(|p| p.nodes.keys().cloned())
+            .collect();
         for compute in computes {
             let is_local = self
                 .planner
@@ -124,7 +135,11 @@ impl JobController {
             // Every compute resource may read its own disks...
             scheduler.allow(
                 compute.clone(),
-                if is_local { DataLocation::LocalDisk } else { DataLocation::InstanceDisk },
+                if is_local {
+                    DataLocation::LocalDisk
+                } else {
+                    DataLocation::InstanceDisk
+                },
             );
             if is_local {
                 // ...local nodes additionally read the on-site input directly.
@@ -162,7 +177,12 @@ mod tests {
     #[test]
     fn end_to_end_cloud_only_run_meets_deadline_and_cost_scale() {
         let outcome = controller()
-            .run(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 6.0 })
+            .run(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 6.0,
+                },
+            )
             .unwrap();
         assert_eq!(outcome.execution.met_deadline, Some(true));
         // Measured cost should be in the same ballpark as planned cost
@@ -187,7 +207,12 @@ mod tests {
         let ctl = controller();
         let (plan, _) = ctl
             .planner()
-            .plan(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 6.0 })
+            .plan(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 6.0,
+                },
+            )
             .unwrap();
         let scheduler = ctl.scheduler_for(&plan);
         // The plan uses m1.large nodes reading from their instance disks.
@@ -202,7 +227,12 @@ mod tests {
         let ctl = controller();
         let (plan, _) = ctl
             .planner()
-            .plan(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 6.0 })
+            .plan(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 6.0,
+                },
+            )
             .unwrap();
         let opts = ctl.deployment_options(&plan, Some(6.0));
         assert_eq!(opts.deadline_hours, Some(6.0));

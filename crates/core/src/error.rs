@@ -58,10 +58,11 @@ mod tests {
         let e: ConductorError = LpError::Infeasible.into();
         assert!(matches!(e, ConductorError::Planning(LpError::Infeasible)));
         assert!(e.to_string().contains("planning"));
-        let e: ConductorError =
-            EngineError::InvalidOptions("bad".into()).into();
+        let e: ConductorError = EngineError::InvalidOptions("bad".into()).into();
         assert!(e.to_string().contains("deployment"));
-        let e = ConductorError::GoalUnattainable { reason: "deadline too tight".into() };
+        let e = ConductorError::GoalUnattainable {
+            reason: "deadline too tight".into(),
+        };
         assert!(e.to_string().contains("deadline too tight"));
     }
 }

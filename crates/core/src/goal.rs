@@ -56,21 +56,48 @@ mod tests {
 
     #[test]
     fn horizon_rounds_up() {
-        assert_eq!(Goal::MinimizeCost { deadline_hours: 6.0 }.horizon_hours(), 6);
-        assert_eq!(Goal::MinimizeCost { deadline_hours: 5.5 }.horizon_hours(), 6);
         assert_eq!(
-            Goal::MinimizeTime { budget_usd: 40.0, max_hours: 12.0 }.horizon_hours(),
+            Goal::MinimizeCost {
+                deadline_hours: 6.0
+            }
+            .horizon_hours(),
+            6
+        );
+        assert_eq!(
+            Goal::MinimizeCost {
+                deadline_hours: 5.5
+            }
+            .horizon_hours(),
+            6
+        );
+        assert_eq!(
+            Goal::MinimizeTime {
+                budget_usd: 40.0,
+                max_hours: 12.0
+            }
+            .horizon_hours(),
             12
         );
-        assert_eq!(Goal::MinimizeCost { deadline_hours: 0.0 }.horizon_hours(), 1);
+        assert_eq!(
+            Goal::MinimizeCost {
+                deadline_hours: 0.0
+            }
+            .horizon_hours(),
+            1
+        );
     }
 
     #[test]
     fn accessors_expose_the_right_bound() {
-        let cost = Goal::MinimizeCost { deadline_hours: 6.0 };
+        let cost = Goal::MinimizeCost {
+            deadline_hours: 6.0,
+        };
         assert_eq!(cost.deadline_hours(), Some(6.0));
         assert_eq!(cost.budget_usd(), None);
-        let time = Goal::MinimizeTime { budget_usd: 40.0, max_hours: 10.0 };
+        let time = Goal::MinimizeTime {
+            budget_usd: 40.0,
+            max_hours: 10.0,
+        };
         assert_eq!(time.deadline_hours(), None);
         assert_eq!(time.budget_usd(), Some(40.0));
     }

@@ -120,10 +120,14 @@ impl ModelInstance {
     ) -> Result<ModelInstance, ConductorError> {
         pool.validate().map_err(ConductorError::InvalidInput)?;
         if config.horizon_intervals == 0 {
-            return Err(ConductorError::InvalidInput("horizon must be at least one interval".into()));
+            return Err(ConductorError::InvalidInput(
+                "horizon must be at least one interval".into(),
+            ));
         }
         if config.interval_hours <= 0.0 {
-            return Err(ConductorError::InvalidInput("interval length must be positive".into()));
+            return Err(ConductorError::InvalidInput(
+                "interval length must be positive".into(),
+            ));
         }
 
         let t_count = config.horizon_intervals;
@@ -152,7 +156,10 @@ impl ModelInstance {
                 // A negligible preference for uploading early breaks ties
                 // between otherwise-equivalent schedules (faster solves,
                 // more natural plans) without affecting real costs.
-                objective.add_term(u, s.put_cost_per_gb + s.get_cost_per_gb + 1e-6 * (t + 1) as f64);
+                objective.add_term(
+                    u,
+                    s.put_cost_per_gb + s.get_cost_per_gb + 1e-6 * (t + 1) as f64,
+                );
                 // Wide-area transfer into the cloud (zero for local storage).
                 if !s.is_local {
                     objective.add_term(u, pool.transfer_in_per_gb);
@@ -193,7 +200,8 @@ impl ModelInstance {
                             0.0,
                             f64::INFINITY,
                         );
-                        vars.migrate.insert((from.name.clone(), to.name.clone(), t), m);
+                        vars.migrate
+                            .insert((from.name.clone(), to.name.clone(), t), m);
                         // Migration is billed like a fresh write at the destination.
                         objective.add_term(m, to.put_cost_per_gb);
                     }
@@ -271,8 +279,11 @@ impl ModelInstance {
                         }
                     }
                 }
-                let initial_here =
-                    if t == 0 { init.stored_gb.get(&s.name).copied().unwrap_or(0.0) } else { 0.0 };
+                let initial_here = if t == 0 {
+                    init.stored_gb.get(&s.name).copied().unwrap_or(0.0)
+                } else {
+                    0.0
+                };
                 p.add_constraint_expr(
                     format!("store-balance[{}][{t}]", s.name),
                     expr,
@@ -503,8 +514,7 @@ mod tests {
     use conductor_mapreduce::Workload;
 
     fn pool() -> ResourcePool {
-        ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
-            .with_compute_only(&["m1.large"])
+        ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0).with_compute_only(&["m1.large"])
     }
 
     fn spec() -> JobSpec {
@@ -516,13 +526,19 @@ mod tests {
         let small = ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { horizon_intervals: 4, ..Default::default() },
+            &ModelConfig {
+                horizon_intervals: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let large = ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { horizon_intervals: 12, ..Default::default() },
+            &ModelConfig {
+                horizon_intervals: 12,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(large.num_vars() > 2 * small.num_vars());
@@ -535,7 +551,10 @@ mod tests {
         let with = ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { enable_migration: true, ..Default::default() },
+            &ModelConfig {
+                enable_migration: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(with.num_vars() > without.num_vars());
@@ -557,7 +576,11 @@ mod tests {
         let node_hours: f64 = m.vars.nodes.values().map(|&v| sol.value(v)).sum();
         assert!(node_hours >= 32.0 / 0.44 - 1e-6, "node-hours {node_hours}");
         // Cost is in the plausible range of Figure 5 (tens of dollars).
-        assert!(sol.objective() > 20.0 && sol.objective() < 45.0, "cost {}", sol.objective());
+        assert!(
+            sol.objective() > 20.0 && sol.objective() < 45.0,
+            "cost {}",
+            sol.objective()
+        );
     }
 
     #[test]
@@ -566,7 +589,10 @@ mod tests {
         let m = ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { horizon_intervals: 2, ..Default::default() },
+            &ModelConfig {
+                horizon_intervals: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(m.problem.solve().is_err());
@@ -592,7 +618,10 @@ mod tests {
                 .filter(|((_, t2), _)| *t2 == t)
                 .map(|(_, &v)| sol.value(v))
                 .sum();
-            assert!(processed <= stored + 1e-4, "t={t}: processed {processed} > stored {stored}");
+            assert!(
+                processed <= stored + 1e-4,
+                "t={t}: processed {processed} > stored {stored}"
+            );
         }
     }
 
@@ -615,7 +644,10 @@ mod tests {
             .filter(|((_, t), _)| *t <= barrier_t)
             .map(|(_, &v)| sol.value(v))
             .sum();
-        assert!(early_reduce < 1e-6, "reduce ran before the barrier: {early_reduce}");
+        assert!(
+            early_reduce < 1e-6,
+            "reduce ran before the barrier: {early_reduce}"
+        );
         // By the barrier interval the map phase has processed everything.
         let map_by_then: f64 = m
             .vars
@@ -624,7 +656,10 @@ mod tests {
             .filter(|((_, t), _)| *t <= barrier_t)
             .map(|(_, &v)| sol.value(v))
             .sum();
-        assert!((map_by_then - 32.0).abs() < 1e-3, "map by barrier: {map_by_then}");
+        assert!(
+            (map_by_then - 32.0).abs() < 1e-3,
+            "map by barrier: {map_by_then}"
+        );
     }
 
     #[test]
@@ -636,7 +671,10 @@ mod tests {
         let m = ModelInstance::build(
             &pool,
             &spec(),
-            &ModelConfig { horizon_intervals: 24, ..Default::default() },
+            &ModelConfig {
+                horizon_intervals: 24,
+                ..Default::default()
+            },
         )
         .unwrap();
         let sol = m.problem.solve().unwrap();
@@ -700,7 +738,10 @@ mod tests {
         let m = ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { budget_usd: Some(1.0), ..Default::default() },
+            &ModelConfig {
+                budget_usd: Some(1.0),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(m.problem.solve().is_err());
@@ -714,7 +755,10 @@ mod tests {
         let m = ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { initial, ..Default::default() },
+            &ModelConfig {
+                initial,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!((m.remaining_input_gb - 12.0).abs() < 1e-9);
@@ -724,7 +768,7 @@ mod tests {
     }
 
     #[test]
-    fn spot_forecast_changes_the_objective_price(){
+    fn spot_forecast_changes_the_objective_price() {
         // A forecast of half the on-demand price should roughly halve the
         // compute share of the cost.
         let regular = ModelInstance::build(&pool(), &spec(), &ModelConfig::default()).unwrap();
@@ -734,11 +778,17 @@ mod tests {
         let spot = ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { price_forecast: forecast, ..Default::default() },
+            &ModelConfig {
+                price_forecast: forecast,
+                ..Default::default()
+            },
         )
         .unwrap();
         let spot_cost = spot.problem.solve().unwrap().objective();
-        assert!(spot_cost < 0.62 * regular_cost, "spot {spot_cost} vs regular {regular_cost}");
+        assert!(
+            spot_cost < 0.62 * regular_cost,
+            "spot {spot_cost} vs regular {regular_cost}"
+        );
     }
 
     #[test]
@@ -746,13 +796,19 @@ mod tests {
         assert!(ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { horizon_intervals: 0, ..Default::default() }
+            &ModelConfig {
+                horizon_intervals: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(ModelInstance::build(
             &pool(),
             &spec(),
-            &ModelConfig { interval_hours: 0.0, ..Default::default() }
+            &ModelConfig {
+                interval_hours: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

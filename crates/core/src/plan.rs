@@ -129,7 +129,12 @@ impl ExecutionPlan {
 
     /// Maximum number of nodes of `compute` rented in any interval.
     pub fn peak_nodes(&self, compute: &str) -> usize {
-        self.intervals.iter().filter_map(|p| p.nodes.get(compute)).copied().max().unwrap_or(0)
+        self.intervals
+            .iter()
+            .filter_map(|p| p.nodes.get(compute))
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total node-hours rented per compute resource.
@@ -164,8 +169,11 @@ impl ExecutionPlan {
     /// Figure 12's allocation timeline).
     pub fn node_schedule(&self) -> Vec<NodeAllocation> {
         let mut schedule = Vec::new();
-        let computes: std::collections::BTreeSet<String> =
-            self.intervals.iter().flat_map(|p| p.nodes.keys().cloned()).collect();
+        let computes: std::collections::BTreeSet<String> = self
+            .intervals
+            .iter()
+            .flat_map(|p| p.nodes.keys().cloned())
+            .collect();
         for compute in computes {
             let mut prev = usize::MAX;
             for (t, p) in self.intervals.iter().enumerate() {
@@ -246,8 +254,11 @@ mod tests {
         assert_eq!(plan.len(), 6);
         let total_map: f64 = plan.intervals.iter().map(|p| p.map_gb).sum();
         assert!((total_map - 32.0).abs() < 1e-3);
-        let total_upload: f64 =
-            plan.intervals.iter().flat_map(|p| p.upload_gb.values()).sum();
+        let total_upload: f64 = plan
+            .intervals
+            .iter()
+            .flat_map(|p| p.upload_gb.values())
+            .sum();
         assert!((total_upload - 32.0).abs() < 1e-3);
         assert!(plan.expected_cost > 0.0);
         assert!(plan.expected_completion_hours <= 6.0 + 1e-9);

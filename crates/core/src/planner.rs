@@ -27,6 +27,24 @@ pub struct PlanningReport {
     pub simplex_iterations: usize,
     /// Branch & bound nodes explored.
     pub nodes_explored: usize,
+    /// Nodes that reused their parent's simplex basis (phase 1 skipped).
+    #[serde(default)]
+    pub warm_start_hits: usize,
+    /// Nodes whose warm-start attempt fell back to the cold path.
+    #[serde(default)]
+    pub warm_start_misses: usize,
+}
+
+impl PlanningReport {
+    /// Fraction of warm-start attempts that hit (0 when none were attempted).
+    pub fn warm_start_rate(&self) -> f64 {
+        let attempts = self.warm_start_hits + self.warm_start_misses;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.warm_start_hits as f64 / attempts as f64
+        }
+    }
 }
 
 /// The planning front end.
@@ -101,8 +119,7 @@ impl Planner {
     ) -> Result<(ExecutionPlan, PlanningReport), ConductorError> {
         match goal {
             Goal::MinimizeCost { deadline_hours } => {
-                let horizon =
-                    (deadline_hours / self.interval_hours).ceil().max(1.0) as usize;
+                let horizon = (deadline_hours / self.interval_hours).ceil().max(1.0) as usize;
                 let config = ModelConfig {
                     horizon_intervals: horizon,
                     interval_hours: self.interval_hours,
@@ -112,9 +129,10 @@ impl Planner {
                 };
                 self.solve_config(spec, &config)
             }
-            Goal::MinimizeTime { budget_usd, max_hours } => {
-                self.minimize_time(spec, budget_usd, max_hours, base_config)
-            }
+            Goal::MinimizeTime {
+                budget_usd,
+                max_hours,
+            } => self.minimize_time(spec, budget_usd, max_hours, base_config),
         }
     }
 
@@ -136,6 +154,8 @@ impl Planner {
             solve_time: solution.stats().solve_time,
             simplex_iterations: solution.stats().simplex_iterations,
             nodes_explored: solution.stats().nodes_explored,
+            warm_start_hits: solution.stats().warm_start_hits,
+            warm_start_misses: solution.stats().warm_start_misses,
         };
         Ok((plan, report))
     }
@@ -239,7 +259,12 @@ mod tests {
     fn cloud_only_min_cost_plan_matches_paper_scale() {
         let (plan, report) = planner()
             .with_solve_options(fast_options())
-            .plan(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 6.0 })
+            .plan(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 6.0,
+                },
+            )
             .unwrap();
         // Paper §6.2: Conductor stores data on EC2 instances and allocates on
         // the order of 16 nodes; cost lands in the tens of dollars.
@@ -249,7 +274,10 @@ mod tests {
         // must cover the 32 GB / 0.44 GB/h of work.
         assert!(plan.peak_nodes("m1.large") >= 13 && plan.peak_nodes("m1.large") <= 40);
         let node_hours = plan.node_hours().get("m1.large").copied().unwrap_or(0.0);
-        assert!(node_hours >= 32.0 / 0.44 - 1e-6 && node_hours <= 90.0, "{node_hours}");
+        assert!(
+            (32.0 / 0.44 - 1e-6..=90.0).contains(&node_hours),
+            "{node_hours}"
+        );
         let mix = plan.storage_mix();
         let ec2_fraction = mix.get("EC2-disk").copied().unwrap_or(0.0);
         assert!(ec2_fraction > 0.9, "storage mix {mix:?}");
@@ -261,7 +289,12 @@ mod tests {
     fn impossible_deadline_is_a_planning_error() {
         let err = planner()
             .with_solve_options(fast_options())
-            .plan(&Workload::KMeans32Gb.spec(), Goal::MinimizeCost { deadline_hours: 2.0 })
+            .plan(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 2.0,
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, ConductorError::Planning(_)));
     }
@@ -271,7 +304,13 @@ mod tests {
         let spec = Workload::KMeans32Gb.spec();
         let (plan, _) = planner()
             .with_solve_options(fast_options())
-            .plan(&spec, Goal::MinimizeTime { budget_usd: 60.0, max_hours: 12.0 })
+            .plan(
+                &spec,
+                Goal::MinimizeTime {
+                    budget_usd: 60.0,
+                    max_hours: 12.0,
+                },
+            )
             .unwrap();
         // The uplink alone needs ~4.8 h, so the best possible horizon is 5-6 h.
         assert!(plan.len() <= 7, "horizon {}", plan.len());
@@ -284,7 +323,10 @@ mod tests {
             .with_solve_options(fast_options())
             .plan(
                 &Workload::KMeans32Gb.spec(),
-                Goal::MinimizeTime { budget_usd: 2.0, max_hours: 10.0 },
+                Goal::MinimizeTime {
+                    budget_usd: 2.0,
+                    max_hours: 10.0,
+                },
             )
             .unwrap_err();
         assert!(matches!(err, ConductorError::GoalUnattainable { .. }));
@@ -294,8 +336,12 @@ mod tests {
     fn storage_fraction_sweep_returns_costs() {
         let planner = planner().with_solve_options(fast_options());
         let spec = Workload::KMeansFastScan32Gb.spec();
-        let all_s3 = planner.cost_with_storage_fraction(&spec, 12.0, "EC2-disk", 0.0).unwrap();
-        let all_ec2 = planner.cost_with_storage_fraction(&spec, 12.0, "EC2-disk", 1.0).unwrap();
+        let all_s3 = planner
+            .cost_with_storage_fraction(&spec, 12.0, "EC2-disk", 0.0)
+            .unwrap();
+        let all_ec2 = planner
+            .cost_with_storage_fraction(&spec, 12.0, "EC2-disk", 1.0)
+            .unwrap();
         assert!(all_s3 > 0.0);
         assert!(all_ec2 > 0.0);
     }

@@ -73,8 +73,11 @@ impl ResourcePool {
     /// talking to object stores (it determines how per-request prices
     /// translate into per-GB prices).
     pub fn from_catalog(catalog: &Catalog, chunk_mb: f64) -> Self {
-        let compute: Vec<ComputeResource> =
-            catalog.instances.iter().map(ComputeResource::from_instance).collect();
+        let compute: Vec<ComputeResource> = catalog
+            .instances
+            .iter()
+            .map(ComputeResource::from_instance)
+            .collect();
         let storage = catalog
             .storages
             .iter()
@@ -189,7 +192,11 @@ impl StorageResource {
     /// into per-GB prices assuming `chunk_mb` objects, the translation §4.2
     /// describes.
     pub fn from_storage(s: &StorageService, chunk_mb: f64) -> Self {
-        let chunks_per_gb = if chunk_mb > 0.0 { 1024.0 / chunk_mb } else { 0.0 };
+        let chunks_per_gb = if chunk_mb > 0.0 {
+            1024.0 / chunk_mb
+        } else {
+            0.0
+        };
         Self {
             name: s.name.clone(),
             cost_per_gb_hour: s.cost_per_gb_hour,
@@ -271,7 +278,8 @@ mod tests {
             .map(ServiceDescription::from_instance)
             .chain(cat.storages.iter().map(ServiceDescription::from_storage))
             .collect();
-        let pool = ResourcePool::from_descriptions(&descriptions, cat.uplink_gb_per_hour(), 0.12, 1.0);
+        let pool =
+            ResourcePool::from_descriptions(&descriptions, cat.uplink_gb_per_hour(), 0.12, 1.0);
         assert_eq!(pool.compute.len(), 3);
         // Instances contribute their disks as storage too, plus S3 and EC2-disk.
         assert!(pool.storage.len() >= 2);

@@ -53,9 +53,9 @@ impl BidPredictor {
                 })
             }
             BidPredictor::Current => Some(trace.price_at(t)),
-            BidPredictor::MaxOfPastDays { days } => {
-                trace.max_over_previous(t, (*days as usize) * 24).or(Some(trace.price_at(t)))
-            }
+            BidPredictor::MaxOfPastDays { days } => trace
+                .max_over_previous(t, (*days as usize) * 24)
+                .or(Some(trace.price_at(t))),
         }
     }
 }
@@ -99,7 +99,12 @@ impl SpotDeploymentSimulator {
         concurrency: usize,
         deadline_hours: usize,
     ) -> Self {
-        Self { market, node_hours, concurrency, deadline_hours }
+        Self {
+            market,
+            node_hours,
+            concurrency,
+            deadline_hours,
+        }
     }
 
     /// Cost of one job started at `start` using `predictor`.
@@ -226,8 +231,7 @@ mod tests {
             let sim = simulator(kind);
             let opt = sim.run_scenario("opt", BidPredictor::Optimal, &starts());
             let p0 = sim.run_scenario("p0", BidPredictor::Current, &starts());
-            let p13 =
-                sim.run_scenario("p13", BidPredictor::MaxOfPastDays { days: 13 }, &starts());
+            let p13 = sim.run_scenario("p13", BidPredictor::MaxOfPastDays { days: 13 }, &starts());
             assert!(opt.average_cost <= p0.average_cost * 1.02);
             assert!(opt.average_cost <= p13.average_cost * 1.02);
         }

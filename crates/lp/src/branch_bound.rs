@@ -1,19 +1,29 @@
 //! Branch & bound over integer and semi-continuous variables.
 //!
 //! Each node tightens per-variable bound vectors and re-solves the LP
-//! relaxation via [`crate::simplex::solve_relaxation`]. The search is
-//! best-bound-first with a most-fractional branching rule, a rounding
-//! heuristic at every node to obtain incumbents early, and the stopping
-//! criteria the paper configures on CPLEX: a relative optimality gap and a
-//! wall-clock limit after which the best feasible solution found so far is
-//! returned (§4.8).
+//! relaxation. The search is best-bound-first with a most-fractional
+//! branching rule, a rounding heuristic at every node to obtain incumbents
+//! early, and the stopping criteria the paper configures on CPLEX: a
+//! relative optimality gap and a wall-clock limit after which the best
+//! feasible solution found so far is returned (§4.8).
+//!
+//! The solver hot path is built around three reuse layers (see
+//! [`crate::simplex`]): one [`StandardFormSkeleton`] for the whole tree, one
+//! [`SimplexWorkspace`] reused by every node, and parent-basis warm starts
+//! threaded through [`Node::basis`]. Hit/miss counts land in
+//! [`SolveStats::warm_start_hits`] / [`SolveStats::warm_start_misses`] so
+//! benchmarks can verify the warm-start rate.
 
 use crate::error::LpError;
 use crate::problem::{Problem, Sense, SolveOptions, VarKind};
-use crate::simplex::{solve_relaxation, SimplexResult};
+use crate::seed_baseline;
+use crate::simplex::{
+    solve_with_skeleton, SimplexResult, SimplexWorkspace, StandardFormSkeleton, WarmStart,
+};
 use crate::solution::{Solution, SolveStats, SolveStatus};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Solves `problem` (LP or MIP) under `options`.
@@ -22,21 +32,109 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
     let lower: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
     let upper: Vec<f64> = problem.variables().iter().map(|v| v.upper).collect();
 
+    let mut solver = NodeSolver::new(problem, options, &lower, &upper)?;
+
     if !problem.is_mip() {
-        let r = solve_relaxation(problem, &lower, &upper, options.max_simplex_iterations)?;
+        let r = solver.solve_node(&lower, &upper, None)?;
         let stats = SolveStats {
             simplex_iterations: r.iterations,
             nodes_explored: 1,
             solve_time: start.elapsed(),
             relative_gap: 0.0,
+            warm_start_hits: 0,
+            warm_start_misses: 0,
         };
-        return Ok(Solution::new(SolveStatus::Optimal, r.objective, r.values, stats));
+        return Ok(Solution::new(
+            SolveStatus::Optimal,
+            r.objective,
+            r.values,
+            stats,
+        ));
     }
 
-    BranchAndBound::new(problem, options, start).run(lower, upper)
+    BranchAndBound::new(problem, options, start, solver).run(lower, upper)
 }
 
-/// A pending search node: bound overrides plus the parent relaxation bound.
+/// Per-tree LP backend: the shared skeleton + workspace, with fallbacks for
+/// bound patterns the skeleton cannot express and for the seed-baseline
+/// benchmarking mode.
+struct NodeSolver<'a> {
+    problem: &'a Problem,
+    options: &'a SolveOptions,
+    skeleton: Option<StandardFormSkeleton>,
+    workspace: SimplexWorkspace,
+}
+
+impl<'a> NodeSolver<'a> {
+    fn new(
+        problem: &'a Problem,
+        options: &'a SolveOptions,
+        root_lower: &[f64],
+        root_upper: &[f64],
+    ) -> Result<Self, LpError> {
+        let skeleton = if options.seed_baseline {
+            None
+        } else {
+            Some(StandardFormSkeleton::new(problem, root_lower, root_upper)?)
+        };
+        Ok(Self {
+            problem,
+            options,
+            skeleton,
+            workspace: SimplexWorkspace::default(),
+        })
+    }
+
+    /// Solves one relaxation. `basis_hint` is the parent's final basis; the
+    /// hint is only meaningful against the shared skeleton, so fallback
+    /// paths ignore it and report [`WarmStart::Cold`].
+    fn solve_node(
+        &mut self,
+        lower: &[f64],
+        upper: &[f64],
+        basis_hint: Option<&[usize]>,
+    ) -> Result<SimplexResult, LpError> {
+        let max_iterations = self.options.max_simplex_iterations;
+        if let Some(skeleton) = &self.skeleton {
+            if skeleton.compatible(lower, upper) {
+                let hint = if self.options.warm_start {
+                    basis_hint
+                } else {
+                    None
+                };
+                return solve_with_skeleton(
+                    skeleton,
+                    &mut self.workspace,
+                    lower,
+                    upper,
+                    hint,
+                    max_iterations,
+                );
+            }
+            // Rare: a node whose bounds change a variable's standard-form
+            // classification (e.g. branching on a variable that the root
+            // fixed). Build a one-off skeleton for it. Its basis indices are
+            // meaningless against the shared skeleton's layout, so they are
+            // stripped before children can inherit them as hints.
+            let fresh = StandardFormSkeleton::new(self.problem, lower, upper)?;
+            let mut ws = SimplexWorkspace::default();
+            let mut r = solve_with_skeleton(&fresh, &mut ws, lower, upper, None, max_iterations)?;
+            r.basis = Vec::new();
+            return Ok(r);
+        }
+        let r = seed_baseline::solve_relaxation(self.problem, lower, upper, max_iterations)?;
+        Ok(SimplexResult {
+            values: r.values,
+            objective: r.objective,
+            iterations: r.iterations,
+            basis: Vec::new(),
+            warm: WarmStart::Cold,
+        })
+    }
+}
+
+/// A pending search node: bound overrides plus the parent relaxation bound
+/// and the parent's final basis for warm starting.
 struct Node {
     lower: Vec<f64>,
     upper: Vec<f64>,
@@ -44,6 +142,8 @@ struct Node {
     /// (used for best-bound ordering and pruning).
     bound: f64,
     depth: usize,
+    /// Parent's final simplex basis (shared by both children).
+    basis: Option<Rc<Vec<usize>>>,
 }
 
 /// Max-heap entry ordered so the node with the smallest minimization bound
@@ -55,7 +155,7 @@ struct HeapEntry {
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.order == other.order
+        self.order.total_cmp(&other.order) == Ordering::Equal
     }
 }
 impl Eq for HeapEntry {}
@@ -66,8 +166,10 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: smaller bound = higher priority.
-        other.order.partial_cmp(&self.order).unwrap_or(Ordering::Equal)
+        // Reverse: smaller bound = higher priority. `total_cmp` gives a
+        // total order even for NaN, so a corrupt bound can no longer poison
+        // the heap invariants (NaN sorts last and simply pops last).
+        other.order.total_cmp(&self.order)
     }
 }
 
@@ -76,14 +178,22 @@ struct BranchAndBound<'a> {
     options: &'a SolveOptions,
     start: Instant,
     sense_factor: f64,
+    node_solver: NodeSolver<'a>,
     incumbent: Option<(f64, Vec<f64>)>,
     best_bound: f64,
     nodes_explored: usize,
     simplex_iterations: usize,
+    warm_start_hits: usize,
+    warm_start_misses: usize,
 }
 
 impl<'a> BranchAndBound<'a> {
-    fn new(problem: &'a Problem, options: &'a SolveOptions, start: Instant) -> Self {
+    fn new(
+        problem: &'a Problem,
+        options: &'a SolveOptions,
+        start: Instant,
+        node_solver: NodeSolver<'a>,
+    ) -> Self {
         let sense_factor = match problem.sense() {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
@@ -93,10 +203,13 @@ impl<'a> BranchAndBound<'a> {
             options,
             start,
             sense_factor,
+            node_solver,
             incumbent: None,
             best_bound: f64::NEG_INFINITY,
             nodes_explored: 0,
             simplex_iterations: 0,
+            warm_start_hits: 0,
+            warm_start_misses: 0,
         }
     }
 
@@ -109,10 +222,17 @@ impl<'a> BranchAndBound<'a> {
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
         heap.push(HeapEntry {
             order: f64::NEG_INFINITY,
-            node: Node { lower: root_lower, upper: root_upper, bound: f64::NEG_INFINITY, depth: 0 },
+            node: Node {
+                lower: root_lower,
+                upper: root_upper,
+                bound: f64::NEG_INFINITY,
+                depth: 0,
+                basis: None,
+            },
         });
 
         let mut root_infeasible = true;
+        let mut attempted_any_node = false;
         let mut saw_unbounded = false;
 
         while let Some(HeapEntry { node, .. }) = heap.pop() {
@@ -129,12 +249,9 @@ impl<'a> BranchAndBound<'a> {
                 }
             }
 
-            let relax = match solve_relaxation(
-                self.problem,
-                &node.lower,
-                &node.upper,
-                self.options.max_simplex_iterations,
-            ) {
+            let hint = node.basis.as_ref().map(|b| b.as_slice());
+            attempted_any_node = true;
+            let relax = match self.node_solver.solve_node(&node.lower, &node.upper, hint) {
                 Ok(r) => r,
                 Err(LpError::Infeasible) => continue,
                 Err(LpError::Unbounded) => {
@@ -176,13 +293,14 @@ impl<'a> BranchAndBound<'a> {
                 }
             }
 
-            // Gap check.
+            // Gap check. The heap is ordered by bound, so the global best
+            // bound is an O(1) peek instead of a full scan.
             if let Some((inc_obj, _)) = &self.incumbent {
                 let inc_min = self.min_obj(*inc_obj);
                 let bound = heap
-                    .iter()
+                    .peek()
                     .map(|e| e.node.bound)
-                    .fold(f64::INFINITY, f64::min)
+                    .unwrap_or(f64::INFINITY)
                     .min(inc_min);
                 let gap = relative_gap(inc_min, bound);
                 if gap <= self.options.relative_gap {
@@ -191,13 +309,14 @@ impl<'a> BranchAndBound<'a> {
             }
         }
 
+        let (hits, misses) = self.node_solver.workspace.warm_start_counts();
+        self.warm_start_hits = hits;
+        self.warm_start_misses = misses;
+
         let sense_factor = self.sense_factor;
         match self.incumbent {
             Some((obj, values)) => {
-                let remaining_bound = heap
-                    .iter()
-                    .map(|e| e.node.bound)
-                    .fold(f64::INFINITY, f64::min);
+                let remaining_bound = heap.peek().map(|e| e.node.bound).unwrap_or(f64::INFINITY);
                 let inc_min = obj * sense_factor;
                 let gap = relative_gap(inc_min, remaining_bound.min(inc_min));
                 let status = if gap <= self.options.relative_gap {
@@ -210,15 +329,20 @@ impl<'a> BranchAndBound<'a> {
                     nodes_explored: self.nodes_explored,
                     solve_time: self.start.elapsed(),
                     relative_gap: gap,
+                    warm_start_hits: self.warm_start_hits,
+                    warm_start_misses: self.warm_start_misses,
                 };
                 Ok(Solution::new(status, obj, values, stats))
             }
             None => {
                 if saw_unbounded {
                     Err(LpError::Unbounded)
-                } else if root_infeasible {
+                } else if root_infeasible && attempted_any_node {
                     Err(LpError::Infeasible)
                 } else {
+                    // Either limits stopped the search before any node was
+                    // solved, or every relaxation solved but no integer
+                    // incumbent was found.
                     Err(LpError::NoIncumbent)
                 }
             }
@@ -263,7 +387,7 @@ impl<'a> BranchAndBound<'a> {
                     }
                 }
             };
-            if violation > 0.0 && best.map_or(true, |(_, b)| violation > b) {
+            if violation > 0.0 && best.is_none_or(|(_, b)| violation > b) {
                 best = Some((i, violation));
             }
         }
@@ -291,6 +415,14 @@ impl<'a> BranchAndBound<'a> {
             }
             VarKind::Continuous => unreachable!("continuous variables are never branched on"),
         };
+        // Both children share the parent's final basis as their warm-start
+        // hint; nodes solved via fallback paths return an empty basis, which
+        // children must not inherit.
+        let parent_basis = if relax.basis.is_empty() {
+            None
+        } else {
+            Some(Rc::new(relax.basis.clone()))
+        };
         for (lo, hi) in [left, right] {
             if lo > hi + 1e-12 {
                 continue;
@@ -301,7 +433,13 @@ impl<'a> BranchAndBound<'a> {
             upper[var] = hi;
             heap.push(HeapEntry {
                 order: relax_min,
-                node: Node { lower, upper, bound: relax_min, depth: node.depth + 1 },
+                node: Node {
+                    lower,
+                    upper,
+                    bound: relax_min,
+                    depth: node.depth + 1,
+                    basis: parent_basis.clone(),
+                },
             });
         }
     }
@@ -422,10 +560,22 @@ mod tests {
         let c = p.add_int_var("c", 0.0, 1.0);
         let d = p.add_int_var("d", 0.0, 1.0);
         p.set_objective([(a, 8.0), (b, 11.0), (c, 6.0), (d, 4.0)]);
-        p.add_constraint("cap", [(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)], ConstraintOp::Le, 14.0);
-        let opts = SolveOptions { relative_gap: 0.0, ..Default::default() };
+        p.add_constraint(
+            "cap",
+            [(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)],
+            ConstraintOp::Le,
+            14.0,
+        );
+        let opts = SolveOptions {
+            relative_gap: 0.0,
+            ..Default::default()
+        };
         let sol = p.solve_with(&opts).unwrap();
-        assert!((sol.objective() - 21.0).abs() < 1e-6, "objective {}", sol.objective());
+        assert!(
+            (sol.objective() - 21.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective()
+        );
         assert!(sol.value(a) < 0.5);
         assert!(sol.value(b) > 0.5);
     }
@@ -434,18 +584,22 @@ mod tests {
     fn integer_rounding_not_lp_rounding() {
         // Classic example where rounding the LP optimum is wrong:
         // max y s.t. -x + y <= 0.5, x + y <= 3.5, x,y integer >= 0.
-        // LP optimum y=2.0 at x=1.5; integer optimum y = 2 at x = 1.5 invalid,
-        // best integer is y=1 or 2? x=1,y=1.5 no... enumerate: feasible integer
-        // points need y <= x + 0.5 and y <= 3.5 - x -> best y = 1 (x=1) or y=1 (x=2).
         let mut p = Problem::new("gomory", Sense::Maximize);
         let x = p.add_int_var("x", 0.0, 10.0);
         let y = p.add_int_var("y", 0.0, 10.0);
         p.set_objective([(y, 1.0)]);
         p.add_constraint("c1", [(x, -1.0), (y, 1.0)], ConstraintOp::Le, 0.5);
         p.add_constraint("c2", [(x, 1.0), (y, 1.0)], ConstraintOp::Le, 3.5);
-        let opts = SolveOptions { relative_gap: 0.0, ..Default::default() };
+        let opts = SolveOptions {
+            relative_gap: 0.0,
+            ..Default::default()
+        };
         let sol = p.solve_with(&opts).unwrap();
-        assert!((sol.objective() - 1.0).abs() < 1e-6, "objective {}", sol.objective());
+        assert!(
+            (sol.objective() - 1.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective()
+        );
         let xv = sol.value(x);
         let yv = sol.value(y);
         assert!((yv - yv.round()).abs() < 1e-6);
@@ -463,7 +617,10 @@ mod tests {
         p.add_constraint("need", [(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
         let sol = p.solve().unwrap();
         let xv = sol.value(x);
-        assert!(xv <= 1e-6 || xv >= 5.0 - 1e-6, "semi-continuous violated: {xv}");
+        assert!(
+            xv <= 1e-6 || xv >= 5.0 - 1e-6,
+            "semi-continuous violated: {xv}"
+        );
         // Cheapest MIP-feasible point is x = 5 (y alone cannot reach 3).
         assert!((xv - 5.0).abs() < 1e-6);
     }
@@ -487,9 +644,12 @@ mod tests {
         let x = p.add_int_var("x", 0.0, 10.0);
         p.set_objective([(x, 1.0)]);
         p.add_constraint("a", [(x, 2.0)], ConstraintOp::Eq, 3.0); // x = 1.5 impossible
-        // The LP relaxation is feasible (x=1.5) but no integer point exists.
+                                                                  // The LP relaxation is feasible (x=1.5) but no integer point exists.
         let err = p.solve().unwrap_err();
-        assert!(matches!(err, LpError::NoIncumbent | LpError::Infeasible), "{err:?}");
+        assert!(
+            matches!(err, LpError::NoIncumbent | LpError::Infeasible),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -511,18 +671,29 @@ mod tests {
         // With a huge gap tolerance the solver may stop at the first incumbent,
         // but it must still return a feasible solution.
         let mut p = Problem::new("gap", Sense::Maximize);
-        let vars: Vec<_> = (0..8).map(|i| p.add_int_var(format!("x{i}"), 0.0, 1.0)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| p.add_int_var(format!("x{i}"), 0.0, 1.0))
+            .collect();
         p.set_objective(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64)));
         p.add_constraint(
             "cap",
-            vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64)),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64)),
             ConstraintOp::Le,
             6.0,
         );
-        let opts = SolveOptions { relative_gap: 0.5, ..Default::default() };
+        let opts = SolveOptions {
+            relative_gap: 0.5,
+            ..Default::default()
+        };
         let sol = p.solve_with(&opts).unwrap();
         // Feasibility of the returned point.
-        let used: f64 = vars.iter().enumerate().map(|(i, &v)| sol.value(v) * (1.0 + (i % 3) as f64)).sum();
+        let used: f64 = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| sol.value(v) * (1.0 + (i % 3) as f64))
+            .sum();
         assert!(used <= 6.0 + 1e-6);
     }
 
@@ -535,5 +706,85 @@ mod tests {
         let sol = p.solve().unwrap();
         assert!((sol.value(x) - 4.0).abs() < 1e-6);
         assert!(sol.stats().nodes_explored >= 1);
+    }
+
+    /// A MIP large enough to branch repeatedly: warm starts must fire and
+    /// agree with the cold and seed-baseline paths on the final objective.
+    fn branchy_problem() -> Problem {
+        let mut p = Problem::new("branchy", Sense::Maximize);
+        let vars: Vec<_> = (0..10)
+            .map(|i| p.add_int_var(format!("x{i}"), 0.0, 5.0))
+            .collect();
+        p.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 3.0 + ((i * 7) % 5) as f64 + 0.5)),
+        );
+        for k in 0..4 {
+            p.add_constraint(
+                format!("cap{k}"),
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, 1.0 + ((i + k) % 4) as f64)),
+                ConstraintOp::Le,
+                17.0 + 2.0 * k as f64,
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn warm_start_hits_are_recorded_and_objectives_agree() {
+        let p = branchy_problem();
+        let tight = SolveOptions {
+            relative_gap: 0.0,
+            ..Default::default()
+        };
+        let warm = p.solve_with(&tight).unwrap();
+        let cold = p
+            .solve_with(&SolveOptions {
+                warm_start: false,
+                ..tight.clone()
+            })
+            .unwrap();
+        let baseline = p
+            .solve_with(&SolveOptions {
+                seed_baseline: true,
+                ..tight.clone()
+            })
+            .unwrap();
+        assert!((warm.objective() - cold.objective()).abs() < 1e-6);
+        assert!((warm.objective() - baseline.objective()).abs() < 1e-6);
+        let stats = warm.stats();
+        assert!(
+            stats.warm_start_hits + stats.warm_start_misses > 0,
+            "no warm starts attempted: {stats:?}"
+        );
+        assert_eq!(cold.stats().warm_start_hits, 0);
+        assert_eq!(cold.stats().warm_start_misses, 0);
+    }
+
+    #[test]
+    fn heap_entry_ordering_is_total_even_for_nan() {
+        let entry = |order: f64| HeapEntry {
+            order,
+            node: Node {
+                lower: vec![],
+                upper: vec![],
+                bound: order,
+                depth: 0,
+                basis: None,
+            },
+        };
+        let mut heap = BinaryHeap::new();
+        for order in [1.0, f64::NAN, -3.0, 2.0, f64::NEG_INFINITY] {
+            heap.push(entry(order));
+        }
+        // Smallest bound pops first; NaN sorts after every real number.
+        assert_eq!(heap.pop().unwrap().order, f64::NEG_INFINITY);
+        assert_eq!(heap.pop().unwrap().order, -3.0);
+        assert_eq!(heap.pop().unwrap().order, 1.0);
+        assert_eq!(heap.pop().unwrap().order, 2.0);
+        assert!(heap.pop().unwrap().order.is_nan());
     }
 }

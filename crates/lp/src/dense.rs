@@ -1,0 +1,123 @@
+//! Flat, cache-friendly dense matrix used by the simplex tableau.
+//!
+//! The seed implementation stored the tableau as `Vec<Vec<f64>>`, which
+//! scatters rows across the heap and defeats both the prefetcher and the
+//! auto-vectorizer in the pivot elimination loop. [`DenseMatrix`] keeps all
+//! rows in one contiguous allocation with a fixed stride so a pivot is a
+//! sequence of linear slice scans, and the buffer is reusable across
+//! branch & bound nodes without reallocating.
+
+/// A row-major dense matrix backed by a single flat buffer.
+///
+/// The buffer is retained across [`DenseMatrix::reset`] calls so repeated
+/// solves of same-shaped problems (every branch & bound node) allocate
+/// nothing after the first.
+#[derive(Debug, Clone, Default)]
+pub struct DenseMatrix {
+    data: Vec<f64>,
+    rows: usize,
+    stride: usize,
+}
+
+impl DenseMatrix {
+    /// Reshapes to `rows x stride` and zero-fills, reusing the allocation.
+    pub fn reset(&mut self, rows: usize, stride: usize) {
+        let len = rows * stride;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.stride = stride;
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row length (the stride).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Disjoint `(row a, row b)` mutable views (`a != b`), the shape the
+    /// pivot elimination loop needs: read the pivot row while updating
+    /// another row in place.
+    #[inline]
+    pub fn row_pair_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        debug_assert!(a != b && a < self.rows && b < self.rows);
+        let stride = self.stride;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * stride);
+            (&mut lo[a * stride..(a + 1) * stride], &mut hi[..stride])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * stride);
+            let (pa, pb) = (&mut hi[..stride], &mut lo[b * stride..(b + 1) * stride]);
+            (pa, pb)
+        }
+    }
+
+    /// Entry accessor (used sparingly; hot loops should take row slices).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.stride + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.stride + j] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_reuses_and_zeroes() {
+        let mut m = DenseMatrix::default();
+        m.reset(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        m.reset(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.stride(), 2);
+        assert!(m.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_pair_is_disjoint_both_orders() {
+        let mut m = DenseMatrix::default();
+        m.reset(3, 4);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        m.row_mut(2).copy_from_slice(&[10.0, 20.0, 30.0, 40.0]);
+        {
+            let (a, b) = m.row_pair_mut(0, 2);
+            for (x, y) in b.iter_mut().zip(a.iter()) {
+                *x -= 2.0 * *y;
+            }
+        }
+        assert_eq!(m.row(2), &[8.0, 16.0, 24.0, 32.0]);
+        {
+            let (a, b) = m.row_pair_mut(2, 0);
+            assert_eq!(a[0], 8.0);
+            assert_eq!(b[0], 1.0);
+        }
+    }
+}

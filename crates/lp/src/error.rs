@@ -12,7 +12,11 @@ pub enum LpError {
     /// A variable handle from a different problem (or out of range) was used.
     UnknownVariable { index: usize },
     /// A bound pair is inconsistent (`lower > upper`) or not finite where required.
-    InvalidBounds { name: String, lower: f64, upper: f64 },
+    InvalidBounds {
+        name: String,
+        lower: f64,
+        upper: f64,
+    },
     /// A coefficient or right-hand side was NaN or infinite.
     NonFiniteCoefficient { context: String },
     /// The simplex iteration limit was exhausted before reaching optimality.
@@ -30,16 +34,25 @@ impl fmt::Display for LpError {
                 write!(f, "unknown variable handle (index {index})")
             }
             LpError::InvalidBounds { name, lower, upper } => {
-                write!(f, "invalid bounds for variable `{name}`: [{lower}, {upper}]")
+                write!(
+                    f,
+                    "invalid bounds for variable `{name}`: [{lower}, {upper}]"
+                )
             }
             LpError::NonFiniteCoefficient { context } => {
                 write!(f, "non-finite coefficient in {context}")
             }
             LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} iterations")
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} iterations"
+                )
             }
             LpError::NoIncumbent => {
-                write!(f, "branch & bound terminated without an integer-feasible solution")
+                write!(
+                    f,
+                    "branch & bound terminated without an integer-feasible solution"
+                )
             }
         }
     }
@@ -53,7 +66,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = LpError::InvalidBounds { name: "x".into(), lower: 3.0, upper: 1.0 };
+        let e = LpError::InvalidBounds {
+            name: "x".into(),
+            lower: 3.0,
+            upper: 1.0,
+        };
         let msg = e.to_string();
         assert!(msg.contains('x'));
         assert!(msg.contains('3'));

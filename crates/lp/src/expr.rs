@@ -49,7 +49,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant_expr(c: f64) -> Self {
-        Self { terms: BTreeMap::new(), constant: c }
+        Self {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// Builds an expression from an iterator of `(variable, coefficient)` terms.
@@ -225,7 +228,9 @@ mod tests {
     #[test]
     fn merge_terms() {
         let mut e = LinExpr::new();
-        e.add_term(v(0), 1.0).add_term(v(0), 2.0).add_term(v(1), -1.0);
+        e.add_term(v(0), 1.0)
+            .add_term(v(0), 2.0)
+            .add_term(v(1), -1.0);
         assert_eq!(e.coeff(v(0)), 3.0);
         assert_eq!(e.coeff(v(1)), -1.0);
         assert_eq!(e.len(), 2);

@@ -32,13 +32,16 @@
 //! ```
 
 pub mod branch_bound;
+pub mod dense;
 pub mod error;
 pub mod expr;
 pub mod problem;
+pub mod seed_baseline;
 pub mod simplex;
 pub mod solution;
 
 pub use error::LpError;
 pub use expr::{LinExpr, VarId};
 pub use problem::{ConstraintOp, Problem, Sense, SolveOptions, VarKind};
+pub use simplex::{SimplexWorkspace, StandardFormSkeleton, WarmStart};
 pub use solution::{Solution, SolveStats, SolveStatus};

@@ -84,6 +84,22 @@ pub struct SolveOptions {
     pub time_limit: Duration,
     /// Integrality tolerance: values within this distance of an integer count as integral.
     pub integrality_tol: f64,
+    /// Warm-start each branch & bound node from its parent's final simplex
+    /// basis (skipping phase 1 when the basis is still feasible). On by
+    /// default; disable to measure the cold path or to rule the machinery
+    /// out while debugging.
+    #[serde(default = "default_true")]
+    pub warm_start: bool,
+    /// Route every LP relaxation through the preserved seed implementation
+    /// ([`crate::seed_baseline`]) instead of the flat-tableau solver.
+    /// Exists so benchmarks can report an honest before/after comparison;
+    /// never enable it in production paths.
+    #[serde(default)]
+    pub seed_baseline: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for SolveOptions {
@@ -94,6 +110,8 @@ impl Default for SolveOptions {
             max_simplex_iterations: 200_000,
             time_limit: Duration::from_secs(180),
             integrality_tol: 1e-6,
+            warm_start: true,
+            seed_baseline: false,
         }
     }
 }
@@ -150,12 +168,22 @@ impl Problem {
         threshold: f64,
         upper: f64,
     ) -> VarId {
-        self.push_var(name.into(), 0.0, upper, VarKind::SemiContinuous { threshold })
+        self.push_var(
+            name.into(),
+            0.0,
+            upper,
+            VarKind::SemiContinuous { threshold },
+        )
     }
 
     fn push_var(&mut self, name: String, lower: f64, upper: f64, kind: VarKind) -> VarId {
         let id = VarId(self.variables.len());
-        self.variables.push(Variable { name, lower, upper, kind });
+        self.variables.push(Variable {
+            name,
+            lower,
+            upper,
+            kind,
+        });
         id
     }
 
@@ -231,7 +259,12 @@ impl Problem {
         rhs: f64,
     ) -> usize {
         let idx = self.constraints.len();
-        self.constraints.push(Constraint { name: name.into(), expr, op, rhs });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr,
+            op,
+            rhs,
+        });
         idx
     }
 
@@ -258,7 +291,9 @@ impl Problem {
         }
         let n = self.variables.len();
         if !self.objective.is_finite() {
-            return Err(LpError::NonFiniteCoefficient { context: "objective".into() });
+            return Err(LpError::NonFiniteCoefficient {
+                context: "objective".into(),
+            });
         }
         if let Some(max) = self.objective.max_var_index() {
             if max >= n {
@@ -295,7 +330,9 @@ impl Problem {
 
     /// `true` if any variable requires branch & bound (integer or semi-continuous).
     pub fn is_mip(&self) -> bool {
-        self.variables.iter().any(|v| !matches!(v.kind, VarKind::Continuous))
+        self.variables
+            .iter()
+            .any(|v| !matches!(v.kind, VarKind::Continuous))
     }
 }
 
@@ -338,7 +375,10 @@ mod tests {
         let mut p = Problem::new("t", Sense::Minimize);
         let x = p.add_var("x", 0.0, 1.0);
         p.add_constraint("c", [(x, f64::NAN)], ConstraintOp::Le, 1.0);
-        assert!(matches!(p.validate(), Err(LpError::NonFiniteCoefficient { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(LpError::NonFiniteCoefficient { .. })
+        ));
     }
 
     #[test]

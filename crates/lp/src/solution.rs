@@ -26,6 +26,27 @@ pub struct SolveStats {
     pub solve_time: Duration,
     /// Final relative MIP gap (0 for pure LPs / proven-optimal MIPs).
     pub relative_gap: f64,
+    /// Nodes whose parent basis was installed and primal feasible, skipping
+    /// simplex phase 1 entirely.
+    #[serde(default)]
+    pub warm_start_hits: usize,
+    /// Nodes that attempted a warm start but fell back to the cold two-phase
+    /// path (parent basis infeasible or not installable).
+    #[serde(default)]
+    pub warm_start_misses: usize,
+}
+
+impl SolveStats {
+    /// Fraction of warm-start attempts that skipped phase 1 (`NaN`-free:
+    /// returns 0 when no warm start was attempted).
+    pub fn warm_start_rate(&self) -> f64 {
+        let attempts = self.warm_start_hits + self.warm_start_misses;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.warm_start_hits as f64 / attempts as f64
+        }
+    }
 }
 
 /// The result of a successful solve.
@@ -44,7 +65,12 @@ impl Solution {
         values: Vec<f64>,
         stats: SolveStats,
     ) -> Self {
-        Self { status, objective, values, stats }
+        Self {
+            status,
+            objective,
+            values,
+            stats,
+        }
     }
 
     /// Solution quality.
@@ -72,7 +98,6 @@ impl Solution {
     pub fn stats(&self) -> &SolveStats {
         &self.stats
     }
-
 }
 
 #[cfg(test)]
@@ -85,7 +110,11 @@ mod tests {
             SolveStatus::Optimal,
             42.0,
             vec![1.0, 2.0, 3.0],
-            SolveStats { simplex_iterations: 7, nodes_explored: 1, ..Default::default() },
+            SolveStats {
+                simplex_iterations: 7,
+                nodes_explored: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(sol.status(), SolveStatus::Optimal);
         assert_eq!(sol.objective(), 42.0);

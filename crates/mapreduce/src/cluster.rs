@@ -136,7 +136,10 @@ impl Cluster {
 
     /// Number of nodes of a given instance type.
     pub fn count_of(&self, instance_type: &str) -> usize {
-        self.nodes.iter().filter(|n| n.instance_type == instance_type).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.instance_type == instance_type)
+            .count()
     }
 
     /// Aggregate processing throughput of the current membership in GB/h.
@@ -174,7 +177,10 @@ mod tests {
     use conductor_cloud::Catalog;
 
     fn m1_large() -> InstanceType {
-        Catalog::aws_july_2011().instance("m1.large").unwrap().clone()
+        Catalog::aws_july_2011()
+            .instance("m1.large")
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -232,9 +238,21 @@ mod tests {
     #[test]
     fn schedule_lookup_uses_latest_step() {
         let schedule = vec![
-            NodeAllocation { from_hour: 0.0, instance_type: "m1.large".into(), nodes: 3 },
-            NodeAllocation { from_hour: 1.0, instance_type: "m1.large".into(), nodes: 16 },
-            NodeAllocation { from_hour: 2.0, instance_type: "m1.large".into(), nodes: 18 },
+            NodeAllocation {
+                from_hour: 0.0,
+                instance_type: "m1.large".into(),
+                nodes: 3,
+            },
+            NodeAllocation {
+                from_hour: 1.0,
+                instance_type: "m1.large".into(),
+                nodes: 16,
+            },
+            NodeAllocation {
+                from_hour: 2.0,
+                instance_type: "m1.large".into(),
+                nodes: 18,
+            },
         ];
         assert_eq!(nodes_at(&schedule, "m1.large", 0.5), 3);
         assert_eq!(nodes_at(&schedule, "m1.large", 1.0), 16);

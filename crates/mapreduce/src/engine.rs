@@ -211,20 +211,32 @@ impl Engine {
         let mut sessions: BTreeMap<NodeId, u64> = BTreeMap::new();
 
         // ---- Build tasks and the split upload timetable.
-        let mut tasks = build_tasks(spec.map_tasks(), spec.input_gb, spec.reduce_tasks, spec.shuffle_gb());
+        let mut tasks = build_tasks(
+            spec.map_tasks(),
+            spec.input_gb,
+            spec.reduce_tasks,
+            spec.shuffle_gb(),
+        );
         let splits = self.plan_splits(spec, options);
         // Only data headed for *cloud* storage crosses the customer uplink;
         // splits assigned to the local cluster's disks move over the LAN.
-        let crosses_wan = |loc: DataLocation| matches!(loc, DataLocation::S3 | DataLocation::InstanceDisk);
+        let crosses_wan =
+            |loc: DataLocation| matches!(loc, DataLocation::S3 | DataLocation::InstanceDisk);
         let upload_done_at = splits
             .iter()
             .filter(|s| crosses_wan(s.location))
             .map(|s| s.available_at)
             .fold(0.0, f64::max);
-        let uploaded_gb: f64 =
-            splits.iter().filter(|s| crosses_wan(s.location)).map(|s| s.gb).sum();
-        let s3_gb: f64 =
-            splits.iter().filter(|s| s.location == DataLocation::S3).map(|s| s.gb).sum();
+        let uploaded_gb: f64 = splits
+            .iter()
+            .filter(|s| crosses_wan(s.location))
+            .map(|s| s.gb)
+            .sum();
+        let s3_gb: f64 = splits
+            .iter()
+            .filter(|s| s.location == DataLocation::S3)
+            .map(|s| s.gb)
+            .sum();
 
         // Input transferred into the cloud during the upload phase is billed
         // immediately (it crosses the WAN exactly once).
@@ -240,7 +252,10 @@ impl Engine {
         let mut total_s3_gets: u64 = 0;
         let mut cloud_processed_gb = 0.0f64;
         let mut now = 0.0f64;
-        let mut phases = PhaseBreakdown { upload_hours: upload_done_at, ..Default::default() };
+        let mut phases = PhaseBreakdown {
+            upload_hours: upload_done_at,
+            ..Default::default()
+        };
 
         // Event horizon candidates: schedule steps and split availabilities.
         let mut schedule_points: Vec<f64> =
@@ -260,7 +275,8 @@ impl Engine {
             );
 
             // 2. Dispatch runnable tasks onto idle nodes.
-            let upload_gate_open = !options.upload_before_processing || now >= upload_done_at - 1e-9;
+            let upload_gate_open =
+                !options.upload_before_processing || now >= upload_done_at - 1e-9;
             let busy: Vec<NodeId> = running.iter().map(|r| r.node).collect();
             let idle_nodes: Vec<NodeId> = cluster
                 .nodes()
@@ -270,7 +286,10 @@ impl Engine {
                 .collect();
 
             for node_id in idle_nodes {
-                let node = cluster.node(node_id).expect("idle node still in cluster").clone();
+                let node = cluster
+                    .node(node_id)
+                    .expect("idle node still in cluster")
+                    .clone();
                 // Find the best dispatchable task for this node.
                 let mut best: Option<(usize, DataLocation, i32)> = None;
                 for (idx, task) in tasks.iter().enumerate() {
@@ -306,7 +325,7 @@ impl Engine {
                         continue;
                     }
                     let pref = scheduler.preference(location, &node);
-                    if best.map_or(true, |(_, _, b)| pref > b) {
+                    if best.is_none_or(|(_, _, b)| pref > b) {
                         best = Some((idx, location, pref));
                     }
                 }
@@ -329,7 +348,10 @@ impl Engine {
                     } else {
                         0
                     };
-                    tasks[idx].state = TaskState::Running { node: node_id, finish_at: now + duration };
+                    tasks[idx].state = TaskState::Running {
+                        node: node_id,
+                        finish_at: now + duration,
+                    };
                     running.push(Running {
                         task_idx: idx,
                         node: node_id,
@@ -342,7 +364,10 @@ impl Engine {
             }
 
             // 3. Determine the next event.
-            let next_finish = running.iter().map(|r| r.finish_at).fold(f64::INFINITY, f64::min);
+            let next_finish = running
+                .iter()
+                .map(|r| r.finish_at)
+                .fold(f64::INFINITY, f64::min);
             let next_schedule = schedule_points
                 .iter()
                 .copied()
@@ -411,8 +436,11 @@ impl Engine {
             0.0
         };
         let download_gb = spec.output_gb() * cloud_fraction;
-        phases.download_hours =
-            if options.uplink_gbph > 0.0 { download_gb / options.uplink_gbph } else { 0.0 };
+        phases.download_hours = if options.uplink_gbph > 0.0 {
+            download_gb / options.uplink_gbph
+        } else {
+            0.0
+        };
         let completion = processing_done + phases.download_hours;
 
         // WAN charges for remote reads and the result download.
@@ -435,7 +463,10 @@ impl Engine {
         let disk_gb: f64 = splits
             .iter()
             .filter(|s| {
-                matches!(s.location, DataLocation::InstanceDisk | DataLocation::LocalDisk)
+                matches!(
+                    s.location,
+                    DataLocation::InstanceDisk | DataLocation::LocalDisk
+                )
             })
             .map(|s| s.gb)
             .sum();
@@ -468,7 +499,9 @@ impl Engine {
 
     fn validate(&self, options: &DeploymentOptions) -> Result<(), EngineError> {
         if options.uplink_gbph <= 0.0 {
-            return Err(EngineError::InvalidOptions("uplink bandwidth must be positive".into()));
+            return Err(EngineError::InvalidOptions(
+                "uplink bandwidth must be positive".into(),
+            ));
         }
         let frac: f64 = options.upload_plan.iter().map(|(_, f)| *f).sum();
         if !(0.0..=1.0 + 1e-9).contains(&frac) {
@@ -476,7 +509,11 @@ impl Engine {
                 "upload fractions must sum to at most 1 (got {frac})"
             )));
         }
-        if options.upload_plan.iter().any(|(loc, _)| *loc == DataLocation::ClientSite) {
+        if options
+            .upload_plan
+            .iter()
+            .any(|(loc, _)| *loc == DataLocation::ClientSite)
+        {
             return Err(EngineError::InvalidOptions(
                 "the client site is the upload source, not a destination".into(),
             ));
@@ -515,12 +552,20 @@ impl Engine {
                     elapsed += split_gb / options.uplink_gbph;
                     elapsed
                 };
-                splits.push(Split { location: *location, available_at, gb: split_gb });
+                splits.push(Split {
+                    location: *location,
+                    available_at,
+                    gb: split_gb,
+                });
             }
             assigned += count;
         }
         for _ in assigned..n {
-            splits.push(Split { location: DataLocation::ClientSite, available_at: 0.0, gb: split_gb });
+            splits.push(Split {
+                location: DataLocation::ClientSite,
+                available_at: 0.0,
+                gb: split_gb,
+            });
         }
         splits
     }
@@ -564,7 +609,9 @@ impl Engine {
             .into_iter()
             .collect();
         for itype_name in types {
-            let Some(itype) = self.catalog.instance(&itype_name) else { continue };
+            let Some(itype) = self.catalog.instance(&itype_name) else {
+                continue;
+            };
             let desired = nodes_at(&options.node_schedule, &itype_name, now);
             let desired = match itype.max_instances {
                 Some(cap) => desired.min(cap),
@@ -628,10 +675,23 @@ mod tests {
     fn conductor_style_run_meets_six_hour_deadline() {
         let spec = Workload::KMeans32Gb.spec();
         let report = engine()
-            .run(&spec, &conductor_options(), &PlanFollowingScheduler::cloud_only_defaults())
+            .run(
+                &spec,
+                &conductor_options(),
+                &PlanFollowingScheduler::cloud_only_defaults(),
+            )
             .unwrap();
-        assert_eq!(report.met_deadline, Some(true), "completion {}", report.completion_hours);
-        assert!(report.completion_hours > 4.0, "unrealistically fast: {}", report.completion_hours);
+        assert_eq!(
+            report.met_deadline,
+            Some(true),
+            "completion {}",
+            report.completion_hours
+        );
+        assert!(
+            report.completion_hours > 4.0,
+            "unrealistically fast: {}",
+            report.completion_hours
+        );
         assert_eq!(report.total_tasks, 528);
         assert_eq!(report.task_timeline.last().unwrap().1, 528);
     }
@@ -641,7 +701,11 @@ mod tests {
         let spec = Workload::KMeans32Gb.spec();
         let eng = engine();
         let streamed = eng
-            .run(&spec, &conductor_options(), &PlanFollowingScheduler::cloud_only_defaults())
+            .run(
+                &spec,
+                &conductor_options(),
+                &PlanFollowingScheduler::cloud_only_defaults(),
+            )
             .unwrap();
         // Upload to a single node first, then 100 nodes process.
         let upload_hours = 32.0 / uplink_16mbit();
@@ -668,12 +732,19 @@ mod tests {
             upload_plan: vec![(DataLocation::S3, 1.0)],
             upload_before_processing: true,
             deadline_hours: Some(6.0),
-            ..DeploymentOptions::new("hadoop-s3", uplink_16mbit())
-                .with_nodes("m1.large", 100, upload_hours)
+            ..DeploymentOptions::new("hadoop-s3", uplink_16mbit()).with_nodes(
+                "m1.large",
+                100,
+                upload_hours,
+            )
         };
         let s3_report = eng.run(&spec, &s3_opts, &LocalityScheduler).unwrap();
         let conductor = eng
-            .run(&spec, &conductor_options(), &PlanFollowingScheduler::cloud_only_defaults())
+            .run(
+                &spec,
+                &conductor_options(),
+                &PlanFollowingScheduler::cloud_only_defaults(),
+            )
             .unwrap();
         assert!(
             s3_report.total_cost > 1.6 * conductor.total_cost,
@@ -683,7 +754,10 @@ mod tests {
         );
         // Processing itself (after upload) took between 1 and 2 hours.
         let processing = s3_report.phases.map_done_at - upload_hours;
-        assert!(processing > 1.0 && processing < 2.0, "processing {processing}");
+        assert!(
+            processing > 1.0 && processing < 2.0,
+            "processing {processing}"
+        );
     }
 
     #[test]
@@ -770,7 +844,12 @@ mod tests {
         let report = engine()
             .run(&spec, &opts, &PlanFollowingScheduler::cloud_only_defaults())
             .unwrap();
-        let max_nodes = report.allocation_timeline.iter().map(|&(_, n)| n).max().unwrap();
+        let max_nodes = report
+            .allocation_timeline
+            .iter()
+            .map(|&(_, n)| n)
+            .max()
+            .unwrap();
         assert_eq!(max_nodes, 18);
         let early_nodes = report
             .allocation_timeline
@@ -826,7 +905,11 @@ mod tests {
     fn task_timeline_is_monotonic() {
         let spec = Workload::KMeans32Gb.spec();
         let report = engine()
-            .run(&spec, &conductor_options(), &PlanFollowingScheduler::cloud_only_defaults())
+            .run(
+                &spec,
+                &conductor_options(),
+                &PlanFollowingScheduler::cloud_only_defaults(),
+            )
             .unwrap();
         let mut prev_t = 0.0;
         let mut prev_c = 0;

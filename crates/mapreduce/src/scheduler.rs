@@ -83,7 +83,10 @@ impl PlanFollowingScheduler {
     /// Allows tasks running on `instance_type` nodes to read input from
     /// `location`.
     pub fn allow(&mut self, instance_type: impl Into<String>, location: DataLocation) -> &mut Self {
-        self.allowed.entry(instance_type.into()).or_default().push(location);
+        self.allowed
+            .entry(instance_type.into())
+            .or_default()
+            .push(location);
         self
     }
 
@@ -109,7 +112,10 @@ impl PlanFollowingScheduler {
 
     /// The allowed locations for an instance type (empty if none configured).
     pub fn allowed_for(&self, instance_type: &str) -> &[DataLocation] {
-        self.allowed.get(instance_type).map(Vec::as_slice).unwrap_or(&[])
+        self.allowed
+            .get(instance_type)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 
@@ -167,12 +173,10 @@ mod tests {
         assert!(s.may_run(&task(), DataLocation::ClientSite, &node));
         assert!(s.may_run(&task(), DataLocation::S3, &node));
         assert!(
-            s.preference(DataLocation::InstanceDisk, &node)
-                > s.preference(DataLocation::S3, &node)
+            s.preference(DataLocation::InstanceDisk, &node) > s.preference(DataLocation::S3, &node)
         );
         assert!(
-            s.preference(DataLocation::S3, &node)
-                > s.preference(DataLocation::ClientSite, &node)
+            s.preference(DataLocation::S3, &node) > s.preference(DataLocation::ClientSite, &node)
         );
         assert_eq!(s.kind(), SchedulerKind::Locality);
     }

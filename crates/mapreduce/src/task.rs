@@ -53,7 +53,12 @@ pub struct Task {
 impl Task {
     /// Creates a task in the `WaitingForData` state.
     pub fn new(id: TaskId, kind: TaskKind, data_gb: f64) -> Self {
-        Self { id, kind, data_gb, state: TaskState::WaitingForData }
+        Self {
+            id,
+            kind,
+            data_gb,
+            state: TaskState::WaitingForData,
+        }
     }
 
     /// `true` once the task has completed.
@@ -85,13 +90,25 @@ pub fn build_tasks(
     shuffle_gb: f64,
 ) -> Vec<Task> {
     let mut tasks = Vec::with_capacity(map_tasks + reduce_tasks);
-    let map_share = if map_tasks > 0 { input_gb / map_tasks as f64 } else { 0.0 };
+    let map_share = if map_tasks > 0 {
+        input_gb / map_tasks as f64
+    } else {
+        0.0
+    };
     for i in 0..map_tasks {
         tasks.push(Task::new(TaskId(i), TaskKind::Map, map_share));
     }
-    let reduce_share = if reduce_tasks > 0 { shuffle_gb / reduce_tasks as f64 } else { 0.0 };
+    let reduce_share = if reduce_tasks > 0 {
+        shuffle_gb / reduce_tasks as f64
+    } else {
+        0.0
+    };
     for i in 0..reduce_tasks {
-        tasks.push(Task::new(TaskId(map_tasks + i), TaskKind::Reduce, reduce_share));
+        tasks.push(Task::new(
+            TaskId(map_tasks + i),
+            TaskKind::Reduce,
+            reduce_share,
+        ));
     }
     tasks
 }
@@ -104,10 +121,16 @@ mod tests {
     fn task_list_partitions_data_evenly() {
         let tasks = build_tasks(512, 32.0, 16, 0.64);
         assert_eq!(tasks.len(), 528);
-        let map_total: f64 =
-            tasks.iter().filter(|t| t.kind == TaskKind::Map).map(|t| t.data_gb).sum();
-        let reduce_total: f64 =
-            tasks.iter().filter(|t| t.kind == TaskKind::Reduce).map(|t| t.data_gb).sum();
+        let map_total: f64 = tasks
+            .iter()
+            .filter(|t| t.kind == TaskKind::Map)
+            .map(|t| t.data_gb)
+            .sum();
+        let reduce_total: f64 = tasks
+            .iter()
+            .filter(|t| t.kind == TaskKind::Reduce)
+            .map(|t| t.data_gb)
+            .sum();
         assert!((map_total - 32.0).abs() < 1e-9);
         assert!((reduce_total - 0.64).abs() < 1e-9);
     }
@@ -124,7 +147,10 @@ mod tests {
         let mut t = Task::new(TaskId(0), TaskKind::Map, 0.0625);
         assert!(!t.is_completed());
         assert!(!t.is_running());
-        t.state = TaskState::Running { node: NodeId(3), finish_at: 1.5 };
+        t.state = TaskState::Running {
+            node: NodeId(3),
+            finish_at: 1.5,
+        };
         assert!(t.is_running());
         t.state = TaskState::Completed { at: 1.5 };
         assert!(t.is_completed());

@@ -47,18 +47,33 @@ pub struct BackendProfile {
 impl BackendProfile {
     /// Profile of a node-local disk daemon.
     pub fn local_disk() -> Self {
-        Self { kind: BackendKind::LocalDisk, capacity_bytes: 850 * GB, throughput_mbps: 20.0, ping_ms: 0.2 }
+        Self {
+            kind: BackendKind::LocalDisk,
+            capacity_bytes: 850 * GB,
+            throughput_mbps: 20.0,
+            ping_ms: 0.2,
+        }
     }
 
     /// Profile of an S3-style object store.
     pub fn object_store() -> Self {
-        Self { kind: BackendKind::ObjectStore, capacity_bytes: u64::MAX, throughput_mbps: 14.0, ping_ms: 8.0 }
+        Self {
+            kind: BackendKind::ObjectStore,
+            capacity_bytes: u64::MAX,
+            throughput_mbps: 14.0,
+            ping_ms: 8.0,
+        }
     }
 
     /// Profile of a disk in the customer's own cluster, reached over the WAN
     /// from cloud nodes.
     pub fn customer_disk() -> Self {
-        Self { kind: BackendKind::CustomerDisk, capacity_bytes: 250 * GB, throughput_mbps: 2.0, ping_ms: 60.0 }
+        Self {
+            kind: BackendKind::CustomerDisk,
+            capacity_bytes: 250 * GB,
+            throughput_mbps: 2.0,
+            ping_ms: 60.0,
+        }
     }
 }
 
@@ -87,7 +102,12 @@ pub struct InMemoryBackend {
 impl InMemoryBackend {
     /// Creates a backend with the given id and profile.
     pub fn new(id: BackendId, profile: BackendProfile) -> Self {
-        Self { id, profile, blocks: BTreeMap::new(), used: 0 }
+        Self {
+            id,
+            profile,
+            blocks: BTreeMap::new(),
+            used: 0,
+        }
     }
 
     /// Convenience constructor for a node-local disk daemon.
@@ -200,7 +220,13 @@ mod tests {
         let mut b = InMemoryBackend::new(BackendId(7), profile);
         b.put(BlockKey::from("a"), vec![0; 6]).unwrap();
         let err = b.put(BlockKey::from("b"), vec![0; 6]).unwrap_err();
-        assert_eq!(err, StorageError::CapacityExceeded { backend: 7, capacity_bytes: 8 });
+        assert_eq!(
+            err,
+            StorageError::CapacityExceeded {
+                backend: 7,
+                capacity_bytes: 8
+            }
+        );
         // Replacing the existing block within capacity still works.
         b.put(BlockKey::from("a"), vec![0; 8]).unwrap();
         assert_eq!(b.used_bytes(), 8);
@@ -209,9 +235,7 @@ mod tests {
     #[test]
     fn profiles_reflect_service_classes() {
         assert!(BackendProfile::local_disk().ping_ms < BackendProfile::object_store().ping_ms);
-        assert!(
-            BackendProfile::object_store().ping_ms < BackendProfile::customer_disk().ping_ms
-        );
+        assert!(BackendProfile::object_store().ping_ms < BackendProfile::customer_disk().ping_ms);
         assert_eq!(BackendProfile::object_store().capacity_bytes, u64::MAX);
         let b = InMemoryBackend::object_store(3);
         assert_eq!(b.id(), BackendId(3));

@@ -50,7 +50,9 @@ pub struct ChunkedFile {
 impl ChunkedFile {
     /// Keys of all chunks in order.
     pub fn chunk_keys(&self) -> Vec<BlockKey> {
-        (0..self.inode.chunks).map(|i| self.inode.chunk_key(i)).collect()
+        (0..self.inode.chunks)
+            .map(|i| self.inode.chunk_key(i))
+            .collect()
     }
 }
 
@@ -65,12 +67,18 @@ pub struct FileSystemShim {
 impl FileSystemShim {
     /// Creates a shim over a storage client with the default 64 MB chunk size.
     pub fn new(client: StorageClient) -> Self {
-        Self { client, chunk_size: 64 * 1024 * 1024 }
+        Self {
+            client,
+            chunk_size: 64 * 1024 * 1024,
+        }
     }
 
     /// Creates a shim with an explicit chunk size (bytes).
     pub fn with_chunk_size(client: StorageClient, chunk_size: usize) -> Self {
-        Self { client, chunk_size: chunk_size.max(1) }
+        Self {
+            client,
+            chunk_size: chunk_size.max(1),
+        }
     }
 
     /// The underlying storage client.
@@ -85,9 +93,17 @@ impl FileSystemShim {
 
     /// Writes a whole file, splitting it into chunks and recording the inode.
     pub fn write_file(&mut self, name: &str, data: &[u8]) -> Result<Inode, StorageError> {
-        let chunks = if data.is_empty() { 0 } else { data.len().div_ceil(self.chunk_size) };
-        let inode =
-            Inode { name: name.to_string(), size_bytes: data.len() as u64, chunks, chunk_size: self.chunk_size };
+        let chunks = if data.is_empty() {
+            0
+        } else {
+            data.len().div_ceil(self.chunk_size)
+        };
+        let inode = Inode {
+            name: name.to_string(),
+            size_bytes: data.len() as u64,
+            chunks,
+            chunk_size: self.chunk_size,
+        };
         for (i, chunk) in data.chunks(self.chunk_size).enumerate() {
             self.client.write(inode.chunk_key(i), chunk.to_vec())?;
         }
@@ -101,10 +117,13 @@ impl FileSystemShim {
         let inode = self.stat(name)?;
         let mut data = Vec::with_capacity(inode.size_bytes as usize);
         for i in 0..inode.chunks {
-            let chunk = self
-                .client
-                .read(&inode.chunk_key(i))
-                .map_err(|_| StorageError::MissingChunk { file: name.to_string(), chunk: i })?;
+            let chunk =
+                self.client
+                    .read(&inode.chunk_key(i))
+                    .map_err(|_| StorageError::MissingChunk {
+                        file: name.to_string(),
+                        chunk: i,
+                    })?;
             data.extend_from_slice(&chunk);
         }
         Ok(data)
@@ -113,8 +132,9 @@ impl FileSystemShim {
     /// Reads a file's inode.
     pub fn stat(&mut self, name: &str) -> Result<Inode, StorageError> {
         let raw = self.client.read(&Inode::key(name))?;
-        serde_json::from_slice(&raw)
-            .map_err(|_| StorageError::UnknownBlock { key: format!("inode:{name}") })
+        serde_json::from_slice(&raw).map_err(|_| StorageError::UnknownBlock {
+            key: format!("inode:{name}"),
+        })
     }
 
     /// Deletes a file (inode and all chunks). Returns the number of chunk
@@ -220,12 +240,23 @@ mod tests {
         // Remove every replica of chunk 2 behind the shim's back.
         fs.client_mut().delete(&inode.chunk_key(2));
         let err = fs.read_file("f").unwrap_err();
-        assert_eq!(err, StorageError::MissingChunk { file: "f".into(), chunk: 2 });
+        assert_eq!(
+            err,
+            StorageError::MissingChunk {
+                file: "f".into(),
+                chunk: 2
+            }
+        );
     }
 
     #[test]
     fn chunked_file_lists_keys_in_order() {
-        let inode = Inode { name: "x".into(), size_bytes: 30, chunks: 3, chunk_size: 10 };
+        let inode = Inode {
+            name: "x".into(),
+            size_bytes: 30,
+            chunks: 3,
+            chunk_size: 10,
+        };
         let f = ChunkedFile { inode };
         let keys = f.chunk_keys();
         assert_eq!(keys[0].as_str(), "x:0");

@@ -41,7 +41,10 @@ impl StorageClient {
 
     /// Creates a client with an explicit replication policy.
     pub fn with_policy(policy: ReplicationPolicy) -> Self {
-        Self { namenode: Namenode::with_policy(policy), ..Self::default() }
+        Self {
+            namenode: Namenode::with_policy(policy),
+            ..Self::default()
+        }
     }
 
     /// Adds a backend; the first backend added with `local = true` becomes
@@ -79,12 +82,16 @@ impl StorageClient {
     /// first), every chosen backend receives a replica, and the namenode's
     /// location records are updated.
     pub fn write(&mut self, key: BlockKey, value: Vec<u8>) -> Result<Vec<BackendId>, StorageError> {
-        let placement = self.namenode.choose_placement(value.len() as u64, self.local)?;
+        let placement = self
+            .namenode
+            .choose_placement(value.len() as u64, self.local)?;
         let mut written = Vec::with_capacity(placement.len());
         let mut last_err = None;
         for backend_id in placement {
             let Some(backend) = self.backends.get_mut(&backend_id) else {
-                last_err = Some(StorageError::UnknownBackend { backend: backend_id.0 });
+                last_err = Some(StorageError::UnknownBackend {
+                    backend: backend_id.0,
+                });
                 continue;
             };
             match backend.put(key.clone(), value.clone()) {
@@ -117,11 +124,23 @@ impl StorageClient {
         }
         // Normal path: ask the namenode, try replicas closest first.
         self.namenode_reads += 1;
-        let mut locations: Vec<BackendId> =
-            self.namenode.locations(key)?.iter().map(|l| l.backend).collect();
+        let mut locations: Vec<BackendId> = self
+            .namenode
+            .locations(key)?
+            .iter()
+            .map(|l| l.backend)
+            .collect();
         locations.sort_by(|a, b| {
-            let pa = self.backends.get(a).map(|x| x.profile().ping_ms).unwrap_or(f64::MAX);
-            let pb = self.backends.get(b).map(|x| x.profile().ping_ms).unwrap_or(f64::MAX);
+            let pa = self
+                .backends
+                .get(a)
+                .map(|x| x.profile().ping_ms)
+                .unwrap_or(f64::MAX);
+            let pb = self
+                .backends
+                .get(b)
+                .map(|x| x.profile().ping_ms)
+                .unwrap_or(f64::MAX);
             pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
         });
         for backend_id in locations {
@@ -141,7 +160,9 @@ impl StorageClient {
                 }
             }
         }
-        Err(StorageError::NoReplicaAvailable { key: key.as_str().to_string() })
+        Err(StorageError::NoReplicaAvailable {
+            key: key.as_str().to_string(),
+        })
     }
 
     /// Deletes all replicas of a block. Returns the number of replicas removed.
@@ -172,10 +193,16 @@ impl StorageClient {
         evict_src: bool,
     ) -> Result<(), StorageError> {
         let data = self.read_raw(key)?;
-        let sources: Vec<BackendId> =
-            self.namenode.locations(key)?.iter().map(|l| l.backend).collect();
-        let dest =
-            self.backends.get_mut(&to).ok_or(StorageError::UnknownBackend { backend: to.0 })?;
+        let sources: Vec<BackendId> = self
+            .namenode
+            .locations(key)?
+            .iter()
+            .map(|l| l.backend)
+            .collect();
+        let dest = self
+            .backends
+            .get_mut(&to)
+            .ok_or(StorageError::UnknownBackend { backend: to.0 })?;
         dest.put(key.clone(), data)?;
         self.namenode.add_replica(key.clone(), to);
         if evict_src {
@@ -201,7 +228,9 @@ impl StorageClient {
                 }
             }
         }
-        Err(StorageError::NoReplicaAvailable { key: key.as_str().to_string() })
+        Err(StorageError::NoReplicaAvailable {
+            key: key.as_str().to_string(),
+        })
     }
 
     /// Total bytes stored across all backends (counting replicas).
@@ -214,7 +243,11 @@ impl StorageClient {
         match self.namenode.locations(key) {
             Ok(locs) => locs
                 .iter()
-                .filter(|l| self.backends.get(&l.backend).is_some_and(|b| b.contains(key)))
+                .filter(|l| {
+                    self.backends
+                        .get(&l.backend)
+                        .is_some_and(|b| b.contains(key))
+                })
                 .count(),
             Err(_) => 0,
         }

@@ -30,8 +30,14 @@ impl fmt::Display for StorageError {
             StorageError::UnknownBackend { backend } => {
                 write!(f, "location record references unknown backend {backend}")
             }
-            StorageError::CapacityExceeded { backend, capacity_bytes } => {
-                write!(f, "backend {backend} is full (capacity {capacity_bytes} bytes)")
+            StorageError::CapacityExceeded {
+                backend,
+                capacity_bytes,
+            } => {
+                write!(
+                    f,
+                    "backend {backend} is full (capacity {capacity_bytes} bytes)"
+                )
             }
             StorageError::MissingChunk { file, chunk } => {
                 write!(f, "file `{file}` is missing chunk {chunk}")
@@ -51,10 +57,17 @@ mod tests {
 
     #[test]
     fn messages_identify_the_failing_object() {
-        assert!(StorageError::UnknownBlock { key: "b7".into() }.to_string().contains("b7"));
-        assert!(StorageError::UnknownBackend { backend: 12 }.to_string().contains("12"));
-        assert!(StorageError::MissingChunk { file: "f".into(), chunk: 3 }
+        assert!(StorageError::UnknownBlock { key: "b7".into() }
             .to_string()
-            .contains("chunk 3"));
+            .contains("b7"));
+        assert!(StorageError::UnknownBackend { backend: 12 }
+            .to_string()
+            .contains("12"));
+        assert!(StorageError::MissingChunk {
+            file: "f".into(),
+            chunk: 3
+        }
+        .to_string()
+        .contains("chunk 3"));
     }
 }

@@ -51,7 +51,10 @@ impl Namenode {
 
     /// Creates a namenode with an explicit replication policy.
     pub fn with_policy(policy: ReplicationPolicy) -> Self {
-        Self { policy, ..Self::default() }
+        Self {
+            policy,
+            ..Self::default()
+        }
     }
 
     /// The active replication policy.
@@ -101,10 +104,18 @@ impl Namenode {
             let b_local = Some(b.0) == local;
             b_local
                 .cmp(&a_local)
-                .then(a.1.ping_ms.partial_cmp(&b.1.ping_ms).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    a.1.ping_ms
+                        .partial_cmp(&b.1.ping_ms)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
                 .then(a.0.cmp(&b.0))
         });
-        Ok(candidates.into_iter().take(self.policy.replicas.max(1)).map(|(id, _)| id).collect())
+        Ok(candidates
+            .into_iter()
+            .take(self.policy.replicas.max(1))
+            .map(|(id, _)| id)
+            .collect())
     }
 
     /// Records that `backend` now holds a replica of `key`.
@@ -130,7 +141,9 @@ impl Namenode {
         self.locations
             .get(key)
             .map(Vec::as_slice)
-            .ok_or_else(|| StorageError::UnknownBlock { key: key.as_str().to_string() })
+            .ok_or_else(|| StorageError::UnknownBlock {
+                key: key.as_str().to_string(),
+            })
     }
 
     /// `true` when the namenode knows of at least one replica of the block.
@@ -208,7 +221,10 @@ mod tests {
         let mut nn = Namenode::with_policy(ReplicationPolicy { replicas: 2 });
         nn.register_backend(
             BackendId(1),
-            BackendProfile { capacity_bytes: 10, ..BackendProfile::local_disk() },
+            BackendProfile {
+                capacity_bytes: 10,
+                ..BackendProfile::local_disk()
+            },
         );
         nn.register_backend(BackendId(2), BackendProfile::object_store());
         let placement = nn.choose_placement(1000, None).unwrap();

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn higher_local_hit_rate_improves_throughput() {
         let base = ConductorStorageModel::default();
-        let all_local = ConductorStorageModel { local_hit_rate: 1.0, ..base };
+        let all_local = ConductorStorageModel {
+            local_hit_rate: 1.0,
+            ..base
+        };
         assert!(all_local.throughput_mbps(4.0) > base.throughput_mbps(4.0));
     }
 

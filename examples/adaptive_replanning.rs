@@ -20,7 +20,9 @@ fn main() {
     let report = controller
         .run_with_misprediction(
             &Workload::KMeans32Gb.spec(),
-            Goal::MinimizeCost { deadline_hours: 7.0 },
+            Goal::MinimizeCost {
+                deadline_hours: 7.0,
+            },
             1.44, // predicted GB/h per node
             0.44, // actual GB/h per node
             1.0,  // re-plan after one hour
@@ -42,10 +44,16 @@ fn main() {
     println!();
     println!("node allocation actually deployed (Figure 12a):");
     for step in &report.spliced_schedule {
-        println!("  from hour {:>4.1}: {:>3} x {}", step.from_hour, step.nodes, step.instance_type);
+        println!(
+            "  from hour {:>4.1}: {:>3} x {}",
+            step.from_hour, step.nodes, step.instance_type
+        );
     }
     println!();
-    println!("job progress (Figure 12b): {} total tasks", report.execution.total_tasks);
+    println!(
+        "job progress (Figure 12b): {} total tasks",
+        report.execution.total_tasks
+    );
     let mut next_mark = 0.0;
     for &(hour, tasks) in &report.execution.task_timeline {
         if hour >= next_mark {

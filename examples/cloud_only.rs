@@ -32,14 +32,22 @@ fn main() {
     let engine = Engine::new(catalog.clone());
     let upload_hours = spec.input_gb / uplink;
 
-    println!("=== Cloud-only deployment options for {} (deadline {deadline} h) ===", spec.name);
+    println!(
+        "=== Cloud-only deployment options for {} (deadline {deadline} h) ===",
+        spec.name
+    );
 
     // --- Conductor: plan automatically, deploy through the plan-following scheduler.
     let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
     let planner = Planner::new(pool);
     let controller = JobController::new(catalog.clone(), planner);
     let outcome = controller
-        .run(&spec, Goal::MinimizeCost { deadline_hours: deadline })
+        .run(
+            &spec,
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+        )
         .expect("conductor plan");
     print_report(&outcome.execution);
 
@@ -52,7 +60,11 @@ fn main() {
             .with_nodes("m1.large", 1, 0.0)
             .with_nodes("m1.large", 100, upload_hours)
     };
-    print_report(&engine.run(&spec, &upload_first, &LocalityScheduler).expect("upload first"));
+    print_report(
+        &engine
+            .run(&spec, &upload_first, &LocalityScheduler)
+            .expect("upload first"),
+    );
 
     // --- Hadoop direct: 16 instances stream their input from the customer's
     //     HDFS over the uplink.
@@ -61,7 +73,11 @@ fn main() {
         deadline_hours: Some(deadline),
         ..DeploymentOptions::new("hadoop-direct", uplink).with_nodes("m1.large", 16, 0.0)
     };
-    print_report(&engine.run(&spec, &direct, &LocalityScheduler).expect("direct"));
+    print_report(
+        &engine
+            .run(&spec, &direct, &LocalityScheduler)
+            .expect("direct"),
+    );
 
     // --- Hadoop S3: upload everything to S3 first, then 100 instances read
     //     from S3 (processing takes just over an hour, but two are billed).

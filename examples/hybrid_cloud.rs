@@ -22,20 +22,40 @@ fn main() {
     println!("=== Hybrid deployment: 5 free local nodes + EC2, deadline {deadline} h ===");
 
     let outcome = controller
-        .run(&spec, Goal::MinimizeCost { deadline_hours: deadline })
+        .run(
+            &spec,
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+        )
         .expect("hybrid plan");
 
     println!("plan:");
-    println!("  peak local nodes    : {}", outcome.plan.peak_nodes("local"));
-    println!("  peak m1.large nodes : {}", outcome.plan.peak_nodes("m1.large"));
+    println!(
+        "  peak local nodes    : {}",
+        outcome.plan.peak_nodes("local")
+    );
+    println!(
+        "  peak m1.large nodes : {}",
+        outcome.plan.peak_nodes("m1.large")
+    );
     println!("  node-hours          : {:?}", outcome.plan.node_hours());
     println!("  storage mix         : {:?}", outcome.plan.storage_mix());
     println!("  expected cost       : ${:.2}", outcome.plan.expected_cost);
     println!();
     println!("measured execution:");
-    println!("  completion          : {:.2} h", outcome.execution.completion_hours);
-    println!("  met deadline        : {:?}", outcome.execution.met_deadline);
-    println!("  total cost          : ${:.2}", outcome.execution.total_cost);
+    println!(
+        "  completion          : {:.2} h",
+        outcome.execution.completion_hours
+    );
+    println!(
+        "  met deadline        : {:?}",
+        outcome.execution.met_deadline
+    );
+    println!(
+        "  total cost          : ${:.2}",
+        outcome.execution.total_cost
+    );
     for (category, cost) in outcome.execution.cost_breakdown.iter() {
         if cost > 0.005 {
             println!("    {category:?}: ${cost:.2}");
@@ -58,7 +78,12 @@ fn main() {
             }
         }
         let pinned = Planner::new(pool);
-        match pinned.plan(&spec, Goal::MinimizeCost { deadline_hours: deadline }) {
+        match pinned.plan(
+            &spec,
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+        ) {
             Ok((plan, _)) => println!(
                 "  cap {nodes:>2} EC2 nodes -> planned cost ${:.2}, completion {:.1} h",
                 plan.expected_cost, plan.expected_completion_hours

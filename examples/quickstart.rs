@@ -24,29 +24,53 @@ fn main() {
     let job = Workload::KMeans32Gb.spec();
 
     // 4. The goal: minimize cost, finish within 6 hours.
-    let goal = Goal::MinimizeCost { deadline_hours: 6.0 };
+    let goal = Goal::MinimizeCost {
+        deadline_hours: 6.0,
+    };
 
     // 5. Plan and deploy.
     let planner = Planner::new(pool);
     let controller = JobController::new(catalog, planner);
-    let outcome = controller.run(&job, goal).expect("planning and deployment succeed");
+    let outcome = controller
+        .run(&job, goal)
+        .expect("planning and deployment succeed");
 
     // 6. Report what Conductor decided and what it cost.
     println!("=== Conductor quickstart ===");
-    println!("job: {} ({} GB input, {} tasks)", job.name, job.input_gb, job.total_tasks());
+    println!(
+        "job: {} ({} GB input, {} tasks)",
+        job.name,
+        job.input_gb,
+        job.total_tasks()
+    );
     println!("goal: minimize cost, deadline 6 h");
     println!();
     println!("plan:");
-    println!("  peak m1.large nodes : {}", outcome.plan.peak_nodes("m1.large"));
+    println!(
+        "  peak m1.large nodes : {}",
+        outcome.plan.peak_nodes("m1.large")
+    );
     println!("  node-hours          : {:?}", outcome.plan.node_hours());
     println!("  storage mix         : {:?}", outcome.plan.storage_mix());
     println!("  expected cost       : ${:.2}", outcome.plan.expected_cost);
-    println!("  expected completion : {:.1} h", outcome.plan.expected_completion_hours);
+    println!(
+        "  expected completion : {:.1} h",
+        outcome.plan.expected_completion_hours
+    );
     println!();
     println!("measured execution:");
-    println!("  completion          : {:.2} h", outcome.execution.completion_hours);
-    println!("  met deadline        : {:?}", outcome.execution.met_deadline);
-    println!("  total cost          : ${:.2}", outcome.execution.total_cost);
+    println!(
+        "  completion          : {:.2} h",
+        outcome.execution.completion_hours
+    );
+    println!(
+        "  met deadline        : {:?}",
+        outcome.execution.met_deadline
+    );
+    println!(
+        "  total cost          : ${:.2}",
+        outcome.execution.total_cost
+    );
     for (category, cost) in outcome.execution.cost_breakdown.iter() {
         println!("    {category:?}: ${cost:.2}");
     }

@@ -30,7 +30,11 @@ fn main() {
         let max = prices.iter().copied().fold(0.0f64, f64::max);
         println!("  {label:<18} mean ${mean:.3}/h  min ${min:.3}  max ${max:.3}");
         // A one-day excerpt so the diurnal structure (or its absence) is visible.
-        let day: Vec<String> = trace.window(72, 24).iter().map(|p| format!("{p:.2}")).collect();
+        let day: Vec<String> = trace
+            .window(72, 24)
+            .iter()
+            .map(|p| format!("{p:.2}"))
+            .collect();
         println!("    day 4 hourly prices: {}", day.join(" "));
     }
 
@@ -40,9 +44,10 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>10} {:>14}",
         "scenario", "avg cost $", "max cost $", "stddev", "interrupted %"
     );
-    for (kind, prefix) in
-        [(TraceKind::AwsLike, "aws"), (TraceKind::ElectricityLike, "el")]
-    {
+    for (kind, prefix) in [
+        (TraceKind::AwsLike, "aws"),
+        (TraceKind::ElectricityLike, "el"),
+    ] {
         let trace = match kind {
             TraceKind::AwsLike => SpotTrace::aws_like(42, hours),
             TraceKind::ElectricityLike => SpotTrace::electricity_like(42, hours),

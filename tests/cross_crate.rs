@@ -19,16 +19,24 @@ fn descriptions_and_catalog_produce_equivalent_pools() {
         .instances
         .iter()
         .map(ServiceDescription::from_instance)
-        .chain(catalog.storages.iter().map(ServiceDescription::from_storage))
+        .chain(
+            catalog
+                .storages
+                .iter()
+                .map(ServiceDescription::from_storage),
+        )
         .collect();
     // Round-trip through JSON, as a provider-published file would.
     let json = serde_json::to_string(&descriptions).unwrap();
     let parsed: Vec<ServiceDescription> = serde_json::from_str(&json).unwrap();
-    let from_desc = ResourcePool::from_descriptions(&parsed, catalog.uplink_gb_per_hour(), 0.12, 1.0);
+    let from_desc =
+        ResourcePool::from_descriptions(&parsed, catalog.uplink_gb_per_hour(), 0.12, 1.0);
     let from_catalog = ResourcePool::from_catalog(&catalog, 1.0);
     assert_eq!(from_desc.compute.len(), from_catalog.compute.len());
     for c in &from_catalog.compute {
-        let d = from_desc.compute_resource(&c.name).expect("compute resource present");
+        let d = from_desc
+            .compute_resource(&c.name)
+            .expect("compute resource present");
         assert!((d.capacity_gbph - c.capacity_gbph).abs() < 1e-9);
         assert!((d.hourly_price - c.hourly_price).abs() < 1e-9);
     }
@@ -85,7 +93,10 @@ fn plan_following_scheduler_bounds_wan_traffic() {
 
     // With no upload plan at all, the locality scheduler streams the input
     // remotely instead — same WAN volume, but unplanned.
-    let remote_opts = DeploymentOptions { upload_plan: vec![], ..opts };
+    let remote_opts = DeploymentOptions {
+        upload_plan: vec![],
+        ..opts
+    };
     let unplanned = engine.run(&spec, &remote_opts, &LocalityScheduler).unwrap();
     assert!(unplanned.wan_in_gb > spec.input_gb * 0.95);
 }
@@ -105,13 +116,17 @@ fn storage_layer_holds_job_input_with_replication() {
     // A scaled-down "input": 8 splits of 256 KiB.
     let split = vec![0xABu8; 256 * 1024];
     for i in 0..8 {
-        fs.write_file(&format!("input/part-{i:04}"), &split).unwrap();
+        fs.write_file(&format!("input/part-{i:04}"), &split)
+            .unwrap();
     }
     for i in 0..8 {
         let locations = fs.chunk_locations(&format!("input/part-{i:04}")).unwrap();
         assert_eq!(locations.len(), 4); // 256 KiB / 64 KiB chunks
         for chunk_locs in locations {
-            assert!(chunk_locs.len() >= 3, "under-replicated chunk: {chunk_locs:?}");
+            assert!(
+                chunk_locs.len() >= 3,
+                "under-replicated chunk: {chunk_locs:?}"
+            );
         }
         let data = fs.read_file(&format!("input/part-{i:04}")).unwrap();
         assert_eq!(data.len(), split.len());
@@ -128,13 +143,25 @@ fn goals_translate_into_consistent_plans() {
     let planner = Planner::new(pool);
     let spec = Workload::KMeans32Gb.spec();
     for deadline in [6.0, 8.0] {
-        let (plan, _) =
-            planner.plan(&spec, Goal::MinimizeCost { deadline_hours: deadline }).unwrap();
+        let (plan, _) = planner
+            .plan(
+                &spec,
+                Goal::MinimizeCost {
+                    deadline_hours: deadline,
+                },
+            )
+            .unwrap();
         assert!(plan.expected_completion_hours <= deadline + 1e-9);
         assert_eq!(plan.len() as f64, deadline);
     }
     let (plan, _) = planner
-        .plan(&spec, Goal::MinimizeTime { budget_usd: 100.0, max_hours: 10.0 })
+        .plan(
+            &spec,
+            Goal::MinimizeTime {
+                budget_usd: 100.0,
+                max_hours: 10.0,
+            },
+        )
         .unwrap();
     assert!(plan.expected_cost <= 100.0 + 1e-6);
 }

@@ -2,9 +2,31 @@
 //! the LP solver, the billing rules, the spot traces and the storage layer.
 
 use conductor_cloud::{BillingAccount, Catalog, SpotMarket, SpotTrace, TraceKind};
-use conductor_lp::{ConstraintOp, Problem, Sense};
+use conductor_lp::{ConstraintOp, LpError, Problem, Sense, SolveOptions};
 use conductor_storage::{BlockKey, FileSystemShim, InMemoryBackend, StorageClient};
 use proptest::prelude::*;
+
+/// Builds a random bounded knapsack-style MIP from flat coefficient vectors
+/// (always feasible: the origin satisfies every `<=` capacity row).
+fn random_mip(values: &[f64], weights: &[f64], capacities: &[f64]) -> Problem {
+    let n = values.len().min(weights.len()).max(1);
+    let mut p = Problem::new("rand-mip", Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| p.add_int_var(format!("x{i}"), 0.0, 4.0))
+        .collect();
+    p.set_objective(vars.iter().zip(values).map(|(&v, &c)| (v, c)));
+    for (k, &cap) in capacities.iter().enumerate() {
+        p.add_constraint(
+            format!("cap{k}"),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, weights[(i + k) % weights.len()].max(0.1))),
+            ConstraintOp::Le,
+            cap,
+        );
+    }
+    p
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -84,6 +106,51 @@ proptest! {
         prop_assert!(sol.objective() <= lp + 1e-6);
     }
 
+    /// The rearchitected solver's three configurations (warm-started,
+    /// cold flat-tableau, preserved seed implementation) reach the same
+    /// objective within the configured relative gap on randomized MIPs.
+    #[test]
+    fn warm_cold_and_seed_solvers_agree_on_random_mips(
+        values in proptest::collection::vec(0.5f64..9.5, 2..7),
+        weights in proptest::collection::vec(0.2f64..4.0, 2..7),
+        capacities in proptest::collection::vec(3.0f64..20.0, 1..4),
+    ) {
+        let p = random_mip(&values, &weights, &capacities);
+        let gap = 0.01;
+        let solve = |opts: SolveOptions| p.solve_with(&SolveOptions { relative_gap: gap, ..opts });
+        let warm = solve(SolveOptions::default()).unwrap();
+        let cold = solve(SolveOptions { warm_start: false, ..Default::default() }).unwrap();
+        let seed = solve(SolveOptions { seed_baseline: true, ..Default::default() }).unwrap();
+        // Each pair agrees within twice the gap band (each solve may stop
+        // anywhere inside its own gap).
+        let scale = warm.objective().abs().max(1.0);
+        let tol = 2.0 * gap * scale + 1e-6;
+        prop_assert!((warm.objective() - cold.objective()).abs() <= tol,
+            "warm {} vs cold {}", warm.objective(), cold.objective());
+        prop_assert!((warm.objective() - seed.objective()).abs() <= tol,
+            "warm {} vs seed {}", warm.objective(), seed.objective());
+        // The warm configuration's returned point is itself MIP-feasible.
+        for (i, v) in warm.values().iter().enumerate() {
+            prop_assert!((v - v.round()).abs() < 1e-6, "x{i} = {v} not integral");
+        }
+    }
+
+    /// Crossed bound overrides (as produced by branching) are always reported
+    /// as infeasible, never solved to a bogus optimum.
+    #[test]
+    fn crossed_bounds_are_infeasible(
+        lo in 1.0f64..5.0,
+        delta in 0.1f64..2.0,
+    ) {
+        let mut p = Problem::new("crossed", Sense::Minimize);
+        let x = p.add_var("x", 0.0, 10.0);
+        p.set_objective([(x, 1.0)]);
+        let lower = vec![lo];
+        let upper = vec![lo - delta];
+        let r = conductor_lp::simplex::solve_relaxation(&p, &lower, &upper, 1_000);
+        prop_assert!(matches!(r, Err(LpError::Infeasible)));
+    }
+
     /// EC2-style billing: rounded-up hours are never less than the exact
     /// hours, never more than one extra hour per session, and always at
     /// least one hour.
@@ -114,7 +181,7 @@ proptest! {
         }
         let el = SpotTrace::electricity_like(seed, hours);
         for &p in el.prices() {
-            prop_assert!(p >= 0.0 && p < 0.34);
+            prop_assert!((0.0..0.34).contains(&p));
         }
     }
 

@@ -1,0 +1,302 @@
+//! Fixed regression instances for the LP/MIP solver rework: the
+//! infeasible / unbounded / iteration-limit error paths, agreement between
+//! the warm-started, cold and seed-baseline configurations, and the
+//! skeleton/warm-start machinery exposed by `conductor_lp::simplex`.
+
+use conductor_lp::simplex::{solve_with_skeleton, WarmStart};
+use conductor_lp::{
+    ConstraintOp, LpError, Problem, Sense, SimplexWorkspace, SolveOptions, StandardFormSkeleton,
+};
+use std::time::Duration;
+
+fn bounds(p: &Problem) -> (Vec<f64>, Vec<f64>) {
+    (
+        p.variables().iter().map(|v| v.lower).collect(),
+        p.variables().iter().map(|v| v.upper).collect(),
+    )
+}
+
+/// All three solver configurations, tightest gap.
+fn configs() -> [(&'static str, SolveOptions); 3] {
+    let exact = SolveOptions {
+        relative_gap: 0.0,
+        ..Default::default()
+    };
+    [
+        ("warm", exact.clone()),
+        (
+            "cold",
+            SolveOptions {
+                warm_start: false,
+                ..exact.clone()
+            },
+        ),
+        (
+            "seed",
+            SolveOptions {
+                seed_baseline: true,
+                ..exact
+            },
+        ),
+    ]
+}
+
+#[test]
+fn infeasible_lp_is_reported_by_every_configuration() {
+    let mut p = Problem::new("inf-lp", Sense::Minimize);
+    let x = p.add_var("x", 0.0, f64::INFINITY);
+    p.set_objective([(x, 1.0)]);
+    p.add_constraint("lo", [(x, 1.0)], ConstraintOp::Ge, 5.0);
+    p.add_constraint("hi", [(x, 1.0)], ConstraintOp::Le, 4.0);
+    for (label, opts) in configs() {
+        assert!(
+            matches!(p.solve_with(&opts), Err(LpError::Infeasible)),
+            "{label} did not report infeasibility"
+        );
+    }
+}
+
+#[test]
+fn infeasible_mip_with_feasible_relaxation() {
+    // Relaxation feasible (x = 1.5) but no integer point.
+    let mut p = Problem::new("inf-mip", Sense::Minimize);
+    let x = p.add_int_var("x", 0.0, 10.0);
+    p.set_objective([(x, 1.0)]);
+    p.add_constraint("half", [(x, 2.0)], ConstraintOp::Eq, 3.0);
+    for (label, opts) in configs() {
+        let err = p.solve_with(&opts).unwrap_err();
+        assert!(
+            matches!(err, LpError::Infeasible | LpError::NoIncumbent),
+            "{label}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn unbounded_lp_is_reported_by_every_configuration() {
+    let mut p = Problem::new("unb", Sense::Maximize);
+    let x = p.add_var("x", 0.0, f64::INFINITY);
+    let y = p.add_var("y", 0.0, f64::INFINITY);
+    p.set_objective([(x, 1.0), (y, 1.0)]);
+    p.add_constraint("only-y", [(y, 1.0)], ConstraintOp::Le, 3.0);
+    for (label, opts) in configs() {
+        assert!(
+            matches!(p.solve_with(&opts), Err(LpError::Unbounded)),
+            "{label} did not report unboundedness"
+        );
+    }
+}
+
+#[test]
+fn unbounded_direction_via_free_variable() {
+    let mut p = Problem::new("unb-free", Sense::Minimize);
+    let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY);
+    p.set_objective([(x, 1.0)]);
+    p.add_constraint("ub", [(x, 1.0)], ConstraintOp::Le, 10.0);
+    for (label, opts) in configs() {
+        assert!(
+            matches!(p.solve_with(&opts), Err(LpError::Unbounded)),
+            "{label} did not report unboundedness"
+        );
+    }
+}
+
+#[test]
+fn iteration_limit_is_reported() {
+    // A feasible LP given a 1-iteration budget must fail with IterationLimit,
+    // not loop or return garbage.
+    let mut p = Problem::new("itlim", Sense::Maximize);
+    let vars: Vec<_> = (0..6)
+        .map(|i| p.add_var(format!("x{i}"), 0.0, 10.0))
+        .collect();
+    p.set_objective(vars.iter().map(|&v| (v, 1.0)));
+    p.add_constraint("cap", vars.iter().map(|&v| (v, 1.0)), ConstraintOp::Ge, 3.0);
+    let opts = SolveOptions {
+        max_simplex_iterations: 1,
+        ..Default::default()
+    };
+    assert!(matches!(
+        p.solve_with(&opts),
+        Err(LpError::IterationLimit { .. })
+    ));
+}
+
+#[test]
+fn time_limit_returns_best_feasible_solution() {
+    // A zero time budget must still return *some* feasible incumbent (the
+    // paper's "use the best solution computed so far" behaviour) or a
+    // NoIncumbent error — never hang.
+    let mut p = Problem::new("tl", Sense::Maximize);
+    let vars: Vec<_> = (0..12)
+        .map(|i| p.add_int_var(format!("x{i}"), 0.0, 3.0))
+        .collect();
+    p.set_objective(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + (i % 5) as f64)),
+    );
+    p.add_constraint(
+        "cap",
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + (i % 3) as f64)),
+        ConstraintOp::Le,
+        11.0,
+    );
+    let opts = SolveOptions {
+        time_limit: Duration::from_millis(0),
+        ..Default::default()
+    };
+    match p.solve_with(&opts) {
+        Ok(sol) => {
+            let used: f64 = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| sol.value(v) * (1.0 + (i % 3) as f64))
+                .sum();
+            assert!(
+                used <= 11.0 + 1e-6,
+                "time-limited incumbent violates capacity"
+            );
+        }
+        Err(e) => assert!(matches!(e, LpError::NoIncumbent), "{e:?}"),
+    }
+}
+
+/// The branched-variable pattern branch & bound produces: the warm path must
+/// agree with a cold solve on every child, including infeasible children.
+#[test]
+fn warm_and_cold_agree_on_branching_children() {
+    let mut p = Problem::new("children", Sense::Maximize);
+    let a = p.add_int_var("a", 0.0, 4.0);
+    let b = p.add_int_var("b", 0.0, 4.0);
+    let c = p.add_var("c", 0.0, 10.0);
+    p.set_objective([(a, 3.0), (b, 5.0), (c, 0.25)]);
+    p.add_constraint("r1", [(a, 2.0), (b, 3.0), (c, 1.0)], ConstraintOp::Le, 12.0);
+    p.add_constraint("r2", [(a, 1.0), (b, 1.0)], ConstraintOp::Ge, 1.0);
+    let (lower, upper) = bounds(&p);
+    let sk = StandardFormSkeleton::new(&p, &lower, &upper).unwrap();
+    let mut ws = SimplexWorkspace::default();
+    let root = solve_with_skeleton(&sk, &mut ws, &lower, &upper, None, 10_000).unwrap();
+
+    // Sweep bound overrides a branch-and-bound run could produce.
+    for (var, lo, hi) in [
+        (0usize, 0.0, 1.0),
+        (0, 2.0, 4.0),
+        (1, 0.0, 0.0),
+        (1, 4.0, 4.0),
+        (0, 3.0, 2.0), // crossed: infeasible child
+    ] {
+        let mut l = lower.clone();
+        let mut u = upper.clone();
+        l[var] = lo;
+        u[var] = hi;
+        let warm = solve_with_skeleton(&sk, &mut ws, &l, &u, Some(&root.basis), 10_000);
+        let mut cold_ws = SimplexWorkspace::default();
+        let cold = solve_with_skeleton(&sk, &mut cold_ws, &l, &u, None, 10_000);
+        match (warm, cold) {
+            (Ok(w), Ok(c)) => {
+                assert!(
+                    (w.objective - c.objective).abs() < 1e-6,
+                    "var {var} in [{lo}, {hi}]: warm {} cold {}",
+                    w.objective,
+                    c.objective
+                );
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (w, c) => panic!("var {var} in [{lo}, {hi}]: warm {w:?} vs cold {c:?}"),
+        }
+    }
+}
+
+/// The first skeleton solve is always cold; a hinted resolve reports a
+/// non-cold outcome.
+#[test]
+fn warm_start_outcomes_are_reported() {
+    let mut p = Problem::new("outcome", Sense::Minimize);
+    let x = p.add_int_var("x", 0.0, 9.0);
+    p.set_objective([(x, 1.0)]);
+    p.add_constraint("lo", [(x, 2.0)], ConstraintOp::Ge, 7.0);
+    let (lower, upper) = bounds(&p);
+    let sk = StandardFormSkeleton::new(&p, &lower, &upper).unwrap();
+    let mut ws = SimplexWorkspace::default();
+    let first = solve_with_skeleton(&sk, &mut ws, &lower, &upper, None, 10_000).unwrap();
+    assert_eq!(first.warm, WarmStart::Cold);
+    let again =
+        solve_with_skeleton(&sk, &mut ws, &lower, &upper, Some(&first.basis), 10_000).unwrap();
+    assert_ne!(again.warm, WarmStart::Cold);
+    assert!((first.objective - again.objective).abs() < 1e-9);
+    let (hits, misses) = ws.warm_start_counts();
+    assert_eq!(hits + misses, 1);
+}
+
+/// A degenerate LP that cycled the pre-rework ratio test into the iteration
+/// limit must now solve (stable pivoting + Bland fallback).
+#[test]
+fn degenerate_instances_terminate() {
+    // Beale's classic cycling example.
+    let mut p = Problem::new("beale", Sense::Minimize);
+    let x1 = p.add_var("x1", 0.0, f64::INFINITY);
+    let x2 = p.add_var("x2", 0.0, f64::INFINITY);
+    let x3 = p.add_var("x3", 0.0, f64::INFINITY);
+    let x4 = p.add_var("x4", 0.0, f64::INFINITY);
+    p.set_objective([(x1, -0.75), (x2, 150.0), (x3, -0.02), (x4, 6.0)]);
+    p.add_constraint(
+        "c1",
+        [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        ConstraintOp::Le,
+        0.0,
+    );
+    p.add_constraint(
+        "c2",
+        [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        ConstraintOp::Le,
+        0.0,
+    );
+    p.add_constraint("c3", [(x3, 1.0)], ConstraintOp::Le, 1.0);
+    let sol = p.solve().unwrap();
+    assert!(
+        (sol.objective() + 0.05).abs() < 1e-6,
+        "objective {}",
+        sol.objective()
+    );
+}
+
+/// Warm-start statistics surface through `Solution::stats` and the rate
+/// helper stays in [0, 1].
+#[test]
+fn solve_stats_report_warm_start_rate() {
+    let mut p = Problem::new("stats", Sense::Maximize);
+    let vars: Vec<_> = (0..8)
+        .map(|i| p.add_int_var(format!("x{i}"), 0.0, 3.0))
+        .collect();
+    p.set_objective(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 2.0 + (i % 4) as f64)),
+    );
+    for k in 0..3 {
+        p.add_constraint(
+            format!("cap{k}"),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + ((i + k) % 3) as f64)),
+            ConstraintOp::Le,
+            10.0,
+        );
+    }
+    let opts = SolveOptions {
+        relative_gap: 0.0,
+        ..Default::default()
+    };
+    let sol = p.solve_with(&opts).unwrap();
+    let stats = sol.stats();
+    let rate = stats.warm_start_rate();
+    assert!((0.0..=1.0).contains(&rate), "rate {rate}");
+    if stats.nodes_explored > 2 {
+        assert!(
+            stats.warm_start_hits + stats.warm_start_misses > 0,
+            "multi-node solve attempted no warm starts: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Vendored minimal `rand`: just enough for the repo's deterministic
+//! simulators — `SmallRng::seed_from_u64`, `gen_range` over numeric ranges,
+//! `gen_bool`, and `gen` for a few primitives. The generator is xoshiro256**
+//! seeded through SplitMix64 (the same construction the real `SmallRng`
+//! uses on 64-bit targets), so quality is fine for simulation purposes.
+//! Streams are NOT bit-compatible with the real crate; all uses in this repo
+//! only rely on determinism for a fixed seed, not on exact values.
+
+use std::ops::Range;
+
+/// Core RNG trait (subset of the real crate).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(range, self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+/// Types sampleable from a `Range` (subset of the real `SampleRange`).
+pub trait SampleRange: Sized {
+    fn sample<R: Rng>(range: Range<Self>, rng: &mut R) -> Self;
+}
+
+impl SampleRange for f64 {
+    fn sample<R: Rng>(range: Range<Self>, rng: &mut R) -> Self {
+        range.start + (range.end - range.start) * rng.next_f64()
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: Rng>(range: Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, usize, u32, i64);
+
+/// Types with a "standard" distribution for `gen()` (subset of the real
+/// `Standard`).
+pub trait Standard: Sized {
+    fn standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u8 {
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Seedable construction (subset of the real trait).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** — small, fast, good-quality; mirrors what the real
+    /// `SmallRng` is on 64-bit platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors (avoids all-zero states).
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-0.25f64..0.5);
+            assert!((-0.25..0.5).contains(&x));
+            let n = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_is_sane() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+}

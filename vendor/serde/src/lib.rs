@@ -1,0 +1,441 @@
+//! Vendored minimal `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this crate stands in
+//! for the real `serde`. It is **not** wire-compatible with serde's data
+//! model: serialization goes through a concrete [`Json`] value tree and the
+//! companion vendored `serde_json` crate renders/parses that tree. The repo
+//! only ever round-trips its own output, so this is sufficient — and it keeps
+//! the familiar `#[derive(Serialize, Deserialize)]` surface unchanged for the
+//! day the real dependency can be restored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+/// An owned JSON value. Objects preserve insertion order (a `Vec` of pairs)
+/// so serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Field lookup helper used by derived `Deserialize` impls.
+pub fn json_get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    pub fn expected(what: &str) -> Self {
+        Self::new(format!("expected {what}"))
+    }
+
+    pub fn missing_field(owner: &str, field: &str) -> Self {
+        Self::new(format!("missing field `{field}` for `{owner}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Json`] tree.
+pub trait Serialize {
+    fn serialize(&self) -> Json;
+}
+
+/// Deserialization from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(value: &Json) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Json {
+                Json::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Json) -> Result<Self, DeError> {
+                value
+                    .as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| DeError::expected(concat!("a number (", stringify!($t), ")")))
+            }
+        }
+    )*};
+}
+
+impl_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("a boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("a string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .and_then(|s| s.chars().next())
+            .ok_or_else(|| DeError::expected("a one-character string"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Json {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Json {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Json {
+        match self {
+            Some(v) => v.serialize(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Json {
+                Json::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Json) -> Result<Self, DeError> {
+                let items = value.as_array().ok_or_else(|| DeError::expected("a tuple array"))?;
+                Ok(($(
+                    $t::deserialize(
+                        items.get($idx).ok_or_else(|| DeError::expected("a longer tuple"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+/// Maps serialize as arrays of `[key, value]` pairs so non-string keys (e.g.
+/// `VarId`) need no special casing. Only the vendored `serde_json` ever reads
+/// this format back.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Json {
+        Json::Array(
+            self.iter()
+                .map(|(k, v)| Json::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        map_pairs(value)?
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Json {
+        // Sort pairs by rendered key for deterministic output.
+        let mut pairs: Vec<(Json, Json)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize(), v.serialize()))
+            .collect();
+        pairs.sort_by(|(a, _), (b, _)| format!("{a:?}").cmp(&format!("{b:?}")));
+        Json::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Json::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        map_pairs(value)?
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array (set)"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize(&self) -> Json {
+        let mut items: Vec<Json> = self.iter().map(Serialize::serialize).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Json::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array (set)"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+fn map_pairs(value: &Json) -> Result<impl Iterator<Item = (&Json, &Json)>, DeError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| DeError::expected("a map (array of pairs)"))?;
+    items
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .ok_or_else(|| DeError::expected("a [key, value] pair"))?;
+            match pair.as_slice() {
+                [k, v] => Ok((k, v)),
+                _ => Err(DeError::expected("a [key, value] pair")),
+            }
+        })
+        .collect::<Result<Vec<_>, DeError>>()
+        .map(Vec::into_iter)
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Json {
+        Json::Object(vec![
+            ("secs".to_string(), Json::Number(self.as_secs() as f64)),
+            (
+                "nanos".to_string(),
+                Json::Number(self.subsec_nanos() as f64),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("a duration object"))?;
+        let secs = json_get(obj, "secs")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| DeError::missing_field("Duration", "secs"))?;
+        let nanos = json_get(obj, "nanos").and_then(Json::as_f64).unwrap_or(0.0);
+        Ok(Duration::new(secs as u64, nanos as u32))
+    }
+}
+
+impl Serialize for Json {
+    fn serialize(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::deserialize(&3.5f64.serialize()).unwrap(), 3.5);
+        assert_eq!(usize::deserialize(&7usize.serialize()).unwrap(), 7);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::deserialize(&v.serialize()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert(1usize, "a".to_string());
+        assert_eq!(
+            BTreeMap::<usize, String>::deserialize(&m.serialize()).unwrap(),
+            m
+        );
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::deserialize(&o.serialize()).unwrap(), None);
+        let t = (1.0f64, "x".to_string());
+        assert_eq!(<(f64, String)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(12, 345_000_000);
+        assert_eq!(Duration::deserialize(&d.serialize()).unwrap(), d);
+    }
+}

@@ -1,0 +1,429 @@
+//! Vendored, dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The container this repo builds in has no network access to crates.io, so
+//! the real `serde`/`syn` stack is unavailable. This crate hand-parses the
+//! item token stream (no generics support — none of the repo's serialized
+//! types are generic) and emits impls of the JSON-value-based `Serialize` /
+//! `Deserialize` traits defined by the vendored `serde` facade crate.
+//!
+//! Supported shapes: structs with named fields, tuple structs, and enums with
+//! unit / tuple / struct variants. Supported field attributes:
+//! `#[serde(default)]` and `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a field's value is obtained when it is missing from the input.
+#[derive(Clone)]
+enum MissingPolicy {
+    Error,
+    DefaultTrait,
+    DefaultFn(String),
+}
+
+struct Field {
+    name: String,
+    missing: MissingPolicy,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Json)> = Vec::new();\n{pushes}::serde::Json::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let mut pushes = String::new();
+            for i in 0..*arity {
+                pushes.push_str(&format!(
+                    "items.push(::serde::Serialize::serialize(&self.{i}));\n"
+                ));
+            }
+            format!(
+                "let mut items: Vec<::serde::Json> = Vec::new();\n{pushes}::serde::Json::Array(items)"
+            )
+        }
+        Shape::Unit => "::serde::Json::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{v} => ::serde::Json::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let pushes: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{v}({b}) => ::serde::Json::Object(vec![(\"{v}\".to_string(), ::serde::Json::Array(vec![{p}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            p = pushes.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::serialize({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {b} }} => ::serde::Json::Object(vec![(\"{v}\".to_string(), ::serde::Json::Object(vec![{p}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            p = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Json {{\n {body}\n }}\n}}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&named_field_init(&name, f));
+            }
+            format!(
+                "let obj = value.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for struct {name}\"))?;\nOk(Self {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let mut inits = String::new();
+            for i in 0..*arity {
+                inits.push_str(&format!(
+                    "::serde::Deserialize::deserialize(items.get({i}).ok_or_else(|| ::serde::DeError::expected(\"tuple field {i} of {name}\"))?)?,\n"
+                ));
+            }
+            format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::DeError::expected(\"array for tuple struct {name}\"))?;\nOk(Self(\n{inits}))"
+            )
+        }
+        Shape::Unit => "Ok(Self)".to_string(),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms
+                        .push_str(&format!("\"{v}\" => return Ok(Self::{v}),\n", v = v.name)),
+                    VariantKind::Tuple(arity) => {
+                        let mut inits = String::new();
+                        for i in 0..*arity {
+                            inits.push_str(&format!(
+                                "::serde::Deserialize::deserialize(items.get({i}).ok_or_else(|| ::serde::DeError::expected(\"field {i} of variant {v}\"))?)?,\n",
+                                v = v.name
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n let items = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array payload for variant {v}\"))?;\n return Ok(Self::{v}(\n{inits}));\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&named_field_init(&v.name, f));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n let obj = payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object payload for variant {v}\"))?;\n return Ok(Self::{v} {{\n{inits}}});\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(tag) = value.as_str() {{\n match tag {{\n{unit_arms} _ => {{}}\n }}\n}}\nif let Some(obj) = value.as_object() {{\n if let Some((tag, payload)) = obj.first() {{\n match tag.as_str() {{\n{data_arms} _ => {{}}\n }}\n }}\n}}\nErr(::serde::DeError::expected(\"a known variant of {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn deserialize(value: &::serde::Json) -> Result<Self, ::serde::DeError> {{\n {body}\n }}\n}}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+fn named_field_init(owner: &str, f: &Field) -> String {
+    let fetch = format!("::serde::json_get(obj, \"{}\")", f.name);
+    match &f.missing {
+        MissingPolicy::Error => format!(
+            "{n}: ::serde::Deserialize::deserialize({fetch}.ok_or_else(|| ::serde::DeError::missing_field(\"{owner}\", \"{n}\"))?)?,\n",
+            n = f.name
+        ),
+        MissingPolicy::DefaultTrait => format!(
+            "{n}: match {fetch} {{ Some(v) => ::serde::Deserialize::deserialize(v)?, None => Default::default() }},\n",
+            n = f.name
+        ),
+        MissingPolicy::DefaultFn(path) => format!(
+            "{n}: match {fetch} {{ Some(v) => ::serde::Deserialize::deserialize(v)?, None => {path}() }},\n",
+            n = f.name
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [..] group
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    // Generics are not supported; fail loudly rather than emit wrong code.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported ({name})");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::Unit),
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, got {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Parses `attr? vis? name: Type,` sequences inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut missing = MissingPolicy::Error;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(policy) = parse_serde_attr(g.stream()) {
+                    missing = policy;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name.
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Angle-bracket depth
+        // must be tracked so `BTreeMap<K, V>` commas don't end the field.
+        let mut angle: i32 = 0;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, missing });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut saw_tokens_since_comma = true;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (doc comments etc.).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant `= expr` and the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Recognizes `serde(default)` and `serde(default = "path")` inside an
+/// attribute bracket group; returns the policy if present.
+fn parse_serde_attr(stream: TokenStream) -> Option<MissingPolicy> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let TokenTree::Group(inner) = tokens.get(1)? else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {
+            if let Some(TokenTree::Literal(lit)) = inner.get(2) {
+                let raw = lit.to_string();
+                let path = raw.trim_matches('"').to_string();
+                Some(MissingPolicy::DefaultFn(path))
+            } else {
+                Some(MissingPolicy::DefaultTrait)
+            }
+        }
+        _ => None,
+    }
+}
