@@ -4,6 +4,7 @@
 use conductor_bench::experiments::solver_options;
 use conductor_cloud::Catalog;
 use conductor_core::{Goal, JobController, Planner, ResourcePool};
+use conductor_lp::Engine;
 use conductor_mapreduce::Workload;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -44,7 +45,7 @@ fn bench_end_to_end_seed_solver(c: &mut Criterion) {
         let catalog = Catalog::aws_july_2011();
         let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
         let options = conductor_lp::SolveOptions {
-            seed_baseline: true,
+            engine: Engine::SeedBaseline,
             ..solver_options()
         };
         let planner = Planner::new(pool).with_solve_options(options);

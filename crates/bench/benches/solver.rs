@@ -5,7 +5,7 @@
 
 use conductor_cloud::Catalog;
 use conductor_core::{Goal, ModelConfig, ModelInstance, Planner, ResourcePool};
-use conductor_lp::SolveOptions;
+use conductor_lp::{Engine, SolveOptions};
 use conductor_mapreduce::Workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -68,7 +68,7 @@ fn bench_solver_configurations(c: &mut Criterion) {
         (
             "seed",
             SolveOptions {
-                seed_baseline: true,
+                engine: Engine::SeedBaseline,
                 ..Default::default()
             },
         ),

@@ -624,11 +624,10 @@ pub fn fig16_solve_time() -> Table {
     );
     let uplink = uplink_16();
     for input_gb in [32u32, 64, 128, 256] {
+        // The paper's k-means workload (0.44 GB/h per node): the planner now
+        // honors the spec's measured throughput, and fig16 measures the
+        // node-heavy k-means models, not the fast-scan variant.
         let spec = Workload::KMeansScaled { input_gb }.spec();
-        let spec = JobSpec {
-            reference_throughput_gbph: 6.2,
-            ..spec
-        };
         let upload_hours = spec.input_gb / uplink;
         let deadline = (upload_hours * 1.3).ceil().max(6.0);
         let mut row = Vec::new();

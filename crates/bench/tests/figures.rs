@@ -32,19 +32,15 @@ fn conductor_is_near_cheapest_and_s3_is_roughly_double() {
     assert_eq!(conductor.met_deadline, Some(true));
 }
 
-/// Figure 8: the storage-mix sweep produces a well-formed cost curve whose
-/// optimum is never beaten by either forced endpoint.
-///
-/// Note: the paper's figure shows the all-EC2 endpoint as the most expensive
-/// point. Our model prices the two endpoints within a few percent of each
-/// other at this uplink because the fast-scan workload processes data as it
-/// trickles in, so the instance holding the EC2 disks is doing useful work
-/// anyway (the §4.6 disk/compute coupling is satisfied for free). Until the
-/// billing model charges idle disk-holding more faithfully (see ROADMAP),
-/// asserting a strict endpoint ordering would encode solver noise, not the
-/// model.
+/// Figure 8: the storage-mix sweep reproduces the paper's curve — cost
+/// falls from all-S3 to an interior optimum and then rises steeply, with
+/// **all-EC2 the most expensive mix**. The endpoint ordering comes from two
+/// model-fidelity fixes: the planner honors the workload's measured
+/// throughput (the fast-scan job no longer pays k-means compute prices that
+/// drowned the storage effect), and instance-disk residency is charged its
+/// replicated share of the hosting instances (idle holding is never free).
 #[test]
-fn fig08_storage_mix_curve_is_well_formed() {
+fn fig08_storage_mix_curve_matches_paper_ordering() {
     let t = experiments::fig08_storage_mix();
     let costs: Vec<f64> = (0..=10)
         .map(|i| t.value(&format!("{:.1}", i as f64 / 10.0), 0).unwrap())
@@ -59,9 +55,62 @@ fn fig08_storage_mix_curve_is_well_formed() {
     );
     // The unconstrained-optimal interior is never worse than a forced endpoint.
     assert!(min <= all_s3 + 1e-9 && min <= all_ec2 + 1e-9);
-    // The endpoints agree within the solver gap band (few percent), i.e. the
-    // sweep is meaningful rather than wildly noisy.
-    assert!(max <= min * 1.10, "sweep spread too large: {costs:?}");
+    // The paper's headline ordering: all-EC2 is the most expensive point of
+    // the whole sweep, clearly above all-S3 (not within solver-gap noise).
+    assert!(
+        (all_ec2 - max).abs() < 1e-9,
+        "all-EC2 ({all_ec2}) is not the maximum of the sweep: {costs:?}"
+    );
+    assert!(
+        all_ec2 > 1.1 * all_s3,
+        "all-EC2 ({all_ec2}) should be decisively above all-S3 ({all_s3}): {costs:?}"
+    );
+    // And the interior minimum genuinely beats the all-S3 endpoint (the
+    // mixed-storage win the paper demonstrates).
+    assert!(
+        min < all_s3 - 1e-9,
+        "no interior improvement over all-S3: {costs:?}"
+    );
+}
+
+/// Figure 16 smoke for the solver engines: the revised sparse engine and the
+/// dense tableau must plan the fig16 workload to identical costs (they solve
+/// the same relaxations to the same optima; only the linear algebra
+/// differs).
+#[test]
+fn fig16_revised_and_dense_plan_costs_are_identical() {
+    use conductor_cloud::{catalog::mbps_to_gb_per_hour, Catalog};
+    use conductor_core::{Goal, Planner, ResourcePool};
+    use conductor_lp::{Engine, SolveOptions};
+    use conductor_mapreduce::Workload;
+
+    let spec = Workload::KMeansScaled { input_gb: 32 }.spec();
+    let upload_hours = spec.input_gb / mbps_to_gb_per_hour(16.0);
+    let deadline = (upload_hours * 1.3).ceil().max(6.0);
+    let plan_cost = |engine: Engine| {
+        let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
+            .with_compute_only(&["m1.large"]);
+        let planner = Planner::new(pool).with_solve_options(SolveOptions {
+            engine,
+            time_limit: std::time::Duration::from_secs(60),
+            ..Default::default()
+        });
+        let (plan, _) = planner
+            .plan(
+                &spec,
+                Goal::MinimizeCost {
+                    deadline_hours: deadline,
+                },
+            )
+            .expect("fig16 smoke plan");
+        plan.expected_cost
+    };
+    let dense = plan_cost(Engine::DenseTableau);
+    let revised = plan_cost(Engine::RevisedSparse);
+    assert!(
+        (dense - revised).abs() < 1e-9,
+        "dense {dense} vs revised {revised}"
+    );
 }
 
 /// Figure 16: the model and its solve time grow with the input size, and

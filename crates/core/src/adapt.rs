@@ -121,14 +121,14 @@ impl AdaptiveController {
         let deadline = goal.deadline_hours();
 
         // ---- 1. Plan with the (wrong) predicted throughput.
-        let optimistic_pool = self.pool_with_throughput(predicted_gbph);
+        let optimistic_pool = self.pool_with_throughput(spec, predicted_gbph);
         let optimistic_planner =
             Planner::new(optimistic_pool).with_solve_options(self.solve_options.clone());
         let (initial_plan, _) = optimistic_planner.plan(spec, goal)?;
 
         // ---- 2. Execute the initial plan against the real (slower) cluster;
         // this is also the "no adaptation" counterfactual.
-        let actual_catalog = self.catalog_with_throughput(actual_gbph);
+        let actual_catalog = self.catalog_with_throughput(spec, actual_gbph);
         let actual_engine = Engine::new(actual_catalog);
         let initial_options = initial_plan.to_deployment_options(
             "initial-plan",
@@ -145,7 +145,7 @@ impl AdaptiveController {
 
         // ---- 4. Re-plan from the observed state with the corrected
         // throughput and the time remaining until the deadline.
-        let realistic_pool = self.pool_with_throughput(actual_gbph);
+        let realistic_pool = self.pool_with_throughput(spec, actual_gbph);
         let realistic_planner =
             Planner::new(realistic_pool).with_solve_options(self.solve_options.clone());
         let margin = self.replan_margin_hours;
@@ -226,18 +226,34 @@ impl AdaptiveController {
         state
     }
 
-    fn pool_with_throughput(&self, gbph: f64) -> ResourcePool {
+    /// Pool whose nodes deliver `gbph` *for this spec's workload*. The model
+    /// scales capacities by `spec.reference_throughput_gbph` relative to the
+    /// reference workload (see `ComputeResource::capacity_for_spec`), so the
+    /// observed rate is converted back into reference-workload units here —
+    /// otherwise a non-reference workload would be scaled twice.
+    fn pool_with_throughput(&self, spec: &JobSpec, gbph: f64) -> ResourcePool {
+        let reference_units = if spec.reference_throughput_gbph > 0.0 {
+            gbph * (crate::resources::REFERENCE_WORKLOAD_GBPH / spec.reference_throughput_gbph)
+        } else {
+            gbph
+        };
         let mut pool = self.pool.clone();
         for c in &mut pool.compute {
-            c.capacity_gbph = gbph;
+            c.capacity_gbph = reference_units;
         }
         pool
     }
 
-    fn catalog_with_throughput(&self, gbph: f64) -> Catalog {
+    /// Catalog whose instances deliver `gbph` *for this spec's workload*
+    /// when simulated. The engine multiplies catalog throughputs by
+    /// `spec.throughput_scale()`, so the observed rate is converted back
+    /// into reference-workload units here (mirror of
+    /// [`Self::pool_with_throughput`]).
+    fn catalog_with_throughput(&self, spec: &JobSpec, gbph: f64) -> Catalog {
+        let reference_units = gbph / spec.throughput_scale();
         let mut catalog = self.catalog.clone();
         for i in &mut catalog.instances {
-            i.measured_throughput_gbph = gbph;
+            i.measured_throughput_gbph = reference_units;
         }
         catalog
     }

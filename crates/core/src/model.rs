@@ -144,15 +144,41 @@ impl ModelInstance {
         let mut vars = ModelVars::default();
         let mut objective = LinExpr::new();
 
+        // Data on instance disks is replicated across *live* instances, so
+        // residency there is never free even when processing happens to keep
+        // nodes around anyway: each GB-hour pins a replicated slice of a
+        // rented node's disk. Charged at the cheapest cloud instance's
+        // amortized per-GB-hour disk price times the replication factor
+        // (§4.6; restores the paper's Figure 8 endpoint ordering, where
+        // all-EC2 is the most expensive storage mix).
+        let instance_disk_gb_hour = crate::resources::INSTANCE_DISK_REPLICATION
+            * pool
+                .compute
+                .iter()
+                .filter(|c| !c.is_local && c.disk_gb > 0.0)
+                .map(|c| c.hourly_price / c.disk_gb)
+                .fold(f64::INFINITY, f64::min);
+        let instance_disk_gb_hour = if instance_disk_gb_hour.is_finite() {
+            instance_disk_gb_hour
+        } else {
+            0.0
+        };
+
         // ---- Variables.
         for s in &pool.storage {
+            let residency_per_gb_hour = s.cost_per_gb_hour
+                + if s.instance_disk {
+                    instance_disk_gb_hour
+                } else {
+                    0.0
+                };
             for t in 0..t_count {
                 let u = p.add_var(format!("upload[{}][{t}]", s.name), 0.0, f64::INFINITY);
                 vars.upload.insert((s.name.clone(), t), u);
                 let st = p.add_var(format!("store[{}][{t}]", s.name), 0.0, f64::INFINITY);
                 vars.store.insert((s.name.clone(), t), st);
                 // Residency cost (eq. 5's storage term) and per-GB request costs.
-                objective.add_term(st, s.cost_per_gb_hour * dt);
+                objective.add_term(st, residency_per_gb_hour * dt);
                 // A negligible preference for uploading early breaks ties
                 // between otherwise-equivalent schedules (faster solves,
                 // more natural plans) without affecting real costs.
@@ -321,14 +347,18 @@ impl ModelInstance {
         }
 
         // Compute capacity (eq. 3): map + reduce share the rented nodes.
+        // Per-node throughput is the *workload's* measured rate scaled by
+        // the instance's capability ratio (§4.2) — a fast-scan job moves
+        // through a node many times faster than the reference k-means.
         for c in &pool.compute {
+            let capacity = c.capacity_for_spec(spec.reference_throughput_gbph);
             for t in 0..t_count {
                 p.add_constraint(
                     format!("compute-capacity[{}][{t}]", c.name),
                     [
                         (vars.proc_map[&(c.name.clone(), t)], 1.0),
                         (vars.proc_reduce[&(c.name.clone(), t)], 1.0),
-                        (vars.nodes[&(c.name.clone(), t)], -c.capacity_gbph * dt),
+                        (vars.nodes[&(c.name.clone(), t)], -capacity * dt),
                     ],
                     ConstraintOp::Le,
                     0.0,

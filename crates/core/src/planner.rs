@@ -33,6 +33,14 @@ pub struct PlanningReport {
     /// Nodes whose warm-start attempt fell back to the cold path.
     #[serde(default)]
     pub warm_start_misses: usize,
+    /// LU factorizations of the simplex basis (revised engine; 0 for the
+    /// tableau engines).
+    #[serde(default)]
+    pub basis_factorizations: usize,
+    /// Factorizations triggered mid-stream by the eta limit or a drift
+    /// check (subset of `basis_factorizations`).
+    #[serde(default)]
+    pub basis_refactorizations: usize,
 }
 
 impl PlanningReport {
@@ -156,6 +164,8 @@ impl Planner {
             nodes_explored: solution.stats().nodes_explored,
             warm_start_hits: solution.stats().warm_start_hits,
             warm_start_misses: solution.stats().warm_start_misses,
+            basis_factorizations: solution.stats().basis_factorizations,
+            basis_refactorizations: solution.stats().basis_refactorizations,
         };
         Ok((plan, report))
     }

@@ -9,6 +9,19 @@
 use conductor_cloud::{Catalog, InstanceType, ServiceDescription, StorageKind, StorageService};
 use serde::{Deserialize, Serialize};
 
+/// Measured m1.large throughput (GB/h) of the reference workload — the
+/// paper's k-means job — that the catalog's per-instance capacities were
+/// calibrated against. A job spec's `reference_throughput_gbph` is expressed
+/// on the same instance, so the ratio scales every instance's capacity to
+/// the workload at hand (§4.2, Figure 1). Shared with the execution
+/// simulator, which applies the identical scaling.
+pub const REFERENCE_WORKLOAD_GBPH: f64 = conductor_mapreduce::REFERENCE_INSTANCE_GBPH;
+
+/// HDFS-style replication factor assumed for data resident on instance
+/// disks: each stored GB pins disk (and therefore a slice of a running
+/// instance) on this many nodes (§4.6).
+pub const INSTANCE_DISK_REPLICATION: f64 = 3.0;
+
 /// A compute resource: something that can run MapReduce tasks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComputeResource {
@@ -174,6 +187,18 @@ impl ResourcePool {
 }
 
 impl ComputeResource {
+    /// Effective per-node throughput (GB/h) for a workload whose measured
+    /// m1.large throughput is `spec_reference_gbph`. Instances scale by
+    /// their measured ratio to the reference workload; a non-positive spec
+    /// throughput falls back to the calibration capacity.
+    pub fn capacity_for_spec(&self, spec_reference_gbph: f64) -> f64 {
+        if spec_reference_gbph > 0.0 {
+            self.capacity_gbph * (spec_reference_gbph / REFERENCE_WORKLOAD_GBPH)
+        } else {
+            self.capacity_gbph
+        }
+    }
+
     /// Converts a catalog instance type.
     pub fn from_instance(i: &InstanceType) -> Self {
         Self {

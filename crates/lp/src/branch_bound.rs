@@ -15,7 +15,8 @@
 //! benchmarks can verify the warm-start rate.
 
 use crate::error::LpError;
-use crate::problem::{Problem, Sense, SolveOptions, VarKind};
+use crate::problem::{Engine, Problem, Sense, SolveOptions, VarKind};
+use crate::revised::{solve_with_skeleton_revised, RevisedWorkspace};
 use crate::seed_baseline;
 use crate::simplex::{
     solve_with_skeleton, SimplexResult, SimplexWorkspace, StandardFormSkeleton, WarmStart,
@@ -36,6 +37,7 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
 
     if !problem.is_mip() {
         let r = solver.solve_node(&lower, &upper, None)?;
+        let (basis_factorizations, basis_refactorizations) = solver.factorization_counts();
         let stats = SolveStats {
             simplex_iterations: r.iterations,
             nodes_explored: 1,
@@ -43,6 +45,8 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
             relative_gap: 0.0,
             warm_start_hits: 0,
             warm_start_misses: 0,
+            basis_factorizations,
+            basis_refactorizations,
         };
         return Ok(Solution::new(
             SolveStatus::Optimal,
@@ -55,14 +59,31 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
     BranchAndBound::new(problem, options, start, solver).run(lower, upper)
 }
 
-/// Per-tree LP backend: the shared skeleton + workspace, with fallbacks for
-/// bound patterns the skeleton cannot express and for the seed-baseline
-/// benchmarking mode.
+/// Per-tree LP backend: the engine selected by [`SolveOptions::engine`] with
+/// its shared skeleton + workspace, plus fallbacks for bound patterns the
+/// skeleton cannot express.
+// One value exists per branch & bound tree, so the size spread between the
+// seed variant (unit) and the workspace-carrying ones is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum EngineState {
+    /// The preserved seed implementation (no skeleton, no warm starts).
+    Seed,
+    /// Flat dense tableau with embedded basis inverse.
+    Dense {
+        skeleton: StandardFormSkeleton,
+        workspace: SimplexWorkspace,
+    },
+    /// Sparse revised simplex over an LU-factorized basis.
+    Revised {
+        skeleton: StandardFormSkeleton,
+        workspace: RevisedWorkspace,
+    },
+}
+
 struct NodeSolver<'a> {
     problem: &'a Problem,
     options: &'a SolveOptions,
-    skeleton: Option<StandardFormSkeleton>,
-    workspace: SimplexWorkspace,
+    engine: EngineState,
 }
 
 impl<'a> NodeSolver<'a> {
@@ -72,16 +93,21 @@ impl<'a> NodeSolver<'a> {
         root_lower: &[f64],
         root_upper: &[f64],
     ) -> Result<Self, LpError> {
-        let skeleton = if options.seed_baseline {
-            None
-        } else {
-            Some(StandardFormSkeleton::new(problem, root_lower, root_upper)?)
+        let engine = match options.engine {
+            Engine::SeedBaseline => EngineState::Seed,
+            Engine::DenseTableau => EngineState::Dense {
+                skeleton: StandardFormSkeleton::new(problem, root_lower, root_upper)?,
+                workspace: SimplexWorkspace::default(),
+            },
+            Engine::RevisedSparse => EngineState::Revised {
+                skeleton: StandardFormSkeleton::new(problem, root_lower, root_upper)?,
+                workspace: RevisedWorkspace::default(),
+            },
         };
         Ok(Self {
             problem,
             options,
-            skeleton,
-            workspace: SimplexWorkspace::default(),
+            engine,
         })
     }
 
@@ -95,42 +121,105 @@ impl<'a> NodeSolver<'a> {
         basis_hint: Option<&[usize]>,
     ) -> Result<SimplexResult, LpError> {
         let max_iterations = self.options.max_simplex_iterations;
-        if let Some(skeleton) = &self.skeleton {
-            if skeleton.compatible(lower, upper) {
-                let hint = if self.options.warm_start {
-                    basis_hint
-                } else {
-                    None
-                };
-                return solve_with_skeleton(
-                    skeleton,
-                    &mut self.workspace,
-                    lower,
-                    upper,
-                    hint,
-                    max_iterations,
-                );
+        let hint = if self.options.warm_start {
+            basis_hint
+        } else {
+            None
+        };
+        match &mut self.engine {
+            EngineState::Seed => {
+                let r =
+                    seed_baseline::solve_relaxation(self.problem, lower, upper, max_iterations)?;
+                Ok(SimplexResult {
+                    values: r.values,
+                    objective: r.objective,
+                    iterations: r.iterations,
+                    basis: Vec::new(),
+                    warm: WarmStart::Cold,
+                })
             }
-            // Rare: a node whose bounds change a variable's standard-form
-            // classification (e.g. branching on a variable that the root
-            // fixed). Build a one-off skeleton for it. Its basis indices are
-            // meaningless against the shared skeleton's layout, so they are
-            // stripped before children can inherit them as hints.
-            let fresh = StandardFormSkeleton::new(self.problem, lower, upper)?;
-            let mut ws = SimplexWorkspace::default();
-            let mut r = solve_with_skeleton(&fresh, &mut ws, lower, upper, None, max_iterations)?;
-            r.basis = Vec::new();
-            return Ok(r);
+            EngineState::Dense {
+                skeleton,
+                workspace,
+            } => {
+                if skeleton.compatible(lower, upper) {
+                    return solve_with_skeleton(
+                        skeleton,
+                        workspace,
+                        lower,
+                        upper,
+                        hint,
+                        max_iterations,
+                    );
+                }
+                solve_fresh_skeleton(self.problem, lower, upper, max_iterations, {
+                    let mut ws = SimplexWorkspace::default();
+                    move |sk, lo, hi, it| solve_with_skeleton(sk, &mut ws, lo, hi, None, it)
+                })
+            }
+            EngineState::Revised {
+                skeleton,
+                workspace,
+            } => {
+                if skeleton.compatible(lower, upper) {
+                    return solve_with_skeleton_revised(
+                        skeleton,
+                        workspace,
+                        lower,
+                        upper,
+                        hint,
+                        max_iterations,
+                    );
+                }
+                solve_fresh_skeleton(self.problem, lower, upper, max_iterations, {
+                    let mut ws = RevisedWorkspace::default();
+                    move |sk, lo, hi, it| solve_with_skeleton_revised(sk, &mut ws, lo, hi, None, it)
+                })
+            }
         }
-        let r = seed_baseline::solve_relaxation(self.problem, lower, upper, max_iterations)?;
-        Ok(SimplexResult {
-            values: r.values,
-            objective: r.objective,
-            iterations: r.iterations,
-            basis: Vec::new(),
-            warm: WarmStart::Cold,
-        })
     }
+
+    /// Cumulative `(hits, misses)` of warm-start attempts by this tree's
+    /// engine (always `(0, 0)` for the seed engine).
+    fn warm_start_counts(&self) -> (usize, usize) {
+        match &self.engine {
+            EngineState::Seed => (0, 0),
+            EngineState::Dense { workspace, .. } => workspace.warm_start_counts(),
+            EngineState::Revised { workspace, .. } => workspace.warm_start_counts(),
+        }
+    }
+
+    /// Cumulative `(factorizations, refactorizations)` of the revised
+    /// engine's basis ( `(0, 0)` for the tableau engines).
+    fn factorization_counts(&self) -> (usize, usize) {
+        match &self.engine {
+            EngineState::Revised { workspace, .. } => workspace.factorization_counts(),
+            _ => (0, 0),
+        }
+    }
+}
+
+/// Fallback for the rare node whose bounds change a variable's standard-form
+/// classification (e.g. branching on a variable that the root fixed): build
+/// a one-off skeleton and solve it cold with a fresh workspace. The basis
+/// indices of such a solve are meaningless against the shared skeleton's
+/// layout, so they are stripped before children can inherit them as hints.
+fn solve_fresh_skeleton(
+    problem: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    max_iterations: usize,
+    mut solve: impl FnMut(
+        &StandardFormSkeleton,
+        &[f64],
+        &[f64],
+        usize,
+    ) -> Result<SimplexResult, LpError>,
+) -> Result<SimplexResult, LpError> {
+    let fresh = StandardFormSkeleton::new(problem, lower, upper)?;
+    let mut r = solve(&fresh, lower, upper, max_iterations)?;
+    r.basis = Vec::new();
+    Ok(r)
 }
 
 /// A pending search node: bound overrides plus the parent relaxation bound
@@ -309,9 +398,11 @@ impl<'a> BranchAndBound<'a> {
             }
         }
 
-        let (hits, misses) = self.node_solver.workspace.warm_start_counts();
+        let (hits, misses) = self.node_solver.warm_start_counts();
         self.warm_start_hits = hits;
         self.warm_start_misses = misses;
+        let (basis_factorizations, basis_refactorizations) =
+            self.node_solver.factorization_counts();
 
         let sense_factor = self.sense_factor;
         match self.incumbent {
@@ -331,6 +422,8 @@ impl<'a> BranchAndBound<'a> {
                     relative_gap: gap,
                     warm_start_hits: self.warm_start_hits,
                     warm_start_misses: self.warm_start_misses,
+                    basis_factorizations,
+                    basis_refactorizations,
                 };
                 Ok(Solution::new(status, obj, values, stats))
             }
@@ -749,7 +842,7 @@ mod tests {
             .unwrap();
         let baseline = p
             .solve_with(&SolveOptions {
-                seed_baseline: true,
+                engine: Engine::SeedBaseline,
                 ..tight.clone()
             })
             .unwrap();

@@ -10,7 +10,9 @@
 //! * **semi-continuous** variables (the Map→Reduce phase barrier of §4.3),
 //! * linear constraints (`<=`, `>=`, `=`),
 //! * linear objectives (minimize or maximize),
-//! * a two-phase dense tableau simplex for LP relaxations, and
+//! * three selectable LP-relaxation engines — the preserved seed tableau,
+//!   a flat dense tableau, and the default **sparse revised simplex** with
+//!   an LU-factorized basis (see [`problem::Engine`]) — and
 //! * branch & bound with a relative gap tolerance, node limit and wall-clock
 //!   time limit (mirroring the paper's "bound the solving time to three
 //!   minutes and use the best solution computed so far", §4.8).
@@ -35,13 +37,17 @@ pub mod branch_bound;
 pub mod dense;
 pub mod error;
 pub mod expr;
+pub mod lu;
 pub mod problem;
+pub mod revised;
 pub mod seed_baseline;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
 
 pub use error::LpError;
 pub use expr::{LinExpr, VarId};
-pub use problem::{ConstraintOp, Problem, Sense, SolveOptions, VarKind};
+pub use problem::{ConstraintOp, Engine, Problem, Sense, SolveOptions, VarKind};
+pub use revised::RevisedWorkspace;
 pub use simplex::{SimplexWorkspace, StandardFormSkeleton, WarmStart};
 pub use solution::{Solution, SolveStats, SolveStatus};

@@ -1,0 +1,487 @@
+//! Sparse LU factorization of the simplex basis with product-form (eta-file)
+//! updates.
+//!
+//! The revised simplex engine never forms `B⁻¹` explicitly. Instead it keeps
+//!
+//! * a left-looking sparse **LU factorization** `B₀ = L·U` (with partial
+//!   pivoting, rows permuted implicitly through `prow`), refreshed by
+//!   [`BasisFactorization::refactorize`], and
+//! * an **eta file**: after each pivot the new basis is `B₀·E₁·…·E_k` where
+//!   each `Eₖ` is the identity except for one column (the FTRAN'd entering
+//!   column). Applying `Eₖ⁻¹` costs O(nnz of the pivot column).
+//!
+//! FTRAN (`B⁻¹·b`, entering-column transform / RHS re-derivation) and BTRAN
+//! (`B⁻ᵀ·c`, pricing / dual row extraction) both run in O(nnz(L)+nnz(U)+
+//! Σ nnz(etas)). When the eta file grows past [`eta_limit`] — or a drift
+//! check fails — the factorization is rebuilt from the basis columns, which
+//! bounds both fill-in and accumulated floating-point error. This replaces
+//! the dense engine's blind `REUSE_REFRESH` cold-refill ceiling with an
+//! explicit, observable refresh policy (counts surface in `SolveStats`).
+
+use crate::sparse::CscMatrix;
+
+/// Largest admissible eta-file length before a refactorization is forced:
+/// long products both slow the solves down and accumulate rounding error.
+/// Scales with √m — the break-even between the O(m²+fill) refactorization
+/// (amortized over the interval) and the O(nnz(w)) ≈ O(m) cost every
+/// FTRAN/BTRAN pays per eta.
+pub fn eta_limit(m: usize) -> usize {
+    12 + (m as f64).sqrt() as usize
+}
+
+/// Pivot magnitude below which the basis is declared numerically singular.
+const SINGULAR_TOL: f64 = 1e-10;
+/// Entries below this magnitude are dropped during elimination (relative to
+/// unit-scaled model coefficients); keeps cancellation noise out of the fill.
+const DROP_TOL: f64 = 1e-13;
+
+/// The basis factorization could not be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Singular {
+    /// Elimination step at which no admissible pivot remained.
+    pub step: usize,
+}
+
+/// `B₀ = L·U` with row permutation `prow` (step `k` pivoted original row
+/// `prow[k]`); `L` unit lower triangular stored by columns in original row
+/// space, `U` upper triangular stored by columns in step space.
+#[derive(Debug, Clone, Default)]
+struct LuFactors {
+    m: usize,
+    /// Sub-diagonal entries of `L`'s column `k`: `(original row, multiplier)`.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Strictly-above-diagonal entries of `U`'s column `k`: `(step j < k, value)`.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    u_diag: Vec<f64>,
+    prow: Vec<usize>,
+    /// Inverse of `prow`: `step_of_row[prow[k]] == k` (usize::MAX while
+    /// unpivoted). Lets the elimination loop visit only the pivot steps that
+    /// actually appear in the current column instead of scanning all `0..k`.
+    step_of_row: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Left-looking factorization of the basis columns `A[:, basis[k]]`.
+    ///
+    /// The elimination per column is worklist-driven (Gilbert–Peierls
+    /// flavor): pivot steps present in the column are drained from a min
+    /// binary heap in ascending order, and applying `L`'s column may push
+    /// newly-reached steps. Cost is O(nnz(column's elimination subtree)),
+    /// not O(k) — simplex bases from Conductor models factor with almost no
+    /// fill, so this is the difference between O(nnz) and O(m²) per
+    /// refactorization.
+    #[allow(clippy::too_many_arguments)]
+    fn factorize(
+        &mut self,
+        m: usize,
+        a: &CscMatrix,
+        basis: &[usize],
+        work: &mut Vec<f64>,
+        in_work: &mut Vec<bool>,
+        touched: &mut Vec<usize>,
+        heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<usize>>,
+    ) -> Result<(), Singular> {
+        self.m = m;
+        self.l_cols.iter_mut().for_each(Vec::clear);
+        self.u_cols.iter_mut().for_each(Vec::clear);
+        self.l_cols.resize(m, Vec::new());
+        self.u_cols.resize(m, Vec::new());
+        self.u_diag.clear();
+        self.u_diag.resize(m, 0.0);
+        self.prow.clear();
+        self.prow.resize(m, usize::MAX);
+        self.step_of_row.clear();
+        self.step_of_row.resize(m, usize::MAX);
+        work.clear();
+        work.resize(m, 0.0);
+        in_work.clear();
+        in_work.resize(m, false);
+        touched.clear();
+        heap.clear();
+
+        for (k, &bcol) in basis.iter().enumerate() {
+            // Scatter column k of B, seeding the worklist with the pivot
+            // steps of already-pivoted rows it touches.
+            let (idx, val) = a.col(bcol);
+            for (&r, &v) in idx.iter().zip(val) {
+                if !in_work[r] {
+                    in_work[r] = true;
+                    touched.push(r);
+                    if self.step_of_row[r] != usize::MAX {
+                        heap.push(std::cmp::Reverse(self.step_of_row[r]));
+                    }
+                }
+                work[r] += v;
+            }
+            // Eliminate reached pivot steps in ascending order.
+            while let Some(std::cmp::Reverse(j)) = heap.pop() {
+                let u = work[self.prow[j]];
+                work[self.prow[j]] = 0.0;
+                // A row can enter the heap once only (guarded by `in_work`),
+                // but its value may have cancelled to zero meanwhile.
+                if u.abs() > DROP_TOL {
+                    self.u_cols[k].push((j, u));
+                    for &(r, v) in &self.l_cols[j] {
+                        if !in_work[r] {
+                            in_work[r] = true;
+                            touched.push(r);
+                            if self.step_of_row[r] != usize::MAX {
+                                heap.push(std::cmp::Reverse(self.step_of_row[r]));
+                            }
+                        }
+                        work[r] -= u * v;
+                    }
+                }
+            }
+            // Partial pivoting: largest remaining magnitude among unpivoted
+            // touched rows.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_abs = SINGULAR_TOL;
+            for &r in touched.iter() {
+                if self.step_of_row[r] == usize::MAX && work[r].abs() > pivot_abs {
+                    pivot_abs = work[r].abs();
+                    pivot_row = r;
+                }
+            }
+            if pivot_row == usize::MAX {
+                // Leave scratch clean for the next attempt.
+                for &r in touched.iter() {
+                    work[r] = 0.0;
+                    in_work[r] = false;
+                }
+                touched.clear();
+                return Err(Singular { step: k });
+            }
+            let pivot = work[pivot_row];
+            self.prow[k] = pivot_row;
+            self.u_diag[k] = pivot;
+            self.step_of_row[pivot_row] = k;
+            for &r in touched.iter() {
+                if self.step_of_row[r] == usize::MAX && work[r].abs() > DROP_TOL {
+                    self.l_cols[k].push((r, work[r] / pivot));
+                }
+                work[r] = 0.0;
+                in_work[r] = false;
+            }
+            touched.clear();
+        }
+        Ok(())
+    }
+
+    /// `x ← B₀⁻¹·x`; input in original row space, output in step (= basis
+    /// position) space. `z` is caller-provided scratch.
+    fn ftran(&self, x: &mut [f64], z: &mut Vec<f64>) {
+        let m = self.m;
+        // Forward solve L·z = x (in place on the row-space vector).
+        for k in 0..m {
+            let zk = x[self.prow[k]];
+            if zk != 0.0 {
+                for &(r, v) in &self.l_cols[k] {
+                    x[r] -= zk * v;
+                }
+            }
+        }
+        z.clear();
+        z.extend((0..m).map(|k| x[self.prow[k]]));
+        // Backward solve U·y = z, column-oriented.
+        for k in (0..m).rev() {
+            let yk = z[k] / self.u_diag[k];
+            z[k] = yk;
+            if yk != 0.0 {
+                for &(j, v) in &self.u_cols[k] {
+                    z[j] -= v * yk;
+                }
+            }
+        }
+        x[..m].copy_from_slice(z);
+    }
+
+    /// `x ← B₀⁻ᵀ·x`; input in step space, output in original row space.
+    fn btran(&self, x: &mut [f64], z: &mut Vec<f64>) {
+        let m = self.m;
+        z.clear();
+        z.resize(m, 0.0);
+        // Forward solve Uᵀ·w = x.
+        for k in 0..m {
+            let mut s = x[k];
+            for &(j, v) in &self.u_cols[k] {
+                s -= v * z[j];
+            }
+            z[k] = s / self.u_diag[k];
+        }
+        // Backward solve Lᵀ·y = w, landing in original row space.
+        for v in x.iter_mut() {
+            *v = 0.0;
+        }
+        for k in (0..m).rev() {
+            let mut s = z[k];
+            for &(r, v) in &self.l_cols[k] {
+                s -= v * x[r];
+            }
+            x[self.prow[k]] = s;
+        }
+    }
+}
+
+/// One product-form update: the basis column at position `r` was replaced,
+/// and `w = B_old⁻¹·a_entering` (basis-position space) is the eta column.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    wr: f64,
+    /// Entries of `w` other than position `r`.
+    nz: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    #[inline]
+    fn ftran(&self, x: &mut [f64]) {
+        let xr = x[self.r] / self.wr;
+        if xr != 0.0 {
+            for &(i, w) in &self.nz {
+                x[i] -= w * xr;
+            }
+        }
+        x[self.r] = xr;
+    }
+
+    #[inline]
+    fn btran(&self, x: &mut [f64]) {
+        let mut s = x[self.r];
+        for &(i, w) in &self.nz {
+            s -= w * x[i];
+        }
+        x[self.r] = s / self.wr;
+    }
+}
+
+/// The live factorized basis: `B = B₀·E₁·…·E_k` plus refresh bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct BasisFactorization {
+    lu: LuFactors,
+    /// Staging area so a failed refactorization never corrupts the live
+    /// factors (the old LU + eta file still represent the current basis).
+    lu_next: LuFactors,
+    etas: Vec<Eta>,
+    // Scratch buffers (retained across calls).
+    solve_scratch: Vec<f64>,
+    work: Vec<f64>,
+    in_work: Vec<bool>,
+    touched: Vec<usize>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>>,
+    /// Lifetime LU factorizations through this handle.
+    pub factorizations: usize,
+    /// Factorizations triggered *mid-stream* by the eta limit or a drift
+    /// check (a subset of `factorizations`; the rest are cold-start builds).
+    pub refactorizations: usize,
+}
+
+impl BasisFactorization {
+    /// Factorizes `B = A[:, basis]` from scratch and clears the eta file.
+    /// `refresh` marks eta-limit/drift-triggered rebuilds for the stats.
+    /// On failure the previous factorization (if any) remains usable.
+    pub fn refactorize(
+        &mut self,
+        a: &CscMatrix,
+        basis: &[usize],
+        refresh: bool,
+    ) -> Result<(), Singular> {
+        let m = basis.len();
+        self.lu_next.factorize(
+            m,
+            a,
+            basis,
+            &mut self.work,
+            &mut self.in_work,
+            &mut self.touched,
+            &mut self.heap,
+        )?;
+        std::mem::swap(&mut self.lu, &mut self.lu_next);
+        if std::env::var_os("LU_TRACE").is_some() {
+            let lnnz: usize = self.lu.l_cols.iter().map(Vec::len).sum();
+            let unnz: usize = self.lu.u_cols.iter().map(Vec::len).sum();
+            eprintln!("LU m={} nnzA={} nnzL={} nnzU={}", m, a.nnz(), lnnz, unnz);
+        }
+        self.etas.clear();
+        self.factorizations += 1;
+        if refresh {
+            self.refactorizations += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of product-form updates since the last refactorization.
+    #[inline]
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Records the pivot `(position r, w = B⁻¹·a_entering)` as an eta.
+    /// `w[r]` must be safely away from zero (the caller's ratio test
+    /// guarantees it).
+    pub fn push_eta(&mut self, r: usize, w: &[f64]) {
+        let nz = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { r, wr: w[r], nz });
+    }
+
+    /// `x ← B⁻¹·x` (row space in, basis-position space out).
+    pub fn ftran(&mut self, x: &mut [f64]) {
+        self.lu.ftran(x, &mut self.solve_scratch);
+        for e in &self.etas {
+            e.ftran(x);
+        }
+    }
+
+    /// `x ← B⁻ᵀ·x` (basis-position space in, row space out).
+    pub fn btran(&mut self, x: &mut [f64]) {
+        for e in self.etas.iter().rev() {
+            e.btran(x);
+        }
+        self.lu.btran(x, &mut self.solve_scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> CscMatrix {
+        let mut m = CscMatrix::default();
+        m.assemble(rows, cols, entries);
+        m
+    }
+
+    #[test]
+    fn identity_factorizes_and_solves() {
+        let a = matrix(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let mut bf = BasisFactorization::default();
+        bf.refactorize(&a, &[0, 1, 2], false).unwrap();
+        let mut x = vec![3.0, -1.0, 2.0];
+        bf.ftran(&mut x);
+        assert_eq!(x, vec![3.0, -1.0, 2.0]);
+        bf.btran(&mut x);
+        assert_eq!(x, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn ftran_and_btran_invert_a_dense_3x3() {
+        // B = [[2,1,0],[1,3,1],[0,1,4]] (columns 0..3 of A).
+        let a = matrix(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 4.0),
+            ],
+        );
+        let mut bf = BasisFactorization::default();
+        bf.refactorize(&a, &[0, 1, 2], false).unwrap();
+        // Solve B x = b, verify by multiplying back.
+        let b = [5.0, -2.0, 7.0];
+        let mut x = b.to_vec();
+        bf.ftran(&mut x);
+        let mut back = vec![0.0; 3];
+        for (k, &xk) in x.iter().enumerate() {
+            a.axpy_col(k, xk, &mut back);
+        }
+        for (got, want) in back.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-12, "{back:?} vs {b:?}");
+        }
+        // Solve Bᵀ y = c, verify dot products against columns.
+        let c = [1.0, 2.0, 3.0];
+        let mut y = c.to_vec();
+        bf.btran(&mut y);
+        for (k, &want) in c.iter().enumerate() {
+            assert!((a.col_dot(k, &y) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        // Start from basis {0,1,2} of a 3x5 matrix, swap in column 3 at
+        // position 1 via an eta, and compare FTRAN/BTRAN results against a
+        // from-scratch factorization of the updated basis.
+        let a = matrix(
+            3,
+            5,
+            &[
+                (0, 0, 4.0),
+                (1, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 2, 3.0),
+                (3, 0, 1.0),
+                (3, 1, 1.0),
+                (3, 2, 2.0),
+                (4, 0, 5.0),
+            ],
+        );
+        let mut bf = BasisFactorization::default();
+        bf.refactorize(&a, &[0, 1, 2], false).unwrap();
+        // w = B⁻¹ a_3.
+        let mut w = vec![0.0; 3];
+        a.scatter_col(3, &mut w);
+        bf.ftran(&mut w);
+        bf.push_eta(1, &w);
+        let updated_basis = [0usize, 3, 2];
+
+        let mut fresh = BasisFactorization::default();
+        fresh.refactorize(&a, &updated_basis, false).unwrap();
+
+        let b = [1.0, 2.0, 3.0];
+        let (mut x1, mut x2) = (b.to_vec(), b.to_vec());
+        bf.ftran(&mut x1);
+        fresh.ftran(&mut x2);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-12, "{x1:?} vs {x2:?}");
+        }
+        let c = [0.5, -1.0, 2.0];
+        let (mut y1, mut y2) = (c.to_vec(), c.to_vec());
+        bf.btran(&mut y1);
+        fresh.btran(&mut y2);
+        for (p, q) in y1.iter().zip(&y2) {
+            assert!((p - q).abs() < 1e-12, "{y1:?} vs {y2:?}");
+        }
+        assert_eq!(bf.eta_count(), 1);
+        assert_eq!(fresh.eta_count(), 0);
+    }
+
+    #[test]
+    fn singular_basis_is_rejected_and_previous_factors_survive() {
+        let a = matrix(2, 3, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let mut bf = BasisFactorization::default();
+        bf.refactorize(&a, &[0, 1], false).unwrap();
+        // Column 2 is all-zero: basis {0, 2} is singular.
+        assert!(bf.refactorize(&a, &[0, 2], true).is_err());
+        // The old factorization still solves correctly.
+        let mut x = vec![3.0, 3.0];
+        bf.ftran(&mut x);
+        let mut back = vec![0.0; 2];
+        a.axpy_col(0, x[0], &mut back);
+        a.axpy_col(1, x[1], &mut back);
+        assert!((back[0] - 3.0).abs() < 1e-12 && (back[1] - 3.0).abs() < 1e-12);
+        assert_eq!(bf.factorizations, 1);
+        assert_eq!(bf.refactorizations, 0);
+    }
+
+    #[test]
+    fn permuted_basis_requires_row_pivoting() {
+        // B's natural order would hit a zero pivot without row swaps.
+        let a = matrix(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let mut bf = BasisFactorization::default();
+        bf.refactorize(&a, &[0, 1], false).unwrap();
+        let mut x = vec![7.0, 9.0];
+        bf.ftran(&mut x);
+        // B = [[0,1],[1,0]] so x = [9, 7].
+        assert_eq!(x, vec![9.0, 7.0]);
+    }
+}

@@ -1,0 +1,1246 @@
+//! Sparse revised simplex with an LU-factorized basis.
+//!
+//! Third solver engine next to [`crate::seed_baseline`] and the dense
+//! tableau of [`crate::simplex`]. It shares the dense engine's
+//! [`StandardFormSkeleton`] (same variable mapping, row layout, span rows and
+//! per-node RHS patching) but replaces the O(m·cols)-per-pivot tableau with:
+//!
+//! * the constraint matrix held once in CSC form ([`crate::sparse`]),
+//! * the basis kept as a sparse LU factorization with product-form eta
+//!   updates and periodic refactorization ([`crate::lu`]),
+//! * sparse FTRAN/BTRAN solves for the entering column and the pricing
+//!   duals, and
+//! * **partial pricing** in the classic *multiple pricing* form: a full
+//!   Dantzig scan every few iterations shortlists the most negative
+//!   reduced-cost columns, and the iterations in between price only that
+//!   shortlist. Pivot quality stays near-Dantzig (the entering column right
+//!   after a scan *is* the global most-negative one, so branch & bound sees
+//!   the same vertices as the dense engine) while the per-iteration pricing
+//!   cost drops from O(nnz(A)) to O(shortlist).
+//!
+//! Per-iteration cost drops from O(m·cols) to O(nnz). Warm starts across
+//! branch & bound nodes re-derive the node RHS *through the factorization*
+//! (`x_B = B⁻¹·b`) instead of through a basis inverse embedded in a reused
+//! tableau, so there is no analogue of the dense engine's `REUSE_REFRESH`
+//! drift ceiling: every refactorization recomputes `x_B` from scratch, and
+//! an explicit residual check (`‖B·x_B − b‖∞`) at each reuse converts drift
+//! into a counted refresh instead of a blind cold refill.
+//!
+//! Infinite span-row right-hand sides (branchable variables with no upper
+//! bound) cannot flow through LU solves the way they flow through dense
+//! tableau arithmetic, so the RHS is carried as the pair `b = b_f + ∞·b_w`
+//! and the basic solution as `x = x_f + ∞·x_w`; a basic value is "infinite"
+//! exactly when its `x_w` weight is positive, which is what the ratio tests
+//! check.
+
+use crate::error::LpError;
+use crate::lu::{eta_limit, BasisFactorization};
+use crate::problem::ConstraintOp;
+use crate::problem::Problem;
+use crate::simplex::{
+    repair_pivot_cap, SimplexResult, StandardFormSkeleton, VarMap, WarmStart, COST_TOL,
+    DUAL_PIVOT_TOL, FEAS_TOL, PIVOT_TOL, REUSE_HEALTH_LIMIT,
+};
+use crate::sparse::CscMatrix;
+
+/// `x_w` weights below this magnitude count as exactly finite.
+const INF_W_TOL: f64 = 1e-9;
+
+/// Debug aid: set `REVISED_TRACE=1` to log why warm-start reuses fall back
+/// to the cold path (each label marks one bail-out site in `try_reuse`).
+fn trace(label: &str) {
+    if std::env::var_os("REVISED_TRACE").is_some() {
+        eprintln!("reuse-fallback: {label}");
+    }
+}
+
+/// Eta-file length (as a multiple of [`eta_limit`]) beyond which a solve
+/// whose refactorizations keep failing is declared numerically lost.
+const ETA_GIVE_UP_FACTOR: usize = 6;
+
+/// Internal abort reason: either a real LP outcome or numerical trouble
+/// that warrants one stabilized cold restart.
+enum SolveAbort {
+    Lp(LpError),
+    Numerical,
+}
+
+impl From<LpError> for SolveAbort {
+    fn from(e: LpError) -> Self {
+        SolveAbort::Lp(e)
+    }
+}
+
+/// Reusable state of the revised engine: the CSC matrix, the factorized
+/// basis, the split RHS/solution vectors and all scratch buffers. One
+/// workspace serves an entire branch & bound tree.
+#[derive(Debug, Clone, Default)]
+pub struct RevisedWorkspace {
+    a: CscMatrix,
+    triplets: Vec<(usize, usize, f64)>,
+    bf: BasisFactorization,
+    basis: Vec<usize>,
+    is_basic: Vec<bool>,
+    /// Node RHS, row space: actual value is `b_f + ∞·b_w`.
+    b_f: Vec<f64>,
+    b_w: Vec<f64>,
+    /// Basic solution, basis-position space: `x_f + ∞·x_w`.
+    x_f: Vec<f64>,
+    x_w: Vec<f64>,
+    /// Per-variable mapping constant for the current node.
+    shifts: Vec<f64>,
+    obj_constant: f64,
+    b_scale: f64,
+    has_inf: bool,
+    /// Row-sign convention chosen by the fill that built the CSC matrix.
+    fill_flip: Vec<f64>,
+    /// Phase-1 cost (1 on artificial columns).
+    phase1_cost: Vec<f64>,
+    // Scratch (retained across solves).
+    y: Vec<f64>,
+    w: Vec<f64>,
+    d: Vec<f64>,
+    alpha: Vec<f64>,
+    resid: Vec<f64>,
+    /// Multiple-pricing shortlist: the most negative reduced-cost columns
+    /// found by the last full pricing scan, re-priced (cheaply) each
+    /// iteration until the list dries up.
+    candidates: Vec<usize>,
+    /// Eta count at which the next refactorization attempt is allowed
+    /// (backed off after a failed attempt so a temporarily singular basis
+    /// cannot trigger an O(m²) factorization per pivot).
+    refactor_after: usize,
+    /// Force Bland's rule from iteration 0 (set for the stabilized retry
+    /// after numerical trouble).
+    force_bland: bool,
+    /// `true` when the factorized state is phase-2 optimal and the next
+    /// solve may warm-start from it.
+    reusable: bool,
+    skeleton_tag: usize,
+    warm_hits: usize,
+    warm_misses: usize,
+}
+
+impl RevisedWorkspace {
+    /// Cumulative `(hits, misses)` of warm-start attempts.
+    pub fn warm_start_counts(&self) -> (usize, usize) {
+        (self.warm_hits, self.warm_misses)
+    }
+
+    /// Cumulative `(factorizations, refactorizations)`: total LU builds and
+    /// the subset triggered mid-stream by the eta limit or a drift check.
+    pub fn factorization_counts(&self) -> (usize, usize) {
+        (self.bf.factorizations, self.bf.refactorizations)
+    }
+}
+
+/// Outcome of a warm-start attempt (mirrors the dense engine).
+enum ReuseOutcome {
+    Reused(usize),
+    Infeasible,
+    Fallback,
+}
+
+enum RepairResult {
+    Done(usize),
+    Infeasible,
+    GaveUp,
+}
+
+/// Solves the continuous relaxation described by `skeleton` under the given
+/// bound overrides with the sparse revised simplex.
+///
+/// Drop-in equivalent of [`crate::simplex::solve_with_skeleton`]: same
+/// skeleton, same warm-start contract (`basis_hint` authorizes reusing the
+/// workspace's last optimal basis), same result type.
+pub fn solve_with_skeleton_revised(
+    skeleton: &StandardFormSkeleton,
+    ws: &mut RevisedWorkspace,
+    lower: &[f64],
+    upper: &[f64],
+    basis_hint: Option<&[usize]>,
+    max_iterations: usize,
+) -> Result<SimplexResult, LpError> {
+    for i in 0..lower.len() {
+        if lower[i] > upper[i] + FEAS_TOL {
+            return Err(LpError::Infeasible);
+        }
+    }
+    debug_assert!(
+        skeleton.compatible(lower, upper),
+        "bound overrides changed the layout"
+    );
+
+    let tag = skeleton as *const StandardFormSkeleton as usize;
+    let mut solver = RSolver { sk: skeleton, ws };
+
+    let mut warm = WarmStart::Cold;
+    let mut warm_iterations: Option<usize> = None;
+    if basis_hint.is_some() && solver.ws.reusable && solver.ws.skeleton_tag == tag {
+        solver.ws.reusable = false; // re-armed only on success
+        match solver.try_reuse(lower, upper) {
+            ReuseOutcome::Reused(pivots) => {
+                let m = skeleton.m_total;
+                let polish_cap = (2 * (m + skeleton.cols)).max(64).min(max_iterations);
+                match solver.optimize(&skeleton.c, polish_cap, false) {
+                    Ok(n) => {
+                        warm = WarmStart::Hit;
+                        warm_iterations = Some(n + pivots);
+                        solver.ws.warm_hits += 1;
+                    }
+                    Err(_) => {
+                        trace("polish-err");
+                        warm = WarmStart::Miss
+                    }
+                }
+            }
+            ReuseOutcome::Infeasible => {
+                solver.ws.warm_hits += 1;
+                solver.ws.reusable = true;
+                return Err(LpError::Infeasible);
+            }
+            ReuseOutcome::Fallback => warm = WarmStart::Miss,
+        }
+        if warm == WarmStart::Miss {
+            solver.ws.warm_misses += 1;
+        }
+    }
+
+    let iterations = match warm_iterations {
+        Some(n) => n,
+        None => {
+            solver.fill(lower, upper);
+            solver.ws.skeleton_tag = tag;
+            match solver.optimize_two_phase(max_iterations) {
+                Ok(n) => n,
+                Err(SolveAbort::Lp(e)) => {
+                    solver.ws.reusable = false;
+                    return Err(e);
+                }
+                Err(SolveAbort::Numerical) => {
+                    // Numerical trouble (a basis the LU cannot trust, e.g.
+                    // after a noise-level pivot): restart once from a fresh
+                    // slack/artificial basis under Bland's rule, the most
+                    // conservative pivot regime.
+                    solver.fill(lower, upper);
+                    solver.ws.force_bland = true;
+                    let retry = solver.optimize_two_phase(max_iterations);
+                    solver.ws.force_bland = false;
+                    match retry {
+                        Ok(n) => n,
+                        Err(SolveAbort::Lp(e)) => {
+                            solver.ws.reusable = false;
+                            return Err(e);
+                        }
+                        Err(SolveAbort::Numerical) => {
+                            solver.ws.reusable = false;
+                            return Err(LpError::IterationLimit {
+                                iterations: max_iterations,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let values = solver.extract_original_values(lower, upper);
+    let min_obj = solver.objective_for(&solver.sk.c) + solver.ws.obj_constant;
+    let objective = min_obj * skeleton.sense_factor;
+    let basis = solver.ws.basis.clone();
+    solver.ws.reusable = true;
+
+    Ok(SimplexResult {
+        values,
+        objective,
+        iterations,
+        basis,
+        warm,
+    })
+}
+
+/// One-shot convenience mirroring [`crate::simplex::solve_relaxation`].
+pub fn solve_relaxation_revised(
+    problem: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    max_iterations: usize,
+) -> Result<SimplexResult, LpError> {
+    let skeleton = StandardFormSkeleton::new(problem, lower, upper)?;
+    let mut ws = RevisedWorkspace::default();
+    solve_with_skeleton_revised(&skeleton, &mut ws, lower, upper, None, max_iterations)
+}
+
+struct RSolver<'a> {
+    sk: &'a StandardFormSkeleton,
+    ws: &'a mut RevisedWorkspace,
+}
+
+impl<'a> RSolver<'a> {
+    fn compute_node_scalars(&mut self, lower: &[f64], upper: &[f64]) {
+        let sk = self.sk;
+        let ws = &mut *self.ws;
+        ws.shifts.clear();
+        ws.shifts.resize(sk.var_map.len(), 0.0);
+        for (i, map) in sk.var_map.iter().enumerate() {
+            ws.shifts[i] = match *map {
+                VarMap::Shifted { .. } => lower[i],
+                VarMap::Mirrored { .. } => upper[i],
+                VarMap::Fixed => lower[i],
+                VarMap::Split { .. } => 0.0,
+            };
+        }
+        ws.obj_constant = sk.obj_base
+            + sk.obj_terms
+                .iter()
+                .map(|&(var, coef)| coef * ws.shifts[var])
+                .sum::<f64>();
+    }
+
+    /// Cold fill: rebuilds the CSC matrix (with this node's row-sign
+    /// convention), the split RHS, the slack/artificial basis and the
+    /// trivial (identity) factorization.
+    fn fill(&mut self, lower: &[f64], upper: &[f64]) {
+        self.compute_node_scalars(lower, upper);
+        let sk = self.sk;
+        let ws = &mut *self.ws;
+        ws.reusable = false;
+        let m = sk.m_total;
+        ws.triplets.clear();
+        ws.fill_flip.clear();
+        ws.fill_flip.resize(m, 1.0);
+        ws.b_f.clear();
+        ws.b_f.resize(m, 0.0);
+        ws.b_w.clear();
+        ws.b_w.resize(m, 0.0);
+        ws.basis.clear();
+        ws.basis.resize(m, 0);
+        ws.is_basic.clear();
+        ws.is_basic.resize(sk.cols, false);
+        ws.phase1_cost.clear();
+        ws.phase1_cost.resize(sk.cols, 0.0);
+        for j in sk.artificial_start..sk.cols {
+            ws.phase1_cost[j] = 1.0;
+        }
+        ws.b_scale = 0.0;
+        ws.has_inf = false;
+        ws.refactor_after = 0;
+
+        for (ri, row) in sk.rows.iter().enumerate() {
+            let rhs = row.base_rhs
+                - row
+                    .terms
+                    .iter()
+                    .map(|&(var, coef)| coef * ws.shifts[var])
+                    .sum::<f64>();
+            let flip = rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            let effective_op = match (row.op, flip) {
+                (ConstraintOp::Le, false) | (ConstraintOp::Ge, true) => ConstraintOp::Le,
+                (ConstraintOp::Ge, false) | (ConstraintOp::Le, true) => ConstraintOp::Ge,
+                (ConstraintOp::Eq, _) => ConstraintOp::Eq,
+            };
+            ws.fill_flip[ri] = sign;
+            for &(col, coef) in &row.scatter {
+                ws.triplets.push((col, ri, sign * coef));
+            }
+            let slack_col = sk.num_struct + ri;
+            let art_col = sk.artificial_start + ri;
+            let b = sign * rhs;
+            ws.b_f[ri] = b;
+            ws.b_scale = ws.b_scale.max(b.abs());
+            let basic = match effective_op {
+                ConstraintOp::Le => {
+                    ws.triplets.push((slack_col, ri, 1.0));
+                    slack_col
+                }
+                ConstraintOp::Ge => {
+                    ws.triplets.push((slack_col, ri, -1.0));
+                    ws.triplets.push((art_col, ri, 1.0));
+                    art_col
+                }
+                ConstraintOp::Eq => {
+                    ws.triplets.push((art_col, ri, 1.0));
+                    art_col
+                }
+            };
+            ws.basis[ri] = basic;
+            ws.is_basic[basic] = true;
+        }
+
+        for (k, &(col, var)) in sk.span_rows.iter().enumerate() {
+            let ri = sk.m_constraints + k;
+            let slack_col = sk.num_struct + ri;
+            ws.triplets.push((col, ri, 1.0));
+            ws.triplets.push((slack_col, ri, 1.0));
+            let span = (upper[var] - lower[var]).max(0.0);
+            if span.is_finite() {
+                ws.b_f[ri] = span;
+                ws.b_scale = ws.b_scale.max(span);
+            } else {
+                ws.b_w[ri] = 1.0;
+                ws.has_inf = true;
+            }
+            ws.basis[ri] = slack_col;
+            ws.is_basic[slack_col] = true;
+        }
+
+        ws.a.assemble(m, sk.cols, &ws.triplets);
+        // The slack/artificial basis is the identity; the factorization of
+        // an identity cannot fail.
+        ws.bf
+            .refactorize(&ws.a, &ws.basis, false)
+            .expect("identity basis factorization");
+        ws.x_f.clear();
+        ws.x_f.extend_from_slice(&ws.b_f);
+        ws.x_w.clear();
+        ws.x_w.extend_from_slice(&ws.b_w);
+    }
+
+    /// Refactorizes and recomputes `x = B⁻¹·b` from scratch. Returns `false`
+    /// (leaving the still-valid eta representation in place) if the basis is
+    /// numerically singular.
+    fn refactor_and_recompute(&mut self, refresh: bool) -> bool {
+        let ws = &mut *self.ws;
+        if ws.bf.refactorize(&ws.a, &ws.basis, refresh).is_err() {
+            return false;
+        }
+        ws.refactor_after = 0;
+        ws.x_f.clear();
+        ws.x_f.extend_from_slice(&ws.b_f);
+        ws.bf.ftran(&mut ws.x_f);
+        ws.x_w.clear();
+        ws.x_w.resize(ws.b_w.len(), 0.0);
+        if ws.has_inf {
+            ws.x_w.copy_from_slice(&ws.b_w);
+            ws.bf.ftran(&mut ws.x_w);
+            for v in ws.x_w.iter_mut() {
+                if v.abs() <= INF_W_TOL {
+                    *v = 0.0;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies the pivot `(leave row, entering column)` given the FTRAN'd
+    /// entering column in `ws.w`: updates the basic solution, the basis
+    /// bookkeeping and the eta file, refactorizing at the eta limit.
+    ///
+    /// Returns `Err(SolveAbort::Numerical)` when the eta file has grown far
+    /// past the limit because refactorizations keep failing — the basis has
+    /// degenerated numerically and the caller must restart.
+    fn pivot(&mut self, leave: usize, enter: usize) -> Result<(), SolveAbort> {
+        let m = self.sk.m_total;
+        {
+            let ws = &mut *self.ws;
+            let wr = ws.w[leave];
+            debug_assert!(wr.abs() > PIVOT_TOL);
+            let theta_f = ws.x_f[leave] / wr;
+            let theta_w = ws.x_w[leave] / wr;
+            for i in 0..m {
+                if i == leave {
+                    continue;
+                }
+                let wi = ws.w[i];
+                if wi != 0.0 {
+                    ws.x_f[i] -= theta_f * wi;
+                    ws.x_w[i] -= theta_w * wi;
+                    if ws.x_w[i].abs() <= INF_W_TOL {
+                        ws.x_w[i] = 0.0;
+                    }
+                }
+            }
+            ws.x_f[leave] = theta_f;
+            ws.x_w[leave] = if theta_w.abs() <= INF_W_TOL {
+                0.0
+            } else {
+                theta_w
+            };
+            let old = ws.basis[leave];
+            ws.is_basic[old] = false;
+            ws.basis[leave] = enter;
+            ws.is_basic[enter] = true;
+            ws.bf.push_eta(leave, &ws.w);
+        }
+        let etas = self.ws.bf.eta_count();
+        if etas >= eta_limit(m) && etas >= self.ws.refactor_after {
+            if self.refactor_and_recompute(true) {
+                self.ws.refactor_after = 0;
+            } else {
+                // The eta representation stays valid; back off so a
+                // (temporarily) singular basis cannot cost an O(m²)
+                // factorization attempt on every pivot.
+                self.ws.refactor_after = etas + eta_limit(m);
+                if etas >= ETA_GIVE_UP_FACTOR * eta_limit(m) {
+                    return Err(SolveAbort::Numerical);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Primal revised simplex iterations for the given cost vector.
+    fn optimize(
+        &mut self,
+        cost: &[f64],
+        max_iterations: usize,
+        allow_artificials: bool,
+    ) -> Result<usize, SolveAbort> {
+        let sk = self.sk;
+        let m = sk.m_total;
+        let cols = sk.cols;
+        let enterable_end = if allow_artificials {
+            cols
+        } else {
+            sk.artificial_start
+        };
+        let bland_threshold = 4 * (m + cols);
+        // The shortlist is only meaningful for one cost vector / phase.
+        self.ws.candidates.clear();
+
+        let mut iterations = 0usize;
+        loop {
+            if iterations >= max_iterations {
+                return Err(LpError::IterationLimit { iterations }.into());
+            }
+            // Pricing duals y = B⁻ᵀ·c_B.
+            {
+                let ws = &mut *self.ws;
+                ws.y.clear();
+                ws.y.extend(ws.basis.iter().map(|&b| cost[b]));
+                ws.bf.btran(&mut ws.y);
+            }
+            let use_bland = self.ws.force_bland || iterations >= bland_threshold;
+            let entering = if use_bland {
+                self.price_bland(cost, enterable_end)
+            } else {
+                self.price_partial(cost, enterable_end)
+            };
+            let Some(enter) = entering else {
+                return Ok(iterations);
+            };
+
+            // Entering column w = B⁻¹·a_enter.
+            {
+                let ws = &mut *self.ws;
+                ws.w.clear();
+                ws.w.resize(m, 0.0);
+                ws.a.scatter_col(enter, &mut ws.w);
+                ws.bf.ftran(&mut ws.w);
+            }
+
+            // Two-pass ratio test with the dense engine's exact semantics
+            // (minimum ratio, largest pivot among near-ties) so both engines
+            // walk the same vertices — plus a Harris-style fallback: when
+            // the exact rule would pivot on a noise-level entry (|w| ≲ 1e-7,
+            // which de-conditions the LU factorization), the minimum ratio
+            // is relaxed by the feasibility tolerance to reach a safe pivot.
+            // A tiny `w_i` inflates its relaxed ratio by `tol / w_i`, so the
+            // fallback escapes the noise row whenever a healthy pivot exists.
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                let a = self.ws.w[i];
+                if a > PIVOT_TOL && self.ws.x_w[i] == 0.0 {
+                    let ratio = self.ws.x_f[i] / a;
+                    if ratio < best_ratio {
+                        best_ratio = ratio;
+                    }
+                }
+            }
+            if best_ratio.is_infinite() {
+                return Err(LpError::Unbounded.into());
+            }
+            let pick = |bound: f64, ws: &RevisedWorkspace| -> (Option<usize>, f64) {
+                let mut leave: Option<usize> = None;
+                let mut best_pivot = 0.0f64;
+                for i in 0..m {
+                    let a = ws.w[i];
+                    if a > PIVOT_TOL && ws.x_w[i] == 0.0 && ws.x_f[i] / a <= bound {
+                        let better = if use_bland {
+                            leave.is_none_or(|l| ws.basis[i] < ws.basis[l])
+                        } else {
+                            a > best_pivot
+                        };
+                        if better {
+                            best_pivot = a;
+                            leave = Some(i);
+                        }
+                    }
+                }
+                (leave, best_pivot)
+            };
+            let tie_window = best_ratio.abs() * 1e-9 + 1e-12;
+            let (mut leave, chosen_pivot) = pick(best_ratio + tie_window, self.ws);
+            if leave.is_none_or(|_| chosen_pivot <= 1e-7) && !use_bland {
+                // Dangerous (or no) pivot under the exact rule: relax the
+                // step bound by the feasibility tolerance and retry.
+                let feas_tol = FEAS_TOL * (1.0 + self.ws.b_scale);
+                let mut theta_max = f64::INFINITY;
+                for i in 0..m {
+                    let a = self.ws.w[i];
+                    if a > PIVOT_TOL && self.ws.x_w[i] == 0.0 {
+                        let relaxed = (self.ws.x_f[i] + feas_tol) / a;
+                        if relaxed < theta_max {
+                            theta_max = relaxed;
+                        }
+                    }
+                }
+                let (relaxed_leave, relaxed_pivot) = pick(theta_max, self.ws);
+                if relaxed_leave.is_some() && relaxed_pivot > chosen_pivot {
+                    leave = relaxed_leave;
+                }
+            }
+            let Some(leave) = leave else {
+                return Err(LpError::Unbounded.into());
+            };
+
+            self.pivot(leave, enter)?;
+            iterations += 1;
+        }
+    }
+
+    /// Multiple pricing. Re-price the current shortlist (a handful of
+    /// `col_dot`s) and take its most negative member; when the shortlist
+    /// dries up, run one full Dantzig scan to rebuild it — the entering
+    /// column of that iteration is then the *global* most negative, and
+    /// optimality is certified exactly when a full scan finds nothing.
+    fn price_partial(&mut self, cost: &[f64], enterable_end: usize) -> Option<usize> {
+        /// Shortlist capacity: enough to amortize the full scans without
+        /// letting pivots drift far from the Dantzig choice.
+        const SHORTLIST: usize = 24;
+        let RevisedWorkspace {
+            candidates,
+            a,
+            is_basic,
+            y,
+            ..
+        } = &mut *self.ws;
+
+        // Cheap pass over the existing shortlist.
+        let mut best: Option<(usize, f64)> = None;
+        candidates.retain(|&j| {
+            if j >= enterable_end || is_basic[j] {
+                return false;
+            }
+            let d = cost[j] - a.col_dot(j, y);
+            if d < -COST_TOL {
+                if best.is_none_or(|(_, b)| d < b) {
+                    best = Some((j, d));
+                }
+                true
+            } else {
+                false
+            }
+        });
+        if let Some((j, _)) = best {
+            return Some(j);
+        }
+
+        // Full scan: rebuild the shortlist with the most negative columns
+        // (simple bounded insertion keeps the worst member at the tail).
+        candidates.clear();
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(SHORTLIST + 1);
+        for j in 0..enterable_end {
+            if is_basic[j] {
+                continue;
+            }
+            let d = cost[j] - a.col_dot(j, y);
+            if d < -COST_TOL {
+                let at = scored.partition_point(|&(_, s)| s <= d);
+                if at < SHORTLIST {
+                    scored.insert(at, (j, d));
+                    scored.truncate(SHORTLIST);
+                }
+            }
+        }
+        candidates.extend(scored.iter().map(|&(j, _)| j));
+        scored.first().map(|&(j, _)| j)
+    }
+
+    /// Bland's rule (anti-cycling): first non-basic column with a negative
+    /// reduced cost, scanning from column 0.
+    fn price_bland(&mut self, cost: &[f64], enterable_end: usize) -> Option<usize> {
+        let ws = &mut *self.ws;
+        (0..enterable_end)
+            .find(|&j| !ws.is_basic[j] && cost[j] - ws.a.col_dot(j, &ws.y) < -COST_TOL)
+    }
+
+    fn optimize_two_phase(&mut self, max_iterations: usize) -> Result<usize, SolveAbort> {
+        let sk = self.sk;
+        if sk.m_total == 0 {
+            if sk.c.iter().any(|&c| c < -COST_TOL) {
+                return Err(LpError::Unbounded.into());
+            }
+            return Ok(0);
+        }
+
+        let mut it1 = 0usize;
+        let needs_phase1 = self.ws.basis.iter().any(|&b| b >= sk.artificial_start);
+        if needs_phase1 {
+            let phase1_cost = std::mem::take(&mut self.ws.phase1_cost);
+            let r = self.optimize(&phase1_cost, max_iterations, true);
+            let phase1_obj = self.objective_for(&phase1_cost);
+            self.ws.phase1_cost = phase1_cost;
+            it1 = r?;
+            if phase1_obj > FEAS_TOL * (1.0 + self.ws.b_scale) {
+                return Err(LpError::Infeasible.into());
+            }
+            self.expel_artificials()?;
+        }
+
+        let it2 = self.optimize(&self.sk.c, max_iterations.saturating_sub(it1), false)?;
+        Ok(it1 + it2)
+    }
+
+    /// After phase 1, pivot basic artificials (value ≈ 0) out of the basis
+    /// where a usable non-artificial pivot exists in their row.
+    fn expel_artificials(&mut self) -> Result<(), SolveAbort> {
+        let sk = self.sk;
+        let m = sk.m_total;
+        for i in 0..m {
+            if self.ws.basis[i] < sk.artificial_start {
+                continue;
+            }
+            // Row i of B⁻¹·A via BTRAN(e_i).
+            {
+                let ws = &mut *self.ws;
+                ws.y.clear();
+                ws.y.resize(m, 0.0);
+                ws.y[i] = 1.0;
+                ws.bf.btran(&mut ws.y);
+            }
+            let target = (0..sk.artificial_start)
+                .find(|&j| !self.ws.is_basic[j] && self.ws.a.col_dot(j, &self.ws.y).abs() > 1e-7);
+            if let Some(j) = target {
+                let ws = &mut *self.ws;
+                ws.w.clear();
+                ws.w.resize(m, 0.0);
+                ws.a.scatter_col(j, &mut ws.w);
+                ws.bf.ftran(&mut ws.w);
+                // The degenerate pivot must itself be safely sized, or it
+                // would be exactly the noise pivot the ratio test avoids.
+                if ws.w[i].abs() > 1e-7 {
+                    self.pivot(i, j)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Warm start: re-derive this node's RHS through the factorized basis,
+    /// verify the factorization against the node (residual drift check), and
+    /// dual-repair any negative basic values.
+    fn try_reuse(&mut self, lower: &[f64], upper: &[f64]) -> ReuseOutcome {
+        let sk = self.sk;
+        let m = sk.m_total;
+        if m == 0
+            || self.ws.basis.len() != m
+            || self.ws.a.rows() != m
+            || self.ws.a.cols() != sk.cols
+        {
+            trace("shape");
+            return ReuseOutcome::Fallback;
+        }
+        self.compute_node_scalars(lower, upper);
+
+        // Long eta files both slow solves and accumulate error: refresh
+        // before trusting the factorization with a new node. (Only the
+        // factorization is rebuilt here — this node's RHS is written, and
+        // x = B⁻¹·b computed from it, just below.)
+        if self.ws.bf.eta_count() >= eta_limit(m) {
+            let ws = &mut *self.ws;
+            if ws.bf.refactorize(&ws.a, &ws.basis, true).is_err() {
+                trace("refactor");
+                return ReuseOutcome::Fallback;
+            }
+            ws.refactor_after = 0;
+        }
+
+        let ws = &mut *self.ws;
+        ws.has_inf = false;
+        for (ri, row) in sk.rows.iter().enumerate() {
+            let raw = row.base_rhs
+                - row
+                    .terms
+                    .iter()
+                    .map(|&(var, coef)| coef * ws.shifts[var])
+                    .sum::<f64>();
+            ws.b_f[ri] = ws.fill_flip[ri] * raw;
+            ws.b_w[ri] = 0.0;
+        }
+        for (k, &(_, var)) in sk.span_rows.iter().enumerate() {
+            let ri = sk.m_constraints + k;
+            let span = (upper[var] - lower[var]).max(0.0);
+            if span.is_finite() {
+                ws.b_f[ri] = span;
+                ws.b_w[ri] = 0.0;
+            } else {
+                ws.b_f[ri] = 0.0;
+                ws.b_w[ri] = 1.0;
+                ws.has_inf = true;
+            }
+        }
+
+        // x = B⁻¹·b through the factorization.
+        ws.x_f.clear();
+        ws.x_f.extend_from_slice(&ws.b_f);
+        ws.bf.ftran(&mut ws.x_f);
+        ws.x_w.clear();
+        ws.x_w.resize(m, 0.0);
+        if ws.has_inf {
+            ws.x_w.copy_from_slice(&ws.b_w);
+            ws.bf.ftran(&mut ws.x_w);
+        }
+        let mut b_scale = 0.0f64;
+        for i in 0..m {
+            if ws.x_f[i].abs() > REUSE_HEALTH_LIMIT {
+                trace("health");
+                return ReuseOutcome::Fallback;
+            }
+            if ws.x_w[i].abs() <= INF_W_TOL {
+                ws.x_w[i] = 0.0;
+            }
+            // Rows with x_w ≠ 0 sit at ±∞ in the big-M reading of the
+            // infinite span rows. A −∞ row (a branch just turned this
+            // variable's span finite) is simply the most negative leaving
+            // candidate of the dual repair; +∞ rows usually cancel back to
+            // finite once the negative rows are repaired. Irreparable
+            // leftovers (±∞ on structural or artificial rows) are caught by
+            // the post-repair validation below.
+            if ws.x_w[i] == 0.0 {
+                b_scale = b_scale.max(ws.x_f[i].abs());
+            }
+        }
+        ws.b_scale = b_scale;
+        let tol = FEAS_TOL * (1.0 + b_scale);
+
+        // Drift check: the factorization must still reproduce B·x_f = b_f.
+        // (The finite and infinite components are independent, so checking
+        // the finite part covers every row.) A failed check triggers one
+        // counted refresh; failing again means the basis is untrustworthy.
+        if !self.node_residual_ok()
+            && (!self.refactor_and_recompute(true) || !self.node_residual_ok())
+        {
+            trace("residual");
+            return ReuseOutcome::Fallback;
+        }
+
+        for i in 0..m {
+            if self.ws.basis[i] >= sk.artificial_start && self.ws.x_f[i] > tol {
+                trace("art-pre");
+                return ReuseOutcome::Fallback;
+            }
+        }
+
+        let pivots = match self.dual_repair(repair_pivot_cap(m, sk.cols)) {
+            RepairResult::Done(p) => p,
+            RepairResult::Infeasible => return ReuseOutcome::Infeasible,
+            RepairResult::GaveUp => {
+                trace("repair-gaveup");
+                return ReuseOutcome::Fallback;
+            }
+        };
+
+        let sk = self.sk;
+        for i in 0..m {
+            if self.ws.basis[i] >= sk.artificial_start
+                && (self.ws.x_f[i] > tol || self.ws.x_w[i] != 0.0)
+            {
+                trace("art-post");
+                return ReuseOutcome::Fallback;
+            }
+            // Repair pivots on −∞ rows can park a variable at +∞; that is
+            // fine for slacks (an unbinding row) but unrepresentable for
+            // structural variables.
+            if self.ws.basis[i] < sk.num_struct && self.ws.x_w[i] != 0.0 {
+                trace("struct-post");
+                return ReuseOutcome::Fallback;
+            }
+        }
+        ReuseOutcome::Reused(pivots)
+    }
+
+    /// `‖B·x_f − b_f‖∞ ≤ tol` — does the factorized basis still reproduce
+    /// the node RHS it claims to solve?
+    fn node_residual_ok(&mut self) -> bool {
+        let ws = &mut *self.ws;
+        ws.resid.clear();
+        ws.resid.extend_from_slice(&ws.b_f);
+        for (i, &b) in ws.basis.iter().enumerate() {
+            let x = ws.x_f[i];
+            if x != 0.0 {
+                ws.a.axpy_col(b, -x, &mut ws.resid);
+            }
+        }
+        let tol = FEAS_TOL * (1.0 + ws.b_scale);
+        ws.resid.iter().all(|v| v.abs() <= tol)
+    }
+
+    /// Dual simplex repair: restore primal feasibility while keeping the
+    /// phase-2 dual feasibility inherited from the last optimal solve.
+    fn dual_repair(&mut self, cap: usize) -> RepairResult {
+        let sk = self.sk;
+        let m = sk.m_total;
+        let tol = FEAS_TOL * (1.0 + self.ws.b_scale);
+
+        // Reduced costs of the non-basic, non-artificial columns.
+        {
+            let ws = &mut *self.ws;
+            ws.y.clear();
+            ws.y.extend(ws.basis.iter().map(|&b| sk.c[b]));
+            ws.bf.btran(&mut ws.y);
+            ws.d.clear();
+            ws.d.resize(sk.cols, 0.0);
+            for j in 0..sk.artificial_start {
+                if !ws.is_basic[j] {
+                    ws.d[j] = sk.c[j] - ws.a.col_dot(j, &ws.y);
+                }
+            }
+        }
+
+        let mut pivots = 0usize;
+        loop {
+            // Leaving row: any −∞ basic value first (most negative infinite
+            // weight, then most negative finite part as tie-break), else the
+            // most negative finite basic value. Selecting on (x_w, x_f)
+            // lexicographically is exactly the dual simplex rule for the
+            // big-M limit the split representation encodes.
+            let mut leave: Option<(usize, f64, f64)> = None;
+            for i in 0..m {
+                let (wgt, fin) = (self.ws.x_w[i], self.ws.x_f[i]);
+                let candidate = wgt < 0.0 || (wgt == 0.0 && fin < -tol);
+                if candidate && leave.is_none_or(|(_, bw, bf)| wgt < bw || (wgt == bw && fin < bf))
+                {
+                    leave = Some((i, wgt, fin));
+                }
+            }
+            let Some((r, _, _)) = leave else {
+                return RepairResult::Done(pivots);
+            };
+
+            // Row r of B⁻¹·A via BTRAN(e_r), then the dual ratio test.
+            {
+                let ws = &mut *self.ws;
+                ws.y.clear();
+                ws.y.resize(m, 0.0);
+                ws.y[r] = 1.0;
+                ws.bf.btran(&mut ws.y);
+                ws.alpha.clear();
+                ws.alpha.resize(sk.artificial_start, 0.0);
+                for j in 0..sk.artificial_start {
+                    if !ws.is_basic[j] {
+                        ws.alpha[j] = ws.a.col_dot(j, &ws.y);
+                    }
+                }
+            }
+            let mut enter: Option<(usize, f64)> = None;
+            let mut saw_tiny_negative = false;
+            for j in 0..sk.artificial_start {
+                if self.ws.is_basic[j] {
+                    continue;
+                }
+                let a = self.ws.alpha[j];
+                if a < -DUAL_PIVOT_TOL {
+                    let ratio = self.ws.d[j].max(0.0) / -a;
+                    if enter.is_none_or(|(_, best)| ratio < best - 1e-12) {
+                        enter = Some((j, ratio));
+                    }
+                } else if a < -PIVOT_TOL {
+                    saw_tiny_negative = true;
+                }
+            }
+            let Some((q, _)) = enter else {
+                if saw_tiny_negative {
+                    return RepairResult::GaveUp;
+                }
+                return RepairResult::Infeasible;
+            };
+
+            // Reduced-cost update (standard dual pivot algebra), then the
+            // basis/solution update through the shared pivot path.
+            {
+                let ws = &mut *self.ws;
+                let theta_d = ws.d[q] / ws.alpha[q];
+                for j in 0..sk.artificial_start {
+                    if !ws.is_basic[j] && j != q {
+                        ws.d[j] -= theta_d * ws.alpha[j];
+                    }
+                }
+                let leaving_col = ws.basis[r];
+                if leaving_col < sk.artificial_start {
+                    ws.d[leaving_col] = -theta_d;
+                }
+                ws.d[q] = 0.0;
+                ws.w.clear();
+                ws.w.resize(m, 0.0);
+                ws.a.scatter_col(q, &mut ws.w);
+                ws.bf.ftran(&mut ws.w);
+                if ws.w[r].abs() <= PIVOT_TOL {
+                    // FTRAN disagrees with the BTRAN row badly enough that
+                    // pivoting would be unsafe; let the cold path decide.
+                    return RepairResult::GaveUp;
+                }
+            }
+            if self.pivot(r, q).is_err() {
+                return RepairResult::GaveUp;
+            }
+            pivots += 1;
+            if pivots >= cap {
+                return RepairResult::GaveUp;
+            }
+        }
+    }
+
+    /// `Σ cost[basis[i]] · x_f[i]` skipping zero-cost basic columns, so
+    /// inert infinite span slacks never pollute the sum.
+    fn objective_for(&self, cost: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for (i, &b) in self.ws.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb != 0.0 {
+                total += cb * self.ws.x_f[i];
+            }
+        }
+        total
+    }
+
+    fn extract_original_values(&self, lower: &[f64], upper: &[f64]) -> Vec<f64> {
+        let sk = self.sk;
+        let mut std_values = vec![0.0; sk.num_struct];
+        for (i, &b) in self.ws.basis.iter().enumerate() {
+            if b < sk.num_struct {
+                std_values[b] = self.ws.x_f[i].max(0.0);
+            }
+        }
+        let mut values = vec![0.0; sk.var_map.len()];
+        for (i, map) in sk.var_map.iter().enumerate() {
+            values[i] = match *map {
+                VarMap::Shifted { col } => lower[i] + std_values[col],
+                VarMap::Mirrored { col } => upper[i] - std_values[col],
+                VarMap::Split { pos, neg } => std_values[pos] - std_values[neg],
+                VarMap::Fixed => lower[i],
+            };
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, Problem, Sense};
+    use crate::simplex;
+
+    fn bounds(p: &Problem) -> (Vec<f64>, Vec<f64>) {
+        (
+            p.variables().iter().map(|v| v.lower).collect(),
+            p.variables().iter().map(|v| v.upper).collect(),
+        )
+    }
+
+    fn assert_matches_dense(p: &Problem) {
+        let (lower, upper) = bounds(p);
+        let dense = simplex::solve_relaxation(p, &lower, &upper, 100_000);
+        let revised = solve_relaxation_revised(p, &lower, &upper, 100_000);
+        match (dense, revised) {
+            (Ok(d), Ok(r)) => {
+                assert!(
+                    (d.objective - r.objective).abs() < 1e-7,
+                    "dense {} vs revised {}",
+                    d.objective,
+                    r.objective
+                );
+            }
+            (Err(de), Err(re)) => assert_eq!(
+                std::mem::discriminant(&de),
+                std::mem::discriminant(&re),
+                "dense {de:?} vs revised {re:?}"
+            ),
+            (d, r) => panic!("dense {d:?} vs revised {r:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_dense_on_small_lps() {
+        // min 2x + 3y s.t. x + 2y >= 4, x + y <= 10.
+        let mut p = Problem::new("t", Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        let y = p.add_var("y", 0.0, f64::INFINITY);
+        p.set_objective([(x, 2.0), (y, 3.0)]);
+        p.add_constraint("c1", [(x, 1.0), (y, 2.0)], ConstraintOp::Ge, 4.0);
+        p.add_constraint("c2", [(x, 1.0), (y, 1.0)], ConstraintOp::Le, 10.0);
+        assert_matches_dense(&p);
+
+        // Maximization with equality and free variables.
+        let mut q = Problem::new("t2", Sense::Maximize);
+        let a = q.add_var("a", f64::NEG_INFINITY, f64::INFINITY);
+        let b = q.add_var("b", 0.0, 5.0);
+        q.set_objective([(a, 1.0), (b, 2.0)]);
+        q.add_constraint("e", [(a, 1.0), (b, 1.0)], ConstraintOp::Eq, 4.0);
+        assert_matches_dense(&q);
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded_like_dense() {
+        let mut inf = Problem::new("inf", Sense::Minimize);
+        let x = inf.add_var("x", 0.0, f64::INFINITY);
+        inf.set_objective([(x, 1.0)]);
+        inf.add_constraint("lo", [(x, 1.0)], ConstraintOp::Ge, 5.0);
+        inf.add_constraint("hi", [(x, 1.0)], ConstraintOp::Le, 4.0);
+        assert_matches_dense(&inf);
+
+        let mut unb = Problem::new("unb", Sense::Maximize);
+        let y = unb.add_var("y", 0.0, f64::INFINITY);
+        unb.set_objective([(y, 1.0)]);
+        assert_matches_dense(&unb);
+    }
+
+    #[test]
+    fn degenerate_beale_terminates() {
+        let mut p = Problem::new("beale", Sense::Minimize);
+        let x1 = p.add_var("x1", 0.0, f64::INFINITY);
+        let x2 = p.add_var("x2", 0.0, f64::INFINITY);
+        let x3 = p.add_var("x3", 0.0, f64::INFINITY);
+        let x4 = p.add_var("x4", 0.0, f64::INFINITY);
+        p.set_objective([(x1, -0.75), (x2, 150.0), (x3, -0.02), (x4, 6.0)]);
+        p.add_constraint(
+            "c1",
+            [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            "c2",
+            [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.add_constraint("c3", [(x3, 1.0)], ConstraintOp::Le, 1.0);
+        let (lower, upper) = bounds(&p);
+        let r = solve_relaxation_revised(&p, &lower, &upper, 100_000).unwrap();
+        assert!(
+            (r.objective + 0.05).abs() < 1e-6,
+            "objective {}",
+            r.objective
+        );
+    }
+
+    #[test]
+    fn warm_start_across_branching_children_matches_cold() {
+        let mut p = Problem::new("k", Sense::Maximize);
+        let a = p.add_int_var("a", 0.0, 1.0);
+        let b = p.add_int_var("b", 0.0, 1.0);
+        let c = p.add_int_var("c", 0.0, 1.0);
+        p.set_objective([(a, 8.0), (b, 11.0), (c, 6.0)]);
+        p.add_constraint(
+            "cap",
+            [(a, 5.0), (b, 7.0), (c, 4.0)],
+            ConstraintOp::Le,
+            10.0,
+        );
+        let (lower, upper) = bounds(&p);
+        let sk = StandardFormSkeleton::new(&p, &lower, &upper).unwrap();
+        let mut ws = RevisedWorkspace::default();
+        let root = solve_with_skeleton_revised(&sk, &mut ws, &lower, &upper, None, 10_000).unwrap();
+        assert_eq!(root.warm, WarmStart::Cold);
+
+        for (var, lo, hi) in [(1usize, 0.0, 0.0), (1, 1.0, 1.0), (0, 1.0, 1.0)] {
+            let mut l = lower.clone();
+            let mut u = upper.clone();
+            l[var] = lo;
+            u[var] = hi;
+            let warm = solve_with_skeleton_revised(&sk, &mut ws, &l, &u, Some(&root.basis), 10_000)
+                .unwrap();
+            let mut cold_ws = RevisedWorkspace::default();
+            let cold =
+                solve_with_skeleton_revised(&sk, &mut cold_ws, &l, &u, None, 10_000).unwrap();
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-7,
+                "var {var} in [{lo},{hi}]: warm {} cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert_ne!(warm.warm, WarmStart::Cold);
+        }
+        let (hits, misses) = ws.warm_start_counts();
+        assert!(hits > 0, "hits {hits} misses {misses}");
+        let (factorizations, _) = ws.factorization_counts();
+        assert!(factorizations >= 1);
+    }
+
+    #[test]
+    fn infinite_span_rows_stay_inert_and_patchable() {
+        let mut p = Problem::new("inf-span", Sense::Minimize);
+        let x = p.add_int_var("x", 0.0, f64::INFINITY);
+        p.set_objective([(x, 1.0)]);
+        p.add_constraint("lb", [(x, 1.0)], ConstraintOp::Ge, 3.0);
+        let (lower, upper) = bounds(&p);
+        let sk = StandardFormSkeleton::new(&p, &lower, &upper).unwrap();
+        let mut ws = RevisedWorkspace::default();
+        let r = solve_with_skeleton_revised(&sk, &mut ws, &lower, &upper, None, 10_000).unwrap();
+        assert!((r.objective - 3.0).abs() < 1e-6);
+        let r2 = solve_with_skeleton_revised(&sk, &mut ws, &lower, &[5.0], Some(&r.basis), 10_000)
+            .unwrap();
+        assert!((r2.objective - 3.0).abs() < 1e-6);
+        // Tightening below the optimum moves it.
+        let r3 = solve_with_skeleton_revised(
+            &sk,
+            &mut ws,
+            &[4.0],
+            &[f64::INFINITY],
+            Some(&r2.basis),
+            10_000,
+        )
+        .unwrap();
+        assert!((r3.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_solves_do_not_drift() {
+        let mut p = Problem::new("drift", Sense::Maximize);
+        let vars: Vec<_> = (0..6)
+            .map(|i| p.add_int_var(format!("x{i}"), 0.0, 4.0))
+            .collect();
+        p.set_objective(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64)));
+        for k in 0..3 {
+            p.add_constraint(
+                format!("cap{k}"),
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, 1.0 + ((i + k) % 3) as f64)),
+                ConstraintOp::Le,
+                9.0 + k as f64,
+            );
+        }
+        let (lower, upper) = bounds(&p);
+        let sk = StandardFormSkeleton::new(&p, &lower, &upper).unwrap();
+        let mut ws = RevisedWorkspace::default();
+        let reference = solve_with_skeleton_revised(&sk, &mut ws, &lower, &upper, None, 10_000)
+            .unwrap()
+            .objective;
+        let mut last_basis =
+            solve_with_skeleton_revised(&sk, &mut ws, &lower, &upper, None, 10_000)
+                .unwrap()
+                .basis;
+        for round in 0..300 {
+            let var = round % vars.len();
+            let mut l = lower.clone();
+            let mut u = upper.clone();
+            // Alternate tightenings that keep the root optimum attainable.
+            if round % 2 == 0 {
+                u[var] = 4.0;
+            } else {
+                l[var] = 0.0;
+            }
+            let r = solve_with_skeleton_revised(&sk, &mut ws, &l, &u, Some(&last_basis), 10_000)
+                .unwrap();
+            assert!(
+                (r.objective - reference).abs() < 1e-6,
+                "round {round}: {} vs {reference}",
+                r.objective
+            );
+            last_basis = r.basis;
+        }
+    }
+}

@@ -44,21 +44,21 @@ use crate::error::LpError;
 use crate::problem::{ConstraintOp, Problem, Sense, VarKind};
 
 /// Numerical tolerances of the solver.
-const PIVOT_TOL: f64 = 1e-9;
-const COST_TOL: f64 = 1e-9;
-const FEAS_TOL: f64 = 1e-7;
+pub(crate) const PIVOT_TOL: f64 = 1e-9;
+pub(crate) const COST_TOL: f64 = 1e-9;
+pub(crate) const FEAS_TOL: f64 = 1e-7;
 /// Minimum pivot magnitude accepted by the dual-repair ratio test. Stricter
 /// than `PIVOT_TOL`: reused tableaus accumulate drift across nodes, and a
 /// tiny dual pivot amplifies it by its reciprocal.
-const DUAL_PIVOT_TOL: f64 = 1e-7;
+pub(crate) const DUAL_PIVOT_TOL: f64 = 1e-7;
 /// Reused tableau entries above this magnitude mean the basis inverse has
 /// degraded too far to trust; the solve falls back to a cold refill.
-const REUSE_HEALTH_LIMIT: f64 = 1e10;
+pub(crate) const REUSE_HEALTH_LIMIT: f64 = 1e10;
 /// Warm-started solves reuse the previous tableau; after this many
 /// consecutive reuses a cold refill bounds accumulated floating-point drift.
 const REUSE_REFRESH: usize = 32;
 /// Cap on dual-simplex repair pivots before giving up on a warm start.
-fn repair_pivot_cap(rows: usize, cols: usize) -> usize {
+pub(crate) fn repair_pivot_cap(rows: usize, cols: usize) -> usize {
     4 * (rows + cols)
 }
 
@@ -97,7 +97,7 @@ pub struct SimplexResult {
 /// The classification is decided once per skeleton from the *root* bounds
 /// and stays fixed for every node solved against that skeleton.
 #[derive(Debug, Clone, Copy)]
-enum VarMap {
+pub(crate) enum VarMap {
     /// `x = shift + x_std[col]`, `shift` = the node's lower bound.
     Shifted { col: usize },
     /// `x = shift - x_std[col]`, `shift` = the node's upper bound
@@ -112,16 +112,16 @@ enum VarMap {
 /// One user constraint in skeleton form: a precomputed scatter list over
 /// standard-form columns plus the original terms for per-node RHS patching.
 #[derive(Debug, Clone)]
-struct SkelRow {
+pub(crate) struct SkelRow {
     /// `(standard column, signed coefficient)` — signs already account for
     /// mirroring/splitting; row flips for negative RHS are applied at fill
     /// time.
-    scatter: Vec<(usize, f64)>,
+    pub(crate) scatter: Vec<(usize, f64)>,
     /// `(variable index, original coefficient)` — the per-node RHS is
     /// `base_rhs - Σ coef · shift[var]`.
-    terms: Vec<(usize, f64)>,
-    op: ConstraintOp,
-    base_rhs: f64,
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) op: ConstraintOp,
+    pub(crate) base_rhs: f64,
 }
 
 /// The once-per-problem part of the standard-form rewrite.
@@ -130,32 +130,32 @@ struct SkelRow {
 /// node against it only touches the dense workspace.
 #[derive(Debug, Clone)]
 pub struct StandardFormSkeleton {
-    var_map: Vec<VarMap>,
+    pub(crate) var_map: Vec<VarMap>,
     /// Bounds the classification was derived from (used by
     /// [`StandardFormSkeleton::compatible`]).
     root_lower: Vec<f64>,
     root_upper: Vec<f64>,
-    rows: Vec<SkelRow>,
+    pub(crate) rows: Vec<SkelRow>,
     /// `(standard column, variable index)` for each span row
     /// `x_std[col] + slack = upper - lower`.
-    span_rows: Vec<(usize, usize)>,
-    num_struct: usize,
+    pub(crate) span_rows: Vec<(usize, usize)>,
+    pub(crate) num_struct: usize,
     /// Constraint rows (`rows.len()`), before span rows.
-    m_constraints: usize,
+    pub(crate) m_constraints: usize,
     /// Total rows = constraints + span rows.
-    m_total: usize,
+    pub(crate) m_total: usize,
     /// First artificial column; also `num_struct + m_total`.
-    artificial_start: usize,
+    pub(crate) artificial_start: usize,
     /// Total standard-form columns (excluding the RHS).
-    cols: usize,
+    pub(crate) cols: usize,
     /// Phase-2 cost per column (minimization orientation), fixed per skeleton.
-    c: Vec<f64>,
+    pub(crate) c: Vec<f64>,
     /// `(variable index, sense-adjusted objective coefficient)` for the
     /// per-node objective constant `obj_base + Σ coef · shift[var]`.
-    obj_terms: Vec<(usize, f64)>,
-    obj_base: f64,
+    pub(crate) obj_terms: Vec<(usize, f64)>,
+    pub(crate) obj_base: f64,
     /// `+1` when the original problem minimizes, `-1` when it maximizes.
-    sense_factor: f64,
+    pub(crate) sense_factor: f64,
     /// `true` when every branchable (integer / semi-continuous) variable is
     /// `Shifted` with a span row, i.e. any branch-and-bound bound override
     /// stays expressible against this skeleton.

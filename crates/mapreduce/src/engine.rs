@@ -330,7 +330,7 @@ impl Engine {
                     }
                 }
                 if let Some((idx, location, _)) = best {
-                    let rate = self.effective_rate(&node, location, options, cluster.len());
+                    let rate = self.effective_rate(&node, location, options, cluster.len(), spec);
                     if rate <= 0.0 {
                         continue;
                     }
@@ -571,20 +571,26 @@ impl Engine {
     }
 
     /// Effective processing rate of `node` for input at `location`, in GB/h.
+    /// Node throughputs are catalog figures calibrated on the reference
+    /// workload; they scale by `spec.throughput_scale()` for the workload at
+    /// hand — the same scaling the planner's capacity model applies, so
+    /// plans and simulated executions agree for non-reference workloads.
     fn effective_rate(
         &self,
         node: &crate::cluster::SimNode,
         location: DataLocation,
         options: &DeploymentOptions,
         cluster_size: usize,
+        spec: &JobSpec,
     ) -> f64 {
+        let node_gbph = node.throughput_gbph * spec.throughput_scale();
         match location {
-            DataLocation::InstanceDisk | DataLocation::LocalDisk => node.throughput_gbph,
-            DataLocation::S3 => node.throughput_gbph * options.s3_throughput_factor,
+            DataLocation::InstanceDisk | DataLocation::LocalDisk => node_gbph,
+            DataLocation::S3 => node_gbph * options.s3_throughput_factor,
             DataLocation::ClientSite => {
                 // Remote readers share the customer uplink.
                 let share = options.uplink_gbph / cluster_size.max(1) as f64;
-                node.throughput_gbph.min(share)
+                node_gbph.min(share)
             }
         }
     }

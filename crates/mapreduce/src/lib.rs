@@ -33,4 +33,4 @@ pub use engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport, Phase
 pub use hdfs::HdfsModel;
 pub use scheduler::{LocalityScheduler, PlanFollowingScheduler, Scheduler, SchedulerKind};
 pub use task::{Task, TaskId, TaskKind, TaskState};
-pub use workload::{JobSpec, Workload};
+pub use workload::{JobSpec, Workload, REFERENCE_INSTANCE_GBPH};

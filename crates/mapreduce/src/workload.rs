@@ -9,6 +9,16 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Measured m1.large throughput (GB/h) of the *reference workload* — the
+/// paper's k-means job — that every catalog instance's throughput figure was
+/// calibrated against (§6.1, Figure 1). A [`JobSpec`]'s
+/// `reference_throughput_gbph` is expressed on the same instance, so
+/// [`JobSpec::throughput_scale`] converts between workload-specific and
+/// catalog (reference-workload) throughput units. Both the planner's
+/// capacity model and the execution simulator apply this same scale, which
+/// is what keeps plans and simulated executions consistent.
+pub const REFERENCE_INSTANCE_GBPH: f64 = 0.44;
+
 /// Static description of a MapReduce job: data volumes and task structure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
@@ -57,6 +67,18 @@ impl JobSpec {
     /// Volume of final output data in GB.
     pub fn output_gb(&self) -> f64 {
         self.input_gb * self.reduce_output_ratio
+    }
+
+    /// How much faster (or slower) this workload moves through a node than
+    /// the reference k-means job: catalog throughputs are multiplied by this
+    /// to get workload-effective rates. Non-positive reference throughput
+    /// falls back to 1.0.
+    pub fn throughput_scale(&self) -> f64 {
+        if self.reference_throughput_gbph > 0.0 {
+            self.reference_throughput_gbph / REFERENCE_INSTANCE_GBPH
+        } else {
+            1.0
+        }
     }
 
     /// Idealized processing time in hours on `nodes` reference nodes working

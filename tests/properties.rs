@@ -2,7 +2,7 @@
 //! the LP solver, the billing rules, the spot traces and the storage layer.
 
 use conductor_cloud::{BillingAccount, Catalog, SpotMarket, SpotTrace, TraceKind};
-use conductor_lp::{ConstraintOp, LpError, Problem, Sense, SolveOptions};
+use conductor_lp::{ConstraintOp, Engine, LpError, Problem, Sense, SolveOptions};
 use conductor_storage::{BlockKey, FileSystemShim, InMemoryBackend, StorageClient};
 use proptest::prelude::*;
 
@@ -26,6 +26,79 @@ fn random_mip(values: &[f64], weights: &[f64], capacities: &[f64]) -> Problem {
         );
     }
     p
+}
+
+/// Builds a *sparse* random MIP with the pathologies the revised engine must
+/// survive: a controlled constraint density (each row touches only a random
+/// subset of the variables), exact duplicated rows (degenerate ratio-test
+/// ties), and variables with no upper bound (infinite span-row RHS).
+///
+/// The instance is feasible (the origin satisfies every `<=` row) and
+/// bounded (every variable is forced into at least one capacity row with a
+/// positive weight) by construction.
+fn sparse_random_mip(
+    values: &[f64],
+    weights: &[f64],
+    caps: &[f64],
+    density: f64,
+    density_seed: u64,
+    unbounded_stride: usize,
+    duplicate_row: bool,
+) -> Problem {
+    let n = values.len();
+    let mut p = Problem::new("sparse-mip", Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| {
+            // `unbounded_stride == 0` means every upper bound is finite.
+            let upper = if unbounded_stride > 0 && i % unbounded_stride == 0 {
+                f64::INFINITY
+            } else {
+                4.0
+            };
+            p.add_int_var(format!("x{i}"), 0.0, upper)
+        })
+        .collect();
+    p.set_objective(vars.iter().zip(values).map(|(&v, &c)| (v, c)));
+    // Deterministic xorshift so the sparsity pattern is a pure function of
+    // the generated seed (reproducible across engines and reruns).
+    let mut state = density_seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for (k, &cap) in caps.iter().enumerate() {
+        let mut terms: Vec<(conductor_lp::VarId, f64)> = Vec::new();
+        for (i, &v) in vars.iter().enumerate() {
+            // Coverage guarantee: variable i always appears in row i % rows.
+            let forced = i % caps.len() == k;
+            let draw = (next() % 1000) as f64 / 1000.0;
+            if forced || draw < density {
+                terms.push((v, weights[(i + k) % weights.len()].max(0.1)));
+            }
+        }
+        p.add_constraint(format!("cap{k}"), terms.clone(), ConstraintOp::Le, cap);
+        if duplicate_row && k == 0 {
+            // An exact duplicate row: every engine's ratio test faces the
+            // same degenerate tie and must break it to the same optimum.
+            p.add_constraint("cap0-dup", terms, ConstraintOp::Le, cap);
+        }
+    }
+    p
+}
+
+/// The five solver configurations the cross-engine battery exercises: the
+/// seed baseline plus the dense and revised engines on both their warm and
+/// cold paths.
+fn engine_configs() -> [(&'static str, Engine, bool); 5] {
+    [
+        ("seed", Engine::SeedBaseline, true),
+        ("dense-warm", Engine::DenseTableau, true),
+        ("dense-cold", Engine::DenseTableau, false),
+        ("revised-warm", Engine::RevisedSparse, true),
+        ("revised-cold", Engine::RevisedSparse, false),
+    ]
 }
 
 proptest! {
@@ -106,8 +179,7 @@ proptest! {
         prop_assert!(sol.objective() <= lp + 1e-6);
     }
 
-    /// The rearchitected solver's three configurations (warm-started,
-    /// cold flat-tableau, preserved seed implementation) reach the same
+    /// The three engines (on both warm and cold paths) reach the same
     /// objective within the configured relative gap on randomized MIPs.
     #[test]
     fn warm_cold_and_seed_solvers_agree_on_random_mips(
@@ -117,21 +189,100 @@ proptest! {
     ) {
         let p = random_mip(&values, &weights, &capacities);
         let gap = 0.01;
-        let solve = |opts: SolveOptions| p.solve_with(&SolveOptions { relative_gap: gap, ..opts });
-        let warm = solve(SolveOptions::default()).unwrap();
-        let cold = solve(SolveOptions { warm_start: false, ..Default::default() }).unwrap();
-        let seed = solve(SolveOptions { seed_baseline: true, ..Default::default() }).unwrap();
-        // Each pair agrees within twice the gap band (each solve may stop
-        // anywhere inside its own gap).
-        let scale = warm.objective().abs().max(1.0);
+        let reference = p.solve_with(&SolveOptions { relative_gap: gap, ..Default::default() }).unwrap();
+        let scale = reference.objective().abs().max(1.0);
         let tol = 2.0 * gap * scale + 1e-6;
-        prop_assert!((warm.objective() - cold.objective()).abs() <= tol,
-            "warm {} vs cold {}", warm.objective(), cold.objective());
-        prop_assert!((warm.objective() - seed.objective()).abs() <= tol,
-            "warm {} vs seed {}", warm.objective(), seed.objective());
-        // The warm configuration's returned point is itself MIP-feasible.
-        for (i, v) in warm.values().iter().enumerate() {
-            prop_assert!((v - v.round()).abs() < 1e-6, "x{i} = {v} not integral");
+        for (label, engine, warm_start) in engine_configs() {
+            let sol = p
+                .solve_with(&SolveOptions { relative_gap: gap, engine, warm_start, ..Default::default() })
+                .unwrap();
+            prop_assert!((sol.objective() - reference.objective()).abs() <= tol,
+                "{label} {} vs reference {}", sol.objective(), reference.objective());
+            for (i, v) in sol.values().iter().enumerate() {
+                prop_assert!((v - v.round()).abs() < 1e-6, "{label}: x{i} = {v} not integral");
+            }
+        }
+    }
+
+    /// Cross-engine equivalence battery on *sparse* MIPs (controlled
+    /// density, degenerate duplicated rows, unbounded spans): seed, dense
+    /// and revised — warm and cold paths both — must agree on status, on the
+    /// objective to 1e-6 (all solve to a zero gap) and on the integer
+    /// assignment itself.
+    #[test]
+    fn engine_battery_agrees_on_sparse_mips(
+        values in proptest::collection::vec(0.5f64..9.5, 3..9),
+        weights in proptest::collection::vec(0.2f64..4.0, 3..9),
+        caps in proptest::collection::vec(4.0f64..25.0, 1..4),
+        density in 0.15f64..0.95,
+        density_seed in 1u64..1_000_000_000,
+        unbounded_stride in 0usize..4,
+        duplicate_row in any::<bool>(),
+    ) {
+        let n = values.len().min(weights.len());
+        let p = sparse_random_mip(
+            &values[..n], &weights[..n], &caps, density, density_seed,
+            unbounded_stride, duplicate_row,
+        );
+        let exact = SolveOptions { relative_gap: 0.0, ..Default::default() };
+        let mut reference: Option<(&str, f64, Vec<f64>)> = None;
+        for (label, engine, warm_start) in engine_configs() {
+            let sol = p
+                .solve_with(&SolveOptions { engine, warm_start, ..exact.clone() })
+                .unwrap_or_else(|e| panic!("{label} failed: {e:?}"));
+            for (i, v) in sol.values().iter().enumerate() {
+                prop_assert!((v - v.round()).abs() < 1e-6, "{label}: x{i} = {v} not integral");
+            }
+            match &reference {
+                None => reference = Some((label, sol.objective(), sol.values().to_vec())),
+                Some((ref_label, obj, vals)) => {
+                    prop_assert!(
+                        (sol.objective() - obj).abs() <= 1e-6 * (1.0 + obj.abs()),
+                        "{label} objective {} vs {ref_label} {}",
+                        sol.objective(), obj
+                    );
+                    for (i, (a, b)) in sol.values().iter().zip(vals).enumerate() {
+                        prop_assert!((a - b).abs() < 1e-4,
+                            "{label} assignment x{i} = {a} vs {ref_label} {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The same battery on instances that are infeasible — either at the LP
+    /// level (contradictory bounds rows) or only at the MIP level (feasible
+    /// relaxation, no integer point): every engine must agree on the status.
+    #[test]
+    fn engine_battery_agrees_on_infeasible_sparse_mips(
+        n in 2usize..6,
+        demand in 30.0f64..60.0,
+        mip_level in any::<bool>(),
+    ) {
+        let mut p = Problem::new("inf-sparse", Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_int_var(format!("x{i}"), 0.0, 4.0))
+            .collect();
+        p.set_objective(vars.iter().map(|&v| (v, 1.0)));
+        if mip_level {
+            // Relaxation feasible (x0 = demand/31 after scaling) but no
+            // integer point: 2·x0 = odd.
+            p.add_constraint("odd", [(vars[0], 2.0)], ConstraintOp::Eq, 3.0);
+        } else {
+            // Max attainable lhs is 4n·1 < 24 < demand: LP-infeasible.
+            p.add_constraint(
+                "demand",
+                vars.iter().map(|&v| (v, 1.0)),
+                ConstraintOp::Ge,
+                demand,
+            );
+        }
+        for (label, engine, warm_start) in engine_configs() {
+            let r = p.solve_with(&SolveOptions { engine, warm_start, ..Default::default() });
+            match r {
+                Err(LpError::Infeasible) | Err(LpError::NoIncumbent) => {}
+                other => panic!("{label}: expected infeasibility, got {other:?}"),
+            }
         }
     }
 

@@ -3,9 +3,12 @@
 //! the warm-started, cold and seed-baseline configurations, and the
 //! skeleton/warm-start machinery exposed by `conductor_lp::simplex`.
 
+use conductor_lp::lu::eta_limit;
+use conductor_lp::revised::{solve_with_skeleton_revised, RevisedWorkspace};
 use conductor_lp::simplex::{solve_with_skeleton, WarmStart};
 use conductor_lp::{
-    ConstraintOp, LpError, Problem, Sense, SimplexWorkspace, SolveOptions, StandardFormSkeleton,
+    ConstraintOp, Engine, LpError, Problem, Sense, SimplexWorkspace, SolveOptions,
+    StandardFormSkeleton,
 };
 use std::time::Duration;
 
@@ -16,28 +19,24 @@ fn bounds(p: &Problem) -> (Vec<f64>, Vec<f64>) {
     )
 }
 
-/// All three solver configurations, tightest gap.
-fn configs() -> [(&'static str, SolveOptions); 3] {
+/// All solver configurations (three engines; warm and cold paths for the
+/// two skeleton-based ones), tightest gap.
+fn configs() -> [(&'static str, SolveOptions); 5] {
     let exact = SolveOptions {
         relative_gap: 0.0,
         ..Default::default()
     };
+    let with = |engine: Engine, warm_start: bool| SolveOptions {
+        engine,
+        warm_start,
+        ..exact.clone()
+    };
     [
-        ("warm", exact.clone()),
-        (
-            "cold",
-            SolveOptions {
-                warm_start: false,
-                ..exact.clone()
-            },
-        ),
-        (
-            "seed",
-            SolveOptions {
-                seed_baseline: true,
-                ..exact
-            },
-        ),
+        ("revised-warm", with(Engine::RevisedSparse, true)),
+        ("revised-cold", with(Engine::RevisedSparse, false)),
+        ("dense-warm", with(Engine::DenseTableau, true)),
+        ("dense-cold", with(Engine::DenseTableau, false)),
+        ("seed", with(Engine::SeedBaseline, true)),
     ]
 }
 
@@ -259,6 +258,166 @@ fn degenerate_instances_terminate() {
         (sol.objective() + 0.05).abs() < 1e-6,
         "objective {}",
         sol.objective()
+    );
+}
+
+/// Long-horizon drift regression for the revised engine: thousands of
+/// consecutive warm reuses through one `RevisedWorkspace` — far beyond the
+/// dense engine's retired 32-reuse `REUSE_REFRESH` ceiling — must stay
+/// within the stale-state tolerance (1e-6) of an independent cold dense
+/// solve of every node, with the factorization *refresh policy* (periodic
+/// refactorization on the eta limit plus the per-reuse residual check) as
+/// the only safety mechanism.
+#[test]
+fn revised_warm_reuse_never_drifts_over_thousands_of_reuses() {
+    let mut p = Problem::new("drift-horizon", Sense::Maximize);
+    let vars: Vec<_> = (0..8)
+        .map(|i| p.add_int_var(format!("x{i}"), 0.0, 6.0))
+        .collect();
+    p.set_objective(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 2.0 + ((i * 5) % 7) as f64 + 0.25)),
+    );
+    for k in 0..4 {
+        p.add_constraint(
+            format!("cap{k}"),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 0.5 + ((i + k) % 3) as f64 * 0.75)),
+            ConstraintOp::Le,
+            // Roomy enough that every bound pattern below stays feasible.
+            40.0 + 3.0 * k as f64,
+        );
+    }
+    let (lower, upper) = bounds(&p);
+    let sk = StandardFormSkeleton::new(&p, &lower, &upper).unwrap();
+
+    let mut revised = RevisedWorkspace::default();
+    let mut dense_ref = SimplexWorkspace::default();
+    let root =
+        solve_with_skeleton_revised(&sk, &mut revised, &lower, &upper, None, 100_000).unwrap();
+    let mut last_basis = root.basis;
+    let mut total_iterations = root.iterations;
+
+    const ROUNDS: usize = 3000;
+    let mut worst = 0.0f64;
+    for round in 0..ROUNDS {
+        // A rolling branching-like bound pattern: tighten one variable per
+        // round, cycling lowers in {0,1,2} and uppers in {3..6}.
+        let var = round % vars.len();
+        let mut lo = lower.clone();
+        let mut hi = upper.clone();
+        lo[var] = (round / 8 % 3) as f64;
+        hi[var] = 3.0 + (round / 8 % 4) as f64;
+        let warm =
+            solve_with_skeleton_revised(&sk, &mut revised, &lo, &hi, Some(&last_basis), 100_000)
+                .unwrap_or_else(|e| panic!("round {round}: revised warm solve failed: {e:?}"));
+        let cold = solve_with_skeleton(&sk, &mut dense_ref, &lo, &hi, None, 100_000)
+            .unwrap_or_else(|e| panic!("round {round}: dense reference failed: {e:?}"));
+        let dev = (warm.objective - cold.objective).abs() / (1.0 + cold.objective.abs());
+        worst = worst.max(dev);
+        assert!(
+            dev < 1e-6,
+            "round {round}: revised warm {} drifted from dense cold {} (relative {dev:e})",
+            warm.objective,
+            cold.objective
+        );
+        total_iterations += warm.iterations;
+        last_basis = warm.basis;
+    }
+
+    let (hits, misses) = revised.warm_start_counts();
+    assert_eq!(hits + misses, ROUNDS, "every round should attempt a reuse");
+    assert!(
+        hits as f64 >= 0.95 * ROUNDS as f64,
+        "warm reuse should almost always succeed: {hits} hits / {misses} misses"
+    );
+
+    // Pin the refresh policy. Every mid-stream refactorization consumes at
+    // least `eta_limit(m)` accumulated pivots, so the count is bounded by
+    // the pivot budget; and with thousands of reuses each pushing a few
+    // pivots the policy must actually fire rather than never refresh.
+    let (factorizations, refactorizations) = revised.factorization_counts();
+    let m = sk.num_rows();
+    assert!(
+        refactorizations >= 1,
+        "the eta-limit refresh policy never fired over {ROUNDS} reuses \
+         ({total_iterations} pivots, eta limit {})",
+        eta_limit(m)
+    );
+    assert!(
+        refactorizations <= total_iterations / eta_limit(m) + 1,
+        "more refreshes ({refactorizations}) than the pivot budget admits \
+         ({total_iterations} pivots / eta limit {})",
+        eta_limit(m)
+    );
+    // Cold fills are the only other factorization source: the root solve
+    // plus one per warm miss.
+    assert!(
+        factorizations <= refactorizations + misses + 1,
+        "unexpected extra factorizations: {factorizations} vs {refactorizations} refreshes + {misses} misses + root"
+    );
+    eprintln!(
+        "drift regression: worst relative deviation {worst:e}, {hits}/{ROUNDS} reuses, \
+         {factorizations} factorizations ({refactorizations} refreshes)"
+    );
+}
+
+/// The revised engine inside full branch & bound agrees with the dense
+/// engine at a zero gap and reports its factorization counters.
+#[test]
+fn revised_branch_and_bound_matches_dense_and_reports_factorizations() {
+    let mut p = Problem::new("bb-engines", Sense::Maximize);
+    let vars: Vec<_> = (0..10)
+        .map(|i| p.add_int_var(format!("x{i}"), 0.0, 5.0))
+        .collect();
+    p.set_objective(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 3.0 + ((i * 7) % 5) as f64 + 0.5)),
+    );
+    for k in 0..4 {
+        p.add_constraint(
+            format!("cap{k}"),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + ((i + k) % 4) as f64)),
+            ConstraintOp::Le,
+            17.0 + 2.0 * k as f64,
+        );
+    }
+    let exact = SolveOptions {
+        relative_gap: 0.0,
+        ..Default::default()
+    };
+    let revised = p
+        .solve_with(&SolveOptions {
+            engine: Engine::RevisedSparse,
+            ..exact.clone()
+        })
+        .unwrap();
+    let dense = p
+        .solve_with(&SolveOptions {
+            engine: Engine::DenseTableau,
+            ..exact
+        })
+        .unwrap();
+    assert!(
+        (revised.objective() - dense.objective()).abs() < 1e-6,
+        "revised {} vs dense {}",
+        revised.objective(),
+        dense.objective()
+    );
+    let stats = revised.stats();
+    assert!(
+        stats.basis_factorizations >= 1,
+        "revised engine must report factorizations: {stats:?}"
+    );
+    assert_eq!(
+        dense.stats().basis_factorizations,
+        0,
+        "dense engine has no LU factorizations"
     );
 }
 

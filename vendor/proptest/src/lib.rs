@@ -5,6 +5,15 @@
 //! the case number; strategies are deterministic per test, so failures
 //! reproduce exactly), and only the strategy combinators this repo uses are
 //! provided (numeric ranges, `collection::vec`, `any::<T>()`).
+//!
+//! Two environment variables mirror the real crate's reproducibility knobs:
+//!
+//! * `PROPTEST_SEED` — a `u64` mixed into every test's RNG seed. Unset (the
+//!   default) keeps the historical per-test-name deterministic stream; CI's
+//!   nightly battery sets a random value to explore fresh cases, and a
+//!   failure is reproduced by re-running with the seed it prints.
+//! * `PROPTEST_CASES` — overrides the case count of every `proptest!` block
+//!   (the nightly battery runs many more cases than the in-PR default).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -17,14 +26,20 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
+    /// `PROPTEST_CASES` (when set and parsable) overrides the per-test case
+    /// count, e.g. for a nightly high-volume run.
     pub fn with_cases(cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cases);
         Self { cases }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 32 }
+        Self::with_cases(32)
     }
 }
 
@@ -35,12 +50,20 @@ pub struct TestRng {
 
 impl TestRng {
     /// Seeded from the test name so every test has an independent but
-    /// reproducible stream.
+    /// reproducible stream. When `PROPTEST_SEED` is set its value is mixed
+    /// in (printed on entry so a nightly failure can be replayed exactly).
     pub fn for_test(name: &str) -> Self {
         let mut seed = 0xcbf29ce484222325u64; // FNV-1a
         for b in name.bytes() {
             seed ^= b as u64;
             seed = seed.wrapping_mul(0x100000001b3);
+        }
+        if let Some(extra) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            eprintln!("proptest: `{name}` running with PROPTEST_SEED={extra}");
+            seed ^= extra.wrapping_mul(0x9e3779b97f4a7c15);
         }
         Self {
             inner: SmallRng::seed_from_u64(seed),
