@@ -1,0 +1,33 @@
+//! Criterion bench: the fleet-level orchestration hot path.
+//!
+//! `fleet/four_tenant_contention` runs the full multi-tenant scenario —
+//! four admissions planned against residual capacity, four concurrent
+//! executions on one shared event kernel, periodic monitor ticks — and is
+//! the number to watch as fleet scenarios grow (job churn, revocation
+//! storms). `fleet/single_tenant_overhead` is the same machinery with one
+//! job, isolating the kernel + service overhead over a bare `Engine::run`.
+
+use conductor_bench::experiments::{fleet_contention_requests, fleet_contention_service};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fleet_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function("four_tenant_contention", |b| {
+        let service = fleet_contention_service(17);
+        let requests = fleet_contention_requests();
+        b.iter(|| service.run(&requests).unwrap());
+    });
+    group.bench_function("single_tenant_overhead", |b| {
+        let service = fleet_contention_service(17);
+        let requests = fleet_contention_requests()[..1].to_vec();
+        b.iter(|| service.run(&requests).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_contention);
+criterion_main!(benches);

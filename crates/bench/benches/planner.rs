@@ -18,7 +18,8 @@ fn bench_end_to_end(c: &mut Criterion) {
         let catalog = Catalog::aws_july_2011();
         let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
         let planner = Planner::new(pool).with_solve_options(solver_options());
-        let controller = JobController::new(catalog, planner);
+        let controller =
+            JobController::new(catalog, planner).expect("planner pool matches the catalog");
         let spec = Workload::KMeans32Gb.spec();
         b.iter(|| {
             controller
@@ -49,7 +50,8 @@ fn bench_end_to_end_seed_solver(c: &mut Criterion) {
             ..solver_options()
         };
         let planner = Planner::new(pool).with_solve_options(options);
-        let controller = JobController::new(catalog, planner);
+        let controller =
+            JobController::new(catalog, planner).expect("planner pool matches the catalog");
         let spec = Workload::KMeans32Gb.spec();
         b.iter(|| {
             controller

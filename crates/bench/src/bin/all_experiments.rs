@@ -20,4 +20,5 @@ fn main() {
     println!("{}", e::fig14_spot_savings().to_markdown());
     println!("{}", e::fig15_storage_throughput().to_markdown());
     println!("{}", e::fig16_solve_time().to_markdown());
+    println!("{}", e::fleet_contention().to_markdown());
 }

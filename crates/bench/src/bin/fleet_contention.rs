@@ -1,0 +1,8 @@
+//! Runs the multi-job fleet contention scenario: four tenants with
+//! staggered arrivals sharing one spot market and a fleet-wide node cap.
+//! Run with:
+//! `cargo run --release -p conductor-bench --bin fleet_contention`
+
+fn main() {
+    println!("{}", conductor_bench::experiments::fleet_contention());
+}

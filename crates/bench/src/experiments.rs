@@ -7,8 +7,8 @@
 use crate::table::Table;
 use conductor_cloud::{catalog::mbps_to_gb_per_hour, Catalog, CostCategory, SpotMarket, SpotTrace};
 use conductor_core::{
-    AdaptiveController, BidPredictor, Goal, JobController, Planner, ResourcePool,
-    SpotDeploymentSimulator,
+    AdaptiveController, BidPredictor, ConductorService, FleetJobRequest, Goal, JobController,
+    Planner, ResourcePool, SpotDeploymentSimulator,
 };
 use conductor_lp::SolveOptions;
 use conductor_mapreduce::engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport};
@@ -85,7 +85,8 @@ pub fn cloud_only_reports() -> Vec<ExecutionReport> {
     // Conductor: plan automatically and deploy via the plan-following scheduler.
     let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
     let planner = Planner::new(pool).with_solve_options(solver_options());
-    let controller = JobController::new(catalog.clone(), planner);
+    let controller =
+        JobController::new(catalog.clone(), planner).expect("planner pool matches the catalog");
     let outcome = controller
         .run(
             &spec,
@@ -320,7 +321,8 @@ pub fn fig10_hybrid() -> Table {
 
     let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large", "local"]);
     let planner = Planner::new(pool).with_solve_options(solver_options());
-    let controller = JobController::new(catalog.clone(), planner);
+    let controller =
+        JobController::new(catalog.clone(), planner).expect("planner pool matches the catalog");
     let outcome = controller
         .run(
             &spec,
@@ -666,6 +668,119 @@ pub fn fig16_solve_time() -> Table {
         row.push(largest_vars as f64);
         t.push(format!("{input_gb}"), row);
     }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: multi-job contention on the shared event kernel (beyond the paper).
+// ---------------------------------------------------------------------------
+
+/// The standard multi-job contention scenario: four tenants with mixed
+/// deadlines arriving half-hourly, one shared electricity-like spot trace,
+/// and a fleet-wide cap of 90 m1.large nodes. Shared by the
+/// `fleet_contention` binary, the criterion bench and the integration
+/// tests, so every consumer measures the same fleet.
+pub fn fleet_contention_requests() -> Vec<FleetJobRequest> {
+    vec![
+        FleetJobRequest::new(
+            "tenant-a",
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 6.0,
+            },
+            0.0,
+        ),
+        FleetJobRequest::new(
+            "tenant-b",
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 7.0,
+            },
+            0.5,
+        ),
+        FleetJobRequest::new(
+            "tenant-c",
+            Workload::KMeansFastScan32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 6.0,
+            },
+            1.0,
+        ),
+        FleetJobRequest::new(
+            "tenant-d",
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 8.0,
+            },
+            1.5,
+        ),
+    ]
+}
+
+/// The service for [`fleet_contention_requests`]: fleet cap 90, shared
+/// spot market seeded with `seed`.
+pub fn fleet_contention_service(seed: u64) -> ConductorService {
+    let catalog = Catalog::aws_july_2011();
+    let pool = ResourcePool::from_catalog(&catalog, 1.0)
+        .with_compute_only(&["m1.large"])
+        .with_compute_cap("m1.large", 90);
+    ConductorService::new(catalog, pool)
+        .with_solve_options(solver_options())
+        .with_spot_market(SpotMarket::new(
+            SpotTrace::electricity_like(seed, 24 * 10),
+            0.34,
+        ))
+}
+
+/// Fleet contention table: per-tenant admission, peak allocation, bill and
+/// deadline verdict when four jobs share one capacity pool and spot market.
+pub fn fleet_contention() -> Table {
+    let report = fleet_contention_service(17)
+        .run(&fleet_contention_requests())
+        .expect("fleet run");
+    let mut t = Table::new(
+        "Fleet: four tenants sharing one spot market and a 90-node cap",
+        &[
+            "arrival h",
+            "peak nodes",
+            "completion h",
+            "bill USD",
+            "met deadline",
+        ],
+    );
+    for tenant in &report.tenants {
+        let peak = tenant
+            .plan
+            .as_ref()
+            .map(|p| p.peak_nodes("m1.large"))
+            .unwrap_or(0);
+        let (completion, bill, met) = match &tenant.execution {
+            Some(exec) => (
+                exec.completion_hours,
+                exec.total_cost,
+                if exec.met_deadline == Some(true) {
+                    1.0
+                } else {
+                    0.0
+                },
+            ),
+            None => (f64::NAN, 0.0, 0.0),
+        };
+        t.push(
+            &tenant.tenant,
+            vec![tenant.arrival_hours, peak as f64, completion, bill, met],
+        );
+    }
+    t.push(
+        "fleet",
+        vec![
+            0.0,
+            0.0,
+            report.makespan_hours,
+            report.fleet_cost,
+            report.deadlines_met as f64,
+        ],
+    );
     t
 }
 

@@ -62,6 +62,15 @@ impl CostBreakdown {
         self.categories.iter().map(|(c, v)| (*c, *v))
     }
 
+    /// Merges another breakdown into this one, category by category. Used
+    /// by fleet-level accounting to roll per-tenant bills up into one
+    /// provider-side bill.
+    pub fn absorb(&mut self, other: &CostBreakdown) {
+        for (category, cost) in other.iter() {
+            self.add(category, cost);
+        }
+    }
+
     fn add(&mut self, category: CostCategory, amount: f64) {
         *self.categories.entry(category).or_insert(0.0) += amount;
     }

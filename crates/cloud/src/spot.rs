@@ -222,6 +222,17 @@ impl SpotMarket {
     pub fn on_demand_cost(&self, hours: usize) -> f64 {
         self.on_demand_price * hours as f64
     }
+
+    /// Expected spot prices for hours `[start, start + len)`, each capped at
+    /// the on-demand price (a rational customer never bids above it). This
+    /// is the per-interval price expectation a fleet scheduler feeds into
+    /// the planner's model (eq. 6) so every concurrent tenant plans against
+    /// the *same* market state.
+    pub fn price_forecast(&self, start: usize, len: usize) -> Vec<f64> {
+        (start..start + len)
+            .map(|t| self.trace.price_at(t).min(self.on_demand_price))
+            .collect()
+    }
 }
 
 #[cfg(test)]

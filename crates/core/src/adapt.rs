@@ -29,9 +29,12 @@ pub struct AdaptationReport {
     /// throughput).
     pub initial_plan: ExecutionPlan,
     /// The plan computed at the re-planning point from the observed state.
+    /// Identical to `initial_plan` when the monitor stayed quiet.
     pub updated_plan: ExecutionPlan,
-    /// Hour at which the deviation was detected and the plan recomputed.
-    pub replanned_at_hours: f64,
+    /// Hour at which the deviation was detected and the plan recomputed;
+    /// `None` when observed progress matched the model's projection and no
+    /// re-plan was triggered.
+    pub replanned_at_hours: Option<f64>,
     /// Execution report of the full run under the spliced schedule.
     pub execution: ExecutionReport,
     /// Execution report of a run that keeps following the initial plan
@@ -48,6 +51,11 @@ impl AdaptationReport {
     pub fn adaptation_rescued_deadline(&self) -> bool {
         self.execution.met_deadline == Some(true)
             && self.without_adaptation.met_deadline == Some(false)
+    }
+
+    /// `true` when the monitor detected a deviation and re-planned.
+    pub fn replanned(&self) -> bool {
+        self.replanned_at_hours.is_some()
     }
 }
 
@@ -71,6 +79,11 @@ pub struct AdaptiveController {
     /// node-hours the task-granular engine loses to data starvation and
     /// interval-boundary stragglers, which the fluid model cannot see.
     monitor_conservatism: f64,
+    /// Relative shortfall of observed vs projected map progress below which
+    /// the monitor stays quiet (no re-plan). Guards against false
+    /// positives: a prediction that matches reality must not trigger the
+    /// re-planning machinery.
+    deviation_threshold: f64,
 }
 
 impl AdaptiveController {
@@ -88,6 +101,7 @@ impl AdaptiveController {
             },
             replan_margin_hours: 1.0,
             monitor_conservatism: 0.15,
+            deviation_threshold: 0.1,
         }
     }
 
@@ -97,11 +111,19 @@ impl AdaptiveController {
         self
     }
 
-    /// Overrides the re-planning safety margin (see
-    /// [`AdaptiveController::replan_margin_hours`]'s field docs). Zero means
-    /// trusting the model's projection exactly.
+    /// Overrides the re-planning safety margin (see the
+    /// `replan_margin_hours` field docs). Zero means trusting the model's
+    /// projection exactly.
     pub fn with_replan_margin_hours(mut self, hours: f64) -> Self {
         self.replan_margin_hours = hours.max(0.0);
+        self
+    }
+
+    /// Overrides the monitor's re-plan trigger: re-plan only when observed
+    /// map progress falls short of the model's projection by more than this
+    /// fraction (0.1 = 10 % behind).
+    pub fn with_deviation_threshold(mut self, fraction: f64) -> Self {
+        self.deviation_threshold = fraction.clamp(0.0, 1.0);
         self
     }
 
@@ -139,8 +161,43 @@ impl AdaptiveController {
         let scheduler = conductor_mapreduce::scheduler::LocalityScheduler;
         let without_adaptation = actual_engine.run(spec, &initial_options, &scheduler)?;
 
-        // ---- 3. Monitor: state of the world at the re-planning point under
-        // the initial plan, with the *actual* throughput.
+        // ---- 3. Monitor (§5.4): re-plan only on a real deviation. Two
+        // checks, both against the measured throughput:
+        //  (a) *behind now* — observed map progress at the re-planning
+        //      point falls short of the model's own projection (the
+        //      predicted throughput run through the identical fluid
+        //      progress rule), and
+        //  (b) *plan doomed* — the remaining schedule's processing
+        //      capacity at the measured rate can no longer cover the input
+        //      (the fig12 case: the shortfall is visible in task durations
+        //      before any interval's progress checkpoint is missed).
+        // A prediction that matches reality passes both, so the monitor
+        // stays quiet and the expensive re-planning machinery never runs —
+        // the false-positive guard.
+        let observed_done =
+            self.fluid_map_progress(spec, &initial_plan, actual_gbph, replan_after_hours);
+        let projected_done =
+            self.fluid_map_progress(spec, &initial_plan, predicted_gbph, replan_after_hours);
+        let behind_now = observed_done + 1e-9 < projected_done * (1.0 - self.deviation_threshold);
+        let planned_capacity_gb: f64 = initial_plan
+            .intervals
+            .iter()
+            .map(|iv| {
+                iv.nodes.values().sum::<usize>() as f64 * actual_gbph * initial_plan.interval_hours
+            })
+            .sum();
+        let plan_doomed =
+            planned_capacity_gb + 1e-9 < spec.input_gb * (1.0 - self.deviation_threshold);
+        if !behind_now && !plan_doomed {
+            return Ok(AdaptationReport {
+                updated_plan: initial_plan.clone(),
+                spliced_schedule: initial_options.node_schedule.clone(),
+                initial_plan,
+                replanned_at_hours: None,
+                execution: without_adaptation.clone(),
+                without_adaptation,
+            });
+        }
         let observed = self.observe_progress(spec, &initial_plan, actual_gbph, replan_after_hours);
 
         // ---- 4. Re-plan from the observed state with the corrected
@@ -179,11 +236,36 @@ impl AdaptiveController {
         Ok(AdaptationReport {
             initial_plan,
             updated_plan,
-            replanned_at_hours: replan_after_hours,
+            replanned_at_hours: Some(replan_after_hours),
             execution,
             without_adaptation,
             spliced_schedule,
         })
+    }
+
+    /// Map GB a fluid execution of `plan` would have completed after
+    /// `hours` at `gbph` per node, capped by what the uplink could feed —
+    /// the progress rule both the monitor's observation and the model's
+    /// projection run through, so identical rates produce identical
+    /// numbers.
+    fn fluid_map_progress(
+        &self,
+        spec: &JobSpec,
+        plan: &ExecutionPlan,
+        gbph: f64,
+        hours: f64,
+    ) -> f64 {
+        let uploaded = (self.pool.uplink_gbph * hours).min(spec.input_gb);
+        let mut processed: f64 = 0.0;
+        for (t, interval) in plan.intervals.iter().enumerate() {
+            let t_end = (t as f64 + 1.0) * plan.interval_hours;
+            if t_end > hours + 1e-9 {
+                break;
+            }
+            let nodes: usize = interval.nodes.values().sum();
+            processed += nodes as f64 * gbph * plan.interval_hours;
+        }
+        processed.min(uploaded).min(spec.input_gb)
     }
 
     /// Progress the monitor would have observed after `hours` of following
@@ -208,16 +290,7 @@ impl AdaptiveController {
         }
         // Map progress: limited by both the allocated nodes' *actual*
         // throughput and the data that was available.
-        let mut processed: f64 = 0.0;
-        for (t, interval) in plan.intervals.iter().enumerate() {
-            let t_end = (t as f64 + 1.0) * plan.interval_hours;
-            if t_end > hours + 1e-9 {
-                break;
-            }
-            let nodes: usize = interval.nodes.values().sum();
-            processed += nodes as f64 * actual_gbph * plan.interval_hours;
-        }
-        state.map_done_gb = processed.min(uploaded).min(spec.input_gb);
+        state.map_done_gb = self.fluid_map_progress(spec, plan, actual_gbph, hours);
         // Conservative monitor: plan for slightly more remaining work than
         // the fluid progress model reports (see `monitor_conservatism`).
         let remaining = (spec.input_gb - state.map_done_gb).max(0.0);
@@ -271,7 +344,23 @@ fn splice_schedules(
         .into_iter()
         .filter(|a| a.from_hour < switch_hours - 1e-9)
         .collect();
-    for mut step in updated.node_schedule() {
+    let mut updated_steps = updated.node_schedule();
+    // A compute type the updated plan no longer uses emits no steps at all
+    // (plans only record positive node counts); add an explicit zero step
+    // at the switch point so its pre-splice allocation is released instead
+    // of riding — and billing — to the end of the job.
+    let kept_types: std::collections::BTreeSet<String> =
+        schedule.iter().map(|a| a.instance_type.clone()).collect();
+    for kept in kept_types {
+        if !updated_steps.iter().any(|s| s.instance_type == kept) {
+            updated_steps.push(NodeAllocation {
+                from_hour: 0.0,
+                instance_type: kept,
+                nodes: 0,
+            });
+        }
+    }
+    for mut step in updated_steps {
         step.from_hour += switch_hours;
         schedule.push(step);
     }
@@ -333,6 +422,57 @@ mod tests {
     }
 
     #[test]
+    fn accurate_prediction_keeps_the_monitor_quiet() {
+        // False-positive guard: when the predicted throughput matches
+        // reality there is no shortfall, so the monitor must not trigger a
+        // re-plan — the report carries the initial plan unchanged and no
+        // re-planning timestamp.
+        let report = controller()
+            .run_with_misprediction(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 7.0,
+                },
+                0.44,
+                0.44,
+                1.0,
+            )
+            .unwrap();
+        assert!(
+            !report.replanned(),
+            "monitor re-planned without a deviation"
+        );
+        assert_eq!(report.replanned_at_hours, None);
+        assert_eq!(report.updated_plan, report.initial_plan);
+        // The "adapted" execution is the unmodified run: same schedule,
+        // same cost, same completion.
+        assert_eq!(report.spliced_schedule, report.initial_plan.node_schedule());
+        assert!((report.execution.total_cost - report.without_adaptation.total_cost).abs() < 1e-12);
+        assert!(
+            (report.execution.completion_hours - report.without_adaptation.completion_hours).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn misprediction_report_records_the_replanning_hour() {
+        let report = controller()
+            .run_with_misprediction(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 7.0,
+                },
+                1.44,
+                0.44,
+                1.0,
+            )
+            .unwrap();
+        assert!(report.replanned());
+        assert_eq!(report.replanned_at_hours, Some(1.0));
+        assert_ne!(report.updated_plan, report.initial_plan);
+    }
+
+    #[test]
     fn splicing_keeps_early_steps_and_shifts_later_ones() {
         let initial = ExecutionPlan {
             interval_hours: 1.0,
@@ -363,6 +503,44 @@ mod tests {
         assert!(spliced.iter().any(|s| s.from_hour == 0.0 && s.nodes == 3));
         assert!(spliced.iter().any(|s| s.from_hour == 1.0 && s.nodes == 16));
         assert!(!spliced.iter().any(|s| s.nodes == 5));
+    }
+
+    #[test]
+    fn splicing_releases_compute_types_the_updated_plan_dropped() {
+        // Plans only record positive node counts, so a type the re-plan
+        // stops using emits no steps; the splice must synthesize a zero
+        // step or its pre-splice allocation would bill until job end.
+        let empty = ExecutionPlan {
+            interval_hours: 1.0,
+            intervals: vec![],
+            expected_cost: 0.0,
+            expected_completion_hours: 0.0,
+            proven_optimal: true,
+        };
+        let mut initial = empty.clone();
+        initial.intervals = vec![crate::plan::IntervalPlan {
+            nodes: [("m1.large".to_string(), 4), ("local".to_string(), 5)]
+                .into_iter()
+                .collect(),
+            ..Default::default()
+        }];
+        let mut updated = empty.clone();
+        updated.intervals = vec![crate::plan::IntervalPlan {
+            nodes: [("local".to_string(), 5)].into_iter().collect(),
+            ..Default::default()
+        }];
+        let spliced = splice_schedules(&initial, &updated, 1.0);
+        // The dropped m1.large type gets an explicit release at the switch.
+        assert!(
+            spliced
+                .iter()
+                .any(|s| s.instance_type == "m1.large" && s.from_hour == 1.0 && s.nodes == 0),
+            "{spliced:?}"
+        );
+        // ...while the still-used local nodes carry on.
+        assert!(spliced
+            .iter()
+            .any(|s| s.instance_type == "local" && s.from_hour == 1.0 && s.nodes == 5));
     }
 
     #[test]

@@ -50,14 +50,49 @@ pub struct JobController {
 
 impl JobController {
     /// Creates a controller for the given catalog. `planner` must have been
-    /// built over (a restriction of) the same catalog.
-    pub fn new(catalog: Catalog, planner: Planner) -> Self {
+    /// built over (a restriction of) the same catalog: every compute
+    /// resource in the planner's pool must name a catalog instance type
+    /// with the same price and measured throughput, and every storage
+    /// resource must name a catalog storage service. A mismatched pair
+    /// would produce plans whose costs and rates the deployment engine
+    /// silently disagrees with, so the invariant is checked here and
+    /// violations are reported as [`ConductorError::InvalidInput`].
+    pub fn new(catalog: Catalog, planner: Planner) -> Result<Self, ConductorError> {
+        for c in &planner.pool().compute {
+            let Some(i) = catalog.instance(&c.name) else {
+                return Err(ConductorError::InvalidInput(format!(
+                    "planner compute resource `{}` is not in the deployment catalog",
+                    c.name
+                )));
+            };
+            if (i.hourly_price - c.hourly_price).abs() > 1e-9
+                || (i.measured_throughput_gbph - c.capacity_gbph).abs() > 1e-9
+            {
+                return Err(ConductorError::InvalidInput(format!(
+                    "planner compute resource `{}` disagrees with the catalog: \
+                     pool prices it at {}/h for {} GB/h, catalog says {}/h for {} GB/h",
+                    c.name,
+                    c.hourly_price,
+                    c.capacity_gbph,
+                    i.hourly_price,
+                    i.measured_throughput_gbph
+                )));
+            }
+        }
+        for s in &planner.pool().storage {
+            if catalog.storage(&s.name).is_none() {
+                return Err(ConductorError::InvalidInput(format!(
+                    "planner storage resource `{}` is not in the deployment catalog",
+                    s.name
+                )));
+            }
+        }
         let uplink_gbph = catalog.uplink_gb_per_hour();
-        Self {
+        Ok(Self {
             planner,
             engine: Engine::new(catalog),
             uplink_gbph,
-        }
+        })
     }
 
     /// The planner in use.
@@ -113,45 +148,55 @@ impl JobController {
     /// each compute resource used by the plan may read from the storage
     /// locations the plan stores data on (§5.3).
     pub fn scheduler_for(&self, plan: &ExecutionPlan) -> PlanFollowingScheduler {
-        let mut scheduler = PlanFollowingScheduler::new();
-        let location_map = ExecutionPlan::default_location_map();
-        let storages: Vec<DataLocation> = plan
-            .storage_mix()
-            .keys()
-            .filter_map(|name| location_map.get(name).copied())
-            .collect();
-        let computes: std::collections::BTreeSet<String> = plan
-            .intervals
-            .iter()
-            .flat_map(|p| p.nodes.keys().cloned())
-            .collect();
-        for compute in computes {
-            let is_local = self
-                .planner
-                .pool()
-                .compute_resource(&compute)
-                .map(|c| c.is_local)
-                .unwrap_or(false);
-            // Every compute resource may read its own disks...
-            scheduler.allow(
-                compute.clone(),
-                if is_local {
-                    DataLocation::LocalDisk
-                } else {
-                    DataLocation::InstanceDisk
-                },
-            );
-            if is_local {
-                // ...local nodes additionally read the on-site input directly.
-                scheduler.allow(compute.clone(), DataLocation::ClientSite);
-            }
-            // ...and the storage services the plan uses.
-            for loc in &storages {
-                scheduler.allow(compute.clone(), *loc);
-            }
-        }
-        scheduler
+        scheduler_for_plan(plan, self.planner.pool())
     }
+}
+
+/// Derives the plan-following scheduler permissions a plan implies over a
+/// resource pool (§5.3): every compute resource the plan rents may read
+/// from its own disks and from the storage services the plan uploads to;
+/// local nodes may additionally read the on-site input directly. Shared by
+/// [`JobController`] and the fleet-level `ConductorService`.
+pub(crate) fn scheduler_for_plan(
+    plan: &ExecutionPlan,
+    pool: &crate::resources::ResourcePool,
+) -> PlanFollowingScheduler {
+    let mut scheduler = PlanFollowingScheduler::new();
+    let location_map = ExecutionPlan::default_location_map();
+    let storages: Vec<DataLocation> = plan
+        .storage_mix()
+        .keys()
+        .filter_map(|name| location_map.get(name).copied())
+        .collect();
+    let computes: std::collections::BTreeSet<String> = plan
+        .intervals
+        .iter()
+        .flat_map(|p| p.nodes.keys().cloned())
+        .collect();
+    for compute in computes {
+        let is_local = pool
+            .compute_resource(&compute)
+            .map(|c| c.is_local)
+            .unwrap_or(false);
+        // Every compute resource may read its own disks...
+        scheduler.allow(
+            compute.clone(),
+            if is_local {
+                DataLocation::LocalDisk
+            } else {
+                DataLocation::InstanceDisk
+            },
+        );
+        if is_local {
+            // ...local nodes additionally read the on-site input directly.
+            scheduler.allow(compute.clone(), DataLocation::ClientSite);
+        }
+        // ...and the storage services the plan uses.
+        for loc in &storages {
+            scheduler.allow(compute.clone(), *loc);
+        }
+    }
+    scheduler
 }
 
 #[cfg(test)]
@@ -171,7 +216,7 @@ mod tests {
             time_limit: Duration::from_secs(30),
             ..Default::default()
         });
-        JobController::new(catalog, planner)
+        JobController::new(catalog, planner).unwrap()
     }
 
     #[test]
@@ -200,6 +245,31 @@ mod tests {
             outcome.execution.task_timeline.last().unwrap().1,
             outcome.execution.total_tasks
         );
+    }
+
+    #[test]
+    fn mismatched_planner_pool_is_rejected() {
+        let catalog = Catalog::aws_july_2011();
+        // Unknown compute resource.
+        let mut pool = ResourcePool::from_catalog(&catalog, 1.0);
+        pool.compute[0].name = "m9.mega".into();
+        let err = JobController::new(catalog.clone(), Planner::new(pool)).unwrap_err();
+        assert!(matches!(err, ConductorError::InvalidInput(_)));
+        assert!(err.to_string().contains("m9.mega"));
+        // Same name, different price: plans would cost something the engine
+        // disagrees with.
+        let mut pool = ResourcePool::from_catalog(&catalog, 1.0);
+        pool.compute[0].hourly_price *= 2.0;
+        let err = JobController::new(catalog.clone(), Planner::new(pool)).unwrap_err();
+        assert!(err.to_string().contains("disagrees with the catalog"));
+        // Unknown storage resource.
+        let mut pool = ResourcePool::from_catalog(&catalog, 1.0);
+        pool.storage[0].name = "S9".into();
+        let err = JobController::new(catalog.clone(), Planner::new(pool)).unwrap_err();
+        assert!(err.to_string().contains("S9"));
+        // A *restriction* of the catalog is fine.
+        let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+        assert!(JobController::new(catalog, Planner::new(pool)).is_ok());
     }
 
     #[test]

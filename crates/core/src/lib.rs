@@ -21,6 +21,10 @@
 //!    throughput, §5.4) and re-plans from the current state (Figure 12).
 //! 6. [`spot`] — bid predictors and the spot-market deployment simulation of
 //!    §6.5 (Figure 14).
+//! 7. [`service`] — the fleet view: [`service::ConductorService`] admits
+//!    many concurrent jobs on one shared discrete-event clock, planning
+//!    each against the residual capacity and a shared spot market, with
+//!    per-tenant billing and monitor-event adaptation.
 
 pub mod adapt;
 pub mod controller;
@@ -30,6 +34,7 @@ pub mod model;
 pub mod plan;
 pub mod planner;
 pub mod resources;
+pub mod service;
 pub mod spot;
 
 pub use adapt::{AdaptationReport, AdaptiveController};
@@ -40,4 +45,5 @@ pub use model::{InitialState, ModelConfig, ModelInstance};
 pub use plan::{ExecutionPlan, IntervalPlan};
 pub use planner::{Planner, PlanningReport};
 pub use resources::{ComputeResource, ResourcePool, StorageResource};
+pub use service::{ConductorService, FleetJobRequest, FleetReport, TenantOutcome};
 pub use spot::{BidPredictor, SpotDeploymentSimulator, SpotScenarioResult};

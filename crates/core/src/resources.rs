@@ -162,6 +162,19 @@ impl ResourcePool {
         self
     }
 
+    /// Caps the simultaneously allocatable nodes of one compute resource
+    /// (e.g. a fleet-wide EC2 allocation limit shared by all tenants).
+    /// Unknown names are ignored.
+    pub fn with_compute_cap(mut self, name: &str, cap: usize) -> Self {
+        if let Some(c) = self.compute.iter_mut().find(|c| c.name == name) {
+            c.max_nodes = Some(match c.max_nodes {
+                Some(existing) => existing.min(cap),
+                None => cap,
+            });
+        }
+        self
+    }
+
     /// Basic consistency checks: non-empty, positive uplink, storage ties
     /// resolve.
     pub fn validate(&self) -> Result<(), String> {

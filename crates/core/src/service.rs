@@ -1,0 +1,924 @@
+//! Fleet-level orchestration: the Conductor *service*.
+//!
+//! The paper frames Conductor as a service that orchestrates deployments
+//! for many customers; [`ConductorService`] is that fleet view. It admits N
+//! jobs with staggered arrivals onto one shared discrete-event clock
+//! (`conductor-sim`), plans each arrival against the **residual** capacity
+//! left by the jobs already running, prices every tenant against one shared
+//! [`SpotMarket`] and catalog, meters a per-tenant
+//! [`conductor_cloud::BillingAccount`] (rolled up into a fleet bill), and
+//! runs adaptation as periodic *monitor events* on the shared clock — a
+//! tenant that falls behind its plan is re-planned in place and its node
+//! schedule spliced mid-run, instead of restarting the world.
+//!
+//! Each tenant uploads over its own site uplink (tenants are distinct
+//! customers), but compute capacity, the spot market and the price catalog
+//! are shared — which is exactly where multi-tenant contention shows up:
+//! a late arrival plans against whatever allocation limit the earlier
+//! tenants left over.
+
+use crate::controller::scheduler_for_plan;
+use crate::error::ConductorError;
+use crate::goal::Goal;
+use crate::model::{InitialState, ModelConfig};
+use crate::plan::ExecutionPlan;
+use crate::planner::{Planner, PlanningReport};
+use crate::resources::{ResourcePool, REFERENCE_WORKLOAD_GBPH};
+use conductor_cloud::{Catalog, CostBreakdown, SpotMarket};
+use conductor_lp::SolveOptions;
+use conductor_mapreduce::cluster::nodes_at;
+use conductor_mapreduce::execution::{JobExecution, JobPhase, SessionPricing};
+use conductor_mapreduce::{JobSpec, NodeAllocation};
+use conductor_sim::{ProcessId, ProcessRegistry, Simulator, TIME_EPSILON};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One tenant's job submission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetJobRequest {
+    /// Tenant name (used as the deployment label and in the fleet report).
+    pub tenant: String,
+    /// The computation to deploy.
+    pub spec: JobSpec,
+    /// The tenant's optimization goal.
+    pub goal: Goal,
+    /// Fleet-clock hour at which the job arrives.
+    pub arrival_hours: f64,
+}
+
+impl FleetJobRequest {
+    /// Creates a request.
+    pub fn new(tenant: impl Into<String>, spec: JobSpec, goal: Goal, arrival_hours: f64) -> Self {
+        Self {
+            tenant: tenant.into(),
+            spec,
+            goal,
+            arrival_hours,
+        }
+    }
+}
+
+/// What happened to one tenant's job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub tenant: String,
+    /// Arrival hour on the fleet clock.
+    pub arrival_hours: f64,
+    /// `true` when the job was admitted (a plan existed under the residual
+    /// capacity at arrival).
+    pub admitted: bool,
+    /// Why admission failed, when it did.
+    pub rejection: Option<String>,
+    /// The plan the job was admitted under.
+    pub plan: Option<ExecutionPlan>,
+    /// Planning effort at admission.
+    pub planning: Option<PlanningReport>,
+    /// The measured execution (tenant-relative hours; the tenant's bill is
+    /// `execution.cost_breakdown`). `None` when the job was rejected at
+    /// admission; for a job that failed mid-run (`failure` set) this holds
+    /// the *partial* bill accrued up to the abort.
+    pub execution: Option<conductor_mapreduce::ExecutionReport>,
+    /// Why the admitted job failed to finish, when it did.
+    pub failure: Option<String>,
+    /// Fleet-clock hours at which the monitor re-planned this job.
+    pub replanned_at_hours: Vec<f64>,
+    /// Fleet-clock hour at which the job (including its result download)
+    /// completed.
+    pub finished_at_hours: Option<f64>,
+}
+
+/// The fleet-wide result of one service run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-tenant outcomes, in submission order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Sum of all tenant bills (USD), including partial bills of jobs
+    /// that failed mid-run.
+    pub fleet_cost: f64,
+    /// The provider-side roll-up of every tenant's cost breakdown.
+    pub fleet_breakdown: CostBreakdown,
+    /// Fleet-clock hour at which the last job completed.
+    pub makespan_hours: f64,
+    /// Jobs admitted.
+    pub jobs_admitted: usize,
+    /// Jobs that ran to completion.
+    pub jobs_completed: usize,
+    /// Completed jobs that met their deadline.
+    pub deadlines_met: usize,
+}
+
+impl FleetReport {
+    /// The outcome for a tenant by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantOutcome> {
+        self.tenants.iter().find(|t| t.tenant == name)
+    }
+}
+
+/// Events on the fleet clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FleetEvent {
+    /// Request `i` arrives and asks for admission.
+    Arrival(usize),
+    /// Wakeup for an admitted job's execution process.
+    Job(ProcessId),
+    /// Periodic progress check over every running job.
+    MonitorTick,
+}
+
+impl FleetEvent {
+    /// Arrivals settle first at a tick, then job state, then the monitor
+    /// observes (so it never sees a half-applied hour).
+    fn class(self) -> u8 {
+        match self {
+            FleetEvent::Arrival(_) => 0,
+            FleetEvent::Job(_) => 1,
+            FleetEvent::MonitorTick => 9,
+        }
+    }
+}
+
+/// One admitted, still-running job.
+struct ActiveJob {
+    request_idx: usize,
+    start: f64,
+    exec: JobExecution<'static>,
+    spec: JobSpec,
+    goal: Goal,
+    /// `(fleet_hour, cumulative expected map GB)` checkpoints the monitor
+    /// compares real progress against; rebuilt on every re-plan.
+    progress_model: Vec<(f64, f64)>,
+}
+
+/// The multi-tenant orchestration service.
+#[derive(Debug, Clone)]
+pub struct ConductorService {
+    catalog: Catalog,
+    pool: ResourcePool,
+    solve_options: SolveOptions,
+    spot_market: Option<SpotMarket>,
+    /// Hours between monitor ticks (1.0 = the paper's planning interval).
+    monitor_period_hours: f64,
+    /// Relative shortfall that triggers a re-plan: the monitor stays quiet
+    /// while observed progress is at least `(1 - tolerance)` of the plan's
+    /// projection. Covers the fluid model's structural optimism (task
+    /// granularity, upload trailing) so a *correct* prediction never
+    /// triggers a spurious re-plan.
+    monitor_tolerance: f64,
+    /// Safety margin subtracted from the remaining deadline when
+    /// re-planning (see `AdaptiveController::replan_margin_hours`).
+    replan_margin_hours: f64,
+    /// Fractional inflation of the remaining work at re-plan time.
+    monitor_conservatism: f64,
+}
+
+impl ConductorService {
+    /// Creates a service over a catalog and the fleet-wide resource pool.
+    ///
+    /// The pool's `max_nodes` caps are the *fleet* allocation limits every
+    /// tenant shares (use [`ResourcePool::with_compute_cap`] to set them);
+    /// arrivals are planned against whatever the running jobs leave over.
+    pub fn new(catalog: Catalog, pool: ResourcePool) -> Self {
+        Self {
+            catalog,
+            pool,
+            solve_options: SolveOptions {
+                relative_gap: 0.02,
+                max_nodes: 2_000,
+                time_limit: std::time::Duration::from_secs(30),
+                ..SolveOptions::default()
+            },
+            spot_market: None,
+            monitor_period_hours: 1.0,
+            monitor_tolerance: 0.25,
+            replan_margin_hours: 1.0,
+            monitor_conservatism: 0.15,
+        }
+    }
+
+    /// Replaces the solver options used for admission and re-planning.
+    pub fn with_solve_options(mut self, options: SolveOptions) -> Self {
+        self.solve_options = options;
+        self
+    }
+
+    /// Attaches a shared spot market: every tenant's rental sessions are
+    /// priced at the market's hourly price (capped at on-demand), and the
+    /// planner sees the same prices as per-interval expectations (eq. 6).
+    pub fn with_spot_market(mut self, market: SpotMarket) -> Self {
+        self.spot_market = Some(market);
+        self
+    }
+
+    /// Overrides the monitor cadence and re-plan trigger tolerance.
+    pub fn with_monitor(mut self, period_hours: f64, tolerance: f64) -> Self {
+        self.monitor_period_hours = period_hours.max(0.25);
+        self.monitor_tolerance = tolerance.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The fleet-wide resource pool.
+    pub fn pool(&self) -> &ResourcePool {
+        &self.pool
+    }
+
+    /// Admits and runs `requests` on one shared clock, returning the
+    /// per-tenant outcomes and the fleet roll-up. Individual admission
+    /// failures and job failures are reported per tenant, not as errors.
+    pub fn run(&self, requests: &[FleetJobRequest]) -> Result<FleetReport, ConductorError> {
+        self.pool.validate().map_err(ConductorError::InvalidInput)?;
+        for r in requests {
+            if !r.arrival_hours.is_finite() || r.arrival_hours < 0.0 {
+                return Err(ConductorError::InvalidInput(format!(
+                    "tenant `{}` has invalid arrival hour {}",
+                    r.tenant, r.arrival_hours
+                )));
+            }
+        }
+
+        let mut sim: Simulator<FleetEvent> = Simulator::new();
+        let mut registry = ProcessRegistry::new();
+        let mut active: BTreeMap<ProcessId, ActiveJob> = BTreeMap::new();
+        let mut outcomes: Vec<TenantOutcome> = requests
+            .iter()
+            .map(|r| TenantOutcome {
+                tenant: r.tenant.clone(),
+                arrival_hours: r.arrival_hours,
+                admitted: false,
+                rejection: None,
+                plan: None,
+                planning: None,
+                execution: None,
+                failure: None,
+                replanned_at_hours: Vec::new(),
+                finished_at_hours: None,
+            })
+            .collect();
+
+        for (i, r) in requests.iter().enumerate() {
+            sim.schedule(
+                r.arrival_hours,
+                FleetEvent::Arrival(i).class(),
+                FleetEvent::Arrival(i),
+            );
+        }
+        let mut arrivals_pending = requests.len();
+        if let Some(first) = requests.iter().map(|r| r.arrival_hours).reduce(f64::min) {
+            let tick = first + self.monitor_period_hours;
+            sim.schedule(
+                tick,
+                FleetEvent::MonitorTick.class(),
+                FleetEvent::MonitorTick,
+            );
+        }
+
+        let mut batch = Vec::new();
+        let mut last_hour = 0.0f64;
+        while let Some(now) = sim.pop_due(&mut batch) {
+            last_hour = now;
+            let mut woken: BTreeSet<ProcessId> = BTreeSet::new();
+            for event in batch.drain(..) {
+                match event {
+                    FleetEvent::Arrival(i) => {
+                        arrivals_pending -= 1;
+                        if let Some((job, initial)) =
+                            self.admit(i, &requests[i], now, &active, &mut outcomes[i])
+                        {
+                            let pid = registry.register();
+                            for (t, _) in initial {
+                                sim.schedule(
+                                    now + t,
+                                    FleetEvent::Job(pid).class(),
+                                    FleetEvent::Job(pid),
+                                );
+                            }
+                            active.insert(pid, job);
+                        }
+                    }
+                    FleetEvent::Job(pid) => {
+                        if !woken.insert(pid) {
+                            continue; // already advanced at this instant
+                        }
+                        self.wake_job(pid, now, &mut sim, &mut active, &mut outcomes);
+                    }
+                    FleetEvent::MonitorTick => {
+                        self.monitor(now, &mut sim, &mut active, &mut outcomes);
+                        if !active.is_empty() || arrivals_pending > 0 {
+                            let next = now + self.monitor_period_hours;
+                            sim.schedule(
+                                next,
+                                FleetEvent::MonitorTick.class(),
+                                FleetEvent::MonitorTick,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Any job still active when the heap drained is stuck; its accrued
+        // spend still belongs on the fleet bill.
+        for (_, job) in active {
+            let rel = (last_hour - job.start).max(0.0);
+            let o = &mut outcomes[job.request_idx];
+            o.failure = Some("job stalled: no further events pending".into());
+            o.execution = Some(job.exec.abort(rel));
+        }
+
+        let mut fleet_breakdown = CostBreakdown::default();
+        let mut fleet_cost = 0.0;
+        let mut makespan: f64 = 0.0;
+        let mut completed = 0;
+        let mut deadlines_met = 0;
+        for o in &outcomes {
+            if let Some(exec) = &o.execution {
+                // Aborted jobs carry a partial bill: real spend either way.
+                fleet_cost += exec.total_cost;
+                fleet_breakdown.absorb(&exec.cost_breakdown);
+                if o.failure.is_none() {
+                    completed += 1;
+                    if exec.met_deadline == Some(true) {
+                        deadlines_met += 1;
+                    }
+                }
+            }
+            if let Some(t) = o.finished_at_hours {
+                makespan = makespan.max(t);
+            }
+        }
+        let jobs_admitted = outcomes.iter().filter(|o| o.admitted).count();
+        Ok(FleetReport {
+            tenants: outcomes,
+            fleet_cost,
+            fleet_breakdown,
+            makespan_hours: makespan,
+            jobs_admitted,
+            jobs_completed: completed,
+            deadlines_met,
+        })
+    }
+
+    /// Plans one arrival against the residual capacity and, on success,
+    /// builds its execution process. Returns `None` (after recording the
+    /// rejection) when no feasible plan exists.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        request_idx: usize,
+        request: &FleetJobRequest,
+        now: f64,
+        active: &BTreeMap<ProcessId, ActiveJob>,
+        outcome: &mut TenantOutcome,
+    ) -> Option<(ActiveJob, Vec<(f64, conductor_mapreduce::JobEvent)>)> {
+        let residual = self.residual_pool(now, active, None);
+        if let Err(reason) = residual.validate() {
+            outcome.rejection = Some(format!("no residual capacity: {reason}"));
+            return None;
+        }
+        let planner = Planner::new(residual.clone()).with_solve_options(self.solve_options.clone());
+        let config = ModelConfig {
+            price_forecast: self.price_forecast(now, request.goal.horizon_hours()),
+            ..ModelConfig::default()
+        };
+        let (plan, planning) = match planner.plan_with_config(&request.spec, request.goal, &config)
+        {
+            Ok(result) => result,
+            Err(e) => {
+                outcome.rejection = Some(format!("admission planning failed: {e}"));
+                return None;
+            }
+        };
+
+        let options = plan.to_deployment_options(
+            request.tenant.clone(),
+            self.pool.uplink_gbph,
+            request.goal.deadline_hours(),
+            &ExecutionPlan::default_location_map(),
+        );
+        let scheduler = scheduler_for_plan(&plan, &self.pool);
+        let pricing = match &self.spot_market {
+            Some(market) => SessionPricing::Spot {
+                market: market.clone(),
+                start_offset_hours: now,
+            },
+            None => SessionPricing::OnDemand,
+        };
+        let exec = match JobExecution::new(
+            &self.catalog,
+            &request.spec,
+            options,
+            Box::new(scheduler),
+            pricing,
+        ) {
+            Ok(exec) => exec,
+            Err(e) => {
+                outcome.rejection = Some(format!("deployment rejected: {e}"));
+                return None;
+            }
+        };
+
+        outcome.admitted = true;
+        outcome.plan = Some(plan.clone());
+        outcome.planning = Some(planning);
+        let progress_model = progress_checkpoints(now, 0.0, &plan);
+        let initial = exec.initial_events();
+        Some((
+            ActiveJob {
+                request_idx,
+                start: now,
+                exec,
+                spec: request.spec.clone(),
+                goal: request.goal,
+                progress_model,
+            },
+            initial,
+        ))
+    }
+
+    /// Advances one job's execution process at fleet hour `now`, handling
+    /// completion, the max-hours cap and stuck detection.
+    fn wake_job(
+        &self,
+        pid: ProcessId,
+        now: f64,
+        sim: &mut Simulator<FleetEvent>,
+        active: &mut BTreeMap<ProcessId, ActiveJob>,
+        outcomes: &mut [TenantOutcome],
+    ) {
+        let Some(job) = active.get_mut(&pid) else {
+            return; // already finished or failed
+        };
+        let rel = (now - job.start).max(0.0);
+        if matches!(job.exec.phase(), JobPhase::Processing) && rel > job.exec.max_hours() {
+            let job = active.remove(&pid).expect("job present");
+            let o = &mut outcomes[job.request_idx];
+            o.failure = Some(format!(
+                "did not finish within {} simulated hours ({} tasks done)",
+                job.exec.max_hours(),
+                job.exec.completed_tasks()
+            ));
+            o.execution = Some(job.exec.abort(rel));
+            return;
+        }
+        let follow_ups = job.exec.on_wakeup(rel);
+        for (t, _) in follow_ups {
+            sim.schedule(
+                job.start + t,
+                FleetEvent::Job(pid).class(),
+                FleetEvent::Job(pid),
+            );
+        }
+        if job.exec.is_done() {
+            let job = active.remove(&pid).expect("job present");
+            let o = &mut outcomes[job.request_idx];
+            let report = job.exec.into_report();
+            o.finished_at_hours = Some(job.start + report.completion_hours);
+            o.execution = Some(report);
+        } else if matches!(job.exec.phase(), JobPhase::Processing)
+            && job.exec.next_event_hours(rel).is_none()
+        {
+            let job = active.remove(&pid).expect("job present");
+            let o = &mut outcomes[job.request_idx];
+            o.failure = Some(format!(
+                "job stuck at hour {rel:.2}: nothing running and nothing scheduled"
+            ));
+            o.execution = Some(job.exec.abort(rel));
+        }
+    }
+
+    /// The periodic monitor: compares every running job's observed map
+    /// progress against its plan's projection and re-plans laggards in
+    /// place, splicing the updated node schedule into the live deployment.
+    fn monitor(
+        &self,
+        now: f64,
+        sim: &mut Simulator<FleetEvent>,
+        active: &mut BTreeMap<ProcessId, ActiveJob>,
+        outcomes: &mut [TenantOutcome],
+    ) {
+        let pids: Vec<ProcessId> = active.keys().copied().collect();
+        for pid in pids {
+            let (rel, deadline, expected, progress) = {
+                let job = active.get(&pid).expect("active job present");
+                if !matches!(job.exec.phase(), JobPhase::Processing) {
+                    continue;
+                }
+                let rel = now - job.start;
+                if rel <= TIME_EPSILON {
+                    continue;
+                }
+                let Some(deadline) = job.exec.options().deadline_hours else {
+                    continue; // nothing to protect
+                };
+                let expected = expected_progress(&job.progress_model, now);
+                (rel, deadline, expected, job.exec.progress(rel))
+            };
+            let on_track = expected <= 0.0
+                || progress.map_done_gb + 1e-6 >= (1.0 - self.monitor_tolerance) * expected;
+            if on_track {
+                continue;
+            }
+            // Too late to act? Leave the schedule alone and let it ride.
+            if deadline - rel <= self.replan_margin_hours + 1.0 {
+                continue;
+            }
+            // Observed per-node throughput over the hours actually fielded.
+            if progress.allocated_node_hours <= TIME_EPSILON {
+                continue;
+            }
+            let observed_gbph = progress.map_done_gb / progress.allocated_node_hours;
+            if observed_gbph <= 0.0 {
+                continue;
+            }
+            self.replan_job(
+                pid,
+                now,
+                rel,
+                deadline,
+                observed_gbph,
+                sim,
+                active,
+                outcomes,
+            );
+        }
+    }
+
+    /// Re-plans one lagging job from its observed state with the observed
+    /// throughput, against the residual capacity the *other* jobs leave.
+    #[allow(clippy::too_many_arguments)]
+    fn replan_job(
+        &self,
+        pid: ProcessId,
+        now: f64,
+        rel: f64,
+        deadline: f64,
+        observed_gbph: f64,
+        sim: &mut Simulator<FleetEvent>,
+        active: &mut BTreeMap<ProcessId, ActiveJob>,
+        outcomes: &mut [TenantOutcome],
+    ) {
+        let (spec, goal, progress) = {
+            let job = active.get(&pid).expect("active job present");
+            (job.spec.clone(), job.goal, job.exec.progress(rel))
+        };
+
+        // Corrected capacities in reference-workload units (mirrors
+        // `AdaptiveController::pool_with_throughput`).
+        let reference_units = if spec.reference_throughput_gbph > 0.0 {
+            observed_gbph * (REFERENCE_WORKLOAD_GBPH / spec.reference_throughput_gbph)
+        } else {
+            observed_gbph
+        };
+        let mut residual = self.residual_pool(now, active, Some(pid));
+        for c in &mut residual.compute {
+            c.capacity_gbph = reference_units;
+        }
+        if residual.validate().is_err() {
+            return;
+        }
+
+        // Observed state, with the conservatism the fluid model needs.
+        let mut initial = InitialState::default();
+        let location_names = location_to_storage_names();
+        for (loc, gb) in &progress.stored_gb {
+            if let Some(name) = location_names.get(loc) {
+                initial.stored_gb.insert(name.to_string(), *gb);
+            }
+        }
+        let remaining = (spec.input_gb - progress.map_done_gb).max(0.0);
+        initial.map_done_gb =
+            (spec.input_gb - remaining * (1.0 + self.monitor_conservatism)).max(0.0);
+
+        let remaining_goal = match goal {
+            Goal::MinimizeCost { .. } => Goal::MinimizeCost {
+                deadline_hours: (deadline - rel - self.replan_margin_hours).max(1.0),
+            },
+            Goal::MinimizeTime {
+                budget_usd,
+                max_hours,
+            } => Goal::MinimizeTime {
+                budget_usd,
+                max_hours: (max_hours - rel - self.replan_margin_hours).max(1.0),
+            },
+        };
+        let config = ModelConfig {
+            initial,
+            price_forecast: self.price_forecast(now, remaining_goal.horizon_hours()),
+            ..ModelConfig::default()
+        };
+        let planner = Planner::new(residual).with_solve_options(self.solve_options.clone());
+        let Ok((updated, _)) = planner.plan_with_config(&spec, remaining_goal, &config) else {
+            return; // keep the current schedule; the next tick may retry
+        };
+
+        let job = active.get_mut(&pid).expect("active job present");
+        let new_steps: Vec<NodeAllocation> = updated
+            .node_schedule()
+            .into_iter()
+            .map(|mut step| {
+                step.from_hour += rel;
+                step
+            })
+            .collect();
+        let wakeups = job.exec.splice_node_schedule(rel, rel, new_steps);
+        for (t, _) in wakeups {
+            sim.schedule(
+                job.start + t,
+                FleetEvent::Job(pid).class(),
+                FleetEvent::Job(pid),
+            );
+        }
+        // Wake the job at the splice point so an immediate scale-up at
+        // `rel` takes effect without waiting for the next old event.
+        sim.schedule(now, FleetEvent::Job(pid).class(), FleetEvent::Job(pid));
+        job.progress_model = progress_checkpoints(now, progress.map_done_gb, &updated);
+        outcomes[job.request_idx].replanned_at_hours.push(now);
+    }
+
+    /// The capacity left over at fleet hour `at` once every active job's
+    /// future node commitments are subtracted, excluding `exclude` (used
+    /// when re-planning that job: its own schedule is about to be
+    /// replaced).
+    fn residual_pool(
+        &self,
+        at: f64,
+        active: &BTreeMap<ProcessId, ActiveJob>,
+        exclude: Option<ProcessId>,
+    ) -> ResourcePool {
+        let mut pool = self.pool.clone();
+        // Sample the fleet commitment at `at` and at every future schedule
+        // step of any running job; the peak over those samples is what a
+        // new plan can never have.
+        let mut sample_points: Vec<f64> = vec![at];
+        for (pid, job) in active {
+            if Some(*pid) == exclude {
+                continue;
+            }
+            for step in job.exec.node_schedule() {
+                let abs = job.start + step.from_hour;
+                if abs > at + TIME_EPSILON {
+                    sample_points.push(abs);
+                }
+            }
+        }
+        for c in &mut pool.compute {
+            let Some(cap) = c.max_nodes else {
+                continue; // uncapped resources have no contention
+            };
+            let mut peak = 0usize;
+            for &p in &sample_points {
+                let mut committed = 0usize;
+                for (pid, job) in active {
+                    if Some(*pid) == exclude {
+                        continue;
+                    }
+                    committed += nodes_at(job.exec.node_schedule(), &c.name, p - job.start);
+                }
+                peak = peak.max(committed);
+            }
+            c.max_nodes = Some(cap.saturating_sub(peak));
+        }
+        pool
+    }
+
+    /// Per-interval price expectations from the shared spot market (empty
+    /// when the fleet buys on-demand).
+    fn price_forecast(&self, now: f64, horizon: usize) -> BTreeMap<String, Vec<f64>> {
+        let mut forecast = BTreeMap::new();
+        if let Some(market) = &self.spot_market {
+            let start = now.floor().max(0.0) as usize;
+            for c in &self.pool.compute {
+                if !c.is_local {
+                    forecast.insert(c.name.clone(), market.price_forecast(start, horizon));
+                }
+            }
+        }
+        forecast
+    }
+}
+
+/// `(fleet_hour, cumulative expected map GB)` checkpoints implied by a
+/// plan starting at `start` with `done_gb` of the input already processed.
+fn progress_checkpoints(start: f64, done_gb: f64, plan: &ExecutionPlan) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(plan.intervals.len());
+    let mut cum = done_gb;
+    for (k, interval) in plan.intervals.iter().enumerate() {
+        cum += interval.map_gb;
+        out.push((start + (k as f64 + 1.0) * plan.interval_hours, cum));
+    }
+    out
+}
+
+/// Expected cumulative map progress at fleet hour `now` (the last fully
+/// elapsed checkpoint; zero before the first).
+fn expected_progress(checkpoints: &[(f64, f64)], now: f64) -> f64 {
+    checkpoints
+        .iter()
+        .take_while(|(h, _)| *h <= now + TIME_EPSILON)
+        .last()
+        .map(|(_, gb)| *gb)
+        .unwrap_or(0.0)
+}
+
+/// Inverse of [`ExecutionPlan::default_location_map`]: engine locations
+/// back to pool storage-resource names, for building re-planning state.
+fn location_to_storage_names() -> BTreeMap<conductor_mapreduce::DataLocation, &'static str> {
+    use conductor_mapreduce::DataLocation;
+    let mut m = BTreeMap::new();
+    m.insert(DataLocation::S3, "S3");
+    m.insert(DataLocation::InstanceDisk, "EC2-disk");
+    m.insert(DataLocation::LocalDisk, "local-disk");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conductor_cloud::SpotTrace;
+    use conductor_mapreduce::Workload;
+    use std::time::Duration;
+
+    fn fast_options() -> SolveOptions {
+        SolveOptions {
+            relative_gap: 0.02,
+            max_nodes: 2_000,
+            time_limit: Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    fn service(cap: usize) -> ConductorService {
+        let catalog = Catalog::aws_july_2011();
+        let pool = ResourcePool::from_catalog(&catalog, 1.0)
+            .with_compute_only(&["m1.large"])
+            .with_compute_cap("m1.large", cap);
+        ConductorService::new(catalog, pool).with_solve_options(fast_options())
+    }
+
+    fn request(tenant: &str, arrival: f64, deadline: f64) -> FleetJobRequest {
+        FleetJobRequest::new(
+            tenant,
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+            arrival,
+        )
+    }
+
+    #[test]
+    fn single_job_fleet_matches_job_controller() {
+        // A one-tenant fleet with ample capacity behaves exactly like the
+        // single-job controller pipeline: same planner inputs, same engine.
+        let svc = service(200);
+        let report = svc.run(&[request("solo", 0.0, 6.0)]).unwrap();
+        assert_eq!(report.jobs_admitted, 1);
+        assert_eq!(report.jobs_completed, 1);
+        let solo = report.tenant("solo").unwrap();
+        let exec = solo.execution.as_ref().unwrap();
+        assert_eq!(exec.met_deadline, Some(true));
+        assert!(
+            solo.replanned_at_hours.is_empty(),
+            "monitor should stay quiet"
+        );
+
+        let catalog = Catalog::aws_july_2011();
+        let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+        let ctl = crate::controller::JobController::new(
+            catalog,
+            Planner::new(pool).with_solve_options(fast_options()),
+        )
+        .unwrap();
+        let outcome = ctl
+            .run(
+                &Workload::KMeans32Gb.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 6.0,
+                },
+            )
+            .unwrap();
+        assert!((exec.total_cost - outcome.execution.total_cost).abs() < 1e-9);
+        assert!((exec.completion_hours - outcome.execution.completion_hours).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_capacity_shrinks_under_load() {
+        let svc = service(20);
+        let mut active = BTreeMap::new();
+        let residual = svc.residual_pool(0.0, &active, None);
+        assert_eq!(
+            residual.compute_resource("m1.large").unwrap().max_nodes,
+            Some(20)
+        );
+        // Admit one job and check the leftover.
+        let mut outcome = TenantOutcome {
+            tenant: "a".into(),
+            arrival_hours: 0.0,
+            admitted: false,
+            rejection: None,
+            plan: None,
+            planning: None,
+            execution: None,
+            failure: None,
+            replanned_at_hours: Vec::new(),
+            finished_at_hours: None,
+        };
+        let (job, _) = svc
+            .admit(0, &request("a", 0.0, 6.0), 0.0, &active, &mut outcome)
+            .expect("admission succeeds");
+        let peak: usize = job
+            .exec
+            .node_schedule()
+            .iter()
+            .map(|s| s.nodes)
+            .max()
+            .unwrap_or(0);
+        assert!(peak > 0);
+        active.insert(ProcessId(0), job);
+        let residual = svc.residual_pool(0.0, &active, None);
+        assert_eq!(
+            residual.compute_resource("m1.large").unwrap().max_nodes,
+            Some(20 - peak)
+        );
+        // Excluding the job restores the full fleet cap.
+        let residual = svc.residual_pool(0.0, &active, Some(ProcessId(0)));
+        assert_eq!(
+            residual.compute_resource("m1.large").unwrap().max_nodes,
+            Some(20)
+        );
+    }
+
+    #[test]
+    fn oversubscribed_arrival_is_rejected_with_reason() {
+        // Fleet cap so small the second arrival cannot plan at all.
+        let svc = service(16);
+        let report = svc
+            .run(&[request("first", 0.0, 6.0), request("second", 0.5, 6.0)])
+            .unwrap();
+        let first = report.tenant("first").unwrap();
+        assert!(first.admitted);
+        let second = report.tenant("second").unwrap();
+        assert!(!second.admitted);
+        assert!(second
+            .rejection
+            .as_deref()
+            .unwrap()
+            .contains("planning failed"));
+        // The fleet bill only covers the admitted tenant.
+        assert!((report.fleet_cost - first.execution.as_ref().unwrap().total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_spot_market_lowers_every_tenants_bill() {
+        let on_demand = service(100);
+        let spot = service(100).with_spot_market(SpotMarket::new(
+            SpotTrace::electricity_like(17, 24 * 10),
+            0.34,
+        ));
+        let requests = [request("a", 0.0, 6.0), request("b", 1.0, 7.0)];
+        let regular = on_demand.run(&requests).unwrap();
+        let discounted = spot.run(&requests).unwrap();
+        assert_eq!(discounted.jobs_completed, 2);
+        for tenant in ["a", "b"] {
+            let r = regular.tenant(tenant).unwrap().execution.as_ref().unwrap();
+            let d = discounted
+                .tenant(tenant)
+                .unwrap()
+                .execution
+                .as_ref()
+                .unwrap();
+            assert!(
+                d.total_cost < r.total_cost,
+                "{tenant}: spot {} vs on-demand {}",
+                d.total_cost,
+                r.total_cost
+            );
+        }
+        assert!(discounted.fleet_cost < regular.fleet_cost);
+    }
+
+    #[test]
+    fn progress_checkpoints_accumulate_and_sample() {
+        let plan = ExecutionPlan {
+            interval_hours: 1.0,
+            intervals: vec![
+                crate::plan::IntervalPlan {
+                    map_gb: 4.0,
+                    ..Default::default()
+                },
+                crate::plan::IntervalPlan {
+                    map_gb: 6.0,
+                    ..Default::default()
+                },
+            ],
+            expected_cost: 0.0,
+            expected_completion_hours: 2.0,
+            proven_optimal: true,
+        };
+        let cps = progress_checkpoints(2.0, 1.0, &plan);
+        assert_eq!(cps, vec![(3.0, 5.0), (4.0, 11.0)]);
+        assert_eq!(expected_progress(&cps, 2.5), 0.0);
+        assert_eq!(expected_progress(&cps, 3.0), 5.0);
+        assert_eq!(expected_progress(&cps, 10.0), 11.0);
+    }
+}

@@ -10,7 +10,7 @@
 //! The solver hot path is built around three reuse layers (see
 //! [`crate::simplex`]): one [`StandardFormSkeleton`] for the whole tree, one
 //! [`SimplexWorkspace`] reused by every node, and parent-basis warm starts
-//! threaded through [`Node::basis`]. Hit/miss counts land in
+//! threaded through each node's saved basis. Hit/miss counts land in
 //! [`SolveStats::warm_start_hits`] / [`SolveStats::warm_start_misses`] so
 //! benchmarks can verify the warm-start rate.
 

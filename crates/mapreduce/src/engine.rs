@@ -6,17 +6,23 @@
 //! meters every chargeable operation through a
 //! [`conductor_cloud::BillingAccount`] and records the task-completion and
 //! node-allocation timelines plotted in Figure 12.
+//!
+//! Since the event-kernel refactor the engine is a thin driver: all job
+//! state lives in a [`crate::execution::JobExecution`] process advanced by
+//! wakeups on a private [`conductor_sim::Simulator`]. The fleet-level
+//! service in `conductor-core` reuses the same process type to run many
+//! jobs on one shared clock.
 
-use crate::cluster::{nodes_at, Cluster, NodeAllocation, NodeId};
+use crate::cluster::NodeAllocation;
+use crate::execution::{JobEvent, JobExecution, JobPhase, SessionPricing};
 use crate::scheduler::Scheduler;
-use crate::task::{build_tasks, TaskKind, TaskState};
 use crate::workload::JobSpec;
-use conductor_cloud::{BillingAccount, Catalog, CostBreakdown, TransferDirection};
+use conductor_cloud::{Catalog, CostBreakdown};
+use conductor_sim::Simulator;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Where a piece of data currently lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DataLocation {
     /// The customer's own site (input source / output destination).
     ClientSite,
@@ -163,28 +169,6 @@ pub struct Engine {
     catalog: Catalog,
 }
 
-/// A split of the input data with its upload destination and availability time.
-#[derive(Debug, Clone, Copy)]
-struct Split {
-    location: DataLocation,
-    available_at: f64,
-    gb: f64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Running {
-    task_idx: usize,
-    node: NodeId,
-    finish_at: f64,
-    /// WAN gigabytes consumed by this task (remote reads from the client site).
-    wan_gb: f64,
-    /// GET requests against S3 issued by this task.
-    s3_gets: u64,
-    /// `true` when the task ran on a rented cloud node (its share of the
-    /// output will have to be downloaded over the WAN).
-    on_cloud_node: bool,
-}
-
 impl Engine {
     /// Creates an engine over a service catalog.
     pub fn new(catalog: Catalog) -> Self {
@@ -198,457 +182,66 @@ impl Engine {
 
     /// Simulates one deployment of `spec` under `options`, with `scheduler`
     /// deciding task placement.
+    ///
+    /// The run is a standard discrete-event loop: the job seeds the kernel
+    /// with its upload/schedule wakeups, and every popped batch advances the
+    /// [`JobExecution`] process (retire finishes, reconcile the cluster,
+    /// dispatch tasks) until the download completes.
     pub fn run(
         &self,
         spec: &JobSpec,
         options: &DeploymentOptions,
         scheduler: &dyn Scheduler,
     ) -> Result<ExecutionReport, EngineError> {
-        self.validate(options)?;
-
-        let mut billing = BillingAccount::new(self.catalog.transfer);
-        let mut cluster = Cluster::new();
-        let mut sessions: BTreeMap<NodeId, u64> = BTreeMap::new();
-
-        // ---- Build tasks and the split upload timetable.
-        let mut tasks = build_tasks(
-            spec.map_tasks(),
-            spec.input_gb,
-            spec.reduce_tasks,
-            spec.shuffle_gb(),
-        );
-        let splits = self.plan_splits(spec, options);
-        // Only data headed for *cloud* storage crosses the customer uplink;
-        // splits assigned to the local cluster's disks move over the LAN.
-        let crosses_wan =
-            |loc: DataLocation| matches!(loc, DataLocation::S3 | DataLocation::InstanceDisk);
-        let upload_done_at = splits
-            .iter()
-            .filter(|s| crosses_wan(s.location))
-            .map(|s| s.available_at)
-            .fold(0.0, f64::max);
-        let uploaded_gb: f64 = splits
-            .iter()
-            .filter(|s| crosses_wan(s.location))
-            .map(|s| s.gb)
-            .sum();
-        let s3_gb: f64 = splits
-            .iter()
-            .filter(|s| s.location == DataLocation::S3)
-            .map(|s| s.gb)
-            .sum();
-
-        // Input transferred into the cloud during the upload phase is billed
-        // immediately (it crosses the WAN exactly once).
-        if uploaded_gb > 0.0 {
-            billing.record_transfer(uploaded_gb, TransferDirection::In);
-        }
-
-        let mut running: Vec<Running> = Vec::new();
-        let mut task_timeline: Vec<(f64, usize)> = Vec::new();
-        let mut completed = 0usize;
-        let mut map_remaining = spec.map_tasks();
-        let mut wan_in_extra = 0.0f64;
-        let mut total_s3_gets: u64 = 0;
-        let mut cloud_processed_gb = 0.0f64;
-        let mut now = 0.0f64;
-        let mut phases = PhaseBreakdown {
-            upload_hours: upload_done_at,
-            ..Default::default()
-        };
-
-        // Event horizon candidates: schedule steps and split availabilities.
-        let mut schedule_points: Vec<f64> =
-            options.node_schedule.iter().map(|a| a.from_hour).collect();
-        schedule_points.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        schedule_points.dedup();
-
-        loop {
-            // 1. Reconcile cluster membership with the schedule at `now`.
-            self.reconcile_cluster(
-                options,
-                now,
-                &mut cluster,
-                &mut sessions,
-                &mut billing,
-                &running,
-            );
-
-            // 2. Dispatch runnable tasks onto idle nodes.
-            let upload_gate_open =
-                !options.upload_before_processing || now >= upload_done_at - 1e-9;
-            let busy: Vec<NodeId> = running.iter().map(|r| r.node).collect();
-            let idle_nodes: Vec<NodeId> = cluster
-                .nodes()
-                .iter()
-                .map(|n| n.id)
-                .filter(|id| !busy.contains(id))
-                .collect();
-
-            for node_id in idle_nodes {
-                let node = cluster
-                    .node(node_id)
-                    .expect("idle node still in cluster")
-                    .clone();
-                // Find the best dispatchable task for this node.
-                let mut best: Option<(usize, DataLocation, i32)> = None;
-                for (idx, task) in tasks.iter().enumerate() {
-                    if !matches!(task.state, TaskState::WaitingForData | TaskState::Runnable) {
-                        continue;
-                    }
-                    let location = match task.kind {
-                        TaskKind::Map => {
-                            if !upload_gate_open {
-                                continue;
-                            }
-                            let split = &splits[idx.min(splits.len().saturating_sub(1))];
-                            if split.location == DataLocation::ClientSite {
-                                DataLocation::ClientSite
-                            } else if now + 1e-9 >= split.available_at {
-                                split.location
-                            } else {
-                                continue; // not yet uploaded
-                            }
-                        }
-                        TaskKind::Reduce => {
-                            if map_remaining > 0 {
-                                continue; // barrier: reduce starts after all maps
-                            }
-                            if node.is_local {
-                                DataLocation::LocalDisk
-                            } else {
-                                DataLocation::InstanceDisk
-                            }
-                        }
-                    };
-                    if !scheduler.may_run(task, location, &node) {
-                        continue;
-                    }
-                    let pref = scheduler.preference(location, &node);
-                    if best.is_none_or(|(_, _, b)| pref > b) {
-                        best = Some((idx, location, pref));
-                    }
-                }
-                if let Some((idx, location, _)) = best {
-                    let rate = self.effective_rate(&node, location, options, cluster.len(), spec);
-                    if rate <= 0.0 {
-                        continue;
-                    }
-                    let data_gb = tasks[idx].data_gb;
-                    let duration = data_gb / rate;
-                    // A remote read crosses the WAN only when a *cloud* node
-                    // pulls data from the customer site.
-                    let wan_gb = if location == DataLocation::ClientSite && !node.is_local {
-                        data_gb
-                    } else {
-                        0.0
-                    };
-                    let s3_gets = if location == DataLocation::S3 {
-                        (data_gb * 1024.0 / options.object_size_mb).ceil() as u64
-                    } else {
-                        0
-                    };
-                    tasks[idx].state = TaskState::Running {
-                        node: node_id,
-                        finish_at: now + duration,
-                    };
-                    running.push(Running {
-                        task_idx: idx,
-                        node: node_id,
-                        finish_at: now + duration,
-                        wan_gb,
-                        s3_gets,
-                        on_cloud_node: !node.is_local,
-                    });
-                }
-            }
-
-            // 3. Determine the next event.
-            let next_finish = running
-                .iter()
-                .map(|r| r.finish_at)
-                .fold(f64::INFINITY, f64::min);
-            let next_schedule = schedule_points
-                .iter()
-                .copied()
-                .filter(|&t| t > now + 1e-9)
-                .fold(f64::INFINITY, f64::min);
-            let next_split = splits
-                .iter()
-                .filter(|s| s.location != DataLocation::ClientSite && s.available_at > now + 1e-9)
-                .map(|s| s.available_at)
-                .fold(f64::INFINITY, f64::min);
-            let next_event = next_finish.min(next_schedule).min(next_split);
-
-            if completed == tasks.len() {
-                break;
-            }
-            if !next_event.is_finite() {
-                // Nothing is running and nothing will change: the job is stuck.
-                return Err(EngineError::DidNotFinish {
-                    simulated_hours: now,
-                    completed_tasks: completed,
-                });
-            }
-            if next_event > options.max_hours {
-                return Err(EngineError::DidNotFinish {
-                    simulated_hours: options.max_hours,
-                    completed_tasks: completed,
-                });
-            }
-            now = next_event;
-
-            // 4. Retire tasks finishing at `now`.
-            let mut still_running = Vec::with_capacity(running.len());
-            for r in running.drain(..) {
-                if r.finish_at <= now + 1e-9 {
-                    let idx = r.task_idx;
-                    tasks[idx].state = TaskState::Completed { at: r.finish_at };
-                    completed += 1;
-                    if tasks[idx].kind == TaskKind::Map {
-                        map_remaining -= 1;
-                        if map_remaining == 0 {
-                            phases.map_done_at = r.finish_at;
-                        }
-                    } else if completed == tasks.len() {
-                        phases.reduce_done_at = r.finish_at;
-                    }
-                    wan_in_extra += r.wan_gb;
-                    total_s3_gets += r.s3_gets;
-                    if r.on_cloud_node && tasks[idx].kind == TaskKind::Map {
-                        cloud_processed_gb += tasks[idx].data_gb;
-                    }
-                    task_timeline.push((r.finish_at, completed));
-                } else {
-                    still_running.push(r);
-                }
-            }
-            running = still_running;
-        }
-
-        // ---- Post-processing: result download, storage billing, teardown.
-        let processing_done = now;
-        // Only the share of the output produced in the cloud has to cross the
-        // WAN back to the customer.
-        let cloud_fraction = if spec.input_gb > 0.0 {
-            (cloud_processed_gb / spec.input_gb).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
-        let download_gb = spec.output_gb() * cloud_fraction;
-        phases.download_hours = if options.uplink_gbph > 0.0 {
-            download_gb / options.uplink_gbph
-        } else {
-            0.0
-        };
-        let completion = processing_done + phases.download_hours;
-
-        // WAN charges for remote reads and the result download.
-        if wan_in_extra > 0.0 {
-            billing.record_transfer(wan_in_extra, TransferDirection::In);
-        }
-        billing.record_transfer(download_gb, TransferDirection::Out);
-
-        // S3 residency: data sits on S3 from (roughly) the middle of its
-        // upload window until the job completes, plus the PUT/GET requests.
-        if s3_gb > 0.0 {
-            if let Some(s3) = self.catalog.storage("S3") {
-                let residency = (completion - upload_done_at / 2.0).max(0.0);
-                let puts = (s3_gb * 1024.0 / options.object_size_mb).ceil() as u64;
-                billing.record_storage(s3, s3_gb, residency, puts, total_s3_gets);
-            }
-        }
-        // Instance-disk and local-disk storage is free but recorded so the
-        // cost breakdown carries the category.
-        let disk_gb: f64 = splits
-            .iter()
-            .filter(|s| {
-                matches!(
-                    s.location,
-                    DataLocation::InstanceDisk | DataLocation::LocalDisk
-                )
-            })
-            .map(|s| s.gb)
-            .sum();
-        if disk_gb > 0.0 {
-            if let Some(disk) = self.catalog.storage("EC2-disk") {
-                billing.record_storage(disk, disk_gb, completion, 0, 0);
-            }
-        }
-
-        // Stop renting everything at the completion time.
-        for (_, session) in sessions {
-            billing.stop_instance(session, completion);
-        }
-
-        let met_deadline = options.deadline_hours.map(|d| completion <= d + 1e-9);
-        Ok(ExecutionReport {
-            name: options.name.clone(),
-            completion_hours: completion,
-            phases,
-            total_cost: billing.total_cost(),
-            cost_breakdown: billing.breakdown().clone(),
-            met_deadline,
-            task_timeline,
-            allocation_timeline: cluster.allocation_timeline().to_vec(),
-            total_tasks: tasks.len(),
-            wan_in_gb: billing.uploaded_gb,
-            wan_out_gb: billing.downloaded_gb,
-        })
+        let job = JobExecution::new(
+            &self.catalog,
+            spec,
+            options.clone(),
+            Box::new(scheduler),
+            SessionPricing::OnDemand,
+        )?;
+        drive_to_completion(job)
     }
+}
 
-    fn validate(&self, options: &DeploymentOptions) -> Result<(), EngineError> {
-        if options.uplink_gbph <= 0.0 {
-            return Err(EngineError::InvalidOptions(
-                "uplink bandwidth must be positive".into(),
-            ));
-        }
-        let frac: f64 = options.upload_plan.iter().map(|(_, f)| *f).sum();
-        if !(0.0..=1.0 + 1e-9).contains(&frac) {
-            return Err(EngineError::InvalidOptions(format!(
-                "upload fractions must sum to at most 1 (got {frac})"
-            )));
-        }
-        if options
-            .upload_plan
-            .iter()
-            .any(|(loc, _)| *loc == DataLocation::ClientSite)
-        {
-            return Err(EngineError::InvalidOptions(
-                "the client site is the upload source, not a destination".into(),
-            ));
-        }
-        for alloc in &options.node_schedule {
-            if self.catalog.instance(&alloc.instance_type).is_none() {
-                return Err(EngineError::InvalidOptions(format!(
-                    "unknown instance type `{}` in node schedule",
-                    alloc.instance_type
-                )));
-            }
-        }
-        Ok(())
-    }
-
-    /// Assigns each map split an upload destination and availability time.
-    ///
-    /// Splits are uploaded back to back over the uplink in the order of the
-    /// upload plan (e.g. "first roughly half to S3, then the rest to EC2
-    /// disks", as in the Figure 8 scenario); splits not covered by the plan
-    /// stay at the client site and are available immediately (for remote
-    /// reads).
-    fn plan_splits(&self, spec: &JobSpec, options: &DeploymentOptions) -> Vec<Split> {
-        let n = spec.map_tasks();
-        let split_gb = if n > 0 { spec.input_gb / n as f64 } else { 0.0 };
-        let mut splits = Vec::with_capacity(n);
-        let mut assigned = 0usize;
-        let mut elapsed = 0.0f64;
-        for (location, fraction) in &options.upload_plan {
-            let count = ((fraction * n as f64).round() as usize).min(n - assigned);
-            for _ in 0..count {
-                let available_at = if *location == DataLocation::LocalDisk {
-                    // Local-cluster disks are fed over the LAN, not the uplink.
-                    0.0
-                } else {
-                    elapsed += split_gb / options.uplink_gbph;
-                    elapsed
-                };
-                splits.push(Split {
-                    location: *location,
-                    available_at,
-                    gb: split_gb,
-                });
-            }
-            assigned += count;
-        }
-        for _ in assigned..n {
-            splits.push(Split {
-                location: DataLocation::ClientSite,
-                available_at: 0.0,
-                gb: split_gb,
+/// Drives one [`JobExecution`] on a private simulator until it finishes (or
+/// fails). Shared by [`Engine::run`] and the engine-level tests; the
+/// fleet-level service implements the same loop over many jobs at once.
+pub(crate) fn drive_to_completion(
+    mut job: JobExecution<'_>,
+) -> Result<ExecutionReport, EngineError> {
+    let mut sim: Simulator<JobEvent> = Simulator::new();
+    sim.schedule_all(
+        job.initial_events()
+            .into_iter()
+            .map(|(t, e)| (t, e.class(), e)),
+    );
+    let mut batch = Vec::new();
+    loop {
+        let Some(now) = sim.pop_due(&mut batch) else {
+            // Nothing is pending and the job never finished.
+            return Err(EngineError::DidNotFinish {
+                simulated_hours: sim.now(),
+                completed_tasks: job.completed_tasks(),
+            });
+        };
+        if matches!(job.phase(), JobPhase::Processing) && now > job.max_hours() {
+            return Err(EngineError::DidNotFinish {
+                simulated_hours: job.max_hours(),
+                completed_tasks: job.completed_tasks(),
             });
         }
-        splits
-    }
-
-    /// Effective processing rate of `node` for input at `location`, in GB/h.
-    /// Node throughputs are catalog figures calibrated on the reference
-    /// workload; they scale by `spec.throughput_scale()` for the workload at
-    /// hand — the same scaling the planner's capacity model applies, so
-    /// plans and simulated executions agree for non-reference workloads.
-    fn effective_rate(
-        &self,
-        node: &crate::cluster::SimNode,
-        location: DataLocation,
-        options: &DeploymentOptions,
-        cluster_size: usize,
-        spec: &JobSpec,
-    ) -> f64 {
-        let node_gbph = node.throughput_gbph * spec.throughput_scale();
-        match location {
-            DataLocation::InstanceDisk | DataLocation::LocalDisk => node_gbph,
-            DataLocation::S3 => node_gbph * options.s3_throughput_factor,
-            DataLocation::ClientSite => {
-                // Remote readers share the customer uplink.
-                let share = options.uplink_gbph / cluster_size.max(1) as f64;
-                node_gbph.min(share)
-            }
+        let follow_ups = job.on_wakeup(now);
+        sim.schedule_all(follow_ups.into_iter().map(|(t, e)| (t, e.class(), e)));
+        if job.is_done() {
+            return Ok(job.into_report());
         }
-    }
-
-    /// Adds/removes nodes so the cluster matches the schedule at time `now`,
-    /// opening and closing billing sessions accordingly. Busy nodes are never
-    /// removed; the reconciliation is retried at the next event.
-    fn reconcile_cluster(
-        &self,
-        options: &DeploymentOptions,
-        now: f64,
-        cluster: &mut Cluster,
-        sessions: &mut BTreeMap<NodeId, u64>,
-        billing: &mut BillingAccount,
-        running: &[Running],
-    ) {
-        let types: Vec<String> = options
-            .node_schedule
-            .iter()
-            .map(|a| a.instance_type.clone())
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        for itype_name in types {
-            let Some(itype) = self.catalog.instance(&itype_name) else {
-                continue;
-            };
-            let desired = nodes_at(&options.node_schedule, &itype_name, now);
-            let desired = match itype.max_instances {
-                Some(cap) => desired.min(cap),
-                None => desired,
-            };
-            let current = cluster.count_of(&itype_name);
-            if desired > current {
-                let ids = cluster.add_nodes(itype, desired - current, now);
-                for id in ids {
-                    sessions.insert(id, billing.start_instance(itype, now));
-                }
-            } else if desired < current {
-                // Remove idle nodes only (busy nodes finish their task first;
-                // the reconciliation is retried at the next event), newest
-                // first so long-lived nodes keep their data.
-                let busy: Vec<NodeId> = running.iter().map(|r| r.node).collect();
-                let idle_ids: Vec<NodeId> = cluster
-                    .nodes()
-                    .iter()
-                    .rev()
-                    .filter(|n| n.instance_type == itype_name && !busy.contains(&n.id))
-                    .map(|n| n.id)
-                    .take(current - desired)
-                    .collect();
-                let removed = cluster.remove_specific(&idle_ids, now);
-                for rid in removed {
-                    if let Some(session) = sessions.remove(&rid) {
-                        billing.stop_instance(session, now);
-                    }
-                }
-            }
+        if matches!(job.phase(), JobPhase::Processing) && job.next_event_hours(now).is_none() {
+            // Nothing is running and nothing will change: the job is stuck.
+            return Err(EngineError::DidNotFinish {
+                simulated_hours: now,
+                completed_tasks: job.completed_tasks(),
+            });
         }
     }
 }

@@ -1,0 +1,981 @@
+//! One job's execution as a process on the discrete-event kernel.
+//!
+//! [`JobExecution`] holds the full runtime state of one MapReduce
+//! deployment — tasks, splits, cluster membership, rental sessions and the
+//! tenant's [`BillingAccount`] — and advances it in response to *wakeups*
+//! scheduled on a [`conductor_sim::Simulator`]: split-upload completions,
+//! node-schedule steps, task finishes and the final result download. The
+//! single-job [`crate::engine::Engine`] drives one `JobExecution` on a
+//! private simulator; the fleet-level `ConductorService` in
+//! `conductor-core` drives many of them on one shared clock, which is what
+//! makes multi-job contention over a shared spot market and catalog
+//! possible.
+//!
+//! Events are deliberately *payload-free wakeups*: every handler decision
+//! (which splits are available, how many nodes the schedule wants, which
+//! tasks finished) is derived from the state and the current time, with the
+//! same `1e-9` tolerances the original monolithic loop used. That is what
+//! guarantees the event-driven execution reproduces the old engine's
+//! reports bit for bit.
+
+use crate::cluster::{nodes_at, Cluster, NodeAllocation, NodeId};
+use crate::engine::{
+    DataLocation, DeploymentOptions, EngineError, ExecutionReport, PhaseBreakdown,
+};
+use crate::scheduler::Scheduler;
+use crate::task::{build_tasks, Task, TaskKind, TaskState};
+use crate::workload::JobSpec;
+use conductor_cloud::{BillingAccount, Catalog, SpotMarket, TransferDirection};
+use std::collections::BTreeMap;
+
+/// Time tolerance for simultaneity, shared with the kernel.
+const EPS: f64 = conductor_sim::TIME_EPSILON;
+
+/// Wakeup kinds a job schedules for itself. All are pure wakeups — the
+/// handler re-derives what is due from state and time — so replaying them
+/// in any batching that respects time order yields identical executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// Initial wakeup at the job's (relative) hour zero.
+    Kickoff,
+    /// An input split finishes uploading around this time.
+    SplitAvailable,
+    /// The node-allocation schedule has a step around this time.
+    ScheduleChange,
+    /// A running task finishes around this time.
+    TaskFinish,
+    /// The result download completes; the job is finished.
+    DownloadDone,
+}
+
+impl JobEvent {
+    /// Deterministic ordering class among simultaneous events (data arrives
+    /// before allocation steps before task finishes before completion).
+    pub fn class(self) -> u8 {
+        match self {
+            JobEvent::Kickoff => 0,
+            JobEvent::SplitAvailable => 0,
+            JobEvent::ScheduleChange => 1,
+            JobEvent::TaskFinish => 2,
+            JobEvent::DownloadDone => 3,
+        }
+    }
+}
+
+/// How rental sessions opened by this job are priced.
+#[derive(Debug, Clone)]
+pub enum SessionPricing {
+    /// Every session pays the catalog's on-demand price.
+    OnDemand,
+    /// Sessions on cloud nodes pay the shared spot market's price at the
+    /// absolute hour the session starts. `start_offset_hours` is the job's
+    /// start time on the fleet clock, so concurrent tenants price against
+    /// the *same* trace hours.
+    Spot {
+        /// The shared market (one per fleet).
+        market: SpotMarket,
+        /// Job start on the fleet clock, in hours.
+        start_offset_hours: f64,
+    },
+}
+
+impl SessionPricing {
+    fn price_for(&self, itype: &conductor_cloud::InstanceType, now: f64) -> f64 {
+        match self {
+            SessionPricing::OnDemand => itype.hourly_price,
+            SessionPricing::Spot {
+                market,
+                start_offset_hours,
+            } => {
+                if itype.is_local() {
+                    0.0
+                } else {
+                    let hour = (start_offset_hours + now).floor().max(0.0) as usize;
+                    // A rational tenant never pays above on-demand.
+                    market.price_at(hour).min(itype.hourly_price)
+                }
+            }
+        }
+    }
+}
+
+/// Which lifecycle phase the job is in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobPhase {
+    /// Uploading/processing on the cluster.
+    Processing,
+    /// All tasks done; the result download completes at the recorded hour.
+    Downloading {
+        /// Absolute (job-relative) completion hour.
+        completion: f64,
+    },
+    /// Finished; the report is available.
+    Done,
+}
+
+/// A monitor's view of one running job (fleet adaptation input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionProgress {
+    /// Tasks completed so far.
+    pub completed_tasks: usize,
+    /// Total tasks in the job.
+    pub total_tasks: usize,
+    /// Input GB whose map task has completed.
+    pub map_done_gb: f64,
+    /// Map tasks not yet completed.
+    pub map_remaining: usize,
+    /// Tasks currently running.
+    pub running_tasks: usize,
+    /// GB of input available per location at the observation time (splits
+    /// whose upload has finished).
+    pub stored_gb: BTreeMap<DataLocation, f64>,
+    /// Integral of allocated nodes over hours `[0, now]` — the node-hours
+    /// actually fielded, for deriving observed per-node throughput.
+    pub allocated_node_hours: f64,
+}
+
+/// A split of the input data with its upload destination and availability
+/// time.
+#[derive(Debug, Clone, Copy)]
+struct Split {
+    location: DataLocation,
+    available_at: f64,
+    gb: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    task_idx: usize,
+    node: NodeId,
+    finish_at: f64,
+    /// WAN gigabytes consumed by this task (remote reads from the client
+    /// site).
+    wan_gb: f64,
+    /// GET requests against S3 issued by this task.
+    s3_gets: u64,
+    /// `true` when the task ran on a rented cloud node (its share of the
+    /// output will have to be downloaded over the WAN).
+    on_cloud_node: bool,
+}
+
+/// The full runtime state of one deployment, advanced by wakeups.
+pub struct JobExecution<'a> {
+    catalog: Catalog,
+    spec: JobSpec,
+    options: DeploymentOptions,
+    scheduler: Box<dyn Scheduler + 'a>,
+    pricing: SessionPricing,
+
+    billing: BillingAccount,
+    cluster: Cluster,
+    sessions: BTreeMap<NodeId, u64>,
+    tasks: Vec<Task>,
+    splits: Vec<Split>,
+    running: Vec<Running>,
+    schedule_points: Vec<f64>,
+
+    task_timeline: Vec<(f64, usize)>,
+    completed: usize,
+    map_remaining: usize,
+    wan_in_extra: f64,
+    total_s3_gets: u64,
+    cloud_processed_gb: f64,
+    phases: PhaseBreakdown,
+    upload_done_at: f64,
+    s3_gb: f64,
+
+    phase: JobPhase,
+    report: Option<ExecutionReport>,
+}
+
+impl std::fmt::Debug for JobExecution<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobExecution")
+            .field("name", &self.options.name)
+            .field("phase", &self.phase)
+            .field("completed", &self.completed)
+            .field("total_tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl<'a> JobExecution<'a> {
+    /// Validates the deployment options and builds the initial state:
+    /// tasks, the split upload timetable (billing the WAN upload), and the
+    /// schedule-step markers.
+    pub fn new(
+        catalog: &Catalog,
+        spec: &JobSpec,
+        options: DeploymentOptions,
+        scheduler: Box<dyn Scheduler + 'a>,
+        pricing: SessionPricing,
+    ) -> Result<Self, EngineError> {
+        validate(catalog, &options)?;
+
+        let mut billing = BillingAccount::new(catalog.transfer);
+        let tasks = build_tasks(
+            spec.map_tasks(),
+            spec.input_gb,
+            spec.reduce_tasks,
+            spec.shuffle_gb(),
+        );
+        let splits = plan_splits(spec, &options);
+        // Only data headed for *cloud* storage crosses the customer uplink;
+        // splits assigned to the local cluster's disks move over the LAN.
+        let upload_done_at = splits
+            .iter()
+            .filter(|s| crosses_wan(s.location))
+            .map(|s| s.available_at)
+            .fold(0.0, f64::max);
+        let uploaded_gb: f64 = splits
+            .iter()
+            .filter(|s| crosses_wan(s.location))
+            .map(|s| s.gb)
+            .sum();
+        let s3_gb: f64 = splits
+            .iter()
+            .filter(|s| s.location == DataLocation::S3)
+            .map(|s| s.gb)
+            .sum();
+
+        // Input transferred into the cloud during the upload phase is billed
+        // immediately (it crosses the WAN exactly once).
+        if uploaded_gb > 0.0 {
+            billing.record_transfer(uploaded_gb, TransferDirection::In);
+        }
+
+        let mut schedule_points: Vec<f64> =
+            options.node_schedule.iter().map(|a| a.from_hour).collect();
+        schedule_points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        schedule_points.dedup();
+
+        let map_remaining = spec.map_tasks();
+        Ok(Self {
+            catalog: catalog.clone(),
+            spec: spec.clone(),
+            phases: PhaseBreakdown {
+                upload_hours: upload_done_at,
+                ..Default::default()
+            },
+            options,
+            scheduler,
+            pricing,
+            billing,
+            cluster: Cluster::new(),
+            sessions: BTreeMap::new(),
+            tasks,
+            splits,
+            running: Vec::new(),
+            schedule_points,
+            task_timeline: Vec::new(),
+            completed: 0,
+            map_remaining,
+            wan_in_extra: 0.0,
+            total_s3_gets: 0,
+            cloud_processed_gb: 0.0,
+            upload_done_at,
+            s3_gb,
+            phase: JobPhase::Processing,
+            report: None,
+        })
+    }
+
+    /// The wakeups to seed the kernel with: the kickoff at hour zero plus
+    /// one marker per schedule step and distinct split-availability time.
+    /// All times are job-relative hours.
+    pub fn initial_events(&self) -> Vec<(f64, JobEvent)> {
+        let mut events = vec![(0.0, JobEvent::Kickoff)];
+        for &t in &self.schedule_points {
+            if t > EPS {
+                events.push((t, JobEvent::ScheduleChange));
+            }
+        }
+        let mut avail: Vec<f64> = self
+            .splits
+            .iter()
+            .filter(|s| s.location != DataLocation::ClientSite && s.available_at > EPS)
+            .map(|s| s.available_at)
+            .collect();
+        avail.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        avail.dedup();
+        for t in avail {
+            events.push((t, JobEvent::SplitAvailable));
+        }
+        events
+    }
+
+    /// Which lifecycle phase the job is in.
+    pub fn phase(&self) -> JobPhase {
+        self.phase
+    }
+
+    /// `true` once the final download completed and the report is ready.
+    pub fn is_done(&self) -> bool {
+        self.phase == JobPhase::Done
+    }
+
+    /// Tasks completed so far.
+    pub fn completed_tasks(&self) -> usize {
+        self.completed
+    }
+
+    /// Safety cap on simulated hours (from the deployment options).
+    pub fn max_hours(&self) -> f64 {
+        self.options.max_hours
+    }
+
+    /// Deployment label.
+    pub fn name(&self) -> &str {
+        &self.options.name
+    }
+
+    /// The deployment options currently in force (the node schedule may
+    /// have been spliced since construction).
+    pub fn options(&self) -> &DeploymentOptions {
+        &self.options
+    }
+
+    /// The node-allocation schedule currently in force, in job-relative
+    /// hours. Fleet drivers read this to compute residual capacity.
+    pub fn node_schedule(&self) -> &[NodeAllocation] {
+        &self.options.node_schedule
+    }
+
+    /// The time of the next state change this job expects after `now`, or
+    /// `None` when nothing is running and nothing will change (the job is
+    /// stuck). Mirrors the event-horizon computation of the original
+    /// monolithic loop, so stuck detection is independent of kernel
+    /// bookkeeping.
+    pub fn next_event_hours(&self, now: f64) -> Option<f64> {
+        match self.phase {
+            JobPhase::Processing => {
+                let next_finish = self
+                    .running
+                    .iter()
+                    .map(|r| r.finish_at)
+                    .fold(f64::INFINITY, f64::min);
+                let next_schedule = self
+                    .schedule_points
+                    .iter()
+                    .copied()
+                    .filter(|&t| t > now + EPS)
+                    .fold(f64::INFINITY, f64::min);
+                let next_split = self
+                    .splits
+                    .iter()
+                    .filter(|s| {
+                        s.location != DataLocation::ClientSite && s.available_at > now + EPS
+                    })
+                    .map(|s| s.available_at)
+                    .fold(f64::INFINITY, f64::min);
+                let next = next_finish.min(next_schedule).min(next_split);
+                next.is_finite().then_some(next)
+            }
+            JobPhase::Downloading { completion } => Some(completion),
+            JobPhase::Done => None,
+        }
+    }
+
+    /// Handles one wakeup batch at job-relative hour `now`: retires tasks
+    /// that finished, reconciles cluster membership with the schedule,
+    /// dispatches runnable tasks onto idle nodes, and — once every task has
+    /// completed — finalizes billing and schedules the download completion.
+    ///
+    /// Returns the follow-up wakeups (task finishes, download completion)
+    /// to push onto the kernel, in job-relative hours.
+    pub fn on_wakeup(&mut self, now: f64) -> Vec<(f64, JobEvent)> {
+        let mut out = Vec::new();
+        match self.phase {
+            JobPhase::Done => return out,
+            JobPhase::Downloading { completion } => {
+                if now + EPS >= completion {
+                    self.phase = JobPhase::Done;
+                }
+                return out;
+            }
+            JobPhase::Processing => {}
+        }
+
+        self.retire_finished(now);
+        self.reconcile_cluster(now);
+        self.dispatch(now, &mut out);
+
+        if self.completed == self.tasks.len() {
+            let completion = self.finalize(now);
+            self.phase = JobPhase::Downloading { completion };
+            out.push((completion, JobEvent::DownloadDone));
+        }
+        out
+    }
+
+    /// A monitor's snapshot of the job at hour `now`.
+    pub fn progress(&self, now: f64) -> ExecutionProgress {
+        let map_done_gb = self
+            .tasks
+            .iter()
+            .filter(|t| t.kind == TaskKind::Map && t.is_completed())
+            .map(|t| t.data_gb)
+            .sum();
+        let mut stored_gb: BTreeMap<DataLocation, f64> = BTreeMap::new();
+        for s in &self.splits {
+            if s.location != DataLocation::ClientSite && s.available_at <= now + EPS {
+                *stored_gb.entry(s.location).or_insert(0.0) += s.gb;
+            }
+        }
+        ExecutionProgress {
+            completed_tasks: self.completed,
+            total_tasks: self.tasks.len(),
+            map_done_gb,
+            map_remaining: self.map_remaining,
+            running_tasks: self.running.len(),
+            stored_gb,
+            allocated_node_hours: self.allocated_node_hours(now),
+        }
+    }
+
+    /// Integral of the allocated node count over hours `[0, now]`.
+    fn allocated_node_hours(&self, now: f64) -> f64 {
+        let timeline = self.cluster.allocation_timeline();
+        let mut hours = 0.0;
+        for (i, &(t, n)) in timeline.iter().enumerate() {
+            if t >= now {
+                break;
+            }
+            let end = timeline
+                .get(i + 1)
+                .map(|&(t2, _)| t2.min(now))
+                .unwrap_or(now);
+            hours += (end - t).max(0.0) * n as f64;
+        }
+        hours
+    }
+
+    /// Splices an updated node schedule into the deployment from
+    /// `from_hour` on: steps before `from_hour` are kept, later ones are
+    /// replaced by `new_steps` (job-relative hours). Returns the wakeups
+    /// for the new steps after `now` to push onto the kernel. Busy nodes
+    /// finish their current task before any scale-down takes effect, as
+    /// always.
+    pub fn splice_node_schedule(
+        &mut self,
+        now: f64,
+        from_hour: f64,
+        mut new_steps: Vec<NodeAllocation>,
+    ) -> Vec<(f64, JobEvent)> {
+        self.options
+            .node_schedule
+            .retain(|a| a.from_hour < from_hour - EPS);
+        // A compute type the updated plan no longer uses emits no steps at
+        // all (plans only record positive node counts), so without an
+        // explicit zero step its pre-splice count would stay in force —
+        // and keep billing — until the job finished.
+        let kept_types: std::collections::BTreeSet<&str> = self
+            .options
+            .node_schedule
+            .iter()
+            .map(|a| a.instance_type.as_str())
+            .collect();
+        for kept in kept_types {
+            if !new_steps.iter().any(|s| s.instance_type == kept) {
+                new_steps.push(NodeAllocation {
+                    from_hour,
+                    instance_type: kept.to_string(),
+                    nodes: 0,
+                });
+            }
+        }
+        self.options.node_schedule.extend(new_steps);
+        self.options
+            .node_schedule
+            .sort_by(|a, b| a.from_hour.partial_cmp(&b.from_hour).unwrap());
+        self.schedule_points = self
+            .options
+            .node_schedule
+            .iter()
+            .map(|a| a.from_hour)
+            .collect();
+        self.schedule_points
+            .sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.schedule_points.dedup();
+        self.schedule_points
+            .iter()
+            .copied()
+            .filter(|&t| t > now + EPS)
+            .map(|t| (t, JobEvent::ScheduleChange))
+            .collect()
+    }
+
+    /// The finished report. Panics if the job is not [`JobPhase::Done`];
+    /// drivers only call this after the `DownloadDone` wakeup fired.
+    pub fn into_report(self) -> ExecutionReport {
+        self.report
+            .expect("job not finished: report only exists in JobPhase::Done")
+    }
+
+    /// Abandons a run that will not finish (max-hours cap exceeded, or
+    /// stuck with nothing scheduled): closes every open rental session at
+    /// `now` and returns the bill accrued so far. The upload transfer and
+    /// the instance-hours already consumed were real spend, so fleet
+    /// accounting must not lose them just because the job failed. A
+    /// configured deadline counts as missed.
+    pub fn abort(mut self, now: f64) -> ExecutionReport {
+        for (_, session) in std::mem::take(&mut self.sessions) {
+            self.billing.stop_instance(session, now);
+        }
+        ExecutionReport {
+            name: self.options.name.clone(),
+            completion_hours: now,
+            phases: self.phases,
+            total_cost: self.billing.total_cost(),
+            cost_breakdown: self.billing.breakdown().clone(),
+            met_deadline: self.options.deadline_hours.map(|_| false),
+            task_timeline: self.task_timeline,
+            allocation_timeline: self.cluster.allocation_timeline().to_vec(),
+            total_tasks: self.tasks.len(),
+            wan_in_gb: self.billing.uploaded_gb,
+            wan_out_gb: self.billing.downloaded_gb,
+        }
+    }
+
+    // ---- event handlers -------------------------------------------------
+
+    /// Retires every running task whose finish time is due at `now`.
+    fn retire_finished(&mut self, now: f64) {
+        let mut still_running = Vec::with_capacity(self.running.len());
+        for r in self.running.drain(..) {
+            if r.finish_at <= now + EPS {
+                let idx = r.task_idx;
+                self.tasks[idx].state = TaskState::Completed { at: r.finish_at };
+                self.completed += 1;
+                if self.tasks[idx].kind == TaskKind::Map {
+                    self.map_remaining -= 1;
+                    if self.map_remaining == 0 {
+                        self.phases.map_done_at = r.finish_at;
+                    }
+                } else if self.completed == self.tasks.len() {
+                    self.phases.reduce_done_at = r.finish_at;
+                }
+                self.wan_in_extra += r.wan_gb;
+                self.total_s3_gets += r.s3_gets;
+                if r.on_cloud_node && self.tasks[idx].kind == TaskKind::Map {
+                    self.cloud_processed_gb += self.tasks[idx].data_gb;
+                }
+                self.task_timeline.push((r.finish_at, self.completed));
+            } else {
+                still_running.push(r);
+            }
+        }
+        self.running = still_running;
+    }
+
+    /// Adds/removes nodes so the cluster matches the schedule at time
+    /// `now`, opening and closing billing sessions accordingly. Busy nodes
+    /// are never removed; the reconciliation is retried at the next wakeup.
+    fn reconcile_cluster(&mut self, now: f64) {
+        let types: Vec<String> = self
+            .options
+            .node_schedule
+            .iter()
+            .map(|a| a.instance_type.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for itype_name in types {
+            let Some(itype) = self.catalog.instance(&itype_name) else {
+                continue;
+            };
+            let desired = nodes_at(&self.options.node_schedule, &itype_name, now);
+            let desired = match itype.max_instances {
+                Some(cap) => desired.min(cap),
+                None => desired,
+            };
+            let current = self.cluster.count_of(&itype_name);
+            if desired > current {
+                let price = self.pricing.price_for(itype, now);
+                let ids = self.cluster.add_nodes(itype, desired - current, now);
+                for id in ids {
+                    self.sessions
+                        .insert(id, self.billing.start_instance_at_price(itype, now, price));
+                }
+            } else if desired < current {
+                // Remove idle nodes only (busy nodes finish their task
+                // first; the reconciliation is retried at the next wakeup),
+                // newest first so long-lived nodes keep their data.
+                let busy: Vec<NodeId> = self.running.iter().map(|r| r.node).collect();
+                let idle_ids: Vec<NodeId> = self
+                    .cluster
+                    .nodes()
+                    .iter()
+                    .rev()
+                    .filter(|n| n.instance_type == itype_name && !busy.contains(&n.id))
+                    .map(|n| n.id)
+                    .take(current - desired)
+                    .collect();
+                let removed = self.cluster.remove_specific(&idle_ids, now);
+                for rid in removed {
+                    if let Some(session) = self.sessions.remove(&rid) {
+                        self.billing.stop_instance(session, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatches runnable tasks onto idle nodes, pushing a `TaskFinish`
+    /// wakeup for each dispatch.
+    fn dispatch(&mut self, now: f64, out: &mut Vec<(f64, JobEvent)>) {
+        let upload_gate_open =
+            !self.options.upload_before_processing || now >= self.upload_done_at - EPS;
+        let busy: Vec<NodeId> = self.running.iter().map(|r| r.node).collect();
+        let idle_nodes: Vec<NodeId> = self
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .filter(|id| !busy.contains(id))
+            .collect();
+
+        for node_id in idle_nodes {
+            let node = self
+                .cluster
+                .node(node_id)
+                .expect("idle node still in cluster")
+                .clone();
+            // Find the best dispatchable task for this node.
+            let mut best: Option<(usize, DataLocation, i32)> = None;
+            for (idx, task) in self.tasks.iter().enumerate() {
+                if !matches!(task.state, TaskState::WaitingForData | TaskState::Runnable) {
+                    continue;
+                }
+                let location = match task.kind {
+                    TaskKind::Map => {
+                        if !upload_gate_open {
+                            continue;
+                        }
+                        let split = &self.splits[idx.min(self.splits.len().saturating_sub(1))];
+                        if split.location == DataLocation::ClientSite {
+                            DataLocation::ClientSite
+                        } else if now + EPS >= split.available_at {
+                            split.location
+                        } else {
+                            continue; // not yet uploaded
+                        }
+                    }
+                    TaskKind::Reduce => {
+                        if self.map_remaining > 0 {
+                            continue; // barrier: reduce starts after all maps
+                        }
+                        if node.is_local {
+                            DataLocation::LocalDisk
+                        } else {
+                            DataLocation::InstanceDisk
+                        }
+                    }
+                };
+                if !self.scheduler.may_run(task, location, &node) {
+                    continue;
+                }
+                let pref = self.scheduler.preference(location, &node);
+                if best.is_none_or(|(_, _, b)| pref > b) {
+                    best = Some((idx, location, pref));
+                }
+            }
+            if let Some((idx, location, _)) = best {
+                let rate = self.effective_rate(&node, location, self.cluster.len());
+                if rate <= 0.0 {
+                    continue;
+                }
+                let data_gb = self.tasks[idx].data_gb;
+                let duration = data_gb / rate;
+                // A remote read crosses the WAN only when a *cloud* node
+                // pulls data from the customer site.
+                let wan_gb = if location == DataLocation::ClientSite && !node.is_local {
+                    data_gb
+                } else {
+                    0.0
+                };
+                let s3_gets = if location == DataLocation::S3 {
+                    (data_gb * 1024.0 / self.options.object_size_mb).ceil() as u64
+                } else {
+                    0
+                };
+                self.tasks[idx].state = TaskState::Running {
+                    node: node_id,
+                    finish_at: now + duration,
+                };
+                self.running.push(Running {
+                    task_idx: idx,
+                    node: node_id,
+                    finish_at: now + duration,
+                    wan_gb,
+                    s3_gets,
+                    on_cloud_node: !node.is_local,
+                });
+                out.push((now + duration, JobEvent::TaskFinish));
+            }
+        }
+    }
+
+    /// Post-processing once every task retired: result download, storage
+    /// billing, session teardown. Returns the completion hour and stores
+    /// the finished [`ExecutionReport`].
+    fn finalize(&mut self, processing_done: f64) -> f64 {
+        // Only the share of the output produced in the cloud has to cross
+        // the WAN back to the customer.
+        let cloud_fraction = if self.spec.input_gb > 0.0 {
+            (self.cloud_processed_gb / self.spec.input_gb).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let download_gb = self.spec.output_gb() * cloud_fraction;
+        self.phases.download_hours = if self.options.uplink_gbph > 0.0 {
+            download_gb / self.options.uplink_gbph
+        } else {
+            0.0
+        };
+        let completion = processing_done + self.phases.download_hours;
+
+        // WAN charges for remote reads and the result download.
+        if self.wan_in_extra > 0.0 {
+            self.billing
+                .record_transfer(self.wan_in_extra, TransferDirection::In);
+        }
+        self.billing
+            .record_transfer(download_gb, TransferDirection::Out);
+
+        // S3 residency: data sits on S3 from (roughly) the middle of its
+        // upload window until the job completes, plus the PUT/GET requests.
+        if self.s3_gb > 0.0 {
+            if let Some(s3) = self.catalog.storage("S3") {
+                let residency = (completion - self.upload_done_at / 2.0).max(0.0);
+                let puts = (self.s3_gb * 1024.0 / self.options.object_size_mb).ceil() as u64;
+                self.billing
+                    .record_storage(s3, self.s3_gb, residency, puts, self.total_s3_gets);
+            }
+        }
+        // Instance-disk and local-disk storage is free but recorded so the
+        // cost breakdown carries the category.
+        let disk_gb: f64 = self
+            .splits
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.location,
+                    DataLocation::InstanceDisk | DataLocation::LocalDisk
+                )
+            })
+            .map(|s| s.gb)
+            .sum();
+        if disk_gb > 0.0 {
+            if let Some(disk) = self.catalog.storage("EC2-disk") {
+                self.billing.record_storage(disk, disk_gb, completion, 0, 0);
+            }
+        }
+
+        // Stop renting everything at the completion time.
+        for (_, session) in std::mem::take(&mut self.sessions) {
+            self.billing.stop_instance(session, completion);
+        }
+
+        let met_deadline = self.options.deadline_hours.map(|d| completion <= d + EPS);
+        self.report = Some(ExecutionReport {
+            name: self.options.name.clone(),
+            completion_hours: completion,
+            phases: self.phases,
+            total_cost: self.billing.total_cost(),
+            cost_breakdown: self.billing.breakdown().clone(),
+            met_deadline,
+            task_timeline: std::mem::take(&mut self.task_timeline),
+            allocation_timeline: self.cluster.allocation_timeline().to_vec(),
+            total_tasks: self.tasks.len(),
+            wan_in_gb: self.billing.uploaded_gb,
+            wan_out_gb: self.billing.downloaded_gb,
+        });
+        completion
+    }
+
+    /// Effective processing rate of `node` for input at `location`, in
+    /// GB/h. Node throughputs are catalog figures calibrated on the
+    /// reference workload; they scale by `spec.throughput_scale()` for the
+    /// workload at hand — the same scaling the planner's capacity model
+    /// applies, so plans and simulated executions agree for non-reference
+    /// workloads.
+    fn effective_rate(
+        &self,
+        node: &crate::cluster::SimNode,
+        location: DataLocation,
+        cluster_size: usize,
+    ) -> f64 {
+        let node_gbph = node.throughput_gbph * self.spec.throughput_scale();
+        match location {
+            DataLocation::InstanceDisk | DataLocation::LocalDisk => node_gbph,
+            DataLocation::S3 => node_gbph * self.options.s3_throughput_factor,
+            DataLocation::ClientSite => {
+                // Remote readers share the customer uplink.
+                let share = self.options.uplink_gbph / cluster_size.max(1) as f64;
+                node_gbph.min(share)
+            }
+        }
+    }
+}
+
+fn crosses_wan(loc: DataLocation) -> bool {
+    matches!(loc, DataLocation::S3 | DataLocation::InstanceDisk)
+}
+
+fn validate(catalog: &Catalog, options: &DeploymentOptions) -> Result<(), EngineError> {
+    if options.uplink_gbph <= 0.0 {
+        return Err(EngineError::InvalidOptions(
+            "uplink bandwidth must be positive".into(),
+        ));
+    }
+    let frac: f64 = options.upload_plan.iter().map(|(_, f)| *f).sum();
+    if !(0.0..=1.0 + EPS).contains(&frac) {
+        return Err(EngineError::InvalidOptions(format!(
+            "upload fractions must sum to at most 1 (got {frac})"
+        )));
+    }
+    if options
+        .upload_plan
+        .iter()
+        .any(|(loc, _)| *loc == DataLocation::ClientSite)
+    {
+        return Err(EngineError::InvalidOptions(
+            "the client site is the upload source, not a destination".into(),
+        ));
+    }
+    for alloc in &options.node_schedule {
+        if catalog.instance(&alloc.instance_type).is_none() {
+            return Err(EngineError::InvalidOptions(format!(
+                "unknown instance type `{}` in node schedule",
+                alloc.instance_type
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Assigns each map split an upload destination and availability time.
+///
+/// Splits are uploaded back to back over the uplink in the order of the
+/// upload plan (e.g. "first roughly half to S3, then the rest to EC2
+/// disks", as in the Figure 8 scenario); splits not covered by the plan
+/// stay at the client site and are available immediately (for remote
+/// reads).
+fn plan_splits(spec: &JobSpec, options: &DeploymentOptions) -> Vec<Split> {
+    let n = spec.map_tasks();
+    let split_gb = if n > 0 { spec.input_gb / n as f64 } else { 0.0 };
+    let mut splits = Vec::with_capacity(n);
+    let mut assigned = 0usize;
+    let mut elapsed = 0.0f64;
+    for (location, fraction) in &options.upload_plan {
+        let count = ((fraction * n as f64).round() as usize).min(n - assigned);
+        for _ in 0..count {
+            let available_at = if *location == DataLocation::LocalDisk {
+                // Local-cluster disks are fed over the LAN, not the uplink.
+                0.0
+            } else {
+                elapsed += split_gb / options.uplink_gbph;
+                elapsed
+            };
+            splits.push(Split {
+                location: *location,
+                available_at,
+                gb: split_gb,
+            });
+        }
+        assigned += count;
+    }
+    for _ in assigned..n {
+        splits.push(Split {
+            location: DataLocation::ClientSite,
+            available_at: 0.0,
+            gb: split_gb,
+        });
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::LocalityScheduler;
+    use crate::workload::Workload;
+
+    fn execution() -> JobExecution<'static> {
+        let catalog = Catalog::aws_with_local_cluster(5);
+        let uplink = conductor_cloud::catalog::mbps_to_gb_per_hour(16.0);
+        let options = DeploymentOptions::new("splice-test", uplink)
+            .with_nodes("m1.large", 4, 0.0)
+            .with_nodes("local", 5, 0.0);
+        JobExecution::new(
+            &catalog,
+            &Workload::KMeans32Gb.spec(),
+            options,
+            Box::new(LocalityScheduler),
+            SessionPricing::OnDemand,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn splice_releases_compute_types_the_new_schedule_dropped() {
+        let mut exec = execution();
+        exec.on_wakeup(0.0); // allocate the initial cluster
+        assert_eq!(exec.cluster.count_of("m1.large"), 4);
+        // Re-plan keeps only the free local nodes from hour 1 on.
+        let wakeups = exec.splice_node_schedule(
+            1.0,
+            1.0,
+            vec![NodeAllocation {
+                from_hour: 1.0,
+                instance_type: "local".into(),
+                nodes: 5,
+            }],
+        );
+        // A synthetic zero step for the dropped type is in the schedule...
+        assert!(
+            exec.node_schedule()
+                .iter()
+                .any(|s| s.instance_type == "m1.large" && s.from_hour == 1.0 && s.nodes == 0),
+            "{:?}",
+            exec.node_schedule()
+        );
+        // ...and once the wakeups past the splice fire, the rented nodes
+        // wind down as their tasks retire (billing sessions close).
+        let mut pending: Vec<(f64, JobEvent)> = wakeups;
+        pending.extend(exec.on_wakeup(1.0));
+        let mut horizon = 1.0;
+        while exec.cluster.count_of("m1.large") > 0 && horizon < 50.0 {
+            horizon = exec
+                .next_event_hours(horizon)
+                .expect("job still has events");
+            pending.extend(exec.on_wakeup(horizon));
+        }
+        assert_eq!(
+            exec.cluster.count_of("m1.large"),
+            0,
+            "dropped type still allocated at hour {horizon}"
+        );
+        assert_eq!(exec.cluster.count_of("local"), 5);
+    }
+
+    #[test]
+    fn abort_closes_sessions_and_keeps_the_accrued_bill() {
+        let mut exec = execution();
+        exec.on_wakeup(0.0);
+        let report = exec.abort(2.5);
+        // The 32 GB upload was billed at construction; the 4 cloud nodes
+        // ran 2.5 h -> 3 billed hours each. Local nodes are free.
+        assert!((report.wan_in_gb - 32.0).abs() < 1e-9);
+        let compute = report
+            .cost_breakdown
+            .get(conductor_cloud::CostCategory::Computation);
+        assert!(
+            (compute - 4.0 * 3.0 * 0.34).abs() < 1e-9,
+            "compute {compute}"
+        );
+        assert_eq!(report.met_deadline, None); // no deadline configured
+        assert!((report.completion_hours - 2.5).abs() < 1e-12);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod execution;
 pub mod hdfs;
 pub mod scheduler;
 pub mod task;
@@ -30,6 +31,7 @@ pub mod workload;
 
 pub use cluster::{Cluster, NodeAllocation, NodeId, SimNode};
 pub use engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport, PhaseBreakdown};
+pub use execution::{ExecutionProgress, JobEvent, JobExecution, JobPhase, SessionPricing};
 pub use hdfs::HdfsModel;
 pub use scheduler::{LocalityScheduler, PlanFollowingScheduler, Scheduler, SchedulerKind};
 pub use task::{Task, TaskId, TaskKind, TaskState};

@@ -37,6 +37,23 @@ pub trait Scheduler {
     fn kind(&self) -> SchedulerKind;
 }
 
+// Delegation through references, so a borrowed scheduler can be boxed into
+// a `Box<dyn Scheduler + '_>` (the execution process owns its scheduler;
+// `Engine::run` passes one in by reference).
+impl<S: Scheduler + ?Sized> Scheduler for &S {
+    fn may_run(&self, task: &Task, location: DataLocation, node: &SimNode) -> bool {
+        (**self).may_run(task, location, node)
+    }
+
+    fn preference(&self, location: DataLocation, node: &SimNode) -> i32 {
+        (**self).preference(location, node)
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        (**self).kind()
+    }
+}
+
 /// Hadoop's default scheduler: every available task is runnable anywhere;
 /// data-local placements are merely preferred.
 #[derive(Debug, Clone, Default)]

@@ -2,7 +2,7 @@
 //!
 //! The paper's evaluation workload is a k-means clustering job from Apache
 //! Mahout over 40 million randomly generated points (32 GB) plus 10,000
-//! reference points (§6.1). [`Workload::kmeans_32gb`] reproduces that shape;
+//! reference points (§6.1). [`Workload::KMeans32Gb`] reproduces that shape;
 //! other constructors cover the variants used in individual experiments
 //! (e.g. the small-reference-point variant of Figure 8 that processes at
 //! 6.2 GB/h per node).

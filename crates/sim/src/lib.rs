@@ -1,0 +1,180 @@
+//! # conductor-sim
+//!
+//! A small discrete-event simulation kernel shared by the MapReduce
+//! execution engine and the fleet-level `ConductorService`: an event heap
+//! with fully deterministic ordering, a monotonic simulation clock, and
+//! process handles for addressing events to the state machines that share
+//! one clock.
+//!
+//! The kernel is deliberately minimal — it owns *when* things happen, never
+//! *what* happens. Payloads are opaque to the heap; processes (the
+//! engine's upload/scheduling/download handlers, the service's per-job
+//! executions and monitors) interpret them. Determinism is a hard
+//! requirement: given the same schedule of events, every run pops them in
+//! the identical order, because ties are broken first by an explicit event
+//! class and then by insertion sequence (FIFO).
+
+mod clock;
+mod heap;
+mod process;
+
+pub use clock::SimClock;
+pub use heap::{EventHeap, ScheduledEvent};
+pub use process::{ProcessId, ProcessRegistry};
+
+/// Default time tolerance (in simulated hours) within which two events are
+/// considered simultaneous. Matches the `1e-9` slack the execution engine
+/// has always used for time comparisons, so event-batch boundaries agree
+/// with the engine's availability/retirement checks.
+pub const TIME_EPSILON: f64 = 1e-9;
+
+/// A discrete-event simulator: an [`EventHeap`] plus a [`SimClock`].
+///
+/// The typical driver loop pops *batches* of simultaneous events (within
+/// [`TIME_EPSILON`]), advances the clock to the batch time, and lets the
+/// owning process(es) handle them:
+///
+/// ```
+/// use conductor_sim::Simulator;
+///
+/// let mut sim: Simulator<&'static str> = Simulator::new();
+/// sim.schedule(1.0, 0, "first");
+/// sim.schedule(1.0, 0, "second");
+/// sim.schedule(2.0, 0, "later");
+/// let mut batch = Vec::new();
+/// let t = sim.pop_due(&mut batch).unwrap();
+/// assert_eq!(t, 1.0);
+/// assert_eq!(batch, vec!["first", "second"]);
+/// assert_eq!(sim.now(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<E> {
+    heap: EventHeap<E>,
+    clock: SimClock,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates an empty simulator with the clock at hour zero.
+    pub fn new() -> Self {
+        Self {
+            heap: EventHeap::new(),
+            clock: SimClock::new(),
+        }
+    }
+
+    /// Current simulation time in hours.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Schedules `event` at absolute hour `at` with the given ordering
+    /// `class` (lower classes pop first among simultaneous events).
+    pub fn schedule(&mut self, at: f64, class: u8, event: E) {
+        self.heap.push(at, class, event);
+    }
+
+    /// Schedules a batch of `(at, class, event)` triples.
+    pub fn schedule_all(&mut self, events: impl IntoIterator<Item = (f64, u8, E)>) {
+        for (at, class, event) in events {
+            self.heap.push(at, class, event);
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pops the single next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        self.clock.advance_to(ev.at);
+        Some(ev)
+    }
+
+    /// Drains every event within [`TIME_EPSILON`] of the earliest pending
+    /// event into `batch` (cleared first), advances the clock to the
+    /// earliest event's time, and returns that time. Returns `None` when no
+    /// events are pending (the batch is left empty).
+    ///
+    /// Batching simultaneous events is what lets handlers reproduce the
+    /// classic "advance to the next horizon, then settle everything due"
+    /// loop exactly: all task finishes, allocation steps and data arrivals
+    /// that coincide are visible in one wakeup.
+    pub fn pop_due(&mut self, batch: &mut Vec<E>) -> Option<f64> {
+        batch.clear();
+        let first = self.heap.pop()?;
+        let t = first.at;
+        self.clock.advance_to(t);
+        batch.push(first.event);
+        while let Some(next_t) = self.heap.peek_time() {
+            if next_t <= t + TIME_EPSILON {
+                batch.push(self.heap.pop().expect("peeked event present").event);
+            } else {
+                break;
+            }
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_due_batches_simultaneous_events() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule(2.0, 0, 20);
+        sim.schedule(1.0, 0, 10);
+        sim.schedule(1.0 + TIME_EPSILON / 2.0, 0, 11);
+        let mut batch = Vec::new();
+        assert_eq!(sim.pop_due(&mut batch), Some(1.0));
+        assert_eq!(batch, vec![10, 11]);
+        assert_eq!(sim.len(), 1);
+        assert_eq!(sim.pop_due(&mut batch), Some(2.0));
+        assert_eq!(batch, vec![20]);
+        assert_eq!(sim.pop_due(&mut batch), None);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn clock_is_monotonic_even_for_stale_events() {
+        let mut sim: Simulator<&str> = Simulator::new();
+        sim.schedule(5.0, 0, "late");
+        assert!(sim.pop().is_some());
+        assert_eq!(sim.now(), 5.0);
+        // An event scheduled in the past still pops, but never rewinds time.
+        sim.schedule(1.0, 0, "stale");
+        let ev = sim.pop().unwrap();
+        assert_eq!(ev.at, 1.0);
+        assert_eq!(sim.now(), 5.0);
+    }
+
+    #[test]
+    fn schedule_all_accepts_iterators() {
+        let mut sim: Simulator<usize> = Simulator::new();
+        sim.schedule_all((0..4).map(|i| (i as f64, 0u8, i)));
+        let mut seen = Vec::new();
+        while let Some(ev) = sim.pop() {
+            seen.push(ev.event);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+}

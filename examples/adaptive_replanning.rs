@@ -35,12 +35,14 @@ fn main() {
         report.initial_plan.peak_nodes("m1.large"),
         report.initial_plan.expected_cost
     );
-    println!(
-        "updated plan : peak {} nodes (re-planned at {:.0} h), expected cost ${:.2}",
-        report.updated_plan.peak_nodes("m1.large"),
-        report.replanned_at_hours,
-        report.updated_plan.expected_cost
-    );
+    match report.replanned_at_hours {
+        Some(at) => println!(
+            "updated plan : peak {} nodes (re-planned at {at:.0} h), expected cost ${:.2}",
+            report.updated_plan.peak_nodes("m1.large"),
+            report.updated_plan.expected_cost
+        ),
+        None => println!("monitor stayed quiet: no deviation, initial plan kept"),
+    }
     println!();
     println!("node allocation actually deployed (Figure 12a):");
     for step in &report.spliced_schedule {

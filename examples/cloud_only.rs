@@ -40,7 +40,8 @@ fn main() {
     // --- Conductor: plan automatically, deploy through the plan-following scheduler.
     let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
     let planner = Planner::new(pool);
-    let controller = JobController::new(catalog.clone(), planner);
+    let controller =
+        JobController::new(catalog.clone(), planner).expect("planner pool matches the catalog");
     let outcome = controller
         .run(
             &spec,

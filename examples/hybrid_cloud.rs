@@ -17,7 +17,8 @@ fn main() {
     let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large", "local"]);
 
     let planner = Planner::new(pool);
-    let controller = JobController::new(catalog, planner);
+    let controller =
+        JobController::new(catalog, planner).expect("planner pool matches the catalog");
 
     println!("=== Hybrid deployment: 5 free local nodes + EC2, deadline {deadline} h ===");
 

@@ -1,0 +1,111 @@
+//! Fleet-level orchestration: many tenants, one Conductor.
+//!
+//! Four tenants submit MapReduce jobs with mixed deadlines at staggered
+//! arrival times. The `ConductorService` plans each arrival against the
+//! *residual* capacity the earlier tenants left under a fleet-wide
+//! allocation cap, prices every rental against one shared spot-price
+//! trace, meters a per-tenant bill, and watches progress with periodic
+//! monitor events on the shared simulation clock.
+//!
+//! Run with: `cargo run --release --example multi_job_fleet`
+
+use conductor_cloud::{Catalog, SpotMarket, SpotTrace};
+use conductor_core::{ConductorService, FleetJobRequest, Goal, ResourcePool};
+use conductor_mapreduce::Workload;
+
+fn main() {
+    // 1. The shared infrastructure: the AWS catalog, a fleet-wide cap of
+    //    90 m1.large instances, and one spot market every tenant bids in.
+    let catalog = Catalog::aws_july_2011();
+    let pool = ResourcePool::from_catalog(&catalog, 1.0)
+        .with_compute_only(&["m1.large"])
+        .with_compute_cap("m1.large", 90);
+    let market = SpotMarket::new(SpotTrace::electricity_like(17, 24 * 10), 0.34);
+    let service = ConductorService::new(catalog, pool).with_spot_market(market);
+
+    // 2. The tenants: mixed workloads and deadlines, arriving half an hour
+    //    apart.
+    let requests = vec![
+        FleetJobRequest::new(
+            "analytics-team",
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 6.0,
+            },
+            0.0,
+        ),
+        FleetJobRequest::new(
+            "ml-research",
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 7.0,
+            },
+            0.5,
+        ),
+        FleetJobRequest::new(
+            "reporting",
+            Workload::KMeansFastScan32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 6.0,
+            },
+            1.0,
+        ),
+        FleetJobRequest::new(
+            "batch-etl",
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 8.0,
+            },
+            1.5,
+        ),
+    ];
+
+    // 3. Run the fleet on one shared clock.
+    let report = service.run(&requests).expect("fleet run succeeds");
+
+    println!("=== Conductor fleet: {} tenants ===", report.tenants.len());
+    println!(
+        "admitted {} / completed {} / deadlines met {}",
+        report.jobs_admitted, report.jobs_completed, report.deadlines_met
+    );
+    println!();
+    for t in &report.tenants {
+        print!("{:<15} arrived {:>4.1} h  ", t.tenant, t.arrival_hours);
+        match (&t.execution, &t.rejection) {
+            (Some(exec), _) => {
+                let peak = t
+                    .plan
+                    .as_ref()
+                    .map(|p| p.peak_nodes("m1.large"))
+                    .unwrap_or(0);
+                println!(
+                    "peak {:>3} nodes  finished {:>5.2} h after arrival  bill ${:>6.2}  deadline {}",
+                    peak,
+                    exec.completion_hours,
+                    exec.total_cost,
+                    match exec.met_deadline {
+                        Some(true) => "met",
+                        Some(false) => "MISSED",
+                        None => "none",
+                    }
+                );
+                if !t.replanned_at_hours.is_empty() {
+                    println!(
+                        "{:15} monitor re-planned at fleet hours {:?}",
+                        "", t.replanned_at_hours
+                    );
+                }
+            }
+            (None, Some(reason)) => println!("REJECTED: {reason}"),
+            (None, None) => println!("FAILED: {:?}", t.failure),
+        }
+    }
+    println!();
+    println!(
+        "fleet bill: ${:.2} (= sum of tenant bills), makespan {:.2} h",
+        report.fleet_cost, report.makespan_hours
+    );
+    for (category, cost) in report.fleet_breakdown.iter() {
+        println!("  {category:?}: ${cost:.2}");
+    }
+}

@@ -30,7 +30,8 @@ fn main() {
 
     // 5. Plan and deploy.
     let planner = Planner::new(pool);
-    let controller = JobController::new(catalog, planner);
+    let controller =
+        JobController::new(catalog, planner).expect("planner pool matches the catalog");
     let outcome = controller
         .run(&job, goal)
         .expect("planning and deployment succeed");

@@ -23,6 +23,7 @@ fn cloud_controller() -> JobController {
         catalog,
         Planner::new(pool).with_solve_options(fast_options()),
     )
+    .expect("planner pool matches the catalog")
 }
 
 /// §6.2: Conductor meets the 6-hour deadline on the cloud-only scenario, its
@@ -60,7 +61,8 @@ fn hybrid_deployment_uses_local_nodes_and_saves_money() {
     let controller = JobController::new(
         catalog,
         Planner::new(pool).with_solve_options(fast_options()),
-    );
+    )
+    .expect("planner pool matches the catalog");
     let spec = Workload::KMeans32Gb.spec();
     let hybrid = controller
         .run(
@@ -82,7 +84,8 @@ fn hybrid_deployment_uses_local_nodes_and_saves_money() {
     let cloud_controller = JobController::new(
         cloud_catalog,
         Planner::new(cloud_pool).with_solve_options(fast_options()),
-    );
+    )
+    .expect("planner pool matches the catalog");
     assert!(
         cloud_controller
             .run(
