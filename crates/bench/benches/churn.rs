@@ -1,0 +1,35 @@
+//! Criterion bench: fleet churn at scale and the kernel dispatch hot path.
+//!
+//! `churn/poisson_fleet` runs a Poisson-arrival fleet (mixed 8/16/32 GB
+//! tenants, shared 150-node cap, storm-bearing AWS-like spot trace with a
+//! 0.30 bid) end to end — admission planning, concurrent executions,
+//! revocation storms and monitor re-plans on one shared kernel. It is
+//! planner-dominated by design: its trajectory tracks the *service* path.
+//!
+//! `churn/dispatch_hot_path` isolates the kernel term: one planner-free
+//! 256 GB deployment (4096 map tasks, 100 nodes). This is the number the
+//! per-location dispatch index in `JobExecution::dispatch` roughly halves
+//! versus the old O(tasks · idle nodes) scan, and the one to watch as
+//! individual executions grow.
+
+use conductor_bench::experiments::{churn_fixture, dispatch_hot_path_report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(30));
+    group.bench_function("poisson_fleet", |b| {
+        let (requests, service) = churn_fixture(40, 1.0);
+        b.iter(|| service.run(&requests).unwrap());
+    });
+    group.bench_function("dispatch_hot_path", |b| {
+        b.iter(dispatch_hot_path_report);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -2,10 +2,13 @@
 //!
 //! `fleet/four_tenant_contention` runs the full multi-tenant scenario —
 //! four admissions planned against residual capacity, four concurrent
-//! executions on one shared event kernel, periodic monitor ticks — and is
-//! the number to watch as fleet scenarios grow (job churn, revocation
-//! storms). `fleet/single_tenant_overhead` is the same machinery with one
-//! job, isolating the kernel + service overhead over a bare `Engine::run`.
+//! executions on one shared event kernel, periodic monitor ticks.
+//! `fleet/single_tenant_overhead` is the same machinery with one job,
+//! isolating the kernel + service overhead over a bare `Engine::run`.
+//! For the fleet-*scale* trajectory — hundreds of Poisson arrivals,
+//! revocation storms, the dispatch hot path — the canonical metric moved
+//! to the `churn` bench (`benches/churn.rs`) and the `fleet_churn` binary;
+//! this four-tenant group stays as the small, stable contention probe.
 
 use conductor_bench::experiments::{fleet_contention_requests, fleet_contention_service};
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -21,4 +21,5 @@ fn main() {
     println!("{}", e::fig15_storage_throughput().to_markdown());
     println!("{}", e::fig16_solve_time().to_markdown());
     println!("{}", e::fleet_contention().to_markdown());
+    println!("{}", e::fleet_churn(60, 1.0).to_markdown());
 }

@@ -1,0 +1,143 @@
+//! Fleet churn at scale: N Poisson arrivals on the shared event kernel,
+//! with revocation storms from an AWS-like spot trace along the way.
+//!
+//! This is the canonical fleet-scale wall-clock metric (the number to
+//! watch as the kernel hot path evolves) **and** an invariant check: it
+//! asserts that every admitted job reaches a terminal state, that the
+//! per-tenant bills sum to the fleet bill, and — when
+//! `CHURN_VERIFY_DETERMINISM=1` — that a second run reproduces the first
+//! bit for bit. CI runs a small fleet as a smoke test; run it with an
+//! argument for the full scenario:
+//!
+//! ```sh
+//! cargo run --release -p conductor-bench --bin fleet_churn        # 200 jobs
+//! cargo run --release -p conductor-bench --bin fleet_churn -- 40  # smaller
+//! ```
+
+use conductor_bench::experiments::{churn_fixture, dispatch_hot_path_report};
+use conductor_core::FleetReport;
+use std::time::Instant;
+
+fn run(jobs: usize) -> (FleetReport, std::time::Duration) {
+    let (requests, service) = churn_fixture(jobs, 1.0);
+    let start = Instant::now();
+    let report = service.run(&requests).expect("churn fleet run");
+    (report, start.elapsed())
+}
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let (report, elapsed) = run(jobs);
+
+    let revocation_hits: usize = report
+        .tenants
+        .iter()
+        .map(|t| t.revoked_at_hours.len())
+        .sum();
+    let replans: usize = report
+        .tenants
+        .iter()
+        .map(|t| t.replanned_at_hours.len())
+        .sum();
+    let failed: usize = report
+        .tenants
+        .iter()
+        .filter(|t| t.failure.is_some())
+        .count();
+    println!("=== fleet churn: {jobs} Poisson arrivals ===");
+    println!(
+        "admitted {} / completed {} / failed {failed} / deadlines met {}",
+        report.jobs_admitted, report.jobs_completed, report.deadlines_met
+    );
+    println!("revocation hits {revocation_hits} / monitor re-plans {replans}");
+    println!(
+        "fleet cost ${:.2}, makespan {:.1} h",
+        report.fleet_cost, report.makespan_hours
+    );
+    println!("wall clock: {:.3} s", elapsed.as_secs_f64());
+
+    // ---- invariants the CI smoke step relies on ------------------------
+    // Every admitted job reached a terminal state (report or explicit
+    // failure), and completions tally.
+    for t in &report.tenants {
+        if t.admitted {
+            assert!(
+                t.execution.is_some(),
+                "{}: admitted but no execution report",
+                t.tenant
+            );
+        }
+    }
+    assert_eq!(
+        report.jobs_completed + failed,
+        report.jobs_admitted,
+        "admitted jobs unaccounted for"
+    );
+    assert_eq!(
+        report.jobs_completed,
+        report.jobs_admitted,
+        "a job failed mid-run: {:?}",
+        report
+            .tenants
+            .iter()
+            .filter_map(|t| t.failure.as_ref())
+            .collect::<Vec<_>>()
+    );
+    // Per-tenant bills sum to the fleet bill, and the category roll-up is
+    // consistent with the total.
+    let tenant_sum: f64 = report
+        .tenants
+        .iter()
+        .filter_map(|t| t.execution.as_ref())
+        .map(|e| e.total_cost)
+        .sum();
+    assert!(
+        (report.fleet_cost - tenant_sum).abs() < 1e-6 * report.fleet_cost.max(1.0),
+        "fleet {} vs tenant sum {}",
+        report.fleet_cost,
+        tenant_sum
+    );
+    assert!(
+        (report.fleet_breakdown.total() - report.fleet_cost).abs()
+            < 1e-6 * report.fleet_cost.max(1.0),
+        "breakdown {} vs fleet {}",
+        report.fleet_breakdown.total(),
+        report.fleet_cost
+    );
+
+    if std::env::var("CHURN_VERIFY_DETERMINISM").as_deref() == Ok("1") {
+        let (again, _) = run(jobs);
+        assert_eq!(report.fleet_cost.to_bits(), again.fleet_cost.to_bits());
+        assert_eq!(
+            report.makespan_hours.to_bits(),
+            again.makespan_hours.to_bits()
+        );
+        for (a, b) in report.tenants.iter().zip(&again.tenants) {
+            assert_eq!(a.revoked_at_hours, b.revoked_at_hours, "{}", a.tenant);
+            assert_eq!(a.replanned_at_hours, b.replanned_at_hours, "{}", a.tenant);
+        }
+        println!("determinism: second run identical (bills, makespan, storms)");
+    }
+
+    // ---- kernel hot path ------------------------------------------------
+    // The churn fleet above is planner-dominated (its jobs are small); the
+    // dispatch cost is O(index lookups) instead of O(tasks · idle nodes)
+    // per wakeup, which shows up once a single execution is large. Time
+    // one big planner-free deployment so the kernel term is visible on its
+    // own (this is the number the dispatch index halves).
+    let start = Instant::now();
+    let big = dispatch_hot_path_report();
+    println!(
+        "dispatch hot path (256 GB, 100 nodes, {} tasks, no planner): {:.3} s",
+        big.total_tasks,
+        start.elapsed().as_secs_f64()
+    );
+    assert_eq!(
+        big.task_timeline.last().map(|&(_, c)| c),
+        Some(big.total_tasks)
+    );
+    println!("invariants ok");
+}

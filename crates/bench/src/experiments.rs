@@ -16,6 +16,8 @@ use conductor_mapreduce::hdfs::{HdfsModel, StoragePath};
 use conductor_mapreduce::scheduler::LocalityScheduler;
 use conductor_mapreduce::{JobSpec, Workload};
 use conductor_storage::ConductorStorageModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
 /// Solver configuration used by the experiments: the paper's 1 % gap but a
@@ -784,12 +786,163 @@ pub fn fleet_contention() -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// Fleet churn: Poisson arrivals over simulated weeks (beyond the paper).
+// ---------------------------------------------------------------------------
+
+/// Deterministic Poisson churn workload: `jobs` arrivals whose inter-arrival
+/// gaps are exponential with mean `mean_gap_hours` (a seeded Poisson
+/// process), mixed input sizes (8 / 16 / 32 GB, weighted toward the small
+/// end like real fleets) and per-size deadline slack. Everything derives
+/// from `seed`, so the same call always produces the identical fleet.
+pub fn churn_requests(seed: u64, jobs: usize, mean_gap_hours: f64) -> Vec<FleetJobRequest> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut at = 0.0f64;
+    let mut requests = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        // Exponential gap via inverse transform; `1 - u` keeps ln finite.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        at += -mean_gap_hours * (1.0 - u).ln();
+        let (spec, lo, hi) = match rng.gen_range(0u32..10) {
+            0..=4 => (Workload::KMeansScaled { input_gb: 8 }.spec(), 4.0, 6.0),
+            5..=7 => (Workload::KMeansScaled { input_gb: 16 }.spec(), 5.0, 8.0),
+            _ => (Workload::KMeans32Gb.spec(), 6.0, 9.0),
+        };
+        let deadline = rng.gen_range(lo..hi);
+        requests.push(FleetJobRequest::new(
+            format!("tenant-{i:03}"),
+            spec,
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+            at,
+        ));
+    }
+    requests
+}
+
+/// The service the churn scenarios run on: fleet-capped m1.large pool, an
+/// AWS-like spot trace of `trace_hours` hours, and a fleet bid of 0.30 —
+/// below the 0.34 on-demand ceiling, so the trace's spike hours (which the
+/// electricity trace never has) become genuine revocation storms: every
+/// session is terminated at the out-bid hour and new requests are refused
+/// until the price comes back down. The admission planner sees the same
+/// trace only as prices capped at on-demand, so a storm is a real
+/// mid-flight surprise the monitor has to rescue.
+pub fn churn_service(seed: u64, cap: usize, trace_hours: usize) -> ConductorService {
+    let catalog = Catalog::aws_july_2011();
+    let pool = ResourcePool::from_catalog(&catalog, 1.0)
+        .with_compute_only(&["m1.large"])
+        .with_compute_cap("m1.large", cap);
+    ConductorService::new(catalog, pool)
+        .with_solve_options(solver_options())
+        .with_spot_market(SpotMarket::new(
+            SpotTrace::aws_like(seed, trace_hours),
+            0.34,
+        ))
+        .with_spot_bid(0.30)
+}
+
+/// One big planner-free deployment (256 GB input → 4096 map tasks on 100
+/// m1.large nodes over a fat uplink): the kernel-only hot path that the
+/// dispatch index in `JobExecution::dispatch` optimizes. Shared by the
+/// `fleet_churn` binary and the criterion `churn` bench so both report the
+/// same scenario.
+pub fn dispatch_hot_path_report() -> ExecutionReport {
+    let catalog = Catalog::aws_july_2011();
+    let engine = Engine::new(catalog);
+    let spec = Workload::KMeansScaled { input_gb: 256 }.spec();
+    let uplink = mbps_to_gb_per_hour(200.0);
+    let opts = DeploymentOptions {
+        max_hours: 2_000.0,
+        ..DeploymentOptions::new("dispatch-hot-path", uplink).with_nodes("m1.large", 100, 0.0)
+    };
+    let scheduler = conductor_mapreduce::scheduler::PlanFollowingScheduler::cloud_only_defaults();
+    engine
+        .run(&spec, &opts, &scheduler)
+        .expect("hot-path deployment")
+}
+
+/// The canonical churn scenario: `jobs` arrivals from one shared seed, the
+/// storm-bearing service from [`churn_service`] with a 150-node cap, and a
+/// trace long enough to outlive the last tenant. One definition, so the
+/// `fleet_churn` binary, the criterion `churn` bench and the experiments
+/// table all measure the *same* fleet and cannot drift apart.
+pub fn churn_fixture(jobs: usize, mean_gap_hours: f64) -> (Vec<FleetJobRequest>, ConductorService) {
+    let requests = churn_requests(20_260_729, jobs, mean_gap_hours);
+    let horizon = requests.last().map(|r| r.arrival_hours).unwrap_or(0.0) + 200.0;
+    let service = churn_service(17, 150, horizon.ceil() as usize);
+    (requests, service)
+}
+
+/// Fleet churn summary table: `jobs` Poisson arrivals (mean gap
+/// `mean_gap_hours`) on the canonical [`churn_fixture`] fleet. One row per
+/// outcome class plus the fleet roll-up.
+pub fn fleet_churn(jobs: usize, mean_gap_hours: f64) -> Table {
+    let (requests, service) = churn_fixture(jobs, mean_gap_hours);
+    let report = service.run(&requests).expect("churn fleet run");
+    let revocation_events: usize = report
+        .tenants
+        .iter()
+        .map(|t| t.revoked_at_hours.len())
+        .sum();
+    let replans: usize = report
+        .tenants
+        .iter()
+        .map(|t| t.replanned_at_hours.len())
+        .sum();
+    let mut t = Table::new(
+        "Fleet churn: Poisson arrivals under a shared cap and a stormy spot trace",
+        &["value"],
+    );
+    t.push("arrivals", vec![jobs as f64]);
+    t.push("admitted", vec![report.jobs_admitted as f64]);
+    t.push("completed", vec![report.jobs_completed as f64]);
+    t.push("deadlines met", vec![report.deadlines_met as f64]);
+    t.push("revocation hits", vec![revocation_events as f64]);
+    t.push("monitor re-plans", vec![replans as f64]);
+    t.push("fleet cost USD", vec![report.fleet_cost]);
+    t.push("makespan h", vec![report.makespan_hours]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     // Cheap experiments are exercised directly; the expensive planning-based
     // ones are covered by the integration tests and the figNN binaries.
+
+    #[test]
+    fn churn_requests_are_deterministic_and_poisson_shaped() {
+        let a = churn_requests(7, 64, 1.0);
+        let b = churn_requests(7, 64, 1.0);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.arrival_hours.to_bits(), y.arrival_hours.to_bits());
+            assert_eq!(x.spec.input_gb, y.spec.input_gb);
+        }
+        // Arrivals are strictly increasing and average out near the mean gap.
+        for w in a.windows(2) {
+            assert!(w[1].arrival_hours > w[0].arrival_hours);
+        }
+        let mean_gap = a.last().unwrap().arrival_hours / (a.len() - 1) as f64;
+        assert!(
+            (0.5..2.0).contains(&mean_gap),
+            "mean inter-arrival {mean_gap}"
+        );
+        // The size mix really is mixed.
+        let sizes: std::collections::BTreeSet<u64> =
+            a.iter().map(|r| r.spec.input_gb as u64).collect();
+        assert!(sizes.len() >= 2, "sizes {sizes:?}");
+        // A different seed moves the arrivals.
+        let c = churn_requests(8, 64, 1.0);
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.arrival_hours != y.arrival_hours));
+    }
 
     #[test]
     fn fig01_divergence_grows_with_instance_size() {

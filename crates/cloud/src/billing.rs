@@ -169,6 +169,40 @@ impl BillingAccount {
         cost
     }
 
+    /// Stops a rental session that the *provider* terminated (a spot
+    /// instance out-bid by the market): completed whole hours are charged,
+    /// but the partial hour in which the termination happened is free —
+    /// EC2's out-of-bid rule, mirroring
+    /// [`crate::SpotMarket::run_instance`]. Contrast with
+    /// [`Self::stop_instance`], which rounds *up* (the customer chose to
+    /// stop and pays to the end of the started hour).
+    ///
+    /// Returns the amount charged. Unknown session ids charge nothing.
+    pub fn stop_instance_revoked(&mut self, session: u64, now: Hours) -> f64 {
+        let Some(s) = self.open_sessions.remove(&session) else {
+            return 0.0;
+        };
+        let elapsed = (now - s.started_at).max(0.0);
+        // Nudge before flooring: a session spanning whole hours between two
+        // fractional fleet instants can compute to 2.999…96, and a fully
+        // completed hour is chargeable (same float-summation tolerance the
+        // engine's trace-hour lookup applies).
+        let billed_hours = (elapsed + 1e-9).floor();
+        let cost = if s.is_local {
+            0.0
+        } else {
+            billed_hours * s.effective_hourly_price
+        };
+        let category = if s.is_local {
+            CostCategory::Local
+        } else {
+            CostCategory::Computation
+        };
+        self.breakdown.add(category, cost);
+        *self.instance_hours.entry(s.instance_name).or_insert(0.0) += billed_hours;
+        cost
+    }
+
     /// Number of rental sessions still open.
     pub fn open_sessions(&self) -> usize {
         self.open_sessions.len()
@@ -290,6 +324,24 @@ mod tests {
         assert!(
             (acct.breakdown().get(CostCategory::Computation) - 100.0 * 2.0 * 0.34).abs() < 1e-6
         );
+    }
+
+    #[test]
+    fn revoked_sessions_do_not_pay_the_terminated_partial_hour() {
+        let cat = catalog();
+        let large = cat.instance("m1.large").unwrap();
+        let mut acct = BillingAccount::new(cat.transfer);
+        // Out-bid 2.6 hours in: two completed hours charged, the third free.
+        let s = acct.start_instance_at_price(large, 0.0, 0.2);
+        let cost = acct.stop_instance_revoked(s, 2.6);
+        assert!((cost - 2.0 * 0.2).abs() < 1e-9);
+        assert!((acct.instance_hours("m1.large") - 2.0).abs() < 1e-9);
+        // Revoked before the first hour completed: nothing charged at all
+        // (the customer-initiated stop would have paid the minimum hour).
+        let s = acct.start_instance_at_price(large, 10.0, 0.2);
+        assert_eq!(acct.stop_instance_revoked(s, 10.4), 0.0);
+        // Unknown sessions still charge nothing.
+        assert_eq!(acct.stop_instance_revoked(999, 5.0), 0.0);
     }
 
     #[test]

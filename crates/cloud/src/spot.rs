@@ -223,6 +223,51 @@ impl SpotMarket {
         self.on_demand_price * hours as f64
     }
 
+    /// First hour `>= from` at which a session with maximum bid `bid` is
+    /// out-bid (spot price strictly above the bid) — the hour at which the
+    /// provider would terminate it, [`Self::run_instance`]-style. Returns
+    /// `None` when no such hour exists on the trace. Past the trace end the
+    /// price clamps to the last known value, so an out-bid verdict there
+    /// holds forever.
+    pub fn next_revocation(&self, from: usize, bid: f64) -> Option<usize> {
+        if from >= self.trace.len() {
+            return (self.trace.price_at(from) > bid).then_some(from);
+        }
+        (from..self.trace.len()).find(|&t| self.trace.price_at(t) > bid)
+    }
+
+    /// First hour `>= from` at which a request with maximum bid `bid` would
+    /// be granted again (spot price at or below the bid). Returns `None`
+    /// when the price never comes back down on the trace — a fleet whose
+    /// sessions were revoked then stays out of the market for good.
+    pub fn next_acceptance(&self, from: usize, bid: f64) -> Option<usize> {
+        if from >= self.trace.len() {
+            return (self.trace.price_at(from) <= bid).then_some(from);
+        }
+        (from..self.trace.len()).find(|&t| self.trace.price_at(t) <= bid)
+    }
+
+    /// Iterator over every out-bid hour in `[start, end)` for a session
+    /// bidding `bid`: the hours at which the trace would terminate such a
+    /// session. This is the trace-driven revocation schedule a fleet driver
+    /// turns into simulation events — each yielded hour is one per-hour
+    /// out-bid check from [`Self::run_instance`], detached from any single
+    /// instance so many concurrent sessions can share it.
+    pub fn revocation_hours(&self, start: usize, end: usize, bid: f64) -> RevocationHours<'_> {
+        RevocationHours {
+            market: self,
+            next: start,
+            end,
+            bid,
+        }
+    }
+
+    /// `true` when a session with bid `bid` held at hour `t` would be
+    /// terminated (the spot price rose strictly above the bid).
+    pub fn out_bid_at(&self, t: usize, bid: f64) -> bool {
+        self.trace.price_at(t) > bid
+    }
+
     /// Expected spot prices for hours `[start, start + len)`, each capped at
     /// the on-demand price (a rational customer never bids above it). This
     /// is the per-interval price expectation a fleet scheduler feeds into
@@ -232,6 +277,31 @@ impl SpotMarket {
         (start..start + len)
             .map(|t| self.trace.price_at(t).min(self.on_demand_price))
             .collect()
+    }
+}
+
+/// Iterator over the out-bid hours of a trace window (see
+/// [`SpotMarket::revocation_hours`]).
+#[derive(Debug, Clone)]
+pub struct RevocationHours<'a> {
+    market: &'a SpotMarket,
+    next: usize,
+    end: usize,
+    bid: f64,
+}
+
+impl Iterator for RevocationHours<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.next < self.end {
+            let t = self.next;
+            self.next += 1;
+            if self.market.out_bid_at(t, self.bid) {
+                return Some(t);
+            }
+        }
+        None
     }
 }
 
@@ -342,6 +412,38 @@ mod tests {
         let m = SpotMarket::new(t, 0.34);
         assert!(m.bid_accepted(0, 0.25));
         assert!(!m.bid_accepted(1, 0.25));
+    }
+
+    #[test]
+    fn revocation_hours_match_per_hour_out_bid_checks() {
+        let t = SpotTrace::from_prices(TraceKind::AwsLike, vec![0.2, 0.4, 0.5, 0.2, 0.6, 0.1]);
+        let m = SpotMarket::new(t, 0.34);
+        let hours: Vec<usize> = m.revocation_hours(0, 6, 0.34).collect();
+        assert_eq!(hours, vec![1, 2, 4]);
+        // A window cuts the schedule without shifting it.
+        let tail: Vec<usize> = m.revocation_hours(3, 6, 0.34).collect();
+        assert_eq!(tail, vec![4]);
+        // Bidding above every price yields no revocations at all.
+        assert_eq!(m.revocation_hours(0, 6, 0.7).count(), 0);
+    }
+
+    #[test]
+    fn next_revocation_and_acceptance_scan_forward() {
+        let t = SpotTrace::from_prices(TraceKind::AwsLike, vec![0.2, 0.5, 0.5, 0.2]);
+        let m = SpotMarket::new(t, 0.34);
+        assert_eq!(m.next_revocation(0, 0.34), Some(1));
+        assert_eq!(m.next_revocation(2, 0.34), Some(2));
+        assert_eq!(m.next_acceptance(1, 0.34), Some(3));
+        // Past the trace end the clamped last price (0.2) rules.
+        assert_eq!(m.next_acceptance(10, 0.34), Some(10));
+        assert_eq!(m.next_revocation(10, 0.34), None);
+        // A trace that ends expensive never readmits a low bid.
+        let stuck = SpotMarket::new(
+            SpotTrace::from_prices(TraceKind::AwsLike, vec![0.2, 0.9]),
+            0.34,
+        );
+        assert_eq!(stuck.next_acceptance(1, 0.34), None);
+        assert_eq!(stuck.next_revocation(5, 0.34), Some(5));
     }
 
     #[test]

@@ -3,19 +3,43 @@
 //! The paper frames Conductor as a service that orchestrates deployments
 //! for many customers; [`ConductorService`] is that fleet view. It admits N
 //! jobs with staggered arrivals onto one shared discrete-event clock
-//! (`conductor-sim`), plans each arrival against the **residual** capacity
-//! left by the jobs already running, prices every tenant against one shared
-//! [`SpotMarket`] and catalog, meters a per-tenant
-//! [`conductor_cloud::BillingAccount`] (rolled up into a fleet bill), and
-//! runs adaptation as periodic *monitor events* on the shared clock — a
-//! tenant that falls behind its plan is re-planned in place and its node
-//! schedule spliced mid-run, instead of restarting the world.
+//! ([`conductor_sim::Simulator`]), plans each arrival against the
+//! **residual** capacity left by the jobs already running, prices every
+//! tenant against one shared [`SpotMarket`] and catalog, meters a
+//! per-tenant [`conductor_cloud::BillingAccount`] (rolled up into a fleet
+//! bill), and runs adaptation as periodic *monitor events* on the shared
+//! clock — a tenant that falls behind its plan is re-planned in place and
+//! its node schedule spliced mid-run, instead of restarting the world.
+//!
+//! # Residual-capacity admission
 //!
 //! Each tenant uploads over its own site uplink (tenants are distinct
 //! customers), but compute capacity, the spot market and the price catalog
-//! are shared — which is exactly where multi-tenant contention shows up:
-//! a late arrival plans against whatever allocation limit the earlier
-//! tenants left over.
+//! are shared — which is exactly where multi-tenant contention shows up.
+//! At every arrival the service samples the committed node count of every
+//! running job's schedule at each future step and subtracts the *peak*
+//! from the fleet-wide `max_nodes` caps
+//! ([`ResourcePool::with_compute_cap`]); the arrival is planned by
+//! [`Planner`] against that leftover, and rejected (with the reason
+//! recorded in [`TenantOutcome::rejection`]) when no feasible plan exists.
+//! Re-planning a *running* job uses the same residual with the job itself
+//! excluded, since its own schedule is about to be replaced.
+//!
+//! # The fleet event loop
+//!
+//! The service is itself a wakeup-handler driver (see
+//! [`conductor_mapreduce::execution`] for the per-job half of the
+//! protocol). Four event kinds share the clock, class-ordered so an
+//! instant settles causes-first: tenant arrivals (admission), job wakeups
+//! (delegated to [`JobExecution::on_wakeup`]), **spot revocations**, and
+//! monitor ticks. Revocation events come straight from the shared price
+//! trace ([`SpotMarket::revocation_hours`]): at every hour the price
+//! exceeds the fleet bid ([`ConductorService::with_spot_bid`]), each
+//! running job's cloud nodes are terminated via
+//! [`JobExecution::kill_cloud_nodes`] — partial hours uncharged,
+//! interrupted work returned to the runnable set — and the victim is
+//! flagged so the next monitor tick re-plans it against the post-storm
+//! residual without waiting for a progress shortfall to accumulate.
 
 use crate::controller::scheduler_for_plan;
 use crate::error::ConductorError;
@@ -83,6 +107,9 @@ pub struct TenantOutcome {
     pub failure: Option<String>,
     /// Fleet-clock hours at which the monitor re-planned this job.
     pub replanned_at_hours: Vec<f64>,
+    /// Fleet-clock hours at which the spot market revoked nodes from this
+    /// job (one entry per revocation event that killed at least one node).
+    pub revoked_at_hours: Vec<f64>,
     /// Fleet-clock hour at which the job (including its result download)
     /// completed.
     pub finished_at_hours: Option<f64>,
@@ -122,17 +149,25 @@ enum FleetEvent {
     Arrival(usize),
     /// Wakeup for an admitted job's execution process.
     Job(ProcessId),
+    /// The spot price rose above the fleet bid at this hour: every running
+    /// spot session is terminated by the provider.
+    Revocation,
     /// Periodic progress check over every running job.
     MonitorTick,
 }
 
 impl FleetEvent {
-    /// Arrivals settle first at a tick, then job state, then the monitor
-    /// observes (so it never sees a half-applied hour).
+    /// Arrivals settle first at a tick, then job state, then the market
+    /// revokes, then the monitor observes (so it never sees a half-applied
+    /// hour). Revocations deliberately order *after* job wakeups at the
+    /// same instant: a task that finishes exactly at the out-bid hour
+    /// completed its hour and retires normally; only the survivors lose
+    /// their nodes.
     fn class(self) -> u8 {
         match self {
             FleetEvent::Arrival(_) => 0,
             FleetEvent::Job(_) => 1,
+            FleetEvent::Revocation => 2,
             FleetEvent::MonitorTick => 9,
         }
     }
@@ -148,6 +183,10 @@ struct ActiveJob {
     /// `(fleet_hour, cumulative expected map GB)` checkpoints the monitor
     /// compares real progress against; rebuilt on every re-plan.
     progress_model: Vec<(f64, f64)>,
+    /// Set when a revocation killed nodes out from under this job; the
+    /// next monitor tick re-plans it against the post-storm residual
+    /// without waiting for the progress shortfall to accumulate.
+    storm_hit: bool,
 }
 
 /// The multi-tenant orchestration service.
@@ -157,6 +196,10 @@ pub struct ConductorService {
     pool: ResourcePool,
     solve_options: SolveOptions,
     spot_market: Option<SpotMarket>,
+    /// Maximum bid per spot instance-hour; `None` bids the on-demand price
+    /// (the rational ceiling). Sessions are terminated — and new requests
+    /// refused — whenever the trace price rises strictly above this.
+    spot_bid: Option<f64>,
     /// Hours between monitor ticks (1.0 = the paper's planning interval).
     monitor_period_hours: f64,
     /// Relative shortfall that triggers a re-plan: the monitor stays quiet
@@ -189,6 +232,7 @@ impl ConductorService {
                 ..SolveOptions::default()
             },
             spot_market: None,
+            spot_bid: None,
             monitor_period_hours: 1.0,
             monitor_tolerance: 0.25,
             replan_margin_hours: 1.0,
@@ -203,10 +247,24 @@ impl ConductorService {
     }
 
     /// Attaches a shared spot market: every tenant's rental sessions are
-    /// priced at the market's hourly price (capped at on-demand), and the
-    /// planner sees the same prices as per-interval expectations (eq. 6).
+    /// priced at the market's hourly price (capped at on-demand), the
+    /// planner sees the same prices as per-interval expectations (eq. 6),
+    /// and every hour the trace price exceeds the fleet bid becomes a
+    /// [revocation event](Self::with_spot_bid) that terminates the running
+    /// spot sessions.
     pub fn with_spot_market(mut self, market: SpotMarket) -> Self {
         self.spot_market = Some(market);
+        self
+    }
+
+    /// Overrides the fleet's maximum bid per spot instance-hour (default:
+    /// the market's on-demand price, the most a rational tenant would
+    /// pay). Lower bids buy cheaper hours at the price of more revocation
+    /// storms: whenever the trace rises strictly above the bid, every
+    /// running spot session is terminated (the partial hour uncharged) and
+    /// new requests are refused until the price comes back down.
+    pub fn with_spot_bid(mut self, bid: f64) -> Self {
+        self.spot_bid = Some(bid.max(0.0));
         self
     }
 
@@ -251,6 +309,7 @@ impl ConductorService {
                 execution: None,
                 failure: None,
                 replanned_at_hours: Vec::new(),
+                revoked_at_hours: Vec::new(),
                 finished_at_hours: None,
             })
             .collect();
@@ -270,6 +329,20 @@ impl ConductorService {
                 FleetEvent::MonitorTick.class(),
                 FleetEvent::MonitorTick,
             );
+        }
+        // The trace-driven revocation schedule: one event per hour the spot
+        // price sits above the fleet bid, shared by every tenant. These are
+        // first-class events on the shared clock, not a post-hoc price
+        // adjustment — a storm interrupts running executions mid-flight.
+        if let Some(market) = &self.spot_market {
+            let bid = self.effective_bid(market);
+            for hour in market.revocation_hours(0, market.trace().len(), bid) {
+                sim.schedule(
+                    hour as f64,
+                    FleetEvent::Revocation.class(),
+                    FleetEvent::Revocation,
+                );
+            }
         }
 
         let mut batch = Vec::new();
@@ -300,6 +373,29 @@ impl ConductorService {
                             continue; // already advanced at this instant
                         }
                         self.wake_job(pid, now, &mut sim, &mut active, &mut outcomes);
+                    }
+                    FleetEvent::Revocation => {
+                        for (pid, job) in active.iter_mut() {
+                            let rel = (now - job.start).max(0.0);
+                            let (killed, wakeups) = job.exec.kill_cloud_nodes(rel);
+                            if killed == 0 {
+                                continue;
+                            }
+                            job.storm_hit = true;
+                            outcomes[job.request_idx].revoked_at_hours.push(now);
+                            for (t, _) in wakeups {
+                                sim.schedule(
+                                    job.start + t,
+                                    FleetEvent::Job(*pid).class(),
+                                    FleetEvent::Job(*pid),
+                                );
+                            }
+                            // Wake the victim immediately: it reconciles
+                            // against the out-bid market and schedules its
+                            // own recovery-hour retry, instead of sleeping
+                            // on wakeups for tasks that no longer run.
+                            sim.schedule(now, FleetEvent::Job(*pid).class(), FleetEvent::Job(*pid));
+                        }
                     }
                     FleetEvent::MonitorTick => {
                         self.monitor(now, &mut sim, &mut active, &mut outcomes);
@@ -400,6 +496,7 @@ impl ConductorService {
             Some(market) => SessionPricing::Spot {
                 market: market.clone(),
                 start_offset_hours: now,
+                bid: self.effective_bid(market),
             },
             None => SessionPricing::OnDemand,
         };
@@ -430,6 +527,7 @@ impl ConductorService {
                 spec: request.spec.clone(),
                 goal: request.goal,
                 progress_model,
+                storm_hit: false,
             },
             initial,
         ))
@@ -498,7 +596,7 @@ impl ConductorService {
     ) {
         let pids: Vec<ProcessId> = active.keys().copied().collect();
         for pid in pids {
-            let (rel, deadline, expected, progress) = {
+            let (rel, deadline, expected, progress, storm_hit) = {
                 let job = active.get(&pid).expect("active job present");
                 if !matches!(job.exec.phase(), JobPhase::Processing) {
                     continue;
@@ -511,18 +609,31 @@ impl ConductorService {
                     continue; // nothing to protect
                 };
                 let expected = expected_progress(&job.progress_model, now);
-                (rel, deadline, expected, job.exec.progress(rel))
+                (
+                    rel,
+                    deadline,
+                    expected,
+                    job.exec.progress(rel),
+                    job.storm_hit,
+                )
             };
             let on_track = expected <= 0.0
                 || progress.map_done_gb + 1e-6 >= (1.0 - self.monitor_tolerance) * expected;
-            if on_track {
+            // A storm-hit job re-plans even when its checkpoints still look
+            // on track: the plan's future capacity just evaporated, and
+            // waiting for the shortfall to show up wastes the hours the
+            // deadline rescue needs.
+            if on_track && !storm_hit {
                 continue;
             }
             // Too late to act? Leave the schedule alone and let it ride.
             if deadline - rel <= self.replan_margin_hours + 1.0 {
+                clear_storm_flag(active, pid);
                 continue;
             }
             // Observed per-node throughput over the hours actually fielded.
+            // A storm victim with no fielded hours yet keeps its flag and
+            // retries at the next tick, once it has observed something.
             if progress.allocated_node_hours <= TIME_EPSILON {
                 continue;
             }
@@ -530,6 +641,7 @@ impl ConductorService {
             if observed_gbph <= 0.0 {
                 continue;
             }
+            clear_storm_flag(active, pid);
             self.replan_job(
                 pid,
                 now,
@@ -681,6 +793,12 @@ impl ConductorService {
         pool
     }
 
+    /// The fleet's maximum bid per spot instance-hour: the configured
+    /// override, or the market's on-demand price (the rational ceiling).
+    fn effective_bid(&self, market: &SpotMarket) -> f64 {
+        self.spot_bid.unwrap_or(market.on_demand_price)
+    }
+
     /// Per-interval price expectations from the shared spot market (empty
     /// when the fleet buys on-demand).
     fn price_forecast(&self, now: f64, horizon: usize) -> BTreeMap<String, Vec<f64>> {
@@ -694,6 +812,14 @@ impl ConductorService {
             }
         }
         forecast
+    }
+}
+
+/// Clears a job's storm flag once the monitor has acted on (or given up
+/// on) the revocation.
+fn clear_storm_flag(active: &mut BTreeMap<ProcessId, ActiveJob>, pid: ProcessId) {
+    if let Some(job) = active.get_mut(&pid) {
+        job.storm_hit = false;
     }
 }
 
@@ -821,6 +947,7 @@ mod tests {
             execution: None,
             failure: None,
             replanned_at_hours: Vec::new(),
+            revoked_at_hours: Vec::new(),
             finished_at_hours: None,
         };
         let (job, _) = svc

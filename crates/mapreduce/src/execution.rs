@@ -11,12 +11,46 @@
 //! makes multi-job contention over a shared spot market and catalog
 //! possible.
 //!
+//! # The wakeup-handler protocol
+//!
 //! Events are deliberately *payload-free wakeups*: every handler decision
 //! (which splits are available, how many nodes the schedule wants, which
 //! tasks finished) is derived from the state and the current time, with the
-//! same `1e-9` tolerances the original monolithic loop used. That is what
-//! guarantees the event-driven execution reproduces the old engine's
-//! reports bit for bit.
+//! same `1e-9` tolerances ([`conductor_sim::TIME_EPSILON`]) the original
+//! monolithic loop used. That is what guarantees the event-driven
+//! execution reproduces the old engine's reports bit for bit, and it makes
+//! the contract between driver and process small:
+//!
+//! 1. Seed the kernel with [`JobExecution::initial_events`] (kickoff,
+//!    schedule steps, split arrivals), each tagged with its
+//!    [`JobEvent::class`] so simultaneous events settle in cause-order.
+//! 2. On every due wakeup call [`JobExecution::on_wakeup`], which settles
+//!    the instant — retire finished tasks, reconcile the cluster against
+//!    the node schedule (opening/closing billed rental sessions),
+//!    dispatch runnable work — and returns the follow-up wakeups
+//!    (task finishes, the download completion) to push back on the heap.
+//! 3. Between wakeups, [`JobExecution::next_event_hours`] names the next
+//!    instant anything can change; `None` with work remaining means the
+//!    job is genuinely stuck and the driver should [`JobExecution::abort`]
+//!    it (the accrued spend stays on the bill).
+//!
+//! Dispatch itself is index-driven: pending tasks are bucketed per data
+//! location (maps) plus one reduce set, so a wakeup pays for the few
+//! lowest-index candidates instead of a full O(tasks · idle nodes) scan —
+//! the distinction that keeps fleet-churn simulations flat as executions
+//! grow.
+//!
+//! # Spot revocations
+//!
+//! Under [`SessionPricing::Spot`] the shared market can take the cluster
+//! away: the fleet driver converts out-bid hours into calls to
+//! [`JobExecution::kill_cloud_nodes`] (sessions closed without charging
+//! the terminated partial hour, interrupted tasks returned to the runnable
+//! set, the surviving schedule re-spliced past the blackout), while
+//! reconciliation refuses to open new sessions until the price re-admits
+//! the bid. Work the market displaced can outlive the plan's schedule;
+//! the straggler extension re-raises the last allocation instead of
+//! stranding it.
 
 use crate::cluster::{nodes_at, Cluster, NodeAllocation, NodeId};
 use crate::engine::{
@@ -62,40 +96,97 @@ impl JobEvent {
     }
 }
 
-/// How rental sessions opened by this job are priced.
+/// How rental sessions opened by this job are priced — and, for spot
+/// sessions, when the market refuses or revokes them.
 #[derive(Debug, Clone)]
 pub enum SessionPricing {
-    /// Every session pays the catalog's on-demand price.
+    /// Every session pays the catalog's on-demand price and is never
+    /// refused or revoked.
     OnDemand,
     /// Sessions on cloud nodes pay the shared spot market's price at the
     /// absolute hour the session starts. `start_offset_hours` is the job's
     /// start time on the fleet clock, so concurrent tenants price against
-    /// the *same* trace hours.
+    /// the *same* trace hours. While the spot price sits strictly above
+    /// `bid`, new cloud nodes cannot be acquired (the market refuses the
+    /// request), and the fleet driver turns the out-bid hours into
+    /// revocation events that terminate the running ones
+    /// ([`JobExecution::kill_cloud_nodes`]).
     Spot {
         /// The shared market (one per fleet).
         market: SpotMarket,
         /// Job start on the fleet clock, in hours.
         start_offset_hours: f64,
+        /// Maximum bid per instance-hour. A rational tenant bids at most
+        /// the on-demand price (paying more would never be worth it), so
+        /// fleet drivers default to that ceiling.
+        bid: f64,
     },
 }
 
 impl SessionPricing {
+    /// The trace hour on the fleet clock corresponding to job-relative
+    /// hour `now` (nudged by [`EPS`] so an event scheduled *at* an hour
+    /// boundary lands in that hour despite float summation error).
+    fn trace_hour(start_offset_hours: f64, now: f64) -> usize {
+        (start_offset_hours + now + EPS).floor().max(0.0) as usize
+    }
+
     fn price_for(&self, itype: &conductor_cloud::InstanceType, now: f64) -> f64 {
         match self {
             SessionPricing::OnDemand => itype.hourly_price,
             SessionPricing::Spot {
                 market,
                 start_offset_hours,
+                ..
             } => {
                 if itype.is_local() {
                     0.0
                 } else {
-                    let hour = (start_offset_hours + now).floor().max(0.0) as usize;
+                    let hour = Self::trace_hour(*start_offset_hours, now);
                     // A rational tenant never pays above on-demand.
                     market.price_at(hour).min(itype.hourly_price)
                 }
             }
         }
+    }
+
+    /// `true` when the market would refuse a request for more `itype`
+    /// nodes at job-relative hour `now` (spot price strictly above the
+    /// bid). On-demand sessions and local nodes are never refused.
+    fn acquisition_blocked(&self, itype: &conductor_cloud::InstanceType, now: f64) -> bool {
+        match self {
+            SessionPricing::OnDemand => false,
+            SessionPricing::Spot {
+                market,
+                start_offset_hours,
+                bid,
+            } => {
+                !itype.is_local()
+                    && market.out_bid_at(Self::trace_hour(*start_offset_hours, now), *bid)
+            }
+        }
+    }
+
+    /// If the market is currently refusing requests at job-relative hour
+    /// `now`, the job-relative hour at which the spot price next comes
+    /// back down to the bid (a request made then is granted). `None` when
+    /// nothing is blocked — or when the trace never recovers, in which
+    /// case the job really is starved for good.
+    fn recovery_hours(&self, now: f64) -> Option<f64> {
+        let SessionPricing::Spot {
+            market,
+            start_offset_hours,
+            bid,
+        } = self
+        else {
+            return None;
+        };
+        let hour = Self::trace_hour(*start_offset_hours, now);
+        if !market.out_bid_at(hour, *bid) {
+            return None;
+        }
+        let recovery = market.next_acceptance(hour + 1, *bid)?;
+        Some(recovery as f64 - start_offset_hours)
     }
 }
 
@@ -174,6 +265,25 @@ pub struct JobExecution<'a> {
     running: Vec<Running>,
     schedule_points: Vec<f64>,
 
+    // ---- dispatch index -------------------------------------------------
+    // `dispatch` used to scan every task for every idle node — O(tasks ·
+    // idle nodes) per wakeup, the fleet-churn hot path. The index keeps
+    // exactly the dispatchable tasks, bucketed the way the scan consumed
+    // them: pending map tasks by the location their input is available at,
+    // pending reduce tasks in one set (their location is a function of the
+    // node). Sets are ordered, so "lowest task index at this location" is
+    // `first()` — preserving the scan's deterministic tie-breaking.
+    /// Pending map tasks whose input is available now, by location.
+    runnable_maps: BTreeMap<DataLocation, std::collections::BTreeSet<usize>>,
+    /// Pending reduce tasks (dispatchable once `map_remaining == 0`).
+    runnable_reduces: std::collections::BTreeSet<usize>,
+    /// `(available_at, task_idx, location)` for splits still uploading,
+    /// sorted by availability; promoted into `runnable_maps` as the clock
+    /// passes them.
+    upload_pending: Vec<(f64, usize, DataLocation)>,
+    /// First `upload_pending` entry not yet promoted.
+    upload_cursor: usize,
+
     task_timeline: Vec<(f64, usize)>,
     completed: usize,
     map_remaining: usize,
@@ -250,6 +360,26 @@ impl<'a> JobExecution<'a> {
         schedule_points.dedup();
 
         let map_remaining = spec.map_tasks();
+        let mut runnable_maps: BTreeMap<DataLocation, std::collections::BTreeSet<usize>> =
+            BTreeMap::new();
+        let mut runnable_reduces = std::collections::BTreeSet::new();
+        let mut upload_pending: Vec<(f64, usize, DataLocation)> = Vec::new();
+        for (idx, task) in tasks.iter().enumerate() {
+            match task.kind {
+                TaskKind::Map => {
+                    let split = &splits[idx.min(splits.len().saturating_sub(1))];
+                    if split.location != DataLocation::ClientSite && split.available_at > EPS {
+                        upload_pending.push((split.available_at, idx, split.location));
+                    } else {
+                        runnable_maps.entry(split.location).or_default().insert(idx);
+                    }
+                }
+                TaskKind::Reduce => {
+                    runnable_reduces.insert(idx);
+                }
+            }
+        }
+        upload_pending.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
         Ok(Self {
             catalog: catalog.clone(),
             spec: spec.clone(),
@@ -267,6 +397,10 @@ impl<'a> JobExecution<'a> {
             splits,
             running: Vec::new(),
             schedule_points,
+            runnable_maps,
+            runnable_reduces,
+            upload_pending,
+            upload_cursor: 0,
             task_timeline: Vec::new(),
             completed: 0,
             map_remaining,
@@ -368,7 +502,19 @@ impl<'a> JobExecution<'a> {
                     })
                     .map(|s| s.available_at)
                     .fold(f64::INFINITY, f64::min);
-                let next = next_finish.min(next_schedule).min(next_split);
+                // A spot job starved by an out-bid market is not stuck: its
+                // next state change is the hour the price readmits its bid.
+                // `recovery_hours` is the cheap discriminator (`None` unless
+                // the market is out-bid right now), so the schedule-demand
+                // scan only runs during an actual blackout.
+                let next_recovery = match self.pricing.recovery_hours(now) {
+                    Some(recovery) if self.wants_more_cloud_nodes(now) => recovery,
+                    _ => f64::INFINITY,
+                };
+                let next = next_finish
+                    .min(next_schedule)
+                    .min(next_split)
+                    .min(next_recovery);
                 next.is_finite().then_some(next)
             }
             JobPhase::Downloading { completion } => Some(completion),
@@ -397,8 +543,15 @@ impl<'a> JobExecution<'a> {
         }
 
         self.retire_finished(now);
-        self.reconcile_cluster(now);
+        self.reconcile_cluster(now, &mut out);
         self.dispatch(now, &mut out);
+        if self.extend_for_stragglers(now) {
+            // The extension must take effect *within* this wakeup: the
+            // driver's stuck check runs right after, and a step at `now`
+            // only helps if the nodes (or a recovery retry) exist by then.
+            self.reconcile_cluster(now, &mut out);
+            self.dispatch(now, &mut out);
+        }
 
         if self.completed == self.tasks.len() {
             let completion = self.finalize(now);
@@ -406,6 +559,73 @@ impl<'a> JobExecution<'a> {
             out.push((completion, JobEvent::DownloadDone));
         }
         out
+    }
+
+    /// Work can outlive the node schedule: the plan's fluid model was
+    /// optimistic, a revocation returned killed tasks to the runnable set,
+    /// or an out-bid market delayed acquisitions — and the schedule's tail
+    /// ramps to zero believing everything is done, stranding the
+    /// stragglers (or the reduces whose map barrier opened late). When a
+    /// job has nothing running, nothing scheduled, and tasks remaining,
+    /// re-raise the last positive cloud allocation — capped at the
+    /// straggler count — rather than abandoning paid-for work: a real
+    /// orchestrator keeps its cluster until the job is done. A stuck state
+    /// can never resolve on its own (every event source is derived from
+    /// state), so this only ever converts a would-be failure into a
+    /// limp-home completion; runs that complete on schedule — including
+    /// every execution the engine-equivalence suite pins bit for bit —
+    /// never reach it. The step function keeps the extension level in
+    /// force from `now` on, so it cannot re-fire in a loop when dispatch
+    /// (not capacity) is what's stuck.
+    ///
+    /// Returns `true` when a step was added (the caller re-reconciles and
+    /// re-dispatches in the same wakeup).
+    fn extend_for_stragglers(&mut self, now: f64) -> bool {
+        if self.completed == self.tasks.len()
+            || !self.running.is_empty()
+            || self.next_event_hours(now).is_some()
+        {
+            return false;
+        }
+        let stragglers = self.tasks.len() - self.completed;
+        // Any cloud type still demanded at `now` means nodes are on the way
+        // (or the market is starving us for good) — nothing to extend.
+        let cloud_types: std::collections::BTreeSet<&str> = self
+            .options
+            .node_schedule
+            .iter()
+            .map(|a| a.instance_type.as_str())
+            .filter(|name| self.catalog.instance(name).is_some_and(|i| !i.is_local()))
+            .collect();
+        if cloud_types
+            .iter()
+            .any(|name| nodes_at(&self.options.node_schedule, name, now) > 0)
+        {
+            return false;
+        }
+        // The most recent positive cloud allocation, capped at the
+        // straggler count: enough to finish, never more than the plan ever
+        // fielded at once.
+        let last_positive = self
+            .options
+            .node_schedule
+            .iter()
+            .filter(|a| cloud_types.contains(a.instance_type.as_str()) && a.nodes > 0)
+            .max_by(|a, b| a.from_hour.partial_cmp(&b.from_hour).unwrap());
+        let Some(step) = last_positive else {
+            return false; // local-only deployments keep the classic stuck semantics
+        };
+        let extension = NodeAllocation {
+            from_hour: now,
+            instance_type: step.instance_type.clone(),
+            nodes: step.nodes.min(stragglers),
+        };
+        self.options.node_schedule.push(extension);
+        self.schedule_points.push(now);
+        self.schedule_points
+            .sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.schedule_points.dedup();
+        true
     }
 
     /// A monitor's snapshot of the job at hour `now`.
@@ -505,6 +725,110 @@ impl<'a> JobExecution<'a> {
             .collect()
     }
 
+    /// Terminates every rented cloud node at job-relative hour `now` — the
+    /// node-kill path behind fleet-level spot revocations. Running tasks on
+    /// the terminated nodes lose their partial work and return to the
+    /// runnable set (standard MapReduce node-failure semantics), the rental
+    /// sessions close **without charging the terminated partial hour**
+    /// (EC2's out-of-bid rule, [`conductor_cloud::BillingAccount::stop_instance_revoked`]),
+    /// and the nodes leave the cluster. Local nodes are untouched: the
+    /// market cannot revoke machines the customer owns.
+    ///
+    /// Returns the number of nodes terminated plus the wakeups for the
+    /// re-spliced schedule (see below), which the caller must push onto the
+    /// kernel. The surviving schedule still demands nodes, so the next
+    /// reconciliation re-requests capacity — which the market refuses while
+    /// the spot price stays above the session bid, and grants again at the
+    /// recovery hour (see [`SessionPricing`]).
+    ///
+    /// **Schedule splice:** the blackout `[now, recovery)` delivers none of
+    /// the node-hours the plan counted on, so every future step of a cloud
+    /// compute type slides right by the blackout length — otherwise a plan
+    /// whose tail ramps down to zero would strand the returned work with
+    /// nothing to run on (the fluid model believed it would already be
+    /// done). A monitor re-plan may later replace this heuristic splice
+    /// with a properly re-optimized schedule; between storm and tick, the
+    /// shift is what keeps the job alive.
+    pub fn kill_cloud_nodes(&mut self, now: f64) -> (usize, Vec<(f64, JobEvent)>) {
+        if !matches!(self.phase, JobPhase::Processing) {
+            return (0, Vec::new()); // nothing rented, or the download needs no nodes
+        }
+        let doomed: Vec<NodeId> = self
+            .cluster
+            .nodes()
+            .iter()
+            .filter(|n| !n.is_local)
+            .map(|n| n.id)
+            .collect();
+        if doomed.is_empty() {
+            return (0, Vec::new());
+        }
+        let mut still_running = Vec::with_capacity(self.running.len());
+        for r in self.running.drain(..) {
+            if doomed.contains(&r.node) {
+                self.tasks[r.task_idx].state = TaskState::Runnable;
+                // Back into the dispatch index: a map task re-buckets under
+                // its split's location (already uploaded — it was running),
+                // a reduce under the shared reduce set.
+                match self.tasks[r.task_idx].kind {
+                    TaskKind::Map => {
+                        let split =
+                            &self.splits[r.task_idx.min(self.splits.len().saturating_sub(1))];
+                        self.runnable_maps
+                            .entry(split.location)
+                            .or_default()
+                            .insert(r.task_idx);
+                    }
+                    TaskKind::Reduce => {
+                        self.runnable_reduces.insert(r.task_idx);
+                    }
+                }
+            } else {
+                still_running.push(r);
+            }
+        }
+        self.running = still_running;
+        let removed = self.cluster.remove_specific(&doomed, now);
+        for rid in &removed {
+            if let Some(session) = self.sessions.remove(rid) {
+                self.billing.stop_instance_revoked(session, now);
+            }
+        }
+
+        let mut wakeups = Vec::new();
+        if let Some(recovery) = self.pricing.recovery_hours(now) {
+            let shift = recovery - now;
+            if shift > EPS {
+                for step in &mut self.options.node_schedule {
+                    let is_local = self
+                        .catalog
+                        .instance(&step.instance_type)
+                        .is_some_and(|i| i.is_local());
+                    if !is_local && step.from_hour > now + EPS {
+                        step.from_hour += shift;
+                    }
+                }
+                self.schedule_points = self
+                    .options
+                    .node_schedule
+                    .iter()
+                    .map(|a| a.from_hour)
+                    .collect();
+                self.schedule_points
+                    .sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.schedule_points.dedup();
+                wakeups = self
+                    .schedule_points
+                    .iter()
+                    .copied()
+                    .filter(|&t| t > now + EPS)
+                    .map(|t| (t, JobEvent::ScheduleChange))
+                    .collect();
+            }
+        }
+        (removed.len(), wakeups)
+    }
+
     /// The finished report. Panics if the job is not [`JobPhase::Done`];
     /// drivers only call this after the `DownloadDone` wakeup fired.
     pub fn into_report(self) -> ExecutionReport {
@@ -568,10 +892,39 @@ impl<'a> JobExecution<'a> {
         self.running = still_running;
     }
 
+    /// `true` while the schedule demands more cloud nodes of some type than
+    /// the cluster currently holds — the state in which an out-bid spot
+    /// market (rather than the schedule) is what limits the job.
+    fn wants_more_cloud_nodes(&self, now: f64) -> bool {
+        let types: std::collections::BTreeSet<&str> = self
+            .options
+            .node_schedule
+            .iter()
+            .map(|a| a.instance_type.as_str())
+            .collect();
+        types.into_iter().any(|itype_name| {
+            let Some(itype) = self.catalog.instance(itype_name) else {
+                return false;
+            };
+            if itype.is_local() {
+                return false;
+            }
+            let desired = nodes_at(&self.options.node_schedule, itype_name, now);
+            let desired = match itype.max_instances {
+                Some(cap) => desired.min(cap),
+                None => desired,
+            };
+            desired > self.cluster.count_of(itype_name)
+        })
+    }
+
     /// Adds/removes nodes so the cluster matches the schedule at time
     /// `now`, opening and closing billing sessions accordingly. Busy nodes
     /// are never removed; the reconciliation is retried at the next wakeup.
-    fn reconcile_cluster(&mut self, now: f64) {
+    /// Spot-priced acquisitions the market currently refuses (price above
+    /// bid) are skipped, and a retry wakeup for the recovery hour is pushed
+    /// onto `out` instead.
+    fn reconcile_cluster(&mut self, now: f64, out: &mut Vec<(f64, JobEvent)>) {
         let types: Vec<String> = self
             .options
             .node_schedule
@@ -591,6 +944,14 @@ impl<'a> JobExecution<'a> {
             };
             let current = self.cluster.count_of(&itype_name);
             if desired > current {
+                if self.pricing.acquisition_blocked(itype, now) {
+                    if let Some(recovery) = self.pricing.recovery_hours(now) {
+                        if recovery > now + EPS {
+                            out.push((recovery, JobEvent::ScheduleChange));
+                        }
+                    }
+                    continue;
+                }
                 let price = self.pricing.price_for(itype, now);
                 let ids = self.cluster.add_nodes(itype, desired - current, now);
                 for id in ids {
@@ -621,9 +982,28 @@ impl<'a> JobExecution<'a> {
         }
     }
 
+    /// Moves upload-pending map tasks whose split has finished uploading
+    /// by `now` into the per-location dispatch index.
+    fn promote_available(&mut self, now: f64) {
+        while let Some(&(available_at, idx, location)) = self.upload_pending.get(self.upload_cursor)
+        {
+            if available_at > now + EPS {
+                break;
+            }
+            self.runnable_maps.entry(location).or_default().insert(idx);
+            self.upload_cursor += 1;
+        }
+    }
+
     /// Dispatches runnable tasks onto idle nodes, pushing a `TaskFinish`
-    /// wakeup for each dispatch.
+    /// wakeup for each dispatch. Candidates come from the per-location
+    /// dispatch index, not a scan over every task: for each idle node the
+    /// contenders are the lowest-index pending task of every location with
+    /// available data (plus the lowest pending reduce once the map barrier
+    /// opens), ranked exactly as the old full scan ranked them — highest
+    /// scheduler preference first, lowest task index on ties.
     fn dispatch(&mut self, now: f64, out: &mut Vec<(f64, JobEvent)>) {
+        self.promote_available(now);
         let upload_gate_open =
             !self.options.upload_before_processing || now >= self.upload_done_at - EPS;
         let busy: Vec<NodeId> = self.running.iter().map(|r| r.node).collect();
@@ -641,43 +1021,36 @@ impl<'a> JobExecution<'a> {
                 .node(node_id)
                 .expect("idle node still in cluster")
                 .clone();
-            // Find the best dispatchable task for this node.
+            // Find the best dispatchable task for this node: max preference,
+            // ties to the lowest task index (the order the old linear scan
+            // produced, since preference depends only on location + node).
             let mut best: Option<(usize, DataLocation, i32)> = None;
-            for (idx, task) in self.tasks.iter().enumerate() {
-                if !matches!(task.state, TaskState::WaitingForData | TaskState::Runnable) {
-                    continue;
-                }
-                let location = match task.kind {
-                    TaskKind::Map => {
-                        if !upload_gate_open {
-                            continue;
-                        }
-                        let split = &self.splits[idx.min(self.splits.len().saturating_sub(1))];
-                        if split.location == DataLocation::ClientSite {
-                            DataLocation::ClientSite
-                        } else if now + EPS >= split.available_at {
-                            split.location
-                        } else {
-                            continue; // not yet uploaded
-                        }
+            let mut consider = |idx: usize, location: DataLocation, pref: i32| match best {
+                Some((b_idx, _, b_pref)) if pref < b_pref || (pref == b_pref && b_idx < idx) => {}
+                _ => best = Some((idx, location, pref)),
+            };
+            if upload_gate_open {
+                for (&location, pending) in &self.runnable_maps {
+                    let Some(&idx) = pending.first() else {
+                        continue;
+                    };
+                    if !self.scheduler.may_run(&self.tasks[idx], location, &node) {
+                        continue;
                     }
-                    TaskKind::Reduce => {
-                        if self.map_remaining > 0 {
-                            continue; // barrier: reduce starts after all maps
-                        }
-                        if node.is_local {
-                            DataLocation::LocalDisk
-                        } else {
-                            DataLocation::InstanceDisk
-                        }
-                    }
-                };
-                if !self.scheduler.may_run(task, location, &node) {
-                    continue;
+                    consider(idx, location, self.scheduler.preference(location, &node));
                 }
-                let pref = self.scheduler.preference(location, &node);
-                if best.is_none_or(|(_, _, b)| pref > b) {
-                    best = Some((idx, location, pref));
+            }
+            if self.map_remaining == 0 {
+                // Barrier open: reduces read shuffled data local to the node.
+                if let Some(&idx) = self.runnable_reduces.first() {
+                    let location = if node.is_local {
+                        DataLocation::LocalDisk
+                    } else {
+                        DataLocation::InstanceDisk
+                    };
+                    if self.scheduler.may_run(&self.tasks[idx], location, &node) {
+                        consider(idx, location, self.scheduler.preference(location, &node));
+                    }
                 }
             }
             if let Some((idx, location, _)) = best {
@@ -703,6 +1076,16 @@ impl<'a> JobExecution<'a> {
                     node: node_id,
                     finish_at: now + duration,
                 };
+                match self.tasks[idx].kind {
+                    TaskKind::Map => {
+                        if let Some(pending) = self.runnable_maps.get_mut(&location) {
+                            pending.remove(&idx);
+                        }
+                    }
+                    TaskKind::Reduce => {
+                        self.runnable_reduces.remove(&idx);
+                    }
+                }
                 self.running.push(Running {
                     task_idx: idx,
                     node: node_id,
@@ -958,6 +1341,103 @@ mod tests {
             "dropped type still allocated at hour {horizon}"
         );
         assert_eq!(exec.cluster.count_of("local"), 5);
+    }
+
+    fn spot_execution(prices: Vec<f64>, bid: f64) -> JobExecution<'static> {
+        let catalog = Catalog::aws_july_2011();
+        let uplink = conductor_cloud::catalog::mbps_to_gb_per_hour(16.0);
+        // Remote reads from the client site: every map task is dispatchable
+        // at hour zero and the event horizon has no upload arrivals, so
+        // these tests observe the market effects in isolation.
+        let options = DeploymentOptions {
+            upload_plan: vec![],
+            ..DeploymentOptions::new("spot-test", uplink).with_nodes("m1.large", 4, 0.0)
+        };
+        let market = SpotMarket::new(
+            conductor_cloud::SpotTrace::from_prices(conductor_cloud::TraceKind::AwsLike, prices),
+            0.34,
+        );
+        JobExecution::new(
+            &catalog,
+            &Workload::KMeans32Gb.spec(),
+            options,
+            Box::new(LocalityScheduler),
+            SessionPricing::Spot {
+                market,
+                start_offset_hours: 0.0,
+                bid,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn kill_returns_running_tasks_and_skips_the_partial_hour_charge() {
+        let mut exec = spot_execution(vec![0.2; 10], 0.34);
+        exec.on_wakeup(0.0);
+        assert_eq!(exec.cluster.count_of("m1.large"), 4);
+        let running_before = exec.running.len();
+        assert!(running_before > 0);
+        // Revoked half an hour in: no completed hour, so nothing charged.
+        let (killed, _) = exec.kill_cloud_nodes(0.5);
+        assert_eq!(killed, 4);
+        assert!(exec.cluster.is_empty());
+        assert!(exec.running.is_empty());
+        assert_eq!(
+            exec.billing
+                .breakdown()
+                .get(conductor_cloud::CostCategory::Computation),
+            0.0
+        );
+        // The interrupted work went back to the dispatch index as runnable.
+        let runnable = exec
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.state, TaskState::Runnable))
+            .count();
+        assert_eq!(runnable, running_before);
+        let indexed: usize = exec.runnable_maps.values().map(|s| s.len()).sum();
+        assert_eq!(
+            indexed,
+            exec.tasks
+                .iter()
+                .filter(|t| {
+                    t.kind == TaskKind::Map
+                        && matches!(t.state, TaskState::WaitingForData | TaskState::Runnable)
+                })
+                .count(),
+            "index lost the returned work"
+        );
+    }
+
+    #[test]
+    fn out_bid_market_blocks_acquisition_until_recovery() {
+        // Price above the bid for hours 0-1, back down at hour 2.
+        let mut exec = spot_execution(vec![0.5, 0.5, 0.2, 0.2, 0.2], 0.34);
+        let wakeups = exec.on_wakeup(0.0);
+        assert!(exec.cluster.is_empty(), "acquired while out-bid");
+        // The reconciliation scheduled a retry at the recovery hour...
+        assert!(
+            wakeups
+                .iter()
+                .any(|&(t, e)| e == JobEvent::ScheduleChange && (t - 2.0).abs() < 1e-9),
+            "{wakeups:?}"
+        );
+        // ...and the job is not considered stuck while it waits.
+        assert_eq!(exec.next_event_hours(0.0), Some(2.0));
+        // At recovery the market grants the request.
+        exec.on_wakeup(2.0);
+        assert_eq!(exec.cluster.count_of("m1.large"), 4);
+    }
+
+    #[test]
+    fn permanently_out_bid_market_is_reported_stuck() {
+        // The trace ends expensive: past-the-end hours clamp to 0.5, so the
+        // price never comes back to the bid and the job truly starves.
+        let mut exec = spot_execution(vec![0.5], 0.34);
+        exec.on_wakeup(0.0);
+        assert!(exec.cluster.is_empty());
+        assert_eq!(exec.next_event_hours(0.0), None);
     }
 
     #[test]

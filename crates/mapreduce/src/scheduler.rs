@@ -24,9 +24,16 @@ pub enum SchedulerKind {
 
 /// Decides whether a task may run on a node given where its input currently
 /// lives, and ranks candidate locations by preference.
+///
+/// Implementations must decide from `(location, node)` alone — the `task`
+/// argument is context, not a discriminator. The engine's dispatch index
+/// buckets pending tasks per location and probes one representative task
+/// per bucket, which is only equivalent to scanning every task under this
+/// contract (both schedulers here honor it).
 pub trait Scheduler {
-    /// `true` if `task`, whose input is available at `location`, may be
-    /// dispatched to `node` right now.
+    /// `true` if a task whose input is available at `location` may be
+    /// dispatched to `node` right now. Must not vary across tasks at the
+    /// same `location` (see the trait docs).
     fn may_run(&self, task: &Task, location: DataLocation, node: &SimNode) -> bool;
 
     /// Preference score for running a task whose data is at `location` on

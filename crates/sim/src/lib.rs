@@ -13,6 +13,27 @@
 //! requirement: given the same schedule of events, every run pops them in
 //! the identical order, because ties are broken first by an explicit event
 //! class and then by insertion sequence (FIFO).
+//!
+//! # Event-class layering
+//!
+//! Classes are small `u8` priorities the *callers* assign; the kernel only
+//! promises that among simultaneous events lower classes pop first. Both
+//! drivers in this workspace follow the same layering discipline so that
+//! an instant always settles in cause-before-observer order:
+//!
+//! - The job engine orders data arrivals (0) before allocation steps (1)
+//!   before task finishes (2) before completion (3).
+//! - The fleet service orders arrivals (0) before job wakeups (1) before
+//!   **spot revocations** (2) before monitor ticks (9). A task that
+//!   finishes exactly at an out-bid hour retires before the revocation
+//!   strikes (its hour completed); the revocation kills only the
+//!   survivors; and the monitor then observes the *post-storm* world, so
+//!   a re-plan in the same instant already sees the damage.
+//!
+//! Leaving gaps in the numbering (the monitor sits at 9) lets callers
+//! splice new event kinds between existing layers — exactly how
+//! revocations landed at 2 — without renumbering, which would silently
+//! reorder previously recorded simulations.
 
 mod clock;
 mod heap;
@@ -152,6 +173,33 @@ mod tests {
         assert_eq!(batch, vec![20]);
         assert_eq!(sim.pop_due(&mut batch), None);
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn classes_layer_simultaneous_events_deterministically() {
+        // The fleet's layering: arrival(0) < job(1) < revocation(2) <
+        // monitor(9) — scheduled here in scrambled order, twice, to check
+        // both the class sort and FIFO within a class.
+        let mut sim: Simulator<&str> = Simulator::new();
+        sim.schedule(5.0, 9, "monitor");
+        sim.schedule(5.0, 2, "revocation-a");
+        sim.schedule(5.0, 0, "arrival");
+        sim.schedule(5.0, 1, "job-a");
+        sim.schedule(5.0, 2, "revocation-b");
+        sim.schedule(5.0, 1, "job-b");
+        let mut batch = Vec::new();
+        assert_eq!(sim.pop_due(&mut batch), Some(5.0));
+        assert_eq!(
+            batch,
+            vec![
+                "arrival",
+                "job-a",
+                "job-b",
+                "revocation-a",
+                "revocation-b",
+                "monitor"
+            ]
+        );
     }
 
     #[test]
