@@ -12,7 +12,7 @@
 //! versus the old O(tasks · idle nodes) scan, and the one to watch as
 //! individual executions grow.
 
-use conductor_bench::experiments::{churn_fixture, dispatch_hot_path_report};
+use conductor_bench::experiments::{churn_fixture, dispatch_hot_path_report, run_fleet_online};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -22,8 +22,11 @@ fn bench_churn(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(30));
     group.bench_function("poisson_fleet", |b| {
+        // Driven through the incremental Fleet API (arrivals submitted
+        // online), so the bench measures the path real clients take; it is
+        // pinned bitwise-identical to the batch wrapper.
         let (requests, service) = churn_fixture(40, 1.0);
-        b.iter(|| service.run(&requests).unwrap());
+        b.iter(|| run_fleet_online(&service, &requests));
     });
     group.bench_function("dispatch_hot_path", |b| {
         b.iter(dispatch_hot_path_report);

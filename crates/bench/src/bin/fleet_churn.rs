@@ -1,6 +1,12 @@
 //! Fleet churn at scale: N Poisson arrivals on the shared event kernel,
 //! with revocation storms from an AWS-like spot trace along the way.
 //!
+//! Arrivals are driven **online** through the incremental `Fleet` session
+//! API — the clock is stepped to each arrival hour and the job submitted
+//! then, exactly how an open-world client uses Conductor (the batch
+//! `ConductorService::run` path is pinned bitwise-identical by
+//! `tests/fleet_api.rs`).
+//!
 //! This is the canonical fleet-scale wall-clock metric (the number to
 //! watch as the kernel hot path evolves) **and** an invariant check: it
 //! asserts that every admitted job reaches a terminal state, that the
@@ -14,14 +20,14 @@
 //! cargo run --release -p conductor-bench --bin fleet_churn -- 40  # smaller
 //! ```
 
-use conductor_bench::experiments::{churn_fixture, dispatch_hot_path_report};
+use conductor_bench::experiments::{churn_fixture, dispatch_hot_path_report, run_fleet_online};
 use conductor_core::FleetReport;
 use std::time::Instant;
 
 fn run(jobs: usize) -> (FleetReport, std::time::Duration) {
     let (requests, service) = churn_fixture(jobs, 1.0);
     let start = Instant::now();
-    let report = service.run(&requests).expect("churn fleet run");
+    let report = run_fleet_online(&service, &requests);
     (report, start.elapsed())
 }
 

@@ -7,8 +7,8 @@
 use crate::table::Table;
 use conductor_cloud::{catalog::mbps_to_gb_per_hour, Catalog, CostCategory, SpotMarket, SpotTrace};
 use conductor_core::{
-    AdaptiveController, BidPredictor, ConductorService, FleetJobRequest, Goal, JobController,
-    Planner, ResourcePool, SpotDeploymentSimulator,
+    AdaptiveController, BidPredictor, ConductorService, FleetJobRequest, FleetReport, Goal,
+    JobController, Planner, ResourcePool, SpotDeploymentSimulator,
 };
 use conductor_lp::SolveOptions;
 use conductor_mapreduce::engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport};
@@ -875,12 +875,41 @@ pub fn churn_fixture(jobs: usize, mean_gap_hours: f64) -> (Vec<FleetJobRequest>,
     (requests, service)
 }
 
+/// Drives `requests` through the incremental `Fleet` session API as a real
+/// open-world client: the clock is stepped to each arrival hour and the
+/// job submitted *then* — online, not pre-listed. The batch
+/// `ConductorService::run` path is pinned bitwise-identical to this
+/// driver by `tests/fleet_api.rs`, so the churn bench measuring this
+/// function measures the same fleet the batch figures report.
+pub fn run_fleet_online(service: &ConductorService, requests: &[FleetJobRequest]) -> FleetReport {
+    // Out-of-order arrivals would be silently clamped forward by the
+    // mid-run submit (changing the fleet vs the batch path); this driver
+    // exists to prove batch/incremental equivalence, so demand the order.
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_hours <= w[1].arrival_hours),
+        "run_fleet_online requires requests sorted by arrival_hours"
+    );
+    let mut fleet = service.open().expect("fleet config is valid");
+    for request in requests {
+        fleet.step_until(request.arrival_hours);
+        fleet
+            .submit(request.clone())
+            .expect("fixture requests are valid");
+    }
+    fleet.run_to_quiescence();
+    fleet.report()
+}
+
 /// Fleet churn summary table: `jobs` Poisson arrivals (mean gap
-/// `mean_gap_hours`) on the canonical [`churn_fixture`] fleet. One row per
-/// outcome class plus the fleet roll-up.
+/// `mean_gap_hours`) on the canonical [`churn_fixture`] fleet, driven
+/// through the incremental session API ([`run_fleet_online`] — arrivals
+/// submitted as the clock reaches them). One row per outcome class plus
+/// the fleet roll-up.
 pub fn fleet_churn(jobs: usize, mean_gap_hours: f64) -> Table {
     let (requests, service) = churn_fixture(jobs, mean_gap_hours);
-    let report = service.run(&requests).expect("churn fleet run");
+    let report = run_fleet_online(&service, &requests);
     let revocation_events: usize = report
         .tenants
         .iter()

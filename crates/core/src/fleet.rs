@@ -1,0 +1,1930 @@
+//! The open-world fleet: a long-lived, incremental orchestration session.
+//!
+//! [`Fleet`] is the driver API the paper's *service* framing actually
+//! needs: jobs [`submit`](Fleet::submit)ted at any simulated time
+//! (including while the fleet is running), [`cancel`](Fleet::cancel)led
+//! mid-flight, the clock advanced in steps
+//! ([`step_until`](Fleet::step_until) /
+//! [`run_to_quiescence`](Fleet::run_to_quiescence)), live state queried
+//! ([`status`](Fleet::status), [`fleet_bill`](Fleet::fleet_bill),
+//! [`now_hours`](Fleet::now_hours)) and every lifecycle transition
+//! delivered as a typed [`FleetEvent`] — to registered
+//! [`FleetObserver`]s as it happens, and to the replayable
+//! [`events`](Fleet::events) log — in deterministic clock order.
+//!
+//! The closed-world batch call, `ConductorService::run`, is a thin
+//! compatibility wrapper over this session (submit everything, then drain)
+//! and is pinned **bitwise identical** to the pre-redesign driver by
+//! `tests/fleet_api.rs`: same admissions, same re-plan hours, same bills
+//! to the last bit on the multi-job, revocation-storm and Poisson-churn
+//! suites.
+//!
+//! # Determinism contract
+//!
+//! All fleet state advances on one [`conductor_sim::Simulator`]; events
+//! settle in `(time, class, insertion-seq)` order (arrivals before job
+//! wakeups before revocations before monitor ticks — see the class
+//! layering notes in [`conductor_sim`]). Two things keep the *incremental*
+//! path on the batch path's trajectory:
+//!
+//! - **Monitor grid.** Ticks fire on the iterated grid `a₀ + k·period`
+//!   anchored at the earliest submission's arrival hour. If the chain goes
+//!   quiet (no active jobs, no pending arrivals) and a later submission
+//!   revives it, the next tick is recomputed by *iterating* from the
+//!   anchor — reproducing the exact floating-point tick times the batch
+//!   driver's `t += period` chain would have produced.
+//! - **Revocation sweeps.** Out-bid hours at the fleet bid become sweep
+//!   events at construction (exactly as the batch driver scheduled them
+//!   up front); a submission with a *lower* per-tenant
+//!   [`FleetJobRequest::spot_bid`] adds sweeps for its extra out-bid
+//!   hours, and every sweep checks each running job against **its own**
+//!   bid, so default-bid tenants are untouched by another tenant's
+//!   aggressive bidding.
+//!
+//! # Example
+//!
+//! ```
+//! use conductor_cloud::Catalog;
+//! use conductor_core::{Fleet, FleetConfig, FleetJobRequest, Goal, ResourcePool};
+//! use conductor_mapreduce::Workload;
+//!
+//! let catalog = Catalog::aws_july_2011();
+//! let pool = ResourcePool::from_catalog(&catalog, 1.0)
+//!     .with_compute_only(&["m1.large"])
+//!     .with_compute_cap("m1.large", 40);
+//! let mut fleet = Fleet::new(catalog, pool, FleetConfig::default()).unwrap();
+//!
+//! // Submit while the clock is anywhere; step; query live state.
+//! let tenant = fleet
+//!     .submit(FleetJobRequest::new(
+//!         "analytics",
+//!         Workload::KMeansScaled { input_gb: 8 }.spec(),
+//!         Goal::MinimizeCost { deadline_hours: 6.0 },
+//!         0.0,
+//!     ))
+//!     .unwrap();
+//! fleet.run_to_quiescence();
+//!
+//! let status = fleet.status(tenant).unwrap();
+//! assert!(status.finished_at_hours.is_some());
+//! assert!(fleet.fleet_bill() > 0.0);
+//! assert!(fleet
+//!     .events()
+//!     .iter()
+//!     .any(|e| matches!(e, conductor_core::FleetEvent::Completed { .. })));
+//! ```
+
+use crate::controller::scheduler_for_plan;
+use crate::error::ConductorError;
+use crate::goal::Goal;
+use crate::model::{InitialState, ModelConfig};
+use crate::plan::ExecutionPlan;
+use crate::planner::{Planner, PlanningReport};
+use crate::resources::{ResourcePool, REFERENCE_WORKLOAD_GBPH};
+use conductor_cloud::{Catalog, CostBreakdown, SpotMarket};
+use conductor_lp::SolveOptions;
+use conductor_mapreduce::cluster::nodes_at;
+use conductor_mapreduce::execution::{ExecutionProgress, JobExecution, JobPhase, SessionPricing};
+use conductor_mapreduce::{JobSpec, NodeAllocation};
+use conductor_sim::{ProcessId, ProcessRegistry, Simulator, TIME_EPSILON};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Handle of one submitted job within a [`Fleet`] session. Ids are issued
+/// in submission order and index [`FleetReport::tenants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TenantId(pub usize);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// One tenant's job submission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetJobRequest {
+    /// Tenant name (used as the deployment label and in the fleet report).
+    pub tenant: String,
+    /// The computation to deploy.
+    pub spec: JobSpec,
+    /// The tenant's optimization goal.
+    pub goal: Goal,
+    /// Fleet-clock hour at which the job arrives. A mid-run
+    /// [`Fleet::submit`] clamps this to the current fleet hour: jobs
+    /// cannot arrive in the simulated past.
+    pub arrival_hours: f64,
+    /// Per-tenant maximum bid per spot instance-hour, overriding the
+    /// fleet-wide [`FleetConfig::spot_bid`] for this job's rental
+    /// sessions, price forecast and revocation checks. `None` uses the
+    /// fleet bid. Must be finite and non-negative.
+    #[serde(default)]
+    pub spot_bid: Option<f64>,
+}
+
+impl FleetJobRequest {
+    /// Creates a request (fleet-bid pricing; see
+    /// [`with_spot_bid`](Self::with_spot_bid)).
+    pub fn new(tenant: impl Into<String>, spec: JobSpec, goal: Goal, arrival_hours: f64) -> Self {
+        Self {
+            tenant: tenant.into(),
+            spec,
+            goal,
+            arrival_hours,
+            spot_bid: None,
+        }
+    }
+
+    /// Overrides the fleet-wide spot bid for this tenant only. A lower bid
+    /// buys cheaper hours at the price of more revocations *for this
+    /// tenant*; other tenants keep their own bids.
+    pub fn with_spot_bid(mut self, bid: f64) -> Self {
+        self.spot_bid = Some(bid);
+        self
+    }
+}
+
+/// Configuration of a [`Fleet`] session (and of the `ConductorService`
+/// compatibility wrapper), validated once at construction — replacing the
+/// old `with_*` builder sprawl with one checked struct.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Solver options used for admission and re-planning.
+    pub solve_options: SolveOptions,
+    /// The shared spot market every tenant's rental sessions are priced
+    /// against; `None` buys on-demand (no revocations).
+    pub spot_market: Option<SpotMarket>,
+    /// Fleet-wide maximum bid per spot instance-hour; `None` bids the
+    /// on-demand price (the rational ceiling). Sessions are terminated —
+    /// and new requests refused — whenever the trace price rises strictly
+    /// above the effective bid. Per-tenant
+    /// [`FleetJobRequest::spot_bid`] overrides this for individual jobs.
+    pub spot_bid: Option<f64>,
+    /// Hours between monitor ticks (1.0 = the paper's planning interval).
+    /// Must be finite and positive.
+    pub monitor_period_hours: f64,
+    /// Relative shortfall that triggers a re-plan: the monitor stays quiet
+    /// while observed progress is at least `(1 - tolerance)` of the plan's
+    /// projection. Must be finite and within `[0, 1]`.
+    pub monitor_tolerance: f64,
+    /// Safety margin subtracted from the remaining deadline when
+    /// re-planning (see `AdaptiveController::replan_margin_hours`).
+    pub replan_margin_hours: f64,
+    /// Fractional inflation of the remaining work at re-plan time.
+    pub monitor_conservatism: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            solve_options: SolveOptions {
+                relative_gap: 0.02,
+                max_nodes: 2_000,
+                time_limit: std::time::Duration::from_secs(30),
+                ..SolveOptions::default()
+            },
+            spot_market: None,
+            spot_bid: None,
+            monitor_period_hours: 1.0,
+            monitor_tolerance: 0.25,
+            replan_margin_hours: 1.0,
+            monitor_conservatism: 0.15,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Checks every knob once, so NaN or negative values can never reach
+    /// the event heap (where a NaN tick period or tolerance would silently
+    /// corrupt comparisons instead of failing loudly).
+    pub fn validate(&self) -> Result<(), ConductorError> {
+        if !self.monitor_period_hours.is_finite() || self.monitor_period_hours <= 0.0 {
+            return Err(ConductorError::InvalidInput(format!(
+                "monitor period must be a finite positive number of hours, got {}",
+                self.monitor_period_hours
+            )));
+        }
+        if !self.monitor_tolerance.is_finite() || !(0.0..=1.0).contains(&self.monitor_tolerance) {
+            return Err(ConductorError::InvalidInput(format!(
+                "monitor tolerance must be finite and within [0, 1], got {}",
+                self.monitor_tolerance
+            )));
+        }
+        if !self.replan_margin_hours.is_finite() || self.replan_margin_hours < 0.0 {
+            return Err(ConductorError::InvalidInput(format!(
+                "re-plan margin must be finite and non-negative, got {}",
+                self.replan_margin_hours
+            )));
+        }
+        if !self.monitor_conservatism.is_finite() || self.monitor_conservatism < 0.0 {
+            return Err(ConductorError::InvalidInput(format!(
+                "monitor conservatism must be finite and non-negative, got {}",
+                self.monitor_conservatism
+            )));
+        }
+        if let Some(bid) = self.spot_bid {
+            if !bid.is_finite() || bid < 0.0 {
+                return Err(ConductorError::InvalidInput(format!(
+                    "fleet spot bid must be finite and non-negative, got {bid}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one tenant's job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub tenant: String,
+    /// Arrival hour on the fleet clock (mid-run submissions are clamped to
+    /// the submission hour).
+    pub arrival_hours: f64,
+    /// `true` when the job was admitted (a plan existed under the residual
+    /// capacity at arrival).
+    pub admitted: bool,
+    /// Why admission failed, when it did.
+    pub rejection: Option<String>,
+    /// The plan the job was admitted under.
+    pub plan: Option<ExecutionPlan>,
+    /// Planning effort at admission.
+    pub planning: Option<PlanningReport>,
+    /// The measured execution (tenant-relative hours; the tenant's bill is
+    /// `execution.cost_breakdown`). `None` when the job was rejected at
+    /// admission; for a job that failed mid-run (`failure` set) this holds
+    /// the *partial* bill accrued up to the abort.
+    pub execution: Option<conductor_mapreduce::ExecutionReport>,
+    /// Why the admitted job failed to finish, when it did.
+    pub failure: Option<String>,
+    /// Fleet-clock hours at which the monitor re-planned this job.
+    pub replanned_at_hours: Vec<f64>,
+    /// Fleet-clock hours at which the spot market revoked nodes from this
+    /// job (one entry per revocation event that killed at least one node).
+    pub revoked_at_hours: Vec<f64>,
+    /// Fleet-clock hour at which the job (including its result download)
+    /// completed.
+    pub finished_at_hours: Option<f64>,
+}
+
+impl TenantOutcome {
+    fn pending(tenant: String, arrival_hours: f64) -> Self {
+        Self {
+            tenant,
+            arrival_hours,
+            admitted: false,
+            rejection: None,
+            plan: None,
+            planning: None,
+            execution: None,
+            failure: None,
+            replanned_at_hours: Vec::new(),
+            revoked_at_hours: Vec::new(),
+            finished_at_hours: None,
+        }
+    }
+
+    /// Which terminal (or snapshot) class this outcome falls in.
+    pub fn outcome_class(&self) -> OutcomeClass {
+        if !self.admitted {
+            OutcomeClass::Rejected
+        } else if self.failure.is_some() {
+            OutcomeClass::Failed
+        } else if self.execution.is_some() {
+            OutcomeClass::Completed
+        } else {
+            OutcomeClass::Running
+        }
+    }
+}
+
+/// Coarse outcome classes for [`FleetReport::tenants_by_outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeClass {
+    /// Never admitted: no feasible plan, invalid deployment, or cancelled
+    /// before arrival.
+    Rejected,
+    /// Admitted and ran to completion.
+    Completed,
+    /// Admitted but aborted mid-run (stuck, over the hours cap, or
+    /// cancelled); carries a partial bill.
+    Failed,
+    /// Admitted and still running — only seen in mid-run
+    /// [`Fleet::report`] snapshots, never in a drained fleet.
+    Running,
+}
+
+/// The fleet-wide result of one service run (or a [`Fleet::report`]
+/// snapshot).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-tenant outcomes, in submission order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Name → index into [`tenants`](Self::tenants) (first occurrence
+    /// wins, matching the old linear scan). Built by
+    /// [`from_outcomes`](Self::from_outcomes); hand-built reports may
+    /// leave it empty — [`tenant`](Self::tenant) falls back to a scan.
+    #[serde(default)]
+    pub tenant_index: BTreeMap<String, usize>,
+    /// Sum of all tenant bills (USD), including partial bills of jobs
+    /// that failed mid-run.
+    pub fleet_cost: f64,
+    /// The provider-side roll-up of every tenant's cost breakdown.
+    pub fleet_breakdown: CostBreakdown,
+    /// Fleet-clock hour at which the last job completed.
+    pub makespan_hours: f64,
+    /// Jobs admitted.
+    pub jobs_admitted: usize,
+    /// Jobs that ran to completion.
+    pub jobs_completed: usize,
+    /// Completed jobs that met their deadline.
+    pub deadlines_met: usize,
+}
+
+impl FleetReport {
+    /// Builds the report (aggregates + name index) from per-tenant
+    /// outcomes in submission order.
+    pub fn from_outcomes(tenants: Vec<TenantOutcome>) -> Self {
+        let mut fleet_breakdown = CostBreakdown::default();
+        let mut fleet_cost = 0.0;
+        let mut makespan: f64 = 0.0;
+        let mut completed = 0;
+        let mut deadlines_met = 0;
+        for o in &tenants {
+            if let Some(exec) = &o.execution {
+                // Aborted jobs carry a partial bill: real spend either way.
+                fleet_cost += exec.total_cost;
+                fleet_breakdown.absorb(&exec.cost_breakdown);
+                if o.failure.is_none() {
+                    completed += 1;
+                    if exec.met_deadline == Some(true) {
+                        deadlines_met += 1;
+                    }
+                }
+            }
+            if let Some(t) = o.finished_at_hours {
+                makespan = makespan.max(t);
+            }
+        }
+        let jobs_admitted = tenants.iter().filter(|o| o.admitted).count();
+        let mut tenant_index = BTreeMap::new();
+        for (i, t) in tenants.iter().enumerate() {
+            tenant_index.entry(t.tenant.clone()).or_insert(i);
+        }
+        Self {
+            tenants,
+            tenant_index,
+            fleet_cost,
+            fleet_breakdown,
+            makespan_hours: makespan,
+            jobs_admitted,
+            jobs_completed: completed,
+            deadlines_met,
+        }
+    }
+
+    /// The outcome for a tenant by name — an index lookup, not the old
+    /// O(n) scan. Hand-built reports without an index still resolve via
+    /// the scan fallback.
+    pub fn tenant(&self, name: &str) -> Option<&TenantOutcome> {
+        match self.tenant_index.get(name) {
+            Some(&i) if self.tenants.get(i).is_some_and(|t| t.tenant == name) => {
+                self.tenants.get(i)
+            }
+            _ => self.tenants.iter().find(|t| t.tenant == name),
+        }
+    }
+
+    /// The tenants in a given outcome class, in submission order.
+    pub fn tenants_by_outcome(&self, class: OutcomeClass) -> impl Iterator<Item = &TenantOutcome> {
+        self.tenants
+            .iter()
+            .filter(move |t| t.outcome_class() == class)
+    }
+}
+
+/// A typed fleet lifecycle event, delivered to [`FleetObserver`]s and the
+/// [`Fleet::events`] log in deterministic clock order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEvent {
+    /// A job entered the session (not yet admitted; its arrival event is
+    /// pending on the clock).
+    Submitted {
+        /// The submitted job.
+        tenant: TenantId,
+        /// Fleet hour of the submission itself (events are emitted in
+        /// non-decreasing `at_hours` order).
+        at_hours: f64,
+        /// Effective hour the arrival event will fire (≥ `at_hours`).
+        arrival_hours: f64,
+    },
+    /// Admission planning succeeded; the job's execution process is live.
+    Admitted {
+        /// The admitted job.
+        tenant: TenantId,
+        /// Admission hour.
+        at_hours: f64,
+    },
+    /// The plan the tenant was admitted under.
+    Planned {
+        /// The planned job.
+        tenant: TenantId,
+        /// Planning hour (same instant as admission).
+        at_hours: f64,
+        /// The plan's expected cost in USD.
+        expected_cost: f64,
+        /// The plan's expected completion, in hours after arrival.
+        expected_completion_hours: f64,
+    },
+    /// Admission failed: no feasible plan under the residual capacity (or
+    /// the deployment was invalid).
+    Rejected {
+        /// The rejected job.
+        tenant: TenantId,
+        /// Rejection hour.
+        at_hours: f64,
+        /// Why admission failed.
+        reason: String,
+    },
+    /// The monitor re-planned the job in place and spliced the new node
+    /// schedule into the live deployment.
+    Replanned {
+        /// The re-planned job.
+        tenant: TenantId,
+        /// Monitor-tick hour of the re-plan.
+        at_hours: f64,
+    },
+    /// A revocation sweep terminated this job's cloud nodes (spot price
+    /// above the job's bid).
+    Revoked {
+        /// The victim.
+        tenant: TenantId,
+        /// The out-bid hour.
+        at_hours: f64,
+        /// Nodes terminated by this sweep.
+        nodes_killed: usize,
+    },
+    /// The execution re-raised its last cloud allocation to finish
+    /// stragglers the schedule's ramp-down would have stranded.
+    StragglerExtended {
+        /// The extended job.
+        tenant: TenantId,
+        /// Hour of the extension.
+        at_hours: f64,
+    },
+    /// The job (including its result download) completed.
+    Completed {
+        /// The finished job.
+        tenant: TenantId,
+        /// Completion hour on the fleet clock.
+        at_hours: f64,
+        /// Deadline verdict (`None` when no deadline was configured).
+        met_deadline: Option<bool>,
+    },
+    /// A terminal job missed its configured deadline (emitted alongside
+    /// [`Completed`](Self::Completed) or [`Failed`](Self::Failed)).
+    DeadlineMissed {
+        /// The late job.
+        tenant: TenantId,
+        /// Hour the verdict became final.
+        at_hours: f64,
+    },
+    /// The client cancelled the job (before arrival, or mid-run with a
+    /// partial bill).
+    Cancelled {
+        /// The cancelled job.
+        tenant: TenantId,
+        /// Cancellation hour.
+        at_hours: f64,
+    },
+    /// The admitted job failed to finish (stuck, or over its hours cap).
+    Failed {
+        /// The failed job.
+        tenant: TenantId,
+        /// Hour of the abort.
+        at_hours: f64,
+        /// Why it failed.
+        reason: String,
+    },
+}
+
+impl FleetEvent {
+    /// The tenant this event is about.
+    pub fn tenant(&self) -> TenantId {
+        match self {
+            FleetEvent::Submitted { tenant, .. }
+            | FleetEvent::Admitted { tenant, .. }
+            | FleetEvent::Planned { tenant, .. }
+            | FleetEvent::Rejected { tenant, .. }
+            | FleetEvent::Replanned { tenant, .. }
+            | FleetEvent::Revoked { tenant, .. }
+            | FleetEvent::StragglerExtended { tenant, .. }
+            | FleetEvent::Completed { tenant, .. }
+            | FleetEvent::DeadlineMissed { tenant, .. }
+            | FleetEvent::Cancelled { tenant, .. }
+            | FleetEvent::Failed { tenant, .. } => *tenant,
+        }
+    }
+
+    /// The fleet-clock hour the event happened at.
+    pub fn at_hours(&self) -> f64 {
+        match self {
+            FleetEvent::Submitted { at_hours, .. }
+            | FleetEvent::Admitted { at_hours, .. }
+            | FleetEvent::Planned { at_hours, .. }
+            | FleetEvent::Rejected { at_hours, .. }
+            | FleetEvent::Replanned { at_hours, .. }
+            | FleetEvent::Revoked { at_hours, .. }
+            | FleetEvent::StragglerExtended { at_hours, .. }
+            | FleetEvent::Completed { at_hours, .. }
+            | FleetEvent::DeadlineMissed { at_hours, .. }
+            | FleetEvent::Cancelled { at_hours, .. }
+            | FleetEvent::Failed { at_hours, .. } => *at_hours,
+        }
+    }
+}
+
+/// A registered fleet-event sink. Events arrive in deterministic clock
+/// order, exactly as they are appended to [`Fleet::events`].
+///
+/// Any `FnMut(&FleetEvent)` closure is an observer:
+///
+/// ```
+/// use conductor_core::{FleetEvent, FleetObserver};
+/// let mut seen = 0usize;
+/// let mut obs = |_e: &FleetEvent| seen += 1;
+/// FleetObserver::on_event(&mut obs, &FleetEvent::Submitted {
+///     tenant: conductor_core::TenantId(0),
+///     at_hours: 0.0,
+///     arrival_hours: 0.0,
+/// });
+/// assert_eq!(seen, 1);
+/// ```
+pub trait FleetObserver {
+    /// Called for every emitted event, in clock order.
+    fn on_event(&mut self, event: &FleetEvent);
+}
+
+impl<F: FnMut(&FleetEvent)> FleetObserver for F {
+    fn on_event(&mut self, event: &FleetEvent) {
+        self(event)
+    }
+}
+
+/// Lifecycle state of one tenant, for [`Fleet::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantState {
+    /// Submitted; the arrival event has not fired yet.
+    Queued,
+    /// Arrival fired but admission failed (or the job was cancelled before
+    /// arrival).
+    Rejected,
+    /// Cancelled by the client.
+    Cancelled,
+    /// Admitted and executing.
+    Running,
+    /// Ran to completion (report available in the outcome).
+    Completed,
+    /// Admitted but aborted mid-run.
+    Failed,
+}
+
+/// A live snapshot of one tenant's job, assembled by [`Fleet::status`]
+/// from the outcome record and (for running jobs) the execution process.
+#[derive(Debug, Clone)]
+pub struct TenantStatus {
+    /// Tenant name.
+    pub tenant: String,
+    /// Lifecycle state at the snapshot hour.
+    pub state: TenantState,
+    /// Effective arrival hour on the fleet clock.
+    pub arrival_hours: f64,
+    /// The plan currently in force (admission plan; re-plans replace the
+    /// node schedule inside the execution, not this record).
+    pub plan: Option<ExecutionPlan>,
+    /// Execution progress at the snapshot hour (running jobs only).
+    pub progress: Option<ExecutionProgress>,
+    /// Charges recorded so far (open rental sessions settle when they
+    /// close); for terminal jobs, the final bill.
+    pub bill_so_far: f64,
+    /// Fleet-clock hours of monitor re-plans so far.
+    pub replanned_at_hours: Vec<f64>,
+    /// Fleet-clock hours of revocation hits so far.
+    pub revoked_at_hours: Vec<f64>,
+    /// Completion hour, once finished.
+    pub finished_at_hours: Option<f64>,
+    /// Rejection reason, when rejected.
+    pub rejection: Option<String>,
+    /// Failure reason, when failed (including client cancellation).
+    pub failure: Option<String>,
+}
+
+/// Events on the fleet clock (internal wakeups; the public, typed stream
+/// is [`FleetEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClockEvent {
+    /// Submission `i` arrives and asks for admission.
+    Arrival(usize),
+    /// Wakeup for an admitted job's execution process.
+    Job(ProcessId),
+    /// Revocation sweep: the spot price may have risen above some running
+    /// job's bid at this hour.
+    Revocation,
+    /// Periodic progress check over every running job; the payload is the
+    /// chain generation (a tick from a superseded chain is ignored).
+    MonitorTick(u64),
+}
+
+impl ClockEvent {
+    /// Arrivals settle first at a tick, then job state, then the market
+    /// revokes, then the monitor observes (so it never sees a half-applied
+    /// hour). Revocations deliberately order *after* job wakeups at the
+    /// same instant: a task that finishes exactly at the out-bid hour
+    /// completed its hour and retires normally; only the survivors lose
+    /// their nodes.
+    fn class(self) -> u8 {
+        match self {
+            ClockEvent::Arrival(_) => 0,
+            ClockEvent::Job(_) => 1,
+            ClockEvent::Revocation => 2,
+            ClockEvent::MonitorTick(_) => 9,
+        }
+    }
+}
+
+/// One admitted, still-running job.
+struct ActiveJob {
+    request_idx: usize,
+    start: f64,
+    exec: JobExecution<'static>,
+    spec: JobSpec,
+    goal: Goal,
+    /// The request's per-tenant bid override (`None` = the fleet bid), for
+    /// revocation checks and re-plan forecasts.
+    tenant_bid: Option<f64>,
+    /// `(fleet_hour, cumulative expected map GB)` checkpoints the monitor
+    /// compares real progress against; rebuilt on every re-plan.
+    progress_model: Vec<(f64, f64)>,
+    /// Set when a revocation killed nodes out from under this job; the
+    /// next monitor tick re-plans it against the post-storm residual
+    /// without waiting for the progress shortfall to accumulate.
+    storm_hit: bool,
+}
+
+/// A long-lived, incremental multi-tenant orchestration session — see the
+/// [module docs](self) for the API tour and the determinism contract.
+pub struct Fleet {
+    catalog: Catalog,
+    pool: ResourcePool,
+    config: FleetConfig,
+
+    sim: Simulator<ClockEvent>,
+    registry: ProcessRegistry,
+    active: BTreeMap<ProcessId, ActiveJob>,
+    /// Submission `i`'s request, retained until its arrival fires.
+    requests: Vec<FleetJobRequest>,
+    outcomes: Vec<TenantOutcome>,
+    /// Submission index → execution process, once admitted.
+    tenant_pids: BTreeMap<usize, ProcessId>,
+    cancelled: BTreeSet<usize>,
+    /// Submitted arrivals whose event has not fired yet.
+    arrivals_pending: usize,
+
+    /// Earliest effective arrival ever submitted: the origin of the
+    /// monitor-tick grid.
+    monitor_anchor: Option<f64>,
+    /// Generation of the live tick chain; a popped tick from an older
+    /// generation was superseded and is ignored.
+    monitor_gen: u64,
+    /// Time of the currently scheduled tick, when the chain is live.
+    monitor_next: f64,
+    monitor_live: bool,
+    /// `true` once any tick fired (the grid can no longer be re-anchored).
+    monitor_fired: bool,
+
+    /// Trace hours with a scheduled revocation sweep (dedup across the
+    /// fleet bid and per-tenant bids).
+    revocation_hours_scheduled: BTreeSet<usize>,
+
+    /// Time of the last processed event batch (where stalled jobs are
+    /// aborted when the heap drains).
+    last_hour: f64,
+    /// The fleet's logical "now": the max of every processed event time
+    /// and every `step_until` bound.
+    stepped_to: f64,
+
+    events: Vec<FleetEvent>,
+    observers: Vec<Box<dyn FleetObserver>>,
+    /// Reusable batch buffer for `pop_due`.
+    batch: Vec<ClockEvent>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("now_hours", &self.stepped_to)
+            .field("submitted", &self.outcomes.len())
+            .field("active", &self.active.len())
+            .field("arrivals_pending", &self.arrivals_pending)
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Opens a session over a catalog, the fleet-wide resource pool and a
+    /// validated [`FleetConfig`]. With a spot market configured, the
+    /// trace's out-bid hours (at the fleet bid) are scheduled as
+    /// revocation sweeps up front — first-class events on the shared
+    /// clock, exactly as the batch driver always did.
+    pub fn new(
+        catalog: Catalog,
+        pool: ResourcePool,
+        config: FleetConfig,
+    ) -> Result<Self, ConductorError> {
+        pool.validate().map_err(ConductorError::InvalidInput)?;
+        config.validate()?;
+        let mut sim: Simulator<ClockEvent> = Simulator::new();
+        let mut revocation_hours_scheduled = BTreeSet::new();
+        // The trace-driven revocation schedule: one sweep per hour the spot
+        // price sits above the fleet bid, shared by every tenant. These are
+        // first-class events on the shared clock, not a post-hoc price
+        // adjustment — a storm interrupts running executions mid-flight.
+        if let Some(market) = &config.spot_market {
+            let bid = config.spot_bid.unwrap_or(market.on_demand_price);
+            for hour in market.revocation_hours(0, market.trace().len(), bid) {
+                revocation_hours_scheduled.insert(hour);
+                sim.schedule(
+                    hour as f64,
+                    ClockEvent::Revocation.class(),
+                    ClockEvent::Revocation,
+                );
+            }
+        }
+        Ok(Self {
+            catalog,
+            pool,
+            config,
+            sim,
+            registry: ProcessRegistry::new(),
+            active: BTreeMap::new(),
+            requests: Vec::new(),
+            outcomes: Vec::new(),
+            tenant_pids: BTreeMap::new(),
+            cancelled: BTreeSet::new(),
+            arrivals_pending: 0,
+            monitor_anchor: None,
+            monitor_gen: 0,
+            monitor_next: 0.0,
+            monitor_live: false,
+            monitor_fired: false,
+            revocation_hours_scheduled,
+            last_hour: 0.0,
+            stepped_to: 0.0,
+            events: Vec::new(),
+            observers: Vec::new(),
+            batch: Vec::new(),
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The fleet-wide resource pool.
+    pub fn pool(&self) -> &ResourcePool {
+        &self.pool
+    }
+
+    /// The fleet's logical clock: the latest processed event time or
+    /// `step_until` bound, whichever is later.
+    pub fn now_hours(&self) -> f64 {
+        self.stepped_to
+    }
+
+    /// Every [`FleetEvent`] emitted so far, in clock order.
+    pub fn events(&self) -> &[FleetEvent] {
+        &self.events
+    }
+
+    /// The events emitted at or after log position `from` — a poll-style
+    /// subscription cursor (`let cur = fleet.events().len()` … step …
+    /// `fleet.events_since(cur)`).
+    pub fn events_since(&self, from: usize) -> &[FleetEvent] {
+        &self.events[from.min(self.events.len())..]
+    }
+
+    /// Registers an observer; it receives every subsequent event in clock
+    /// order. Closures work directly:
+    /// `fleet.observe(Box::new(|e: &FleetEvent| println!("{e:?}")))`.
+    pub fn observe(&mut self, observer: Box<dyn FleetObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// Submits a job to the session at any time — before stepping, or
+    /// mid-run. The arrival hour is clamped to the current fleet hour
+    /// (jobs cannot arrive in the simulated past); admission itself
+    /// happens when the clock reaches the arrival, against the residual
+    /// capacity *then*. Returns the tenant's handle.
+    ///
+    /// Fails with [`ConductorError::InvalidInput`] on non-finite or
+    /// negative arrival hours or per-tenant bids — invalid values must
+    /// never reach the event heap, where a NaN would silently corrupt its
+    /// ordering.
+    pub fn submit(&mut self, request: FleetJobRequest) -> Result<TenantId, ConductorError> {
+        if !request.arrival_hours.is_finite() || request.arrival_hours < 0.0 {
+            return Err(ConductorError::InvalidInput(format!(
+                "tenant `{}` has invalid arrival hour {}",
+                request.tenant, request.arrival_hours
+            )));
+        }
+        if let Some(bid) = request.spot_bid {
+            if !bid.is_finite() || bid < 0.0 {
+                return Err(ConductorError::InvalidInput(format!(
+                    "tenant `{}` has invalid spot bid {bid}",
+                    request.tenant
+                )));
+            }
+        }
+        let idx = self.outcomes.len();
+        let arrival = request.arrival_hours.max(self.stepped_to);
+        self.outcomes
+            .push(TenantOutcome::pending(request.tenant.clone(), arrival));
+        // A per-tenant bid *below* the fleet bid has out-bid hours the
+        // construction-time sweep schedule missed; add them (future hours
+        // only — the current partial hour is already gated by the
+        // session's own acquisition check). Fleet-bid submissions skip the
+        // scan: their hours were all scheduled at construction.
+        if let (Some(market), Some(bid)) = (&self.config.spot_market, request.spot_bid) {
+            let from = self.stepped_to.ceil().max(0.0) as usize;
+            for hour in market.revocation_hours(from, market.trace().len(), bid) {
+                if self.revocation_hours_scheduled.insert(hour) {
+                    self.sim.schedule(
+                        hour as f64,
+                        ClockEvent::Revocation.class(),
+                        ClockEvent::Revocation,
+                    );
+                }
+            }
+        }
+        self.requests.push(request);
+        self.sim.inject(
+            arrival,
+            ClockEvent::Arrival(idx).class(),
+            ClockEvent::Arrival(idx),
+        );
+        self.arrivals_pending += 1;
+        self.ensure_monitor_chain(arrival);
+        let at = self.stepped_to;
+        self.emit(FleetEvent::Submitted {
+            tenant: TenantId(idx),
+            at_hours: at,
+            arrival_hours: arrival,
+        });
+        Ok(TenantId(idx))
+    }
+
+    /// Cancels a tenant's job. Before arrival, the submission is marked
+    /// rejected ("cancelled before arrival"); mid-run, the execution is
+    /// aborted at the current fleet hour and its *partial bill stays on
+    /// the fleet bill* (the spend was real). Returns `Ok(true)` when the
+    /// cancellation changed anything, `Ok(false)` for already-terminal
+    /// tenants, and `InvalidInput` for unknown handles.
+    pub fn cancel(&mut self, id: TenantId) -> Result<bool, ConductorError> {
+        let idx = id.0;
+        if idx >= self.outcomes.len() {
+            return Err(ConductorError::InvalidInput(format!(
+                "unknown tenant id {idx} (only {} submissions)",
+                self.outcomes.len()
+            )));
+        }
+        if self.cancelled.contains(&idx) {
+            return Ok(false);
+        }
+        // Mid-run: abort the live execution, keep the partial bill.
+        if let Some(pid) = self.tenant_pids.get(&idx).copied() {
+            if let Some(job) = self.active.remove(&pid) {
+                let now = self.stepped_to;
+                let rel = (now - job.start).max(0.0);
+                let o = &mut self.outcomes[idx];
+                o.failure = Some(format!("cancelled by client at fleet hour {now:.2}"));
+                o.execution = Some(job.exec.abort(rel));
+                self.cancelled.insert(idx);
+                self.emit(FleetEvent::Cancelled {
+                    tenant: id,
+                    at_hours: now,
+                });
+                return Ok(true);
+            }
+        }
+        let o = &mut self.outcomes[idx];
+        if o.admitted || o.execution.is_some() || o.rejection.is_some() {
+            return Ok(false); // already terminal
+        }
+        o.rejection = Some("cancelled before arrival".into());
+        self.cancelled.insert(idx);
+        // The phantom arrival event stays in the heap (heaps don't support
+        // removal) but no longer counts as pending work, so the monitor
+        // chain can die instead of ticking until the cancelled hour;
+        // `handle_arrival` skips its own decrement for cancelled entries.
+        self.arrivals_pending -= 1;
+        let at = self.stepped_to;
+        self.emit(FleetEvent::Cancelled {
+            tenant: id,
+            at_hours: at,
+        });
+        Ok(true)
+    }
+
+    /// Advances the fleet through every event strictly before `hours`,
+    /// then sets the logical clock to `hours`. Events at exactly `hours`
+    /// stay pending, so a submission at the bound still settles *before*
+    /// same-instant wakeups, revocations and ticks (class order). Ignores
+    /// non-finite or backwards bounds.
+    pub fn step_until(&mut self, hours: f64) {
+        if !hours.is_finite() {
+            return;
+        }
+        while let Some(t) = self.sim.peek_time() {
+            if t + TIME_EPSILON >= hours {
+                break;
+            }
+            self.drain_one_batch();
+        }
+        if hours > self.stepped_to {
+            self.stepped_to = hours;
+        }
+    }
+
+    /// Drains the event heap completely. Any job still active afterwards
+    /// is stuck (nothing running, nothing scheduled) and is aborted with
+    /// its accrued spend kept on the fleet bill — exactly the batch
+    /// driver's final-drain semantics. The session stays usable: later
+    /// submissions start new work.
+    pub fn run_to_quiescence(&mut self) {
+        while self.drain_one_batch() {}
+        let stalled: Vec<ProcessId> = self.active.keys().copied().collect();
+        for pid in stalled {
+            let job = self.active.remove(&pid).expect("stalled job present");
+            let rel = (self.last_hour - job.start).max(0.0);
+            let idx = job.request_idx;
+            let reason = "job stalled: no further events pending".to_string();
+            let o = &mut self.outcomes[idx];
+            o.failure = Some(reason.clone());
+            let report = job.exec.abort(rel);
+            let missed = report.met_deadline == Some(false);
+            o.execution = Some(report);
+            let at = self.last_hour;
+            self.emit(FleetEvent::Failed {
+                tenant: TenantId(idx),
+                at_hours: at,
+                reason,
+            });
+            if missed {
+                self.emit(FleetEvent::DeadlineMissed {
+                    tenant: TenantId(idx),
+                    at_hours: at,
+                });
+            }
+        }
+    }
+
+    /// A live snapshot of one tenant: lifecycle state, plan, execution
+    /// progress and the bill so far.
+    pub fn status(&self, id: TenantId) -> Option<TenantStatus> {
+        let o = self.outcomes.get(id.0)?;
+        let running = self
+            .tenant_pids
+            .get(&id.0)
+            .and_then(|pid| self.active.get(pid));
+        let state = if self.cancelled.contains(&id.0) {
+            TenantState::Cancelled
+        } else if running.is_some() {
+            TenantState::Running
+        } else if !o.admitted {
+            if o.rejection.is_some() {
+                TenantState::Rejected
+            } else {
+                TenantState::Queued
+            }
+        } else if o.failure.is_some() {
+            TenantState::Failed
+        } else if o.execution.is_some() {
+            TenantState::Completed
+        } else {
+            TenantState::Running
+        };
+        let (progress, bill_so_far) = match running {
+            Some(job) => {
+                let rel = (self.stepped_to - job.start).max(0.0);
+                (Some(job.exec.progress(rel)), job.exec.cost_so_far())
+            }
+            None => (
+                None,
+                o.execution.as_ref().map(|e| e.total_cost).unwrap_or(0.0),
+            ),
+        };
+        Some(TenantStatus {
+            tenant: o.tenant.clone(),
+            state,
+            arrival_hours: o.arrival_hours,
+            plan: o.plan.clone(),
+            progress,
+            bill_so_far,
+            replanned_at_hours: o.replanned_at_hours.clone(),
+            revoked_at_hours: o.revoked_at_hours.clone(),
+            finished_at_hours: o.finished_at_hours,
+            rejection: o.rejection.clone(),
+            failure: o.failure.clone(),
+        })
+    }
+
+    /// The fleet bill right now: every terminal tenant's bill plus the
+    /// charges running jobs have accrued so far.
+    pub fn fleet_bill(&self) -> f64 {
+        let terminal: f64 = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.execution.as_ref())
+            .map(|e| e.total_cost)
+            .sum();
+        let running: f64 = self.active.values().map(|j| j.exec.cost_so_far()).sum();
+        terminal + running
+    }
+
+    /// The per-tenant outcomes and fleet roll-up as of now. After
+    /// [`run_to_quiescence`](Self::run_to_quiescence) this is the final
+    /// report; mid-run it is a snapshot (running tenants appear admitted
+    /// with no execution record yet).
+    pub fn report(&self) -> FleetReport {
+        FleetReport::from_outcomes(self.outcomes.clone())
+    }
+
+    // ---- the event loop -------------------------------------------------
+
+    /// Pops and processes one batch of simultaneous events. Returns
+    /// `false` when the heap is empty.
+    fn drain_one_batch(&mut self) -> bool {
+        let mut batch = std::mem::take(&mut self.batch);
+        let Some(now) = self.sim.pop_due(&mut batch) else {
+            self.batch = batch;
+            return false;
+        };
+        let mut any_real = false;
+        let mut woken: BTreeSet<ProcessId> = BTreeSet::new();
+        for event in batch.drain(..) {
+            match event {
+                ClockEvent::Arrival(i) => {
+                    any_real = true;
+                    self.handle_arrival(i, now);
+                }
+                ClockEvent::Job(pid) => {
+                    any_real = true;
+                    if woken.insert(pid) {
+                        self.wake_job(pid, now);
+                    }
+                }
+                ClockEvent::Revocation => {
+                    any_real = true;
+                    self.handle_revocation(now);
+                }
+                ClockEvent::MonitorTick(gen) => {
+                    if gen != self.monitor_gen {
+                        continue; // superseded chain; a no-event
+                    }
+                    any_real = true;
+                    self.handle_monitor_tick(now);
+                }
+            }
+        }
+        if any_real {
+            self.last_hour = now;
+            if now > self.stepped_to {
+                self.stepped_to = now;
+            }
+        }
+        self.batch = batch;
+        true
+    }
+
+    /// Starts — or revives — the monitor-tick chain for a submission with
+    /// effective arrival `arrival`. Tick times live on the iterated grid
+    /// anchored at the earliest arrival, which is what keeps the
+    /// incremental driver's tick times bit-identical to the batch
+    /// driver's `t += period` chain.
+    fn ensure_monitor_chain(&mut self, arrival: f64) {
+        let period = self.config.monitor_period_hours;
+        match self.monitor_anchor {
+            None => self.monitor_anchor = Some(arrival),
+            // Until the first tick fires the grid can still be re-anchored
+            // by an earlier arrival (matching the batch driver's
+            // min-over-all-arrivals anchor).
+            Some(a) if arrival < a && !self.monitor_fired => self.monitor_anchor = Some(arrival),
+            _ => {}
+        }
+        let anchor = self.monitor_anchor.expect("anchor just set");
+        if self.monitor_live {
+            let candidate = anchor + period;
+            if !self.monitor_fired && candidate + TIME_EPSILON < self.monitor_next {
+                self.monitor_gen += 1;
+                self.monitor_next = candidate;
+                self.sim.schedule(
+                    candidate,
+                    ClockEvent::MonitorTick(self.monitor_gen).class(),
+                    ClockEvent::MonitorTick(self.monitor_gen),
+                );
+            }
+        } else {
+            // Iterate (never multiply) so revived chains reproduce the
+            // batch driver's floating-point tick values exactly.
+            let mut t = anchor + period;
+            while t <= self.stepped_to + TIME_EPSILON {
+                t += period;
+            }
+            self.monitor_gen += 1;
+            self.monitor_next = t;
+            self.monitor_live = true;
+            self.sim.schedule(
+                t,
+                ClockEvent::MonitorTick(self.monitor_gen).class(),
+                ClockEvent::MonitorTick(self.monitor_gen),
+            );
+        }
+    }
+
+    /// Delivers an event to the log and every observer.
+    fn emit(&mut self, event: FleetEvent) {
+        for obs in &mut self.observers {
+            obs.on_event(&event);
+        }
+        self.events.push(event);
+    }
+
+    // ---- handlers -------------------------------------------------------
+
+    /// Submission `i`'s arrival: plan against the residual capacity and
+    /// register the execution process on success.
+    fn handle_arrival(&mut self, i: usize, now: f64) {
+        if self.cancelled.contains(&i) {
+            // A pre-arrival cancel already removed this entry from
+            // `arrivals_pending` and recorded the rejection; the phantom
+            // event is a no-op.
+            return;
+        }
+        self.arrivals_pending -= 1;
+        if let Some((job, initial)) = self.admit(i, now) {
+            let pid = self.registry.register();
+            for (t, _) in initial {
+                self.sim
+                    .schedule(now + t, ClockEvent::Job(pid).class(), ClockEvent::Job(pid));
+            }
+            self.tenant_pids.insert(i, pid);
+            self.active.insert(pid, job);
+            self.emit(FleetEvent::Admitted {
+                tenant: TenantId(i),
+                at_hours: now,
+            });
+            let (expected_cost, expected_completion_hours) = self.outcomes[i]
+                .plan
+                .as_ref()
+                .map(|p| (p.expected_cost, p.expected_completion_hours))
+                .unwrap_or((0.0, 0.0));
+            self.emit(FleetEvent::Planned {
+                tenant: TenantId(i),
+                at_hours: now,
+                expected_cost,
+                expected_completion_hours,
+            });
+        } else {
+            let reason = self.outcomes[i]
+                .rejection
+                .clone()
+                .unwrap_or_else(|| "admission failed".into());
+            self.emit(FleetEvent::Rejected {
+                tenant: TenantId(i),
+                at_hours: now,
+                reason,
+            });
+        }
+    }
+
+    /// Plans one arrival against the residual capacity and, on success,
+    /// builds its execution process. Returns `None` (after recording the
+    /// rejection) when no feasible plan exists.
+    fn admit(
+        &mut self,
+        request_idx: usize,
+        now: f64,
+    ) -> Option<(ActiveJob, Vec<(f64, conductor_mapreduce::JobEvent)>)> {
+        let request = self.requests[request_idx].clone();
+        let residual = self.residual_pool(now, None);
+        if let Err(reason) = residual.validate() {
+            self.outcomes[request_idx].rejection = Some(format!("no residual capacity: {reason}"));
+            return None;
+        }
+        let planner =
+            Planner::new(residual.clone()).with_solve_options(self.config.solve_options.clone());
+        let config = ModelConfig {
+            price_forecast: self.price_forecast(
+                now,
+                request.goal.horizon_hours(),
+                request.spot_bid,
+            ),
+            ..ModelConfig::default()
+        };
+        let (plan, planning) = match planner.plan_with_config(&request.spec, request.goal, &config)
+        {
+            Ok(result) => result,
+            Err(e) => {
+                self.outcomes[request_idx].rejection =
+                    Some(format!("admission planning failed: {e}"));
+                return None;
+            }
+        };
+
+        let options = plan.to_deployment_options(
+            request.tenant.clone(),
+            self.pool.uplink_gbph,
+            request.goal.deadline_hours(),
+            &ExecutionPlan::default_location_map(),
+        );
+        let scheduler = scheduler_for_plan(&plan, &self.pool);
+        let pricing = match &self.config.spot_market {
+            Some(market) => SessionPricing::Spot {
+                market: market.clone(),
+                start_offset_hours: now,
+                bid: request
+                    .spot_bid
+                    .unwrap_or_else(|| self.effective_bid(market)),
+            },
+            None => SessionPricing::OnDemand,
+        };
+        let exec = match JobExecution::new(
+            &self.catalog,
+            &request.spec,
+            options,
+            Box::new(scheduler),
+            pricing,
+        ) {
+            Ok(exec) => exec,
+            Err(e) => {
+                self.outcomes[request_idx].rejection = Some(format!("deployment rejected: {e}"));
+                return None;
+            }
+        };
+
+        let outcome = &mut self.outcomes[request_idx];
+        outcome.admitted = true;
+        outcome.plan = Some(plan.clone());
+        outcome.planning = Some(planning);
+        let progress_model = progress_checkpoints(now, 0.0, &plan);
+        let initial = exec.initial_events();
+        Some((
+            ActiveJob {
+                request_idx,
+                start: now,
+                exec,
+                spec: request.spec.clone(),
+                goal: request.goal,
+                tenant_bid: request.spot_bid,
+                progress_model,
+                storm_hit: false,
+            },
+            initial,
+        ))
+    }
+
+    /// Advances one job's execution process at fleet hour `now`, handling
+    /// completion, the max-hours cap and stuck detection.
+    fn wake_job(&mut self, pid: ProcessId, now: f64) {
+        let Some(job) = self.active.get_mut(&pid) else {
+            return; // already finished, failed or cancelled
+        };
+        let rel = (now - job.start).max(0.0);
+        if matches!(job.exec.phase(), JobPhase::Processing) && rel > job.exec.max_hours() {
+            let job = self.active.remove(&pid).expect("job present");
+            let idx = job.request_idx;
+            let reason = format!(
+                "did not finish within {} simulated hours ({} tasks done)",
+                job.exec.max_hours(),
+                job.exec.completed_tasks()
+            );
+            let o = &mut self.outcomes[idx];
+            o.failure = Some(reason.clone());
+            let report = job.exec.abort(rel);
+            let missed = report.met_deadline == Some(false);
+            o.execution = Some(report);
+            self.emit(FleetEvent::Failed {
+                tenant: TenantId(idx),
+                at_hours: now,
+                reason,
+            });
+            if missed {
+                self.emit(FleetEvent::DeadlineMissed {
+                    tenant: TenantId(idx),
+                    at_hours: now,
+                });
+            }
+            return;
+        }
+        let extensions_before = job.exec.straggler_extensions();
+        let follow_ups = job.exec.on_wakeup(rel);
+        for (t, _) in follow_ups {
+            self.sim.schedule(
+                job.start + t,
+                ClockEvent::Job(pid).class(),
+                ClockEvent::Job(pid),
+            );
+        }
+        let job = self.active.get_mut(&pid).expect("job still present");
+        if job.exec.straggler_extensions() > extensions_before {
+            let idx = job.request_idx;
+            self.emit(FleetEvent::StragglerExtended {
+                tenant: TenantId(idx),
+                at_hours: now,
+            });
+        }
+        let job = self.active.get_mut(&pid).expect("job still present");
+        if job.exec.is_done() {
+            let job = self.active.remove(&pid).expect("job present");
+            let idx = job.request_idx;
+            let o = &mut self.outcomes[idx];
+            let report = job.exec.into_report();
+            let finished_at = job.start + report.completion_hours;
+            o.finished_at_hours = Some(finished_at);
+            let met_deadline = report.met_deadline;
+            o.execution = Some(report);
+            self.emit(FleetEvent::Completed {
+                tenant: TenantId(idx),
+                at_hours: finished_at,
+                met_deadline,
+            });
+            if met_deadline == Some(false) {
+                self.emit(FleetEvent::DeadlineMissed {
+                    tenant: TenantId(idx),
+                    at_hours: finished_at,
+                });
+            }
+        } else if matches!(job.exec.phase(), JobPhase::Processing)
+            && job.exec.next_event_hours(rel).is_none()
+        {
+            let job = self.active.remove(&pid).expect("job present");
+            let idx = job.request_idx;
+            let reason =
+                format!("job stuck at hour {rel:.2}: nothing running and nothing scheduled");
+            let o = &mut self.outcomes[idx];
+            o.failure = Some(reason.clone());
+            let report = job.exec.abort(rel);
+            let missed = report.met_deadline == Some(false);
+            o.execution = Some(report);
+            self.emit(FleetEvent::Failed {
+                tenant: TenantId(idx),
+                at_hours: now,
+                reason,
+            });
+            if missed {
+                self.emit(FleetEvent::DeadlineMissed {
+                    tenant: TenantId(idx),
+                    at_hours: now,
+                });
+            }
+        }
+    }
+
+    /// A revocation sweep at fleet hour `now`: every running job whose
+    /// effective bid the spot price exceeds loses its cloud nodes.
+    fn handle_revocation(&mut self, now: f64) {
+        let Some(market) = &self.config.spot_market else {
+            return;
+        };
+        let hour = (now + TIME_EPSILON).floor().max(0.0) as usize;
+        let fleet_bid = self.effective_bid(market);
+        let mut emitted: Vec<FleetEvent> = Vec::new();
+        for (pid, job) in self.active.iter_mut() {
+            // Per-tenant bids: a sweep only strikes jobs actually out-bid
+            // at this hour. With no per-tenant overrides this check is
+            // vacuously true (sweeps are scheduled exactly at the fleet
+            // bid's out-bid hours), preserving the batch driver bit for
+            // bit.
+            let bid = job.tenant_bid.unwrap_or(fleet_bid);
+            if !market.out_bid_at(hour, bid) {
+                continue;
+            }
+            let rel = (now - job.start).max(0.0);
+            let (killed, wakeups) = job.exec.kill_cloud_nodes(rel);
+            if killed == 0 {
+                continue;
+            }
+            job.storm_hit = true;
+            self.outcomes[job.request_idx].revoked_at_hours.push(now);
+            emitted.push(FleetEvent::Revoked {
+                tenant: TenantId(job.request_idx),
+                at_hours: now,
+                nodes_killed: killed,
+            });
+            for (t, _) in wakeups {
+                self.sim.schedule(
+                    job.start + t,
+                    ClockEvent::Job(*pid).class(),
+                    ClockEvent::Job(*pid),
+                );
+            }
+            // Wake the victim immediately: it reconciles against the
+            // out-bid market and schedules its own recovery-hour retry,
+            // instead of sleeping on wakeups for tasks that no longer run.
+            self.sim
+                .schedule(now, ClockEvent::Job(*pid).class(), ClockEvent::Job(*pid));
+        }
+        for event in emitted {
+            self.emit(event);
+        }
+    }
+
+    /// A monitor tick: check every running job, then keep the chain alive
+    /// while anything can still happen.
+    fn handle_monitor_tick(&mut self, now: f64) {
+        self.monitor_fired = true;
+        self.monitor(now);
+        if !self.active.is_empty() || self.arrivals_pending > 0 {
+            let next = now + self.config.monitor_period_hours;
+            self.monitor_next = next;
+            self.sim.schedule(
+                next,
+                ClockEvent::MonitorTick(self.monitor_gen).class(),
+                ClockEvent::MonitorTick(self.monitor_gen),
+            );
+        } else {
+            self.monitor_live = false;
+        }
+    }
+
+    /// The periodic monitor: compares every running job's observed map
+    /// progress against its plan's projection and re-plans laggards in
+    /// place, splicing the updated node schedule into the live deployment.
+    fn monitor(&mut self, now: f64) {
+        let pids: Vec<ProcessId> = self.active.keys().copied().collect();
+        for pid in pids {
+            let (rel, deadline, expected, progress, storm_hit) = {
+                let job = self.active.get(&pid).expect("active job present");
+                if !matches!(job.exec.phase(), JobPhase::Processing) {
+                    continue;
+                }
+                let rel = now - job.start;
+                if rel <= TIME_EPSILON {
+                    continue;
+                }
+                let Some(deadline) = job.exec.options().deadline_hours else {
+                    continue; // nothing to protect
+                };
+                let expected = expected_progress(&job.progress_model, now);
+                (
+                    rel,
+                    deadline,
+                    expected,
+                    job.exec.progress(rel),
+                    job.storm_hit,
+                )
+            };
+            let on_track = expected <= 0.0
+                || progress.map_done_gb + 1e-6 >= (1.0 - self.config.monitor_tolerance) * expected;
+            // A storm-hit job re-plans even when its checkpoints still look
+            // on track: the plan's future capacity just evaporated, and
+            // waiting for the shortfall to show up wastes the hours the
+            // deadline rescue needs.
+            if on_track && !storm_hit {
+                continue;
+            }
+            // Too late to act? Leave the schedule alone and let it ride.
+            if deadline - rel <= self.config.replan_margin_hours + 1.0 {
+                self.clear_storm_flag(pid);
+                continue;
+            }
+            // Observed per-node throughput over the hours actually fielded.
+            // A storm victim with no fielded hours yet keeps its flag and
+            // retries at the next tick, once it has observed something.
+            if progress.allocated_node_hours <= TIME_EPSILON {
+                continue;
+            }
+            let observed_gbph = progress.map_done_gb / progress.allocated_node_hours;
+            if observed_gbph <= 0.0 {
+                continue;
+            }
+            self.clear_storm_flag(pid);
+            self.replan_job(pid, now, rel, deadline, observed_gbph);
+        }
+    }
+
+    /// Re-plans one lagging job from its observed state with the observed
+    /// throughput, against the residual capacity the *other* jobs leave.
+    fn replan_job(
+        &mut self,
+        pid: ProcessId,
+        now: f64,
+        rel: f64,
+        deadline: f64,
+        observed_gbph: f64,
+    ) {
+        let (spec, goal, tenant_bid, progress) = {
+            let job = self.active.get(&pid).expect("active job present");
+            (
+                job.spec.clone(),
+                job.goal,
+                job.tenant_bid,
+                job.exec.progress(rel),
+            )
+        };
+
+        // Corrected capacities in reference-workload units (mirrors
+        // `AdaptiveController::pool_with_throughput`).
+        let reference_units = if spec.reference_throughput_gbph > 0.0 {
+            observed_gbph * (REFERENCE_WORKLOAD_GBPH / spec.reference_throughput_gbph)
+        } else {
+            observed_gbph
+        };
+        let mut residual = self.residual_pool(now, Some(pid));
+        for c in &mut residual.compute {
+            c.capacity_gbph = reference_units;
+        }
+        if residual.validate().is_err() {
+            return;
+        }
+
+        // Observed state, with the conservatism the fluid model needs.
+        let mut initial = InitialState::default();
+        let location_names = location_to_storage_names();
+        for (loc, gb) in &progress.stored_gb {
+            if let Some(name) = location_names.get(loc) {
+                initial.stored_gb.insert(name.to_string(), *gb);
+            }
+        }
+        let remaining = (spec.input_gb - progress.map_done_gb).max(0.0);
+        initial.map_done_gb =
+            (spec.input_gb - remaining * (1.0 + self.config.monitor_conservatism)).max(0.0);
+
+        let remaining_goal = match goal {
+            Goal::MinimizeCost { .. } => Goal::MinimizeCost {
+                deadline_hours: (deadline - rel - self.config.replan_margin_hours).max(1.0),
+            },
+            Goal::MinimizeTime {
+                budget_usd,
+                max_hours,
+            } => Goal::MinimizeTime {
+                budget_usd,
+                max_hours: (max_hours - rel - self.config.replan_margin_hours).max(1.0),
+            },
+        };
+        let config = ModelConfig {
+            initial,
+            price_forecast: self.price_forecast(now, remaining_goal.horizon_hours(), tenant_bid),
+            ..ModelConfig::default()
+        };
+        let planner = Planner::new(residual).with_solve_options(self.config.solve_options.clone());
+        let Ok((updated, _)) = planner.plan_with_config(&spec, remaining_goal, &config) else {
+            return; // keep the current schedule; the next tick may retry
+        };
+
+        let job = self.active.get_mut(&pid).expect("active job present");
+        let new_steps: Vec<NodeAllocation> = updated
+            .node_schedule()
+            .into_iter()
+            .map(|mut step| {
+                step.from_hour += rel;
+                step
+            })
+            .collect();
+        let wakeups = job.exec.splice_node_schedule(rel, rel, new_steps);
+        for (t, _) in wakeups {
+            self.sim.schedule(
+                job.start + t,
+                ClockEvent::Job(pid).class(),
+                ClockEvent::Job(pid),
+            );
+        }
+        // Wake the job at the splice point so an immediate scale-up at
+        // `rel` takes effect without waiting for the next old event.
+        self.sim
+            .schedule(now, ClockEvent::Job(pid).class(), ClockEvent::Job(pid));
+        job.progress_model = progress_checkpoints(now, progress.map_done_gb, &updated);
+        let idx = job.request_idx;
+        self.outcomes[idx].replanned_at_hours.push(now);
+        self.emit(FleetEvent::Replanned {
+            tenant: TenantId(idx),
+            at_hours: now,
+        });
+    }
+
+    /// Clears a job's storm flag once the monitor has acted on (or given
+    /// up on) the revocation.
+    fn clear_storm_flag(&mut self, pid: ProcessId) {
+        if let Some(job) = self.active.get_mut(&pid) {
+            job.storm_hit = false;
+        }
+    }
+
+    /// The capacity left over at fleet hour `at` once every active job's
+    /// future node commitments are subtracted, excluding `exclude` (used
+    /// when re-planning that job: its own schedule is about to be
+    /// replaced).
+    fn residual_pool(&self, at: f64, exclude: Option<ProcessId>) -> ResourcePool {
+        let mut pool = self.pool.clone();
+        // Sample the fleet commitment at `at` and at every future schedule
+        // step of any running job; the peak over those samples is what a
+        // new plan can never have.
+        let mut sample_points: Vec<f64> = vec![at];
+        for (pid, job) in &self.active {
+            if Some(*pid) == exclude {
+                continue;
+            }
+            for step in job.exec.node_schedule() {
+                let abs = job.start + step.from_hour;
+                if abs > at + TIME_EPSILON {
+                    sample_points.push(abs);
+                }
+            }
+        }
+        for c in &mut pool.compute {
+            let Some(cap) = c.max_nodes else {
+                continue; // uncapped resources have no contention
+            };
+            let mut peak = 0usize;
+            for &p in &sample_points {
+                let mut committed = 0usize;
+                for (pid, job) in &self.active {
+                    if Some(*pid) == exclude {
+                        continue;
+                    }
+                    committed += nodes_at(job.exec.node_schedule(), &c.name, p - job.start);
+                }
+                peak = peak.max(committed);
+            }
+            c.max_nodes = Some(cap.saturating_sub(peak));
+        }
+        pool
+    }
+
+    /// The fleet's maximum bid per spot instance-hour: the configured
+    /// override, or the market's on-demand price (the rational ceiling).
+    fn effective_bid(&self, market: &SpotMarket) -> f64 {
+        self.config.spot_bid.unwrap_or(market.on_demand_price)
+    }
+
+    /// Per-interval price expectations from the shared spot market (empty
+    /// when the fleet buys on-demand). A per-tenant bid below the market's
+    /// spikes makes the out-bid hours *unavailable* to that tenant; the
+    /// fluid model cannot express unavailability, so those hours are
+    /// forecast at the on-demand ceiling — the price of the fallback that
+    /// would actually keep the plan's node-hours.
+    fn price_forecast(
+        &self,
+        now: f64,
+        horizon: usize,
+        tenant_bid: Option<f64>,
+    ) -> BTreeMap<String, Vec<f64>> {
+        let mut forecast = BTreeMap::new();
+        if let Some(market) = &self.config.spot_market {
+            let start = now.floor().max(0.0) as usize;
+            let mut prices = market.price_forecast(start, horizon);
+            if let Some(bid) = tenant_bid {
+                for (offset, price) in prices.iter_mut().enumerate() {
+                    if market.out_bid_at(start + offset, bid) {
+                        *price = market.on_demand_price;
+                    }
+                }
+            }
+            for c in &self.pool.compute {
+                if !c.is_local {
+                    forecast.insert(c.name.clone(), prices.clone());
+                }
+            }
+        }
+        forecast
+    }
+}
+
+/// `(fleet_hour, cumulative expected map GB)` checkpoints implied by a
+/// plan starting at `start` with `done_gb` of the input already processed.
+fn progress_checkpoints(start: f64, done_gb: f64, plan: &ExecutionPlan) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(plan.intervals.len());
+    let mut cum = done_gb;
+    for (k, interval) in plan.intervals.iter().enumerate() {
+        cum += interval.map_gb;
+        out.push((start + (k as f64 + 1.0) * plan.interval_hours, cum));
+    }
+    out
+}
+
+/// Expected cumulative map progress at fleet hour `now` (the last fully
+/// elapsed checkpoint; zero before the first).
+fn expected_progress(checkpoints: &[(f64, f64)], now: f64) -> f64 {
+    checkpoints
+        .iter()
+        .take_while(|(h, _)| *h <= now + TIME_EPSILON)
+        .last()
+        .map(|(_, gb)| *gb)
+        .unwrap_or(0.0)
+}
+
+/// Inverse of [`ExecutionPlan::default_location_map`]: engine locations
+/// back to pool storage-resource names, for building re-planning state.
+fn location_to_storage_names() -> BTreeMap<conductor_mapreduce::DataLocation, &'static str> {
+    use conductor_mapreduce::DataLocation;
+    let mut m = BTreeMap::new();
+    m.insert(DataLocation::S3, "S3");
+    m.insert(DataLocation::InstanceDisk, "EC2-disk");
+    m.insert(DataLocation::LocalDisk, "local-disk");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::IntervalPlan;
+    use conductor_mapreduce::Workload;
+    use std::time::Duration;
+
+    fn fast_config() -> FleetConfig {
+        FleetConfig {
+            solve_options: SolveOptions {
+                relative_gap: 0.02,
+                max_nodes: 2_000,
+                time_limit: Duration::from_secs(30),
+                ..Default::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    fn fleet(cap: usize) -> Fleet {
+        let catalog = Catalog::aws_july_2011();
+        let pool = ResourcePool::from_catalog(&catalog, 1.0)
+            .with_compute_only(&["m1.large"])
+            .with_compute_cap("m1.large", cap);
+        Fleet::new(catalog, pool, fast_config()).unwrap()
+    }
+
+    fn request(tenant: &str, arrival: f64, deadline: f64) -> FleetJobRequest {
+        FleetJobRequest::new(
+            tenant,
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: deadline,
+            },
+            arrival,
+        )
+    }
+
+    #[test]
+    fn residual_capacity_shrinks_under_load() {
+        let mut f = fleet(20);
+        let residual = f.residual_pool(0.0, None);
+        assert_eq!(
+            residual.compute_resource("m1.large").unwrap().max_nodes,
+            Some(20)
+        );
+        // Admit one job and check the leftover.
+        f.submit(request("a", 0.0, 6.0)).unwrap();
+        let (job, _) = f.admit(0, 0.0).expect("admission succeeds");
+        let peak: usize = job
+            .exec
+            .node_schedule()
+            .iter()
+            .map(|s| s.nodes)
+            .max()
+            .unwrap_or(0);
+        assert!(peak > 0);
+        f.active.insert(ProcessId(0), job);
+        let residual = f.residual_pool(0.0, None);
+        assert_eq!(
+            residual.compute_resource("m1.large").unwrap().max_nodes,
+            Some(20 - peak)
+        );
+        // Excluding the job restores the full fleet cap.
+        let residual = f.residual_pool(0.0, Some(ProcessId(0)));
+        assert_eq!(
+            residual.compute_resource("m1.large").unwrap().max_nodes,
+            Some(20)
+        );
+    }
+
+    #[test]
+    fn progress_checkpoints_accumulate_and_sample() {
+        let plan = ExecutionPlan {
+            interval_hours: 1.0,
+            intervals: vec![
+                IntervalPlan {
+                    map_gb: 4.0,
+                    ..Default::default()
+                },
+                IntervalPlan {
+                    map_gb: 6.0,
+                    ..Default::default()
+                },
+            ],
+            expected_cost: 0.0,
+            expected_completion_hours: 2.0,
+            proven_optimal: true,
+        };
+        let cps = progress_checkpoints(2.0, 1.0, &plan);
+        assert_eq!(cps, vec![(3.0, 5.0), (4.0, 11.0)]);
+        assert_eq!(expected_progress(&cps, 2.5), 0.0);
+        assert_eq!(expected_progress(&cps, 3.0), 5.0);
+        assert_eq!(expected_progress(&cps, 10.0), 11.0);
+    }
+
+    #[test]
+    fn invalid_config_and_submissions_are_rejected() {
+        let catalog = Catalog::aws_july_2011();
+        let pool = ResourcePool::from_catalog(&catalog, 1.0).with_compute_only(&["m1.large"]);
+
+        let bad = FleetConfig {
+            monitor_tolerance: f64::NAN,
+            ..fast_config()
+        };
+        assert!(matches!(
+            Fleet::new(catalog.clone(), pool.clone(), bad),
+            Err(ConductorError::InvalidInput(_))
+        ));
+        let bad = FleetConfig {
+            monitor_period_hours: -1.0,
+            ..fast_config()
+        };
+        assert!(matches!(
+            Fleet::new(catalog.clone(), pool.clone(), bad),
+            Err(ConductorError::InvalidInput(_))
+        ));
+        let bad = FleetConfig {
+            spot_bid: Some(f64::NAN),
+            ..fast_config()
+        };
+        assert!(matches!(
+            Fleet::new(catalog.clone(), pool.clone(), bad),
+            Err(ConductorError::InvalidInput(_))
+        ));
+
+        let mut f = Fleet::new(catalog, pool, fast_config()).unwrap();
+        assert!(matches!(
+            f.submit(request("nan", f64::NAN, 6.0)),
+            Err(ConductorError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            f.submit(request("past", -1.0, 6.0)),
+            Err(ConductorError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            f.submit(request("bid", 0.0, 6.0).with_spot_bid(-0.10)),
+            Err(ConductorError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            f.cancel(TenantId(7)),
+            Err(ConductorError::InvalidInput(_))
+        ));
+        assert!(f.events.is_empty(), "failed submissions emit nothing");
+    }
+
+    #[test]
+    fn monitor_grid_revives_on_the_batch_chain() {
+        // Anchor at 0.5, period 1.0: ticks at 1.5, 2.5, … — after the chain
+        // goes quiet and the clock moves to 7.2, the revived chain must
+        // land on 7.5, not 8.2.
+        let mut f = fleet(10);
+        f.monitor_anchor = Some(0.5);
+        f.monitor_fired = true;
+        f.monitor_live = false;
+        f.stepped_to = 7.2;
+        f.ensure_monitor_chain(7.2);
+        assert!((f.monitor_next - 7.5).abs() < 1e-12, "{}", f.monitor_next);
+        assert!(f.monitor_live);
+    }
+
+    #[test]
+    fn report_index_and_outcome_filters() {
+        let mut a = TenantOutcome::pending("a".into(), 0.0);
+        a.admitted = true;
+        a.execution = None;
+        a.failure = Some("boom".into());
+        let b = TenantOutcome::pending("b".into(), 1.0);
+        let report = FleetReport::from_outcomes(vec![a, b.clone()]);
+        assert_eq!(report.tenant("a").unwrap().arrival_hours, 0.0);
+        assert_eq!(report.tenant("b").unwrap().arrival_hours, 1.0);
+        assert!(report.tenant("missing").is_none());
+        assert_eq!(report.tenants_by_outcome(OutcomeClass::Failed).count(), 1);
+        assert_eq!(report.tenants_by_outcome(OutcomeClass::Rejected).count(), 1);
+        assert_eq!(
+            report.tenants_by_outcome(OutcomeClass::Completed).count(),
+            0
+        );
+        // A hand-built report without an index still resolves by scan.
+        let hand_built = FleetReport {
+            tenant_index: BTreeMap::new(),
+            ..report.clone()
+        };
+        assert_eq!(hand_built.tenant("b").unwrap().tenant, "b");
+        // Duplicate names resolve to the first occurrence, like the old scan.
+        let dup = FleetReport::from_outcomes(vec![
+            TenantOutcome::pending("x".into(), 3.0),
+            TenantOutcome::pending("x".into(), 9.0),
+        ]);
+        assert_eq!(dup.tenant("x").unwrap().arrival_hours, 3.0);
+    }
+}

@@ -21,14 +21,21 @@
 //!    throughput, §5.4) and re-plans from the current state (Figure 12).
 //! 6. [`spot`] — bid predictors and the spot-market deployment simulation of
 //!    §6.5 (Figure 14).
-//! 7. [`service`] — the fleet view: [`service::ConductorService`] admits
-//!    many concurrent jobs on one shared discrete-event clock, planning
-//!    each against the residual capacity and a shared spot market, with
-//!    per-tenant billing and monitor-event adaptation.
+//! 7. [`fleet`] — the open-world fleet: [`fleet::Fleet`] is a long-lived
+//!    orchestration session — jobs submitted or cancelled at any simulated
+//!    time, the clock advanced in steps, live status queries, and a typed
+//!    [`fleet::FleetEvent`] stream in deterministic clock order. Many
+//!    concurrent jobs share one discrete-event clock, are planned against
+//!    the residual capacity and a shared spot market, and are re-planned
+//!    by monitor events, with per-tenant billing.
+//! 8. [`service`] — [`service::ConductorService`], the closed-world batch
+//!    facade over the fleet session (submit everything, drain, report),
+//!    pinned bitwise-identical to the incremental path.
 
 pub mod adapt;
 pub mod controller;
 pub mod error;
+pub mod fleet;
 pub mod goal;
 pub mod model;
 pub mod plan;
@@ -40,10 +47,14 @@ pub mod spot;
 pub use adapt::{AdaptationReport, AdaptiveController};
 pub use controller::{DeploymentOutcome, JobController};
 pub use error::ConductorError;
+pub use fleet::{
+    Fleet, FleetConfig, FleetEvent, FleetJobRequest, FleetObserver, FleetReport, OutcomeClass,
+    TenantId, TenantOutcome, TenantState, TenantStatus,
+};
 pub use goal::Goal;
 pub use model::{InitialState, ModelConfig, ModelInstance};
 pub use plan::{ExecutionPlan, IntervalPlan};
 pub use planner::{Planner, PlanningReport};
 pub use resources::{ComputeResource, ResourcePool, StorageResource};
-pub use service::{ConductorService, FleetJobRequest, FleetReport, TenantOutcome};
+pub use service::ConductorService;
 pub use spot::{BidPredictor, SpotDeploymentSimulator, SpotScenarioResult};

@@ -1,218 +1,40 @@
-//! Fleet-level orchestration: the Conductor *service*.
+//! Fleet-level orchestration: the Conductor *service*, as a batch facade.
 //!
 //! The paper frames Conductor as a service that orchestrates deployments
-//! for many customers; [`ConductorService`] is that fleet view. It admits N
-//! jobs with staggered arrivals onto one shared discrete-event clock
-//! ([`conductor_sim::Simulator`]), plans each arrival against the
-//! **residual** capacity left by the jobs already running, prices every
-//! tenant against one shared [`SpotMarket`] and catalog, meters a
-//! per-tenant [`conductor_cloud::BillingAccount`] (rolled up into a fleet
-//! bill), and runs adaptation as periodic *monitor events* on the shared
-//! clock — a tenant that falls behind its plan is re-planned in place and
-//! its node schedule spliced mid-run, instead of restarting the world.
+//! for many customers. The machinery behind that — admission against
+//! residual capacity, one shared [`SpotMarket`] and clock, per-tenant
+//! billing, revocation storms, monitor-event re-planning — lives in the
+//! incremental [`Fleet`] session API (see [`crate::fleet`]).
+//! [`ConductorService`] is the closed-world wrapper
+//! kept for batch workloads and backwards compatibility: configure once,
+//! hand it the full request list, get the drained [`FleetReport`].
 //!
-//! # Residual-capacity admission
+//! `run` is *pinned bitwise identical* to the pre-redesign driver (and to
+//! the incremental path): it opens a [`Fleet`],
+//! submits every request up front, drains to quiescence and returns the
+//! report — `tests/fleet_api.rs` asserts the equivalence on the
+//! multi-job, revocation-storm and Poisson-churn suites.
 //!
-//! Each tenant uploads over its own site uplink (tenants are distinct
-//! customers), but compute capacity, the spot market and the price catalog
-//! are shared — which is exactly where multi-tenant contention shows up.
-//! At every arrival the service samples the committed node count of every
-//! running job's schedule at each future step and subtracts the *peak*
-//! from the fleet-wide `max_nodes` caps
-//! ([`ResourcePool::with_compute_cap`]); the arrival is planned by
-//! [`Planner`] against that leftover, and rejected (with the reason
-//! recorded in [`TenantOutcome::rejection`]) when no feasible plan exists.
-//! Re-planning a *running* job uses the same residual with the job itself
-//! excluded, since its own schedule is about to be replaced.
-//!
-//! # The fleet event loop
-//!
-//! The service is itself a wakeup-handler driver (see
-//! [`conductor_mapreduce::execution`] for the per-job half of the
-//! protocol). Four event kinds share the clock, class-ordered so an
-//! instant settles causes-first: tenant arrivals (admission), job wakeups
-//! (delegated to [`JobExecution::on_wakeup`]), **spot revocations**, and
-//! monitor ticks. Revocation events come straight from the shared price
-//! trace ([`SpotMarket::revocation_hours`]): at every hour the price
-//! exceeds the fleet bid ([`ConductorService::with_spot_bid`]), each
-//! running job's cloud nodes are terminated via
-//! [`JobExecution::kill_cloud_nodes`] — partial hours uncharged,
-//! interrupted work returned to the runnable set — and the victim is
-//! flagged so the next monitor tick re-plans it against the post-storm
-//! residual without waiting for a progress shortfall to accumulate.
+//! The `with_*` builders survive as a convenience layer over
+//! [`FleetConfig`]; new code should construct a `FleetConfig` directly
+//! (validated once at [`Fleet::new`](crate::fleet::Fleet::new) /
+//! [`ConductorService::open`]) and drive the session incrementally.
 
-use crate::controller::scheduler_for_plan;
 use crate::error::ConductorError;
-use crate::goal::Goal;
-use crate::model::{InitialState, ModelConfig};
-use crate::plan::ExecutionPlan;
-use crate::planner::{Planner, PlanningReport};
-use crate::resources::{ResourcePool, REFERENCE_WORKLOAD_GBPH};
-use conductor_cloud::{Catalog, CostBreakdown, SpotMarket};
+use crate::fleet::{Fleet, FleetConfig};
+use crate::resources::ResourcePool;
+use conductor_cloud::{Catalog, SpotMarket};
 use conductor_lp::SolveOptions;
-use conductor_mapreduce::cluster::nodes_at;
-use conductor_mapreduce::execution::{JobExecution, JobPhase, SessionPricing};
-use conductor_mapreduce::{JobSpec, NodeAllocation};
-use conductor_sim::{ProcessId, ProcessRegistry, Simulator, TIME_EPSILON};
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
 
-/// One tenant's job submission.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct FleetJobRequest {
-    /// Tenant name (used as the deployment label and in the fleet report).
-    pub tenant: String,
-    /// The computation to deploy.
-    pub spec: JobSpec,
-    /// The tenant's optimization goal.
-    pub goal: Goal,
-    /// Fleet-clock hour at which the job arrives.
-    pub arrival_hours: f64,
-}
+pub use crate::fleet::{FleetJobRequest, FleetReport, TenantOutcome};
 
-impl FleetJobRequest {
-    /// Creates a request.
-    pub fn new(tenant: impl Into<String>, spec: JobSpec, goal: Goal, arrival_hours: f64) -> Self {
-        Self {
-            tenant: tenant.into(),
-            spec,
-            goal,
-            arrival_hours,
-        }
-    }
-}
-
-/// What happened to one tenant's job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct TenantOutcome {
-    /// Tenant name.
-    pub tenant: String,
-    /// Arrival hour on the fleet clock.
-    pub arrival_hours: f64,
-    /// `true` when the job was admitted (a plan existed under the residual
-    /// capacity at arrival).
-    pub admitted: bool,
-    /// Why admission failed, when it did.
-    pub rejection: Option<String>,
-    /// The plan the job was admitted under.
-    pub plan: Option<ExecutionPlan>,
-    /// Planning effort at admission.
-    pub planning: Option<PlanningReport>,
-    /// The measured execution (tenant-relative hours; the tenant's bill is
-    /// `execution.cost_breakdown`). `None` when the job was rejected at
-    /// admission; for a job that failed mid-run (`failure` set) this holds
-    /// the *partial* bill accrued up to the abort.
-    pub execution: Option<conductor_mapreduce::ExecutionReport>,
-    /// Why the admitted job failed to finish, when it did.
-    pub failure: Option<String>,
-    /// Fleet-clock hours at which the monitor re-planned this job.
-    pub replanned_at_hours: Vec<f64>,
-    /// Fleet-clock hours at which the spot market revoked nodes from this
-    /// job (one entry per revocation event that killed at least one node).
-    pub revoked_at_hours: Vec<f64>,
-    /// Fleet-clock hour at which the job (including its result download)
-    /// completed.
-    pub finished_at_hours: Option<f64>,
-}
-
-/// The fleet-wide result of one service run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct FleetReport {
-    /// Per-tenant outcomes, in submission order.
-    pub tenants: Vec<TenantOutcome>,
-    /// Sum of all tenant bills (USD), including partial bills of jobs
-    /// that failed mid-run.
-    pub fleet_cost: f64,
-    /// The provider-side roll-up of every tenant's cost breakdown.
-    pub fleet_breakdown: CostBreakdown,
-    /// Fleet-clock hour at which the last job completed.
-    pub makespan_hours: f64,
-    /// Jobs admitted.
-    pub jobs_admitted: usize,
-    /// Jobs that ran to completion.
-    pub jobs_completed: usize,
-    /// Completed jobs that met their deadline.
-    pub deadlines_met: usize,
-}
-
-impl FleetReport {
-    /// The outcome for a tenant by name.
-    pub fn tenant(&self, name: &str) -> Option<&TenantOutcome> {
-        self.tenants.iter().find(|t| t.tenant == name)
-    }
-}
-
-/// Events on the fleet clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FleetEvent {
-    /// Request `i` arrives and asks for admission.
-    Arrival(usize),
-    /// Wakeup for an admitted job's execution process.
-    Job(ProcessId),
-    /// The spot price rose above the fleet bid at this hour: every running
-    /// spot session is terminated by the provider.
-    Revocation,
-    /// Periodic progress check over every running job.
-    MonitorTick,
-}
-
-impl FleetEvent {
-    /// Arrivals settle first at a tick, then job state, then the market
-    /// revokes, then the monitor observes (so it never sees a half-applied
-    /// hour). Revocations deliberately order *after* job wakeups at the
-    /// same instant: a task that finishes exactly at the out-bid hour
-    /// completed its hour and retires normally; only the survivors lose
-    /// their nodes.
-    fn class(self) -> u8 {
-        match self {
-            FleetEvent::Arrival(_) => 0,
-            FleetEvent::Job(_) => 1,
-            FleetEvent::Revocation => 2,
-            FleetEvent::MonitorTick => 9,
-        }
-    }
-}
-
-/// One admitted, still-running job.
-struct ActiveJob {
-    request_idx: usize,
-    start: f64,
-    exec: JobExecution<'static>,
-    spec: JobSpec,
-    goal: Goal,
-    /// `(fleet_hour, cumulative expected map GB)` checkpoints the monitor
-    /// compares real progress against; rebuilt on every re-plan.
-    progress_model: Vec<(f64, f64)>,
-    /// Set when a revocation killed nodes out from under this job; the
-    /// next monitor tick re-plans it against the post-storm residual
-    /// without waiting for the progress shortfall to accumulate.
-    storm_hit: bool,
-}
-
-/// The multi-tenant orchestration service.
+/// The multi-tenant orchestration service: a configured fleet factory
+/// whose [`run`](Self::run) executes one closed-world batch.
 #[derive(Debug, Clone)]
 pub struct ConductorService {
     catalog: Catalog,
     pool: ResourcePool,
-    solve_options: SolveOptions,
-    spot_market: Option<SpotMarket>,
-    /// Maximum bid per spot instance-hour; `None` bids the on-demand price
-    /// (the rational ceiling). Sessions are terminated — and new requests
-    /// refused — whenever the trace price rises strictly above this.
-    spot_bid: Option<f64>,
-    /// Hours between monitor ticks (1.0 = the paper's planning interval).
-    monitor_period_hours: f64,
-    /// Relative shortfall that triggers a re-plan: the monitor stays quiet
-    /// while observed progress is at least `(1 - tolerance)` of the plan's
-    /// projection. Covers the fluid model's structural optimism (task
-    /// granularity, upload trailing) so a *correct* prediction never
-    /// triggers a spurious re-plan.
-    monitor_tolerance: f64,
-    /// Safety margin subtracted from the remaining deadline when
-    /// re-planning (see `AdaptiveController::replan_margin_hours`).
-    replan_margin_hours: f64,
-    /// Fractional inflation of the remaining work at re-plan time.
-    monitor_conservatism: f64,
+    config: FleetConfig,
 }
 
 impl ConductorService {
@@ -225,24 +47,13 @@ impl ConductorService {
         Self {
             catalog,
             pool,
-            solve_options: SolveOptions {
-                relative_gap: 0.02,
-                max_nodes: 2_000,
-                time_limit: std::time::Duration::from_secs(30),
-                ..SolveOptions::default()
-            },
-            spot_market: None,
-            spot_bid: None,
-            monitor_period_hours: 1.0,
-            monitor_tolerance: 0.25,
-            replan_margin_hours: 1.0,
-            monitor_conservatism: 0.15,
+            config: FleetConfig::default(),
         }
     }
 
     /// Replaces the solver options used for admission and re-planning.
     pub fn with_solve_options(mut self, options: SolveOptions) -> Self {
-        self.solve_options = options;
+        self.config.solve_options = options;
         self
     }
 
@@ -253,7 +64,7 @@ impl ConductorService {
     /// [revocation event](Self::with_spot_bid) that terminates the running
     /// spot sessions.
     pub fn with_spot_market(mut self, market: SpotMarket) -> Self {
-        self.spot_market = Some(market);
+        self.config.spot_market = Some(market);
         self
     }
 
@@ -263,15 +74,21 @@ impl ConductorService {
     /// storms: whenever the trace rises strictly above the bid, every
     /// running spot session is terminated (the partial hour uncharged) and
     /// new requests are refused until the price comes back down.
+    /// Individual tenants can override this per job via
+    /// [`FleetJobRequest::with_spot_bid`].
     pub fn with_spot_bid(mut self, bid: f64) -> Self {
-        self.spot_bid = Some(bid.max(0.0));
+        self.config.spot_bid = Some(bid.max(0.0));
         self
     }
 
-    /// Overrides the monitor cadence and re-plan trigger tolerance.
+    /// Overrides the monitor cadence and re-plan trigger tolerance. The
+    /// values are validated when the fleet is opened ([`Self::open`] /
+    /// [`Self::run`]): the period must be finite and positive, the
+    /// tolerance finite and within `[0, 1]` — NaN no longer reaches the
+    /// event heap.
     pub fn with_monitor(mut self, period_hours: f64, tolerance: f64) -> Self {
-        self.monitor_period_hours = period_hours.max(0.25);
-        self.monitor_tolerance = tolerance.clamp(0.0, 1.0);
+        self.config.monitor_period_hours = period_hours;
+        self.config.monitor_tolerance = tolerance;
         self
     }
 
@@ -280,586 +97,41 @@ impl ConductorService {
         &self.pool
     }
 
+    /// The session configuration the builders have accumulated.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Opens an incremental [`Fleet`] session with this service's catalog,
+    /// pool and configuration — the open-world API behind [`Self::run`]:
+    /// submit at any time, step the clock, cancel, query live status,
+    /// subscribe to the typed event stream.
+    pub fn open(&self) -> Result<Fleet, ConductorError> {
+        Fleet::new(self.catalog.clone(), self.pool.clone(), self.config.clone())
+    }
+
     /// Admits and runs `requests` on one shared clock, returning the
     /// per-tenant outcomes and the fleet roll-up. Individual admission
     /// failures and job failures are reported per tenant, not as errors.
+    ///
+    /// This is the submit-all-then-drain compatibility path over the
+    /// incremental session; it reproduces the pre-redesign reports bit
+    /// for bit.
     pub fn run(&self, requests: &[FleetJobRequest]) -> Result<FleetReport, ConductorError> {
-        self.pool.validate().map_err(ConductorError::InvalidInput)?;
-        for r in requests {
-            if !r.arrival_hours.is_finite() || r.arrival_hours < 0.0 {
-                return Err(ConductorError::InvalidInput(format!(
-                    "tenant `{}` has invalid arrival hour {}",
-                    r.tenant, r.arrival_hours
-                )));
-            }
+        let mut fleet = self.open()?;
+        for request in requests {
+            fleet.submit(request.clone())?;
         }
-
-        let mut sim: Simulator<FleetEvent> = Simulator::new();
-        let mut registry = ProcessRegistry::new();
-        let mut active: BTreeMap<ProcessId, ActiveJob> = BTreeMap::new();
-        let mut outcomes: Vec<TenantOutcome> = requests
-            .iter()
-            .map(|r| TenantOutcome {
-                tenant: r.tenant.clone(),
-                arrival_hours: r.arrival_hours,
-                admitted: false,
-                rejection: None,
-                plan: None,
-                planning: None,
-                execution: None,
-                failure: None,
-                replanned_at_hours: Vec::new(),
-                revoked_at_hours: Vec::new(),
-                finished_at_hours: None,
-            })
-            .collect();
-
-        for (i, r) in requests.iter().enumerate() {
-            sim.schedule(
-                r.arrival_hours,
-                FleetEvent::Arrival(i).class(),
-                FleetEvent::Arrival(i),
-            );
-        }
-        let mut arrivals_pending = requests.len();
-        if let Some(first) = requests.iter().map(|r| r.arrival_hours).reduce(f64::min) {
-            let tick = first + self.monitor_period_hours;
-            sim.schedule(
-                tick,
-                FleetEvent::MonitorTick.class(),
-                FleetEvent::MonitorTick,
-            );
-        }
-        // The trace-driven revocation schedule: one event per hour the spot
-        // price sits above the fleet bid, shared by every tenant. These are
-        // first-class events on the shared clock, not a post-hoc price
-        // adjustment — a storm interrupts running executions mid-flight.
-        if let Some(market) = &self.spot_market {
-            let bid = self.effective_bid(market);
-            for hour in market.revocation_hours(0, market.trace().len(), bid) {
-                sim.schedule(
-                    hour as f64,
-                    FleetEvent::Revocation.class(),
-                    FleetEvent::Revocation,
-                );
-            }
-        }
-
-        let mut batch = Vec::new();
-        let mut last_hour = 0.0f64;
-        while let Some(now) = sim.pop_due(&mut batch) {
-            last_hour = now;
-            let mut woken: BTreeSet<ProcessId> = BTreeSet::new();
-            for event in batch.drain(..) {
-                match event {
-                    FleetEvent::Arrival(i) => {
-                        arrivals_pending -= 1;
-                        if let Some((job, initial)) =
-                            self.admit(i, &requests[i], now, &active, &mut outcomes[i])
-                        {
-                            let pid = registry.register();
-                            for (t, _) in initial {
-                                sim.schedule(
-                                    now + t,
-                                    FleetEvent::Job(pid).class(),
-                                    FleetEvent::Job(pid),
-                                );
-                            }
-                            active.insert(pid, job);
-                        }
-                    }
-                    FleetEvent::Job(pid) => {
-                        if !woken.insert(pid) {
-                            continue; // already advanced at this instant
-                        }
-                        self.wake_job(pid, now, &mut sim, &mut active, &mut outcomes);
-                    }
-                    FleetEvent::Revocation => {
-                        for (pid, job) in active.iter_mut() {
-                            let rel = (now - job.start).max(0.0);
-                            let (killed, wakeups) = job.exec.kill_cloud_nodes(rel);
-                            if killed == 0 {
-                                continue;
-                            }
-                            job.storm_hit = true;
-                            outcomes[job.request_idx].revoked_at_hours.push(now);
-                            for (t, _) in wakeups {
-                                sim.schedule(
-                                    job.start + t,
-                                    FleetEvent::Job(*pid).class(),
-                                    FleetEvent::Job(*pid),
-                                );
-                            }
-                            // Wake the victim immediately: it reconciles
-                            // against the out-bid market and schedules its
-                            // own recovery-hour retry, instead of sleeping
-                            // on wakeups for tasks that no longer run.
-                            sim.schedule(now, FleetEvent::Job(*pid).class(), FleetEvent::Job(*pid));
-                        }
-                    }
-                    FleetEvent::MonitorTick => {
-                        self.monitor(now, &mut sim, &mut active, &mut outcomes);
-                        if !active.is_empty() || arrivals_pending > 0 {
-                            let next = now + self.monitor_period_hours;
-                            sim.schedule(
-                                next,
-                                FleetEvent::MonitorTick.class(),
-                                FleetEvent::MonitorTick,
-                            );
-                        }
-                    }
-                }
-            }
-        }
-
-        // Any job still active when the heap drained is stuck; its accrued
-        // spend still belongs on the fleet bill.
-        for (_, job) in active {
-            let rel = (last_hour - job.start).max(0.0);
-            let o = &mut outcomes[job.request_idx];
-            o.failure = Some("job stalled: no further events pending".into());
-            o.execution = Some(job.exec.abort(rel));
-        }
-
-        let mut fleet_breakdown = CostBreakdown::default();
-        let mut fleet_cost = 0.0;
-        let mut makespan: f64 = 0.0;
-        let mut completed = 0;
-        let mut deadlines_met = 0;
-        for o in &outcomes {
-            if let Some(exec) = &o.execution {
-                // Aborted jobs carry a partial bill: real spend either way.
-                fleet_cost += exec.total_cost;
-                fleet_breakdown.absorb(&exec.cost_breakdown);
-                if o.failure.is_none() {
-                    completed += 1;
-                    if exec.met_deadline == Some(true) {
-                        deadlines_met += 1;
-                    }
-                }
-            }
-            if let Some(t) = o.finished_at_hours {
-                makespan = makespan.max(t);
-            }
-        }
-        let jobs_admitted = outcomes.iter().filter(|o| o.admitted).count();
-        Ok(FleetReport {
-            tenants: outcomes,
-            fleet_cost,
-            fleet_breakdown,
-            makespan_hours: makespan,
-            jobs_admitted,
-            jobs_completed: completed,
-            deadlines_met,
-        })
+        fleet.run_to_quiescence();
+        Ok(fleet.report())
     }
-
-    /// Plans one arrival against the residual capacity and, on success,
-    /// builds its execution process. Returns `None` (after recording the
-    /// rejection) when no feasible plan exists.
-    #[allow(clippy::too_many_arguments)]
-    fn admit(
-        &self,
-        request_idx: usize,
-        request: &FleetJobRequest,
-        now: f64,
-        active: &BTreeMap<ProcessId, ActiveJob>,
-        outcome: &mut TenantOutcome,
-    ) -> Option<(ActiveJob, Vec<(f64, conductor_mapreduce::JobEvent)>)> {
-        let residual = self.residual_pool(now, active, None);
-        if let Err(reason) = residual.validate() {
-            outcome.rejection = Some(format!("no residual capacity: {reason}"));
-            return None;
-        }
-        let planner = Planner::new(residual.clone()).with_solve_options(self.solve_options.clone());
-        let config = ModelConfig {
-            price_forecast: self.price_forecast(now, request.goal.horizon_hours()),
-            ..ModelConfig::default()
-        };
-        let (plan, planning) = match planner.plan_with_config(&request.spec, request.goal, &config)
-        {
-            Ok(result) => result,
-            Err(e) => {
-                outcome.rejection = Some(format!("admission planning failed: {e}"));
-                return None;
-            }
-        };
-
-        let options = plan.to_deployment_options(
-            request.tenant.clone(),
-            self.pool.uplink_gbph,
-            request.goal.deadline_hours(),
-            &ExecutionPlan::default_location_map(),
-        );
-        let scheduler = scheduler_for_plan(&plan, &self.pool);
-        let pricing = match &self.spot_market {
-            Some(market) => SessionPricing::Spot {
-                market: market.clone(),
-                start_offset_hours: now,
-                bid: self.effective_bid(market),
-            },
-            None => SessionPricing::OnDemand,
-        };
-        let exec = match JobExecution::new(
-            &self.catalog,
-            &request.spec,
-            options,
-            Box::new(scheduler),
-            pricing,
-        ) {
-            Ok(exec) => exec,
-            Err(e) => {
-                outcome.rejection = Some(format!("deployment rejected: {e}"));
-                return None;
-            }
-        };
-
-        outcome.admitted = true;
-        outcome.plan = Some(plan.clone());
-        outcome.planning = Some(planning);
-        let progress_model = progress_checkpoints(now, 0.0, &plan);
-        let initial = exec.initial_events();
-        Some((
-            ActiveJob {
-                request_idx,
-                start: now,
-                exec,
-                spec: request.spec.clone(),
-                goal: request.goal,
-                progress_model,
-                storm_hit: false,
-            },
-            initial,
-        ))
-    }
-
-    /// Advances one job's execution process at fleet hour `now`, handling
-    /// completion, the max-hours cap and stuck detection.
-    fn wake_job(
-        &self,
-        pid: ProcessId,
-        now: f64,
-        sim: &mut Simulator<FleetEvent>,
-        active: &mut BTreeMap<ProcessId, ActiveJob>,
-        outcomes: &mut [TenantOutcome],
-    ) {
-        let Some(job) = active.get_mut(&pid) else {
-            return; // already finished or failed
-        };
-        let rel = (now - job.start).max(0.0);
-        if matches!(job.exec.phase(), JobPhase::Processing) && rel > job.exec.max_hours() {
-            let job = active.remove(&pid).expect("job present");
-            let o = &mut outcomes[job.request_idx];
-            o.failure = Some(format!(
-                "did not finish within {} simulated hours ({} tasks done)",
-                job.exec.max_hours(),
-                job.exec.completed_tasks()
-            ));
-            o.execution = Some(job.exec.abort(rel));
-            return;
-        }
-        let follow_ups = job.exec.on_wakeup(rel);
-        for (t, _) in follow_ups {
-            sim.schedule(
-                job.start + t,
-                FleetEvent::Job(pid).class(),
-                FleetEvent::Job(pid),
-            );
-        }
-        if job.exec.is_done() {
-            let job = active.remove(&pid).expect("job present");
-            let o = &mut outcomes[job.request_idx];
-            let report = job.exec.into_report();
-            o.finished_at_hours = Some(job.start + report.completion_hours);
-            o.execution = Some(report);
-        } else if matches!(job.exec.phase(), JobPhase::Processing)
-            && job.exec.next_event_hours(rel).is_none()
-        {
-            let job = active.remove(&pid).expect("job present");
-            let o = &mut outcomes[job.request_idx];
-            o.failure = Some(format!(
-                "job stuck at hour {rel:.2}: nothing running and nothing scheduled"
-            ));
-            o.execution = Some(job.exec.abort(rel));
-        }
-    }
-
-    /// The periodic monitor: compares every running job's observed map
-    /// progress against its plan's projection and re-plans laggards in
-    /// place, splicing the updated node schedule into the live deployment.
-    fn monitor(
-        &self,
-        now: f64,
-        sim: &mut Simulator<FleetEvent>,
-        active: &mut BTreeMap<ProcessId, ActiveJob>,
-        outcomes: &mut [TenantOutcome],
-    ) {
-        let pids: Vec<ProcessId> = active.keys().copied().collect();
-        for pid in pids {
-            let (rel, deadline, expected, progress, storm_hit) = {
-                let job = active.get(&pid).expect("active job present");
-                if !matches!(job.exec.phase(), JobPhase::Processing) {
-                    continue;
-                }
-                let rel = now - job.start;
-                if rel <= TIME_EPSILON {
-                    continue;
-                }
-                let Some(deadline) = job.exec.options().deadline_hours else {
-                    continue; // nothing to protect
-                };
-                let expected = expected_progress(&job.progress_model, now);
-                (
-                    rel,
-                    deadline,
-                    expected,
-                    job.exec.progress(rel),
-                    job.storm_hit,
-                )
-            };
-            let on_track = expected <= 0.0
-                || progress.map_done_gb + 1e-6 >= (1.0 - self.monitor_tolerance) * expected;
-            // A storm-hit job re-plans even when its checkpoints still look
-            // on track: the plan's future capacity just evaporated, and
-            // waiting for the shortfall to show up wastes the hours the
-            // deadline rescue needs.
-            if on_track && !storm_hit {
-                continue;
-            }
-            // Too late to act? Leave the schedule alone and let it ride.
-            if deadline - rel <= self.replan_margin_hours + 1.0 {
-                clear_storm_flag(active, pid);
-                continue;
-            }
-            // Observed per-node throughput over the hours actually fielded.
-            // A storm victim with no fielded hours yet keeps its flag and
-            // retries at the next tick, once it has observed something.
-            if progress.allocated_node_hours <= TIME_EPSILON {
-                continue;
-            }
-            let observed_gbph = progress.map_done_gb / progress.allocated_node_hours;
-            if observed_gbph <= 0.0 {
-                continue;
-            }
-            clear_storm_flag(active, pid);
-            self.replan_job(
-                pid,
-                now,
-                rel,
-                deadline,
-                observed_gbph,
-                sim,
-                active,
-                outcomes,
-            );
-        }
-    }
-
-    /// Re-plans one lagging job from its observed state with the observed
-    /// throughput, against the residual capacity the *other* jobs leave.
-    #[allow(clippy::too_many_arguments)]
-    fn replan_job(
-        &self,
-        pid: ProcessId,
-        now: f64,
-        rel: f64,
-        deadline: f64,
-        observed_gbph: f64,
-        sim: &mut Simulator<FleetEvent>,
-        active: &mut BTreeMap<ProcessId, ActiveJob>,
-        outcomes: &mut [TenantOutcome],
-    ) {
-        let (spec, goal, progress) = {
-            let job = active.get(&pid).expect("active job present");
-            (job.spec.clone(), job.goal, job.exec.progress(rel))
-        };
-
-        // Corrected capacities in reference-workload units (mirrors
-        // `AdaptiveController::pool_with_throughput`).
-        let reference_units = if spec.reference_throughput_gbph > 0.0 {
-            observed_gbph * (REFERENCE_WORKLOAD_GBPH / spec.reference_throughput_gbph)
-        } else {
-            observed_gbph
-        };
-        let mut residual = self.residual_pool(now, active, Some(pid));
-        for c in &mut residual.compute {
-            c.capacity_gbph = reference_units;
-        }
-        if residual.validate().is_err() {
-            return;
-        }
-
-        // Observed state, with the conservatism the fluid model needs.
-        let mut initial = InitialState::default();
-        let location_names = location_to_storage_names();
-        for (loc, gb) in &progress.stored_gb {
-            if let Some(name) = location_names.get(loc) {
-                initial.stored_gb.insert(name.to_string(), *gb);
-            }
-        }
-        let remaining = (spec.input_gb - progress.map_done_gb).max(0.0);
-        initial.map_done_gb =
-            (spec.input_gb - remaining * (1.0 + self.monitor_conservatism)).max(0.0);
-
-        let remaining_goal = match goal {
-            Goal::MinimizeCost { .. } => Goal::MinimizeCost {
-                deadline_hours: (deadline - rel - self.replan_margin_hours).max(1.0),
-            },
-            Goal::MinimizeTime {
-                budget_usd,
-                max_hours,
-            } => Goal::MinimizeTime {
-                budget_usd,
-                max_hours: (max_hours - rel - self.replan_margin_hours).max(1.0),
-            },
-        };
-        let config = ModelConfig {
-            initial,
-            price_forecast: self.price_forecast(now, remaining_goal.horizon_hours()),
-            ..ModelConfig::default()
-        };
-        let planner = Planner::new(residual).with_solve_options(self.solve_options.clone());
-        let Ok((updated, _)) = planner.plan_with_config(&spec, remaining_goal, &config) else {
-            return; // keep the current schedule; the next tick may retry
-        };
-
-        let job = active.get_mut(&pid).expect("active job present");
-        let new_steps: Vec<NodeAllocation> = updated
-            .node_schedule()
-            .into_iter()
-            .map(|mut step| {
-                step.from_hour += rel;
-                step
-            })
-            .collect();
-        let wakeups = job.exec.splice_node_schedule(rel, rel, new_steps);
-        for (t, _) in wakeups {
-            sim.schedule(
-                job.start + t,
-                FleetEvent::Job(pid).class(),
-                FleetEvent::Job(pid),
-            );
-        }
-        // Wake the job at the splice point so an immediate scale-up at
-        // `rel` takes effect without waiting for the next old event.
-        sim.schedule(now, FleetEvent::Job(pid).class(), FleetEvent::Job(pid));
-        job.progress_model = progress_checkpoints(now, progress.map_done_gb, &updated);
-        outcomes[job.request_idx].replanned_at_hours.push(now);
-    }
-
-    /// The capacity left over at fleet hour `at` once every active job's
-    /// future node commitments are subtracted, excluding `exclude` (used
-    /// when re-planning that job: its own schedule is about to be
-    /// replaced).
-    fn residual_pool(
-        &self,
-        at: f64,
-        active: &BTreeMap<ProcessId, ActiveJob>,
-        exclude: Option<ProcessId>,
-    ) -> ResourcePool {
-        let mut pool = self.pool.clone();
-        // Sample the fleet commitment at `at` and at every future schedule
-        // step of any running job; the peak over those samples is what a
-        // new plan can never have.
-        let mut sample_points: Vec<f64> = vec![at];
-        for (pid, job) in active {
-            if Some(*pid) == exclude {
-                continue;
-            }
-            for step in job.exec.node_schedule() {
-                let abs = job.start + step.from_hour;
-                if abs > at + TIME_EPSILON {
-                    sample_points.push(abs);
-                }
-            }
-        }
-        for c in &mut pool.compute {
-            let Some(cap) = c.max_nodes else {
-                continue; // uncapped resources have no contention
-            };
-            let mut peak = 0usize;
-            for &p in &sample_points {
-                let mut committed = 0usize;
-                for (pid, job) in active {
-                    if Some(*pid) == exclude {
-                        continue;
-                    }
-                    committed += nodes_at(job.exec.node_schedule(), &c.name, p - job.start);
-                }
-                peak = peak.max(committed);
-            }
-            c.max_nodes = Some(cap.saturating_sub(peak));
-        }
-        pool
-    }
-
-    /// The fleet's maximum bid per spot instance-hour: the configured
-    /// override, or the market's on-demand price (the rational ceiling).
-    fn effective_bid(&self, market: &SpotMarket) -> f64 {
-        self.spot_bid.unwrap_or(market.on_demand_price)
-    }
-
-    /// Per-interval price expectations from the shared spot market (empty
-    /// when the fleet buys on-demand).
-    fn price_forecast(&self, now: f64, horizon: usize) -> BTreeMap<String, Vec<f64>> {
-        let mut forecast = BTreeMap::new();
-        if let Some(market) = &self.spot_market {
-            let start = now.floor().max(0.0) as usize;
-            for c in &self.pool.compute {
-                if !c.is_local {
-                    forecast.insert(c.name.clone(), market.price_forecast(start, horizon));
-                }
-            }
-        }
-        forecast
-    }
-}
-
-/// Clears a job's storm flag once the monitor has acted on (or given up
-/// on) the revocation.
-fn clear_storm_flag(active: &mut BTreeMap<ProcessId, ActiveJob>, pid: ProcessId) {
-    if let Some(job) = active.get_mut(&pid) {
-        job.storm_hit = false;
-    }
-}
-
-/// `(fleet_hour, cumulative expected map GB)` checkpoints implied by a
-/// plan starting at `start` with `done_gb` of the input already processed.
-fn progress_checkpoints(start: f64, done_gb: f64, plan: &ExecutionPlan) -> Vec<(f64, f64)> {
-    let mut out = Vec::with_capacity(plan.intervals.len());
-    let mut cum = done_gb;
-    for (k, interval) in plan.intervals.iter().enumerate() {
-        cum += interval.map_gb;
-        out.push((start + (k as f64 + 1.0) * plan.interval_hours, cum));
-    }
-    out
-}
-
-/// Expected cumulative map progress at fleet hour `now` (the last fully
-/// elapsed checkpoint; zero before the first).
-fn expected_progress(checkpoints: &[(f64, f64)], now: f64) -> f64 {
-    checkpoints
-        .iter()
-        .take_while(|(h, _)| *h <= now + TIME_EPSILON)
-        .last()
-        .map(|(_, gb)| *gb)
-        .unwrap_or(0.0)
-}
-
-/// Inverse of [`ExecutionPlan::default_location_map`]: engine locations
-/// back to pool storage-resource names, for building re-planning state.
-fn location_to_storage_names() -> BTreeMap<conductor_mapreduce::DataLocation, &'static str> {
-    use conductor_mapreduce::DataLocation;
-    let mut m = BTreeMap::new();
-    m.insert(DataLocation::S3, "S3");
-    m.insert(DataLocation::InstanceDisk, "EC2-disk");
-    m.insert(DataLocation::LocalDisk, "local-disk");
-    m
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::goal::Goal;
+    use crate::planner::Planner;
     use conductor_cloud::SpotTrace;
     use conductor_mapreduce::Workload;
     use std::time::Duration;
@@ -928,54 +200,6 @@ mod tests {
     }
 
     #[test]
-    fn residual_capacity_shrinks_under_load() {
-        let svc = service(20);
-        let mut active = BTreeMap::new();
-        let residual = svc.residual_pool(0.0, &active, None);
-        assert_eq!(
-            residual.compute_resource("m1.large").unwrap().max_nodes,
-            Some(20)
-        );
-        // Admit one job and check the leftover.
-        let mut outcome = TenantOutcome {
-            tenant: "a".into(),
-            arrival_hours: 0.0,
-            admitted: false,
-            rejection: None,
-            plan: None,
-            planning: None,
-            execution: None,
-            failure: None,
-            replanned_at_hours: Vec::new(),
-            revoked_at_hours: Vec::new(),
-            finished_at_hours: None,
-        };
-        let (job, _) = svc
-            .admit(0, &request("a", 0.0, 6.0), 0.0, &active, &mut outcome)
-            .expect("admission succeeds");
-        let peak: usize = job
-            .exec
-            .node_schedule()
-            .iter()
-            .map(|s| s.nodes)
-            .max()
-            .unwrap_or(0);
-        assert!(peak > 0);
-        active.insert(ProcessId(0), job);
-        let residual = svc.residual_pool(0.0, &active, None);
-        assert_eq!(
-            residual.compute_resource("m1.large").unwrap().max_nodes,
-            Some(20 - peak)
-        );
-        // Excluding the job restores the full fleet cap.
-        let residual = svc.residual_pool(0.0, &active, Some(ProcessId(0)));
-        assert_eq!(
-            residual.compute_resource("m1.large").unwrap().max_nodes,
-            Some(20)
-        );
-    }
-
-    #[test]
     fn oversubscribed_arrival_is_rejected_with_reason() {
         // Fleet cap so small the second arrival cannot plan at all.
         let svc = service(16);
@@ -1025,27 +249,21 @@ mod tests {
     }
 
     #[test]
-    fn progress_checkpoints_accumulate_and_sample() {
-        let plan = ExecutionPlan {
-            interval_hours: 1.0,
-            intervals: vec![
-                crate::plan::IntervalPlan {
-                    map_gb: 4.0,
-                    ..Default::default()
-                },
-                crate::plan::IntervalPlan {
-                    map_gb: 6.0,
-                    ..Default::default()
-                },
-            ],
-            expected_cost: 0.0,
-            expected_completion_hours: 2.0,
-            proven_optimal: true,
-        };
-        let cps = progress_checkpoints(2.0, 1.0, &plan);
-        assert_eq!(cps, vec![(3.0, 5.0), (4.0, 11.0)]);
-        assert_eq!(expected_progress(&cps, 2.5), 0.0);
-        assert_eq!(expected_progress(&cps, 3.0), 5.0);
-        assert_eq!(expected_progress(&cps, 10.0), 11.0);
+    fn invalid_monitor_knobs_fail_at_open_not_silently() {
+        let svc = service(50).with_monitor(f64::NAN, 0.25);
+        assert!(matches!(
+            svc.run(&[request("a", 0.0, 6.0)]),
+            Err(ConductorError::InvalidInput(_))
+        ));
+        let svc = service(50).with_monitor(1.0, f64::NAN);
+        assert!(matches!(svc.open(), Err(ConductorError::InvalidInput(_))));
+        let svc = service(50).with_monitor(-2.0, 0.25);
+        assert!(matches!(svc.open(), Err(ConductorError::InvalidInput(_))));
+        // An invalid arrival hour is refused before anything runs.
+        let svc = service(50);
+        assert!(matches!(
+            svc.run(&[request("nan", f64::NAN, 6.0)]),
+            Err(ConductorError::InvalidInput(_))
+        ));
     }
 }

@@ -293,6 +293,10 @@ pub struct JobExecution<'a> {
     phases: PhaseBreakdown,
     upload_done_at: f64,
     s3_gb: f64,
+    /// Times the straggler extension re-raised the schedule (see
+    /// [`Self::straggler_extensions`]); fleet drivers diff this across a
+    /// wakeup to surface the extension as a typed event.
+    straggler_extensions: usize,
 
     phase: JobPhase,
     report: Option<ExecutionReport>,
@@ -409,6 +413,7 @@ impl<'a> JobExecution<'a> {
             cloud_processed_gb: 0.0,
             upload_done_at,
             s3_gb,
+            straggler_extensions: 0,
             phase: JobPhase::Processing,
             report: None,
         })
@@ -625,7 +630,25 @@ impl<'a> JobExecution<'a> {
         self.schedule_points
             .sort_by(|a, b| a.partial_cmp(b).unwrap());
         self.schedule_points.dedup();
+        self.straggler_extensions += 1;
         true
+    }
+
+    /// The charges this job's billing account has recorded so far: WAN
+    /// transfers, storage residency and every *closed* rental session
+    /// (open sessions settle when they close or the job ends). Fleet
+    /// drivers read this for live `status`/`fleet_bill` snapshots without
+    /// consuming the execution.
+    pub fn cost_so_far(&self) -> f64 {
+        self.billing.total_cost()
+    }
+
+    /// How many times the straggler extension re-raised the last cloud
+    /// allocation to finish work the schedule's ramp-down would have
+    /// stranded (see `extend_for_stragglers`). Monotonically increasing;
+    /// drivers diff it across a wakeup to detect an extension.
+    pub fn straggler_extensions(&self) -> usize {
+        self.straggler_extensions
     }
 
     /// A monitor's snapshot of the job at hour `now`.

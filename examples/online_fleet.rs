@@ -1,0 +1,138 @@
+//! The open-world fleet: submit while it runs, watch the event stream.
+//!
+//! The batch API (`ConductorService::run`, see `multi_job_fleet.rs`) needs
+//! every arrival up front. This example drives the incremental `Fleet`
+//! session instead: one tenant is admitted at hour 0, the clock is stepped
+//! into a revocation storm, a second tenant is submitted *mid-storm* (its
+//! admission plans against whatever the first tenant left over), a third
+//! is queued and cancelled before it ever arrives — and every lifecycle
+//! transition (Submitted, Admitted, Planned, Revoked, Replanned,
+//! Completed, …) arrives as a typed `FleetEvent` in deterministic clock
+//! order.
+//!
+//! Run with: `cargo run --release --example online_fleet`
+
+use conductor_cloud::{Catalog, SpotMarket, SpotTrace, TraceKind};
+use conductor_core::{Fleet, FleetConfig, FleetEvent, FleetJobRequest, Goal, ResourcePool};
+use conductor_mapreduce::Workload;
+
+fn main() {
+    // 1. The shared infrastructure: a fleet-wide 100-node cap and a spot
+    //    market whose price spikes above the 0.34 bid at hours [2, 4) — a
+    //    genuine two-hour revocation storm.
+    let catalog = Catalog::aws_july_2011();
+    let pool = ResourcePool::from_catalog(&catalog, 1.0)
+        .with_compute_only(&["m1.large"])
+        .with_compute_cap("m1.large", 100);
+    let prices: Vec<f64> = (0..48)
+        .map(|t| if (2..4).contains(&t) { 0.50 } else { 0.20 })
+        .collect();
+    let config = FleetConfig {
+        spot_market: Some(SpotMarket::new(
+            SpotTrace::from_prices(TraceKind::AwsLike, prices),
+            0.34,
+        )),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(catalog, pool, config).expect("valid fleet config");
+
+    // 2. An observer sees every event as it happens (closures work).
+    fleet.observe(Box::new(|event: &FleetEvent| {
+        println!("  [observer] {event:?}");
+    }));
+
+    // 3. Tenant 1 arrives at hour 0 with a deadline tight enough that the
+    //    storm is guaranteed to hit a working cluster.
+    println!("== hour 0: submit `analytics` (deadline 7 h) ==");
+    let analytics = fleet
+        .submit(FleetJobRequest::new(
+            "analytics",
+            Workload::KMeans32Gb.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 7.0,
+            },
+            0.0,
+        ))
+        .expect("valid request");
+
+    // 4. Step into the middle of the storm and look around: the job is
+    //    running, its nodes were just revoked, its bill is accruing.
+    fleet.step_until(2.5);
+    let status = fleet.status(analytics).expect("known tenant");
+    println!(
+        "== hour {:.1}: `analytics` is {:?}, revoked at {:?}, bill so far ${:.2} ==",
+        fleet.now_hours(),
+        status.state,
+        status.revoked_at_hours,
+        status.bill_so_far,
+    );
+
+    // 5. Submit a second tenant *mid-storm*. Its admission plan is built
+    //    against the residual capacity the survivor leaves and against the
+    //    post-storm price forecast.
+    println!("== hour 2.5: submit `batch-etl` mid-run (deadline 10 h) ==");
+    let etl = fleet
+        .submit(FleetJobRequest::new(
+            "batch-etl",
+            Workload::KMeansScaled { input_gb: 16 }.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 10.0,
+            },
+            2.5,
+        ))
+        .expect("valid request");
+
+    // 6. Queue a third job for much later, then think better of it.
+    let speculative = fleet
+        .submit(FleetJobRequest::new(
+            "speculative",
+            Workload::KMeansScaled { input_gb: 8 }.spec(),
+            Goal::MinimizeCost {
+                deadline_hours: 6.0,
+            },
+            30.0,
+        ))
+        .expect("valid request");
+    println!("== hour 2.5: cancel `speculative` before it arrives ==");
+    fleet.cancel(speculative).expect("known tenant");
+
+    // 7. Drain the fleet and print the final outcomes.
+    fleet.run_to_quiescence();
+    println!();
+    println!("== final report (fleet hour {:.1}) ==", fleet.now_hours());
+    for id in [analytics, etl, speculative] {
+        let s = fleet.status(id).expect("known tenant");
+        println!(
+            "{:<12} {:?}  finished {:?}  re-plans {:?}  bill ${:.2}",
+            s.tenant, s.state, s.finished_at_hours, s.replanned_at_hours, s.bill_so_far,
+        );
+    }
+    let report = fleet.report();
+    println!(
+        "fleet bill ${:.2}, {} admitted / {} completed / {} deadlines met, {} events emitted",
+        fleet.fleet_bill(),
+        report.jobs_admitted,
+        report.jobs_completed,
+        report.deadlines_met,
+        fleet.events().len(),
+    );
+
+    // The storm really interrupted the first tenant, and the fleet
+    // rescued it: this example is CI's online-submission smoke test.
+    let analytics_status = fleet.status(analytics).unwrap();
+    assert!(
+        !analytics_status.revoked_at_hours.is_empty(),
+        "the storm should have hit the running tenant"
+    );
+    assert!(
+        analytics_status.finished_at_hours.is_some(),
+        "the victim should still complete"
+    );
+    assert!(
+        fleet
+            .events()
+            .windows(2)
+            .all(|w| w[0].at_hours() <= w[1].at_hours() + 1e-9),
+        "events must be in clock order"
+    );
+}
