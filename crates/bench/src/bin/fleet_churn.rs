@@ -12,20 +12,32 @@
 //! asserts that every admitted job reaches a terminal state, that the
 //! per-tenant bills sum to the fleet bill, and — when
 //! `CHURN_VERIFY_DETERMINISM=1` — that a second run reproduces the first
-//! bit for bit. CI runs a small fleet as a smoke test; run it with an
-//! argument for the full scenario:
+//! bit for bit. With `CHURN_FAULTS=1` the fleet runs under the full
+//! failure policy (seeded task failures and node crashes, retry/backoff,
+//! dead-letter queue, admission gate, spot circuit breaker) and the
+//! invariants adapt: injected faults *may* abort jobs, but every tenant
+//! must still end terminal and the bills must still sum. CI runs a small
+//! fleet as a smoke test in both modes; run it with an argument for the
+//! full scenario:
 //!
 //! ```sh
 //! cargo run --release -p conductor-bench --bin fleet_churn        # 200 jobs
 //! cargo run --release -p conductor-bench --bin fleet_churn -- 40  # smaller
+//! CHURN_FAULTS=1 cargo run --release -p conductor-bench --bin fleet_churn -- 40
 //! ```
 
-use conductor_bench::experiments::{churn_fixture, dispatch_hot_path_report, run_fleet_online};
+use conductor_bench::experiments::{
+    churn_fixture, dispatch_hot_path_report, faulted_churn_fixture, run_fleet_online,
+};
 use conductor_core::FleetReport;
 use std::time::Instant;
 
-fn run(jobs: usize) -> (FleetReport, std::time::Duration) {
-    let (requests, service) = churn_fixture(jobs, 1.0);
+fn run(jobs: usize, faults: bool) -> (FleetReport, std::time::Duration) {
+    let (requests, service) = if faults {
+        faulted_churn_fixture(jobs, 1.0)
+    } else {
+        churn_fixture(jobs, 1.0)
+    };
     let start = Instant::now();
     let report = run_fleet_online(&service, &requests);
     (report, start.elapsed())
@@ -36,7 +48,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    let (report, elapsed) = run(jobs);
+    let faults = std::env::var("CHURN_FAULTS").as_deref() == Ok("1");
+    let (report, elapsed) = run(jobs, faults);
 
     let revocation_hits: usize = report
         .tenants
@@ -53,12 +66,21 @@ fn main() {
         .iter()
         .filter(|t| t.failure.is_some())
         .count();
-    println!("=== fleet churn: {jobs} Poisson arrivals ===");
+    println!(
+        "=== fleet churn: {jobs} Poisson arrivals{} ===",
+        if faults { " + injected faults" } else { "" }
+    );
     println!(
         "admitted {} / completed {} / failed {failed} / deadlines met {}",
         report.jobs_admitted, report.jobs_completed, report.deadlines_met
     );
     println!("revocation hits {revocation_hits} / monitor re-plans {replans}");
+    if faults {
+        println!(
+            "retries {} / dead-lettered {} / breaker open {:.1} h",
+            report.retries, report.dead_lettered, report.breaker_open_hours
+        );
+    }
     println!(
         "fleet cost ${:.2}, makespan {:.1} h",
         report.fleet_cost, report.makespan_hours
@@ -75,6 +97,12 @@ fn main() {
                 "{}: admitted but no execution report",
                 t.tenant
             );
+        } else {
+            assert!(
+                t.rejection.is_some(),
+                "{}: neither admitted nor rejected",
+                t.tenant
+            );
         }
     }
     assert_eq!(
@@ -82,16 +110,30 @@ fn main() {
         report.jobs_admitted,
         "admitted jobs unaccounted for"
     );
-    assert_eq!(
-        report.jobs_completed,
-        report.jobs_admitted,
-        "a job failed mid-run: {:?}",
-        report
-            .tenants
-            .iter()
-            .filter_map(|t| t.failure.as_ref())
-            .collect::<Vec<_>>()
-    );
+    if faults {
+        // Faults abort jobs by design; the policy's job is to keep the
+        // chains terminal. Every dead letter is the end of an exhausted
+        // retry chain, never a first attempt (the default policy grants
+        // at least one retry).
+        for dl in &report.tenants {
+            if dl.failure.is_some() {
+                assert!(dl.admitted, "{}: failed but never admitted", dl.tenant);
+            }
+        }
+    } else {
+        assert_eq!(
+            report.jobs_completed,
+            report.jobs_admitted,
+            "a job failed mid-run: {:?}",
+            report
+                .tenants
+                .iter()
+                .filter_map(|t| t.failure.as_ref())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.retries, 0, "retries without a policy");
+        assert_eq!(report.dead_lettered, 0, "dead letters without a policy");
+    }
     // Per-tenant bills sum to the fleet bill, and the category roll-up is
     // consistent with the total.
     let tenant_sum: f64 = report
@@ -115,11 +157,17 @@ fn main() {
     );
 
     if std::env::var("CHURN_VERIFY_DETERMINISM").as_deref() == Ok("1") {
-        let (again, _) = run(jobs);
+        let (again, _) = run(jobs, faults);
         assert_eq!(report.fleet_cost.to_bits(), again.fleet_cost.to_bits());
         assert_eq!(
             report.makespan_hours.to_bits(),
             again.makespan_hours.to_bits()
+        );
+        assert_eq!(report.retries, again.retries);
+        assert_eq!(report.dead_lettered, again.dead_lettered);
+        assert_eq!(
+            report.breaker_open_hours.to_bits(),
+            again.breaker_open_hours.to_bits()
         );
         for (a, b) in report.tenants.iter().zip(&again.tenants) {
             assert_eq!(a.revoked_at_hours, b.revoked_at_hours, "{}", a.tenant);

@@ -7,8 +7,9 @@
 use crate::table::Table;
 use conductor_cloud::{catalog::mbps_to_gb_per_hour, Catalog, CostCategory, SpotMarket, SpotTrace};
 use conductor_core::{
-    AdaptiveController, BidPredictor, ConductorService, FleetJobRequest, FleetReport, Goal,
-    JobController, Planner, ResourcePool, SpotDeploymentSimulator,
+    AdaptiveController, BidPredictor, CircuitBreakerConfig, ConductorService, FailurePolicy,
+    FailureThreshold, FaultPlan, FleetJobRequest, FleetReport, Goal, JobController, Planner,
+    ResourcePool, RetryPolicy, SpotDeploymentSimulator,
 };
 use conductor_lp::SolveOptions;
 use conductor_mapreduce::engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport};
@@ -875,6 +876,44 @@ pub fn churn_fixture(jobs: usize, mean_gap_hours: f64) -> (Vec<FleetJobRequest>,
     (requests, service)
 }
 
+/// The failure policy the faulted churn scenarios run under: a seeded
+/// fault plan scaled to the fleet size (one task failure per ~10 jobs,
+/// one node crash per ~16), the default retry ladder (2 retries, 0.5 h
+/// base backoff doubling per attempt), the default admission gate, and
+/// the spot circuit breaker with on-demand fallback. Everything derives
+/// from `seed` and the workload shape, so the same call always produces
+/// the identical policy.
+pub fn churn_policy(seed: u64, jobs: usize, horizon_hours: f64) -> FailurePolicy {
+    FailurePolicy {
+        fault_plan: Some(FaultPlan::seeded(
+            seed,
+            horizon_hours,
+            (jobs / 10).max(1),
+            (jobs / 16).max(1),
+        )),
+        retry: Some(RetryPolicy::default()),
+        failure_threshold: Some(FailureThreshold::default()),
+        circuit_breaker: Some(CircuitBreakerConfig::default()),
+    }
+}
+
+/// The canonical *faulted* churn scenario: the same requests and
+/// storm-bearing service as [`churn_fixture`], plus the full
+/// [`churn_policy`] failure policy — injected task failures and node
+/// crashes on top of the trace's revocation storms, with retry/backoff,
+/// the dead-letter queue, the admission gate and the spot circuit
+/// breaker all armed.
+pub fn faulted_churn_fixture(
+    jobs: usize,
+    mean_gap_hours: f64,
+) -> (Vec<FleetJobRequest>, ConductorService) {
+    let (requests, service) = churn_fixture(jobs, mean_gap_hours);
+    let horizon = requests.last().map(|r| r.arrival_hours).unwrap_or(0.0) + 24.0;
+    let policy = churn_policy(20_260_808, jobs, horizon);
+    let service = service.with_failure_policy(policy);
+    (requests, service)
+}
+
 /// Drives `requests` through the incremental `Fleet` session API as a real
 /// open-world client: the clock is stepped to each arrival hour and the
 /// job submitted *then* — online, not pre-listed. The batch
@@ -930,6 +969,9 @@ pub fn fleet_churn(jobs: usize, mean_gap_hours: f64) -> Table {
     t.push("deadlines met", vec![report.deadlines_met as f64]);
     t.push("revocation hits", vec![revocation_events as f64]);
     t.push("monitor re-plans", vec![replans as f64]);
+    t.push("retries", vec![report.retries as f64]);
+    t.push("dead-lettered", vec![report.dead_lettered as f64]);
+    t.push("breaker open h", vec![report.breaker_open_hours]);
     t.push("fleet cost USD", vec![report.fleet_cost]);
     t.push("makespan h", vec![report.makespan_hours]);
     t

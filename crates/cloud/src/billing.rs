@@ -208,6 +208,21 @@ impl BillingAccount {
         self.open_sessions.len()
     }
 
+    /// What the open rental sessions *would* charge if the customer
+    /// stopped them all at time `now`: elapsed time rounded up to whole
+    /// hours (minimum one), exactly like [`Self::stop_instance`] /
+    /// [`Self::close_all`]. Nothing is recorded — this is the live-bill
+    /// preview a fleet driver adds to [`Self::total_cost`], so that an
+    /// abort at the same instant settles at the same figure the last
+    /// status query quoted.
+    pub fn open_accrual(&self, now: Hours) -> f64 {
+        self.open_sessions
+            .values()
+            .filter(|s| !s.is_local)
+            .map(|s| (now - s.started_at).max(0.0).ceil().max(1.0) * s.effective_hourly_price)
+            .sum()
+    }
+
     /// Records `gb` gigabytes resident on `service` for `hours` hours, plus
     /// optional PUT/GET request counts against that service.
     pub fn record_storage(
@@ -389,6 +404,26 @@ mod tests {
         assert!((acct.downloaded_gb - 1.0).abs() < 1e-12);
         let expected = 32.0 * 0.10 + 1.0 * 0.12;
         assert!((acct.breakdown().get(CostCategory::NetworkTransfer) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_accrual_previews_the_close_all_charge() {
+        let cat = catalog();
+        let large = cat.instance("m1.large").unwrap();
+        let local = cat.instance("local").unwrap();
+        let mut acct = BillingAccount::new(cat.transfer);
+        acct.start_instance_at_price(large, 0.0, 0.2);
+        acct.start_instance(large, 0.5);
+        acct.start_instance(local, 0.0);
+        // 2.3h elapsed → 3h, 1.8h elapsed → 2h; the local node is free.
+        let preview = acct.open_accrual(2.3);
+        assert!((preview - (3.0 * 0.2 + 2.0 * 0.34)).abs() < 1e-9);
+        // The preview matches what closing at the same instant charges,
+        // and recorded nothing itself.
+        assert_eq!(acct.total_cost(), 0.0);
+        let charged = acct.close_all(2.3);
+        assert!((charged - preview).abs() < 1e-9);
+        assert_eq!(acct.open_accrual(5.0), 0.0);
     }
 
     #[test]

@@ -268,6 +268,18 @@ impl SpotMarket {
         self.trace.price_at(t) > bid
     }
 
+    /// Number of consecutive hours ending at `t` (inclusive, walking
+    /// backwards) in which a session bidding `bid` would have survived —
+    /// 0 when hour `t` itself is out-bid. A circuit breaker deciding
+    /// whether the market has calmed down asks exactly this question:
+    /// "how long has the trace been clean?".
+    pub fn clean_streak_ending_at(&self, t: usize, bid: f64) -> usize {
+        (0..=t)
+            .rev()
+            .take_while(|&h| !self.out_bid_at(h, bid))
+            .count()
+    }
+
     /// Expected spot prices for hours `[start, start + len)`, each capped at
     /// the on-demand price (a rational customer never bids above it). This
     /// is the per-interval price expectation a fleet scheduler feeds into
@@ -308,6 +320,24 @@ impl Iterator for RevocationHours<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clean_streak_counts_back_from_the_query_hour() {
+        // Hours:           0    1    2    3    4    5
+        let prices = vec![0.1, 0.5, 0.1, 0.1, 0.1, 0.5];
+        let market = SpotMarket::new(SpotTrace::from_prices(TraceKind::AwsLike, prices), 0.34);
+        let bid = 0.3;
+        assert_eq!(market.clean_streak_ending_at(0, bid), 1);
+        assert_eq!(market.clean_streak_ending_at(1, bid), 0, "hour 1 is out-bid");
+        assert_eq!(market.clean_streak_ending_at(2, bid), 1);
+        assert_eq!(market.clean_streak_ending_at(4, bid), 3, "hours 2..=4 clean");
+        assert_eq!(market.clean_streak_ending_at(5, bid), 0);
+        // Past the trace end the price clamps to the last value (out-bid
+        // here), so the streak stays zero forever.
+        assert_eq!(market.clean_streak_ending_at(100, bid), 0);
+        // A bid above every price sees the whole history as clean.
+        assert_eq!(market.clean_streak_ending_at(4, 1.0), 5);
+    }
 
     #[test]
     fn traces_are_reproducible_and_sized() {

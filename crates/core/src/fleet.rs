@@ -80,6 +80,10 @@ use crate::goal::Goal;
 use crate::model::{InitialState, ModelConfig};
 use crate::plan::ExecutionPlan;
 use crate::planner::{Planner, PlanningReport};
+use crate::policy::{
+    AdmissionChange, BreakerState, BreakerTransition, DeadLetter, FailurePolicy, FailureWindow,
+    FallbackTier, FaultKind, SpotBreaker,
+};
 use crate::resources::{ResourcePool, REFERENCE_WORKLOAD_GBPH};
 use conductor_cloud::{Catalog, CostBreakdown, SpotMarket};
 use conductor_lp::SolveOptions;
@@ -172,6 +176,12 @@ pub struct FleetConfig {
     pub replan_margin_hours: f64,
     /// Fractional inflation of the remaining work at re-plan time.
     pub monitor_conservatism: f64,
+    /// The failure policy: fault injection, retry/backoff with
+    /// dead-lettering, the admission gate and the spot-market circuit
+    /// breaker (see [`crate::policy`]). The default is completely inert,
+    /// so unpolicied sessions replay the pre-policy trajectories bit for
+    /// bit.
+    pub policy: FailurePolicy,
 }
 
 impl Default for FleetConfig {
@@ -189,6 +199,7 @@ impl Default for FleetConfig {
             monitor_tolerance: 0.25,
             replan_margin_hours: 1.0,
             monitor_conservatism: 0.15,
+            policy: FailurePolicy::default(),
         }
     }
 }
@@ -229,6 +240,7 @@ impl FleetConfig {
                 )));
             }
         }
+        self.policy.validate()?;
         Ok(())
     }
 }
@@ -265,6 +277,18 @@ pub struct TenantOutcome {
     /// Fleet-clock hour at which the job (including its result download)
     /// completed.
     pub finished_at_hours: Option<f64>,
+    /// For retry attempts, the root submission this attempt descends
+    /// from; `None` for original submissions.
+    #[serde(default)]
+    pub retry_of: Option<usize>,
+    /// Which attempt this outcome records: `0` for the original run,
+    /// `n` for the n-th retry.
+    #[serde(default)]
+    pub attempt: usize,
+    /// `true` when this (final) attempt exhausted the retry budget and
+    /// landed in the dead-letter queue.
+    #[serde(default)]
+    pub dead_lettered: bool,
 }
 
 impl TenantOutcome {
@@ -281,12 +305,17 @@ impl TenantOutcome {
             replanned_at_hours: Vec::new(),
             revoked_at_hours: Vec::new(),
             finished_at_hours: None,
+            retry_of: None,
+            attempt: 0,
+            dead_lettered: false,
         }
     }
 
     /// Which terminal (or snapshot) class this outcome falls in.
     pub fn outcome_class(&self) -> OutcomeClass {
-        if !self.admitted {
+        if self.dead_lettered {
+            OutcomeClass::DeadLettered
+        } else if !self.admitted {
             OutcomeClass::Rejected
         } else if self.failure.is_some() {
             OutcomeClass::Failed
@@ -312,6 +341,10 @@ pub enum OutcomeClass {
     /// Admitted and still running — only seen in mid-run
     /// [`Fleet::report`] snapshots, never in a drained fleet.
     Running,
+    /// The final attempt of a tenant that exhausted its retry budget
+    /// (see [`crate::policy::RetryPolicy`]); also in
+    /// [`Fleet::dead_letters`].
+    DeadLettered,
 }
 
 /// The fleet-wide result of one service run (or a [`Fleet::report`]
@@ -339,6 +372,16 @@ pub struct FleetReport {
     pub jobs_completed: usize,
     /// Completed jobs that met their deadline.
     pub deadlines_met: usize,
+    /// Retry attempts issued (outcomes with `attempt > 0`).
+    #[serde(default)]
+    pub retries: usize,
+    /// Tenants whose final attempt exhausted the retry budget.
+    #[serde(default)]
+    pub dead_lettered: usize,
+    /// Fleet hours the spot-market circuit breaker spent open. Filled by
+    /// [`Fleet::report`]; zero for hand-built reports.
+    #[serde(default)]
+    pub breaker_open_hours: f64,
 }
 
 impl FleetReport {
@@ -367,6 +410,8 @@ impl FleetReport {
             }
         }
         let jobs_admitted = tenants.iter().filter(|o| o.admitted).count();
+        let retries = tenants.iter().filter(|o| o.attempt > 0).count();
+        let dead_lettered = tenants.iter().filter(|o| o.dead_lettered).count();
         let mut tenant_index = BTreeMap::new();
         for (i, t) in tenants.iter().enumerate() {
             tenant_index.entry(t.tenant.clone()).or_insert(i);
@@ -380,6 +425,9 @@ impl FleetReport {
             jobs_admitted,
             jobs_completed: completed,
             deadlines_met,
+            retries,
+            dead_lettered,
+            breaker_open_hours: 0.0,
         }
     }
 
@@ -506,11 +554,93 @@ pub enum FleetEvent {
         /// Why it failed.
         reason: String,
     },
+    /// The fault plan injected a fault into a running job.
+    FaultInjected {
+        /// The victim.
+        tenant: TenantId,
+        /// The fault hour.
+        at_hours: f64,
+        /// What the fault did.
+        kind: FaultKind,
+        /// Cloud nodes terminated (node crashes only; zero for task
+        /// failures).
+        nodes_killed: usize,
+    },
+    /// The retry policy re-submitted a failed (or late) tenant as a
+    /// fresh arrival.
+    Retried {
+        /// The new attempt's tenant handle.
+        tenant: TenantId,
+        /// The root submission the attempt descends from.
+        of: TenantId,
+        /// Attempt number (1 = first retry).
+        attempt: usize,
+        /// Hour the retry was issued.
+        at_hours: f64,
+        /// Hour the retry's arrival will fire (issue hour + backoff).
+        arrival_hours: f64,
+    },
+    /// A tenant exhausted its retry budget and landed in the
+    /// dead-letter queue ([`Fleet::dead_letters`]).
+    DeadLettered {
+        /// The final attempt's tenant handle.
+        tenant: TenantId,
+        /// Hour the budget ran out.
+        at_hours: f64,
+        /// Attempts consumed, including the original run.
+        attempts: usize,
+        /// The final attempt's failure (or rejection) reason.
+        reason: String,
+    },
+    /// The failure-rate gate crossed its pause threshold: new arrivals
+    /// are refused until the rate recovers.
+    AdmissionPaused {
+        /// The crossing hour.
+        at_hours: f64,
+        /// Failure fraction of the window at the crossing.
+        failure_fraction: f64,
+    },
+    /// The failure-rate gate recovered: arrivals are admitted again.
+    AdmissionResumed {
+        /// The recovery hour.
+        at_hours: f64,
+        /// Failure fraction of the window at the recovery.
+        failure_fraction: f64,
+    },
+    /// The spot-market circuit breaker opened (or reopened after a
+    /// failed probation): planning stops acquiring spot.
+    BreakerOpened {
+        /// The opening hour.
+        at_hours: f64,
+        /// Revocation strikes inside the sliding window.
+        strikes: usize,
+    },
+    /// The breaker half-opened after its clean-hour streak: spot is
+    /// bought again on probation.
+    BreakerHalfOpen {
+        /// The probation hour.
+        at_hours: f64,
+    },
+    /// The breaker closed: the market is trusted again.
+    BreakerClosed {
+        /// The closing hour.
+        at_hours: f64,
+    },
+    /// A tenant admitted while the breaker was open bought on-demand
+    /// capacity instead of waiting out the spot market
+    /// ([`FallbackTier::OnDemand`]).
+    FallbackEngaged {
+        /// The tenant paying the ceiling.
+        tenant: TenantId,
+        /// The admission hour.
+        at_hours: f64,
+    },
 }
 
 impl FleetEvent {
-    /// The tenant this event is about.
-    pub fn tenant(&self) -> TenantId {
+    /// The tenant this event is about; `None` for fleet-wide events
+    /// (admission gate and breaker transitions).
+    pub fn tenant(&self) -> Option<TenantId> {
         match self {
             FleetEvent::Submitted { tenant, .. }
             | FleetEvent::Admitted { tenant, .. }
@@ -522,7 +652,16 @@ impl FleetEvent {
             | FleetEvent::Completed { tenant, .. }
             | FleetEvent::DeadlineMissed { tenant, .. }
             | FleetEvent::Cancelled { tenant, .. }
-            | FleetEvent::Failed { tenant, .. } => *tenant,
+            | FleetEvent::Failed { tenant, .. }
+            | FleetEvent::FaultInjected { tenant, .. }
+            | FleetEvent::Retried { tenant, .. }
+            | FleetEvent::DeadLettered { tenant, .. }
+            | FleetEvent::FallbackEngaged { tenant, .. } => Some(*tenant),
+            FleetEvent::AdmissionPaused { .. }
+            | FleetEvent::AdmissionResumed { .. }
+            | FleetEvent::BreakerOpened { .. }
+            | FleetEvent::BreakerHalfOpen { .. }
+            | FleetEvent::BreakerClosed { .. } => None,
         }
     }
 
@@ -539,7 +678,16 @@ impl FleetEvent {
             | FleetEvent::Completed { at_hours, .. }
             | FleetEvent::DeadlineMissed { at_hours, .. }
             | FleetEvent::Cancelled { at_hours, .. }
-            | FleetEvent::Failed { at_hours, .. } => *at_hours,
+            | FleetEvent::Failed { at_hours, .. }
+            | FleetEvent::FaultInjected { at_hours, .. }
+            | FleetEvent::Retried { at_hours, .. }
+            | FleetEvent::DeadLettered { at_hours, .. }
+            | FleetEvent::AdmissionPaused { at_hours, .. }
+            | FleetEvent::AdmissionResumed { at_hours, .. }
+            | FleetEvent::BreakerOpened { at_hours, .. }
+            | FleetEvent::BreakerHalfOpen { at_hours, .. }
+            | FleetEvent::BreakerClosed { at_hours, .. }
+            | FleetEvent::FallbackEngaged { at_hours, .. } => *at_hours,
         }
     }
 }
@@ -630,6 +778,12 @@ enum ClockEvent {
     /// Revocation sweep: the spot price may have risen above some running
     /// job's bid at this hour.
     Revocation,
+    /// Injected fault `i` of the configured
+    /// [`FaultPlan`](crate::policy::FaultPlan) fires.
+    Fault(usize),
+    /// Hourly circuit-breaker probe of the trace hour just elapsed; only
+    /// scheduled while the breaker is not closed.
+    BreakerProbe,
     /// Periodic progress check over every running job; the payload is the
     /// chain generation (a tick from a superseded chain is ignored).
     MonitorTick(u64),
@@ -637,19 +791,39 @@ enum ClockEvent {
 
 impl ClockEvent {
     /// Arrivals settle first at a tick, then job state, then the market
-    /// revokes, then the monitor observes (so it never sees a half-applied
-    /// hour). Revocations deliberately order *after* job wakeups at the
-    /// same instant: a task that finishes exactly at the out-bid hour
+    /// revokes, then faults strike, then the breaker probes, then the
+    /// monitor observes (so it never sees a half-applied hour).
+    /// Revocations deliberately order *after* job wakeups at the same
+    /// instant: a task that finishes exactly at the out-bid hour
     /// completed its hour and retires normally; only the survivors lose
-    /// their nodes.
+    /// their nodes. Faults follow the same rule, and breaker probes
+    /// order after both so a probe sees the strikes of its own hour.
     fn class(self) -> u8 {
         match self {
             ClockEvent::Arrival(_) => 0,
             ClockEvent::Job(_) => 1,
             ClockEvent::Revocation => 2,
+            ClockEvent::Fault(_) => 3,
+            ClockEvent::BreakerProbe => 4,
             ClockEvent::MonitorTick(_) => 9,
         }
     }
+}
+
+/// How a tenant reached a terminal state, for the failure-policy hook
+/// (`Fleet::on_terminal`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TerminalKind {
+    /// Completed within its deadline (or with no deadline configured).
+    CompletedOnTime,
+    /// Completed, but past the deadline.
+    CompletedLate,
+    /// Aborted mid-run: injected fault, over the hours cap, stuck, or
+    /// stalled at the final drain.
+    Failed,
+    /// Refused at arrival (no feasible plan, or the admission gate was
+    /// paused).
+    Rejected,
 }
 
 /// One admitted, still-running job.
@@ -669,6 +843,10 @@ struct ActiveJob {
     /// next monitor tick re-plans it against the post-storm residual
     /// without waiting for the progress shortfall to accumulate.
     storm_hit: bool,
+    /// Set when the job was admitted on the breaker's on-demand fallback
+    /// tier: its sessions are priced on-demand and revocation sweeps
+    /// skip it.
+    fallback_on_demand: bool,
 }
 
 /// A long-lived, incremental multi-tenant orchestration session — see the
@@ -705,6 +883,16 @@ pub struct Fleet {
     /// Trace hours with a scheduled revocation sweep (dedup across the
     /// fleet bid and per-tenant bids).
     revocation_hours_scheduled: BTreeSet<usize>,
+
+    /// Tenants that exhausted their retry budget, in dead-letter order.
+    dead_letters: Vec<DeadLetter>,
+    /// Runtime state of the admission gate, when configured.
+    failure_window: Option<FailureWindow>,
+    /// Runtime state of the spot-market circuit breaker, when configured
+    /// alongside a market.
+    breaker: Option<SpotBreaker>,
+    /// `true` while a breaker-probe chain is scheduled (one at a time).
+    probe_live: bool,
 
     /// Time of the last processed event batch (where stalled jobs are
     /// aborted when the heap drains).
@@ -761,6 +949,22 @@ impl Fleet {
                 );
             }
         }
+        // The fault plan is materialized onto the clock up front, exactly
+        // like the revocation schedule: seeded once, replayed bit for bit.
+        if let Some(plan) = &config.policy.fault_plan {
+            for (i, event) in plan.events.iter().enumerate() {
+                sim.schedule(
+                    event.at_hours,
+                    ClockEvent::Fault(i).class(),
+                    ClockEvent::Fault(i),
+                );
+            }
+        }
+        let failure_window = config.policy.failure_threshold.map(FailureWindow::new);
+        let breaker = match (&config.spot_market, config.policy.circuit_breaker) {
+            (Some(_), Some(breaker_config)) => Some(SpotBreaker::new(breaker_config)),
+            _ => None, // without a market there is nothing to break
+        };
         Ok(Self {
             catalog,
             pool,
@@ -779,6 +983,10 @@ impl Fleet {
             monitor_live: false,
             monitor_fired: false,
             revocation_hours_scheduled,
+            dead_letters: Vec::new(),
+            failure_window,
+            breaker,
+            probe_live: false,
             last_hour: 0.0,
             stepped_to: 0.0,
             events: Vec::new(),
@@ -960,32 +1168,42 @@ impl Fleet {
     /// Drains the event heap completely. Any job still active afterwards
     /// is stuck (nothing running, nothing scheduled) and is aborted with
     /// its accrued spend kept on the fleet bill — exactly the batch
-    /// driver's final-drain semantics. The session stays usable: later
-    /// submissions start new work.
+    /// driver's final-drain semantics. With a retry policy configured, a
+    /// stalled abort may schedule fresh retry arrivals, so the drain
+    /// loops until the heap is empty *and* nothing is stalled. The
+    /// session stays usable: later submissions start new work.
     pub fn run_to_quiescence(&mut self) {
-        while self.drain_one_batch() {}
-        let stalled: Vec<ProcessId> = self.active.keys().copied().collect();
-        for pid in stalled {
-            let job = self.active.remove(&pid).expect("stalled job present");
-            let rel = (self.last_hour - job.start).max(0.0);
-            let idx = job.request_idx;
-            let reason = "job stalled: no further events pending".to_string();
-            let o = &mut self.outcomes[idx];
-            o.failure = Some(reason.clone());
-            let report = job.exec.abort(rel);
-            let missed = report.met_deadline == Some(false);
-            o.execution = Some(report);
-            let at = self.last_hour;
-            self.emit(FleetEvent::Failed {
-                tenant: TenantId(idx),
-                at_hours: at,
-                reason,
-            });
-            if missed {
-                self.emit(FleetEvent::DeadlineMissed {
+        loop {
+            while self.drain_one_batch() {}
+            let stalled: Vec<ProcessId> = self.active.keys().copied().collect();
+            for pid in stalled {
+                let job = self.active.remove(&pid).expect("stalled job present");
+                let rel = (self.last_hour - job.start).max(0.0);
+                let idx = job.request_idx;
+                let reason = "job stalled: no further events pending".to_string();
+                let o = &mut self.outcomes[idx];
+                o.failure = Some(reason.clone());
+                let report = job.exec.abort(rel);
+                let missed = report.met_deadline == Some(false);
+                o.execution = Some(report);
+                let at = self.last_hour;
+                self.emit(FleetEvent::Failed {
                     tenant: TenantId(idx),
                     at_hours: at,
+                    reason,
                 });
+                if missed {
+                    self.emit(FleetEvent::DeadlineMissed {
+                        tenant: TenantId(idx),
+                        at_hours: at,
+                    });
+                }
+                self.on_terminal(idx, at, TerminalKind::Failed);
+            }
+            // Retries issued by the stalled aborts (or by nothing at all)
+            // decide whether another round is needed.
+            if self.sim.peek_time().is_none() {
+                break;
             }
         }
     }
@@ -1018,7 +1236,11 @@ impl Fleet {
         let (progress, bill_so_far) = match running {
             Some(job) => {
                 let rel = (self.stepped_to - job.start).max(0.0);
-                (Some(job.exec.progress(rel)), job.exec.cost_so_far())
+                // Quote the bill a stop *right now* would settle at (open
+                // sessions included at their round-up charge), so a
+                // cancellation's final bill never jumps away from the
+                // last live quote.
+                (Some(job.exec.progress(rel)), job.exec.cost_so_far_at(rel))
             }
             None => (
                 None,
@@ -1041,7 +1263,10 @@ impl Fleet {
     }
 
     /// The fleet bill right now: every terminal tenant's bill plus the
-    /// charges running jobs have accrued so far.
+    /// charges running jobs have accrued so far (open rental sessions at
+    /// the round-up charge a stop at this instant would settle them at,
+    /// consistent with [`status`](Self::status) and with the final bill
+    /// a [`cancel`](Self::cancel) produces).
     pub fn fleet_bill(&self) -> f64 {
         let terminal: f64 = self
             .outcomes
@@ -1049,8 +1274,29 @@ impl Fleet {
             .filter_map(|o| o.execution.as_ref())
             .map(|e| e.total_cost)
             .sum();
-        let running: f64 = self.active.values().map(|j| j.exec.cost_so_far()).sum();
+        let running: f64 = self
+            .active
+            .values()
+            .map(|j| j.exec.cost_so_far_at((self.stepped_to - j.start).max(0.0)))
+            .sum();
         terminal + running
+    }
+
+    /// The dead-letter queue: every tenant whose final attempt exhausted
+    /// the retry budget, in dead-letter order.
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead_letters
+    }
+
+    /// `true` while the failure-rate gate is refusing new admissions.
+    pub fn admission_paused(&self) -> bool {
+        self.failure_window.as_ref().is_some_and(|w| w.is_paused())
+    }
+
+    /// The spot-market circuit breaker's state, when one is configured
+    /// (requires both a market and a breaker config).
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
     }
 
     /// The per-tenant outcomes and fleet roll-up as of now. After
@@ -1058,7 +1304,11 @@ impl Fleet {
     /// report; mid-run it is a snapshot (running tenants appear admitted
     /// with no execution record yet).
     pub fn report(&self) -> FleetReport {
-        FleetReport::from_outcomes(self.outcomes.clone())
+        let mut report = FleetReport::from_outcomes(self.outcomes.clone());
+        if let Some(breaker) = &self.breaker {
+            report.breaker_open_hours = breaker.open_hours(self.stepped_to);
+        }
+        report
     }
 
     // ---- the event loop -------------------------------------------------
@@ -1088,6 +1338,14 @@ impl Fleet {
                 ClockEvent::Revocation => {
                     any_real = true;
                     self.handle_revocation(now);
+                }
+                ClockEvent::Fault(i) => {
+                    any_real = true;
+                    self.handle_fault(i, now);
+                }
+                ClockEvent::BreakerProbe => {
+                    any_real = true;
+                    self.handle_breaker_probe(now);
                 }
                 ClockEvent::MonitorTick(gen) => {
                     if gen != self.monitor_gen {
@@ -1173,7 +1431,28 @@ impl Fleet {
             return;
         }
         self.arrivals_pending -= 1;
-        if let Some((job, initial)) = self.admit(i, now) {
+        // The admission gate: while the recent failure rate is above the
+        // pause threshold, arrivals are refused outright (fail fast, no
+        // planning). The refusals are not recorded in the window — only
+        // execution outcomes move the gate.
+        if let Some(window) = &self.failure_window {
+            if window.is_paused() {
+                let reason = format!(
+                    "admission paused: {:.0}% of the last {} terminal outcomes failed",
+                    window.failure_fraction() * 100.0,
+                    window.config().window
+                );
+                self.outcomes[i].rejection = Some(reason.clone());
+                self.emit(FleetEvent::Rejected {
+                    tenant: TenantId(i),
+                    at_hours: now,
+                    reason,
+                });
+                self.on_terminal(i, now, TerminalKind::Rejected);
+                return;
+            }
+        }
+        if let Some((job, fallback, initial)) = self.admit(i, now) {
             let pid = self.registry.register();
             for (t, _) in initial {
                 self.sim
@@ -1196,6 +1475,12 @@ impl Fleet {
                 expected_cost,
                 expected_completion_hours,
             });
+            if fallback {
+                self.emit(FleetEvent::FallbackEngaged {
+                    tenant: TenantId(i),
+                    at_hours: now,
+                });
+            }
         } else {
             let reason = self.outcomes[i]
                 .rejection
@@ -1206,17 +1491,19 @@ impl Fleet {
                 at_hours: now,
                 reason,
             });
+            self.on_terminal(i, now, TerminalKind::Rejected);
         }
     }
 
     /// Plans one arrival against the residual capacity and, on success,
     /// builds its execution process. Returns `None` (after recording the
-    /// rejection) when no feasible plan exists.
+    /// rejection) when no feasible plan exists; the middle flag reports
+    /// whether the breaker's on-demand fallback tier was engaged.
     fn admit(
         &mut self,
         request_idx: usize,
         now: f64,
-    ) -> Option<(ActiveJob, Vec<(f64, conductor_mapreduce::JobEvent)>)> {
+    ) -> Option<(ActiveJob, bool, Vec<(f64, conductor_mapreduce::JobEvent)>)> {
         let request = self.requests[request_idx].clone();
         let residual = self.residual_pool(now, None);
         if let Err(reason) = residual.validate() {
@@ -1250,7 +1537,16 @@ impl Fleet {
             &ExecutionPlan::default_location_map(),
         );
         let scheduler = scheduler_for_plan(&plan, &self.pool);
+        // While the breaker is open, the on-demand fallback tier pays the
+        // ceiling for real instead of buying (revocable) spot: the
+        // deadline is kept at the price of the discount. Without the
+        // fallback tier the session still buys spot — at ceiling-priced
+        // forecasts, it simply plans as if the discount were gone.
+        let fallback = self.breaker.as_ref().is_some_and(|b| {
+            b.is_engaged() && b.config().fallback == FallbackTier::OnDemand
+        });
         let pricing = match &self.config.spot_market {
+            Some(_) if fallback => SessionPricing::OnDemand,
             Some(market) => SessionPricing::Spot {
                 market: market.clone(),
                 start_offset_hours: now,
@@ -1290,7 +1586,9 @@ impl Fleet {
                 tenant_bid: request.spot_bid,
                 progress_model,
                 storm_hit: false,
+                fallback_on_demand: fallback,
             },
+            fallback,
             initial,
         ))
     }
@@ -1326,6 +1624,7 @@ impl Fleet {
                     at_hours: now,
                 });
             }
+            self.on_terminal(idx, now, TerminalKind::Failed);
             return;
         }
         let extensions_before = job.exec.straggler_extensions();
@@ -1366,6 +1665,12 @@ impl Fleet {
                     at_hours: finished_at,
                 });
             }
+            let kind = if met_deadline == Some(false) {
+                TerminalKind::CompletedLate
+            } else {
+                TerminalKind::CompletedOnTime
+            };
+            self.on_terminal(idx, finished_at, kind);
         } else if matches!(job.exec.phase(), JobPhase::Processing)
             && job.exec.next_event_hours(rel).is_none()
         {
@@ -1389,6 +1694,7 @@ impl Fleet {
                     at_hours: now,
                 });
             }
+            self.on_terminal(idx, now, TerminalKind::Failed);
         }
     }
 
@@ -1401,7 +1707,13 @@ impl Fleet {
         let hour = (now + TIME_EPSILON).floor().max(0.0) as usize;
         let fleet_bid = self.effective_bid(market);
         let mut emitted: Vec<FleetEvent> = Vec::new();
+        let mut struck = false;
         for (pid, job) in self.active.iter_mut() {
+            // Fallback-tier jobs bought on-demand capacity: the spot
+            // market cannot touch them (that is what the ceiling buys).
+            if job.fallback_on_demand {
+                continue;
+            }
             // Per-tenant bids: a sweep only strikes jobs actually out-bid
             // at this hour. With no per-tenant overrides this check is
             // vacuously true (sweeps are scheduled exactly at the fleet
@@ -1411,6 +1723,10 @@ impl Fleet {
             if !market.out_bid_at(hour, bid) {
                 continue;
             }
+            // A breaker strike is "a sweep out-bid a live job", whether
+            // or not any cloud nodes were up at that instant — the
+            // market proved hostile to running work either way.
+            struck = true;
             let rel = (now - job.start).max(0.0);
             let (killed, wakeups) = job.exec.kill_cloud_nodes(rel);
             if killed == 0 {
@@ -1438,6 +1754,186 @@ impl Fleet {
         }
         for event in emitted {
             self.emit(event);
+        }
+        if struck {
+            self.breaker_strike(now);
+        }
+    }
+
+    /// Feeds one revocation strike to the circuit breaker and reacts to
+    /// the transition: opening (or reopening) starts the hourly probe
+    /// chain that will eventually walk it back to closed.
+    fn breaker_strike(&mut self, now: f64) {
+        let Some(breaker) = self.breaker.as_mut() else {
+            return;
+        };
+        let transition = breaker.on_strike(now);
+        let strikes = breaker.strikes_in_window();
+        match transition {
+            Some(BreakerTransition::Opened) | Some(BreakerTransition::Reopened) => {
+                self.emit(FleetEvent::BreakerOpened {
+                    at_hours: now,
+                    strikes,
+                });
+                self.ensure_probe_chain(now);
+            }
+            _ => {}
+        }
+    }
+
+    /// Schedules the next hourly breaker probe (at the next whole hour
+    /// after `now`) unless a chain is already live.
+    fn ensure_probe_chain(&mut self, now: f64) {
+        if self.probe_live {
+            return;
+        }
+        self.probe_live = true;
+        let next = (now + TIME_EPSILON).floor() + 1.0;
+        self.sim.schedule(
+            next,
+            ClockEvent::BreakerProbe.class(),
+            ClockEvent::BreakerProbe,
+        );
+    }
+
+    /// An hourly breaker probe: checks whether the trace hour just
+    /// elapsed was clean at the fleet bid, advances the breaker state
+    /// machine, and keeps the chain alive while the breaker is not
+    /// closed and the market can still recover.
+    fn handle_breaker_probe(&mut self, now: f64) {
+        let (clean, hour, recoverable) = {
+            let Some(market) = &self.config.spot_market else {
+                self.probe_live = false;
+                return;
+            };
+            let fleet_bid = self.effective_bid(market);
+            let hour = (now + TIME_EPSILON).floor().max(0.0) as usize;
+            let clean = hour > 0 && !market.out_bid_at(hour - 1, fleet_bid);
+            // Past a trace that ends above the bid the market never
+            // recovers: stop probing instead of chaining forever (the
+            // breaker stays open for good, which is the right verdict).
+            let recoverable = market.next_acceptance(hour, fleet_bid).is_some();
+            (clean, hour, recoverable)
+        };
+        let Some(breaker) = self.breaker.as_mut() else {
+            self.probe_live = false;
+            return;
+        };
+        match breaker.on_probe(now, clean) {
+            Some(BreakerTransition::HalfOpened) => {
+                self.emit(FleetEvent::BreakerHalfOpen { at_hours: now });
+            }
+            Some(BreakerTransition::Closed) => {
+                self.emit(FleetEvent::BreakerClosed { at_hours: now });
+            }
+            Some(BreakerTransition::Reopened) => {
+                let strikes = self
+                    .breaker
+                    .as_ref()
+                    .map(|b| b.strikes_in_window())
+                    .unwrap_or(0);
+                self.emit(FleetEvent::BreakerOpened {
+                    at_hours: now,
+                    strikes,
+                });
+            }
+            _ => {}
+        }
+        let still_open = self
+            .breaker
+            .as_ref()
+            .is_some_and(|b| b.state() != BreakerState::Closed);
+        if still_open && recoverable {
+            self.sim.schedule(
+                (hour + 1) as f64,
+                ClockEvent::BreakerProbe.class(),
+                ClockEvent::BreakerProbe,
+            );
+        } else {
+            self.probe_live = false;
+        }
+    }
+
+    /// Injected fault `i` of the fault plan fires: pick the victim by the
+    /// event's pre-drawn salt over the running jobs (process-id order,
+    /// deterministic) and apply the fault. With nothing running the
+    /// fault fizzles silently.
+    fn handle_fault(&mut self, i: usize, now: f64) {
+        let Some(event) = self
+            .config
+            .policy
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| plan.events.get(i))
+            .copied()
+        else {
+            return;
+        };
+        if self.active.is_empty() {
+            return;
+        }
+        let victim = (event.salt % self.active.len() as u64) as usize;
+        let pid = *self
+            .active
+            .keys()
+            .nth(victim)
+            .expect("victim index within active set");
+        match event.kind {
+            FaultKind::TaskFailure => {
+                let job = self.active.remove(&pid).expect("victim present");
+                let rel = (now - job.start).max(0.0);
+                let idx = job.request_idx;
+                self.tenant_pids.remove(&idx);
+                let reason = format!("injected fault: task failure at fleet hour {now:.2}");
+                let o = &mut self.outcomes[idx];
+                o.failure = Some(reason.clone());
+                let report = job.exec.abort(rel);
+                let missed = report.met_deadline == Some(false);
+                o.execution = Some(report);
+                self.emit(FleetEvent::FaultInjected {
+                    tenant: TenantId(idx),
+                    at_hours: now,
+                    kind: event.kind,
+                    nodes_killed: 0,
+                });
+                self.emit(FleetEvent::Failed {
+                    tenant: TenantId(idx),
+                    at_hours: now,
+                    reason,
+                });
+                if missed {
+                    self.emit(FleetEvent::DeadlineMissed {
+                        tenant: TenantId(idx),
+                        at_hours: now,
+                    });
+                }
+                self.on_terminal(idx, now, TerminalKind::Failed);
+            }
+            FaultKind::NodeCrash => {
+                let job = self.active.get_mut(&pid).expect("victim present");
+                let rel = (now - job.start).max(0.0);
+                let (killed, wakeups) = job.exec.kill_cloud_nodes(rel);
+                job.storm_hit = true;
+                let idx = job.request_idx;
+                let start = job.start;
+                for (t, _) in wakeups {
+                    self.sim.schedule(
+                        start + t,
+                        ClockEvent::Job(pid).class(),
+                        ClockEvent::Job(pid),
+                    );
+                }
+                // Wake the victim immediately, like a revocation: it
+                // reconciles and schedules its own recovery.
+                self.sim
+                    .schedule(now, ClockEvent::Job(pid).class(), ClockEvent::Job(pid));
+                self.emit(FleetEvent::FaultInjected {
+                    tenant: TenantId(idx),
+                    at_hours: now,
+                    kind: event.kind,
+                    nodes_killed: killed,
+                });
+            }
         }
     }
 
@@ -1614,6 +2110,141 @@ impl Fleet {
         });
     }
 
+    /// The failure-policy hook, called at every terminal transition of an
+    /// arrival-or-later tenant (client cancellations excluded — those
+    /// are intent, not failure): records the outcome in the admission
+    /// gate's window, then decides between retry, dead-letter and
+    /// nothing.
+    fn on_terminal(&mut self, idx: usize, now: f64, kind: TerminalKind) {
+        // 1. The admission gate samples execution outcomes only:
+        //    completions (on time = success, late = failure) and aborts.
+        //    Rejections never ran, so they carry no signal about the
+        //    fleet's health — and refusals while paused must not feed
+        //    back into the gate that caused them.
+        let sample = match kind {
+            TerminalKind::CompletedOnTime => Some(false),
+            TerminalKind::CompletedLate | TerminalKind::Failed => Some(true),
+            TerminalKind::Rejected => None,
+        };
+        if let (Some(window), Some(failed)) = (self.failure_window.as_mut(), sample) {
+            let change = window.record(failed);
+            let fraction = window.failure_fraction();
+            match change {
+                Some(AdmissionChange::Paused) => self.emit(FleetEvent::AdmissionPaused {
+                    at_hours: now,
+                    failure_fraction: fraction,
+                }),
+                Some(AdmissionChange::Resumed) => self.emit(FleetEvent::AdmissionResumed {
+                    at_hours: now,
+                    failure_fraction: fraction,
+                }),
+                None => {}
+            }
+        }
+        // 2. Retry / dead-letter disposition.
+        let Some(retry) = self.config.policy.retry else {
+            return;
+        };
+        let attempt = self.outcomes[idx].attempt;
+        match kind {
+            TerminalKind::Failed => {
+                if attempt < retry.max_retries {
+                    self.schedule_retry(idx, now);
+                } else {
+                    let reason = self.outcomes[idx]
+                        .failure
+                        .clone()
+                        .unwrap_or_else(|| "failed".into());
+                    self.dead_letter(idx, now, reason);
+                }
+            }
+            TerminalKind::CompletedLate => {
+                // A late completion may retry (a fresh attempt can hit a
+                // calmer market), but exhausting the budget does not
+                // dead-letter: the work did finish.
+                if retry.retry_deadline_missed && attempt < retry.max_retries {
+                    self.schedule_retry(idx, now);
+                }
+            }
+            TerminalKind::Rejected => {
+                // Original arrivals refused at admission are terminal
+                // rejections (admission control is not a fault); a
+                // *retry* that bounces keeps burning its budget so the
+                // chain always ends in success, rejection-as-terminal or
+                // the dead-letter queue — never in limbo.
+                if attempt > 0 {
+                    if attempt < retry.max_retries {
+                        self.schedule_retry(idx, now);
+                    } else {
+                        let reason = self.outcomes[idx]
+                            .rejection
+                            .clone()
+                            .unwrap_or_else(|| "rejected".into());
+                        self.dead_letter(idx, now, reason);
+                    }
+                }
+            }
+            TerminalKind::CompletedOnTime => {}
+        }
+    }
+
+    /// Re-submits tenant `idx`'s request as a fresh arrival after the
+    /// deterministic backoff delay, as the next attempt of its root
+    /// submission.
+    fn schedule_retry(&mut self, idx: usize, now: f64) {
+        let retry = self.config.policy.retry.expect("caller checked retry");
+        let attempt = self.outcomes[idx].attempt + 1;
+        let root = self.outcomes[idx].retry_of.unwrap_or(idx);
+        let arrival = now + retry.delay_hours(attempt);
+        let request = self.requests[idx].clone();
+        let new_idx = self.outcomes.len();
+        let mut pending = TenantOutcome::pending(request.tenant.clone(), arrival);
+        pending.retry_of = Some(root);
+        pending.attempt = attempt;
+        self.outcomes.push(pending);
+        // Any per-tenant-bid sweep hours were already scheduled by the
+        // root submission (submit scans to the trace end), so the clone
+        // only needs its arrival event.
+        self.requests.push(request);
+        self.sim.inject(
+            arrival,
+            ClockEvent::Arrival(new_idx).class(),
+            ClockEvent::Arrival(new_idx),
+        );
+        self.arrivals_pending += 1;
+        self.ensure_monitor_chain(arrival);
+        self.emit(FleetEvent::Retried {
+            tenant: TenantId(new_idx),
+            of: TenantId(root),
+            attempt,
+            at_hours: now,
+            arrival_hours: arrival,
+        });
+    }
+
+    /// Records tenant `idx` as dead-lettered: the final attempt of a
+    /// submission whose retry budget ran out.
+    fn dead_letter(&mut self, idx: usize, now: f64, reason: String) {
+        let o = &mut self.outcomes[idx];
+        o.dead_lettered = true;
+        let attempts = o.attempt + 1;
+        let root = o.retry_of.unwrap_or(idx);
+        self.dead_letters.push(DeadLetter {
+            tenant: TenantId(idx),
+            original: TenantId(root),
+            tenant_name: o.tenant.clone(),
+            attempts,
+            at_hours: now,
+            reason: reason.clone(),
+        });
+        self.emit(FleetEvent::DeadLettered {
+            tenant: TenantId(idx),
+            at_hours: now,
+            attempts,
+            reason,
+        });
+    }
+
     /// Clears a job's storm flag once the monitor has acted on (or given
     /// up on) the revocation.
     fn clear_storm_flag(&mut self, pid: ProcessId) {
@@ -1685,7 +2316,15 @@ impl Fleet {
         if let Some(market) = &self.config.spot_market {
             let start = now.floor().max(0.0) as usize;
             let mut prices = market.price_forecast(start, horizon);
-            if let Some(bid) = tenant_bid {
+            // An open breaker prices every remote hour at the on-demand
+            // ceiling: the fleet has stopped trusting the trace, so plans
+            // must pencil in the price of the capacity they would
+            // actually get (on-demand fallback, or ceiling-priced spot).
+            if self.breaker.as_ref().is_some_and(|b| b.is_engaged()) {
+                for price in prices.iter_mut() {
+                    *price = market.on_demand_price;
+                }
+            } else if let Some(bid) = tenant_bid {
                 for (offset, price) in prices.iter_mut().enumerate() {
                     if market.out_bid_at(start + offset, bid) {
                         *price = market.on_demand_price;
@@ -1784,7 +2423,7 @@ mod tests {
         );
         // Admit one job and check the leftover.
         f.submit(request("a", 0.0, 6.0)).unwrap();
-        let (job, _) = f.admit(0, 0.0).expect("admission succeeds");
+        let (job, _, _) = f.admit(0, 0.0).expect("admission succeeds");
         let peak: usize = job
             .exec
             .node_schedule()

@@ -31,6 +31,11 @@
 //! 8. [`service`] — [`service::ConductorService`], the closed-world batch
 //!    facade over the fleet session (submit everything, drain, report),
 //!    pinned bitwise-identical to the incremental path.
+//! 9. [`policy`] — the failure-policy layer: seeded fault injection
+//!    ([`policy::FaultPlan`]), per-tenant retry with exponential backoff
+//!    and a dead-letter queue, an admission gate over a sliding window of
+//!    outcomes, and a spot-market circuit breaker with on-demand
+//!    fallback. All of it runs on the fleet's deterministic event loop.
 
 pub mod adapt;
 pub mod controller;
@@ -40,6 +45,7 @@ pub mod goal;
 pub mod model;
 pub mod plan;
 pub mod planner;
+pub mod policy;
 pub mod resources;
 pub mod service;
 pub mod spot;
@@ -55,6 +61,10 @@ pub use goal::Goal;
 pub use model::{InitialState, ModelConfig, ModelInstance};
 pub use plan::{ExecutionPlan, IntervalPlan};
 pub use planner::{Planner, PlanningReport};
+pub use policy::{
+    BreakerState, CircuitBreakerConfig, DeadLetter, FailurePolicy, FailureThreshold, FallbackTier,
+    FaultKind, FaultPlan, RetryPolicy,
+};
 pub use resources::{ComputeResource, ResourcePool, StorageResource};
 pub use service::ConductorService;
 pub use spot::{BidPredictor, SpotDeploymentSimulator, SpotScenarioResult};

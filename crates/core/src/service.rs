@@ -81,6 +81,17 @@ impl ConductorService {
         self
     }
 
+    /// Attaches a failure policy: seeded fault injection, per-tenant
+    /// retry with exponential backoff and a dead-letter queue, an
+    /// admission gate over a sliding window of outcomes, and a
+    /// spot-market circuit breaker with on-demand fallback (see
+    /// [`crate::policy`]). The default policy is inert; the knobs are
+    /// validated when the fleet is opened.
+    pub fn with_failure_policy(mut self, policy: crate::policy::FailurePolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
     /// Overrides the monitor cadence and re-plan trigger tolerance. The
     /// values are validated when the fleet is opened ([`Self::open`] /
     /// [`Self::run`]): the period must be finite and positive, the

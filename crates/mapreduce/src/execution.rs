@@ -643,6 +643,16 @@ impl<'a> JobExecution<'a> {
         self.billing.total_cost()
     }
 
+    /// The bill an [`abort`](Self::abort) (or any customer-initiated
+    /// stop) at job-relative hour `now` would settle at:
+    /// [`cost_so_far`](Self::cost_so_far) plus the round-up charge of
+    /// every still-open rental session. Fleet drivers quote this for
+    /// live status and fleet-bill snapshots, so a cancellation's final
+    /// bill equals the last live quote at the same instant.
+    pub fn cost_so_far_at(&self, now: f64) -> f64 {
+        self.billing.total_cost() + self.billing.open_accrual(now)
+    }
+
     /// How many times the straggler extension re-raised the last cloud
     /// allocation to finish work the schedule's ramp-down would have
     /// stranded (see `extend_for_stragglers`). Monotonically increasing;

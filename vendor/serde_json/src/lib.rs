@@ -3,8 +3,10 @@
 //! the wire; the only non-standard convention is that maps with non-string
 //! keys serialize as arrays of `[key, value]` pairs (chosen by the facade).
 
-use serde::{DeError, Deserialize, Json, Serialize};
+use serde::{DeError, Deserialize, Serialize};
 use std::fmt;
+
+pub use serde::Json;
 
 /// Error type covering both parse and data-shape failures.
 #[derive(Debug, Clone, PartialEq)]
