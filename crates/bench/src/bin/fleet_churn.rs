@@ -20,15 +20,22 @@
 //! fleet as a smoke test in both modes; run it with an argument for the
 //! full scenario:
 //!
+//! With `CHURN_CACHE=1` the binary additionally replays the unfaulted
+//! fleet with the admission plan cache off and on and reports admission
+//! decisions/sec for both; `CHURN_CACHE_BAR=<x>` also asserts the cached
+//! path clears `x`× the cold throughput (the CI regression gate).
+//!
 //! ```sh
 //! cargo run --release -p conductor-bench --bin fleet_churn        # 200 jobs
 //! cargo run --release -p conductor-bench --bin fleet_churn -- 40  # smaller
 //! CHURN_FAULTS=1 cargo run --release -p conductor-bench --bin fleet_churn -- 40
+//! CHURN_CACHE_BAR=2 cargo run --release -p conductor-bench --bin fleet_churn -- 120
 //! ```
 
 use conductor_bench::experiments::{
     churn_fixture, dispatch_hot_path_report, faulted_churn_fixture, run_fleet_online,
 };
+use conductor_bench::solver_bench::admission_benchmark;
 use conductor_core::FleetReport;
 use std::time::Instant;
 
@@ -174,6 +181,41 @@ fn main() {
             assert_eq!(a.replanned_at_hours, b.replanned_at_hours, "{}", a.tenant);
         }
         println!("determinism: second run identical (bills, makespan, storms)");
+    }
+
+    // ---- admission plan cache throughput --------------------------------
+    // Opt-in (`CHURN_CACHE=1`, or `CHURN_CACHE_BAR=<x>` to also assert):
+    // replay the same unfaulted fleet with the admission plan cache off
+    // and on, reporting admission decisions per second for both paths.
+    // With a bar set, the cached path must beat the cold path's
+    // throughput by at least that factor — the CI regression gate for
+    // the admission fast path.
+    let cache_bar: Option<f64> = std::env::var("CHURN_CACHE_BAR")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    if cache_bar.is_some() || std::env::var("CHURN_CACHE").as_deref() == Ok("1") {
+        let row = admission_benchmark(jobs);
+        println!(
+            "admission throughput: cold {:.1}/s ({:.3} s), plan cache {:.1}/s ({:.3} s) = {:.2}x, {} hits / {} misses",
+            row.cold_admissions_per_sec,
+            row.cold_wall_s,
+            row.cached_admissions_per_sec,
+            row.cached_wall_s,
+            row.wall_speedup,
+            row.plan_cache_hits,
+            row.plan_cache_misses,
+        );
+        if let Some(bar) = cache_bar {
+            assert!(
+                row.wall_speedup >= bar,
+                "plan cache regressed: {:.2}x end-to-end vs the {bar:.1}x bar",
+                row.wall_speedup
+            );
+            println!(
+                "admission cache bar ok: {:.2}x >= {bar:.1}x",
+                row.wall_speedup
+            );
+        }
     }
 
     // ---- kernel hot path ------------------------------------------------

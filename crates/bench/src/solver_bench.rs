@@ -8,6 +8,7 @@
 //! statistics. The `fig16_solve_time` binary serializes this report to
 //! `BENCH_solver.json` so the perf trajectory is tracked across PRs.
 
+use crate::experiments::{churn_fixture, run_fleet_online};
 use conductor_cloud::{catalog::mbps_to_gb_per_hour, Catalog};
 use conductor_core::{Goal, Planner, PlanningReport, ResourcePool};
 use conductor_lp::{Engine, SolveOptions};
@@ -60,6 +61,54 @@ pub struct SolverBenchRow {
     pub speedup_vs_dense: f64,
 }
 
+/// Admission throughput on the canonical churn fleet: the same Poisson
+/// fixture ([`churn_fixture`]) driven end to end with the admission plan
+/// cache off (the deterministic pinned path every figure uses) and on
+/// (the certified fast path). `*_admissions_per_sec` counts admission
+/// *decisions* — every arrival is planned and then admitted or rejected —
+/// over the full end-to-end wall clock including execution simulation,
+/// so the number is the fleet-scale metric an operator sees, not a
+/// solver microbenchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdmissionBenchRow {
+    /// Poisson arrivals in the fixture.
+    pub jobs: usize,
+    /// End-to-end wall clock with the plan cache off / on, seconds.
+    pub cold_wall_s: f64,
+    pub cached_wall_s: f64,
+    /// Admission decisions per second of end-to-end wall clock.
+    pub cold_admissions_per_sec: f64,
+    pub cached_admissions_per_sec: f64,
+    /// `cold_wall_s / cached_wall_s` (equals the admissions/sec ratio).
+    pub wall_speedup: f64,
+    /// Certified cache hits (branch & bound skipped) and misses on the
+    /// cached run.
+    pub plan_cache_hits: usize,
+    pub plan_cache_misses: usize,
+}
+
+/// Measures [`AdmissionBenchRow`] on a `jobs`-arrival churn fleet.
+pub fn admission_benchmark(jobs: usize) -> AdmissionBenchRow {
+    let (requests, service) = churn_fixture(jobs, 1.0);
+    let t0 = Instant::now();
+    let _cold = run_fleet_online(&service, &requests);
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let cached_service = service.with_plan_cache(true);
+    let t1 = Instant::now();
+    let cached = run_fleet_online(&cached_service, &requests);
+    let cached_wall = t1.elapsed().as_secs_f64();
+    AdmissionBenchRow {
+        jobs,
+        cold_wall_s: cold_wall,
+        cached_wall_s: cached_wall,
+        cold_admissions_per_sec: jobs as f64 / cold_wall.max(1e-9),
+        cached_admissions_per_sec: jobs as f64 / cached_wall.max(1e-9),
+        wall_speedup: cold_wall / cached_wall.max(1e-9),
+        plan_cache_hits: cached.plan_cache_hits,
+        plan_cache_misses: cached.plan_cache_misses,
+    }
+}
+
 /// The full report: rows plus aggregate summary.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolverBenchReport {
@@ -82,6 +131,10 @@ pub struct SolverBenchReport {
     pub geomean_speedup_vs_dense: f64,
     /// Revised-engine warm-start hits / attempts across all rows.
     pub overall_warm_start_rate: f64,
+    /// Churn-fleet admission throughput, plan cache off vs on (`None` in
+    /// reports generated before the cache existed).
+    #[serde(default)]
+    pub admission: Option<AdmissionBenchRow>,
 }
 
 /// Solve options shared by every engine (fig16's gap, a generous cap so none
@@ -236,6 +289,7 @@ pub fn solver_benchmark() -> SolverBenchReport {
         min_speedup_vs_dense: min_of(&vs_dense).expect("non-empty matrix"),
         geomean_speedup_vs_dense: geomean(&vs_dense).expect("non-empty matrix"),
         overall_warm_start_rate: overall_rate,
+        admission: Some(admission_benchmark(200)),
         rows,
     }
 }
@@ -275,6 +329,19 @@ pub fn render_report(report: &SolverBenchReport) -> String {
         report.geomean_speedup_vs_dense,
         report.overall_warm_start_rate * 100.0
     ));
+    if let Some(a) = &report.admission {
+        out.push_str(&format!(
+            "churn admissions ({} jobs): cold {:.1}/s ({:.2} s), plan cache {:.1}/s ({:.2} s) = {:.2}x, {} hits / {} misses\n",
+            a.jobs,
+            a.cold_admissions_per_sec,
+            a.cold_wall_s,
+            a.cached_admissions_per_sec,
+            a.cached_wall_s,
+            a.wall_speedup,
+            a.plan_cache_hits,
+            a.plan_cache_misses,
+        ));
+    }
     out
 }
 

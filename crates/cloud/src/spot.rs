@@ -328,9 +328,17 @@ mod tests {
         let market = SpotMarket::new(SpotTrace::from_prices(TraceKind::AwsLike, prices), 0.34);
         let bid = 0.3;
         assert_eq!(market.clean_streak_ending_at(0, bid), 1);
-        assert_eq!(market.clean_streak_ending_at(1, bid), 0, "hour 1 is out-bid");
+        assert_eq!(
+            market.clean_streak_ending_at(1, bid),
+            0,
+            "hour 1 is out-bid"
+        );
         assert_eq!(market.clean_streak_ending_at(2, bid), 1);
-        assert_eq!(market.clean_streak_ending_at(4, bid), 3, "hours 2..=4 clean");
+        assert_eq!(
+            market.clean_streak_ending_at(4, bid),
+            3,
+            "hours 2..=4 clean"
+        );
         assert_eq!(market.clean_streak_ending_at(5, bid), 0);
         // Past the trace end the price clamps to the last value (out-bid
         // here), so the streak stays zero forever.

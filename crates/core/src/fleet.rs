@@ -86,12 +86,13 @@ use crate::policy::{
 };
 use crate::resources::{ResourcePool, REFERENCE_WORKLOAD_GBPH};
 use conductor_cloud::{Catalog, CostBreakdown, SpotMarket};
-use conductor_lp::SolveOptions;
+use conductor_lp::{SolveContext, SolveOptions};
 use conductor_mapreduce::cluster::nodes_at;
 use conductor_mapreduce::execution::{ExecutionProgress, JobExecution, JobPhase, SessionPricing};
 use conductor_mapreduce::{JobSpec, NodeAllocation};
 use conductor_sim::{ProcessId, ProcessRegistry, Simulator, TIME_EPSILON};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Handle of one submitted job within a [`Fleet`] session. Ids are issued
@@ -182,6 +183,22 @@ pub struct FleetConfig {
     /// so unpolicied sessions replay the pre-policy trajectories bit for
     /// bit.
     pub policy: FailurePolicy,
+    /// Reuse admission plans across look-alike arrivals: a cached plan
+    /// whose shape fits the current residual capacity and whose re-priced
+    /// cost is certified against the fresh model's root LP relaxation
+    /// bound (within the solver's `relative_gap`) is admitted without a
+    /// branch & bound solve. Off by default: the cache changes which
+    /// (equally certified) plan a tenant is admitted under, so sessions
+    /// that pin exact trajectories should leave it disabled.
+    pub plan_cache: bool,
+    /// Validation mode: probe the plan cache at every admission and
+    /// record how each would-be hit compares against the full solve that
+    /// actually decides — but never *use* a cached plan. The probe runs
+    /// through its own solve context, so the session's trajectory stays
+    /// bitwise identical to `plan_cache: false`. Query the comparison
+    /// via [`Fleet::plan_cache_shadow_stats`]. Takes precedence over
+    /// `plan_cache` when both are set.
+    pub plan_cache_shadow: bool,
 }
 
 impl Default for FleetConfig {
@@ -200,6 +217,8 @@ impl Default for FleetConfig {
             replan_margin_hours: 1.0,
             monitor_conservatism: 0.15,
             policy: FailurePolicy::default(),
+            plan_cache: false,
+            plan_cache_shadow: false,
         }
     }
 }
@@ -382,6 +401,15 @@ pub struct FleetReport {
     /// [`Fleet::report`]; zero for hand-built reports.
     #[serde(default)]
     pub breaker_open_hours: f64,
+    /// Admissions served from the plan cache (shape reused, certified
+    /// against a fresh root LP bound; no branch & bound). Filled by
+    /// [`Fleet::report`]; zero for hand-built reports or when
+    /// [`FleetConfig::plan_cache`] is off.
+    #[serde(default)]
+    pub plan_cache_hits: usize,
+    /// Plan-cache probes that fell through to a full solve.
+    #[serde(default)]
+    pub plan_cache_misses: usize,
 }
 
 impl FleetReport {
@@ -428,6 +456,8 @@ impl FleetReport {
             retries,
             dead_lettered,
             breaker_open_hours: 0.0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
         }
     }
 
@@ -826,6 +856,11 @@ enum TerminalKind {
     Rejected,
 }
 
+/// A successful admission: the job's execution process, whether the
+/// breaker's on-demand fallback tier was engaged, and the initial event
+/// schedule to inject into the fleet clock.
+type Admission = (ActiveJob, bool, Vec<(f64, conductor_mapreduce::JobEvent)>);
+
 /// One admitted, still-running job.
 struct ActiveJob {
     request_idx: usize,
@@ -847,6 +882,339 @@ struct ActiveJob {
     /// tier: its sessions are priced on-demand and revocation sweeps
     /// skip it.
     fallback_on_demand: bool,
+}
+
+/// Cached, query-ready view of one active job's node schedule: every step
+/// offset (for sample-point harvesting) plus the steps grouped per
+/// instance type and stable-sorted by time. The stable sort keeps
+/// schedule order among exactly-equal `from_hour`s, which is the element
+/// `nodes_at`'s `max_by` would return — so a sweep over these lists
+/// reproduces the full rescan bit for bit.
+struct JobScheduleView {
+    /// [`JobExecution::schedule_epoch`] the view was built at; a mismatch
+    /// means the schedule mutated (splice, straggler extension,
+    /// revocation shift) and the view must be rebuilt.
+    epoch: u64,
+    /// The job's fleet start hour (offsets below are relative to it).
+    start: f64,
+    /// Every step offset in schedule order, all instance types.
+    offsets: Vec<f64>,
+    /// Instance type → stable time-sorted `(from_hour, nodes)` steps.
+    by_type: BTreeMap<String, Vec<(f64, usize)>>,
+}
+
+impl JobScheduleView {
+    fn build(job: &ActiveJob) -> Self {
+        let mut by_type: BTreeMap<String, Vec<(f64, usize)>> = BTreeMap::new();
+        let mut offsets = Vec::with_capacity(job.exec.node_schedule().len());
+        for step in job.exec.node_schedule() {
+            offsets.push(step.from_hour);
+            by_type
+                .entry(step.instance_type.clone())
+                .or_default()
+                .push((step.from_hour, step.nodes));
+        }
+        for steps in by_type.values_mut() {
+            // `sort_by` is stable: exact `from_hour` ties keep schedule
+            // order, matching `max_by`'s last-of-equals.
+            steps.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        JobScheduleView {
+            epoch: job.exec.schedule_epoch(),
+            start: job.start,
+            offsets,
+            by_type,
+        }
+    }
+}
+
+/// Incrementally maintained index over the active jobs' node commitments,
+/// backing [`Fleet::residual_pool`]. Admission, re-planning, completion,
+/// revocation and cancellation each either change the `active` key set or
+/// bump a job's schedule epoch, so [`Self::sync`] catches every mutation
+/// without the event sites knowing the index exists.
+#[derive(Default)]
+struct ResidualIndex {
+    jobs: BTreeMap<ProcessId, JobScheduleView>,
+}
+
+impl ResidualIndex {
+    /// Brings the cache in line with the live job table: drops entries for
+    /// departed processes, (re)builds entries whose schedule epoch moved.
+    fn sync(&mut self, active: &BTreeMap<ProcessId, ActiveJob>) {
+        self.jobs.retain(|pid, _| active.contains_key(pid));
+        for (pid, job) in active {
+            let fresh = self
+                .jobs
+                .get(pid)
+                .is_some_and(|v| v.epoch == job.exec.schedule_epoch() && v.start == job.start);
+            if !fresh {
+                self.jobs.insert(*pid, JobScheduleView::build(job));
+            }
+        }
+    }
+
+    /// The residual pool at `at`: per capped resource, the cap minus the
+    /// peak committed node count over `at` and every strictly-future step
+    /// time. One merged sweep per resource — each schedule step is
+    /// examined O(1) times — instead of re-evaluating every job's whole
+    /// schedule at every sample point.
+    fn residual(&self, base: &ResourcePool, at: f64, exclude: Option<ProcessId>) -> ResourcePool {
+        let mut pool = base.clone();
+        // Sample points: `at` plus every future schedule step of any
+        // included job, deduplicated within TIME_EPSILON (coincident
+        // instants sample identical commitments).
+        let mut samples: Vec<f64> = vec![at];
+        for (pid, view) in &self.jobs {
+            if Some(*pid) == exclude {
+                continue;
+            }
+            for &off in &view.offsets {
+                let abs = view.start + off;
+                if abs > at + TIME_EPSILON {
+                    samples.push(abs);
+                }
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples.dedup_by(|next, kept| (*next - *kept).abs() <= TIME_EPSILON);
+
+        for c in &mut pool.compute {
+            let Some(cap) = c.max_nodes else {
+                continue; // uncapped resources have no contention
+            };
+            let mut slots: Vec<(&JobScheduleView, &[(f64, usize)])> = Vec::new();
+            for (pid, view) in &self.jobs {
+                if Some(*pid) == exclude {
+                    continue;
+                }
+                if let Some(steps) = view.by_type.get(&c.name) {
+                    slots.push((view, steps));
+                }
+            }
+            // Merge every step into one list ordered by approximate
+            // absolute time. `start + from_hour` rounds, so due-ness is
+            // re-checked below with the exact per-job comparison
+            // `nodes_at` uses; the 2·TIME_EPSILON pop margin dominates
+            // any rounding in the merge key, so no due step is missed.
+            let mut events: Vec<(f64, usize, usize)> = Vec::new();
+            for (si, (view, steps)) in slots.iter().enumerate() {
+                for (k, (off, _)) in steps.iter().enumerate() {
+                    events.push((view.start + off, si, k));
+                }
+            }
+            events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+            // `applied[si]` / `cur[si]`: index and node count of the last
+            // step that fired for slot `si` (a later step supersedes an
+            // earlier one, exactly like `nodes_at`'s max-by-time).
+            let mut applied: Vec<usize> = vec![usize::MAX; slots.len()];
+            let mut cur: Vec<usize> = vec![0; slots.len()];
+            let mut committed: usize = 0;
+            let mut peak: usize = 0;
+            let mut next = 0usize;
+            let mut deferred: Vec<(f64, usize, usize)> = Vec::new();
+            for &p in &samples {
+                // Re-examine steps deferred at an earlier sample, then
+                // pull in newly reachable ones; a step only fires when
+                // the exact `from_hour <= (p - start) + 1e-9` test that
+                // `nodes_at` performs passes.
+                let mut pending = std::mem::take(&mut deferred);
+                while next < events.len() && events[next].0 <= p + 2.0 * TIME_EPSILON {
+                    pending.push(events[next]);
+                    next += 1;
+                }
+                for ev in pending {
+                    let (_, si, k) = ev;
+                    let (view, steps) = slots[si];
+                    if steps[k].0 <= (p - view.start) + 1e-9 {
+                        if applied[si] == usize::MAX || k > applied[si] {
+                            committed = committed + steps[k].1 - cur[si];
+                            cur[si] = steps[k].1;
+                            applied[si] = k;
+                        }
+                    } else {
+                        deferred.push(ev);
+                    }
+                }
+                peak = peak.max(committed);
+            }
+            c.max_nodes = Some(cap.saturating_sub(peak));
+        }
+        pool
+    }
+}
+
+/// Key of the admission plan cache: the planning horizon plus the exact
+/// bit patterns of the job-spec fields that shape the model. Prices,
+/// residual caps and bids are deliberately *not* part of the key — a
+/// candidate entry is re-priced under the current forecast and certified
+/// against the current model's root LP bound instead, so look-alike
+/// arrivals share plans across market drift and capacity churn.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct PlanCacheKey {
+    horizon: usize,
+    reduce_tasks: usize,
+    spec_bits: [u64; 5],
+}
+
+impl PlanCacheKey {
+    fn new(spec: &JobSpec, horizon: usize) -> Self {
+        Self {
+            horizon,
+            reduce_tasks: spec.reduce_tasks,
+            spec_bits: [
+                spec.input_gb.to_bits(),
+                spec.split_mb.to_bits(),
+                spec.map_output_ratio.to_bits(),
+                spec.reduce_output_ratio.to_bits(),
+                spec.reference_throughput_gbph.to_bits(),
+            ],
+        }
+    }
+}
+
+/// One cached admission plan: the shape, the objective it solved to, and
+/// the resolved per-interval price vector it solved under. The model's
+/// objective is linear in prices with node counts as coefficients, so
+/// `cost + Σ nodes·(p_new − p_old)·dt` is *exactly* the current model's
+/// objective for this shape — no approximation in the re-pricing.
+#[derive(Debug, Clone)]
+struct PlanCacheEntry {
+    plan: ExecutionPlan,
+    /// Objective the shape solved to under `prices`.
+    cost: f64,
+    /// `cost / root LP bound` of the solve that produced this entry — the
+    /// integrality-plus-termination quality a *fresh* branch & bound
+    /// achieved on this key. These models carry a large, key-specific
+    /// integrality gap (the fluid relaxation rents fractional nodes), so
+    /// absolute closeness to the root bound is the wrong bar; closeness
+    /// relative to what fresh solves of the same key actually attain is
+    /// the certifiable one.
+    ratio: f64,
+    /// Resolved per-interval price per compute type at solve time
+    /// (forecast price, or the type's on-demand hourly price).
+    prices: BTreeMap<String, Vec<f64>>,
+    /// Peak per-interval node count per type — the feasibility screen
+    /// against the current residual caps (the model bounds `nodes[c][t]`
+    /// by the cap in every interval).
+    peaks: BTreeMap<String, usize>,
+}
+
+/// How many shapes each key retains (oldest evicted first, so the pool
+/// tracks the price regimes arrivals actually solve under).
+const PLAN_CACHE_POOL: usize = 8;
+
+/// How many recent fresh-solve quality ratios each key remembers for the
+/// certification bar.
+const PLAN_CACHE_RATIO_WINDOW: usize = 8;
+
+#[derive(Debug)]
+struct PlanCache {
+    entries: BTreeMap<PlanCacheKey, Vec<PlanCacheEntry>>,
+    /// Rolling window of `cost / root bound` ratios fresh solves achieved
+    /// per key. The *median* of this window is what a typical branch &
+    /// bound delivers on this key — the bar a reused shape must meet.
+    fresh_ratios: BTreeMap<PlanCacheKey, Vec<f64>>,
+    /// Root bound of the probe that preceded the current admission's
+    /// solve — consumed by the insert that follows a miss, so the entry
+    /// can record its fresh-solve quality ratio.
+    last_bound: Option<f64>,
+    hits: usize,
+    misses: usize,
+    /// Shadow-mode counters (see [`FleetConfig::plan_cache_shadow`]):
+    /// would-be hits compared against the fresh solve that actually
+    /// decided, how many re-priced *worse* than the fresh cost by more
+    /// than the solver's relative gap, and the worst relative excess.
+    shadow_checked: usize,
+    shadow_worse: usize,
+    shadow_excess_max: f64,
+    shadow_excess_sum: f64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            fresh_ratios: BTreeMap::new(),
+            last_bound: None,
+            hits: 0,
+            misses: 0,
+            shadow_checked: 0,
+            shadow_worse: 0,
+            // −∞ so a final negative maximum is visible: it means every
+            // shadow-compared hit re-priced *cheaper* than its fresh solve.
+            shadow_excess_max: f64::NEG_INFINITY,
+            shadow_excess_sum: 0.0,
+        }
+    }
+}
+
+impl PlanCache {
+    /// Median fresh-solve quality ratio observed for `key` (`None` until a
+    /// fresh solve has been recorded).
+    fn typical_ratio(&self, key: &PlanCacheKey) -> Option<f64> {
+        let window = self.fresh_ratios.get(key)?;
+        if window.is_empty() {
+            return None;
+        }
+        let mut sorted = window.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// The per-interval price per compute type the model objective would use
+/// under `forecast`: the forecast price when one exists for the type and
+/// interval, else the type's on-demand hourly price (mirrors the model's
+/// price resolution exactly).
+fn resolved_prices(
+    pool: &ResourcePool,
+    forecast: &BTreeMap<String, Vec<f64>>,
+    horizon: usize,
+) -> BTreeMap<String, Vec<f64>> {
+    let mut out = BTreeMap::new();
+    for c in &pool.compute {
+        let prices: Vec<f64> = (0..horizon)
+            .map(|t| {
+                forecast
+                    .get(&c.name)
+                    .and_then(|f| f.get(t))
+                    .copied()
+                    .unwrap_or(c.hourly_price)
+            })
+            .collect();
+        out.insert(c.name.clone(), prices);
+    }
+    out
+}
+
+/// The entry's objective under today's prices (`None` if a node type in
+/// the shape has no price row — cannot happen for entries built from the
+/// same pool, but degrade to a miss rather than panic).
+fn reprice_entry(entry: &PlanCacheEntry, prices_now: &BTreeMap<String, Vec<f64>>) -> Option<f64> {
+    let dt = entry.plan.interval_hours;
+    let mut cost = entry.cost;
+    for (t, interval) in entry.plan.intervals.iter().enumerate() {
+        for (ty, &n) in &interval.nodes {
+            if n == 0 {
+                continue;
+            }
+            let old = entry.prices.get(ty)?.get(t)?;
+            let new = prices_now.get(ty)?.get(t)?;
+            cost += n as f64 * (new - old) * dt;
+        }
+    }
+    Some(cost)
+}
+
+/// Whether the shape fits the current residual capacity: every capped
+/// compute type has room for the entry's peak allocation.
+fn entry_fits(entry: &PlanCacheEntry, residual: &ResourcePool) -> bool {
+    residual.compute.iter().all(|c| match c.max_nodes {
+        Some(cap) => entry.peaks.get(&c.name).copied().unwrap_or(0) <= cap,
+        None => true,
+    })
 }
 
 /// A long-lived, incremental multi-tenant orchestration session — see the
@@ -905,6 +1273,19 @@ pub struct Fleet {
     observers: Vec<Box<dyn FleetObserver>>,
     /// Reusable batch buffer for `pop_due`.
     batch: Vec<ClockEvent>,
+    /// Incremental view of active-job node commitments backing
+    /// `residual_pool` (interior mutability: queries lazily refresh the
+    /// cache but are logically reads).
+    residual_index: RefCell<ResidualIndex>,
+    /// Cross-solve skeleton/basis reuse for admission and re-plan solves:
+    /// look-alike models drain through one factorization instead of each
+    /// paying a cold two-phase fill.
+    solve_ctx: SolveContext,
+    /// Admission plan cache (inert unless [`FleetConfig::plan_cache`]).
+    plan_cache: PlanCache,
+    /// Separate context for shadow-mode probes, so validation probing
+    /// never perturbs the basis chain of the real solves.
+    shadow_ctx: SolveContext,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -992,6 +1373,10 @@ impl Fleet {
             events: Vec::new(),
             observers: Vec::new(),
             batch: Vec::new(),
+            residual_index: RefCell::new(ResidualIndex::default()),
+            solve_ctx: SolveContext::new(),
+            plan_cache: PlanCache::default(),
+            shadow_ctx: SolveContext::new(),
         })
     }
 
@@ -1308,7 +1693,31 @@ impl Fleet {
         if let Some(breaker) = &self.breaker {
             report.breaker_open_hours = breaker.open_hours(self.stepped_to);
         }
+        report.plan_cache_hits = self.plan_cache.hits;
+        report.plan_cache_misses = self.plan_cache.misses;
         report
+    }
+
+    /// Shadow-mode validation counters:
+    /// `(compared, worse, max_excess, mean_excess)` — would-be cache hits
+    /// compared against the fresh solve that actually decided the
+    /// admission, how many re-priced worse than the fresh cost by more
+    /// than the solver's relative gap, and the worst / mean relative
+    /// excess observed (negative excess means the hit was cheaper than
+    /// the solve it would replace). All zero unless
+    /// [`FleetConfig::plan_cache_shadow`] is set.
+    pub fn plan_cache_shadow_stats(&self) -> (usize, usize, f64, f64) {
+        let mean = if self.plan_cache.shadow_checked > 0 {
+            self.plan_cache.shadow_excess_sum / self.plan_cache.shadow_checked as f64
+        } else {
+            0.0
+        };
+        (
+            self.plan_cache.shadow_checked,
+            self.plan_cache.shadow_worse,
+            self.plan_cache.shadow_excess_max,
+            mean,
+        )
     }
 
     // ---- the event loop -------------------------------------------------
@@ -1503,7 +1912,7 @@ impl Fleet {
         &mut self,
         request_idx: usize,
         now: f64,
-    ) -> Option<(ActiveJob, bool, Vec<(f64, conductor_mapreduce::JobEvent)>)> {
+    ) -> Option<Admission> {
         let request = self.requests[request_idx].clone();
         let residual = self.residual_pool(now, None);
         if let Err(reason) = residual.validate() {
@@ -1520,13 +1929,65 @@ impl Fleet {
             ),
             ..ModelConfig::default()
         };
-        let (plan, planning) = match planner.plan_with_config(&request.spec, request.goal, &config)
-        {
-            Ok(result) => result,
-            Err(e) => {
-                self.outcomes[request_idx].rejection =
-                    Some(format!("admission planning failed: {e}"));
-                return None;
+        // The fast path: a cached sibling plan that fits the residual and
+        // re-prices within the certified gap of this admission's root LP
+        // bound skips branch & bound entirely. In shadow mode the probe
+        // still runs (through its own solve context) but only for
+        // comparison — the full solve below keeps deciding.
+        let shadow = self.config.plan_cache_shadow;
+        let probe = match (self.config.plan_cache || shadow, request.goal) {
+            (true, Goal::MinimizeCost { deadline_hours }) => {
+                self.try_plan_cache(&planner, &request.spec, deadline_hours, &config, &residual)
+            }
+            _ => None,
+        };
+        let cached = if shadow { None } else { probe.clone() };
+        let (plan, planning) = match cached {
+            Some(result) => result,
+            None => {
+                match planner.plan_with_config_ctx(
+                    &request.spec,
+                    request.goal,
+                    &config,
+                    Some(&mut self.solve_ctx),
+                ) {
+                    Ok(result) => {
+                        if let Goal::MinimizeCost { deadline_hours } = request.goal {
+                            if self.config.plan_cache || shadow {
+                                if shadow {
+                                    if let Some((shadow_plan, _)) = &probe {
+                                        let fresh = result.0.expected_cost;
+                                        if fresh.is_finite() && fresh.abs() > f64::EPSILON {
+                                            let excess =
+                                                (shadow_plan.expected_cost - fresh) / fresh;
+                                            let cache = &mut self.plan_cache;
+                                            cache.shadow_checked += 1;
+                                            if excess > self.config.solve_options.relative_gap {
+                                                cache.shadow_worse += 1;
+                                            }
+                                            cache.shadow_excess_max =
+                                                cache.shadow_excess_max.max(excess);
+                                            cache.shadow_excess_sum += excess;
+                                        }
+                                    }
+                                }
+                                self.plan_cache_insert(
+                                    &request.spec,
+                                    deadline_hours,
+                                    &result.0,
+                                    &config,
+                                    &residual,
+                                );
+                            }
+                        }
+                        result
+                    }
+                    Err(e) => {
+                        self.outcomes[request_idx].rejection =
+                            Some(format!("admission planning failed: {e}"));
+                        return None;
+                    }
+                }
             }
         };
 
@@ -1542,9 +2003,10 @@ impl Fleet {
         // deadline is kept at the price of the discount. Without the
         // fallback tier the session still buys spot — at ceiling-priced
         // forecasts, it simply plans as if the discount were gone.
-        let fallback = self.breaker.as_ref().is_some_and(|b| {
-            b.is_engaged() && b.config().fallback == FallbackTier::OnDemand
-        });
+        let fallback = self
+            .breaker
+            .as_ref()
+            .is_some_and(|b| b.is_engaged() && b.config().fallback == FallbackTier::OnDemand);
         let pricing = match &self.config.spot_market {
             Some(_) if fallback => SessionPricing::OnDemand,
             Some(market) => SessionPricing::Spot {
@@ -1591,6 +2053,143 @@ impl Fleet {
             fallback,
             initial,
         ))
+    }
+
+    /// Probes the plan cache for a certified sibling plan. A hit must
+    /// pass two screens against *this* admission's state: the shape's
+    /// peak allocations fit the current residual caps, and its re-priced
+    /// objective is within the solver's relative gap of the fresh model's
+    /// root LP bound — a certificate of near-optimality that the cold
+    /// path's node-cap terminations do not even carry. Among qualifying
+    /// entries the cheapest re-priced shape wins. The root relaxation is
+    /// solved through the shared context either way, so a miss's full
+    /// solve warm-starts from it — except in shadow mode, which probes
+    /// through a separate context so the real solve sequence (and hence
+    /// the session trajectory) stays bitwise identical to cache-off.
+    fn try_plan_cache(
+        &mut self,
+        planner: &Planner,
+        spec: &JobSpec,
+        deadline_hours: f64,
+        config: &ModelConfig,
+        residual: &ResourcePool,
+    ) -> Option<(ExecutionPlan, PlanningReport)> {
+        let horizon = (deadline_hours / planner.interval_hours).ceil().max(1.0) as usize;
+        self.plan_cache.last_bound = None;
+        let ctx = if self.config.plan_cache_shadow {
+            &mut self.shadow_ctx
+        } else {
+            &mut self.solve_ctx
+        };
+        let root = match planner.root_bound_with_ctx(spec, deadline_hours, config, ctx) {
+            Ok(root) => root,
+            Err(_) => {
+                // An infeasible/failed relaxation: fall through to the full
+                // solve, which surfaces the identical error to the caller.
+                self.plan_cache.misses += 1;
+                return None;
+            }
+        };
+        self.plan_cache.last_bound = Some(root.bound);
+        let key = PlanCacheKey::new(spec, horizon);
+        let prices_now = resolved_prices(residual, &config.price_forecast, horizon);
+        let gap = self.config.solve_options.relative_gap;
+        let mut best: Option<(f64, usize)> = None;
+        if let (Some(pool), Some(typical)) = (
+            self.plan_cache.entries.get(&key),
+            self.plan_cache.typical_ratio(&key),
+        ) {
+            // The certification bar: what a *typical* fresh branch &
+            // bound delivers on this key (median cost-to-bound ratio of
+            // the recent fresh solves), scaled by today's root bound. A
+            // reused shape must re-price at or below that — i.e. be
+            // equal-or-better than the solve it replaces — with the
+            // solver's relative gap as the indifference band.
+            let bar = typical * (1.0 + gap) * root.bound;
+            for (i, entry) in pool.iter().enumerate() {
+                if !entry_fits(entry, residual) {
+                    continue;
+                }
+                let Some(repriced) = reprice_entry(entry, &prices_now) else {
+                    continue;
+                };
+                if repriced <= bar && best.is_none_or(|(cost, _)| repriced < cost) {
+                    best = Some((repriced, i));
+                }
+            }
+        }
+        let Some((repriced, i)) = best else {
+            self.plan_cache.misses += 1;
+            return None;
+        };
+        self.plan_cache.hits += 1;
+        let mut plan = self.plan_cache.entries[&key][i].plan.clone();
+        plan.expected_cost = repriced;
+        let planning = PlanningReport {
+            model_vars: root.model_vars,
+            model_constraints: root.model_constraints,
+            model_build_time: root.model_build_time,
+            solve_time: root.solve_time,
+            simplex_iterations: 0,
+            nodes_explored: 0,
+            warm_start_hits: 0,
+            warm_start_misses: 0,
+            basis_factorizations: 0,
+            basis_refactorizations: 0,
+        };
+        Some((plan, planning))
+    }
+
+    /// Records a freshly solved admission plan in the cache (oldest shape
+    /// evicted once a key holds [`PLAN_CACHE_POOL`] entries).
+    fn plan_cache_insert(
+        &mut self,
+        spec: &JobSpec,
+        deadline_hours: f64,
+        plan: &ExecutionPlan,
+        config: &ModelConfig,
+        residual: &ResourcePool,
+    ) {
+        let horizon = if plan.interval_hours > 0.0 {
+            (deadline_hours / plan.interval_hours).ceil().max(1.0) as usize
+        } else {
+            return;
+        };
+        // Without a root bound from this admission's probe the entry's
+        // quality ratio is unknowable, and an unknowable entry could
+        // neither certify nor serve as the bar — skip it.
+        let Some(bound) = self.plan_cache.last_bound.take() else {
+            return;
+        };
+        if !bound.is_finite() || bound <= 0.0 || !plan.expected_cost.is_finite() {
+            return;
+        }
+        let key = PlanCacheKey::new(spec, horizon);
+        let prices = resolved_prices(residual, &config.price_forecast, horizon);
+        let mut peaks: BTreeMap<String, usize> = BTreeMap::new();
+        for interval in &plan.intervals {
+            for (ty, &n) in &interval.nodes {
+                let peak = peaks.entry(ty.clone()).or_insert(0);
+                *peak = (*peak).max(n);
+            }
+        }
+        let entry = PlanCacheEntry {
+            plan: plan.clone(),
+            cost: plan.expected_cost,
+            ratio: plan.expected_cost / bound,
+            prices,
+            peaks,
+        };
+        let ratios = self.plan_cache.fresh_ratios.entry(key.clone()).or_default();
+        ratios.push(entry.ratio);
+        if ratios.len() > PLAN_CACHE_RATIO_WINDOW {
+            ratios.remove(0);
+        }
+        let pool = self.plan_cache.entries.entry(key).or_default();
+        pool.push(entry);
+        if pool.len() > PLAN_CACHE_POOL {
+            pool.remove(0);
+        }
     }
 
     /// Advances one job's execution process at fleet hour `now`, handling
@@ -2076,7 +2675,9 @@ impl Fleet {
             ..ModelConfig::default()
         };
         let planner = Planner::new(residual).with_solve_options(self.config.solve_options.clone());
-        let Ok((updated, _)) = planner.plan_with_config(&spec, remaining_goal, &config) else {
+        let Ok((updated, _)) =
+            planner.plan_with_config_ctx(&spec, remaining_goal, &config, Some(&mut self.solve_ctx))
+        else {
             return; // keep the current schedule; the next tick may retry
         };
 
@@ -2258,6 +2859,33 @@ impl Fleet {
     /// when re-planning that job: its own schedule is about to be
     /// replaced).
     fn residual_pool(&self, at: f64, exclude: Option<ProcessId>) -> ResourcePool {
+        let pool = {
+            let mut index = self.residual_index.borrow_mut();
+            index.sync(&self.active);
+            index.residual(&self.pool, at, exclude)
+        };
+        #[cfg(debug_assertions)]
+        {
+            let check = self.residual_pool_recompute(at, exclude);
+            debug_assert_eq!(
+                pool.compute.iter().map(|c| c.max_nodes).collect::<Vec<_>>(),
+                check
+                    .compute
+                    .iter()
+                    .map(|c| c.max_nodes)
+                    .collect::<Vec<_>>(),
+                "incremental residual index diverged from full recompute at t={at}"
+            );
+        }
+        pool
+    }
+
+    /// The original full resample: clone the pool, collect every sample
+    /// point, and re-evaluate every job's schedule at each one. Retained
+    /// as the debug-build cross-check oracle for the incremental index
+    /// (and its unit tests below exercise both paths).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn residual_pool_recompute(&self, at: f64, exclude: Option<ProcessId>) -> ResourcePool {
         let mut pool = self.pool.clone();
         // Sample the fleet commitment at `at` and at every future schedule
         // step of any running job; the peak over those samples is what a
@@ -2274,6 +2902,12 @@ impl Fleet {
                 }
             }
         }
+        // Near-coincident step times (two jobs whose schedules land within
+        // float noise of each other) sample identical commitments; keep one
+        // representative so the peak scan does bounded work per distinct
+        // instant.
+        sample_points.sort_by(|a, b| a.total_cmp(b));
+        sample_points.dedup_by(|next, kept| (*next - *kept).abs() <= TIME_EPSILON);
         for c in &mut pool.compute {
             let Some(cap) = c.max_nodes else {
                 continue; // uncapped resources have no contention
@@ -2314,7 +2948,12 @@ impl Fleet {
     ) -> BTreeMap<String, Vec<f64>> {
         let mut forecast = BTreeMap::new();
         if let Some(market) = &self.config.spot_market {
-            let start = now.floor().max(0.0) as usize;
+            // Epsilon-nudged like every other hour-bucket conversion in
+            // this file: a clock sitting just below an hour boundary
+            // (e.g. 5.999999999 after accumulated float steps) must
+            // forecast from hour 6, not re-read the expiring hour 5
+            // price for the whole horizon window.
+            let start = (now + TIME_EPSILON).floor().max(0.0) as usize;
             let mut prices = market.price_forecast(start, horizon);
             // An open breaker prices every remote hour at the on-demand
             // ceiling: the fleet has stopped trusting the trace, so plans

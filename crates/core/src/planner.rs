@@ -6,7 +6,7 @@ use crate::goal::Goal;
 use crate::model::{ModelConfig, ModelInstance};
 use crate::plan::ExecutionPlan;
 use crate::resources::ResourcePool;
-use conductor_lp::{LpError, SolveOptions};
+use conductor_lp::{LpError, SolveContext, SolveOptions};
 use conductor_mapreduce::JobSpec;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -53,6 +53,24 @@ impl PlanningReport {
             self.warm_start_hits as f64 / attempts as f64
         }
     }
+}
+
+/// A root LP relaxation bound plus the dimensions of the model it was
+/// computed on — what [`Planner::root_bound_with_ctx`] returns for plan
+/// cache certification and hit-path reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct RootBound {
+    /// Objective of the root LP relaxation in the problem's own sense — a
+    /// lower bound (for minimization) on every integral plan's cost.
+    pub bound: f64,
+    /// Decision variables in the generated model.
+    pub model_vars: usize,
+    /// Constraints in the generated model.
+    pub model_constraints: usize,
+    /// Time spent generating the model.
+    pub model_build_time: Duration,
+    /// Time spent solving the relaxation.
+    pub solve_time: Duration,
 }
 
 /// The planning front end.
@@ -125,23 +143,74 @@ impl Planner {
         goal: Goal,
         base_config: &ModelConfig,
     ) -> Result<(ExecutionPlan, PlanningReport), ConductorError> {
+        self.plan_with_config_ctx(spec, goal, base_config, None)
+    }
+
+    /// [`Self::plan_with_config`] with a cross-solve [`SolveContext`]: a
+    /// stream of look-alike admissions drains through one standard-form
+    /// skeleton and factorized basis, each solve warm-starting its root
+    /// from the previous solve's optimum instead of a cold two-phase fill.
+    pub fn plan_with_config_ctx(
+        &self,
+        spec: &JobSpec,
+        goal: Goal,
+        base_config: &ModelConfig,
+        ctx: Option<&mut SolveContext>,
+    ) -> Result<(ExecutionPlan, PlanningReport), ConductorError> {
         match goal {
             Goal::MinimizeCost { deadline_hours } => {
-                let horizon = (deadline_hours / self.interval_hours).ceil().max(1.0) as usize;
-                let config = ModelConfig {
-                    horizon_intervals: horizon,
-                    interval_hours: self.interval_hours,
-                    enable_migration: self.enable_migration || base_config.enable_migration,
-                    budget_usd: None,
-                    ..base_config.clone()
-                };
-                self.solve_config(spec, &config)
+                let config = self.min_cost_config(deadline_hours, base_config);
+                self.solve_config(spec, &config, ctx)
             }
             Goal::MinimizeTime {
                 budget_usd,
                 max_hours,
-            } => self.minimize_time(spec, budget_usd, max_hours, base_config),
+            } => self.minimize_time(spec, budget_usd, max_hours, base_config, ctx),
         }
+    }
+
+    /// The fully resolved model config a `MinimizeCost { deadline_hours }`
+    /// goal solves under.
+    fn min_cost_config(&self, deadline_hours: f64, base_config: &ModelConfig) -> ModelConfig {
+        let horizon = (deadline_hours / self.interval_hours).ceil().max(1.0) as usize;
+        ModelConfig {
+            horizon_intervals: horizon,
+            interval_hours: self.interval_hours,
+            enable_migration: self.enable_migration || base_config.enable_migration,
+            budget_usd: None,
+            ..base_config.clone()
+        }
+    }
+
+    /// Builds the minimize-cost model for `deadline_hours` and solves only
+    /// its root LP relaxation through `ctx` — the certified lower bound a
+    /// plan cache compares a candidate reused plan against, at a fraction
+    /// of a branch & bound's cost. Returns the bound together with the
+    /// model dimensions (for reporting). The context keeps the optimal
+    /// factorized basis, so a full solve on a cache miss warm-starts from
+    /// the relaxation just computed.
+    pub fn root_bound_with_ctx(
+        &self,
+        spec: &JobSpec,
+        deadline_hours: f64,
+        base_config: &ModelConfig,
+        ctx: &mut SolveContext,
+    ) -> Result<RootBound, ConductorError> {
+        let config = self.min_cost_config(deadline_hours, base_config);
+        let build_start = std::time::Instant::now();
+        let model = ModelInstance::build(&self.pool, spec, &config)?;
+        let model_build_time = build_start.elapsed();
+        let solve_start = std::time::Instant::now();
+        let bound = ctx
+            .relaxation_bound(&model.problem, self.solve_options.max_simplex_iterations)
+            .map_err(ConductorError::Planning)?;
+        Ok(RootBound {
+            bound,
+            model_vars: model.num_vars(),
+            model_constraints: model.num_constraints(),
+            model_build_time,
+            solve_time: solve_start.elapsed(),
+        })
     }
 
     /// Minimize-cost-style solve for a fully specified config.
@@ -149,11 +218,15 @@ impl Planner {
         &self,
         spec: &JobSpec,
         config: &ModelConfig,
+        ctx: Option<&mut SolveContext>,
     ) -> Result<(ExecutionPlan, PlanningReport), ConductorError> {
         let build_start = std::time::Instant::now();
         let model = ModelInstance::build(&self.pool, spec, config)?;
         let model_build_time = build_start.elapsed();
-        let solution = model.problem.solve_with(&self.solve_options)?;
+        let solution = match ctx {
+            Some(ctx) => model.problem.solve_with_context(&self.solve_options, ctx)?,
+            None => model.problem.solve_with(&self.solve_options)?,
+        };
         let plan = ExecutionPlan::from_solution(&model, &solution);
         let report = PlanningReport {
             model_vars: model.num_vars(),
@@ -179,6 +252,7 @@ impl Planner {
         budget_usd: f64,
         max_hours: f64,
         base_config: &ModelConfig,
+        mut ctx: Option<&mut SolveContext>,
     ) -> Result<(ExecutionPlan, PlanningReport), ConductorError> {
         let max_horizon = (max_hours / self.interval_hours).ceil().max(1.0) as usize;
         let mut lo = 1usize;
@@ -193,7 +267,7 @@ impl Planner {
             budget_usd: Some(budget_usd),
             ..base_config.clone()
         };
-        match self.solve_config(spec, &config_at(max_horizon)) {
+        match self.solve_config(spec, &config_at(max_horizon), ctx.as_deref_mut()) {
             Ok(result) => best = Some(result),
             Err(ConductorError::Planning(LpError::Infeasible | LpError::NoIncumbent)) => {
                 return Err(ConductorError::GoalUnattainable {
@@ -207,7 +281,7 @@ impl Planner {
 
         while lo < hi {
             let mid = (lo + hi) / 2;
-            match self.solve_config(spec, &config_at(mid)) {
+            match self.solve_config(spec, &config_at(mid), ctx.as_deref_mut()) {
                 Ok(result) => {
                     best = Some(result);
                     hi = mid;
@@ -239,7 +313,7 @@ impl Planner {
             fixed_storage_fraction: Some((storage.to_string(), fraction)),
             ..ModelConfig::default()
         };
-        let (plan, _) = self.solve_config(spec, &config)?;
+        let (plan, _) = self.solve_config(spec, &config, None)?;
         Ok(plan.expected_cost)
     }
 }

@@ -92,6 +92,27 @@ impl ConductorService {
         self
     }
 
+    /// Enables the admission plan cache: look-alike arrivals reuse a
+    /// sibling's plan shape when it fits the current residual capacity
+    /// and its re-priced cost is certified against a fresh root LP
+    /// relaxation bound, skipping the branch & bound solve entirely (see
+    /// [`FleetConfig::plan_cache`]). Off by default.
+    pub fn with_plan_cache(mut self, enable: bool) -> Self {
+        self.config.plan_cache = enable;
+        self
+    }
+
+    /// Enables plan-cache *shadow* validation: every admission probes the
+    /// cache and records how the would-be hit compares against the full
+    /// solve that actually decides, without ever using a cached plan (see
+    /// [`FleetConfig::plan_cache_shadow`]). The trajectory stays bitwise
+    /// identical to a cache-off run; query the comparison through
+    /// [`Fleet::plan_cache_shadow_stats`](crate::fleet::Fleet::plan_cache_shadow_stats).
+    pub fn with_plan_cache_shadow(mut self, enable: bool) -> Self {
+        self.config.plan_cache_shadow = enable;
+        self
+    }
+
     /// Overrides the monitor cadence and re-plan trigger tolerance. The
     /// values are validated when the fleet is opened ([`Self::open`] /
     /// [`Self::run`]): the period must be finite and positive, the

@@ -33,10 +33,167 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
     let lower: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
     let upper: Vec<f64> = problem.variables().iter().map(|v| v.upper).collect();
 
-    let mut solver = NodeSolver::new(problem, options, &lower, &upper)?;
+    let solver = NodeSolver::new(problem, options, &lower, &upper)?;
+    let (result, _solver) = solve_nodes(problem, options, start, solver, lower, upper, None);
+    result
+}
 
+/// Cross-solve reuse state for a stream of structurally look-alike problems
+/// — the batched-admission fast path. Holds one boxed standard-form
+/// skeleton, rebound in place when the next problem matches (same matrix,
+/// new RHS/objective), and one revised workspace whose factorized basis
+/// warm-starts the next solve's root from the previous solve's final basis.
+/// A problem that does not match falls back transparently to a rebuild.
+#[derive(Debug, Default)]
+pub struct SolveContext {
+    cached: Option<(Box<StandardFormSkeleton>, RevisedWorkspace)>,
+    last_basis: Vec<usize>,
+    skeleton_reuses: usize,
+    skeleton_rebuilds: usize,
+}
+
+impl SolveContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(reuses, rebuilds)` — how many solves rebound the cached skeleton in
+    /// place vs. paid for a fresh build.
+    pub fn reuse_counts(&self) -> (usize, usize) {
+        (self.skeleton_reuses, self.skeleton_rebuilds)
+    }
+
+    /// Warm-start counts accumulated by the shared workspace.
+    pub fn warm_start_counts(&self) -> (usize, usize) {
+        self.cached
+            .as_ref()
+            .map(|(_, ws)| ws.warm_start_counts())
+            .unwrap_or((0, 0))
+    }
+
+    /// Takes the cached engine, rebinding the skeleton to `problem` when the
+    /// layout matches; otherwise rebuilds the skeleton (keeping the
+    /// workspace's allocations, but invalidating its factorized state — the
+    /// warm-reuse guard is address-based and a fresh box can legally land on
+    /// a freed address).
+    fn engine_for(
+        &mut self,
+        problem: &Problem,
+        lower: &[f64],
+        upper: &[f64],
+    ) -> Result<(Box<StandardFormSkeleton>, RevisedWorkspace), LpError> {
+        if let Some((mut skeleton, mut ws)) = self.cached.take() {
+            if skeleton.rebind(problem, lower, upper) {
+                self.skeleton_reuses += 1;
+                return Ok((skeleton, ws));
+            }
+            ws.invalidate();
+            self.last_basis.clear();
+            let skeleton = Box::new(StandardFormSkeleton::new(problem, lower, upper)?);
+            self.skeleton_rebuilds += 1;
+            return Ok((skeleton, ws));
+        }
+        self.skeleton_rebuilds += 1;
+        Ok((
+            Box::new(StandardFormSkeleton::new(problem, lower, upper)?),
+            RevisedWorkspace::default(),
+        ))
+    }
+
+    /// Solves only the root LP relaxation of `problem` through the shared
+    /// skeleton/workspace and returns its objective in the problem's own
+    /// sense — the bound a plan-cache certificate compares a reused plan
+    /// against. The workspace keeps the optimal factorized state, so a full
+    /// solve of the same problem immediately afterwards warm-starts from it.
+    pub fn relaxation_bound(
+        &mut self,
+        problem: &Problem,
+        max_iterations: usize,
+    ) -> Result<f64, LpError> {
+        let lower: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
+        let upper: Vec<f64> = problem.variables().iter().map(|v| v.upper).collect();
+        let (skeleton, mut ws) = self.engine_for(problem, &lower, &upper)?;
+        let prev = std::mem::take(&mut self.last_basis);
+        let hint = if prev.is_empty() {
+            None
+        } else {
+            Some(prev.as_slice())
+        };
+        let result =
+            solve_with_skeleton_revised(&skeleton, &mut ws, &lower, &upper, hint, max_iterations);
+        match &result {
+            Ok(r) => self.last_basis = r.basis.clone(),
+            Err(_) => self.last_basis.clear(),
+        }
+        self.cached = Some((skeleton, ws));
+        result.map(|r| r.objective)
+    }
+}
+
+/// Like [`solve`], but shares `ctx`'s skeleton, factorized workspace and
+/// final basis across calls: each successive solve of a matching problem
+/// warm-starts its root from the previous solve's optimum instead of a cold
+/// two-phase fill. Engines other than [`Engine::RevisedSparse`] gain nothing
+/// from the context and delegate to the plain path.
+pub fn solve_with_context(
+    problem: &Problem,
+    options: &SolveOptions,
+    ctx: &mut SolveContext,
+) -> Result<Solution, LpError> {
+    if options.engine != Engine::RevisedSparse {
+        return solve(problem, options);
+    }
+    let start = Instant::now();
+    let lower: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
+    let upper: Vec<f64> = problem.variables().iter().map(|v| v.upper).collect();
+
+    let (skeleton, workspace) = ctx.engine_for(problem, &lower, &upper)?;
+    let root_basis = {
+        let prev = std::mem::take(&mut ctx.last_basis);
+        if prev.is_empty() {
+            None
+        } else {
+            Some(Rc::new(prev))
+        }
+    };
+    let solver = NodeSolver {
+        problem,
+        options,
+        engine: EngineState::Revised {
+            skeleton,
+            workspace,
+        },
+    };
+    let (result, solver) = solve_nodes(problem, options, start, solver, lower, upper, root_basis);
+    if let EngineState::Revised {
+        skeleton,
+        workspace,
+    } = solver.engine
+    {
+        ctx.last_basis = workspace.last_basis().to_vec();
+        ctx.cached = Some((skeleton, workspace));
+    }
+    result
+}
+
+/// Shared driver behind [`solve`] and [`solve_with_context`]: runs the
+/// single-relaxation path for pure LPs or the full branch & bound for MIPs,
+/// and hands the (possibly context-owned) engine back to the caller.
+fn solve_nodes<'a>(
+    problem: &'a Problem,
+    options: &'a SolveOptions,
+    start: Instant,
+    mut solver: NodeSolver<'a>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    root_basis: Option<Rc<Vec<usize>>>,
+) -> (Result<Solution, LpError>, NodeSolver<'a>) {
     if !problem.is_mip() {
-        let r = solver.solve_node(&lower, &upper, None)?;
+        let hint = root_basis.as_ref().map(|b| b.as_slice());
+        let r = match solver.solve_node(&lower, &upper, hint) {
+            Ok(r) => r,
+            Err(e) => return (Err(e), solver),
+        };
         let (basis_factorizations, basis_refactorizations) = solver.factorization_counts();
         let stats = SolveStats {
             simplex_iterations: r.iterations,
@@ -48,15 +205,20 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
             basis_factorizations,
             basis_refactorizations,
         };
-        return Ok(Solution::new(
-            SolveStatus::Optimal,
-            r.objective,
-            r.values,
-            stats,
-        ));
+        return (
+            Ok(Solution::new(
+                SolveStatus::Optimal,
+                r.objective,
+                r.values,
+                stats,
+            )),
+            solver,
+        );
     }
 
-    BranchAndBound::new(problem, options, start, solver).run(lower, upper)
+    let mut bb = BranchAndBound::new(problem, options, start, solver);
+    let result = bb.run(lower, upper, root_basis);
+    (result, bb.node_solver)
 }
 
 /// Per-tree LP backend: the engine selected by [`SolveOptions::engine`] with
@@ -73,9 +235,11 @@ enum EngineState {
         skeleton: StandardFormSkeleton,
         workspace: SimplexWorkspace,
     },
-    /// Sparse revised simplex over an LU-factorized basis.
+    /// Sparse revised simplex over an LU-factorized basis. The skeleton is
+    /// boxed so its address (the workspace's warm-reuse tag) stays stable
+    /// when the engine moves between a [`SolveContext`] and a solve.
     Revised {
-        skeleton: StandardFormSkeleton,
+        skeleton: Box<StandardFormSkeleton>,
         workspace: RevisedWorkspace,
     },
 }
@@ -100,7 +264,7 @@ impl<'a> NodeSolver<'a> {
                 workspace: SimplexWorkspace::default(),
             },
             Engine::RevisedSparse => EngineState::Revised {
-                skeleton: StandardFormSkeleton::new(problem, root_lower, root_upper)?,
+                skeleton: Box::new(StandardFormSkeleton::new(problem, root_lower, root_upper)?),
                 workspace: RevisedWorkspace::default(),
             },
         };
@@ -307,7 +471,12 @@ impl<'a> BranchAndBound<'a> {
         objective * self.sense_factor
     }
 
-    fn run(mut self, root_lower: Vec<f64>, root_upper: Vec<f64>) -> Result<Solution, LpError> {
+    fn run(
+        &mut self,
+        root_lower: Vec<f64>,
+        root_upper: Vec<f64>,
+        root_basis: Option<Rc<Vec<usize>>>,
+    ) -> Result<Solution, LpError> {
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
         heap.push(HeapEntry {
             order: f64::NEG_INFINITY,
@@ -316,7 +485,7 @@ impl<'a> BranchAndBound<'a> {
                 upper: root_upper,
                 bound: f64::NEG_INFINITY,
                 depth: 0,
-                basis: None,
+                basis: root_basis,
             },
         });
 
@@ -405,7 +574,7 @@ impl<'a> BranchAndBound<'a> {
             self.node_solver.factorization_counts();
 
         let sense_factor = self.sense_factor;
-        match self.incumbent {
+        match self.incumbent.take() {
             Some((obj, values)) => {
                 let remaining_bound = heap.peek().map(|e| e.node.bound).unwrap_or(f64::INFINITY);
                 let inc_min = obj * sense_factor;

@@ -45,6 +45,7 @@ pub mod simplex;
 pub mod solution;
 pub mod sparse;
 
+pub use branch_bound::SolveContext;
 pub use error::LpError;
 pub use expr::{LinExpr, VarId};
 pub use problem::{ConstraintOp, Engine, Problem, Sense, SolveOptions, VarKind};

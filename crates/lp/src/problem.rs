@@ -354,6 +354,18 @@ impl Problem {
         branch_bound::solve(self, options)
     }
 
+    /// Solves with explicit options through a [`branch_bound::SolveContext`],
+    /// sharing one skeleton/factorization with the context's previous solves
+    /// and warm-starting the root from the last final basis.
+    pub fn solve_with_context(
+        &self,
+        options: &SolveOptions,
+        ctx: &mut branch_bound::SolveContext,
+    ) -> Result<Solution, LpError> {
+        self.validate()?;
+        branch_bound::solve_with_context(self, options, ctx)
+    }
+
     /// `true` if any variable requires branch & bound (integer or semi-continuous).
     pub fn is_mip(&self) -> bool {
         self.variables

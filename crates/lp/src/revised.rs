@@ -132,6 +132,22 @@ impl RevisedWorkspace {
     pub fn factorization_counts(&self) -> (usize, usize) {
         (self.bf.factorizations, self.bf.refactorizations)
     }
+
+    /// The basis left by the last successful solve (empty before any).
+    /// A caller holding this basis is authorized to pass it as the
+    /// `basis_hint` of a later solve against the *same* skeleton.
+    pub fn last_basis(&self) -> &[usize] {
+        &self.basis
+    }
+
+    /// Declares the factorized state stale so the next solve takes the cold
+    /// path. Must be called whenever the skeleton this workspace was filled
+    /// against is dropped or rebuilt: the warm-reuse guard compares skeleton
+    /// *addresses*, and a fresh allocation can legally reuse a freed one.
+    pub fn invalidate(&mut self) {
+        self.reusable = false;
+        self.skeleton_tag = 0;
+    }
 }
 
 /// Outcome of a warm-start attempt (mirrors the dense engine).

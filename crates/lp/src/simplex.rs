@@ -308,6 +308,117 @@ impl StandardFormSkeleton {
         self.nodes_stable
     }
 
+    /// Re-targets this skeleton at `problem` under new root bounds without
+    /// rebuilding, provided the standard-form layout is unchanged: the same
+    /// per-variable classification (span allocation included) and the same
+    /// constraint scatter pattern (operators and coefficients, term for
+    /// term). Only the parts a look-alike problem is allowed to vary — the
+    /// per-row RHS, the objective, the sense and the stored root bounds —
+    /// are refreshed in place.
+    ///
+    /// Returns `false` (leaving the skeleton untouched) on any structural
+    /// mismatch; the caller should build a fresh skeleton instead. On
+    /// success a workspace previously filled against this skeleton remains
+    /// valid for warm reuse, because the constraint matrix is bit-for-bit
+    /// identical — this is what lets a stream of admission solves share one
+    /// factorization (see [`crate::branch_bound::SolveContext`]).
+    pub fn rebind(&mut self, problem: &Problem, lower: &[f64], upper: &[f64]) -> bool {
+        let n = problem.num_vars();
+        if n != self.var_map.len()
+            || lower.len() != n
+            || upper.len() != n
+            || problem.num_constraints() != self.rows.len()
+        {
+            return false;
+        }
+        // Verify the classification each (bound pattern, kind) pair would
+        // get matches the existing layout. A bound flip that changes the
+        // layout (or makes the root infeasible) must take the rebuild path.
+        let mut nodes_stable = true;
+        for (i, v) in problem.variables().iter().enumerate() {
+            let (lo, hi) = (lower[i], upper[i]);
+            if lo > hi + FEAS_TOL {
+                return false;
+            }
+            let branchable = !matches!(v.kind, VarKind::Continuous);
+            let fixed = lo.is_finite() && hi.is_finite() && (hi - lo).abs() <= 1e-12;
+            let ok = match self.var_map[i] {
+                VarMap::Fixed => {
+                    if branchable {
+                        nodes_stable = false;
+                    }
+                    fixed
+                }
+                VarMap::Shifted { col } => {
+                    let wants_span = hi.is_finite() || branchable;
+                    let has_span = self.span_rows.iter().any(|&(c, _)| c == col);
+                    !fixed && lo.is_finite() && wants_span == has_span
+                }
+                VarMap::Mirrored { .. } => {
+                    if branchable {
+                        nodes_stable = false;
+                    }
+                    !fixed && !lo.is_finite() && hi.is_finite()
+                }
+                VarMap::Split { .. } => {
+                    if branchable {
+                        nodes_stable = false;
+                    }
+                    !lo.is_finite() && !hi.is_finite()
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        // The constraint matrix must be identical term for term; only the
+        // RHS may move.
+        for (row, c) in self.rows.iter().zip(problem.constraints()) {
+            if row.op != c.op || row.terms.len() != c.expr.len() {
+                return false;
+            }
+            for (&(var, coef), (v2, c2)) in row.terms.iter().zip(c.expr.terms()) {
+                if var != v2.index() || coef != c2 {
+                    return false;
+                }
+            }
+        }
+
+        // Commit: refresh RHS, objective, sense and root bounds in place.
+        let sense_factor = match problem.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        self.sense_factor = sense_factor;
+        self.nodes_stable = nodes_stable;
+        for (row, c) in self.rows.iter_mut().zip(problem.constraints()) {
+            row.base_rhs = c.rhs - c.expr.constant();
+        }
+        for slot in self.c.iter_mut() {
+            *slot = 0.0;
+        }
+        self.obj_terms.clear();
+        for (var, coef) in problem.objective().terms() {
+            let coef = coef * sense_factor;
+            self.obj_terms.push((var.index(), coef));
+            match self.var_map[var.index()] {
+                VarMap::Shifted { col } => self.c[col] += coef,
+                VarMap::Mirrored { col } => self.c[col] -= coef,
+                VarMap::Split { pos, neg } => {
+                    self.c[pos] += coef;
+                    self.c[neg] -= coef;
+                }
+                VarMap::Fixed => {}
+            }
+        }
+        self.obj_base = problem.objective().constant() * sense_factor;
+        self.root_lower.clear();
+        self.root_lower.extend_from_slice(lower);
+        self.root_upper.clear();
+        self.root_upper.extend_from_slice(upper);
+        true
+    }
+
     /// `true` when the given bound overrides are expressible against this
     /// skeleton's fixed layout (classification per variable unchanged).
     pub fn compatible(&self, lower: &[f64], upper: &[f64]) -> bool {

@@ -297,6 +297,11 @@ pub struct JobExecution<'a> {
     /// [`Self::straggler_extensions`]); fleet drivers diff this across a
     /// wakeup to surface the extension as a typed event.
     straggler_extensions: usize,
+    /// Bumped on every mutation of `options.node_schedule` (splices,
+    /// straggler extensions, revocation shifts). Observers caching a
+    /// derived view of the schedule (the fleet's incremental residual
+    /// index) compare epochs instead of diffing the steps.
+    schedule_epoch: u64,
 
     phase: JobPhase,
     report: Option<ExecutionReport>,
@@ -414,6 +419,7 @@ impl<'a> JobExecution<'a> {
             upload_done_at,
             s3_gb,
             straggler_extensions: 0,
+            schedule_epoch: 0,
             phase: JobPhase::Processing,
             report: None,
         })
@@ -478,6 +484,14 @@ impl<'a> JobExecution<'a> {
     /// hours. Fleet drivers read this to compute residual capacity.
     pub fn node_schedule(&self) -> &[NodeAllocation] {
         &self.options.node_schedule
+    }
+
+    /// Monotone counter bumped on every mutation of the node schedule.
+    /// Equal epochs guarantee [`Self::node_schedule`] is unchanged, so a
+    /// cached derivation of it (e.g. the fleet's residual-capacity index)
+    /// can skip re-reading the steps.
+    pub fn schedule_epoch(&self) -> u64 {
+        self.schedule_epoch
     }
 
     /// The time of the next state change this job expects after `now`, or
@@ -626,6 +640,7 @@ impl<'a> JobExecution<'a> {
             nodes: step.nodes.min(stragglers),
         };
         self.options.node_schedule.push(extension);
+        self.schedule_epoch += 1;
         self.schedule_points.push(now);
         self.schedule_points
             .sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -738,6 +753,7 @@ impl<'a> JobExecution<'a> {
             }
         }
         self.options.node_schedule.extend(new_steps);
+        self.schedule_epoch += 1;
         self.options
             .node_schedule
             .sort_by(|a, b| a.from_hour.partial_cmp(&b.from_hour).unwrap());
@@ -841,6 +857,7 @@ impl<'a> JobExecution<'a> {
                         step.from_hour += shift;
                     }
                 }
+                self.schedule_epoch += 1;
                 self.schedule_points = self
                     .options
                     .node_schedule

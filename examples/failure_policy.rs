@@ -133,7 +133,11 @@ fn main() {
     // market, at the on-demand price.
     let report = summary.tenant("report").unwrap();
     let exec = report.execution.as_ref().expect("fallback tenant ran");
-    assert_eq!(exec.met_deadline, Some(true), "fallback missed the deadline");
+    assert_eq!(
+        exec.met_deadline,
+        Some(true),
+        "fallback missed the deadline"
+    );
     assert!(fleet.events().iter().any(|e| matches!(
         e,
         FleetEvent::FallbackEngaged { tenant, .. } if *tenant == report_id

@@ -8,12 +8,12 @@
 
 use conductor_bench::experiments::{churn_fixture, churn_policy, run_fleet_online};
 use conductor_cloud::{Catalog, SpotMarket, SpotTrace, TraceKind};
+use conductor_core::policy::FaultEvent;
 use conductor_core::{
     BreakerState, CircuitBreakerConfig, ConductorService, FailurePolicy, FailureThreshold,
     FallbackTier, FaultKind, FaultPlan, FleetEvent, FleetJobRequest, Goal, OutcomeClass,
     ResourcePool, RetryPolicy, TenantState,
 };
-use conductor_core::policy::FaultEvent;
 use conductor_lp::SolveOptions;
 use conductor_mapreduce::Workload;
 use std::time::Duration;
@@ -184,10 +184,10 @@ fn exhausted_retries_land_in_the_dead_letter_queue() {
     assert_eq!(dl.tenant_name, "doomed");
 
     // The DeadLettered event mirrors the queue entry.
-    assert!(fleet.events().iter().any(|e| matches!(
-        e,
-        FleetEvent::DeadLettered { attempts: 3, .. }
-    )));
+    assert!(fleet
+        .events()
+        .iter()
+        .any(|e| matches!(e, FleetEvent::DeadLettered { attempts: 3, .. })));
 
     // Backoff doubles per attempt: second retry arrives 1.0 h (not
     // 0.5 h) after its predecessor's death.
@@ -239,7 +239,9 @@ fn admission_pauses_on_failures_and_resumes_on_successes() {
     // `late-paused` arrives while the gate is down; `late-open` after the
     // completions have resumed it (MinimizeCost stretches `c` and `d`
     // toward their hour-8.2/8.3 deadlines, so the resume lands there).
-    fleet.submit(small_request("late-paused", 2.0, 10.0)).unwrap();
+    fleet
+        .submit(small_request("late-paused", 2.0, 10.0))
+        .unwrap();
     fleet.submit(small_request("late-open", 9.5, 16.0)).unwrap();
     fleet.run_to_quiescence();
     let report = fleet.report();
@@ -290,12 +292,10 @@ fn breaker_walks_open_half_open_closed_and_fallback_keeps_the_deadline() {
         success_threshold_hours: 2,
         fallback: FallbackTier::OnDemand,
     };
-    let svc = storm_service(storm_prices(72, 2, 5), 0.30, 200).with_failure_policy(
-        FailurePolicy {
-            circuit_breaker: Some(breaker),
-            ..FailurePolicy::default()
-        },
-    );
+    let svc = storm_service(storm_prices(72, 2, 5), 0.30, 200).with_failure_policy(FailurePolicy {
+        circuit_breaker: Some(breaker),
+        ..FailurePolicy::default()
+    });
     let mut fleet = svc.open().unwrap();
     // `steady` holds spot nodes into the storm, eating all three strikes.
     fleet
@@ -454,8 +454,7 @@ fn faulted_churn_reruns_are_bitwise_identical() {
     // for bit — serialized JSON is compared verbatim, so every float in
     // every tenant record participates.
     let run = || {
-        let (requests, service) =
-            conductor_bench::experiments::faulted_churn_fixture(32, 1.0);
+        let (requests, service) = conductor_bench::experiments::faulted_churn_fixture(32, 1.0);
         run_fleet_online(&service, &requests)
     };
     let a = run();
@@ -516,8 +515,7 @@ fn canonical_json(report: &conductor_core::FleetReport) -> String {
 #[ignore = "full-size fixture; run with --ignored in release mode"]
 fn faulted_churn_200_jobs_reruns_are_bitwise_identical() {
     let run = || {
-        let (requests, service) =
-            conductor_bench::experiments::faulted_churn_fixture(200, 1.0);
+        let (requests, service) = conductor_bench::experiments::faulted_churn_fixture(200, 1.0);
         run_fleet_online(&service, &requests)
     };
     let a = run();
