@@ -45,9 +45,26 @@ pub struct SolverBenchRow {
     pub seed_cost: Option<f64>,
     pub dense_cost: f64,
     pub revised_cost: f64,
+    /// Revised engine with each flagged solver-core upgrade stacked on:
+    /// bounded-variable simplex alone, then with Forrest–Tomlin updates,
+    /// then with dual steepest-edge pricing too (the full new
+    /// configuration). All four revised columns must land on the same
+    /// plan cost.
+    pub bounded_solve_ms: f64,
+    pub bounded_ft_solve_ms: f64,
+    pub full_solve_ms: f64,
+    pub full_cost: f64,
+    /// `revised_solve_ms / full_solve_ms` — the rebuild's per-row gain
+    /// over the legacy (span-row, eta-file, Dantzig-repair) engine.
+    pub speedup_full_vs_legacy: f64,
     /// Revised-engine branch & bound statistics.
     pub nodes: usize,
     pub simplex_iterations: usize,
+    /// Pivot counters for the full new configuration: ratio-test bound
+    /// flips (pivots the bounded-variable mode avoided entirely) and
+    /// Forrest–Tomlin factor updates (eta appends avoided).
+    pub bound_flips: usize,
+    pub ft_updates: usize,
     pub warm_start_hits: usize,
     pub warm_start_misses: usize,
     pub warm_start_rate: f64,
@@ -73,7 +90,11 @@ pub struct SolverBenchRow {
 pub struct AdmissionBenchRow {
     /// Poisson arrivals in the fixture.
     pub jobs: usize,
-    /// End-to-end wall clock with the plan cache off / on, seconds.
+    /// End-to-end wall clock with the plan cache off / on, seconds. The
+    /// cold and cached runs use the full new solver configuration
+    /// (bounded-variables + Forrest–Tomlin + dual steepest-edge) — the
+    /// engine this rebuild ships; the legacy columns below keep the
+    /// span-row engine's cold path for comparison.
     pub cold_wall_s: f64,
     pub cached_wall_s: f64,
     /// Admission decisions per second of end-to-end wall clock.
@@ -81,22 +102,46 @@ pub struct AdmissionBenchRow {
     pub cached_admissions_per_sec: f64,
     /// `cold_wall_s / cached_wall_s` (equals the admissions/sec ratio).
     pub wall_speedup: f64,
+    /// Cold path under the legacy revised engine (all new flags off).
+    #[serde(default)]
+    pub legacy_cold_wall_s: f64,
+    #[serde(default)]
+    pub legacy_cold_admissions_per_sec: f64,
+    /// `legacy_cold_wall_s / cold_wall_s` — the solver-core rebuild's
+    /// end-to-end gain on the cold admission path.
+    #[serde(default)]
+    pub cold_speedup_vs_legacy: f64,
     /// Certified cache hits (branch & bound skipped) and misses on the
     /// cached run.
     pub plan_cache_hits: usize,
     pub plan_cache_misses: usize,
 }
 
+/// The full new solver configuration on top of `base`: bounded-variable
+/// simplex, Forrest–Tomlin updates and dual steepest-edge pricing.
+fn full_flags(base: SolveOptions) -> SolveOptions {
+    SolveOptions {
+        bounded_variables: true,
+        forrest_tomlin: true,
+        dual_steepest_edge: true,
+        ..base
+    }
+}
+
 /// Measures [`AdmissionBenchRow`] on a `jobs`-arrival churn fleet.
 pub fn admission_benchmark(jobs: usize) -> AdmissionBenchRow {
     let (requests, service) = churn_fixture(jobs, 1.0);
     let t0 = Instant::now();
-    let _cold = run_fleet_online(&service, &requests);
-    let cold_wall = t0.elapsed().as_secs_f64();
-    let cached_service = service.with_plan_cache(true);
+    let _legacy_cold = run_fleet_online(&service, &requests);
+    let legacy_cold_wall = t0.elapsed().as_secs_f64();
+    let full_service = service.with_solve_options(full_flags(crate::experiments::solver_options()));
     let t1 = Instant::now();
+    let _cold = run_fleet_online(&full_service, &requests);
+    let cold_wall = t1.elapsed().as_secs_f64();
+    let cached_service = full_service.with_plan_cache(true);
+    let t2 = Instant::now();
     let cached = run_fleet_online(&cached_service, &requests);
-    let cached_wall = t1.elapsed().as_secs_f64();
+    let cached_wall = t2.elapsed().as_secs_f64();
     AdmissionBenchRow {
         jobs,
         cold_wall_s: cold_wall,
@@ -104,6 +149,9 @@ pub fn admission_benchmark(jobs: usize) -> AdmissionBenchRow {
         cold_admissions_per_sec: jobs as f64 / cold_wall.max(1e-9),
         cached_admissions_per_sec: jobs as f64 / cached_wall.max(1e-9),
         wall_speedup: cold_wall / cached_wall.max(1e-9),
+        legacy_cold_wall_s: legacy_cold_wall,
+        legacy_cold_admissions_per_sec: jobs as f64 / legacy_cold_wall.max(1e-9),
+        cold_speedup_vs_legacy: legacy_cold_wall / cold_wall.max(1e-9),
         plan_cache_hits: cached.plan_cache_hits,
         plan_cache_misses: cached.plan_cache_misses,
     }
@@ -129,6 +177,13 @@ pub struct SolverBenchReport {
     pub min_speedup_vs_dense: f64,
     /// Geometric mean of the per-row revised-vs-dense speedups.
     pub geomean_speedup_vs_dense: f64,
+    /// Minimum / geometric-mean per-row speedup of the full new solver
+    /// configuration (bounded-variables + FT + DSE) over the legacy
+    /// revised engine — the CI floor is on the geomean.
+    #[serde(default)]
+    pub min_speedup_full_vs_legacy: f64,
+    #[serde(default)]
+    pub geomean_speedup_full_vs_legacy: f64,
     /// Revised-engine warm-start hits / attempts across all rows.
     pub overall_warm_start_rate: f64,
     /// Churn-fleet admission throughput, plan cache off vs on (`None` in
@@ -227,6 +282,23 @@ pub fn bench_workload(input_gb: u32, migration: bool) -> SolverBenchRow {
         run_best(input_gb, migration, engine_opts(Engine::RevisedSparse))
             .expect("revised engine must complete the bench workloads");
 
+    // The flagged solver-core upgrades, stacked in the order the ablation
+    // reads: bounded-variable simplex, + Forrest–Tomlin, + dual
+    // steepest-edge (the full new configuration).
+    let flagged = |bounded: bool, ft: bool, dse: bool| SolveOptions {
+        bounded_variables: bounded,
+        forrest_tomlin: ft,
+        dual_steepest_edge: dse,
+        ..engine_opts(Engine::RevisedSparse)
+    };
+    let (_, bounded_solve, _, _) = run_best(input_gb, migration, flagged(true, false, false))
+        .expect("bounded-variable engine must complete the bench workloads");
+    let (_, bounded_ft_solve, _, _) = run_best(input_gb, migration, flagged(true, true, false))
+        .expect("bounded+FT engine must complete the bench workloads");
+    let (_, full_solve, full_cost, full_report) =
+        run_best(input_gb, migration, flagged(true, true, true))
+            .expect("full new configuration must complete the bench workloads");
+
     SolverBenchRow {
         workload: format!("kmeans-{input_gb}gb{}", if migration { "-mig" } else { "" }),
         input_gb,
@@ -241,8 +313,15 @@ pub fn bench_workload(input_gb: u32, migration: bool) -> SolverBenchRow {
         seed_cost: seed.as_ref().map(|s| s.2),
         dense_cost,
         revised_cost,
+        bounded_solve_ms: bounded_solve,
+        bounded_ft_solve_ms: bounded_ft_solve,
+        full_solve_ms: full_solve,
+        full_cost,
+        speedup_full_vs_legacy: revised_solve / full_solve.max(1e-9),
         nodes: report.nodes_explored,
         simplex_iterations: report.simplex_iterations,
+        bound_flips: full_report.bound_flips,
+        ft_updates: full_report.ft_updates,
         warm_start_hits: report.warm_start_hits,
         warm_start_misses: report.warm_start_misses,
         warm_start_rate: report.warm_start_rate(),
@@ -272,6 +351,7 @@ pub fn solver_benchmark() -> SolverBenchReport {
     };
     let min_of = |xs: &[f64]| xs.iter().copied().reduce(f64::min);
     let vs_dense: Vec<f64> = rows.iter().map(|r| r.speedup_vs_dense).collect();
+    let full_vs_legacy: Vec<f64> = rows.iter().map(|r| r.speedup_full_vs_legacy).collect();
     let hits: usize = rows.iter().map(|r| r.warm_start_hits).sum();
     let misses: usize = rows.iter().map(|r| r.warm_start_misses).sum();
     let overall_rate = if hits + misses == 0 {
@@ -288,6 +368,8 @@ pub fn solver_benchmark() -> SolverBenchReport {
         seed_dnf_rows: rows.iter().filter(|r| r.seed_solve_ms.is_none()).count(),
         min_speedup_vs_dense: min_of(&vs_dense).expect("non-empty matrix"),
         geomean_speedup_vs_dense: geomean(&vs_dense).expect("non-empty matrix"),
+        min_speedup_full_vs_legacy: min_of(&full_vs_legacy).expect("non-empty matrix"),
+        geomean_speedup_full_vs_legacy: geomean(&full_vs_legacy).expect("non-empty matrix"),
         overall_warm_start_rate: overall_rate,
         admission: Some(admission_benchmark(200)),
         rows,
@@ -329,12 +411,36 @@ pub fn render_report(report: &SolverBenchReport) -> String {
         report.geomean_speedup_vs_dense,
         report.overall_warm_start_rate * 100.0
     ));
+    out.push_str(
+        "\nsolver-core ablation (revised engine, flags stacked):\n\
+         workload          legacy ms  +bounded  +bounded+ft      full  full vs legacy  iterations  bound-flips  ft-updates\n",
+    );
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{:<16} {:>10.1} {:>9.1} {:>12.1} {:>9.1} {:>14.2}x {:>11} {:>12} {:>11}\n",
+            r.workload,
+            r.revised_solve_ms,
+            r.bounded_solve_ms,
+            r.bounded_ft_solve_ms,
+            r.full_solve_ms,
+            r.speedup_full_vs_legacy,
+            r.simplex_iterations,
+            r.bound_flips,
+            r.ft_updates,
+        ));
+    }
+    out.push_str(&format!(
+        "full config vs legacy revised: min {:.2}x geomean {:.2}x\n",
+        report.min_speedup_full_vs_legacy, report.geomean_speedup_full_vs_legacy,
+    ));
     if let Some(a) = &report.admission {
         out.push_str(&format!(
-            "churn admissions ({} jobs): cold {:.1}/s ({:.2} s), plan cache {:.1}/s ({:.2} s) = {:.2}x, {} hits / {} misses\n",
+            "churn admissions ({} jobs): cold {:.1}/s ({:.2} s; legacy engine {:.1}/s = {:.2}x), plan cache {:.1}/s ({:.2} s) = {:.2}x, {} hits / {} misses\n",
             a.jobs,
             a.cold_admissions_per_sec,
             a.cold_wall_s,
+            a.legacy_cold_admissions_per_sec,
+            a.cold_speedup_vs_legacy,
             a.cached_admissions_per_sec,
             a.cached_wall_s,
             a.wall_speedup,

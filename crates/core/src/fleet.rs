@@ -1908,11 +1908,7 @@ impl Fleet {
     /// builds its execution process. Returns `None` (after recording the
     /// rejection) when no feasible plan exists; the middle flag reports
     /// whether the breaker's on-demand fallback tier was engaged.
-    fn admit(
-        &mut self,
-        request_idx: usize,
-        now: f64,
-    ) -> Option<Admission> {
+    fn admit(&mut self, request_idx: usize, now: f64) -> Option<Admission> {
         let request = self.requests[request_idx].clone();
         let residual = self.residual_pool(now, None);
         if let Err(reason) = residual.validate() {
@@ -2136,6 +2132,8 @@ impl Fleet {
             warm_start_misses: 0,
             basis_factorizations: 0,
             basis_refactorizations: 0,
+            bound_flips: 0,
+            ft_updates: 0,
         };
         Some((plan, planning))
     }

@@ -41,6 +41,14 @@ pub struct PlanningReport {
     /// check (subset of `basis_factorizations`).
     #[serde(default)]
     pub basis_refactorizations: usize,
+    /// Bound flips by the bounded-variable ratio test (0 unless
+    /// `SolveOptions::bounded_variables` is on).
+    #[serde(default)]
+    pub bound_flips: usize,
+    /// Forrest–Tomlin factor updates (0 unless
+    /// `SolveOptions::forrest_tomlin` is on).
+    #[serde(default)]
+    pub ft_updates: usize,
 }
 
 impl PlanningReport {
@@ -202,7 +210,11 @@ impl Planner {
         let model_build_time = build_start.elapsed();
         let solve_start = std::time::Instant::now();
         let bound = ctx
-            .relaxation_bound(&model.problem, self.solve_options.max_simplex_iterations)
+            .relaxation_bound(
+                &model.problem,
+                &self.solve_options,
+                self.solve_options.max_simplex_iterations,
+            )
             .map_err(ConductorError::Planning)?;
         Ok(RootBound {
             bound,
@@ -239,6 +251,8 @@ impl Planner {
             warm_start_misses: solution.stats().warm_start_misses,
             basis_factorizations: solution.stats().basis_factorizations,
             basis_refactorizations: solution.stats().basis_refactorizations,
+            bound_flips: solution.stats().bound_flips,
+            ft_updates: solution.stats().ft_updates,
         };
         Ok((plan, report))
     }

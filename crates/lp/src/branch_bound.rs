@@ -75,29 +75,41 @@ impl SolveContext {
     /// layout matches; otherwise rebuilds the skeleton (keeping the
     /// workspace's allocations, but invalidating its factorized state — the
     /// warm-reuse guard is address-based and a fresh box can legally land on
-    /// a freed address).
+    /// a freed address). The skeleton mode and workspace configuration
+    /// follow `options`; a cached legacy skeleton cannot serve a
+    /// bounded-variable solve (or vice versa) and is rebuilt.
     fn engine_for(
         &mut self,
         problem: &Problem,
+        options: &SolveOptions,
         lower: &[f64],
         upper: &[f64],
     ) -> Result<(Box<StandardFormSkeleton>, RevisedWorkspace), LpError> {
+        let build = |lo: &[f64], hi: &[f64]| {
+            if options.bounded_variables {
+                StandardFormSkeleton::new_bounded(problem, lo, hi)
+            } else {
+                StandardFormSkeleton::new(problem, lo, hi)
+            }
+        };
         if let Some((mut skeleton, mut ws)) = self.cached.take() {
-            if skeleton.rebind(problem, lower, upper) {
+            ws.configure(options.forrest_tomlin, options.dual_steepest_edge);
+            if skeleton.is_bounded() == options.bounded_variables
+                && skeleton.rebind(problem, lower, upper)
+            {
                 self.skeleton_reuses += 1;
                 return Ok((skeleton, ws));
             }
             ws.invalidate();
             self.last_basis.clear();
-            let skeleton = Box::new(StandardFormSkeleton::new(problem, lower, upper)?);
+            let skeleton = Box::new(build(lower, upper)?);
             self.skeleton_rebuilds += 1;
             return Ok((skeleton, ws));
         }
         self.skeleton_rebuilds += 1;
-        Ok((
-            Box::new(StandardFormSkeleton::new(problem, lower, upper)?),
-            RevisedWorkspace::default(),
-        ))
+        let mut ws = RevisedWorkspace::default();
+        ws.configure(options.forrest_tomlin, options.dual_steepest_edge);
+        Ok((Box::new(build(lower, upper)?), ws))
     }
 
     /// Solves only the root LP relaxation of `problem` through the shared
@@ -108,11 +120,12 @@ impl SolveContext {
     pub fn relaxation_bound(
         &mut self,
         problem: &Problem,
+        options: &SolveOptions,
         max_iterations: usize,
     ) -> Result<f64, LpError> {
         let lower: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
         let upper: Vec<f64> = problem.variables().iter().map(|v| v.upper).collect();
-        let (skeleton, mut ws) = self.engine_for(problem, &lower, &upper)?;
+        let (skeleton, mut ws) = self.engine_for(problem, options, &lower, &upper)?;
         let prev = std::mem::take(&mut self.last_basis);
         let hint = if prev.is_empty() {
             None
@@ -147,7 +160,7 @@ pub fn solve_with_context(
     let lower: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
     let upper: Vec<f64> = problem.variables().iter().map(|v| v.upper).collect();
 
-    let (skeleton, workspace) = ctx.engine_for(problem, &lower, &upper)?;
+    let (skeleton, workspace) = ctx.engine_for(problem, options, &lower, &upper)?;
     let root_basis = {
         let prev = std::mem::take(&mut ctx.last_basis);
         if prev.is_empty() {
@@ -195,6 +208,7 @@ fn solve_nodes<'a>(
             Err(e) => return (Err(e), solver),
         };
         let (basis_factorizations, basis_refactorizations) = solver.factorization_counts();
+        let (bound_flips, ft_updates) = solver.pivot_counts();
         let stats = SolveStats {
             simplex_iterations: r.iterations,
             nodes_explored: 1,
@@ -204,6 +218,8 @@ fn solve_nodes<'a>(
             warm_start_misses: 0,
             basis_factorizations,
             basis_refactorizations,
+            bound_flips,
+            ft_updates,
         };
         return (
             Ok(Solution::new(
@@ -263,10 +279,19 @@ impl<'a> NodeSolver<'a> {
                 skeleton: StandardFormSkeleton::new(problem, root_lower, root_upper)?,
                 workspace: SimplexWorkspace::default(),
             },
-            Engine::RevisedSparse => EngineState::Revised {
-                skeleton: Box::new(StandardFormSkeleton::new(problem, root_lower, root_upper)?),
-                workspace: RevisedWorkspace::default(),
-            },
+            Engine::RevisedSparse => {
+                let skeleton = if options.bounded_variables {
+                    StandardFormSkeleton::new_bounded(problem, root_lower, root_upper)?
+                } else {
+                    StandardFormSkeleton::new(problem, root_lower, root_upper)?
+                };
+                let mut workspace = RevisedWorkspace::default();
+                workspace.configure(options.forrest_tomlin, options.dual_steepest_edge);
+                EngineState::Revised {
+                    skeleton: Box::new(skeleton),
+                    workspace,
+                }
+            }
         };
         Ok(Self {
             problem,
@@ -335,10 +360,20 @@ impl<'a> NodeSolver<'a> {
                         max_iterations,
                     );
                 }
-                solve_fresh_skeleton(self.problem, lower, upper, max_iterations, {
-                    let mut ws = RevisedWorkspace::default();
-                    move |sk, lo, hi, it| solve_with_skeleton_revised(sk, &mut ws, lo, hi, None, it)
-                })
+                solve_fresh_skeleton_with(
+                    self.problem,
+                    lower,
+                    upper,
+                    max_iterations,
+                    self.options.bounded_variables,
+                    {
+                        let mut ws = RevisedWorkspace::default();
+                        ws.configure(self.options.forrest_tomlin, self.options.dual_steepest_edge);
+                        move |sk, lo, hi, it| {
+                            solve_with_skeleton_revised(sk, &mut ws, lo, hi, None, it)
+                        }
+                    },
+                )
             }
         }
     }
@@ -361,6 +396,16 @@ impl<'a> NodeSolver<'a> {
             _ => (0, 0),
         }
     }
+
+    /// Cumulative `(bound_flips, ft_updates)` of the revised engine's
+    /// bounded-variable ratio test and Forrest–Tomlin updates (`(0, 0)` for
+    /// the tableau engines and when the flags are off).
+    fn pivot_counts(&self) -> (usize, usize) {
+        match &self.engine {
+            EngineState::Revised { workspace, .. } => workspace.pivot_counts(),
+            _ => (0, 0),
+        }
+    }
 }
 
 /// Fallback for the rare node whose bounds change a variable's standard-form
@@ -373,6 +418,19 @@ fn solve_fresh_skeleton(
     lower: &[f64],
     upper: &[f64],
     max_iterations: usize,
+    solve: impl FnMut(&StandardFormSkeleton, &[f64], &[f64], usize) -> Result<SimplexResult, LpError>,
+) -> Result<SimplexResult, LpError> {
+    solve_fresh_skeleton_with(problem, lower, upper, max_iterations, false, solve)
+}
+
+/// [`solve_fresh_skeleton`] with an explicit skeleton mode (the revised
+/// engine keeps bounded-variable nodes bounded even on the fallback path).
+fn solve_fresh_skeleton_with(
+    problem: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    max_iterations: usize,
+    bounded: bool,
     mut solve: impl FnMut(
         &StandardFormSkeleton,
         &[f64],
@@ -380,7 +438,11 @@ fn solve_fresh_skeleton(
         usize,
     ) -> Result<SimplexResult, LpError>,
 ) -> Result<SimplexResult, LpError> {
-    let fresh = StandardFormSkeleton::new(problem, lower, upper)?;
+    let fresh = if bounded {
+        StandardFormSkeleton::new_bounded(problem, lower, upper)?
+    } else {
+        StandardFormSkeleton::new(problem, lower, upper)?
+    };
     let mut r = solve(&fresh, lower, upper, max_iterations)?;
     r.basis = Vec::new();
     Ok(r)
@@ -584,6 +646,7 @@ impl<'a> BranchAndBound<'a> {
                 } else {
                     SolveStatus::Feasible
                 };
+                let (bound_flips, ft_updates) = self.node_solver.pivot_counts();
                 let stats = SolveStats {
                     simplex_iterations: self.simplex_iterations,
                     nodes_explored: self.nodes_explored,
@@ -593,6 +656,8 @@ impl<'a> BranchAndBound<'a> {
                     warm_start_misses: self.warm_start_misses,
                     basis_factorizations,
                     basis_refactorizations,
+                    bound_flips,
+                    ft_updates,
                 };
                 Ok(Solution::new(status, obj, values, stats))
             }

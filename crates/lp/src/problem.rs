@@ -122,6 +122,29 @@ pub struct SolveOptions {
     /// comparisons; production paths use the default revised engine.
     #[serde(default)]
     pub engine: Engine,
+    /// Bounded-variable simplex (revised engine only): handle finite upper
+    /// bounds implicitly via a nonbasic-at-upper status and a bound-flip
+    /// ratio test instead of materializing a span row per bounded variable
+    /// in the standard form. Roughly halves the row count on the
+    /// integer-heavy admission models, and turns branch & bound's bound
+    /// overrides into status flips instead of RHS patches. Default off so
+    /// existing bitwise pins keep anchoring the legacy path; the benchmarks
+    /// and the cross-engine battery exercise both settings.
+    #[serde(default)]
+    pub bounded_variables: bool,
+    /// Forrest–Tomlin basis updates (revised engine only): update the U
+    /// factor in place at each pivot instead of appending product-form eta
+    /// vectors, keeping FTRAN/BTRAN cost flat between refactorizations.
+    /// Default off (see `bounded_variables` for the determinism story).
+    #[serde(default)]
+    pub forrest_tomlin: bool,
+    /// Dual steepest-edge pricing (revised engine only) for the dual-repair
+    /// path every warm-started node runs: pick the leaving row by the
+    /// steepest-edge criterion with Forrest–Goldfarb weight updates instead
+    /// of the most-violated rule. Fewer, better pivots on re-solve-dominated
+    /// workloads. Default off (see `bounded_variables`).
+    #[serde(default)]
+    pub dual_steepest_edge: bool,
 }
 
 fn default_true() -> bool {
@@ -138,6 +161,9 @@ impl Default for SolveOptions {
             integrality_tol: 1e-6,
             warm_start: true,
             engine: Engine::default(),
+            bounded_variables: false,
+            forrest_tomlin: false,
+            dual_steepest_edge: false,
         }
     }
 }

@@ -32,9 +32,26 @@
 //! and the basic solution as `x = x_f + ∞·x_w`; a basic value is "infinite"
 //! exactly when its `x_w` weight is positive, which is what the ratio tests
 //! check.
+//!
+//! Three optional upgrades, each flagged in
+//! [`crate::problem::SolveOptions`], modernize the hot path:
+//!
+//! * **Bounded-variable simplex** (skeleton built with
+//!   [`StandardFormSkeleton::new_bounded`]): upper bounds live as a
+//!   nonbasic-at-upper status plus a bound-flip ratio test instead of
+//!   explicit span rows, so the effective RHS is
+//!   `b_eff = b − Σ_{j at upper} u_j·A_j` and branch & bound bound
+//!   overrides become status flips rather than span-RHS patches. The split
+//!   `∞·b_w` machinery is inert here (`has_inf` is never set).
+//! * **Forrest–Tomlin updates** ([`BasisFactorization::set_ft_mode`]):
+//!   basis changes rewrite U in place instead of appending product-form
+//!   etas, stretching the refactorization interval.
+//! * **Dual steepest-edge pricing** for the warm-start repair: leaving rows
+//!   are ranked by `δ²/γ` with reference-framework weights (`γ = 1` at
+//!   repair start) maintained by the Forrest–Goldfarb update formula.
 
 use crate::error::LpError;
-use crate::lu::{eta_limit, BasisFactorization};
+use crate::lu::BasisFactorization;
 use crate::problem::ConstraintOp;
 use crate::problem::Problem;
 use crate::simplex::{
@@ -119,6 +136,27 @@ pub struct RevisedWorkspace {
     skeleton_tag: usize,
     warm_hits: usize,
     warm_misses: usize,
+    // Bounded-variable mode (skeletons built with
+    // `StandardFormSkeleton::new_bounded`).
+    /// Per standard column: its implicit upper bound for the current node
+    /// (`+∞` when unbounded; recomputed per node from the bound overrides).
+    col_upper: Vec<f64>,
+    /// Per standard column: `true` when nonbasic at its (finite) upper
+    /// bound. This is the status the bound-flip ratio test toggles and the
+    /// status branch & bound bound overrides flip.
+    at_upper: Vec<bool>,
+    /// Effective RHS `b_f − Σ_{j at upper} u_j·A_j`, kept in sync with
+    /// `at_upper`; equals `b_f` bitwise when no column is at its upper.
+    b_eff: Vec<f64>,
+    /// Dual steepest-edge weights `γ_i ≈ ‖B⁻ᵀe_i‖²` (reference framework:
+    /// reset to 1 at each repair start) and the `τ = B⁻¹ρ_r` scratch of the
+    /// Forrest–Goldfarb update.
+    dse_gamma: Vec<f64>,
+    dse_tau: Vec<f64>,
+    /// Use dual steepest-edge row selection in the warm-start repair.
+    use_dse: bool,
+    /// Bound flips performed by the bounded-variable ratio test.
+    bound_flips: usize,
 }
 
 impl RevisedWorkspace {
@@ -147,6 +185,25 @@ impl RevisedWorkspace {
     pub fn invalidate(&mut self) {
         self.reusable = false;
         self.skeleton_tag = 0;
+    }
+
+    /// Selects the factor-update scheme and the repair pricing rule for
+    /// every subsequent solve. Switching the Forrest–Tomlin mode changes
+    /// the factor representation, so the next solve is forced onto the cold
+    /// path (whose fill refactorizes from scratch); toggling steepest-edge
+    /// pricing needs no invalidation.
+    pub fn configure(&mut self, forrest_tomlin: bool, dual_steepest_edge: bool) {
+        if forrest_tomlin != self.bf.ft_mode() {
+            self.bf.set_ft_mode(forrest_tomlin);
+            self.reusable = false;
+        }
+        self.use_dse = dual_steepest_edge;
+    }
+
+    /// Cumulative `(bound_flips, ft_updates)`: bound-flip ratio-test hits
+    /// (bounded-variable mode) and Forrest–Tomlin factor updates.
+    pub fn pivot_counts(&self) -> (usize, usize) {
+        (self.bound_flips, self.bf.ft_updates)
     }
 }
 
@@ -311,6 +368,22 @@ impl<'a> RSolver<'a> {
                 .iter()
                 .map(|&(var, coef)| coef * ws.shifts[var])
                 .sum::<f64>();
+        // Per-node implicit column bounds. Slacks and artificials are
+        // unbounded above; in legacy (span-row) mode every column is, which
+        // makes the bounded-variable code paths degrade to the exact legacy
+        // arithmetic.
+        ws.col_upper.clear();
+        ws.col_upper.resize(sk.cols, f64::INFINITY);
+        if sk.is_bounded() {
+            for (i, map) in sk.var_map.iter().enumerate() {
+                match *map {
+                    VarMap::Shifted { col } | VarMap::Mirrored { col } => {
+                        ws.col_upper[col] = (upper[i] - lower[i]).max(0.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Cold fill: rebuilds the CSC matrix (with this node's row-sign
@@ -402,6 +475,12 @@ impl<'a> RSolver<'a> {
         }
 
         ws.a.assemble(m, sk.cols, &ws.triplets);
+        // Cold fills start every column at its lower bound, so the
+        // effective RHS is the raw one.
+        ws.at_upper.clear();
+        ws.at_upper.resize(sk.cols, false);
+        ws.b_eff.clear();
+        ws.b_eff.extend_from_slice(&ws.b_f);
         // The slack/artificial basis is the identity; the factorization of
         // an identity cannot fail.
         ws.bf
@@ -411,6 +490,37 @@ impl<'a> RSolver<'a> {
         ws.x_f.extend_from_slice(&ws.b_f);
         ws.x_w.clear();
         ws.x_w.extend_from_slice(&ws.b_w);
+    }
+
+    /// Rebuilds `b_eff = b_f − Σ_{j at upper} u_j·A_j` from scratch (used
+    /// when the node RHS or the bound set changed wholesale).
+    fn rebuild_effective_rhs(&mut self) {
+        let ws = &mut *self.ws;
+        ws.b_eff.clear();
+        ws.b_eff.extend_from_slice(&ws.b_f);
+        for j in 0..ws.at_upper.len() {
+            if ws.at_upper[j] {
+                let u = ws.col_upper[j];
+                if u != 0.0 {
+                    ws.a.axpy_col(j, -u, &mut ws.b_eff);
+                }
+            }
+        }
+    }
+
+    /// Flips column `j`'s nonbasic status and keeps `b_eff` in sync.
+    fn set_at_upper(&mut self, j: usize, to_upper: bool) {
+        let ws = &mut *self.ws;
+        if ws.at_upper[j] == to_upper {
+            return;
+        }
+        ws.at_upper[j] = to_upper;
+        let u = ws.col_upper[j];
+        debug_assert!(!to_upper || u.is_finite());
+        if u != 0.0 && u.is_finite() {
+            let s = if to_upper { -u } else { u };
+            ws.a.axpy_col(j, s, &mut ws.b_eff);
+        }
     }
 
     /// Refactorizes and recomputes `x = B⁻¹·b` from scratch. Returns `false`
@@ -423,7 +533,7 @@ impl<'a> RSolver<'a> {
         }
         ws.refactor_after = 0;
         ws.x_f.clear();
-        ws.x_f.extend_from_slice(&ws.b_f);
+        ws.x_f.extend_from_slice(&ws.b_eff);
         ws.bf.ftran(&mut ws.x_f);
         ws.x_w.clear();
         ws.x_w.resize(ws.b_w.len(), 0.0);
@@ -477,23 +587,118 @@ impl<'a> RSolver<'a> {
             ws.is_basic[old] = false;
             ws.basis[leave] = enter;
             ws.is_basic[enter] = true;
-            ws.bf.push_eta(leave, &ws.w);
         }
-        let etas = self.ws.bf.eta_count();
-        if etas >= eta_limit(m) && etas >= self.ws.refactor_after {
+        self.update_factors(leave)
+    }
+
+    /// Shared factor-update tail of every basis change: `ws.w` must hold
+    /// the FTRAN'd entering column (`B_old⁻¹·a_enter`) and the basis
+    /// bookkeeping must already reflect the new basis. Applies the update
+    /// (product-form eta or Forrest–Tomlin, per the factorization's mode)
+    /// and refactorizes at the scheme's update limit.
+    fn update_factors(&mut self, leave: usize) -> Result<(), SolveAbort> {
+        let m = self.sk.m_total;
+        if self.ws.bf.update(leave, &self.ws.w).is_err() {
+            // Forrest–Tomlin rejected the replacement as numerically
+            // singular. The basis bookkeeping already changed, so the old
+            // factors no longer match it: refactorize from scratch now.
+            if !self.refactor_and_recompute(true) {
+                return Err(SolveAbort::Numerical);
+            }
+            return Ok(());
+        }
+        let limit = self.ws.bf.update_limit(m);
+        let count = self.ws.bf.eta_count();
+        if count >= limit && count >= self.ws.refactor_after {
             if self.refactor_and_recompute(true) {
                 self.ws.refactor_after = 0;
             } else {
-                // The eta representation stays valid; back off so a
+                // The update representation stays valid; back off so a
                 // (temporarily) singular basis cannot cost an O(m²)
                 // factorization attempt on every pivot.
-                self.ws.refactor_after = etas + eta_limit(m);
-                if etas >= ETA_GIVE_UP_FACTOR * eta_limit(m) {
+                self.ws.refactor_after = count + limit;
+                if count >= ETA_GIVE_UP_FACTOR * limit {
                     return Err(SolveAbort::Numerical);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Bounded-variable basis change: the entering column moves by `t` in
+    /// direction `dir` (+1 when entering from its lower bound, −1 from its
+    /// upper) until the basic variable in `leave` hits the bound selected
+    /// by `leave_to_upper`. `ws.w` must hold `B⁻¹·a_enter`. The `∞·x_w`
+    /// machinery is untouched: bounded skeletons never produce infinite
+    /// RHS components.
+    fn pivot_step(
+        &mut self,
+        leave: usize,
+        enter: usize,
+        dir: f64,
+        leave_to_upper: bool,
+    ) -> Result<(), SolveAbort> {
+        let m = self.sk.m_total;
+        let old = self.ws.basis[leave];
+        {
+            let ws = &mut *self.ws;
+            let wr = dir * ws.w[leave];
+            debug_assert!(wr.abs() > PIVOT_TOL);
+            let target = if leave_to_upper {
+                ws.col_upper[old]
+            } else {
+                0.0
+            };
+            let t = (ws.x_f[leave] - target) / wr;
+            for i in 0..m {
+                if i == leave {
+                    continue;
+                }
+                let wi = dir * ws.w[i];
+                if wi != 0.0 {
+                    ws.x_f[i] -= t * wi;
+                }
+            }
+            ws.x_f[leave] = if dir > 0.0 {
+                t
+            } else {
+                ws.col_upper[enter] - t
+            };
+        }
+        if self.ws.at_upper[enter] {
+            self.set_at_upper(enter, false);
+        }
+        {
+            let ws = &mut *self.ws;
+            ws.is_basic[old] = false;
+            ws.basis[leave] = enter;
+            ws.is_basic[enter] = true;
+        }
+        if leave_to_upper {
+            self.set_at_upper(old, true);
+        }
+        self.update_factors(leave)
+    }
+
+    /// Bound flip: the entering column hit its own opposite bound before
+    /// any basic variable blocked. No basis change — only the basic values
+    /// and the column's status move. `ws.w` must hold `B⁻¹·a_enter`.
+    fn bound_flip(&mut self, enter: usize, dir: f64) {
+        let m = self.sk.m_total;
+        let span = self.ws.col_upper[enter];
+        debug_assert!(span.is_finite());
+        {
+            let ws = &mut *self.ws;
+            for i in 0..m {
+                let wi = dir * ws.w[i];
+                if wi != 0.0 {
+                    ws.x_f[i] -= span * wi;
+                }
+            }
+        }
+        let now_upper = !self.ws.at_upper[enter];
+        self.set_at_upper(enter, now_upper);
+        self.ws.bound_flips += 1;
     }
 
     /// Primal revised simplex iterations for the given cost vector.
@@ -554,33 +759,77 @@ impl<'a> RSolver<'a> {
             // is relaxed by the feasibility tolerance to reach a safe pivot.
             // A tiny `w_i` inflates its relaxed ratio by `tol / w_i`, so the
             // fallback escapes the noise row whenever a healthy pivot exists.
+            //
+            // In bounded-variable mode the test is two-sided: the entering
+            // column moves in `dir` (−1 when entering from its upper
+            // bound), basic variables can block at their own upper bounds
+            // (`dir·w < 0` rows), and the entering column's own span is a
+            // blocking "row" of its own — hitting it first is a bound flip,
+            // not a pivot. With every `col_upper` infinite (legacy
+            // skeletons) all of this degrades to the exact legacy
+            // arithmetic.
+            let dir = if self.ws.at_upper[enter] { -1.0 } else { 1.0 };
+            let enter_span = self.ws.col_upper[enter];
             let mut best_ratio = f64::INFINITY;
             for i in 0..m {
-                let a = self.ws.w[i];
-                if a > PIVOT_TOL && self.ws.x_w[i] == 0.0 {
+                if self.ws.x_w[i] != 0.0 {
+                    continue;
+                }
+                let a = dir * self.ws.w[i];
+                if a > PIVOT_TOL {
                     let ratio = self.ws.x_f[i] / a;
                     if ratio < best_ratio {
                         best_ratio = ratio;
                     }
+                } else if a < -PIVOT_TOL {
+                    let u = self.ws.col_upper[self.ws.basis[i]];
+                    if u.is_finite() {
+                        let ratio = (self.ws.x_f[i] - u) / a;
+                        if ratio < best_ratio {
+                            best_ratio = ratio;
+                        }
+                    }
                 }
             }
-            if best_ratio.is_infinite() {
+            if best_ratio.is_infinite() && enter_span.is_infinite() {
                 return Err(LpError::Unbounded.into());
             }
-            let pick = |bound: f64, ws: &RevisedWorkspace| -> (Option<usize>, f64) {
-                let mut leave: Option<usize> = None;
+            if enter_span <= best_ratio {
+                self.bound_flip(enter, dir);
+                iterations += 1;
+                continue;
+            }
+            let pick = |bound: f64, ws: &RevisedWorkspace| -> (Option<(usize, bool)>, f64) {
+                let mut leave: Option<(usize, bool)> = None;
                 let mut best_pivot = 0.0f64;
                 for i in 0..m {
-                    let a = ws.w[i];
-                    if a > PIVOT_TOL && ws.x_w[i] == 0.0 && ws.x_f[i] / a <= bound {
+                    if ws.x_w[i] != 0.0 {
+                        continue;
+                    }
+                    let a = dir * ws.w[i];
+                    let (ratio, to_upper);
+                    if a > PIVOT_TOL {
+                        ratio = ws.x_f[i] / a;
+                        to_upper = false;
+                    } else if a < -PIVOT_TOL {
+                        let u = ws.col_upper[ws.basis[i]];
+                        if !u.is_finite() {
+                            continue;
+                        }
+                        ratio = (ws.x_f[i] - u) / a;
+                        to_upper = true;
+                    } else {
+                        continue;
+                    }
+                    if ratio <= bound {
                         let better = if use_bland {
-                            leave.is_none_or(|l| ws.basis[i] < ws.basis[l])
+                            leave.is_none_or(|(l, _)| ws.basis[i] < ws.basis[l])
                         } else {
-                            a > best_pivot
+                            a.abs() > best_pivot
                         };
                         if better {
-                            best_pivot = a;
-                            leave = Some(i);
+                            best_pivot = a.abs();
+                            leave = Some((i, to_upper));
                         }
                     }
                 }
@@ -590,15 +839,29 @@ impl<'a> RSolver<'a> {
             let (mut leave, chosen_pivot) = pick(best_ratio + tie_window, self.ws);
             if leave.is_none_or(|_| chosen_pivot <= 1e-7) && !use_bland {
                 // Dangerous (or no) pivot under the exact rule: relax the
-                // step bound by the feasibility tolerance and retry.
+                // step bound by the feasibility tolerance and retry. The
+                // relaxed step stays capped by the entering span so a
+                // "safer" pivot cannot push the entering column past its
+                // own bound by more than the tolerance.
                 let feas_tol = FEAS_TOL * (1.0 + self.ws.b_scale);
-                let mut theta_max = f64::INFINITY;
+                let mut theta_max = enter_span;
                 for i in 0..m {
-                    let a = self.ws.w[i];
-                    if a > PIVOT_TOL && self.ws.x_w[i] == 0.0 {
+                    if self.ws.x_w[i] != 0.0 {
+                        continue;
+                    }
+                    let a = dir * self.ws.w[i];
+                    if a > PIVOT_TOL {
                         let relaxed = (self.ws.x_f[i] + feas_tol) / a;
                         if relaxed < theta_max {
                             theta_max = relaxed;
+                        }
+                    } else if a < -PIVOT_TOL {
+                        let u = self.ws.col_upper[self.ws.basis[i]];
+                        if u.is_finite() {
+                            let relaxed = (self.ws.x_f[i] - u - feas_tol) / a;
+                            if relaxed < theta_max {
+                                theta_max = relaxed;
+                            }
                         }
                     }
                 }
@@ -607,11 +870,16 @@ impl<'a> RSolver<'a> {
                     leave = relaxed_leave;
                 }
             }
-            let Some(leave) = leave else {
+            let Some((leave, leave_to_upper)) = leave else {
                 return Err(LpError::Unbounded.into());
             };
 
-            self.pivot(leave, enter)?;
+            if self.sk.is_bounded() {
+                self.pivot_step(leave, enter, dir, leave_to_upper)?;
+            } else {
+                debug_assert!(dir > 0.0 && !leave_to_upper);
+                self.pivot(leave, enter)?;
+            }
             iterations += 1;
         }
     }
@@ -630,8 +898,15 @@ impl<'a> RSolver<'a> {
             a,
             is_basic,
             y,
+            at_upper,
             ..
         } = &mut *self.ws;
+
+        // A column nonbasic at its upper bound improves the objective by
+        // *decreasing*, so its pricing score is the negated reduced cost;
+        // at-lower columns keep the plain Dantzig score. (`at_upper` is
+        // all-false on legacy skeletons.)
+        let score_of = |j: usize, d: f64| if at_upper[j] { -d } else { d };
 
         // Cheap pass over the existing shortlist.
         let mut best: Option<(usize, f64)> = None;
@@ -639,7 +914,7 @@ impl<'a> RSolver<'a> {
             if j >= enterable_end || is_basic[j] {
                 return false;
             }
-            let d = cost[j] - a.col_dot(j, y);
+            let d = score_of(j, cost[j] - a.col_dot(j, y));
             if d < -COST_TOL {
                 if best.is_none_or(|(_, b)| d < b) {
                     best = Some((j, d));
@@ -661,7 +936,7 @@ impl<'a> RSolver<'a> {
             if is_basic[j] {
                 continue;
             }
-            let d = cost[j] - a.col_dot(j, y);
+            let d = score_of(j, cost[j] - a.col_dot(j, y));
             if d < -COST_TOL {
                 let at = scored.partition_point(|&(_, s)| s <= d);
                 if at < SHORTLIST {
@@ -678,8 +953,14 @@ impl<'a> RSolver<'a> {
     /// reduced cost, scanning from column 0.
     fn price_bland(&mut self, cost: &[f64], enterable_end: usize) -> Option<usize> {
         let ws = &mut *self.ws;
-        (0..enterable_end)
-            .find(|&j| !ws.is_basic[j] && cost[j] - ws.a.col_dot(j, &ws.y) < -COST_TOL)
+        (0..enterable_end).find(|&j| {
+            if ws.is_basic[j] {
+                return false;
+            }
+            let d = cost[j] - ws.a.col_dot(j, &ws.y);
+            let score = if ws.at_upper[j] { -d } else { d };
+            score < -COST_TOL
+        })
     }
 
     fn optimize_two_phase(&mut self, max_iterations: usize) -> Result<usize, SolveAbort> {
@@ -754,17 +1035,18 @@ impl<'a> RSolver<'a> {
             || self.ws.basis.len() != m
             || self.ws.a.rows() != m
             || self.ws.a.cols() != sk.cols
+            || self.ws.at_upper.len() != sk.cols
         {
             trace("shape");
             return ReuseOutcome::Fallback;
         }
         self.compute_node_scalars(lower, upper);
 
-        // Long eta files both slow solves and accumulate error: refresh
+        // Long update files both slow solves and accumulate error: refresh
         // before trusting the factorization with a new node. (Only the
         // factorization is rebuilt here — this node's RHS is written, and
         // x = B⁻¹·b computed from it, just below.)
-        if self.ws.bf.eta_count() >= eta_limit(m) {
+        if self.ws.bf.eta_count() >= self.ws.bf.update_limit(m) {
             let ws = &mut *self.ws;
             if ws.bf.refactorize(&ws.a, &ws.basis, true).is_err() {
                 trace("refactor");
@@ -797,10 +1079,25 @@ impl<'a> RSolver<'a> {
                 ws.has_inf = true;
             }
         }
+        if sk.is_bounded() {
+            // This is the bounded-variable warm start in full: the node's
+            // bound overrides arrive as fresh `col_upper` values with the
+            // *statuses* carried over — a status flip, not an RHS patch. A
+            // status can outlive the bound that made it meaningful (a node
+            // widening an upper back to ∞): demote it to at-lower and let
+            // the dual repair re-establish feasibility.
+            for j in 0..sk.cols {
+                if ws.at_upper[j] && !ws.col_upper[j].is_finite() {
+                    ws.at_upper[j] = false;
+                }
+            }
+        }
+        self.rebuild_effective_rhs();
 
         // x = B⁻¹·b through the factorization.
+        let ws = &mut *self.ws;
         ws.x_f.clear();
-        ws.x_f.extend_from_slice(&ws.b_f);
+        ws.x_f.extend_from_slice(&ws.b_eff);
         ws.bf.ftran(&mut ws.x_f);
         ws.x_w.clear();
         ws.x_w.resize(m, 0.0);
@@ -877,12 +1174,13 @@ impl<'a> RSolver<'a> {
         ReuseOutcome::Reused(pivots)
     }
 
-    /// `‖B·x_f − b_f‖∞ ≤ tol` — does the factorized basis still reproduce
-    /// the node RHS it claims to solve?
+    /// `‖B·x_f − b_eff‖∞ ≤ tol` — does the factorized basis still
+    /// reproduce the (effective) node RHS it claims to solve? (`b_eff`
+    /// equals `b_f` bitwise outside bounded-variable mode.)
     fn node_residual_ok(&mut self) -> bool {
         let ws = &mut *self.ws;
         ws.resid.clear();
-        ws.resid.extend_from_slice(&ws.b_f);
+        ws.resid.extend_from_slice(&ws.b_eff);
         for (i, &b) in ws.basis.iter().enumerate() {
             let x = ws.x_f[i];
             if x != 0.0 {
@@ -895,10 +1193,33 @@ impl<'a> RSolver<'a> {
 
     /// Dual simplex repair: restore primal feasibility while keeping the
     /// phase-2 dual feasibility inherited from the last optimal solve.
+    ///
+    /// In bounded-variable mode a basic value can violate either of its
+    /// bounds (`δ < 0` below lower, `δ > 0` above upper — the latter is how
+    /// a tightened branch bound surfaces after a status-flip warm start),
+    /// and nonbasic-at-upper columns join the ratio test with negated
+    /// signs. With dual steepest-edge enabled, leaving rows are ranked by
+    /// `δ²/γ` (reference framework: `γ = 1` at repair start, maintained by
+    /// the Forrest–Goldfarb update) instead of by worst violation.
     fn dual_repair(&mut self, cap: usize) -> RepairResult {
         let sk = self.sk;
         let m = sk.m_total;
         let tol = FEAS_TOL * (1.0 + self.ws.b_scale);
+        let use_dse = self.ws.use_dse;
+        // Exact Forrest–Goldfarb weight maintenance costs one extra FTRAN
+        // per pivot. On every measured fig16/admission model (m ≤ 255) that
+        // FTRAN cost more than the pivots the sharper weights saved, so up
+        // to this size the weights use the FTRAN-free Devex-style
+        // approximation over the same reference framework; the exact update
+        // is kept for very large bases, where one FTRAN amortizes over the
+        // O(m) candidate rows it helps rank.
+        const DSE_EXACT_MIN_ROWS: usize = 512;
+        let dse_exact = use_dse && m >= DSE_EXACT_MIN_ROWS;
+        if use_dse {
+            let ws = &mut *self.ws;
+            ws.dse_gamma.clear();
+            ws.dse_gamma.resize(m, 1.0);
+        }
 
         // Reduced costs of the non-basic, non-artificial columns.
         {
@@ -919,21 +1240,76 @@ impl<'a> RSolver<'a> {
         loop {
             // Leaving row: any −∞ basic value first (most negative infinite
             // weight, then most negative finite part as tie-break), else the
-            // most negative finite basic value. Selecting on (x_w, x_f)
+            // worst finite bound violation. Selecting on (x_w, x_f)
             // lexicographically is exactly the dual simplex rule for the
-            // big-M limit the split representation encodes.
-            let mut leave: Option<(usize, f64, f64)> = None;
-            for i in 0..m {
-                let (wgt, fin) = (self.ws.x_w[i], self.ws.x_f[i]);
-                let candidate = wgt < 0.0 || (wgt == 0.0 && fin < -tol);
-                if candidate && leave.is_none_or(|(_, bw, bf)| wgt < bw || (wgt == bw && fin < bf))
-                {
-                    leave = Some((i, wgt, fin));
+            // big-M limit the split representation encodes; under DSE the
+            // violation is scored against the row's steepest-edge weight.
+            let mut leave: Option<(usize, f64)> = None; // (row, δ)
+            {
+                let ws = &*self.ws;
+                if use_dse {
+                    let any_inf = ws.x_w.iter().any(|&w| w < 0.0);
+                    let mut best_score = 0.0f64;
+                    for i in 0..m {
+                        let delta;
+                        if any_inf {
+                            if ws.x_w[i] >= 0.0 {
+                                continue;
+                            }
+                            delta = ws.x_w[i];
+                        } else if ws.x_w[i] != 0.0 {
+                            continue;
+                        } else if ws.x_f[i] < -tol {
+                            delta = ws.x_f[i];
+                        } else {
+                            let u = ws.col_upper[ws.basis[i]];
+                            if ws.x_f[i] > u + tol {
+                                delta = ws.x_f[i] - u;
+                            } else {
+                                continue;
+                            }
+                        }
+                        let score = delta * delta / ws.dse_gamma[i];
+                        if score > best_score {
+                            best_score = score;
+                            leave = Some((i, delta));
+                        }
+                    }
+                } else {
+                    let mut best: Option<(f64, f64)> = None; // (weight, key)
+                    for i in 0..m {
+                        let (wgt, fin) = (ws.x_w[i], ws.x_f[i]);
+                        let (delta, key);
+                        if wgt < 0.0 {
+                            delta = wgt;
+                            key = fin;
+                        } else if wgt != 0.0 {
+                            continue;
+                        } else if fin < -tol {
+                            delta = fin;
+                            key = fin;
+                        } else {
+                            let u = ws.col_upper[ws.basis[i]];
+                            if fin > u + tol {
+                                delta = fin - u;
+                                key = -(fin - u);
+                            } else {
+                                continue;
+                            }
+                        }
+                        if best.is_none_or(|(bw, bk)| wgt < bw || (wgt == bw && key < bk)) {
+                            best = Some((wgt, key));
+                            leave = Some((i, delta));
+                        }
+                    }
                 }
             }
-            let Some((r, _, _)) = leave else {
+            let Some((r, delta)) = leave else {
                 return RepairResult::Done(pivots);
             };
+            // `s` orients the ratio test: −1 drives the leaving value up to
+            // its lower bound, +1 down to its upper.
+            let s = if delta > 0.0 { 1.0 } else { -1.0 };
 
             // Row r of B⁻¹·A via BTRAN(e_r), then the dual ratio test.
             {
@@ -950,19 +1326,25 @@ impl<'a> RSolver<'a> {
                     }
                 }
             }
+            // Sign-aware dual ratio test: a candidate must move the leaving
+            // value toward its violated bound while keeping every reduced
+            // cost on its feasible side (`d ≥ 0` at lower, `d ≤ 0` at
+            // upper). With all columns at lower and `s = −1` this is the
+            // legacy `α < −tol`, `d/−α` test verbatim.
             let mut enter: Option<(usize, f64)> = None;
             let mut saw_tiny_negative = false;
             for j in 0..sk.artificial_start {
                 if self.ws.is_basic[j] {
                     continue;
                 }
-                let a = self.ws.alpha[j];
-                if a < -DUAL_PIVOT_TOL {
-                    let ratio = self.ws.d[j].max(0.0) / -a;
+                let e = if self.ws.at_upper[j] { -1.0 } else { 1.0 };
+                let a = s * e * self.ws.alpha[j];
+                if a > DUAL_PIVOT_TOL {
+                    let ratio = (e * self.ws.d[j]).max(0.0) / a;
                     if enter.is_none_or(|(_, best)| ratio < best - 1e-12) {
                         enter = Some((j, ratio));
                     }
-                } else if a < -PIVOT_TOL {
+                } else if a > PIVOT_TOL {
                     saw_tiny_negative = true;
                 }
             }
@@ -998,8 +1380,54 @@ impl<'a> RSolver<'a> {
                     return RepairResult::GaveUp;
                 }
             }
-            if self.pivot(r, q).is_err() {
+            let gamma_r = if dse_exact {
+                // Forrest–Goldfarb needs `τ = B⁻¹ρ_r`; `ws.y` still holds
+                // the row's BTRAN `ρ_r`, and the factors are still the
+                // pre-pivot ones here.
+                let ws = &mut *self.ws;
+                ws.dse_tau.clear();
+                ws.dse_tau.extend_from_slice(&ws.y);
+                ws.bf.ftran(&mut ws.dse_tau);
+                ws.dse_gamma[r]
+            } else if use_dse {
+                self.ws.dse_gamma[r]
+            } else {
+                0.0
+            };
+            let pivot_ok = if sk.is_bounded() {
+                let dir = if self.ws.at_upper[q] { -1.0 } else { 1.0 };
+                self.pivot_step(r, q, dir, delta > 0.0).is_ok()
+            } else {
+                self.pivot(r, q).is_ok()
+            };
+            if !pivot_ok {
                 return RepairResult::GaveUp;
+            }
+            if use_dse {
+                // Exact: γ'_i = γ_i − 2(w_i/w_r)τ_i + (w_i/w_r)²γ_r for
+                // i ≠ r, γ'_r = γ_r/w_r² — clamped positive against drift.
+                // Devex fallback: γ'_i = max(γ_i, (w_i/w_r)²γ_r), weights
+                // kept ≥ 1 over the reference framework.
+                let ws = &mut *self.ws;
+                let wr = ws.w[r];
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let wi = ws.w[i];
+                    if wi == 0.0 {
+                        continue;
+                    }
+                    let t = wi / wr;
+                    if dse_exact {
+                        let g = ws.dse_gamma[i] - 2.0 * t * ws.dse_tau[i] + t * t * gamma_r;
+                        ws.dse_gamma[i] = g.max(1e-10);
+                    } else {
+                        ws.dse_gamma[i] = ws.dse_gamma[i].max(t * t * gamma_r);
+                    }
+                }
+                let floor = if dse_exact { 1e-10 } else { 1.0 };
+                ws.dse_gamma[r] = (gamma_r / (wr * wr)).max(floor);
             }
             pivots += 1;
             if pivots >= cap {
@@ -1009,13 +1437,22 @@ impl<'a> RSolver<'a> {
     }
 
     /// `Σ cost[basis[i]] · x_f[i]` skipping zero-cost basic columns, so
-    /// inert infinite span slacks never pollute the sum.
+    /// inert infinite span slacks never pollute the sum. Columns nonbasic
+    /// at their upper bound (bounded-variable mode) contribute `c_j·u_j`.
     fn objective_for(&self, cost: &[f64]) -> f64 {
         let mut total = 0.0;
         for (i, &b) in self.ws.basis.iter().enumerate() {
             let cb = cost[b];
             if cb != 0.0 {
                 total += cb * self.ws.x_f[i];
+            }
+        }
+        for (j, &up) in self.ws.at_upper.iter().enumerate() {
+            if up {
+                let cj = cost[j];
+                if cj != 0.0 {
+                    total += cj * self.ws.col_upper[j];
+                }
             }
         }
         total
@@ -1027,6 +1464,11 @@ impl<'a> RSolver<'a> {
         for (i, &b) in self.ws.basis.iter().enumerate() {
             if b < sk.num_struct {
                 std_values[b] = self.ws.x_f[i].max(0.0);
+            }
+        }
+        for (j, v) in std_values.iter_mut().enumerate() {
+            if self.ws.at_upper[j] {
+                *v = self.ws.col_upper[j];
             }
         }
         let mut values = vec![0.0; sk.var_map.len()];
@@ -1210,6 +1652,235 @@ mod tests {
         )
         .unwrap();
         assert!((r3.objective - 4.0).abs() < 1e-6);
+    }
+
+    /// Solves `p` through a bounded-variable skeleton with the given update
+    /// and pricing flags, from a cold workspace.
+    fn solve_bounded_with(
+        p: &Problem,
+        lower: &[f64],
+        upper: &[f64],
+        ft: bool,
+        dse: bool,
+    ) -> Result<SimplexResult, LpError> {
+        let sk = StandardFormSkeleton::new_bounded(p, lower, upper)?;
+        let mut ws = RevisedWorkspace::default();
+        ws.configure(ft, dse);
+        solve_with_skeleton_revised(&sk, &mut ws, lower, upper, None, 100_000)
+    }
+
+    fn assert_bounded_matches_dense(p: &Problem) {
+        let (lower, upper) = bounds(p);
+        let dense = simplex::solve_relaxation(p, &lower, &upper, 100_000);
+        for (ft, dse) in [(false, false), (true, false), (false, true), (true, true)] {
+            let bounded = solve_bounded_with(p, &lower, &upper, ft, dse);
+            match (&dense, &bounded) {
+                (Ok(d), Ok(r)) => assert!(
+                    (d.objective - r.objective).abs() < 1e-7,
+                    "ft={ft} dse={dse}: dense {} vs bounded {}",
+                    d.objective,
+                    r.objective
+                ),
+                (Err(de), Err(re)) => assert_eq!(
+                    std::mem::discriminant(de),
+                    std::mem::discriminant(re),
+                    "ft={ft} dse={dse}: dense {de:?} vs bounded {re:?}"
+                ),
+                (d, r) => panic!("ft={ft} dse={dse}: dense {d:?} vs bounded {r:?}"),
+            }
+        }
+    }
+
+    /// A fig16-class model: branchable doubly-bounded variables under shared
+    /// capacity rows. In the legacy skeleton every such variable needs a span
+    /// row; the bounded skeleton keeps only the structural constraints.
+    fn fig16_class_model(vars: usize, rows: usize) -> Problem {
+        let mut p = Problem::new("fig16-class", Sense::Maximize);
+        let ids: Vec<_> = (0..vars)
+            .map(|i| p.add_int_var(format!("x{i}"), 0.0, 3.0 + (i % 4) as f64))
+            .collect();
+        p.set_objective(
+            ids.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 5) as f64)),
+        );
+        for k in 0..rows {
+            p.add_constraint(
+                format!("cap{k}"),
+                ids.iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i + k) % 3 != 0)
+                    .map(|(i, &v)| (v, 1.0 + ((i * 7 + k) % 4) as f64)),
+                ConstraintOp::Le,
+                20.0 + 3.0 * k as f64,
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn bounded_skeleton_eliminates_span_rows() {
+        let p = fig16_class_model(12, 5);
+        let (lower, upper) = bounds(&p);
+        let legacy = StandardFormSkeleton::new(&p, &lower, &upper).unwrap();
+        let bounded = StandardFormSkeleton::new_bounded(&p, &lower, &upper).unwrap();
+        // Every branchable doubly-bounded variable costs the legacy skeleton
+        // a span row; the bounded skeleton holds the structural rows only.
+        assert_eq!(legacy.num_rows(), 5 + 12);
+        assert_eq!(bounded.num_rows(), 5);
+        assert!(bounded.is_bounded() && !legacy.is_bounded());
+    }
+
+    #[test]
+    fn bounded_mode_agrees_with_dense_on_doubly_bounded_lps() {
+        // Doubly-bounded variables with binding upper bounds at the optimum.
+        let mut p = Problem::new("bx", Sense::Maximize);
+        let x = p.add_var("x", 0.0, 5.0);
+        let y = p.add_var("y", 0.0, 4.0);
+        let z = p.add_var("z", 1.0, 9.0);
+        p.set_objective([(x, 3.0), (y, 2.0), (z, 1.0)]);
+        p.add_constraint("c", [(x, 1.0), (y, 1.0), (z, 2.0)], ConstraintOp::Le, 14.0);
+        assert_bounded_matches_dense(&p);
+
+        // Free variable plus a mirrored (upper-bounded-only) variable.
+        let mut q = Problem::new("free", Sense::Minimize);
+        let a = q.add_var("a", f64::NEG_INFINITY, f64::INFINITY);
+        let b = q.add_var("b", f64::NEG_INFINITY, 6.0);
+        q.set_objective([(a, 1.0), (b, -1.0)]);
+        q.add_constraint("e", [(a, 1.0), (b, 1.0)], ConstraintOp::Eq, 4.0);
+        q.add_constraint("g", [(a, 1.0), (b, -1.0)], ConstraintOp::Ge, -2.0);
+        assert_bounded_matches_dense(&q);
+
+        // Infeasible and unbounded instances keep their classification.
+        let mut inf = Problem::new("inf", Sense::Minimize);
+        let v = inf.add_var("v", 0.0, 3.0);
+        inf.set_objective([(v, 1.0)]);
+        inf.add_constraint("lo", [(v, 1.0)], ConstraintOp::Ge, 5.0);
+        assert_bounded_matches_dense(&inf);
+
+        let mut unb = Problem::new("unb", Sense::Maximize);
+        let w = unb.add_var("w", 0.0, f64::INFINITY);
+        let u = unb.add_var("u", 0.0, 2.0);
+        unb.set_objective([(w, 1.0), (u, 1.0)]);
+        unb.add_constraint("c", [(u, 1.0)], ConstraintOp::Le, 2.0);
+        assert_bounded_matches_dense(&unb);
+
+        assert_bounded_matches_dense(&fig16_class_model(9, 4));
+    }
+
+    #[test]
+    fn bound_flips_replace_span_pivots() {
+        // Both upper bounds are slack against the capacity row, so the
+        // bounded engine reaches the optimum by flipping x and y to their
+        // upper bounds instead of pivoting through span rows.
+        let mut p = Problem::new("flip", Sense::Maximize);
+        let x = p.add_var("x", 0.0, 5.0);
+        let y = p.add_var("y", 0.0, 4.0);
+        p.set_objective([(x, 3.0), (y, 2.0)]);
+        p.add_constraint("c", [(x, 1.0), (y, 1.0)], ConstraintOp::Le, 20.0);
+        let (lower, upper) = bounds(&p);
+        let sk = StandardFormSkeleton::new_bounded(&p, &lower, &upper).unwrap();
+        let mut ws = RevisedWorkspace::default();
+        let r = solve_with_skeleton_revised(&sk, &mut ws, &lower, &upper, None, 10_000).unwrap();
+        assert!(
+            (r.objective - 23.0).abs() < 1e-7,
+            "objective {}",
+            r.objective
+        );
+        assert!((r.values[0] - 5.0).abs() < 1e-7 && (r.values[1] - 4.0).abs() < 1e-7);
+        let (bound_flips, _) = ws.pivot_counts();
+        assert!(bound_flips >= 2, "bound_flips {bound_flips}");
+    }
+
+    #[test]
+    fn exact_forrest_goldfarb_path_repairs_large_bases() {
+        // 520 constraints puts the basis past DSE_EXACT_MIN_ROWS, so the
+        // warm-start dual repair maintains exact steepest-edge weights
+        // (extra FTRAN per pivot) instead of the Devex approximation.
+        const N: usize = 520;
+        let mut p = Problem::new("dse-large", Sense::Maximize);
+        let vars: Vec<_> = (0..N)
+            .map(|i| p.add_var(format!("x{i}"), 0.0, 2.0 + (i % 3) as f64))
+            .collect();
+        p.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 7) as f64)),
+        );
+        for i in 0..N {
+            p.add_constraint(
+                format!("c{i}"),
+                [(vars[i], 1.0), (vars[(i + 1) % N], 1.0)],
+                ConstraintOp::Le,
+                3.0 + (i % 4) as f64,
+            );
+        }
+        let (lower, upper) = bounds(&p);
+        let sk = StandardFormSkeleton::new_bounded(&p, &lower, &upper).unwrap();
+        let mut ws = RevisedWorkspace::default();
+        ws.configure(true, true);
+        let root =
+            solve_with_skeleton_revised(&sk, &mut ws, &lower, &upper, None, 100_000).unwrap();
+        // Tighten a handful of upper bounds: the warm start flips statuses
+        // and the ensuing violations drive the exact-weight dual repair.
+        let mut u = upper.clone();
+        for i in (0..N).step_by(7) {
+            u[i] = 1.0;
+        }
+        let warm =
+            solve_with_skeleton_revised(&sk, &mut ws, &lower, &u, Some(&root.basis), 100_000)
+                .unwrap();
+        let mut cold_ws = RevisedWorkspace::default();
+        let cold =
+            solve_with_skeleton_revised(&sk, &mut cold_ws, &lower, &u, None, 100_000).unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6 * (1.0 + cold.objective.abs()),
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        let (hits, _) = ws.warm_start_counts();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn bounded_warm_start_branching_is_a_status_flip() {
+        let p = fig16_class_model(8, 3);
+        let (lower, upper) = bounds(&p);
+        let sk = StandardFormSkeleton::new_bounded(&p, &lower, &upper).unwrap();
+        let mut ws = RevisedWorkspace::default();
+        ws.configure(true, true);
+        let root = solve_with_skeleton_revised(&sk, &mut ws, &lower, &upper, None, 10_000).unwrap();
+        assert_eq!(root.warm, WarmStart::Cold);
+
+        let mut basis = root.basis;
+        for (var, lo, hi) in [
+            (0usize, 0.0, 2.0),
+            (3, 1.0, 3.0),
+            (5, 0.0, 0.0),
+            (1, 2.0, 2.0),
+            (7, 0.0, 1.0),
+        ] {
+            let mut l = lower.clone();
+            let mut u = upper.clone();
+            l[var] = lo;
+            u[var] = hi;
+            // Tightened child bounds reach the engine as implicit column
+            // bounds — no RHS patch, no skeleton rebuild.
+            assert!(sk.compatible(&l, &u));
+            let warm =
+                solve_with_skeleton_revised(&sk, &mut ws, &l, &u, Some(&basis), 10_000).unwrap();
+            let dense = simplex::solve_relaxation(&p, &l, &u, 10_000).unwrap();
+            assert!(
+                (warm.objective - dense.objective).abs() < 1e-6,
+                "var {var} in [{lo},{hi}]: warm {} dense {}",
+                warm.objective,
+                dense.objective
+            );
+            basis = warm.basis;
+        }
+        let (hits, misses) = ws.warm_start_counts();
+        assert!(hits > 0, "hits {hits} misses {misses}");
     }
 
     #[test]

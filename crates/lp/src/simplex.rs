@@ -137,8 +137,15 @@ pub struct StandardFormSkeleton {
     root_upper: Vec<f64>,
     pub(crate) rows: Vec<SkelRow>,
     /// `(standard column, variable index)` for each span row
-    /// `x_std[col] + slack = upper - lower`.
+    /// `x_std[col] + slack = upper - lower`. Always empty in
+    /// bounded-variable mode.
     pub(crate) span_rows: Vec<(usize, usize)>,
+    /// Per standard structural column: `true` when a span row exists for it
+    /// (O(1) lookup; `span_rows` is scanned per bound-override otherwise).
+    span_cols: Vec<bool>,
+    /// Bounded-variable mode: upper bounds are handled implicitly by the
+    /// revised engine (nonbasic-at-upper statuses) instead of span rows.
+    bounded: bool,
     pub(crate) num_struct: usize,
     /// Constraint rows (`rows.len()`), before span rows.
     pub(crate) m_constraints: usize,
@@ -166,6 +173,30 @@ impl StandardFormSkeleton {
     /// Builds the skeleton for `problem` with the given root bound vectors
     /// (typically the declared variable bounds).
     pub fn new(problem: &Problem, lower: &[f64], upper: &[f64]) -> Result<Self, LpError> {
+        Self::build(problem, lower, upper, false)
+    }
+
+    /// Builds a *bounded-variable* skeleton: no span rows are allocated —
+    /// finite upper bounds (and branch & bound bound overrides) are handled
+    /// implicitly by the revised engine as nonbasic-at-upper statuses, so
+    /// `m_total == m_constraints` (about half the rows of [`Self::new`] on
+    /// integer-heavy models). Only [`crate::revised`] understands this
+    /// layout; the dense tableau engine rejects it.
+    pub fn new_bounded(problem: &Problem, lower: &[f64], upper: &[f64]) -> Result<Self, LpError> {
+        Self::build(problem, lower, upper, true)
+    }
+
+    /// `true` when this skeleton was built by [`Self::new_bounded`].
+    pub fn is_bounded(&self) -> bool {
+        self.bounded
+    }
+
+    fn build(
+        problem: &Problem,
+        lower: &[f64],
+        upper: &[f64],
+        bounded: bool,
+    ) -> Result<Self, LpError> {
         let sense_factor = match problem.sense() {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
@@ -193,15 +224,20 @@ impl StandardFormSkeleton {
             } else if lo.is_finite() {
                 let col = next_col;
                 next_col += 1;
-                if hi.is_finite() || branchable {
+                if !bounded && (hi.is_finite() || branchable) {
                     // Branchable variables always get a span row so a later
                     // finite upper bound is a pure RHS patch (an unbounded
                     // side is RHS = +inf, which the ratio test ignores).
+                    // Bounded-variable mode needs neither: any upper bound
+                    // is an implicit column bound.
                     span_vars.push(i);
                 }
                 VarMap::Shifted { col }
             } else if hi.is_finite() {
-                if branchable {
+                if branchable && !bounded {
+                    // In bounded mode a later finite *lower* bound on a
+                    // mirrored variable is an implicit column bound too, so
+                    // branching stays expressible.
                     nodes_stable = false;
                 }
                 let col = next_col;
@@ -253,6 +289,10 @@ impl StandardFormSkeleton {
                 _ => unreachable!("span rows are only allocated for shifted variables"),
             })
             .collect();
+        let mut span_cols = vec![false; num_struct];
+        for &(col, _) in &span_rows {
+            span_cols[col] = true;
+        }
 
         let m_constraints = rows.len();
         let m_total = m_constraints + span_rows.len();
@@ -288,6 +328,8 @@ impl StandardFormSkeleton {
             root_upper: upper.to_vec(),
             rows,
             span_rows,
+            span_cols,
+            bounded,
             num_struct,
             m_constraints,
             m_total,
@@ -350,15 +392,22 @@ impl StandardFormSkeleton {
                     fixed
                 }
                 VarMap::Shifted { col } => {
-                    let wants_span = hi.is_finite() || branchable;
-                    let has_span = self.span_rows.iter().any(|&(c, _)| c == col);
-                    !fixed && lo.is_finite() && wants_span == has_span
+                    if self.bounded {
+                        !fixed && lo.is_finite()
+                    } else {
+                        let wants_span = hi.is_finite() || branchable;
+                        !fixed && lo.is_finite() && wants_span == self.span_cols[col]
+                    }
                 }
                 VarMap::Mirrored { .. } => {
-                    if branchable {
-                        nodes_stable = false;
+                    if self.bounded {
+                        !fixed && hi.is_finite()
+                    } else {
+                        if branchable {
+                            nodes_stable = false;
+                        }
+                        !fixed && !lo.is_finite() && hi.is_finite()
                     }
-                    !fixed && !lo.is_finite() && hi.is_finite()
                 }
                 VarMap::Split { .. } => {
                     if branchable {
@@ -425,12 +474,14 @@ impl StandardFormSkeleton {
         if lower.len() != self.var_map.len() || upper.len() != self.var_map.len() {
             return false;
         }
-        let has_span = |col: usize| self.span_rows.iter().any(|&(c, _)| c == col);
         self.var_map.iter().enumerate().all(|(i, map)| match *map {
             VarMap::Shifted { col } => {
-                lower[i].is_finite() && (upper[i] == self.root_upper[i] || has_span(col))
+                lower[i].is_finite()
+                    && (self.bounded || upper[i] == self.root_upper[i] || self.span_cols[col])
             }
-            VarMap::Mirrored { .. } => lower[i] == f64::NEG_INFINITY && upper[i].is_finite(),
+            VarMap::Mirrored { .. } => {
+                upper[i].is_finite() && (self.bounded || lower[i] == f64::NEG_INFINITY)
+            }
             VarMap::Split { .. } => !lower[i].is_finite() && !upper[i].is_finite(),
             VarMap::Fixed => {
                 (upper[i] - lower[i]).abs() <= 1e-12
@@ -539,6 +590,12 @@ pub fn solve_with_skeleton(
     basis_hint: Option<&[usize]>,
     max_iterations: usize,
 ) -> Result<SimplexResult, LpError> {
+    // Bounded-variable skeletons carry upper bounds as implicit column
+    // bounds, which only the revised engine's ratio tests understand.
+    assert!(
+        !skeleton.bounded,
+        "the dense tableau engine requires a span-row (legacy) skeleton"
+    );
     // Branching can make bound pairs cross; that node is infeasible.
     for i in 0..lower.len() {
         if lower[i] > upper[i] + FEAS_TOL {

@@ -43,6 +43,16 @@ pub struct SolveStats {
     /// policy, replacing the dense engine's blind `REUSE_REFRESH` refill.
     #[serde(default)]
     pub basis_refactorizations: usize,
+    /// Bound flips performed by the bounded-variable ratio test: the
+    /// entering variable hit its own opposite bound before any basic
+    /// variable blocked, so its status flipped with no basis change.
+    /// Always 0 unless `SolveOptions::bounded_variables` is on.
+    #[serde(default)]
+    pub bound_flips: usize,
+    /// Forrest–Tomlin factor updates applied in place of product-form eta
+    /// appends. Always 0 unless `SolveOptions::forrest_tomlin` is on.
+    #[serde(default)]
+    pub ft_updates: usize,
 }
 
 impl SolveStats {

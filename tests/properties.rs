@@ -88,17 +88,119 @@ fn sparse_random_mip(
     p
 }
 
-/// The five solver configurations the cross-engine battery exercises: the
-/// seed baseline plus the dense and revised engines on both their warm and
-/// cold paths.
-fn engine_configs() -> [(&'static str, Engine, bool); 5] {
-    [
-        ("seed", Engine::SeedBaseline, true),
-        ("dense-warm", Engine::DenseTableau, true),
-        ("dense-cold", Engine::DenseTableau, false),
-        ("revised-warm", Engine::RevisedSparse, true),
-        ("revised-cold", Engine::RevisedSparse, false),
-    ]
+/// Builds a doubly-bounded MIP: every integer variable carries a nonzero
+/// lower bound *and* a finite upper bound (the bounded-variable engine
+/// handles both implicitly, without span rows), plus `free_vars` free
+/// continuous variables that only the constraint rows keep in check.
+fn doubly_bounded_mip(
+    values: &[f64],
+    lows: &[usize],
+    spans: &[usize],
+    caps: &[f64],
+    free_vars: usize,
+) -> Problem {
+    let n = values.len().min(lows.len()).min(spans.len()).max(1);
+    let mut p = Problem::new("dbl-mip", Sense::Maximize);
+    let mut lo_mass = 0.0;
+    let ints: Vec<_> = (0..n)
+        .map(|i| {
+            let lo = lows[i] as f64;
+            lo_mass += lo;
+            p.add_int_var(format!("x{i}"), lo, lo + 1.0 + spans[i] as f64)
+        })
+        .collect();
+    let frees: Vec<_> = (0..free_vars)
+        .map(|i| p.add_var(format!("f{i}"), f64::NEG_INFINITY, f64::INFINITY))
+        .collect();
+    p.set_objective(
+        ints.iter()
+            .zip(values)
+            .map(|(&v, &c)| (v, c))
+            // Distinct coefficients keep the optimal free split unique.
+            .chain(
+                frees
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, 1.5 + 0.25 * i as f64)),
+            ),
+    );
+    for (k, &cap) in caps.iter().enumerate() {
+        // Offset by the lower-bound mass so x = lower, f = 0 stays feasible.
+        p.add_constraint(
+            format!("cap{k}"),
+            ints.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + ((i + k) % 3) as f64))
+                .chain(frees.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64))),
+            ConstraintOp::Le,
+            3.0 * lo_mass + cap,
+        );
+    }
+    // A floor per free variable: a `>=` row with negative RHS, exercising
+    // the Ge path alongside the implicit column bounds.
+    for (i, &f) in frees.iter().enumerate() {
+        p.add_constraint(format!("floor{i}"), [(f, 1.0)], ConstraintOp::Ge, -5.0);
+    }
+    p
+}
+
+/// The solver configurations the cross-engine battery exercises: the seed
+/// baseline, the dense engine (warm and cold), and the revised engine over
+/// the full flag matrix — bounded-variables × Forrest–Tomlin × dual
+/// steepest-edge, each on both the warm and the cold path.
+fn engine_configs() -> Vec<(String, SolveOptions)> {
+    let mut cfgs: Vec<(String, SolveOptions)> = vec![
+        (
+            "seed".into(),
+            SolveOptions {
+                engine: Engine::SeedBaseline,
+                ..Default::default()
+            },
+        ),
+        (
+            "dense-warm".into(),
+            SolveOptions {
+                engine: Engine::DenseTableau,
+                warm_start: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "dense-cold".into(),
+            SolveOptions {
+                engine: Engine::DenseTableau,
+                warm_start: false,
+                ..Default::default()
+            },
+        ),
+    ];
+    for warm_start in [true, false] {
+        for bounded_variables in [false, true] {
+            for forrest_tomlin in [false, true] {
+                for dual_steepest_edge in [false, true] {
+                    let label = format!(
+                        "revised-{}{}{}{}",
+                        if warm_start { "warm" } else { "cold" },
+                        if bounded_variables { "+bv" } else { "" },
+                        if forrest_tomlin { "+ft" } else { "" },
+                        if dual_steepest_edge { "+dse" } else { "" },
+                    );
+                    cfgs.push((
+                        label,
+                        SolveOptions {
+                            engine: Engine::RevisedSparse,
+                            warm_start,
+                            bounded_variables,
+                            forrest_tomlin,
+                            dual_steepest_edge,
+                            ..Default::default()
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    cfgs
 }
 
 proptest! {
@@ -192,9 +294,9 @@ proptest! {
         let reference = p.solve_with(&SolveOptions { relative_gap: gap, ..Default::default() }).unwrap();
         let scale = reference.objective().abs().max(1.0);
         let tol = 2.0 * gap * scale + 1e-6;
-        for (label, engine, warm_start) in engine_configs() {
+        for (label, base) in engine_configs() {
             let sol = p
-                .solve_with(&SolveOptions { relative_gap: gap, engine, warm_start, ..Default::default() })
+                .solve_with(&SolveOptions { relative_gap: gap, ..base })
                 .unwrap();
             prop_assert!((sol.objective() - reference.objective()).abs() <= tol,
                 "{label} {} vs reference {}", sol.objective(), reference.objective());
@@ -224,13 +326,52 @@ proptest! {
             &values[..n], &weights[..n], &caps, density, density_seed,
             unbounded_stride, duplicate_row,
         );
-        let exact = SolveOptions { relative_gap: 0.0, ..Default::default() };
-        let mut reference: Option<(&str, f64, Vec<f64>)> = None;
-        for (label, engine, warm_start) in engine_configs() {
+        let mut reference: Option<(String, f64, Vec<f64>)> = None;
+        for (label, base) in engine_configs() {
             let sol = p
-                .solve_with(&SolveOptions { engine, warm_start, ..exact.clone() })
+                .solve_with(&SolveOptions { relative_gap: 0.0, ..base })
                 .unwrap_or_else(|e| panic!("{label} failed: {e:?}"));
             for (i, v) in sol.values().iter().enumerate() {
+                prop_assert!((v - v.round()).abs() < 1e-6, "{label}: x{i} = {v} not integral");
+            }
+            match &reference {
+                None => reference = Some((label, sol.objective(), sol.values().to_vec())),
+                Some((ref_label, obj, vals)) => {
+                    prop_assert!(
+                        (sol.objective() - obj).abs() <= 1e-6 * (1.0 + obj.abs()),
+                        "{label} objective {} vs {ref_label} {}",
+                        sol.objective(), obj
+                    );
+                    for (i, (a, b)) in sol.values().iter().zip(vals).enumerate() {
+                        prop_assert!((a - b).abs() < 1e-4,
+                            "{label} assignment x{i} = {a} vs {ref_label} {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The same cross-engine battery on doubly-bounded, free-variable-heavy
+    /// instances — the shapes the bounded-variable mode rewrites most
+    /// aggressively (every integer variable's two finite bounds become one
+    /// implicit column bound; free variables stay split). Status, objective
+    /// and assignment must agree across the whole flag matrix.
+    #[test]
+    fn engine_battery_agrees_on_doubly_bounded_mips(
+        values in proptest::collection::vec(0.5f64..9.5, 2..7),
+        lows in proptest::collection::vec(0usize..4, 2..7),
+        spans in proptest::collection::vec(0usize..4, 2..7),
+        caps in proptest::collection::vec(4.0f64..25.0, 1..4),
+        free_vars in 0usize..3,
+    ) {
+        let p = doubly_bounded_mip(&values, &lows, &spans, &caps, free_vars);
+        let mut reference: Option<(String, f64, Vec<f64>)> = None;
+        for (label, base) in engine_configs() {
+            let sol = p
+                .solve_with(&SolveOptions { relative_gap: 0.0, ..base })
+                .unwrap_or_else(|e| panic!("{label} failed: {e:?}"));
+            let n_int = values.len().min(lows.len()).min(spans.len()).max(1);
+            for (i, v) in sol.values().iter().take(n_int).enumerate() {
                 prop_assert!((v - v.round()).abs() < 1e-6, "{label}: x{i} = {v} not integral");
             }
             match &reference {
@@ -277,8 +418,8 @@ proptest! {
                 demand,
             );
         }
-        for (label, engine, warm_start) in engine_configs() {
-            let r = p.solve_with(&SolveOptions { engine, warm_start, ..Default::default() });
+        for (label, base) in engine_configs() {
+            let r = p.solve_with(&base);
             match r {
                 Err(LpError::Infeasible) | Err(LpError::NoIncumbent) => {}
                 other => panic!("{label}: expected infeasibility, got {other:?}"),
