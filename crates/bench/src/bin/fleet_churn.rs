@@ -23,7 +23,10 @@
 //! With `CHURN_CACHE=1` the binary additionally replays the unfaulted
 //! fleet with the admission plan cache off and on and reports admission
 //! decisions/sec for both; `CHURN_CACHE_BAR=<x>` also asserts the cached
-//! path clears `x`× the cold throughput (the CI regression gate).
+//! path clears `x`× the cold throughput (the CI regression gate). With
+//! `CHURN_REPLAY=1` it re-drives the session's own event log through
+//! `Fleet::replay` and asserts the reconstruction is bitwise identical
+//! (events, bills, makespan) — the event-log-as-source-of-truth gate.
 //!
 //! ```sh
 //! cargo run --release -p conductor-bench --bin fleet_churn        # 200 jobs
@@ -34,6 +37,7 @@
 
 use conductor_bench::experiments::{
     churn_fixture, dispatch_hot_path_report, faulted_churn_fixture, run_fleet_online,
+    run_fleet_session,
 };
 use conductor_bench::solver_bench::admission_benchmark;
 use conductor_core::FleetReport;
@@ -181,6 +185,42 @@ fn main() {
             assert_eq!(a.replanned_at_hours, b.replanned_at_hours, "{}", a.tenant);
         }
         println!("determinism: second run identical (bills, makespan, storms)");
+    }
+
+    // ---- event-log replay ----------------------------------------------
+    // Opt-in (`CHURN_REPLAY=1`): reconstruct the same fleet from its own
+    // event log (`Fleet::replay` re-drives every submission from the
+    // `Submitted` payloads and verifies each regenerated event against
+    // the log) and assert the reconstruction is exact — the log is a
+    // sufficient record of the session, proven at churn scale.
+    if std::env::var("CHURN_REPLAY").as_deref() == Ok("1") {
+        let (requests, service) = if faults {
+            faulted_churn_fixture(jobs, 1.0)
+        } else {
+            churn_fixture(jobs, 1.0)
+        };
+        let session = run_fleet_session(&service, &requests);
+        let start = Instant::now();
+        let mut replayed = service
+            .replay(session.events())
+            .expect("event log replays cleanly");
+        replayed.run_to_quiescence();
+        assert_eq!(
+            replayed.events(),
+            session.events(),
+            "replayed event log diverged"
+        );
+        let again = replayed.report();
+        assert_eq!(report.fleet_cost.to_bits(), again.fleet_cost.to_bits());
+        assert_eq!(
+            report.makespan_hours.to_bits(),
+            again.makespan_hours.to_bits()
+        );
+        println!(
+            "replay: {} events reconstructed the session bitwise in {:.3} s",
+            session.events().len(),
+            start.elapsed().as_secs_f64()
+        );
     }
 
     // ---- admission plan cache throughput --------------------------------

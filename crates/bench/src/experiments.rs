@@ -930,6 +930,22 @@ pub fn run_fleet_online(service: &ConductorService, requests: &[FleetJobRequest]
             .all(|w| w[0].arrival_hours <= w[1].arrival_hours),
         "run_fleet_online requires requests sorted by arrival_hours"
     );
+    run_fleet_session(service, requests).report()
+}
+
+/// [`run_fleet_online`], but returning the quiescent `Fleet` session
+/// itself rather than just its report — so callers can inspect the full
+/// event log (e.g. to feed `Fleet::replay`) or checkpoint the session.
+pub fn run_fleet_session(
+    service: &ConductorService,
+    requests: &[FleetJobRequest],
+) -> conductor_core::Fleet {
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_hours <= w[1].arrival_hours),
+        "run_fleet_session requires requests sorted by arrival_hours"
+    );
     let mut fleet = service.open().expect("fleet config is valid");
     for request in requests {
         fleet.step_until(request.arrival_hours);
@@ -938,7 +954,7 @@ pub fn run_fleet_online(service: &ConductorService, requests: &[FleetJobRequest]
             .expect("fixture requests are valid");
     }
     fleet.run_to_quiescence();
-    fleet.report()
+    fleet
 }
 
 /// Fleet churn summary table: `jobs` Poisson arrivals (mean gap

@@ -20,6 +20,10 @@ pub enum ConductorError {
     },
     /// The inputs were inconsistent (unknown service names, empty catalogs…).
     InvalidInput(String),
+    /// A durability operation (write-ahead log, checkpoint file) failed at
+    /// the filesystem. Carries the rendered `std::io::Error` (io errors are
+    /// not `Clone`, this enum is).
+    Io(String),
 }
 
 impl fmt::Display for ConductorError {
@@ -31,6 +35,7 @@ impl fmt::Display for ConductorError {
                 write!(f, "goal cannot be attained: {reason}")
             }
             ConductorError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ConductorError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

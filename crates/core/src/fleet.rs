@@ -88,9 +88,11 @@ use crate::resources::{ResourcePool, REFERENCE_WORKLOAD_GBPH};
 use conductor_cloud::{Catalog, CostBreakdown, SpotMarket};
 use conductor_lp::{SolveContext, SolveOptions};
 use conductor_mapreduce::cluster::nodes_at;
-use conductor_mapreduce::execution::{ExecutionProgress, JobExecution, JobPhase, SessionPricing};
+use conductor_mapreduce::execution::{
+    ExecutionProgress, ExecutionSnapshot, JobExecution, JobPhase, SessionPricing,
+};
 use conductor_mapreduce::{JobSpec, NodeAllocation};
-use conductor_sim::{ProcessId, ProcessRegistry, Simulator, TIME_EPSILON};
+use conductor_sim::{ProcessId, ProcessRegistry, ScheduledEvent, Simulator, TIME_EPSILON};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -107,7 +109,7 @@ impl std::fmt::Display for TenantId {
 }
 
 /// One tenant's job submission.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetJobRequest {
     /// Tenant name (used as the deployment label and in the fleet report).
     pub tenant: String,
@@ -495,6 +497,10 @@ pub enum FleetEvent {
         at_hours: f64,
         /// Effective hour the arrival event will fire (≥ `at_hours`).
         arrival_hours: f64,
+        /// The full request, making the log entry self-describing:
+        /// [`Fleet::replay`] re-drives the submission from this payload
+        /// alone, no side-channel request list required.
+        request: FleetJobRequest,
     },
     /// Admission planning succeeded; the job's execution process is live.
     Admitted {
@@ -502,6 +508,10 @@ pub enum FleetEvent {
         tenant: TenantId,
         /// Admission hour.
         at_hours: f64,
+        /// The plan-cache key the admission was served from, when the
+        /// fast path decided (`None` for full branch & bound solves and
+        /// in shadow mode, which never *uses* the cache).
+        cache_key: Option<PlanCacheKey>,
     },
     /// The plan the tenant was admitted under.
     Planned {
@@ -595,6 +605,10 @@ pub enum FleetEvent {
         /// Cloud nodes terminated (node crashes only; zero for task
         /// failures).
         nodes_killed: usize,
+        /// The fault's pre-drawn victim-selection salt (see
+        /// [`crate::policy::FaultEvent::salt`]), so the log records the
+        /// complete draw that picked this victim.
+        salt: u64,
     },
     /// The retry policy re-submitted a failed (or late) tenant as a
     /// fresh arrival.
@@ -731,10 +745,9 @@ impl FleetEvent {
 /// use conductor_core::{FleetEvent, FleetObserver};
 /// let mut seen = 0usize;
 /// let mut obs = |_e: &FleetEvent| seen += 1;
-/// FleetObserver::on_event(&mut obs, &FleetEvent::Submitted {
+/// FleetObserver::on_event(&mut obs, &FleetEvent::Cancelled {
 ///     tenant: conductor_core::TenantId(0),
 ///     at_hours: 0.0,
-///     arrival_hours: 0.0,
 /// });
 /// assert_eq!(seen, 1);
 /// ```
@@ -798,8 +811,9 @@ pub struct TenantStatus {
 }
 
 /// Events on the fleet clock (internal wakeups; the public, typed stream
-/// is [`FleetEvent`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// is [`FleetEvent`]). Serializable because a [`FleetSnapshot`] carries
+/// the pending heap verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum ClockEvent {
     /// Submission `i` arrives and asks for admission.
     Arrival(usize),
@@ -857,9 +871,15 @@ enum TerminalKind {
 }
 
 /// A successful admission: the job's execution process, whether the
-/// breaker's on-demand fallback tier was engaged, and the initial event
-/// schedule to inject into the fleet clock.
-type Admission = (ActiveJob, bool, Vec<(f64, conductor_mapreduce::JobEvent)>);
+/// breaker's on-demand fallback tier was engaged, the plan-cache key the
+/// plan was served from (fast path only), and the initial event schedule
+/// to inject into the fleet clock.
+type Admission = (
+    ActiveJob,
+    bool,
+    Option<PlanCacheKey>,
+    Vec<(f64, conductor_mapreduce::JobEvent)>,
+);
 
 /// One admitted, still-running job.
 struct ActiveJob {
@@ -1051,11 +1071,19 @@ impl ResidualIndex {
 /// candidate entry is re-priced under the current forecast and certified
 /// against the current model's root LP bound instead, so look-alike
 /// arrivals share plans across market drift and capacity churn.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct PlanCacheKey {
-    horizon: usize,
-    reduce_tasks: usize,
-    spec_bits: [u64; 5],
+///
+/// Public because cache-served admissions record their key on
+/// [`FleetEvent::Admitted`], making the event log self-describing.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlanCacheKey {
+    /// Planning horizon in intervals.
+    pub horizon: usize,
+    /// The spec's reduce-task count.
+    pub reduce_tasks: usize,
+    /// Exact bit patterns of the model-shaping spec floats: `input_gb`,
+    /// `split_mb`, `map_output_ratio`, `reduce_output_ratio`,
+    /// `reference_throughput_gbph`.
+    pub spec_bits: [u64; 5],
 }
 
 impl PlanCacheKey {
@@ -1079,7 +1107,7 @@ impl PlanCacheKey {
 /// objective is linear in prices with node counts as coefficients, so
 /// `cost + Σ nodes·(p_new − p_old)·dt` is *exactly* the current model's
 /// objective for this shape — no approximation in the re-pricing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PlanCacheEntry {
     plan: ExecutionPlan,
     /// Objective the shape solved to under `prices`.
@@ -1109,7 +1137,7 @@ const PLAN_CACHE_POOL: usize = 8;
 /// certification bar.
 const PLAN_CACHE_RATIO_WINDOW: usize = 8;
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PlanCache {
     entries: BTreeMap<PlanCacheKey, Vec<PlanCacheEntry>>,
     /// Rolling window of `cost / root bound` ratios fresh solves achieved
@@ -1461,7 +1489,7 @@ impl Fleet {
                 }
             }
         }
-        self.requests.push(request);
+        self.requests.push(request.clone());
         self.sim.inject(
             arrival,
             ClockEvent::Arrival(idx).class(),
@@ -1474,6 +1502,7 @@ impl Fleet {
             tenant: TenantId(idx),
             at_hours: at,
             arrival_hours: arrival,
+            request,
         });
         Ok(TenantId(idx))
     }
@@ -1560,37 +1589,67 @@ impl Fleet {
     pub fn run_to_quiescence(&mut self) {
         loop {
             while self.drain_one_batch() {}
-            let stalled: Vec<ProcessId> = self.active.keys().copied().collect();
-            for pid in stalled {
-                let job = self.active.remove(&pid).expect("stalled job present");
-                let rel = (self.last_hour - job.start).max(0.0);
-                let idx = job.request_idx;
-                let reason = "job stalled: no further events pending".to_string();
-                let o = &mut self.outcomes[idx];
-                o.failure = Some(reason.clone());
-                let report = job.exec.abort(rel);
-                let missed = report.met_deadline == Some(false);
-                o.execution = Some(report);
-                let at = self.last_hour;
-                self.emit(FleetEvent::Failed {
-                    tenant: TenantId(idx),
-                    at_hours: at,
-                    reason,
-                });
-                if missed {
-                    self.emit(FleetEvent::DeadlineMissed {
-                        tenant: TenantId(idx),
-                        at_hours: at,
-                    });
-                }
-                self.on_terminal(idx, at, TerminalKind::Failed);
-            }
+            self.abort_stalled_jobs();
             // Retries issued by the stalled aborts (or by nothing at all)
             // decide whether another round is needed.
             if self.sim.peek_time().is_none() {
                 break;
             }
         }
+    }
+
+    /// Aborts every still-active job as stalled (nothing running, nothing
+    /// scheduled), keeping its accrued spend on the fleet bill. This is
+    /// the final-drain step of [`run_to_quiescence`](Self::run_to_quiescence),
+    /// factored out so [`replay`](Self::replay) can reproduce a live
+    /// session's stalled aborts when the log expects terminal events with
+    /// an empty heap. Returns `true` when any job was aborted.
+    fn abort_stalled_jobs(&mut self) -> bool {
+        let stalled: Vec<ProcessId> = self.active.keys().copied().collect();
+        let any = !stalled.is_empty();
+        for pid in stalled {
+            let job = self.active.remove(&pid).expect("stalled job present");
+            let rel = (self.last_hour - job.start).max(0.0);
+            let idx = job.request_idx;
+            let reason = "job stalled: no further events pending".to_string();
+            let o = &mut self.outcomes[idx];
+            o.failure = Some(reason.clone());
+            let report = job.exec.abort(rel);
+            let missed = report.met_deadline == Some(false);
+            o.execution = Some(report);
+            let at = self.last_hour;
+            self.emit(FleetEvent::Failed {
+                tenant: TenantId(idx),
+                at_hours: at,
+                reason,
+            });
+            if missed {
+                self.emit(FleetEvent::DeadlineMissed {
+                    tenant: TenantId(idx),
+                    at_hours: at,
+                });
+            }
+            self.on_terminal(idx, at, TerminalKind::Failed);
+        }
+        any
+    }
+
+    /// Pops and processes the next batch of simultaneous events, if any.
+    /// Returns `false` when the heap is empty. This is the finest public
+    /// stepping granularity — exactly one event *batch* (all events within
+    /// [`TIME_EPSILON`] of the earliest pending time), which is also the
+    /// granularity at which [`checkpoint`](Self::checkpoint) boundaries
+    /// are meaningful: a checkpoint taken between two batches resumes bit
+    /// for bit, whereas no boundary exists inside a batch.
+    pub fn step_one_batch(&mut self) -> bool {
+        self.drain_one_batch()
+    }
+
+    /// How many events are pending on the fleet clock (arrivals, job
+    /// wakeups, revocation sweeps, faults, breaker probes and monitor
+    /// ticks — including superseded ticks that will pop as no-ops).
+    pub fn pending_events(&self) -> usize {
+        self.sim.len()
     }
 
     /// A live snapshot of one tenant: lifecycle state, plan, execution
@@ -1861,7 +1920,7 @@ impl Fleet {
                 return;
             }
         }
-        if let Some((job, fallback, initial)) = self.admit(i, now) {
+        if let Some((job, fallback, cache_key, initial)) = self.admit(i, now) {
             let pid = self.registry.register();
             for (t, _) in initial {
                 self.sim
@@ -1872,6 +1931,7 @@ impl Fleet {
             self.emit(FleetEvent::Admitted {
                 tenant: TenantId(i),
                 at_hours: now,
+                cache_key,
             });
             let (expected_cost, expected_completion_hours) = self.outcomes[i]
                 .plan
@@ -1938,8 +1998,8 @@ impl Fleet {
             _ => None,
         };
         let cached = if shadow { None } else { probe.clone() };
-        let (plan, planning) = match cached {
-            Some(result) => result,
+        let (plan, planning, cache_key) = match cached {
+            Some((plan, planning, key)) => (plan, planning, Some(key)),
             None => {
                 match planner.plan_with_config_ctx(
                     &request.spec,
@@ -1951,7 +2011,7 @@ impl Fleet {
                         if let Goal::MinimizeCost { deadline_hours } = request.goal {
                             if self.config.plan_cache || shadow {
                                 if shadow {
-                                    if let Some((shadow_plan, _)) = &probe {
+                                    if let Some((shadow_plan, _, _)) = &probe {
                                         let fresh = result.0.expected_cost;
                                         if fresh.is_finite() && fresh.abs() > f64::EPSILON {
                                             let excess =
@@ -1976,7 +2036,7 @@ impl Fleet {
                                 );
                             }
                         }
-                        result
+                        (result.0, result.1, None)
                     }
                     Err(e) => {
                         self.outcomes[request_idx].rejection =
@@ -2047,6 +2107,7 @@ impl Fleet {
                 fallback_on_demand: fallback,
             },
             fallback,
+            cache_key,
             initial,
         ))
     }
@@ -2069,7 +2130,7 @@ impl Fleet {
         deadline_hours: f64,
         config: &ModelConfig,
         residual: &ResourcePool,
-    ) -> Option<(ExecutionPlan, PlanningReport)> {
+    ) -> Option<(ExecutionPlan, PlanningReport, PlanCacheKey)> {
         let horizon = (deadline_hours / planner.interval_hours).ceil().max(1.0) as usize;
         self.plan_cache.last_bound = None;
         let ctx = if self.config.plan_cache_shadow {
@@ -2135,7 +2196,7 @@ impl Fleet {
             bound_flips: 0,
             ft_updates: 0,
         };
-        Some((plan, planning))
+        Some((plan, planning, key))
     }
 
     /// Records a freshly solved admission plan in the cache (oldest shape
@@ -2492,6 +2553,7 @@ impl Fleet {
                     at_hours: now,
                     kind: event.kind,
                     nodes_killed: 0,
+                    salt: event.salt,
                 });
                 self.emit(FleetEvent::Failed {
                     tenant: TenantId(idx),
@@ -2529,6 +2591,7 @@ impl Fleet {
                     at_hours: now,
                     kind: event.kind,
                     nodes_killed: killed,
+                    salt: event.salt,
                 });
             }
         }
@@ -2976,6 +3039,359 @@ impl Fleet {
         }
         forecast
     }
+
+    // ---- checkpoint / restore / replay ----------------------------------
+
+    /// A complete serializable image of the paused session: logical clock,
+    /// the pending event heap verbatim, every tenant's execution state,
+    /// billing, policy state (gate, breaker, dead letters), the admission
+    /// plan cache, the event log, and the exact solver-context bytes —
+    /// everything [`restore`](Self::restore) needs to continue bit for
+    /// bit. The catalog, pool and config are *not* captured (they are
+    /// session inputs; `restore` takes them as arguments), and neither
+    /// are observers (processes, not data).
+    ///
+    /// Checkpoints are meaningful at event-batch boundaries, which is
+    /// everywhere the public API can observe: `submit`, `cancel`,
+    /// `step_until`, [`step_one_batch`](Self::step_one_batch) and
+    /// `run_to_quiescence` all return with the current batch fully
+    /// applied.
+    pub fn checkpoint(&self) -> FleetSnapshot {
+        debug_assert!(self.batch.is_empty(), "checkpoint inside an event batch");
+        FleetSnapshot {
+            clock_hours: self.sim.now(),
+            next_seq: self.sim.next_seq(),
+            heap: self
+                .sim
+                .snapshot_entries()
+                .into_iter()
+                .map(|e| HeapEntrySnapshot {
+                    at: e.at,
+                    class: e.class,
+                    seq: e.seq,
+                    event: e.event,
+                })
+                .collect(),
+            registry: self.registry.clone(),
+            active: self
+                .active
+                .iter()
+                .map(|(pid, job)| ActiveJobSnapshot {
+                    pid: *pid,
+                    request_idx: job.request_idx,
+                    start: job.start,
+                    exec: job.exec.snapshot(),
+                    spec: job.spec.clone(),
+                    goal: job.goal,
+                    tenant_bid: job.tenant_bid,
+                    progress_model: job.progress_model.clone(),
+                    storm_hit: job.storm_hit,
+                    fallback_on_demand: job.fallback_on_demand,
+                })
+                .collect(),
+            requests: self.requests.clone(),
+            outcomes: self.outcomes.clone(),
+            tenant_pids: self.tenant_pids.clone(),
+            cancelled: self.cancelled.clone(),
+            arrivals_pending: self.arrivals_pending,
+            monitor_anchor: self.monitor_anchor,
+            monitor_gen: self.monitor_gen,
+            monitor_next: self.monitor_next,
+            monitor_live: self.monitor_live,
+            monitor_fired: self.monitor_fired,
+            revocation_hours_scheduled: self.revocation_hours_scheduled.clone(),
+            dead_letters: self.dead_letters.clone(),
+            failure_window: self.failure_window.clone(),
+            breaker: self.breaker.clone(),
+            probe_live: self.probe_live,
+            last_hour: self.last_hour,
+            stepped_to: self.stepped_to,
+            events: self.events.clone(),
+            solve_ctx: self.solve_ctx.export_state(),
+            shadow_ctx: self.shadow_ctx.export_state(),
+            plan_cache: self.plan_cache.clone(),
+        }
+    }
+
+    /// Reopens a checkpointed session. The catalog, pool and config must
+    /// be the ones the session was opened with — they are inputs, not
+    /// state — and the snapshot supplies everything else: the restored
+    /// fleet continues *bit for bit* where the checkpointed one stood
+    /// (same events, same floats, same report).
+    ///
+    /// Construction-time schedules (revocation sweeps, fault events) are
+    /// deliberately *not* re-derived here: the pending instances live in
+    /// the snapshot's heap, and the already-fired ones must not fire
+    /// again. Observers are not restored (re-register after restoring);
+    /// the residual index is rebuilt lazily on first use.
+    ///
+    /// Fails with [`ConductorError::InvalidInput`] on an invalid pool or
+    /// config, on non-finite snapshot floats (a NaN must never reach the
+    /// event heap), or on corrupt solver-context blobs.
+    pub fn restore(
+        catalog: Catalog,
+        pool: ResourcePool,
+        config: FleetConfig,
+        snapshot: &FleetSnapshot,
+    ) -> Result<Self, ConductorError> {
+        pool.validate().map_err(ConductorError::InvalidInput)?;
+        config.validate()?;
+        snapshot.validate()?;
+        let solve_ctx = SolveContext::import_state(&snapshot.solve_ctx).map_err(|e| {
+            ConductorError::InvalidInput(format!("corrupt solver-context blob: {e:?}"))
+        })?;
+        let shadow_ctx = SolveContext::import_state(&snapshot.shadow_ctx).map_err(|e| {
+            ConductorError::InvalidInput(format!("corrupt shadow-context blob: {e:?}"))
+        })?;
+        let entries: Vec<ScheduledEvent<ClockEvent>> = snapshot
+            .heap
+            .iter()
+            .map(|h| ScheduledEvent {
+                at: h.at,
+                class: h.class,
+                seq: h.seq,
+                event: h.event,
+            })
+            .collect();
+        let sim = Simulator::restore(snapshot.clock_hours, entries, snapshot.next_seq);
+        let mut active = BTreeMap::new();
+        for j in &snapshot.active {
+            active.insert(
+                j.pid,
+                ActiveJob {
+                    request_idx: j.request_idx,
+                    start: j.start,
+                    exec: j.exec.restore(),
+                    spec: j.spec.clone(),
+                    goal: j.goal,
+                    tenant_bid: j.tenant_bid,
+                    progress_model: j.progress_model.clone(),
+                    storm_hit: j.storm_hit,
+                    fallback_on_demand: j.fallback_on_demand,
+                },
+            );
+        }
+        Ok(Self {
+            catalog,
+            pool,
+            config,
+            sim,
+            registry: snapshot.registry.clone(),
+            active,
+            requests: snapshot.requests.clone(),
+            outcomes: snapshot.outcomes.clone(),
+            tenant_pids: snapshot.tenant_pids.clone(),
+            cancelled: snapshot.cancelled.clone(),
+            arrivals_pending: snapshot.arrivals_pending,
+            monitor_anchor: snapshot.monitor_anchor,
+            monitor_gen: snapshot.monitor_gen,
+            monitor_next: snapshot.monitor_next,
+            monitor_live: snapshot.monitor_live,
+            monitor_fired: snapshot.monitor_fired,
+            revocation_hours_scheduled: snapshot.revocation_hours_scheduled.clone(),
+            dead_letters: snapshot.dead_letters.clone(),
+            failure_window: snapshot.failure_window.clone(),
+            breaker: snapshot.breaker.clone(),
+            probe_live: snapshot.probe_live,
+            last_hour: snapshot.last_hour,
+            stepped_to: snapshot.stepped_to,
+            events: snapshot.events.clone(),
+            observers: Vec::new(),
+            batch: Vec::new(),
+            residual_index: RefCell::new(ResidualIndex::default()),
+            solve_ctx,
+            plan_cache: snapshot.plan_cache.clone(),
+            shadow_ctx,
+        })
+    }
+
+    /// Reconstructs a session by re-driving a persisted event log from
+    /// scratch — the log is the source of truth, not a description of
+    /// one. `Submitted` and `Cancelled` entries carry enough payload to
+    /// re-issue the client call that produced them ([`FleetEvent::Submitted`]
+    /// embeds the full request); every other entry is *expected output*,
+    /// regenerated by stepping the clock and verified element-wise
+    /// against the log as it appears. A mismatch — wrong event, wrong
+    /// hour, wrong payload — aborts with [`ConductorError::InvalidInput`]
+    /// naming the diverging position.
+    ///
+    /// The contract covers sessions driven through the public API at
+    /// batch granularity (`step_until` to each submission hour, `submit`,
+    /// `cancel`, `run_to_quiescence`): replay re-drives client calls at
+    /// the hour the log records and lets the event loop do the rest.
+    /// Returns the reconstructed fleet (heap state included) positioned
+    /// exactly after the last log entry; trailing events the log did not
+    /// capture (a torn WAL tail) are simply regenerated by continuing the
+    /// session.
+    pub fn replay(
+        catalog: Catalog,
+        pool: ResourcePool,
+        config: FleetConfig,
+        log: &[FleetEvent],
+    ) -> Result<Self, ConductorError> {
+        let mut fleet = Fleet::new(catalog, pool, config)?;
+        while fleet.events.len() < log.len() {
+            let pos = fleet.events.len();
+            match &log[pos] {
+                FleetEvent::Submitted {
+                    at_hours, request, ..
+                } => {
+                    fleet.step_until(*at_hours);
+                    fleet.submit(request.clone())?;
+                }
+                FleetEvent::Cancelled { tenant, at_hours } => {
+                    fleet.step_until(*at_hours);
+                    fleet.cancel(*tenant)?;
+                }
+                expected => {
+                    // An internal event: drive the clock until the loop
+                    // emits something. Batches that emit nothing (e.g.
+                    // superseded monitor ticks) are drained silently; an
+                    // empty heap with jobs still active is the live
+                    // session's final-drain stall point.
+                    if !fleet.drain_one_batch() && !fleet.abort_stalled_jobs() {
+                        return Err(ConductorError::InvalidInput(format!(
+                            "replay diverged at log position {pos}: log expects \
+                             {expected:?} but the session is quiescent"
+                        )));
+                    }
+                }
+            }
+            let upto = fleet.events.len().min(log.len());
+            for (k, expected) in log.iter().enumerate().take(upto).skip(pos) {
+                if fleet.events[k] != *expected {
+                    return Err(ConductorError::InvalidInput(format!(
+                        "replay diverged at log position {k}: log has {expected:?}, \
+                         session produced {:?}",
+                        fleet.events[k]
+                    )));
+                }
+            }
+        }
+        Ok(fleet)
+    }
+}
+
+/// One pending entry of the fleet clock's event heap, exactly as the
+/// simulator reports it (pop order: time, then class, then insertion
+/// sequence). A non-generic mirror of `ScheduledEvent<ClockEvent>` so the
+/// snapshot can derive serde.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct HeapEntrySnapshot {
+    at: f64,
+    class: u8,
+    seq: u64,
+    event: ClockEvent,
+}
+
+/// One active job's serializable image: its process id plus everything
+/// [`ActiveJob`] holds, with the execution captured as an
+/// [`ExecutionSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ActiveJobSnapshot {
+    pid: ProcessId,
+    request_idx: usize,
+    start: f64,
+    exec: ExecutionSnapshot,
+    spec: JobSpec,
+    goal: Goal,
+    tenant_bid: Option<f64>,
+    progress_model: Vec<(f64, f64)>,
+    storm_hit: bool,
+    fallback_on_demand: bool,
+}
+
+/// A serializable image of a paused [`Fleet`] session, produced by
+/// [`Fleet::checkpoint`] and consumed by [`Fleet::restore`]. Opaque by
+/// design — the only supported operations are the JSON codec
+/// ([`to_json`](Self::to_json) / [`from_json`](Self::from_json)) and
+/// `restore`; the fields track `Fleet`'s internals and are not a stable
+/// public schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    clock_hours: f64,
+    next_seq: u64,
+    heap: Vec<HeapEntrySnapshot>,
+    registry: ProcessRegistry,
+    active: Vec<ActiveJobSnapshot>,
+    requests: Vec<FleetJobRequest>,
+    outcomes: Vec<TenantOutcome>,
+    tenant_pids: BTreeMap<usize, ProcessId>,
+    cancelled: BTreeSet<usize>,
+    arrivals_pending: usize,
+    monitor_anchor: Option<f64>,
+    monitor_gen: u64,
+    monitor_next: f64,
+    monitor_live: bool,
+    monitor_fired: bool,
+    revocation_hours_scheduled: BTreeSet<usize>,
+    dead_letters: Vec<DeadLetter>,
+    failure_window: Option<FailureWindow>,
+    breaker: Option<SpotBreaker>,
+    probe_live: bool,
+    last_hour: f64,
+    stepped_to: f64,
+    events: Vec<FleetEvent>,
+    solve_ctx: String,
+    shadow_ctx: String,
+    plan_cache: PlanCache,
+}
+
+impl FleetSnapshot {
+    /// Serializes the snapshot to a JSON string. The codec is exact:
+    /// floats render shortest-round-trip, u64s beyond 2^53 go through
+    /// strings, so `from_json(to_json(s))` reproduces `s` bit for bit.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("fleet snapshot serializes")
+    }
+
+    /// Deserializes a snapshot from [`to_json`](Self::to_json) output.
+    ///
+    /// Fails with [`ConductorError::InvalidInput`] on malformed JSON or
+    /// on non-finite floats in positions that feed the event heap or the
+    /// fleet clock — the same guard [`Fleet::submit`] applies at the
+    /// front door, mirrored here so a tampered checkpoint cannot smuggle
+    /// a NaN past it.
+    pub fn from_json(text: &str) -> Result<Self, ConductorError> {
+        let snapshot: FleetSnapshot = serde_json::from_str(text)
+            .map_err(|e| ConductorError::InvalidInput(format!("fleet snapshot JSON: {e}")))?;
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// The clock/heap finiteness guards shared by [`Self::from_json`] and
+    /// [`Fleet::restore`].
+    fn validate(&self) -> Result<(), ConductorError> {
+        let finite = |name: &str, v: f64| -> Result<(), ConductorError> {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(ConductorError::InvalidInput(format!(
+                    "fleet snapshot: non-finite {name} {v}"
+                )))
+            }
+        };
+        finite("clock hour", self.clock_hours)?;
+        finite("last batch hour", self.last_hour)?;
+        finite("stepped-to hour", self.stepped_to)?;
+        finite("monitor tick hour", self.monitor_next)?;
+        if let Some(anchor) = self.monitor_anchor {
+            finite("monitor anchor", anchor)?;
+        }
+        for entry in &self.heap {
+            finite("heap event hour", entry.at)?;
+        }
+        for request in &self.requests {
+            finite("request arrival hour", request.arrival_hours)?;
+            if let Some(bid) = request.spot_bid {
+                finite("request spot bid", bid)?;
+            }
+        }
+        for job in &self.active {
+            finite("job start hour", job.start)?;
+        }
+        Ok(())
+    }
 }
 
 /// `(fleet_hour, cumulative expected map GB)` checkpoints implied by a
@@ -3060,7 +3476,7 @@ mod tests {
         );
         // Admit one job and check the leftover.
         f.submit(request("a", 0.0, 6.0)).unwrap();
-        let (job, _, _) = f.admit(0, 0.0).expect("admission succeeds");
+        let (job, _, _, _) = f.admit(0, 0.0).expect("admission succeeds");
         let peak: usize = job
             .exec
             .node_schedule()

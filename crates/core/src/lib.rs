@@ -49,13 +49,14 @@ pub mod policy;
 pub mod resources;
 pub mod service;
 pub mod spot;
+pub mod wal;
 
 pub use adapt::{AdaptationReport, AdaptiveController};
 pub use controller::{DeploymentOutcome, JobController};
 pub use error::ConductorError;
 pub use fleet::{
-    Fleet, FleetConfig, FleetEvent, FleetJobRequest, FleetObserver, FleetReport, OutcomeClass,
-    TenantId, TenantOutcome, TenantState, TenantStatus,
+    Fleet, FleetConfig, FleetEvent, FleetJobRequest, FleetObserver, FleetReport, FleetSnapshot,
+    OutcomeClass, PlanCacheKey, TenantId, TenantOutcome, TenantState, TenantStatus,
 };
 pub use goal::Goal;
 pub use model::{InitialState, ModelConfig, ModelInstance};
@@ -68,3 +69,4 @@ pub use policy::{
 pub use resources::{ComputeResource, ResourcePool, StorageResource};
 pub use service::ConductorService;
 pub use spot::{BidPredictor, SpotDeploymentSimulator, SpotScenarioResult};
+pub use wal::{WalReader, WalReadout, WalWriter};

@@ -281,7 +281,7 @@ pub enum AdmissionChange {
 
 /// Runtime state of the [`FailureThreshold`] gate: a sliding window of
 /// the last-N terminal outcomes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FailureWindow {
     config: FailureThreshold,
     samples: VecDeque<bool>,
@@ -438,7 +438,7 @@ pub enum BreakerTransition {
 /// job; probes come from the fleet's hourly breaker-probe events, which
 /// check the trace hour just elapsed. Everything is driven by the
 /// deterministic event loop — the breaker holds no clock of its own.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpotBreaker {
     config: CircuitBreakerConfig,
     state: BreakerState,

@@ -134,6 +134,36 @@ impl ConductorService {
         &self.config
     }
 
+    /// The instance-type catalog. Together with [`pool`](Self::pool) and
+    /// [`config`](Self::config), these are the three session inputs
+    /// [`Fleet::restore`] and [`Fleet::replay`] take alongside a
+    /// checkpoint or event log.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Reopens a checkpointed session with this service's catalog, pool
+    /// and configuration — see [`Fleet::restore`].
+    pub fn restore(&self, snapshot: &crate::fleet::FleetSnapshot) -> Result<Fleet, ConductorError> {
+        Fleet::restore(
+            self.catalog.clone(),
+            self.pool.clone(),
+            self.config.clone(),
+            snapshot,
+        )
+    }
+
+    /// Reconstructs a session from a persisted event log with this
+    /// service's catalog, pool and configuration — see [`Fleet::replay`].
+    pub fn replay(&self, log: &[crate::fleet::FleetEvent]) -> Result<Fleet, ConductorError> {
+        Fleet::replay(
+            self.catalog.clone(),
+            self.pool.clone(),
+            self.config.clone(),
+            log,
+        )
+    }
+
     /// Opens an incremental [`Fleet`] session with this service's catalog,
     /// pool and configuration — the open-world API behind [`Self::run`]:
     /// submit at any time, step the clock, cancel, query live status,

@@ -44,6 +44,7 @@ pub mod seed_baseline;
 pub mod simplex;
 pub mod solution;
 pub mod sparse;
+pub mod state;
 
 pub use branch_bound::SolveContext;
 pub use error::LpError;
@@ -52,3 +53,4 @@ pub use problem::{ConstraintOp, Engine, Problem, Sense, SolveOptions, VarKind};
 pub use revised::RevisedWorkspace;
 pub use simplex::{SimplexWorkspace, StandardFormSkeleton, WarmStart};
 pub use solution::{Solution, SolveStats, SolveStatus};
+pub use state::StateError;

@@ -663,6 +663,113 @@ impl BasisFactorization {
     }
 }
 
+// --- Checkpoint codec -------------------------------------------------------
+//
+// The factor content is the accumulated result of the exact pivot sequence:
+// refactorizing the same basis from scratch lands on bitwise-different
+// floats, so a resumed run must carry these bytes verbatim. `lu_next` and
+// `heap` are staging/scratch fully reinitialized at the start of every use
+// and restore empty; the solve scratch vectors are tiny and travel anyway so
+// a restored handle is indistinguishable field-for-field.
+
+use crate::state::{Reader, StateError, Writer};
+
+impl LuFactors {
+    fn encode_state(&self, w: &mut Writer) {
+        w.usize(self.m);
+        w.seq(&self.l_cols, |w, col| w.vec_idx_f64(col));
+        w.seq(&self.u_cols, |w, col| w.vec_idx_f64(col));
+        w.vec_f64(&self.u_diag);
+        w.vec_usize(&self.prow);
+        w.vec_usize(&self.step_of_row);
+    }
+
+    fn decode_state(r: &mut Reader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            m: r.usize()?,
+            l_cols: r.seq(|r| r.vec_idx_f64())?,
+            u_cols: r.seq(|r| r.vec_idx_f64())?,
+            u_diag: r.vec_f64()?,
+            prow: r.vec_usize()?,
+            step_of_row: r.vec_usize()?,
+        })
+    }
+}
+
+impl Eta {
+    fn encode_state(&self, w: &mut Writer) {
+        w.usize(self.r);
+        w.f64(self.wr);
+        w.vec_idx_f64(&self.nz);
+    }
+
+    fn decode_state(r: &mut Reader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            r: r.usize()?,
+            wr: r.f64()?,
+            nz: r.vec_idx_f64()?,
+        })
+    }
+}
+
+impl RowEta {
+    fn encode_state(&self, w: &mut Writer) {
+        w.usize(self.r);
+        w.vec_idx_f64(&self.nz);
+    }
+
+    fn decode_state(r: &mut Reader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            r: r.usize()?,
+            nz: r.vec_idx_f64()?,
+        })
+    }
+}
+
+impl BasisFactorization {
+    pub(crate) fn encode_state(&self, w: &mut Writer) {
+        self.lu.encode_state(w);
+        w.seq(&self.etas, |w, e| e.encode_state(w));
+        w.bool(self.ft_mode);
+        w.seq(&self.u_rows, |w, row| w.vec_idx_f64(row));
+        w.vec_usize(&self.order);
+        w.vec_usize(&self.pos);
+        w.seq(&self.ft_etas, |w, e| e.encode_state(w));
+        w.vec_f64(&self.ft_scratch);
+        w.usize(self.ft_since_refactor);
+        w.vec_f64(&self.solve_scratch);
+        w.vec_f64(&self.work);
+        w.vec_bool(&self.in_work);
+        w.vec_usize(&self.touched);
+        w.usize(self.factorizations);
+        w.usize(self.refactorizations);
+        w.usize(self.ft_updates);
+    }
+
+    pub(crate) fn decode_state(r: &mut Reader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            lu: LuFactors::decode_state(r)?,
+            lu_next: LuFactors::default(),
+            etas: r.seq(Eta::decode_state)?,
+            ft_mode: r.bool()?,
+            u_rows: r.seq(|r| r.vec_idx_f64())?,
+            order: r.vec_usize()?,
+            pos: r.vec_usize()?,
+            ft_etas: r.seq(RowEta::decode_state)?,
+            ft_scratch: r.vec_f64()?,
+            ft_since_refactor: r.usize()?,
+            solve_scratch: r.vec_f64()?,
+            work: r.vec_f64()?,
+            in_work: r.vec_bool()?,
+            touched: r.vec_usize()?,
+            heap: std::collections::BinaryHeap::new(),
+            factorizations: r.usize()?,
+            refactorizations: r.usize()?,
+            ft_updates: r.usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

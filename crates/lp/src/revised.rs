@@ -1484,6 +1484,133 @@ impl<'a> RSolver<'a> {
     }
 }
 
+// --- Checkpoint codec -------------------------------------------------------
+
+use crate::state::{Reader, StateError, Writer};
+
+impl RevisedWorkspace {
+    /// Checkpoint encoding. Every field travels as exact bytes — the
+    /// factorized basis and the accumulated eta/Forrest–Tomlin updates are
+    /// path-dependent floats a rebuild cannot reproduce. The address-based
+    /// `skeleton_tag` cannot survive a round-trip literally, so it is
+    /// encoded as "did it match `skeleton`?" and re-derived on decode from
+    /// the restored skeleton's new address.
+    pub(crate) fn encode_state(&self, skeleton: &StandardFormSkeleton, out: &mut Writer) {
+        self.a.encode_state(out);
+        out.seq(&self.triplets, |o, &(r, c, v)| {
+            o.usize(r);
+            o.usize(c);
+            o.f64(v);
+        });
+        self.bf.encode_state(out);
+        out.vec_usize(&self.basis);
+        out.vec_bool(&self.is_basic);
+        out.vec_f64(&self.b_f);
+        out.vec_f64(&self.b_w);
+        out.vec_f64(&self.x_f);
+        out.vec_f64(&self.x_w);
+        out.vec_f64(&self.shifts);
+        out.f64(self.obj_constant);
+        out.f64(self.b_scale);
+        out.bool(self.has_inf);
+        out.vec_f64(&self.fill_flip);
+        out.vec_f64(&self.phase1_cost);
+        out.vec_f64(&self.y);
+        out.vec_f64(&self.w);
+        out.vec_f64(&self.d);
+        out.vec_f64(&self.alpha);
+        out.vec_f64(&self.resid);
+        out.vec_usize(&self.candidates);
+        out.usize(self.refactor_after);
+        out.bool(self.force_bland);
+        out.bool(self.reusable);
+        out.bool(self.skeleton_tag == skeleton as *const StandardFormSkeleton as usize);
+        out.usize(self.warm_hits);
+        out.usize(self.warm_misses);
+        out.vec_f64(&self.col_upper);
+        out.vec_bool(&self.at_upper);
+        out.vec_f64(&self.b_eff);
+        out.vec_f64(&self.dse_gamma);
+        out.vec_f64(&self.dse_tau);
+        out.bool(self.use_dse);
+        out.usize(self.bound_flips);
+    }
+
+    /// Decodes a workspace checkpoint, binding the tag to `skeleton`'s
+    /// (new) address when the encoded state recorded a match.
+    pub(crate) fn decode_state(
+        r: &mut Reader<'_>,
+        skeleton: &StandardFormSkeleton,
+    ) -> Result<Self, StateError> {
+        let a = CscMatrix::decode_state(r)?;
+        let triplets = r.seq(|r| Ok((r.usize()?, r.usize()?, r.f64()?)))?;
+        let bf = BasisFactorization::decode_state(r)?;
+        let basis = r.vec_usize()?;
+        let is_basic = r.vec_bool()?;
+        let b_f = r.vec_f64()?;
+        let b_w = r.vec_f64()?;
+        let x_f = r.vec_f64()?;
+        let x_w = r.vec_f64()?;
+        let shifts = r.vec_f64()?;
+        let obj_constant = r.f64()?;
+        let b_scale = r.f64()?;
+        let has_inf = r.bool()?;
+        let fill_flip = r.vec_f64()?;
+        let phase1_cost = r.vec_f64()?;
+        let y = r.vec_f64()?;
+        let w = r.vec_f64()?;
+        let d = r.vec_f64()?;
+        let alpha = r.vec_f64()?;
+        let resid = r.vec_f64()?;
+        let candidates = r.vec_usize()?;
+        let refactor_after = r.usize()?;
+        let force_bland = r.bool()?;
+        let reusable = r.bool()?;
+        let tag_matched = r.bool()?;
+        let skeleton_tag = if tag_matched {
+            skeleton as *const StandardFormSkeleton as usize
+        } else {
+            0
+        };
+        Ok(Self {
+            a,
+            triplets,
+            bf,
+            basis,
+            is_basic,
+            b_f,
+            b_w,
+            x_f,
+            x_w,
+            shifts,
+            obj_constant,
+            b_scale,
+            has_inf,
+            fill_flip,
+            phase1_cost,
+            y,
+            w,
+            d,
+            alpha,
+            resid,
+            candidates,
+            refactor_after,
+            force_bland,
+            reusable,
+            skeleton_tag,
+            warm_hits: r.usize()?,
+            warm_misses: r.usize()?,
+            col_upper: r.vec_f64()?,
+            at_upper: r.vec_bool()?,
+            b_eff: r.vec_f64()?,
+            dse_gamma: r.vec_f64()?,
+            dse_tau: r.vec_f64()?,
+            use_dse: r.bool()?,
+            bound_flips: r.usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

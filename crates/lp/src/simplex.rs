@@ -1257,6 +1257,130 @@ impl<'a> Solver<'a> {
     }
 }
 
+// --- Checkpoint codec -------------------------------------------------------
+
+use crate::state::{Reader, StateError, Writer};
+
+impl VarMap {
+    fn encode_state(&self, w: &mut Writer) {
+        match *self {
+            VarMap::Shifted { col } => {
+                w.u8(0);
+                w.usize(col);
+            }
+            VarMap::Mirrored { col } => {
+                w.u8(1);
+                w.usize(col);
+            }
+            VarMap::Split { pos, neg } => {
+                w.u8(2);
+                w.usize(pos);
+                w.usize(neg);
+            }
+            VarMap::Fixed => w.u8(3),
+        }
+    }
+
+    fn decode_state(r: &mut Reader<'_>) -> Result<Self, StateError> {
+        Ok(match r.u8()? {
+            0 => VarMap::Shifted { col: r.usize()? },
+            1 => VarMap::Mirrored { col: r.usize()? },
+            2 => VarMap::Split {
+                pos: r.usize()?,
+                neg: r.usize()?,
+            },
+            3 => VarMap::Fixed,
+            other => return Err(StateError::new(format!("invalid VarMap tag {other}"))),
+        })
+    }
+}
+
+fn encode_op(op: ConstraintOp, w: &mut Writer) {
+    w.u8(match op {
+        ConstraintOp::Le => 0,
+        ConstraintOp::Ge => 1,
+        ConstraintOp::Eq => 2,
+    });
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<ConstraintOp, StateError> {
+    Ok(match r.u8()? {
+        0 => ConstraintOp::Le,
+        1 => ConstraintOp::Ge,
+        2 => ConstraintOp::Eq,
+        other => return Err(StateError::new(format!("invalid ConstraintOp tag {other}"))),
+    })
+}
+
+impl SkelRow {
+    fn encode_state(&self, w: &mut Writer) {
+        w.vec_idx_f64(&self.scatter);
+        w.vec_idx_f64(&self.terms);
+        encode_op(self.op, w);
+        w.f64(self.base_rhs);
+    }
+
+    fn decode_state(r: &mut Reader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            scatter: r.vec_idx_f64()?,
+            terms: r.vec_idx_f64()?,
+            op: decode_op(r)?,
+            base_rhs: r.f64()?,
+        })
+    }
+}
+
+impl StandardFormSkeleton {
+    /// Checkpoint encoding. A skeleton is plain data derived from the last
+    /// problem it was (re)bound to, so the whole struct travels verbatim —
+    /// the decoded copy rebinds to the next matching problem exactly like
+    /// the live one would have.
+    pub(crate) fn encode_state(&self, w: &mut Writer) {
+        w.seq(&self.var_map, |w, m| m.encode_state(w));
+        w.vec_f64(&self.root_lower);
+        w.vec_f64(&self.root_upper);
+        w.seq(&self.rows, |w, row| row.encode_state(w));
+        w.seq(&self.span_rows, |w, &(col, var)| {
+            w.usize(col);
+            w.usize(var);
+        });
+        w.vec_bool(&self.span_cols);
+        w.bool(self.bounded);
+        w.usize(self.num_struct);
+        w.usize(self.m_constraints);
+        w.usize(self.m_total);
+        w.usize(self.artificial_start);
+        w.usize(self.cols);
+        w.vec_f64(&self.c);
+        w.vec_idx_f64(&self.obj_terms);
+        w.f64(self.obj_base);
+        w.f64(self.sense_factor);
+        w.bool(self.nodes_stable);
+    }
+
+    pub(crate) fn decode_state(r: &mut Reader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            var_map: r.seq(VarMap::decode_state)?,
+            root_lower: r.vec_f64()?,
+            root_upper: r.vec_f64()?,
+            rows: r.seq(SkelRow::decode_state)?,
+            span_rows: r.seq(|r| Ok((r.usize()?, r.usize()?)))?,
+            span_cols: r.vec_bool()?,
+            bounded: r.bool()?,
+            num_struct: r.usize()?,
+            m_constraints: r.usize()?,
+            m_total: r.usize()?,
+            artificial_start: r.usize()?,
+            cols: r.usize()?,
+            c: r.vec_f64()?,
+            obj_terms: r.vec_idx_f64()?,
+            obj_base: r.f64()?,
+            sense_factor: r.f64()?,
+            nodes_stable: r.bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

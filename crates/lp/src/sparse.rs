@@ -106,6 +106,29 @@ impl CscMatrix {
             x[r] += factor * v;
         }
     }
+
+    /// Checkpoint encoding. `cursor` is scratch that [`CscMatrix::assemble`]
+    /// fully rebuilds, so only the matrix itself travels.
+    pub(crate) fn encode_state(&self, w: &mut crate::state::Writer) {
+        w.usize(self.rows);
+        w.usize(self.cols);
+        w.vec_usize(&self.col_ptr);
+        w.vec_usize(&self.row_idx);
+        w.vec_f64(&self.values);
+    }
+
+    pub(crate) fn decode_state(
+        r: &mut crate::state::Reader<'_>,
+    ) -> Result<Self, crate::state::StateError> {
+        Ok(Self {
+            rows: r.usize()?,
+            cols: r.usize()?,
+            col_ptr: r.vec_usize()?,
+            row_idx: r.vec_usize()?,
+            values: r.vec_f64()?,
+            cursor: Vec::new(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -56,11 +56,12 @@ use crate::cluster::{nodes_at, Cluster, NodeAllocation, NodeId};
 use crate::engine::{
     DataLocation, DeploymentOptions, EngineError, ExecutionReport, PhaseBreakdown,
 };
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, SchedulerSnapshot};
 use crate::task::{build_tasks, Task, TaskKind, TaskState};
 use crate::workload::JobSpec;
 use conductor_cloud::{BillingAccount, Catalog, SpotMarket, TransferDirection};
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Time tolerance for simultaneity, shared with the kernel.
 const EPS: f64 = conductor_sim::TIME_EPSILON;
@@ -98,7 +99,7 @@ impl JobEvent {
 
 /// How rental sessions opened by this job are priced — and, for spot
 /// sessions, when the market refuses or revokes them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum SessionPricing {
     /// Every session pays the catalog's on-demand price and is never
     /// refused or revoked.
@@ -191,7 +192,7 @@ impl SessionPricing {
 }
 
 /// Which lifecycle phase the job is in.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum JobPhase {
     /// Uploading/processing on the cluster.
     Processing,
@@ -227,14 +228,14 @@ pub struct ExecutionProgress {
 
 /// A split of the input data with its upload destination and availability
 /// time.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Split {
     location: DataLocation,
     available_at: f64,
     gb: f64,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Running {
     task_idx: usize,
     node: NodeId,
@@ -274,9 +275,9 @@ pub struct JobExecution<'a> {
     // node). Sets are ordered, so "lowest task index at this location" is
     // `first()` — preserving the scan's deterministic tie-breaking.
     /// Pending map tasks whose input is available now, by location.
-    runnable_maps: BTreeMap<DataLocation, std::collections::BTreeSet<usize>>,
+    runnable_maps: BTreeMap<DataLocation, BTreeSet<usize>>,
     /// Pending reduce tasks (dispatchable once `map_remaining == 0`).
-    runnable_reduces: std::collections::BTreeSet<usize>,
+    runnable_reduces: BTreeSet<usize>,
     /// `(available_at, task_idx, location)` for splits still uploading,
     /// sorted by availability; promoted into `runnable_maps` as the clock
     /// passes them.
@@ -369,9 +370,8 @@ impl<'a> JobExecution<'a> {
         schedule_points.dedup();
 
         let map_remaining = spec.map_tasks();
-        let mut runnable_maps: BTreeMap<DataLocation, std::collections::BTreeSet<usize>> =
-            BTreeMap::new();
-        let mut runnable_reduces = std::collections::BTreeSet::new();
+        let mut runnable_maps: BTreeMap<DataLocation, BTreeSet<usize>> = BTreeMap::new();
+        let mut runnable_reduces = BTreeSet::new();
         let mut upload_pending: Vec<(f64, usize, DataLocation)> = Vec::new();
         for (idx, task) in tasks.iter().enumerate() {
             match task.kind {
@@ -1252,6 +1252,120 @@ impl<'a> JobExecution<'a> {
     }
 }
 
+/// The complete serializable state of one [`JobExecution`], for
+/// checkpoint/resume. Every runtime field travels — including the billing
+/// ledger, the dispatch index and the task timeline — so a restored
+/// execution is field-for-field identical to the live one and produces the
+/// same wakeup handling, costs and final report bit for bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionSnapshot {
+    catalog: Catalog,
+    spec: JobSpec,
+    options: DeploymentOptions,
+    scheduler: SchedulerSnapshot,
+    pricing: SessionPricing,
+    billing: BillingAccount,
+    cluster: Cluster,
+    sessions: BTreeMap<NodeId, u64>,
+    tasks: Vec<Task>,
+    splits: Vec<Split>,
+    running: Vec<Running>,
+    schedule_points: Vec<f64>,
+    runnable_maps: BTreeMap<DataLocation, BTreeSet<usize>>,
+    runnable_reduces: BTreeSet<usize>,
+    upload_pending: Vec<(f64, usize, DataLocation)>,
+    upload_cursor: usize,
+    task_timeline: Vec<(f64, usize)>,
+    completed: usize,
+    map_remaining: usize,
+    wan_in_extra: f64,
+    total_s3_gets: u64,
+    cloud_processed_gb: f64,
+    phases: PhaseBreakdown,
+    upload_done_at: f64,
+    s3_gb: f64,
+    straggler_extensions: usize,
+    schedule_epoch: u64,
+    phase: JobPhase,
+    report: Option<ExecutionReport>,
+}
+
+impl JobExecution<'_> {
+    /// Captures the full runtime state (see [`ExecutionSnapshot`]).
+    pub fn snapshot(&self) -> ExecutionSnapshot {
+        ExecutionSnapshot {
+            catalog: self.catalog.clone(),
+            spec: self.spec.clone(),
+            options: self.options.clone(),
+            scheduler: self.scheduler.snapshot(),
+            pricing: self.pricing.clone(),
+            billing: self.billing.clone(),
+            cluster: self.cluster.clone(),
+            sessions: self.sessions.clone(),
+            tasks: self.tasks.clone(),
+            splits: self.splits.clone(),
+            running: self.running.clone(),
+            schedule_points: self.schedule_points.clone(),
+            runnable_maps: self.runnable_maps.clone(),
+            runnable_reduces: self.runnable_reduces.clone(),
+            upload_pending: self.upload_pending.clone(),
+            upload_cursor: self.upload_cursor,
+            task_timeline: self.task_timeline.clone(),
+            completed: self.completed,
+            map_remaining: self.map_remaining,
+            wan_in_extra: self.wan_in_extra,
+            total_s3_gets: self.total_s3_gets,
+            cloud_processed_gb: self.cloud_processed_gb,
+            phases: self.phases,
+            upload_done_at: self.upload_done_at,
+            s3_gb: self.s3_gb,
+            straggler_extensions: self.straggler_extensions,
+            schedule_epoch: self.schedule_epoch,
+            phase: self.phase,
+            report: self.report.clone(),
+        }
+    }
+}
+
+impl ExecutionSnapshot {
+    /// Rebuilds the execution exactly as captured; the scheduler is
+    /// reconstructed from its snapshot, so the result owns all its state
+    /// (hence the `'static` lifetime).
+    pub fn restore(&self) -> JobExecution<'static> {
+        JobExecution {
+            catalog: self.catalog.clone(),
+            spec: self.spec.clone(),
+            options: self.options.clone(),
+            scheduler: self.scheduler.rebuild(),
+            pricing: self.pricing.clone(),
+            billing: self.billing.clone(),
+            cluster: self.cluster.clone(),
+            sessions: self.sessions.clone(),
+            tasks: self.tasks.clone(),
+            splits: self.splits.clone(),
+            running: self.running.clone(),
+            schedule_points: self.schedule_points.clone(),
+            runnable_maps: self.runnable_maps.clone(),
+            runnable_reduces: self.runnable_reduces.clone(),
+            upload_pending: self.upload_pending.clone(),
+            upload_cursor: self.upload_cursor,
+            task_timeline: self.task_timeline.clone(),
+            completed: self.completed,
+            map_remaining: self.map_remaining,
+            wan_in_extra: self.wan_in_extra,
+            total_s3_gets: self.total_s3_gets,
+            cloud_processed_gb: self.cloud_processed_gb,
+            phases: self.phases,
+            upload_done_at: self.upload_done_at,
+            s3_gb: self.s3_gb,
+            straggler_extensions: self.straggler_extensions,
+            schedule_epoch: self.schedule_epoch,
+            phase: self.phase,
+            report: self.report.clone(),
+        }
+    }
+}
+
 fn crosses_wan(loc: DataLocation) -> bool {
     matches!(loc, DataLocation::S3 | DataLocation::InstanceDisk)
 }
@@ -1507,5 +1621,54 @@ mod tests {
         );
         assert_eq!(report.met_deadline, None); // no deadline configured
         assert!((report.completion_hours - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_for_bit() {
+        // Price spike at hour 1 exercises the spot pricing state; drive the
+        // live execution partway, snapshot, then race both to completion.
+        let prices = vec![0.2, 0.5, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2];
+        let mut live = spot_execution(prices, 0.34);
+        live.on_wakeup(0.0);
+        let mut horizon = 0.0;
+        for _ in 0..3 {
+            if let Some(t) = live.next_event_hours(horizon) {
+                live.on_wakeup(t);
+                horizon = t;
+            }
+        }
+        let snap = snapshot_roundtrip(&live.snapshot());
+        let mut resumed = snap.restore();
+
+        let drive = |exec: &mut JobExecution<'_>, mut horizon: f64| {
+            let mut guard = 0;
+            while !exec.is_done() && guard < 10_000 {
+                match exec.next_event_hours(horizon) {
+                    Some(t) => {
+                        exec.on_wakeup(t);
+                        horizon = t;
+                    }
+                    None => break,
+                }
+                guard += 1;
+            }
+        };
+        drive(&mut live, horizon);
+        drive(&mut resumed, horizon);
+        assert!(live.is_done());
+        assert!(resumed.is_done());
+        // The whole end state — report, billing ledger, timeline — must be
+        // identical, not merely close.
+        assert_eq!(
+            live.snapshot().serialize(),
+            resumed.snapshot().serialize(),
+            "resumed execution diverged from the uninterrupted run"
+        );
+    }
+
+    /// Serializes and deserializes the snapshot so the test covers the full
+    /// persistence path, not just the in-memory clone.
+    fn snapshot_roundtrip(snap: &ExecutionSnapshot) -> ExecutionSnapshot {
+        ExecutionSnapshot::deserialize(&snap.serialize()).expect("snapshot round-trip")
     }
 }

@@ -31,8 +31,12 @@ pub mod workload;
 
 pub use cluster::{Cluster, NodeAllocation, NodeId, SimNode};
 pub use engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport, PhaseBreakdown};
-pub use execution::{ExecutionProgress, JobEvent, JobExecution, JobPhase, SessionPricing};
+pub use execution::{
+    ExecutionProgress, ExecutionSnapshot, JobEvent, JobExecution, JobPhase, SessionPricing,
+};
 pub use hdfs::HdfsModel;
-pub use scheduler::{LocalityScheduler, PlanFollowingScheduler, Scheduler, SchedulerKind};
+pub use scheduler::{
+    LocalityScheduler, PlanFollowingScheduler, Scheduler, SchedulerKind, SchedulerSnapshot,
+};
 pub use task::{Task, TaskId, TaskKind, TaskState};
 pub use workload::{JobSpec, Workload, REFERENCE_INSTANCE_GBPH};

@@ -42,6 +42,37 @@ pub trait Scheduler {
 
     /// Which implementation this is.
     fn kind(&self) -> SchedulerKind;
+
+    /// A serializable image of this scheduler's configuration;
+    /// [`SchedulerSnapshot::rebuild`] reconstructs an equivalent scheduler.
+    /// Both implementations are pure policy over small data, so the image
+    /// is the kind plus (for the plan follower) the permission map.
+    fn snapshot(&self) -> SchedulerSnapshot;
+}
+
+/// Serializable scheduler configuration for checkpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerSnapshot {
+    /// [`LocalityScheduler`].
+    Locality,
+    /// [`PlanFollowingScheduler`] with its permission map.
+    PlanFollowing {
+        /// Allowed input locations per instance-type name.
+        allowed: BTreeMap<String, Vec<DataLocation>>,
+    },
+}
+
+impl SchedulerSnapshot {
+    /// Reconstructs a scheduler equivalent to the one the snapshot was
+    /// taken from.
+    pub fn rebuild(&self) -> Box<dyn Scheduler + 'static> {
+        match self {
+            SchedulerSnapshot::Locality => Box::new(LocalityScheduler),
+            SchedulerSnapshot::PlanFollowing { allowed } => Box::new(PlanFollowingScheduler {
+                allowed: allowed.clone(),
+            }),
+        }
+    }
 }
 
 // Delegation through references, so a borrowed scheduler can be boxed into
@@ -58,6 +89,10 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
 
     fn kind(&self) -> SchedulerKind {
         (**self).kind()
+    }
+
+    fn snapshot(&self) -> SchedulerSnapshot {
+        (**self).snapshot()
     }
 }
 
@@ -83,6 +118,10 @@ impl Scheduler for LocalityScheduler {
 
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Locality
+    }
+
+    fn snapshot(&self) -> SchedulerSnapshot {
+        SchedulerSnapshot::Locality
     }
 }
 
@@ -155,6 +194,12 @@ impl Scheduler for PlanFollowingScheduler {
 
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::PlanFollowing
+    }
+
+    fn snapshot(&self) -> SchedulerSnapshot {
+        SchedulerSnapshot::PlanFollowing {
+            allowed: self.allowed.clone(),
+        }
     }
 }
 

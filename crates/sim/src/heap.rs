@@ -146,6 +146,48 @@ impl<E> EventHeap<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The sequence number the next [`EventHeap::push`] will take. Part of
+    /// a heap checkpoint: restoring it means pushes after resume continue
+    /// the FIFO tie-break exactly where the original run left off.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuilds a heap from checkpointed entries. Each entry keeps its
+    /// original `(at, class, seq)` key — including the bit-exact `f64` time
+    /// mapping — so the restored heap pops in the identical order, and
+    /// `next_seq` resumes the insertion counter for subsequent pushes.
+    pub fn restore(entries: Vec<ScheduledEvent<E>>, next_seq: u64) -> Self {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for e in entries {
+            heap.push(Entry {
+                key: Key::new(e.at, e.class, e.seq),
+                at: e.at,
+                event: e.event,
+            });
+        }
+        Self { heap, next_seq }
+    }
+}
+
+impl<E: Clone> EventHeap<E> {
+    /// Every pending event in deterministic pop order, with its original
+    /// insertion sequence. Feeding the result to [`EventHeap::restore`]
+    /// (with [`EventHeap::next_seq`]) reproduces this heap exactly.
+    pub fn snapshot_entries(&self) -> Vec<ScheduledEvent<E>> {
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| e.key);
+        entries
+            .into_iter()
+            .map(|e| ScheduledEvent {
+                at: e.at,
+                class: e.key.class,
+                seq: e.key.seq,
+                event: e.event.clone(),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

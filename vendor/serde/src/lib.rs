@@ -10,7 +10,7 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 use std::time::Duration;
@@ -113,25 +113,89 @@ pub trait Deserialize: Sized {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
-macro_rules! impl_num {
+/// Largest integer magnitude an `f64` mantissa represents exactly (2^53).
+/// Integers beyond it serialize as decimal strings so 64-bit values (e.g.
+/// `f64::to_bits` payloads, hash salts) round-trip without losing low bits.
+const MAX_SAFE_INT: u128 = 1 << 53;
+
+macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn serialize(&self) -> Json {
-                Json::Number(*self as f64)
+                if (*self as i128).unsigned_abs() <= MAX_SAFE_INT {
+                    Json::Number(*self as f64)
+                } else {
+                    Json::String(self.to_string())
+                }
             }
         }
         impl Deserialize for $t {
             fn deserialize(value: &Json) -> Result<Self, DeError> {
-                value
-                    .as_f64()
-                    .map(|n| n as $t)
-                    .ok_or_else(|| DeError::expected(concat!("a number (", stringify!($t), ")")))
+                match value {
+                    Json::Number(n) => Ok(*n as $t),
+                    Json::String(s) => s.parse::<$t>().map_err(|_| {
+                        DeError::expected(concat!("an integer (", stringify!($t), ")"))
+                    }),
+                    _ => Err(DeError::expected(concat!(
+                        "a number (",
+                        stringify!($t),
+                        ")"
+                    ))),
+                }
             }
         }
     )*};
 }
 
-impl_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Floats serialize finite values as JSON numbers and the three non-finite
+/// values as the sentinel strings `"inf"` / `"-inf"` / `"NaN"`, which the
+/// `Deserialize` impl maps back. (Plain JSON has no non-finite literals;
+/// without the sentinels an infinity would decay to `null` and, behind an
+/// `Option`, silently become `None`.)
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Json {
+                let v = *self as f64;
+                if v.is_finite() {
+                    Json::Number(v)
+                } else if v.is_nan() {
+                    Json::String("NaN".to_string())
+                } else if v > 0.0 {
+                    Json::String("inf".to_string())
+                } else {
+                    Json::String("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Json) -> Result<Self, DeError> {
+                match value {
+                    Json::Number(n) => Ok(*n as $t),
+                    Json::String(s) => match s.as_str() {
+                        "inf" => Ok(<$t>::INFINITY),
+                        "-inf" => Ok(<$t>::NEG_INFINITY),
+                        "NaN" => Ok(<$t>::NAN),
+                        _ => Err(DeError::expected(concat!(
+                            "a number (",
+                            stringify!($t),
+                            ")"
+                        ))),
+                    },
+                    _ => Err(DeError::expected(concat!(
+                        "a number (",
+                        stringify!($t),
+                        ")"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f64, f32);
 
 impl Serialize for bool {
     fn serialize(&self) -> Json {
@@ -239,6 +303,47 @@ impl<T: Deserialize> Deserialize for Vec<T> {
 impl<T: Serialize> Serialize for [T] {
     fn serialize(&self) -> Json {
         Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array"))?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected an array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::expected("an array of exact length"))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Json) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
     }
 }
 
@@ -437,5 +542,53 @@ mod tests {
     fn duration_roundtrip() {
         let d = Duration::new(12, 345_000_000);
         assert_eq!(Duration::deserialize(&d.serialize()).unwrap(), d);
+    }
+
+    #[test]
+    fn large_integers_roundtrip_exactly() {
+        for v in [u64::MAX, u64::MAX - 1, (1u64 << 53) + 1, f64::to_bits(0.1)] {
+            let json = v.serialize();
+            assert!(matches!(json, Json::String(_)), "expected string for {v}");
+            assert_eq!(u64::deserialize(&json).unwrap(), v);
+        }
+        // Small integers stay plain numbers.
+        assert_eq!(42u64.serialize(), Json::Number(42.0));
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        let neg = i64::MIN + 1;
+        assert_eq!(i64::deserialize(&neg.serialize()).unwrap(), neg);
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_via_sentinels() {
+        assert_eq!(f64::INFINITY.serialize(), Json::String("inf".into()));
+        assert_eq!(f64::NEG_INFINITY.serialize(), Json::String("-inf".into()));
+        assert_eq!(f64::NAN.serialize(), Json::String("NaN".into()));
+        assert_eq!(
+            f64::deserialize(&Json::String("inf".into())).unwrap(),
+            f64::INFINITY
+        );
+        assert_eq!(
+            f64::deserialize(&Json::String("-inf".into())).unwrap(),
+            f64::NEG_INFINITY
+        );
+        assert!(f64::deserialize(&Json::String("NaN".into()))
+            .unwrap()
+            .is_nan());
+        // Behind an Option, a NaN no longer decays to None.
+        let v: Option<f64> = Some(f64::NAN);
+        assert!(Option::<f64>::deserialize(&v.serialize())
+            .unwrap()
+            .unwrap()
+            .is_nan());
+        assert!(f64::deserialize(&Json::String("pancake".into())).is_err());
+    }
+
+    #[test]
+    fn arrays_and_deques_roundtrip() {
+        let a = [1u64 << 60, 2, 3, 4, 5];
+        assert_eq!(<[u64; 5]>::deserialize(&a.serialize()).unwrap(), a);
+        assert!(<[u64; 4]>::deserialize(&a.serialize()).is_err());
+        let d: VecDeque<bool> = [true, false, true].into_iter().collect();
+        assert_eq!(VecDeque::<bool>::deserialize(&d.serialize()).unwrap(), d);
     }
 }
