@@ -27,6 +27,10 @@
 //! `CHURN_REPLAY=1` it re-drives the session's own event log through
 //! `Fleet::replay` and asserts the reconstruction is bitwise identical
 //! (events, bills, makespan) — the event-log-as-source-of-truth gate.
+//! With `CHURN_SHARDS=<n>` it additionally drains the same unfaulted
+//! fixture through an n-shard `ShardedFleet` (hash routing, no
+//! rebalancer) and asserts the sharded run reaches quiescence with every
+//! admitted job terminal and a second sharded run bitwise identical.
 //!
 //! ```sh
 //! cargo run --release -p conductor-bench --bin fleet_churn        # 200 jobs
@@ -37,7 +41,7 @@
 
 use conductor_bench::experiments::{
     churn_fixture, dispatch_hot_path_report, faulted_churn_fixture, run_fleet_online,
-    run_fleet_session,
+    run_fleet_session, run_sharded_session,
 };
 use conductor_bench::solver_bench::admission_benchmark;
 use conductor_core::FleetReport;
@@ -220,6 +224,48 @@ fn main() {
             "replay: {} events reconstructed the session bitwise in {:.3} s",
             session.events().len(),
             start.elapsed().as_secs_f64()
+        );
+    }
+
+    // ---- sharded runtime -----------------------------------------------
+    // Opt-in (`CHURN_SHARDS=<n>`): drain the same unfaulted fixture
+    // through an n-shard `ShardedFleet` (hash routing, no rebalancer)
+    // on the parallel stepping driver. The smoke gate: the sharded run
+    // reaches quiescence, every admitted job is terminal, and a second
+    // sharded run reproduces the first bit for bit — partitioning plus
+    // scoped threads must not cost determinism.
+    if let Some(shards) = std::env::var("CHURN_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        let (requests, service) = churn_fixture(jobs, 1.0);
+        let start = Instant::now();
+        let fleet = run_sharded_session(&service, shards, None, &requests);
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(fleet.pending_events(), 0, "sharded run did not drain");
+        let sharded = fleet.report();
+        assert_eq!(
+            sharded.jobs_completed, sharded.jobs_admitted,
+            "a sharded job failed mid-run"
+        );
+        let again = run_sharded_session(&service, shards, None, &requests);
+        assert_eq!(
+            fleet.fleet_bill().to_bits(),
+            again.fleet_bill().to_bits(),
+            "sharded bills diverged between identical runs"
+        );
+        assert_eq!(
+            fleet.merged_events(),
+            again.merged_events(),
+            "sharded event streams diverged between identical runs"
+        );
+        println!(
+            "sharded runtime ({shards} shards): {} admitted / {} completed in {:.3} s, \
+             bill ${:.2}, second run identical",
+            sharded.jobs_admitted,
+            sharded.jobs_completed,
+            wall,
+            fleet.fleet_bill(),
         );
     }
 

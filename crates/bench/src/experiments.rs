@@ -9,7 +9,7 @@ use conductor_cloud::{catalog::mbps_to_gb_per_hour, Catalog, CostCategory, SpotM
 use conductor_core::{
     AdaptiveController, BidPredictor, CircuitBreakerConfig, ConductorService, FailurePolicy,
     FailureThreshold, FaultPlan, FleetJobRequest, FleetReport, Goal, JobController, Planner,
-    ResourcePool, RetryPolicy, SpotDeploymentSimulator,
+    ResourcePool, RetryPolicy, ShardedFleet, ShardedFleetConfig, SpotDeploymentSimulator,
 };
 use conductor_lp::SolveOptions;
 use conductor_mapreduce::engine::{DataLocation, DeploymentOptions, Engine, ExecutionReport};
@@ -947,6 +947,40 @@ pub fn run_fleet_session(
         "run_fleet_session requires requests sorted by arrival_hours"
     );
     let mut fleet = service.open().expect("fleet config is valid");
+    for request in requests {
+        fleet.step_until(request.arrival_hours);
+        fleet
+            .submit(request.clone())
+            .expect("fixture requests are valid");
+    }
+    fleet.run_to_quiescence();
+    fleet
+}
+
+/// [`run_fleet_session`] over a [`ShardedFleet`]: the same online driver
+/// (step to each arrival, submit, drain) against `shards` partitions of
+/// the service's pool, with the queue-rebalancer at `rebalance_period`
+/// (or off when `None`). Shared by the shard-scaling bench rows, the
+/// `CHURN_SHARDS` smoke and the determinism tests so they all drive the
+/// identical fleet.
+pub fn run_sharded_session(
+    service: &ConductorService,
+    shards: usize,
+    rebalance_period: Option<f64>,
+    requests: &[FleetJobRequest],
+) -> ShardedFleet {
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_hours <= w[1].arrival_hours),
+        "run_sharded_session requires requests sorted by arrival_hours"
+    );
+    let mut fleet = service
+        .open_sharded(ShardedFleetConfig {
+            shards,
+            rebalance_period_hours: rebalance_period,
+        })
+        .expect("sharded fleet config is valid");
     for request in requests {
         fleet.step_until(request.arrival_hours);
         fleet

@@ -8,7 +8,7 @@
 //! statistics. The `fig16_solve_time` binary serializes this report to
 //! `BENCH_solver.json` so the perf trajectory is tracked across PRs.
 
-use crate::experiments::{churn_fixture, run_fleet_online};
+use crate::experiments::{churn_fixture, run_fleet_online, run_sharded_session};
 use conductor_cloud::{catalog::mbps_to_gb_per_hour, Catalog};
 use conductor_core::{Goal, Planner, PlanningReport, ResourcePool};
 use conductor_lp::{Engine, SolveOptions};
@@ -117,6 +117,63 @@ pub struct AdmissionBenchRow {
     pub plan_cache_misses: usize,
 }
 
+/// Sharded-runtime throughput on the canonical churn fleet: the same
+/// 200-arrival fixture drained through a [`conductor_core::ShardedFleet`]
+/// at 1, 2 and 4 shards (hash routing, no rebalancer, one scoped thread
+/// per shard). `threads_available` records the host's parallelism —
+/// speedups are only meaningful when it is ≥ the shard count, so CI
+/// gates its floor on that field rather than trusting a 1-CPU runner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardScalingRow {
+    /// Poisson arrivals in the fixture.
+    pub jobs: usize,
+    /// `std::thread::available_parallelism()` on the machine that
+    /// generated this row.
+    pub threads_available: usize,
+    /// End-to-end wall clock at 1 / 2 / 4 shards, seconds.
+    pub n1_wall_s: f64,
+    pub n2_wall_s: f64,
+    pub n4_wall_s: f64,
+    /// Jobs drained per second of end-to-end wall clock.
+    pub n1_jobs_per_sec: f64,
+    pub n2_jobs_per_sec: f64,
+    pub n4_jobs_per_sec: f64,
+    /// `n1_wall_s / n2_wall_s` and `n1_wall_s / n4_wall_s`.
+    pub n2_speedup: f64,
+    pub n4_speedup: f64,
+}
+
+/// Measures [`ShardScalingRow`] on a `jobs`-arrival churn fleet.
+pub fn shard_scaling_benchmark(jobs: usize) -> ShardScalingRow {
+    let (requests, service) = churn_fixture(jobs, 1.0);
+    let mut walls = [0.0f64; 3];
+    for (slot, shards) in [(0usize, 1usize), (1, 2), (2, 4)] {
+        let t0 = Instant::now();
+        let fleet = run_sharded_session(&service, shards, None, &requests);
+        walls[slot] = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            fleet.pending_events(),
+            0,
+            "the {shards}-shard run drains to quiescence"
+        );
+    }
+    let [n1, n2, n4] = walls;
+    ShardScalingRow {
+        jobs,
+        threads_available: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n1_wall_s: n1,
+        n2_wall_s: n2,
+        n4_wall_s: n4,
+        n1_jobs_per_sec: jobs as f64 / n1.max(1e-9),
+        n2_jobs_per_sec: jobs as f64 / n2.max(1e-9),
+        n4_jobs_per_sec: jobs as f64 / n4.max(1e-9),
+        n2_speedup: n1 / n2.max(1e-9),
+        n4_speedup: n1 / n4.max(1e-9),
+    }
+}
+
 /// The full new solver configuration on top of `base`: bounded-variable
 /// simplex, Forrest–Tomlin updates and dual steepest-edge pricing.
 fn full_flags(base: SolveOptions) -> SolveOptions {
@@ -190,6 +247,10 @@ pub struct SolverBenchReport {
     /// reports generated before the cache existed).
     #[serde(default)]
     pub admission: Option<AdmissionBenchRow>,
+    /// Sharded-runtime throughput at 1/2/4 shards (`None` in reports
+    /// generated before the sharded fleet existed).
+    #[serde(default)]
+    pub shard_scaling: Option<ShardScalingRow>,
 }
 
 /// Solve options shared by every engine (fig16's gap, a generous cap so none
@@ -372,6 +433,7 @@ pub fn solver_benchmark() -> SolverBenchReport {
         geomean_speedup_full_vs_legacy: geomean(&full_vs_legacy).expect("non-empty matrix"),
         overall_warm_start_rate: overall_rate,
         admission: Some(admission_benchmark(200)),
+        shard_scaling: Some(shard_scaling_benchmark(200)),
         rows,
     }
 }
@@ -446,6 +508,19 @@ pub fn render_report(report: &SolverBenchReport) -> String {
             a.wall_speedup,
             a.plan_cache_hits,
             a.plan_cache_misses,
+        ));
+    }
+    if let Some(s) = &report.shard_scaling {
+        out.push_str(&format!(
+            "shard scaling ({} jobs, {} threads): 1 shard {:.1}/s ({:.2} s), 2 shards {:.1}/s = {:.2}x, 4 shards {:.1}/s = {:.2}x\n",
+            s.jobs,
+            s.threads_available,
+            s.n1_jobs_per_sec,
+            s.n1_wall_s,
+            s.n2_jobs_per_sec,
+            s.n2_speedup,
+            s.n4_jobs_per_sec,
+            s.n4_speedup,
         ));
     }
     out

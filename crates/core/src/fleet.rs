@@ -82,9 +82,10 @@ use crate::plan::ExecutionPlan;
 use crate::planner::{Planner, PlanningReport};
 use crate::policy::{
     AdmissionChange, BreakerState, BreakerTransition, DeadLetter, FailurePolicy, FailureWindow,
-    FallbackTier, FaultKind, SpotBreaker,
+    FallbackTier, FaultKind, RetryPolicy, SpotBreaker,
 };
 use crate::resources::{ResourcePool, REFERENCE_WORKLOAD_GBPH};
+use crate::wal::WalWriter;
 use conductor_cloud::{Catalog, CostBreakdown, SpotMarket};
 use conductor_lp::{SolveContext, SolveOptions};
 use conductor_mapreduce::cluster::nodes_at;
@@ -127,6 +128,12 @@ pub struct FleetJobRequest {
     /// fleet bid. Must be finite and non-negative.
     #[serde(default)]
     pub spot_bid: Option<f64>,
+    /// Per-tenant retry policy, overriding the fleet-wide
+    /// [`FailurePolicy::retry`] for this tenant's terminal dispositions
+    /// (retry/backoff and dead-lettering). `None` uses the fleet policy;
+    /// retries inherit the override (the cloned request carries it).
+    #[serde(default)]
+    pub retry_override: Option<RetryPolicy>,
 }
 
 impl FleetJobRequest {
@@ -139,6 +146,7 @@ impl FleetJobRequest {
             goal,
             arrival_hours,
             spot_bid: None,
+            retry_override: None,
         }
     }
 
@@ -147,6 +155,15 @@ impl FleetJobRequest {
     /// tenant*; other tenants keep their own bids.
     pub fn with_spot_bid(mut self, bid: f64) -> Self {
         self.spot_bid = Some(bid);
+        self
+    }
+
+    /// Overrides the fleet-wide retry policy for this tenant only: its
+    /// failures (and late completions, per the policy) retry on this
+    /// budget and backoff instead of the fleet's, and exhaust into the
+    /// shared dead-letter queue. Retries inherit the override.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry_override = Some(retry);
         self
     }
 }
@@ -679,6 +696,27 @@ pub enum FleetEvent {
         /// The admission hour.
         at_hours: f64,
     },
+    /// A queued tenant left this session via [`Fleet::migrate_out`] — a
+    /// sharded runtime moved it to another shard before its arrival
+    /// fired. The submission is recorded as terminal here (rejection
+    /// "migrated to another shard"); the receiving shard logs its own
+    /// [`Submitted`](Self::Submitted) with the carried request.
+    MigratedOut {
+        /// The migrated tenant's handle *in this session*.
+        tenant: TenantId,
+        /// Hour of the migration (a rebalance barrier).
+        at_hours: f64,
+    },
+    /// The monitor-tick grid was aligned with a fleet-level arrival
+    /// observed outside this session ([`Fleet::align_monitor`]): a
+    /// sharded runtime broadcasts every arrival so all shards tick on
+    /// the same grid regardless of which shard the tenant landed on.
+    MonitorAligned {
+        /// Hour the alignment was applied (the submission hour).
+        at_hours: f64,
+        /// The foreign arrival's effective hour.
+        arrival_hours: f64,
+    },
 }
 
 impl FleetEvent {
@@ -700,12 +738,14 @@ impl FleetEvent {
             | FleetEvent::FaultInjected { tenant, .. }
             | FleetEvent::Retried { tenant, .. }
             | FleetEvent::DeadLettered { tenant, .. }
-            | FleetEvent::FallbackEngaged { tenant, .. } => Some(*tenant),
+            | FleetEvent::FallbackEngaged { tenant, .. }
+            | FleetEvent::MigratedOut { tenant, .. } => Some(*tenant),
             FleetEvent::AdmissionPaused { .. }
             | FleetEvent::AdmissionResumed { .. }
             | FleetEvent::BreakerOpened { .. }
             | FleetEvent::BreakerHalfOpen { .. }
-            | FleetEvent::BreakerClosed { .. } => None,
+            | FleetEvent::BreakerClosed { .. }
+            | FleetEvent::MonitorAligned { .. } => None,
         }
     }
 
@@ -731,7 +771,9 @@ impl FleetEvent {
             | FleetEvent::BreakerOpened { at_hours, .. }
             | FleetEvent::BreakerHalfOpen { at_hours, .. }
             | FleetEvent::BreakerClosed { at_hours, .. }
-            | FleetEvent::FallbackEngaged { at_hours, .. } => *at_hours,
+            | FleetEvent::FallbackEngaged { at_hours, .. }
+            | FleetEvent::MigratedOut { at_hours, .. }
+            | FleetEvent::MonitorAligned { at_hours, .. } => *at_hours,
         }
     }
 }
@@ -1298,7 +1340,12 @@ pub struct Fleet {
     stepped_to: f64,
 
     events: Vec<FleetEvent>,
-    observers: Vec<Box<dyn FleetObserver>>,
+    observers: Vec<Box<dyn FleetObserver + Send>>,
+    /// Write-ahead log tailing every emitted event (see
+    /// [`attach_wal`](Self::attach_wal)); `None` when not tailing.
+    wal: Option<WalWriter>,
+    /// The write failure that detached the WAL, if one occurred.
+    wal_error: Option<String>,
     /// Reusable batch buffer for `pop_due`.
     batch: Vec<ClockEvent>,
     /// Incremental view of active-job node commitments backing
@@ -1400,6 +1447,8 @@ impl Fleet {
             stepped_to: 0.0,
             events: Vec::new(),
             observers: Vec::new(),
+            wal: None,
+            wal_error: None,
             batch: Vec::new(),
             residual_index: RefCell::new(ResidualIndex::default()),
             solve_ctx: SolveContext::new(),
@@ -1439,8 +1488,37 @@ impl Fleet {
     /// Registers an observer; it receives every subsequent event in clock
     /// order. Closures work directly:
     /// `fleet.observe(Box::new(|e: &FleetEvent| println!("{e:?}")))`.
-    pub fn observe(&mut self, observer: Box<dyn FleetObserver>) {
+    /// Observers are `Send` so a whole session can move across threads
+    /// (the sharded runtime steps shards on a scoped pool).
+    pub fn observe(&mut self, observer: Box<dyn FleetObserver + Send>) {
         self.observers.push(observer);
+    }
+
+    /// Attaches a write-ahead log that *tails* the session: every
+    /// [`FleetEvent`] emitted from this point on is appended (and
+    /// flushed) as it happens, rather than post-hoc — so the log on disk
+    /// is durable mid-run and a crash loses at most the entry being
+    /// written (the torn tail [`crate::wal::WalReader::recover`]
+    /// repairs). Events
+    /// already emitted are *not* backfilled; to capture a complete log,
+    /// attach before stepping or pre-write `events()` with
+    /// [`WalWriter::log_all`] first.
+    ///
+    /// A write failure detaches the log (the session keeps running) and
+    /// is surfaced via [`wal_error`](Self::wal_error).
+    pub fn attach_wal(&mut self, wal: WalWriter) {
+        self.wal = Some(wal);
+        self.wal_error = None;
+    }
+
+    /// Detaches and returns the tailing WAL, if one is attached.
+    pub fn detach_wal(&mut self) -> Option<WalWriter> {
+        self.wal.take()
+    }
+
+    /// The write failure that detached the tailing WAL, if any.
+    pub fn wal_error(&self) -> Option<&str> {
+        self.wal_error.as_deref()
     }
 
     /// Submits a job to the session at any time — before stepping, or
@@ -1467,6 +1545,9 @@ impl Fleet {
                     request.tenant
                 )));
             }
+        }
+        if let Some(retry) = &request.retry_override {
+            retry.validate()?;
         }
         let idx = self.outcomes.len();
         let arrival = request.arrival_hours.max(self.stepped_to);
@@ -1557,6 +1638,86 @@ impl Fleet {
             at_hours: at,
         });
         Ok(true)
+    }
+
+    /// Removes a *queued* tenant (submitted, arrival not yet fired) from
+    /// this session, returning its request with the arrival hour set to
+    /// the exact hour the pending arrival would have fired — so a
+    /// receiving shard that re-submits it at the current fleet hour
+    /// schedules the identical arrival. The local submission is closed
+    /// out like a pre-arrival cancellation (rejection "migrated to
+    /// another shard", the phantom heap arrival fizzles) and logged as
+    /// [`FleetEvent::MigratedOut`].
+    ///
+    /// Running, terminal or cancelled tenants cannot migrate — the
+    /// sharded rebalancer moves queued work only. Fails with
+    /// [`ConductorError::InvalidInput`] on unknown handles or
+    /// non-queued tenants.
+    pub fn migrate_out(&mut self, id: TenantId) -> Result<FleetJobRequest, ConductorError> {
+        let idx = id.0;
+        if idx >= self.outcomes.len() {
+            return Err(ConductorError::InvalidInput(format!(
+                "unknown tenant id {idx} (only {} submissions)",
+                self.outcomes.len()
+            )));
+        }
+        let queued = !self.cancelled.contains(&idx) && !self.tenant_pids.contains_key(&idx) && {
+            let o = &self.outcomes[idx];
+            !o.admitted && o.execution.is_none() && o.rejection.is_none()
+        };
+        if !queued {
+            return Err(ConductorError::InvalidInput(format!(
+                "tenant {idx} is not queued (running, terminal or cancelled); only queued \
+                 jobs migrate"
+            )));
+        }
+        let mut request = self.requests[idx].clone();
+        // Carry the *scheduled* arrival, not the requested one: a mid-run
+        // submission was clamped to its submission hour, and a retry's
+        // arrival is its backoff hour. Re-submitting at the current fleet
+        // hour (<= the pending arrival, up to the batch epsilon) then
+        // reproduces the identical arrival event on the receiving shard.
+        request.arrival_hours = self.outcomes[idx].arrival_hours;
+        let o = &mut self.outcomes[idx];
+        o.rejection = Some("migrated to another shard".into());
+        self.cancelled.insert(idx);
+        // Like a pre-arrival cancel: the phantom arrival event stays in
+        // the heap but no longer counts as pending work; `handle_arrival`
+        // skips cancelled entries.
+        self.arrivals_pending -= 1;
+        let at = self.stepped_to;
+        self.emit(FleetEvent::MigratedOut {
+            tenant: id,
+            at_hours: at,
+        });
+        Ok(request)
+    }
+
+    /// Aligns the monitor-tick grid with an arrival observed *outside*
+    /// this session. The sharded runtime broadcasts every submission's
+    /// effective arrival to all shards, so each shard's grid anchors at
+    /// the fleet-wide earliest arrival — exactly the anchor a single
+    /// unsharded session would use — and monitor ticks fire at identical
+    /// hours regardless of the partitioning. Logged as
+    /// [`FleetEvent::MonitorAligned`] so the shard's event log remains a
+    /// sufficient record for [`replay`](Self::replay).
+    ///
+    /// Fails with [`ConductorError::InvalidInput`] on non-finite or
+    /// negative hours.
+    pub fn align_monitor(&mut self, arrival_hours: f64) -> Result<(), ConductorError> {
+        if !arrival_hours.is_finite() || arrival_hours < 0.0 {
+            return Err(ConductorError::InvalidInput(format!(
+                "invalid monitor alignment hour {arrival_hours}"
+            )));
+        }
+        let arrival = arrival_hours.max(self.stepped_to);
+        self.ensure_monitor_chain(arrival);
+        let at = self.stepped_to;
+        self.emit(FleetEvent::MonitorAligned {
+            at_hours: at,
+            arrival_hours,
+        });
+        Ok(())
     }
 
     /// Advances the fleet through every event strictly before `hours`,
@@ -1732,6 +1893,56 @@ impl Fleet {
         &self.dead_letters
     }
 
+    /// Submitted arrivals whose event has not fired yet — the sharded
+    /// rebalancer's queue-depth metric.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.arrivals_pending
+    }
+
+    /// Local indices of queued *original* submissions (arrival pending,
+    /// attempt zero, not cancelled), in submission order — the sharded
+    /// rebalancer's migration candidates. Retry waits never migrate:
+    /// their backoff arrival belongs to the shard that owns the chain.
+    pub(crate) fn queued_candidates(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| {
+                !self.cancelled.contains(i)
+                    && !self.tenant_pids.contains_key(i)
+                    && !o.admitted
+                    && o.execution.is_none()
+                    && o.rejection.is_none()
+                    && o.attempt == 0
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total residual capped compute nodes at fleet hour `at` — the
+    /// sharded rebalancer's slack metric (uncapped resources contribute
+    /// nothing; they are never the bottleneck).
+    pub(crate) fn residual_capped_nodes(&self, at: f64) -> usize {
+        self.residual_pool(at, None)
+            .compute
+            .iter()
+            .filter_map(|c| c.max_nodes)
+            .sum()
+    }
+
+    /// The raw per-tenant outcomes, for the sharded runtime's merged
+    /// report (indexing matches [`TenantId`]s issued by this session).
+    pub(crate) fn outcomes(&self) -> &[TenantOutcome] {
+        &self.outcomes
+    }
+
+    /// The latest pending event hour on this session's clock, if any —
+    /// the horizon the sharded barrier driver must step past before the
+    /// shard can be quiescent.
+    pub(crate) fn horizon_hours(&self) -> Option<f64> {
+        self.sim.max_time()
+    }
+
     /// `true` while the failure-rate gate is refusing new admissions.
     pub fn admission_paused(&self) -> bool {
         self.failure_window.as_ref().is_some_and(|w| w.is_paused())
@@ -1879,8 +2090,16 @@ impl Fleet {
         }
     }
 
-    /// Delivers an event to the log and every observer.
+    /// Delivers an event to the tailing WAL (when attached), the log and
+    /// every observer. A WAL write failure detaches the log and records
+    /// the error ([`wal_error`](Self::wal_error)); the session continues.
     fn emit(&mut self, event: FleetEvent) {
+        if let Some(wal) = self.wal.as_mut() {
+            if let Err(e) = wal.log(&event) {
+                self.wal_error = Some(e.to_string());
+                self.wal = None;
+            }
+        }
         for obs in &mut self.observers {
             obs.on_event(&event);
         }
@@ -2803,8 +3022,9 @@ impl Fleet {
                 None => {}
             }
         }
-        // 2. Retry / dead-letter disposition.
-        let Some(retry) = self.config.policy.retry else {
+        // 2. Retry / dead-letter disposition, under the tenant's own
+        //    policy when the request carries an override.
+        let Some(retry) = self.effective_retry(idx) else {
             return;
         };
         let attempt = self.outcomes[idx].attempt;
@@ -2850,11 +3070,19 @@ impl Fleet {
         }
     }
 
+    /// The retry policy governing tenant `idx`: the request's override
+    /// when present, else the fleet-wide policy.
+    fn effective_retry(&self, idx: usize) -> Option<RetryPolicy> {
+        self.requests[idx]
+            .retry_override
+            .or(self.config.policy.retry)
+    }
+
     /// Re-submits tenant `idx`'s request as a fresh arrival after the
     /// deterministic backoff delay, as the next attempt of its root
     /// submission.
     fn schedule_retry(&mut self, idx: usize, now: f64) {
-        let retry = self.config.policy.retry.expect("caller checked retry");
+        let retry = self.effective_retry(idx).expect("caller checked retry");
         let attempt = self.outcomes[idx].attempt + 1;
         let root = self.outcomes[idx].retry_of.unwrap_or(idx);
         let arrival = now + retry.delay_hours(attempt);
@@ -3197,6 +3425,8 @@ impl Fleet {
             stepped_to: snapshot.stepped_to,
             events: snapshot.events.clone(),
             observers: Vec::new(),
+            wal: None,
+            wal_error: None,
             batch: Vec::new(),
             residual_index: RefCell::new(ResidualIndex::default()),
             solve_ctx,
@@ -3242,6 +3472,17 @@ impl Fleet {
                 FleetEvent::Cancelled { tenant, at_hours } => {
                     fleet.step_until(*at_hours);
                     fleet.cancel(*tenant)?;
+                }
+                FleetEvent::MigratedOut { tenant, at_hours } => {
+                    fleet.step_until(*at_hours);
+                    fleet.migrate_out(*tenant)?;
+                }
+                FleetEvent::MonitorAligned {
+                    at_hours,
+                    arrival_hours,
+                } => {
+                    fleet.step_until(*at_hours);
+                    fleet.align_monitor(*arrival_hours)?;
                 }
                 expected => {
                     // An internal event: drive the clock until the loop

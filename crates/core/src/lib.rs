@@ -48,6 +48,7 @@ pub mod planner;
 pub mod policy;
 pub mod resources;
 pub mod service;
+pub mod shards;
 pub mod spot;
 pub mod wal;
 
@@ -68,5 +69,6 @@ pub use policy::{
 };
 pub use resources::{ComputeResource, ResourcePool, StorageResource};
 pub use service::ConductorService;
+pub use shards::{HashRouter, ShardRouter, ShardedFleet, ShardedFleetConfig, TransferEvent};
 pub use spot::{BidPredictor, SpotDeploymentSimulator, SpotScenarioResult};
 pub use wal::{WalReader, WalReadout, WalWriter};

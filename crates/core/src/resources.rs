@@ -175,6 +175,34 @@ impl ResourcePool {
         self
     }
 
+    /// Splits the pool into `n` shard slices for a sharded fleet: capped
+    /// compute node budgets are divided evenly (the first `cap % n`
+    /// shards take one extra node), capped storage capacities are divided
+    /// exactly by `n`, and uncapped resources stay uncapped — splitting
+    /// infinity is still infinity. Prices, the chunk size and the uplink
+    /// are carried whole per slice: in the single-fleet model every
+    /// concurrent tenant already plans against the full uplink timetable,
+    /// so a shard keeps that same view. Returns an empty vector for
+    /// `n == 0`; every returned slice validates whenever `self` does.
+    pub fn split(&self, n: usize) -> Vec<ResourcePool> {
+        (0..n)
+            .map(|shard| {
+                let mut slice = self.clone();
+                for c in &mut slice.compute {
+                    if let Some(cap) = c.max_nodes {
+                        c.max_nodes = Some(cap / n + usize::from(shard < cap % n));
+                    }
+                }
+                for s in &mut slice.storage {
+                    if let Some(cap) = s.capacity_gb {
+                        s.capacity_gb = Some(cap / n as f64);
+                    }
+                }
+                slice
+            })
+            .collect()
+    }
+
     /// Basic consistency checks: non-empty, positive uplink, storage ties
     /// resolve.
     pub fn validate(&self) -> Result<(), String> {
@@ -324,6 +352,34 @@ mod tests {
         assert!(pool.validate().is_ok());
         let large_disk = pool.storage_resource("m1.large").unwrap();
         assert!(large_disk.instance_disk);
+    }
+
+    #[test]
+    fn split_divides_caps_and_keeps_uncapped_unbounded() {
+        let pool = ResourcePool::from_catalog(&Catalog::aws_july_2011(), 1.0)
+            .with_compute_only(&["m1.large"])
+            .with_compute_cap("m1.large", 10);
+        let slices = pool.split(4);
+        assert_eq!(slices.len(), 4);
+        let caps: Vec<usize> = slices
+            .iter()
+            .map(|s| s.compute_resource("m1.large").unwrap().max_nodes.unwrap())
+            .collect();
+        // 10 = 3 + 3 + 2 + 2: even split, remainder to the first shards.
+        assert_eq!(caps, vec![3, 3, 2, 2]);
+        assert_eq!(caps.iter().sum::<usize>(), 10);
+        for s in &slices {
+            assert!(s.validate().is_ok());
+            // Uncapped storage stays uncapped; uplink is carried whole.
+            assert_eq!(
+                s.storage_resource("S3").unwrap().capacity_gb,
+                pool.storage_resource("S3").unwrap().capacity_gb
+            );
+            assert_eq!(s.uplink_gbph, pool.uplink_gbph);
+        }
+        // Degenerate counts.
+        assert!(pool.split(0).is_empty());
+        assert_eq!(pool.split(1), vec![pool.clone()]);
     }
 
     #[test]

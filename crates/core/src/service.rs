@@ -172,6 +172,23 @@ impl ConductorService {
         Fleet::new(self.catalog.clone(), self.pool.clone(), self.config.clone())
     }
 
+    /// Opens a [`ShardedFleet`](crate::shards::ShardedFleet) over this
+    /// service's catalog, pool and configuration: the pool is split into
+    /// `config.shards` slices and one shard session opens per slice. See
+    /// the [`crate::shards`] module for placement, transfer and
+    /// determinism semantics.
+    pub fn open_sharded(
+        &self,
+        config: crate::shards::ShardedFleetConfig,
+    ) -> Result<crate::shards::ShardedFleet, ConductorError> {
+        crate::shards::ShardedFleet::new(
+            self.catalog.clone(),
+            self.pool.clone(),
+            self.config.clone(),
+            config,
+        )
+    }
+
     /// Admits and runs `requests` on one shared clock, returning the
     /// per-tenant outcomes and the fleet roll-up. Individual admission
     /// failures and job failures are reported per tenant, not as errors.

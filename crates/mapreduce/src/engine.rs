@@ -191,7 +191,7 @@ impl Engine {
         &self,
         spec: &JobSpec,
         options: &DeploymentOptions,
-        scheduler: &dyn Scheduler,
+        scheduler: &(dyn Scheduler + Sync),
     ) -> Result<ExecutionReport, EngineError> {
         let job = JobExecution::new(
             &self.catalog,

@@ -255,7 +255,7 @@ pub struct JobExecution<'a> {
     catalog: Catalog,
     spec: JobSpec,
     options: DeploymentOptions,
-    scheduler: Box<dyn Scheduler + 'a>,
+    scheduler: Box<dyn Scheduler + Send + 'a>,
     pricing: SessionPricing,
 
     billing: BillingAccount,
@@ -327,7 +327,7 @@ impl<'a> JobExecution<'a> {
         catalog: &Catalog,
         spec: &JobSpec,
         options: DeploymentOptions,
-        scheduler: Box<dyn Scheduler + 'a>,
+        scheduler: Box<dyn Scheduler + Send + 'a>,
         pricing: SessionPricing,
     ) -> Result<Self, EngineError> {
         validate(catalog, &options)?;

@@ -65,7 +65,7 @@ pub enum SchedulerSnapshot {
 impl SchedulerSnapshot {
     /// Reconstructs a scheduler equivalent to the one the snapshot was
     /// taken from.
-    pub fn rebuild(&self) -> Box<dyn Scheduler + 'static> {
+    pub fn rebuild(&self) -> Box<dyn Scheduler + Send + 'static> {
         match self {
             SchedulerSnapshot::Locality => Box::new(LocalityScheduler),
             SchedulerSnapshot::PlanFollowing { allowed } => Box::new(PlanFollowingScheduler {

@@ -127,6 +127,15 @@ impl<E> EventHeap<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Time of the *latest* pending event — the horizon beyond which this
+    /// heap is known to be silent (until something new is pushed). A
+    /// barrier-stepping driver uses this to bound its stepping loop
+    /// instead of guessing an end time. O(n) scan; the heap is ordered by
+    /// earliest, not latest.
+    pub fn max_time(&self) -> Option<f64> {
+        self.heap.iter().map(|e| e.at).reduce(f64::max)
+    }
+
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.heap.pop().map(|e| ScheduledEvent {
@@ -241,6 +250,21 @@ mod tests {
         };
         assert_eq!(run(), run());
         assert_eq!(run(), vec![2, 4, 1, 0, 3]);
+    }
+
+    #[test]
+    fn max_time_tracks_latest_pending_event() {
+        let mut h = EventHeap::new();
+        assert_eq!(h.max_time(), None);
+        h.push(2.0, 0, ());
+        h.push(5.0, 0, ());
+        h.push(1.0, 0, ());
+        assert_eq!(h.max_time(), Some(5.0));
+        h.pop();
+        assert_eq!(h.max_time(), Some(5.0));
+        h.pop();
+        h.pop();
+        assert_eq!(h.max_time(), None);
     }
 
     #[test]

@@ -125,6 +125,14 @@ impl<E> Simulator<E> {
         self.heap.peek_time()
     }
 
+    /// Absolute hour of the *latest* pending event, if any — the horizon
+    /// beyond which the clock is silent until something new is scheduled.
+    /// Barrier-stepping drivers (the sharded fleet runtime) use this to
+    /// bound how far their stepping loop must advance.
+    pub fn max_time(&self) -> Option<f64> {
+        self.heap.max_time()
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

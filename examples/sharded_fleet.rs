@@ -1,0 +1,136 @@
+//! The sharded fleet runtime: partitioned tenants, parallel shard
+//! stepping, and the queue-rebalancer.
+//!
+//! A `ShardedFleet` splits the capacity pool into N slices and runs one
+//! independent `Fleet` per slice — own clock, own event heap, own
+//! (optional) write-ahead log. Tenants route to shards by a deterministic
+//! hash of their name; the only cross-shard interaction is an explicit
+//! `TransferEvent` when the rebalancer migrates a *queued* job from a
+//! deep queue toward slack. Shards share nothing mutable, so the driver
+//! steps them on a scoped thread pool between barriers — and the whole
+//! run stays bitwise deterministic.
+//!
+//! This example piles every tenant onto shard 0 through a custom
+//! `ShardRouter` (the default hash router would spread them evenly and
+//! leave the rebalancer nothing to do), then watches the rebalancer fan
+//! the queue out across all four shards.
+//!
+//! Run with: `cargo run --release --example sharded_fleet`
+
+use conductor_cloud::Catalog;
+use conductor_core::{
+    FleetConfig, FleetJobRequest, Goal, ResourcePool, ShardRouter, ShardedFleet,
+    ShardedFleetConfig, TenantId,
+};
+use conductor_mapreduce::Workload;
+
+/// Deliberately bad placement: everything on shard 0, so the rebalancer
+/// has to earn its keep.
+struct PileUpRouter;
+
+impl ShardRouter for PileUpRouter {
+    fn route(&self, _request: &FleetJobRequest, _shards: usize) -> usize {
+        0
+    }
+}
+
+fn main() {
+    // 1. One 120-node pool, split four ways (30 nodes per shard).
+    let catalog = Catalog::aws_july_2011();
+    let pool = ResourcePool::from_catalog(&catalog, 1.0)
+        .with_compute_only(&["m1.large"])
+        .with_compute_cap("m1.large", 120);
+    let mut fleet = ShardedFleet::with_router(
+        catalog,
+        pool,
+        FleetConfig::default(),
+        ShardedFleetConfig {
+            shards: 4,
+            rebalance_period_hours: Some(1.0),
+        },
+        Box::new(PileUpRouter),
+    )
+    .expect("valid sharded config");
+    println!(
+        "opened {} shards, rebalancing every 1 h",
+        fleet.shard_count()
+    );
+
+    // 2. Twelve tenants, arrivals spread over twelve hours, all routed to
+    //    shard 0: a worst-case pile-up.
+    let mut ids: Vec<TenantId> = Vec::new();
+    for i in 0..12 {
+        let id = fleet
+            .submit(FleetJobRequest::new(
+                format!("tenant-{i:02}"),
+                Workload::KMeansScaled { input_gb: 8 }.spec(),
+                Goal::MinimizeCost {
+                    deadline_hours: 8.0,
+                },
+                i as f64,
+            ))
+            .expect("valid request");
+        ids.push(id);
+    }
+    println!("submitted {} tenants, all piled on shard 0", ids.len());
+
+    // 3. Drain. The driver steps all four shards in parallel between
+    //    rebalance barriers; at each barrier the rebalancer migrates
+    //    queued jobs from the deepest queue toward slack.
+    fleet.run_to_quiescence();
+
+    // 4. The transfer log is the entire cross-shard story.
+    println!("\n== transfers ({}) ==", fleet.transfers().len());
+    for t in fleet.transfers() {
+        println!(
+            "  hour {:>4.1}  {}  shard {} -> shard {}",
+            t.at_hours, t.tenant, t.from_shard, t.to_shard
+        );
+    }
+
+    // 5. Global tenant ids survive migration: status() resolves wherever
+    //    the job ended up.
+    println!("\n== final placements ==");
+    for &id in &ids {
+        let status = fleet.status(id).expect("known tenant");
+        println!(
+            "  {:<10} shard {}  {:?}  bill ${:.2}",
+            status.tenant,
+            fleet.shard_of(id).unwrap(),
+            status.state,
+            status.bill_so_far,
+        );
+    }
+
+    // 6. The merged view: one deterministically-ordered event stream and
+    //    one fleet-wide report, same API shape as the single fleet.
+    let report = fleet.report();
+    let merged = fleet.merged_events();
+    println!(
+        "\nfleet bill ${:.2}, {} admitted / {} completed, {} events across {} shards",
+        fleet.fleet_bill(),
+        report.jobs_admitted,
+        report.jobs_completed,
+        merged.len(),
+        fleet.shard_count(),
+    );
+
+    // This example is CI's sharded-runtime smoke test.
+    assert!(
+        !fleet.transfers().is_empty(),
+        "the pile-up should force migrations"
+    );
+    let spread: std::collections::BTreeSet<usize> =
+        ids.iter().filter_map(|&id| fleet.shard_of(id)).collect();
+    assert!(
+        spread.len() > 1,
+        "the rebalancer should spread the pile-up across shards"
+    );
+    assert_eq!(report.jobs_completed, ids.len(), "every tenant completes");
+    assert!(
+        merged
+            .windows(2)
+            .all(|w| w[0].1.at_hours() <= w[1].1.at_hours() + 1e-9),
+        "merged events must be in clock order"
+    );
+}

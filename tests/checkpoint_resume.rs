@@ -463,6 +463,14 @@ fn every_fleet_event_variant_roundtrips_through_json() {
             tenant: t,
             at_hours: 17.0,
         },
+        FleetEvent::MigratedOut {
+            tenant: t,
+            at_hours: 18.0 + third,
+        },
+        FleetEvent::MonitorAligned {
+            at_hours: 19.0,
+            arrival_hours: 19.0 + third,
+        },
     ];
     for event in &events {
         let json = serde_json::to_string(event).unwrap();

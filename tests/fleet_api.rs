@@ -12,8 +12,7 @@ use conductor_core::{
 };
 use conductor_lp::SolveOptions;
 use conductor_mapreduce::Workload;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 fn fast_options() -> SolveOptions {
@@ -215,16 +214,16 @@ fn event_stream_is_deterministic_and_in_clock_order() {
     let run = || {
         let service = storm_service(storm_prices(48, 2, 3), 0.34, 100);
         let mut fleet = service.open().expect("valid config");
-        let observed: Rc<RefCell<Vec<FleetEvent>>> = Rc::default();
-        let sink = Rc::clone(&observed);
+        let observed: Arc<Mutex<Vec<FleetEvent>>> = Arc::default();
+        let sink = Arc::clone(&observed);
         fleet.observe(Box::new(move |e: &FleetEvent| {
-            sink.borrow_mut().push(e.clone())
+            sink.lock().unwrap().push(e.clone())
         }));
         fleet.submit(request("rescued", 0.0, 7.0)).unwrap();
         fleet.run_to_quiescence();
         let log = fleet.events().to_vec();
         assert_eq!(
-            *observed.borrow(),
+            *observed.lock().unwrap(),
             log,
             "observers must see exactly the event log"
         );
